@@ -1,0 +1,168 @@
+//! AODV for MANETKit — the paper's original proof-of-concept protocol.
+//!
+//! §5 of the paper: *"In the first instance, as a proof of concept, we used
+//! an initial Java-based implementation of MANETKit to build the well-known
+//! AODV protocol."* This crate provides that protocol for the Rust
+//! reproduction: RFC 3561 semantics — hop-by-hop reverse/forward route
+//! learning (no path accumulation), RREQ-id duplicate suppression,
+//! intermediate replies from fresh routes, precursor lists and
+//! precursor-directed route errors.
+//!
+//! Composition-wise AODV showcases MANETKit's reuse story a third time: it
+//! shares the Neighbour Detection CF, the System CF's NetLink plug-in and
+//! all framework machinery with DYMO, differing only in its handlers,
+//! messages and S component. The paper also notes an AODV implementation
+//! "might piggyback routing table entries so that neighbours can learn new
+//! routes" via the Neighbour Detection CF's dissemination — our RREQ/RREP
+//! exchange plus the `offer_route(from, …)` neighbour learning covers the
+//! same route-learning effect.
+//!
+//! # Example
+//!
+//! ```
+//! use manetkit::prelude::*;
+//! use netsim::{NodeId, SimDuration, Topology, World};
+//!
+//! let mut world = World::builder().topology(Topology::line(4)).seed(3).build();
+//! for i in 0..4 {
+//!     let (node, _handle) = manetkit_aodv::node(Default::default());
+//!     world.install_agent(NodeId(i), Box::new(node));
+//! }
+//! world.run_for(SimDuration::from_secs(3));
+//! let far = world.node_addr(3);
+//! world.send_datagram(NodeId(0), far, b"hello".to_vec());
+//! world.run_for(SimDuration::from_secs(2));
+//! assert_eq!(world.stats().data_delivered, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod handlers;
+pub mod messages;
+pub mod state;
+
+use manetkit::event::{types, EventType};
+use manetkit::neighbour::{hello_registration, neighbour_detection_cf, NeighbourConfig};
+use manetkit::node::{Deployment, ManetNode, NodeHandle};
+use manetkit::prelude::ConcurrencyModel;
+use manetkit::protocol::{ManetProtocolCf, StateSlot};
+use manetkit::registry::EventTuple;
+use manetkit::system::SystemCf;
+use packetbb::registry::msg_type;
+
+pub use handlers::{
+    AodvDiscoveryHandler, AodvLifetimeHandler, AodvRerrHandler, AodvSweepHandler, RrepHandler,
+    RreqHandler, AODV_SWEEP_TIMER,
+};
+pub use messages::{Rerr, Rrep, Rreq};
+pub use state::{AodvParams, AodvRoute, AodvState};
+
+/// The name under which the AODV CF registers.
+pub const AODV_CF: &str = "aodv";
+
+/// Joint configuration for an AODV deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct AodvDeployment {
+    /// Protocol parameters.
+    pub params: AodvParams,
+    /// Neighbour detection configuration.
+    pub neighbour: NeighbourConfig,
+}
+
+/// Builds the AODV CF.
+#[must_use]
+pub fn aodv_cf(params: AodvParams) -> ManetProtocolCf {
+    let state = AodvState {
+        params,
+        ..AodvState::default()
+    };
+    ManetProtocolCf::builder(AODV_CF)
+        .reactive()
+        .tuple(
+            EventTuple::new()
+                .requires(types::re_in())
+                .requires(types::rerr_in())
+                .requires(types::no_route())
+                .requires(types::route_update())
+                .requires(types::send_route_err())
+                .requires(types::tx_failed())
+                .requires(types::nhood_change())
+                .provides(types::re_out())
+                .provides(types::rerr_out())
+                .provides(types::route_found()),
+        )
+        .state(StateSlot::new(state))
+        .startup_timer(params.sweep, EventType::named(AODV_SWEEP_TIMER))
+        .handler(Box::new(AodvDiscoveryHandler))
+        .handler(Box::new(RreqHandler))
+        .handler(Box::new(RrepHandler))
+        .handler(Box::new(AodvRerrHandler))
+        .handler(Box::new(AodvLifetimeHandler))
+        .handler(Box::new(AodvSweepHandler))
+        .build()
+}
+
+/// Registers the message types AODV needs and enables the NetLink plug-in.
+pub fn register_messages(system: &mut SystemCf) {
+    system.register_in_out(msg_type::AODV_RREQ, types::re_in(), types::re_out());
+    system.register_in_out(msg_type::AODV_RREP, types::re_in(), types::re_out());
+    system.register_in_out(msg_type::AODV_RERR, types::rerr_in(), types::rerr_out());
+    system.enable_netlink();
+}
+
+/// Installs AODV plus the Neighbour Detection CF into a deployment.
+///
+/// # Errors
+///
+/// Propagates integrity violations (e.g. another reactive protocol is
+/// already deployed).
+pub fn deploy(dep: &mut Deployment, config: AodvDeployment) -> Result<(), manetkit::DeployError> {
+    register_messages(dep.system_mut());
+    dep.system_mut().register_message(hello_registration());
+    dep.add_protocol_offline(neighbour_detection_cf(config.neighbour))?;
+    dep.add_protocol_offline(aodv_cf(config.params))?;
+    Ok(())
+}
+
+/// Builds a ready-to-install node running AODV, plus its control handle.
+#[must_use]
+pub fn node(config: AodvDeployment) -> (ManetNode, NodeHandle) {
+    let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);
+    deploy(node.deployment_mut(), config).expect("fresh deployment accepts AODV");
+    let handle = node.handle();
+    (node, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cf_composition() {
+        let cf = aodv_cf(AodvParams::default());
+        assert_eq!(cf.name(), AODV_CF);
+        assert!(cf.is_reactive());
+        let names = cf.plugin_names();
+        for expected in [
+            "route-discovery-handler",
+            "rreq-handler",
+            "rrep-handler",
+            "rerr-handler",
+            "route-lifetime-handler",
+            "sweep-handler",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn aodv_and_dymo_are_mutually_exclusive() {
+        // Both are reactive: the deployment-level integrity rule allows
+        // only one at a time.
+        let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
+        dep.add_protocol_offline(aodv_cf(AodvParams::default())).unwrap();
+        let second = aodv_cf(AodvParams::default());
+        assert!(dep.add_protocol_offline(second).is_err());
+    }
+}

@@ -1,0 +1,34 @@
+//! Monolithic comparator implementations for the MANETKit evaluation.
+//!
+//! The paper compares its framework-built protocols against the most
+//! popular standalone implementations: **Unik-olsrd** for OLSR and
+//! **DYMOUM v0.3** for DYMO. This crate provides in-language analogues:
+//! single-struct daemons with hard-wired control flow, no component
+//! machinery, no events, no runtime reconfigurability — but the same wire
+//! format, parameters and functional behaviour, so Tables 1 and 2 compare
+//! like with like.
+//!
+//! ```
+//! use manetkit_baseline::{Dymoum, Olsrd, OlsrdConfig};
+//! use netsim::{NodeId, SimDuration, Topology, World};
+//!
+//! let mut world = World::builder().topology(Topology::line(3)).seed(8).build();
+//! world.install_agent(NodeId(0), Box::new(Dymoum::new()));
+//! world.install_agent(NodeId(1), Box::new(Dymoum::new()));
+//! world.install_agent(NodeId(2), Box::new(Dymoum::new()));
+//! let far = world.node_addr(2);
+//! world.send_datagram(NodeId(0), far, b"ping".to_vec());
+//! world.run_for(SimDuration::from_secs(3));
+//! assert_eq!(world.stats().data_delivered, 1);
+//! # let _ = OlsrdConfig::default();
+//! # let _: fn() -> Olsrd = || Olsrd::new(OlsrdConfig::default());
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod dymoum;
+mod olsrd;
+
+pub use dymoum::Dymoum;
+pub use olsrd::{Olsrd, OlsrdConfig};

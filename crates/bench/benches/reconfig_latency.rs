@@ -1,0 +1,114 @@
+//! E10 (§4.5): the cost of dynamic reconfiguration — tuple rewiring,
+//! fine-grained component replacement and full protocol switching with
+//! state carry-over, measured on a live deployment at a quiescent point.
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use manetkit::prelude::*;
+use manetkit_olsr::variants::fisheye;
+use netsim::{NodeId, NodeOs};
+use packetbb::Address;
+
+fn started_olsr_deployment() -> (Deployment, NodeOs) {
+    let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
+    manetkit_olsr::deploy(&mut dep, Default::default()).unwrap();
+    let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
+    dep.start(&mut os);
+    (dep, os)
+}
+
+fn bench_reconfig(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconfig_latency");
+
+    // Declarative rewiring: replace a tuple and re-derive the wiring.
+    group.bench_function("tuple_rewire", |b| {
+        let (mut dep, mut os) = started_olsr_deployment();
+        let tuple = dep.protocol("olsr").unwrap().tuple().clone();
+        b.iter(|| {
+            dep.apply(
+                ReconfigOp::UpdateTuple {
+                    protocol: "olsr".into(),
+                    tuple: tuple.clone(),
+                },
+                &mut os,
+            )
+            .unwrap();
+        });
+    });
+
+    // Interposer insertion + removal (the fisheye cycle).
+    group.bench_function("interposer_insert_remove", |b| {
+        let (mut dep, mut os) = started_olsr_deployment();
+        b.iter(|| {
+            dep.apply(
+                ReconfigOp::AddProtocol(fisheye::fisheye_cf(fisheye::FisheyeSchedule::default())),
+                &mut os,
+            )
+            .unwrap();
+            dep.apply(
+                ReconfigOp::RemoveProtocol {
+                    name: fisheye::FISHEYE_CF.into(),
+                },
+                &mut os,
+            )
+            .unwrap();
+        });
+    });
+
+    // Fine-grained handler replacement inside a running CF.
+    group.bench_function("handler_replace", |b| {
+        let (mut dep, mut os) = started_olsr_deployment();
+        b.iter(|| {
+            dep.apply(
+                ReconfigOp::Mutate {
+                    protocol: "mpr".into(),
+                    op: Box::new(|cf| {
+                        cf.replace_handler(
+                            "hello-handler",
+                            Box::new(manetkit_olsr::mpr::MprHelloHandler {
+                                validity: netsim::SimDuration::from_secs(6),
+                                track_energy: false,
+                            }),
+                        )
+                        .unwrap();
+                    }),
+                },
+                &mut os,
+            )
+            .unwrap();
+        });
+    });
+
+    // Full protocol switch with S-component carry-over (DYMO -> DYMO).
+    group.bench_function("protocol_switch_with_state", |b| {
+        b.iter_batched(
+            || {
+                let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
+                manetkit_dymo::deploy(&mut dep, Default::default()).unwrap();
+                let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
+                dep.start(&mut os);
+                (dep, os)
+            },
+            |(mut dep, mut os)| {
+                dep.apply(
+                    ReconfigOp::SwitchProtocol {
+                        old: manetkit_dymo::DYMO_CF.into(),
+                        new: manetkit_dymo::dymo_cf(Default::default()),
+                        transfer_state: true,
+                    },
+                    &mut os,
+                )
+                .unwrap();
+            },
+            BatchSize::SmallInput,
+        );
+    });
+
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_reconfig
+}
+criterion_main!(benches);

@@ -1,0 +1,318 @@
+//! The polymorphic event ontology connecting CFS units.
+//!
+//! All communication between protocol CFs (and the System CF below them)
+//! travels as [`Event`]s — packets in flight, context information, topology
+//! notifications and route-control signals. The set of event *types* is
+//! open-ended: protocols declare the types they require and provide in their
+//! [`EventTuple`](crate::registry::EventTuple)s and the Framework Manager
+//! wires them together by name.
+
+use std::fmt;
+use std::sync::Arc;
+
+use packetbb::{Address, Message};
+
+/// An interned event type name, e.g. `"TC_OUT"`.
+///
+/// Cheap to clone and compare; equality is by name.
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct EventType(Arc<str>);
+
+impl EventType {
+    /// Creates (or references) an event type by name.
+    #[must_use]
+    pub fn named(name: &str) -> Self {
+        EventType(Arc::from(name))
+    }
+
+    /// The type name.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Debug for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "EventType({})", self.0)
+    }
+}
+
+impl fmt::Display for EventType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&str> for EventType {
+    fn from(s: &str) -> Self {
+        EventType::named(s)
+    }
+}
+
+/// Well-known event types used by the protocols in this workspace.
+///
+/// Deployments are free to define further types; these constants only fix
+/// the names the bundled protocols agree on.
+pub mod types {
+    use super::EventType;
+
+    macro_rules! event_types {
+        ($($(#[$doc:meta])* $fn_name:ident => $name:literal;)*) => {
+            $(
+                $(#[$doc])*
+                #[must_use]
+                pub fn $fn_name() -> EventType {
+                    EventType::named($name)
+                }
+            )*
+        };
+    }
+
+    event_types! {
+        /// Outgoing HELLO message (link sensing).
+        hello_out => "HELLO_OUT";
+        /// Incoming HELLO message.
+        hello_in => "HELLO_IN";
+        /// Outgoing OLSR Topology Change message.
+        tc_out => "TC_OUT";
+        /// Incoming OLSR Topology Change message.
+        tc_in => "TC_IN";
+        /// Outgoing DYMO routing element (RREQ/RREP).
+        re_out => "RE_OUT";
+        /// Incoming DYMO routing element.
+        re_in => "RE_IN";
+        /// Outgoing DYMO route error.
+        rerr_out => "RERR_OUT";
+        /// Incoming DYMO route error.
+        rerr_in => "RERR_IN";
+        /// Outgoing residual-power dissemination (power-aware OLSR).
+        power_msg_out => "POWER_MSG_OUT";
+        /// Incoming residual-power dissemination.
+        power_msg_in => "POWER_MSG_IN";
+        /// The local neighbourhood changed (neighbours gained/lost).
+        nhood_change => "NHOOD_CHANGE";
+        /// The multipoint-relay selection changed.
+        mpr_change => "MPR_CHANGE";
+        /// Battery level context report.
+        power_status => "POWER_STATUS";
+        /// A locally originated packet has no route (netfilter trap).
+        no_route => "NO_ROUTE";
+        /// A route carried traffic (lifetime refresh trigger).
+        route_update => "ROUTE_UPDATE";
+        /// Forwarding failed for a transit packet (RERR trigger).
+        send_route_err => "SEND_ROUTE_ERR";
+        /// A route discovery concluded; buffered packets may be re-injected.
+        route_found => "ROUTE_FOUND";
+        /// Link-layer unicast transmission failure.
+        tx_failed => "TX_FAILED";
+    }
+}
+
+/// A context sensor reading carried by context events.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum ContextValue {
+    /// Remaining battery fraction in `[0, 1]`.
+    Battery(f64),
+    /// Estimated quality of the link to a neighbour in `[0, 1]`.
+    LinkQuality(Address, f64),
+    /// Observed packet loss rate in `[0, 1]`.
+    PacketLoss(f64),
+    /// Protocol-specific scalar (name, value).
+    Custom(&'static str, f64),
+}
+
+/// Payload of a neighbourhood-change event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NeighbourhoodChange {
+    /// Symmetric neighbours at the time of the event.
+    pub sym_neighbours: Vec<Address>,
+    /// Two-hop reachability: `(neighbour, two_hop_node)` pairs.
+    pub two_hop: Vec<(Address, Address)>,
+    /// Neighbours newly confirmed symmetric.
+    pub added: Vec<Address>,
+    /// Neighbours lost since the previous event.
+    pub lost: Vec<Address>,
+}
+
+/// Payload of an MPR-change event.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MprChange {
+    /// Neighbours this node selected as relays.
+    pub mprs: Vec<Address>,
+    /// Neighbours that selected this node as a relay.
+    pub selectors: Vec<Address>,
+}
+
+/// Payload of route-control events (the netlink surface).
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum RouteCtl {
+    /// No route for a locally originated packet to `dst`.
+    NoRoute {
+        /// Unrouted destination.
+        dst: Address,
+    },
+    /// The route to `dst` via `next_hop` carried traffic.
+    RouteUsed {
+        /// Destination.
+        dst: Address,
+        /// Next hop used.
+        next_hop: Address,
+    },
+    /// Forwarding a transit packet from `src` to `dst` failed.
+    ForwardFailure {
+        /// Destination.
+        dst: Address,
+        /// Original source (where route errors should head).
+        src: Address,
+        /// Unreachable next hop.
+        next_hop: Address,
+    },
+    /// A route to `dst` is now installed; re-inject buffered packets.
+    RouteFound {
+        /// Destination that became routable.
+        dst: Address,
+    },
+    /// Unicast to `neighbour` was not acknowledged.
+    TxFailed {
+        /// The unresponsive neighbour.
+        neighbour: Address,
+    },
+}
+
+/// Event payloads.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Payload {
+    /// A protocol message (PacketBB) travelling up or down the stack.
+    Message(Arc<Message>),
+    /// A context sensor reading.
+    Context(ContextValue),
+    /// A neighbourhood change notification.
+    Neighbourhood(Arc<NeighbourhoodChange>),
+    /// An MPR selection change notification.
+    Mpr(Arc<MprChange>),
+    /// A route-control signal.
+    RouteCtl(RouteCtl),
+    /// No payload (pure signal / timer events).
+    None,
+}
+
+/// Delivery metadata attached to an event.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct EventMeta {
+    /// For `*_IN` events: the neighbour the frame came from.
+    pub from: Option<Address>,
+    /// For `*_OUT` events: unicast target (`None` = link-local broadcast).
+    pub dst: Option<Address>,
+    /// The protocol that emitted the event (`None` when the System CF did);
+    /// used for loop avoidance when a protocol provides and requires the
+    /// same type.
+    pub origin: Option<String>,
+}
+
+/// A unit of communication between CFS units.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Event {
+    /// The event type (routing key).
+    pub ty: EventType,
+    /// The payload.
+    pub payload: Payload,
+    /// Delivery metadata.
+    pub meta: EventMeta,
+}
+
+impl Event {
+    /// A payload-less signal event.
+    #[must_use]
+    pub fn signal(ty: EventType) -> Self {
+        Event {
+            ty,
+            payload: Payload::None,
+            meta: EventMeta::default(),
+        }
+    }
+
+    /// An outgoing message event (broadcast unless `dst` is set later).
+    #[must_use]
+    pub fn message_out(ty: EventType, msg: Message) -> Self {
+        Event {
+            ty,
+            payload: Payload::Message(Arc::new(msg)),
+            meta: EventMeta::default(),
+        }
+    }
+
+    /// An incoming message event from `from`.
+    #[must_use]
+    pub fn message_in(ty: EventType, msg: Arc<Message>, from: Address) -> Self {
+        Event {
+            ty,
+            payload: Payload::Message(msg),
+            meta: EventMeta {
+                from: Some(from),
+                ..EventMeta::default()
+            },
+        }
+    }
+
+    /// Sets the unicast destination, returning `self`.
+    #[must_use]
+    pub fn to(mut self, dst: Address) -> Self {
+        self.meta.dst = Some(dst);
+        self
+    }
+
+    /// The message payload, if this is a message event.
+    #[must_use]
+    pub fn message(&self) -> Option<&Arc<Message>> {
+        match &self.payload {
+            Payload::Message(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The route-control payload, if any.
+    #[must_use]
+    pub fn route_ctl(&self) -> Option<&RouteCtl> {
+        match &self.payload {
+            Payload::RouteCtl(r) => Some(r),
+            _ => None,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use packetbb::MessageBuilder;
+
+    #[test]
+    fn event_type_identity() {
+        assert_eq!(types::tc_out(), EventType::named("TC_OUT"));
+        assert_ne!(types::tc_out(), types::tc_in());
+        assert_eq!(types::tc_out().to_string(), "TC_OUT");
+        let from_str: EventType = "X".into();
+        assert_eq!(from_str.as_str(), "X");
+    }
+
+    #[test]
+    fn constructors_fill_meta() {
+        let msg = MessageBuilder::new(1).build();
+        let out = Event::message_out(types::tc_out(), msg.clone())
+            .to(Address::v4([10, 0, 0, 2]));
+        assert_eq!(out.meta.dst, Some(Address::v4([10, 0, 0, 2])));
+        assert!(out.message().is_some());
+
+        let incoming =
+            Event::message_in(types::tc_in(), Arc::new(msg), Address::v4([10, 0, 0, 3]));
+        assert_eq!(incoming.meta.from, Some(Address::v4([10, 0, 0, 3])));
+
+        let sig = Event::signal(types::nhood_change());
+        assert_eq!(sig.payload, Payload::None);
+        assert!(sig.message().is_none());
+        assert!(sig.route_ctl().is_none());
+    }
+}

@@ -1,0 +1,83 @@
+//! MANETKit: a runtime component framework for ad-hoc routing protocols.
+//!
+//! This crate reproduces the framework proposed in *"MANETKit: Supporting
+//! the Dynamic Deployment and Reconfiguration of Ad-Hoc Routing Protocols"*
+//! (Middleware 2009): protocols are built from fine-grained components
+//! following the **Control–Forward–State** pattern, composed declaratively
+//! through `<required-events, provided-events>` tuples, and reconfigured at
+//! runtime — switching protocols, deploying several simultaneously, and
+//! deriving variants by swapping individual handlers.
+//!
+//! # Architecture
+//!
+//! * [`event`] — the polymorphic event ontology (PacketBB message payloads,
+//!   context readings, route-control signals).
+//! * [`registry`] — [`EventTuple`]: a CFS unit's declarative event
+//!   interface.
+//! * [`manager`] — the [`FrameworkManager`]: derives event wiring from the
+//!   tuples, with exclusive receive, interposition and loop avoidance; also
+//!   the context concentrator.
+//! * [`protocol`] — [`ManetProtocolCf`]: the CFS pattern with pluggable
+//!   [`EventHandler`]s, [`EventSource`]s, a [`Forwarder`] and a
+//!   transferable [`StateSlot`].
+//! * [`system`] — the [`SystemCf`]: the OS surrogate (network driver,
+//!   netlink, power status).
+//! * [`neighbour`] — the reusable Neighbour Detection CF.
+//! * [`concurrency`] — pluggable concurrency models.
+//! * [`node`] — [`Deployment`] and [`ManetNode`]: one framework instance on
+//!   a simulated node, with quiescent-point reconfiguration through
+//!   [`NodeHandle`]s.
+//!
+//! # Example: a deployment with neighbour detection
+//!
+//! ```
+//! use manetkit::prelude::*;
+//! use netsim::{NodeId, SimDuration, Topology, World};
+//!
+//! let mut world = World::builder().topology(Topology::line(2)).seed(7).build();
+//! for i in 0..2 {
+//!     let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);
+//!     let dep = node.deployment_mut();
+//!     dep.system_mut().register_message(manetkit::neighbour::hello_registration());
+//!     let cf = manetkit::neighbour::neighbour_detection_cf(Default::default());
+//!     dep.add_protocol_offline(cf).unwrap();
+//!     world.install_agent(NodeId(i), Box::new(node));
+//! }
+//! world.run_for(SimDuration::from_secs(5));
+//! assert!(world.stats().control_frames > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod concurrency;
+pub mod event;
+pub mod manager;
+pub mod neighbour;
+pub mod node;
+pub mod protocol;
+pub mod reconfig;
+pub mod registry;
+pub mod system;
+
+pub use concurrency::{ConcurrencyModel, DispatchQueue, LabReport, ThroughputLab};
+pub use event::{Event, EventMeta, EventType, Payload};
+pub use manager::FrameworkManager;
+pub use node::{DeployError, Deployment, ManetNode, NodeHandle, NodeStatus, ReconfigOp};
+pub use protocol::{
+    EventHandler, EventSource, Forwarder, ManetProtocolCf, ProtoCtx, StateSlot,
+};
+pub use reconfig::{FleetCoordinator, FleetStatus};
+pub use registry::EventTuple;
+pub use system::SystemCf;
+
+/// Convenient glob-import surface.
+pub mod prelude {
+    pub use crate::concurrency::ConcurrencyModel;
+    pub use crate::event::{types as event_types, Event, EventType, Payload};
+    pub use crate::node::{Deployment, ManetNode, NodeHandle, ReconfigOp};
+    pub use crate::protocol::{
+        EventHandler, EventSource, Forwarder, ManetProtocolCf, ProtoCtx, StateSlot,
+    };
+    pub use crate::registry::EventTuple;
+}

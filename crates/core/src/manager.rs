@@ -1,0 +1,350 @@
+//! The Framework Manager: declarative event wiring between CFS units.
+//!
+//! Units (protocol CFs and the System CF) register their
+//! [`EventTuple`]s; the manager derives the routing graph: for each event
+//! type, which units receive it, honouring exclusive receive, interposition
+//! chains and loop avoidance (§4.2). Changing a tuple at runtime re-derives
+//! the wiring — the paper's "declarative automatic dynamic reconfiguration".
+//!
+//! The manager also hosts the *context concentrator*: a façade collecting
+//! the most recent context readings for higher-level decision-making
+//! software (§4.5).
+
+use std::collections::HashMap;
+
+use crate::event::{ContextValue, EventType};
+use crate::registry::EventTuple;
+
+/// Index of a registered unit (stable across rewires, not across
+/// unregister).
+pub type UnitId = usize;
+
+#[derive(Debug, Clone)]
+struct UnitDecl {
+    name: String,
+    tuple: EventTuple,
+    active: bool,
+}
+
+#[derive(Debug, Clone, Default)]
+struct Wiring {
+    /// Units that provide-and-require the type, in registration order.
+    interposers: Vec<UnitId>,
+    /// The exclusive consumer, if any (first registered wins).
+    exclusive: Option<UnitId>,
+    /// Plain consumers in registration order (excluding interposers).
+    consumers: Vec<UnitId>,
+}
+
+/// Derives and maintains the event routing graph from unit tuples.
+#[derive(Debug, Default)]
+pub struct FrameworkManager {
+    units: Vec<UnitDecl>,
+    wiring: HashMap<EventType, Wiring>,
+    rewires: u64,
+    context: HashMap<String, ContextValue>,
+}
+
+impl FrameworkManager {
+    /// An empty manager.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a unit with its event tuple; returns its id.
+    ///
+    /// Registration order is stack order: earlier units are "lower" and win
+    /// exclusive-consumer ties.
+    pub fn register(&mut self, name: impl Into<String>, tuple: EventTuple) -> UnitId {
+        let id = self.units.len();
+        self.units.push(UnitDecl {
+            name: name.into(),
+            tuple,
+            active: true,
+        });
+        self.rewire();
+        id
+    }
+
+    /// Replaces a unit's tuple and rewires (declarative reconfiguration).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was never registered.
+    pub fn update_tuple(&mut self, id: UnitId, tuple: EventTuple) {
+        self.units[id].tuple = tuple;
+        self.rewire();
+    }
+
+    /// Deactivates a unit (its wiring disappears; the id remains valid).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was never registered.
+    pub fn deactivate(&mut self, id: UnitId) {
+        self.units[id].active = false;
+        self.rewire();
+    }
+
+    /// Reactivates a previously deactivated unit.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `id` was never registered.
+    pub fn reactivate(&mut self, id: UnitId) {
+        self.units[id].active = true;
+        self.rewire();
+    }
+
+    /// The unit's registered name.
+    #[must_use]
+    pub fn unit_name(&self, id: UnitId) -> Option<&str> {
+        self.units.get(id).map(|u| u.name.as_str())
+    }
+
+    /// Finds a unit id by name.
+    #[must_use]
+    pub fn unit_named(&self, name: &str) -> Option<UnitId> {
+        self.units
+            .iter()
+            .position(|u| u.active && u.name == name)
+    }
+
+    /// The unit's current tuple.
+    #[must_use]
+    pub fn tuple(&self, id: UnitId) -> Option<&EventTuple> {
+        self.units.get(id).map(|u| &u.tuple)
+    }
+
+    /// How many times the wiring has been re-derived (observability).
+    #[must_use]
+    pub fn rewire_count(&self) -> u64 {
+        self.rewires
+    }
+
+    /// Recomputes the routing graph from the current tuples.
+    pub fn rewire(&mut self) {
+        self.rewires += 1;
+        let mut wiring: HashMap<EventType, Wiring> = HashMap::new();
+        for (id, unit) in self.units.iter().enumerate() {
+            if !unit.active {
+                continue;
+            }
+            for ty in &unit.tuple.required {
+                let w = wiring.entry(ty.clone()).or_default();
+                if unit.tuple.is_interposer(ty) {
+                    w.interposers.push(id);
+                } else if unit.tuple.is_exclusive(ty) {
+                    if w.exclusive.is_none() {
+                        w.exclusive = Some(id);
+                    }
+                } else {
+                    w.consumers.push(id);
+                }
+            }
+        }
+        self.wiring = wiring;
+    }
+
+    /// Computes the recipients of an event of type `ty` emitted by `origin`
+    /// (`None` when the System CF or external code emitted it).
+    ///
+    /// Routing semantics:
+    ///
+    /// 1. Interposers for `ty` form a chain in registration order. An event
+    ///    enters the chain at the start — or, when the origin is itself an
+    ///    interposer, just after the origin's position — and is delivered to
+    ///    the *next* interposer only.
+    /// 2. Past the chain, an exclusive consumer (if any) receives the event
+    ///    alone.
+    /// 3. Otherwise all plain consumers receive it ("broadcast"
+    ///    propagation), excluding the origin (loop avoidance).
+    #[must_use]
+    pub fn route(&self, ty: &EventType, origin: Option<UnitId>) -> Vec<UnitId> {
+        let Some(w) = self.wiring.get(ty) else {
+            return Vec::new();
+        };
+        // Position in the interposer chain to resume after.
+        let chain_start = match origin {
+            Some(o) => match w.interposers.iter().position(|i| *i == o) {
+                Some(pos) => pos + 1,
+                None => 0,
+            },
+            None => 0,
+        };
+        if let Some(next) = w.interposers.get(chain_start) {
+            if Some(*next) != origin {
+                return vec![*next];
+            }
+        }
+        if let Some(x) = w.exclusive {
+            if Some(x) != origin {
+                return vec![x];
+            }
+        }
+        w.consumers
+            .iter()
+            .copied()
+            .filter(|c| Some(*c) != origin)
+            .collect()
+    }
+
+    // ---- context concentrator ---------------------------------------------
+
+    /// Records a context reading (called by the deployment as context events
+    /// flow).
+    pub fn record_context(&mut self, source: impl Into<String>, value: ContextValue) {
+        self.context.insert(source.into(), value);
+    }
+
+    /// The most recent context reading from `source`, if any.
+    #[must_use]
+    pub fn latest_context(&self, source: &str) -> Option<&ContextValue> {
+        self.context.get(source)
+    }
+
+    /// All current context readings (the façade for decision software).
+    #[must_use]
+    pub fn context_snapshot(&self) -> &HashMap<String, ContextValue> {
+        &self.context
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::types;
+
+    fn manager_with(units: Vec<(&str, EventTuple)>) -> FrameworkManager {
+        let mut m = FrameworkManager::new();
+        for (name, tuple) in units {
+            m.register(name, tuple);
+        }
+        m
+    }
+
+    #[test]
+    fn provider_to_consumer() {
+        let m = manager_with(vec![
+            ("system", EventTuple::new().provides(types::tc_in())),
+            ("olsr", EventTuple::new().requires(types::tc_in())),
+        ]);
+        assert_eq!(m.route(&types::tc_in(), Some(0)), vec![1]);
+        assert!(m.route(&types::tc_out(), Some(0)).is_empty());
+    }
+
+    #[test]
+    fn broadcast_to_multiple_consumers() {
+        let m = manager_with(vec![
+            ("system", EventTuple::new().provides(types::hello_in())),
+            ("mpr", EventTuple::new().requires(types::hello_in())),
+            ("sniffer", EventTuple::new().requires(types::hello_in())),
+        ]);
+        assert_eq!(m.route(&types::hello_in(), Some(0)), vec![1, 2]);
+    }
+
+    #[test]
+    fn loop_avoidance_excludes_origin() {
+        // Unit both provides and requires NHOOD_CHANGE but is not counted an
+        // interposer for its own emissions.
+        let m = manager_with(vec![
+            ("a", EventTuple::new().provides(types::nhood_change())),
+            ("b", EventTuple::new().requires(types::nhood_change())),
+        ]);
+        assert_eq!(m.route(&types::nhood_change(), Some(0)), vec![1]);
+        // b emitting (hypothetically) must not deliver to itself.
+        assert!(m.route(&types::nhood_change(), Some(1)).is_empty());
+    }
+
+    #[test]
+    fn exclusive_consumer_wins() {
+        let m = manager_with(vec![
+            ("olsr", EventTuple::new().provides(types::tc_out())),
+            ("mpr", EventTuple::new().requires_exclusive(types::tc_out())),
+            ("driver", EventTuple::new().requires(types::tc_out())),
+        ]);
+        assert_eq!(m.route(&types::tc_out(), Some(0)), vec![1]);
+    }
+
+    #[test]
+    fn interposer_chain() {
+        let mut m = manager_with(vec![
+            ("olsr", EventTuple::new().provides(types::tc_out())),
+            ("mpr", EventTuple::new().requires_exclusive(types::tc_out())),
+        ]);
+        // Without the interposer, TC_OUT flows olsr -> mpr.
+        assert_eq!(m.route(&types::tc_out(), Some(0)), vec![1]);
+        // Insert fisheye: requires and provides TC_OUT.
+        let fisheye = m.register(
+            "fisheye",
+            EventTuple::new()
+                .requires(types::tc_out())
+                .provides(types::tc_out()),
+        );
+        // Now olsr -> fisheye -> mpr.
+        assert_eq!(m.route(&types::tc_out(), Some(0)), vec![fisheye]);
+        assert_eq!(m.route(&types::tc_out(), Some(fisheye)), vec![1]);
+    }
+
+    #[test]
+    fn two_interposers_chain_in_order() {
+        let m = manager_with(vec![
+            ("p", EventTuple::new().provides(types::tc_out())),
+            (
+                "i1",
+                EventTuple::new()
+                    .requires(types::tc_out())
+                    .provides(types::tc_out()),
+            ),
+            (
+                "i2",
+                EventTuple::new()
+                    .requires(types::tc_out())
+                    .provides(types::tc_out()),
+            ),
+            ("sink", EventTuple::new().requires(types::tc_out())),
+        ]);
+        assert_eq!(m.route(&types::tc_out(), Some(0)), vec![1]);
+        assert_eq!(m.route(&types::tc_out(), Some(1)), vec![2]);
+        assert_eq!(m.route(&types::tc_out(), Some(2)), vec![3]);
+    }
+
+    #[test]
+    fn tuple_update_rewires() {
+        let mut m = manager_with(vec![
+            ("p", EventTuple::new().provides(types::re_out())),
+            ("sink", EventTuple::new().requires(types::re_out())),
+        ]);
+        let before = m.rewire_count();
+        m.update_tuple(1, EventTuple::new());
+        assert!(m.rewire_count() > before);
+        assert!(m.route(&types::re_out(), Some(0)).is_empty());
+    }
+
+    #[test]
+    fn deactivate_removes_from_wiring() {
+        let mut m = manager_with(vec![
+            ("p", EventTuple::new().provides(types::re_out())),
+            ("sink", EventTuple::new().requires(types::re_out())),
+        ]);
+        m.deactivate(1);
+        assert!(m.route(&types::re_out(), Some(0)).is_empty());
+        assert_eq!(m.unit_named("sink"), None);
+        m.reactivate(1);
+        assert_eq!(m.route(&types::re_out(), Some(0)), vec![1]);
+    }
+
+    #[test]
+    fn context_concentrator() {
+        let mut m = FrameworkManager::new();
+        assert!(m.latest_context("battery").is_none());
+        m.record_context("battery", ContextValue::Battery(0.8));
+        m.record_context("battery", ContextValue::Battery(0.7));
+        assert_eq!(
+            m.latest_context("battery"),
+            Some(&ContextValue::Battery(0.7))
+        );
+        assert_eq!(m.context_snapshot().len(), 1);
+    }
+}

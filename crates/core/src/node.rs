@@ -1,0 +1,869 @@
+//! Per-node MANETKit deployments: the MANETKit CF itself.
+//!
+//! A [`Deployment`] composes the [`SystemCf`], any number of
+//! [`ManetProtocolCf`]s and the [`FrameworkManager`] into one node-resident
+//! framework instance, and drives event dispatch under the configured
+//! [`ConcurrencyModel`]. [`ManetNode`] adapts a deployment to
+//! [`netsim::RoutingAgent`] so it can live on a simulated node, and exposes
+//! a [`NodeHandle`] through which external software enacts runtime
+//! reconfiguration at quiescent points (§4.5).
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::Arc;
+
+use netsim::{ContextSample, FilterEvent, NodeOs};
+use opencom::{
+    AnyInterface, Component, ComponentFramework, ComponentId, IntegrityRule, InterfaceId,
+    PendingChange,
+};
+use packetbb::Address;
+use parking_lot::Mutex;
+
+use crate::concurrency::{ConcurrencyModel, DispatchQueue};
+use crate::event::{ContextValue, Event, EventType, Payload};
+use crate::manager::{FrameworkManager, UnitId};
+use crate::protocol::{CtxOutputs, ManetProtocolCf, ProtoCtx, ProtocolError, ProtocolStats};
+use crate::registry::EventTuple;
+use crate::system::{MessageRegistration, SystemCf};
+
+/// Interface id a reactive protocol's reflective adapter exposes; the
+/// default integrity rules key on it.
+pub const REACTIVE_IFACE: &str = "IReactiveRouting";
+
+/// Errors from deployment operations.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum DeployError {
+    /// The reflective meta-CF (integrity rules) vetoed the change.
+    Integrity(opencom::ComponentError),
+    /// A fine-grained protocol operation failed.
+    Protocol(ProtocolError),
+    /// No protocol with the given name is deployed.
+    NoSuchProtocol(String),
+    /// A protocol with the given name is already deployed.
+    DuplicateProtocol(String),
+}
+
+impl fmt::Display for DeployError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DeployError::Integrity(e) => write!(f, "integrity veto: {e}"),
+            DeployError::Protocol(e) => write!(f, "protocol operation failed: {e}"),
+            DeployError::NoSuchProtocol(n) => write!(f, "no protocol named {n:?}"),
+            DeployError::DuplicateProtocol(n) => {
+                write!(f, "protocol {n:?} already deployed")
+            }
+        }
+    }
+}
+
+impl std::error::Error for DeployError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DeployError::Integrity(e) => Some(e),
+            DeployError::Protocol(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<opencom::ComponentError> for DeployError {
+    fn from(e: opencom::ComponentError) -> Self {
+        DeployError::Integrity(e)
+    }
+}
+
+impl From<ProtocolError> for DeployError {
+    fn from(e: ProtocolError) -> Self {
+        DeployError::Protocol(e)
+    }
+}
+
+/// A runtime reconfiguration request, enacted at the next quiescent point.
+pub enum ReconfigOp {
+    /// Deploy an additional protocol (started immediately).
+    AddProtocol(ManetProtocolCf),
+    /// Undeploy a protocol (stopped, timers cancelled).
+    RemoveProtocol {
+        /// Name of the protocol to remove.
+        name: String,
+    },
+    /// Replace one protocol with another, optionally carrying the S element
+    /// over.
+    SwitchProtocol {
+        /// Protocol to retire.
+        old: String,
+        /// Replacement protocol.
+        new: ManetProtocolCf,
+        /// Whether to transplant the old protocol's state slot.
+        transfer_state: bool,
+    },
+    /// Replace a protocol's event tuple (declarative rewiring).
+    UpdateTuple {
+        /// Target protocol.
+        protocol: String,
+        /// New tuple.
+        tuple: EventTuple,
+    },
+    /// Run an arbitrary fine-grained mutation against a protocol CF
+    /// (replace handlers/forwarder/state); the wiring is re-derived
+    /// afterwards.
+    Mutate {
+        /// Target protocol.
+        protocol: String,
+        /// The mutation, run at the quiescent point.
+        op: Box<dyn FnOnce(&mut ManetProtocolCf) + Send>,
+    },
+    /// Add or replace a System CF message registration.
+    RegisterMessage(MessageRegistration),
+    /// Run an arbitrary mutation against the System CF (load plug-ins such
+    /// as NetLink or PowerStatus); the System tuple is re-derived
+    /// afterwards.
+    MutateSystem {
+        /// The mutation, run at the quiescent point.
+        op: Box<dyn FnOnce(&mut SystemCf) + Send>,
+    },
+}
+
+impl fmt::Debug for ReconfigOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ReconfigOp::AddProtocol(cf) => write!(f, "AddProtocol({})", cf.name()),
+            ReconfigOp::RemoveProtocol { name } => write!(f, "RemoveProtocol({name})"),
+            ReconfigOp::SwitchProtocol { old, new, .. } => {
+                write!(f, "SwitchProtocol({old} -> {})", new.name())
+            }
+            ReconfigOp::UpdateTuple { protocol, .. } => write!(f, "UpdateTuple({protocol})"),
+            ReconfigOp::Mutate { protocol, .. } => write!(f, "Mutate({protocol})"),
+            ReconfigOp::RegisterMessage(r) => write!(f, "RegisterMessage({})", r.msg_type),
+            ReconfigOp::MutateSystem { .. } => write!(f, "MutateSystem"),
+        }
+    }
+}
+
+/// Aggregate counters of a deployment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct DeploymentStats {
+    /// Events routed through the Framework Manager.
+    pub events_routed: u64,
+    /// Dispatch rounds (external stimuli processed).
+    pub dispatch_rounds: u64,
+    /// Reconfiguration operations applied.
+    pub reconfigs_applied: u64,
+    /// Per-protocol counters.
+    pub protocols: Vec<(String, ProtocolStats)>,
+}
+
+/// A status snapshot shared with [`NodeHandle`]s.
+#[derive(Debug, Clone, Default)]
+pub struct NodeStatus {
+    /// Deployed protocol names, in stack order.
+    pub protocols: Vec<String>,
+    /// Reconfiguration operations applied so far.
+    pub reconfigs_applied: u64,
+    /// Most recent reconfiguration failure, if any.
+    pub last_error: Option<String>,
+    /// Deployment counters.
+    pub stats: DeploymentStats,
+}
+
+struct Slot {
+    cf: ManetProtocolCf,
+    unit: UnitId,
+    component: ComponentId,
+}
+
+/// A per-node MANETKit framework instance.
+pub struct Deployment {
+    system: SystemCf,
+    system_unit: UnitId,
+    manager: FrameworkManager,
+    slots: Vec<Slot>,
+    meta: ComponentFramework,
+    concurrency: ConcurrencyModel,
+    timers: TimerTable,
+    stats: DeploymentStats,
+    started: bool,
+}
+
+#[derive(Debug, Default)]
+struct TimerTable {
+    next_token: u64,
+    by_token: HashMap<u64, (String, EventType)>,
+    by_key: HashMap<(String, EventType), u64>,
+}
+
+impl TimerTable {
+    fn arm(&mut self, protocol: &str, ty: EventType) -> (u64, Option<u64>) {
+        self.next_token += 1;
+        let token = self.next_token;
+        let old = self
+            .by_key
+            .insert((protocol.to_string(), ty.clone()), token);
+        if let Some(old_token) = old {
+            self.by_token.remove(&old_token);
+        }
+        self.by_token.insert(token, (protocol.to_string(), ty));
+        (token, old)
+    }
+
+    fn cancel(&mut self, protocol: &str, ty: &EventType) -> Option<u64> {
+        let token = self.by_key.remove(&(protocol.to_string(), ty.clone()))?;
+        self.by_token.remove(&token);
+        Some(token)
+    }
+
+    fn fire(&mut self, token: u64) -> Option<(String, EventType)> {
+        let entry = self.by_token.remove(&token)?;
+        self.by_key.remove(&(entry.0.clone(), entry.1.clone()));
+        Some(entry)
+    }
+
+    fn drop_protocol(&mut self, protocol: &str) -> Vec<u64> {
+        let tokens: Vec<u64> = self
+            .by_key
+            .iter()
+            .filter(|((p, _), _)| p == protocol)
+            .map(|(_, t)| *t)
+            .collect();
+        for t in &tokens {
+            if let Some((p, ty)) = self.by_token.remove(t) {
+                self.by_key.remove(&(p, ty));
+            }
+        }
+        tokens
+    }
+}
+
+impl Deployment {
+    /// An empty deployment under the given concurrency model, with the
+    /// default integrity rules ("at most one reactive protocol", unique
+    /// protocol names) installed.
+    #[must_use]
+    pub fn new(concurrency: ConcurrencyModel) -> Self {
+        let mut manager = FrameworkManager::new();
+        let system_unit = manager.register("system", EventTuple::new());
+        let meta = ComponentFramework::new("manetkit");
+        meta.add_rule(IntegrityRule::new(
+            "unique-protocol-names",
+            |arch, change| match change {
+                PendingChange::Load { name } if arch.count_named(name) >= 1 => Err(format!(
+                    "a protocol named {name:?} is already deployed"
+                )),
+                _ => Ok(()),
+            },
+        ));
+        Deployment {
+            system: SystemCf::new(),
+            system_unit,
+            manager,
+            slots: Vec::new(),
+            meta,
+            concurrency,
+            timers: TimerTable::default(),
+            stats: DeploymentStats::default(),
+            started: false,
+        }
+    }
+
+    /// The System CF (register messages, enable plug-ins) — changes take
+    /// effect at the next [`refresh_system_tuple`](Self::refresh_system_tuple).
+    #[must_use]
+    pub fn system_mut(&mut self) -> &mut SystemCf {
+        &mut self.system
+    }
+
+    /// Read access to the System CF.
+    #[must_use]
+    pub fn system(&self) -> &SystemCf {
+        &self.system
+    }
+
+    /// Re-derives the System CF's tuple after plug-in changes.
+    pub fn refresh_system_tuple(&mut self) {
+        self.manager
+            .update_tuple(self.system_unit, self.system.tuple());
+    }
+
+    /// The framework manager (wiring inspection, context concentrator).
+    #[must_use]
+    pub fn manager(&self) -> &FrameworkManager {
+        &self.manager
+    }
+
+    /// The reflective meta-CF (architecture meta-model over deployed
+    /// protocols).
+    #[must_use]
+    pub fn meta(&self) -> &ComponentFramework {
+        &self.meta
+    }
+
+    /// The configured concurrency model.
+    #[must_use]
+    pub fn concurrency(&self) -> ConcurrencyModel {
+        self.concurrency
+    }
+
+    /// Selects a different concurrency model (takes effect on the next
+    /// dispatch round).
+    pub fn set_concurrency(&mut self, model: ConcurrencyModel) {
+        self.concurrency = model;
+    }
+
+    /// Names of deployed protocols in stack order.
+    #[must_use]
+    pub fn protocol_names(&self) -> Vec<String> {
+        self.slots.iter().map(|s| s.cf.name().to_string()).collect()
+    }
+
+    /// Read access to a deployed protocol CF.
+    #[must_use]
+    pub fn protocol(&self, name: &str) -> Option<&ManetProtocolCf> {
+        self.slots.iter().find(|s| s.cf.name() == name).map(|s| &s.cf)
+    }
+
+    /// Aggregate statistics.
+    #[must_use]
+    pub fn stats(&self) -> DeploymentStats {
+        let mut s = self.stats.clone();
+        s.protocols = self
+            .slots
+            .iter()
+            .map(|slot| (slot.cf.name().to_string(), slot.cf.stats()))
+            .collect();
+        s
+    }
+
+    /// Deploys a protocol. When the deployment is already started the
+    /// protocol starts immediately (its source timers arm).
+    ///
+    /// # Errors
+    ///
+    /// Fails on duplicate names, a second reactive protocol, or integrity
+    /// rule veto.
+    pub fn add_protocol(
+        &mut self,
+        cf: ManetProtocolCf,
+        os: &mut NodeOs,
+    ) -> Result<(), DeployError> {
+        self.add_protocol_offline(cf)?;
+        if self.started {
+            let idx = self.slots.len() - 1;
+            self.start_protocol(idx, os);
+            self.drain(os);
+        }
+        Ok(())
+    }
+
+    /// Deploys a protocol before the node has access to an OS (pre-install
+    /// assembly). The protocol starts when the deployment starts.
+    ///
+    /// # Errors
+    ///
+    /// Same failure modes as [`add_protocol`](Self::add_protocol).
+    pub fn add_protocol_offline(&mut self, cf: ManetProtocolCf) -> Result<(), DeployError> {
+        if self.slots.iter().any(|s| s.cf.name() == cf.name()) {
+            return Err(DeployError::DuplicateProtocol(cf.name().to_string()));
+        }
+        if cf.is_reactive()
+            && self.slots.iter().any(|s| s.cf.is_reactive())
+        {
+            return Err(DeployError::Integrity(
+                opencom::ComponentError::IntegrityViolation {
+                    rule: "one-reactive-protocol".into(),
+                    reason: "a reactive routing protocol is already deployed".into(),
+                },
+            ));
+        }
+        let adapter = ProtocolAdapter::from_cf(&cf);
+        let component = self.meta.insert(Arc::new(adapter))?;
+        let unit = self.manager.register(cf.name().to_string(), cf.tuple().clone());
+        self.slots.push(Slot { cf, unit, component });
+        Ok(())
+    }
+
+    /// Undeploys a protocol, cancelling its timers.
+    ///
+    /// # Errors
+    ///
+    /// Fails when the protocol is unknown or the meta-CF vetoes removal.
+    pub fn remove_protocol(&mut self, name: &str, os: &mut NodeOs) -> Result<ManetProtocolCf, DeployError> {
+        let idx = self
+            .slots
+            .iter()
+            .position(|s| s.cf.name() == name)
+            .ok_or_else(|| DeployError::NoSuchProtocol(name.to_string()))?;
+        self.meta.remove(self.slots[idx].component)?;
+        // Give the protocol its shutdown hook (kernel-route cleanup etc.).
+        {
+            let proto_name = self.slots[idx].cf.name().to_string();
+            let mut ctx = ProtoCtx::new(os, &proto_name);
+            self.slots[idx].cf.stop(&mut ctx);
+            let out = ctx.take_outputs();
+            drop(ctx);
+            // Emitted events are dropped (the protocol is leaving); direct
+            // sends still flush so goodbye messages could go out.
+            for (dst, msg) in out.sends {
+                self.system.send_direct(msg, dst);
+            }
+            self.system.flush(os);
+        }
+        for token in self.timers.drop_protocol(name) {
+            os.cancel_timer(token);
+        }
+        let slot = self.slots.remove(idx);
+        self.manager.deactivate(slot.unit);
+        Ok(slot.cf)
+    }
+
+    /// Applies one reconfiguration operation (at a quiescent point — no
+    /// event is in flight when this is called).
+    ///
+    /// # Errors
+    ///
+    /// Propagates failures of the underlying operation; the deployment is
+    /// left unchanged on error.
+    pub fn apply(&mut self, op: ReconfigOp, os: &mut NodeOs) -> Result<(), DeployError> {
+        match op {
+            ReconfigOp::AddProtocol(cf) => self.add_protocol(cf, os)?,
+            ReconfigOp::RemoveProtocol { name } => {
+                self.remove_protocol(&name, os)?;
+            }
+            ReconfigOp::SwitchProtocol {
+                old,
+                new,
+                transfer_state,
+            } => {
+                let mut old_cf = self.remove_protocol(&old, os)?;
+                let mut new = new;
+                if transfer_state {
+                    new.replace_state(old_cf.take_state());
+                }
+                self.add_protocol(new, os)?;
+            }
+            ReconfigOp::UpdateTuple { protocol, tuple } => {
+                let slot = self
+                    .slots
+                    .iter_mut()
+                    .find(|s| s.cf.name() == protocol)
+                    .ok_or(DeployError::NoSuchProtocol(protocol))?;
+                slot.cf.set_tuple(tuple.clone());
+                self.manager.update_tuple(slot.unit, tuple);
+            }
+            ReconfigOp::Mutate { protocol, op } => {
+                let slot = self
+                    .slots
+                    .iter_mut()
+                    .find(|s| s.cf.name() == protocol)
+                    .ok_or_else(|| DeployError::NoSuchProtocol(protocol.clone()))?;
+                op(&mut slot.cf);
+                // The mutation may have changed the tuple; re-derive wiring.
+                let tuple = slot.cf.tuple().clone();
+                self.manager.update_tuple(slot.unit, tuple);
+                // Re-arm timers so sources added by the mutation run.
+                if self.started {
+                    let idx = self
+                        .slots
+                        .iter()
+                        .position(|s| s.cf.name() == protocol)
+                        .expect("slot still present");
+                    self.start_protocol(idx, os);
+                }
+            }
+            ReconfigOp::RegisterMessage(reg) => {
+                self.system.register_message(reg);
+                self.refresh_system_tuple();
+            }
+            ReconfigOp::MutateSystem { op } => {
+                op(&mut self.system);
+                self.refresh_system_tuple();
+            }
+        }
+        self.stats.reconfigs_applied += 1;
+        Ok(())
+    }
+
+    // ---- lifecycle & stimuli ----------------------------------------------
+
+    /// Starts the deployment: derives the System tuple and starts every
+    /// protocol.
+    pub fn start(&mut self, os: &mut NodeOs) {
+        self.refresh_system_tuple();
+        self.started = true;
+        for idx in 0..self.slots.len() {
+            self.start_protocol(idx, os);
+        }
+        self.drain(os);
+    }
+
+    /// Stops every protocol (cancels timers).
+    pub fn stop(&mut self, os: &mut NodeOs) {
+        for idx in 0..self.slots.len() {
+            let name = self.slots[idx].cf.name().to_string();
+            let mut ctx = ProtoCtx::new(os, &name);
+            self.slots[idx].cf.stop(&mut ctx);
+            let out = ctx.take_outputs();
+            drop(ctx);
+            self.apply_outputs(idx, out, os);
+        }
+        self.started = false;
+    }
+
+    fn start_protocol(&mut self, idx: usize, os: &mut NodeOs) {
+        let name = self.slots[idx].cf.name().to_string();
+        let mut ctx = ProtoCtx::new(os, &name);
+        self.slots[idx].cf.start(&mut ctx);
+        let out = ctx.take_outputs();
+        drop(ctx);
+        self.apply_outputs(idx, out, os);
+    }
+
+    /// A control frame arrived.
+    pub fn on_frame(&mut self, os: &mut NodeOs, from: Address, bytes: &[u8]) {
+        let events = self.system.rx(from, bytes);
+        self.dispatch(os, events, Some(self.system_unit));
+    }
+
+    /// A timer token fired.
+    pub fn on_timer(&mut self, os: &mut NodeOs, token: u64) {
+        let Some((protocol, ty)) = self.timers.fire(token) else {
+            return; // stale timer of a removed protocol
+        };
+        let Some(idx) = self.slots.iter().position(|s| s.cf.name() == protocol) else {
+            return;
+        };
+        let mut ctx = ProtoCtx::new(os, &protocol);
+        self.slots[idx].cf.on_timer(&ty, &mut ctx);
+        let out = ctx.take_outputs();
+        drop(ctx);
+        self.apply_outputs(idx, out, os);
+        self.drain(os);
+    }
+
+    /// A netfilter / link-layer event arrived.
+    pub fn on_filter_event(&mut self, os: &mut NodeOs, event: &FilterEvent) {
+        let events = self.system.filter_event(event);
+        self.dispatch(os, events, Some(self.system_unit));
+    }
+
+    /// A context sample arrived.
+    pub fn on_context(&mut self, os: &mut NodeOs, sample: &ContextSample) {
+        let events = self.system.context_event(sample);
+        self.dispatch(os, events, Some(self.system_unit));
+    }
+
+    // ---- dispatch core -----------------------------------------------------
+
+    /// Routes `events` (emitted by `origin`) and processes the resulting
+    /// queue to quiescence, then flushes aggregated transmissions.
+    pub fn dispatch(&mut self, os: &mut NodeOs, events: Vec<Event>, origin: Option<UnitId>) {
+        self.stats.dispatch_rounds += 1;
+        let mut queue = DispatchQueue::for_model(self.concurrency);
+        for ev in events {
+            self.route_event(&mut queue, ev, origin);
+        }
+        while let Some((unit, event)) = queue.pop() {
+            self.deliver_one(&mut queue, unit, event, os);
+        }
+        self.system.flush(os);
+    }
+
+    fn drain(&mut self, os: &mut NodeOs) {
+        self.dispatch(os, Vec::new(), None);
+    }
+
+    fn route_event(&mut self, queue: &mut DispatchQueue, mut event: Event, origin: Option<UnitId>) {
+        // Feed the context concentrator.
+        if let Payload::Context(value) = &event.payload {
+            let key = match value {
+                ContextValue::Battery(_) => "battery",
+                ContextValue::LinkQuality(..) => "link_quality",
+                ContextValue::PacketLoss(_) => "packet_loss",
+                ContextValue::Custom(name, _) => name,
+            };
+            self.manager.record_context(key, value.clone());
+        }
+        if event.meta.origin.is_none() {
+            event.meta.origin = origin
+                .and_then(|o| self.manager.unit_name(o))
+                .map(str::to_string);
+        }
+        for target in self.manager.route(&event.ty, origin) {
+            self.stats.events_routed += 1;
+            queue.push(target, event.clone());
+        }
+    }
+
+    fn deliver_one(
+        &mut self,
+        queue: &mut DispatchQueue,
+        unit: UnitId,
+        event: Event,
+        os: &mut NodeOs,
+    ) {
+        if unit == self.system_unit {
+            self.system.consume(&event, os);
+            return;
+        }
+        let Some(idx) = self.slots.iter().position(|s| s.unit == unit) else {
+            return; // unit removed while event in flight
+        };
+        let name = self.slots[idx].cf.name().to_string();
+        let mut ctx = ProtoCtx::new(os, &name);
+        self.slots[idx].cf.deliver(&event, &mut ctx);
+        let out = ctx.take_outputs();
+        drop(ctx);
+        let origin_unit = self.slots[idx].unit;
+        for ev in out.emitted {
+            self.route_event(queue, ev, Some(origin_unit));
+        }
+        self.apply_side_effects(idx, out.sends, out.timer_sets, out.timer_cancels, os);
+    }
+
+    /// Applies non-event outputs and routes emitted events through a fresh
+    /// dispatch (used outside an active queue, e.g. timer handling).
+    fn apply_outputs(&mut self, idx: usize, out: CtxOutputs, os: &mut NodeOs) {
+        let origin_unit = self.slots[idx].unit;
+        let mut queue = DispatchQueue::for_model(self.concurrency);
+        for ev in out.emitted {
+            self.route_event(&mut queue, ev, Some(origin_unit));
+        }
+        while let Some((unit, event)) = queue.pop() {
+            self.deliver_one(&mut queue, unit, event, os);
+        }
+        self.apply_side_effects(idx, out.sends, out.timer_sets, out.timer_cancels, os);
+        self.system.flush(os);
+    }
+
+    fn apply_side_effects(
+        &mut self,
+        idx: usize,
+        sends: Vec<(Option<Address>, packetbb::Message)>,
+        timer_sets: Vec<(netsim::SimDuration, EventType)>,
+        timer_cancels: Vec<EventType>,
+        os: &mut NodeOs,
+    ) {
+        for (dst, msg) in sends {
+            self.system.send_direct(msg, dst);
+        }
+        let name = self.slots[idx].cf.name().to_string();
+        for ty in timer_cancels {
+            if let Some(token) = self.timers.cancel(&name, &ty) {
+                os.cancel_timer(token);
+            }
+        }
+        for (delay, ty) in timer_sets {
+            let (token, old) = self.timers.arm(&name, ty);
+            if let Some(old_token) = old {
+                os.cancel_timer(old_token);
+            }
+            os.set_timer(delay, token);
+        }
+    }
+}
+
+impl fmt::Debug for Deployment {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Deployment")
+            .field("protocols", &self.protocol_names())
+            .field("concurrency", &self.concurrency)
+            .finish()
+    }
+}
+
+/// Reflective adapter exposing a protocol CF in the meta-CF's architecture
+/// meta-model.
+struct ProtocolAdapter {
+    name: String,
+    provided: Vec<InterfaceId>,
+    required: Vec<opencom::ReceptacleId>,
+}
+
+impl ProtocolAdapter {
+    fn from_cf(cf: &ManetProtocolCf) -> Self {
+        let mut provided: Vec<InterfaceId> = cf
+            .tuple()
+            .provided
+            .iter()
+            .map(|t| InterfaceId::from_string(format!("event:{t}")))
+            .collect();
+        if cf.is_reactive() {
+            provided.push(InterfaceId::of(REACTIVE_IFACE));
+        }
+        let required = cf
+            .tuple()
+            .required
+            .iter()
+            .map(|t| opencom::ReceptacleId::from_string(format!("event:{t}")))
+            .collect();
+        ProtocolAdapter {
+            name: cf.name().to_string(),
+            provided,
+            required,
+        }
+    }
+}
+
+impl Component for ProtocolAdapter {
+    fn name(&self) -> &str {
+        &self.name
+    }
+    fn provided(&self) -> Vec<InterfaceId> {
+        self.provided.clone()
+    }
+    fn required(&self) -> Vec<opencom::ReceptacleId> {
+        self.required.clone()
+    }
+    fn query_interface(&self, id: &InterfaceId) -> Option<AnyInterface> {
+        self.provided
+            .contains(id)
+            .then(|| AnyInterface::new(id.clone(), Arc::new(())))
+    }
+}
+
+// ---- ManetNode: the netsim adapter -----------------------------------------
+
+/// External control handle over a running [`ManetNode`].
+///
+/// Reconfiguration requests enqueue here and are enacted at the node's next
+/// quiescent point (the start of its next callback) — the paper's safe
+/// reconfiguration discipline.
+#[derive(Clone)]
+pub struct NodeHandle {
+    ops: Arc<Mutex<Vec<ReconfigOp>>>,
+    status: Arc<Mutex<NodeStatus>>,
+}
+
+impl NodeHandle {
+    /// Enqueues a reconfiguration operation.
+    pub fn apply(&self, op: ReconfigOp) {
+        self.ops.lock().push(op);
+    }
+
+    /// The most recent status snapshot.
+    #[must_use]
+    pub fn status(&self) -> NodeStatus {
+        self.status.lock().clone()
+    }
+
+    /// Number of operations still waiting for a quiescent point.
+    #[must_use]
+    pub fn pending_ops(&self) -> usize {
+        self.ops.lock().len()
+    }
+}
+
+impl fmt::Debug for NodeHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("NodeHandle")
+            .field("pending_ops", &self.pending_ops())
+            .finish()
+    }
+}
+
+/// A MANETKit deployment living on a netsim node.
+pub struct ManetNode {
+    deployment: Deployment,
+    ops: Arc<Mutex<Vec<ReconfigOp>>>,
+    status: Arc<Mutex<NodeStatus>>,
+}
+
+impl ManetNode {
+    /// A node with an empty deployment.
+    #[must_use]
+    pub fn new(concurrency: ConcurrencyModel) -> Self {
+        ManetNode {
+            deployment: Deployment::new(concurrency),
+            ops: Arc::new(Mutex::new(Vec::new())),
+            status: Arc::new(Mutex::new(NodeStatus::default())),
+        }
+    }
+
+    /// The deployment (pre-installation configuration).
+    #[must_use]
+    pub fn deployment_mut(&mut self) -> &mut Deployment {
+        &mut self.deployment
+    }
+
+    /// Read access to the deployment.
+    #[must_use]
+    pub fn deployment(&self) -> &Deployment {
+        &self.deployment
+    }
+
+    /// A control handle that stays valid after the node is installed into a
+    /// world.
+    #[must_use]
+    pub fn handle(&self) -> NodeHandle {
+        NodeHandle {
+            ops: self.ops.clone(),
+            status: self.status.clone(),
+        }
+    }
+
+    fn quiescent_point(&mut self, os: &mut NodeOs) {
+        let ops: Vec<ReconfigOp> = std::mem::take(&mut *self.ops.lock());
+        for op in ops {
+            if let Err(e) = self.deployment.apply(op, os) {
+                self.status.lock().last_error = Some(e.to_string());
+            }
+        }
+    }
+
+    fn publish_status(&self) {
+        let mut status = self.status.lock();
+        status.protocols = self.deployment.protocol_names();
+        status.stats = self.deployment.stats();
+        status.reconfigs_applied = status.stats.reconfigs_applied;
+    }
+}
+
+impl fmt::Debug for ManetNode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ManetNode")
+            .field("deployment", &self.deployment)
+            .finish()
+    }
+}
+
+impl netsim::RoutingAgent for ManetNode {
+    fn name(&self) -> &str {
+        "manetkit"
+    }
+
+    fn start(&mut self, os: &mut NodeOs) {
+        self.quiescent_point(os);
+        self.deployment.start(os);
+        self.publish_status();
+    }
+
+    fn on_frame(&mut self, os: &mut NodeOs, from: Address, bytes: &[u8]) {
+        self.quiescent_point(os);
+        self.deployment.on_frame(os, from, bytes);
+        self.publish_status();
+    }
+
+    fn on_timer(&mut self, os: &mut NodeOs, token: u64) {
+        self.quiescent_point(os);
+        self.deployment.on_timer(os, token);
+        self.publish_status();
+    }
+
+    fn on_filter_event(&mut self, os: &mut NodeOs, event: FilterEvent) {
+        self.quiescent_point(os);
+        self.deployment.on_filter_event(os, &event);
+        self.publish_status();
+    }
+
+    fn on_context(&mut self, os: &mut NodeOs, sample: ContextSample) {
+        self.quiescent_point(os);
+        self.deployment.on_context(os, &sample);
+        self.publish_status();
+    }
+
+    fn stop(&mut self, os: &mut NodeOs) {
+        self.deployment.stop(os);
+        self.publish_status();
+    }
+}

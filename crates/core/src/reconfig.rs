@@ -1,0 +1,107 @@
+//! Coordinated distributed reconfiguration (the paper's §7 roadmap):
+//! apply the same reconfiguration across a fleet of nodes and verify
+//! convergence.
+//!
+//! Per-node reconfiguration is enacted at each node's own quiescent point
+//! (see [`NodeHandle`]); the [`FleetCoordinator`] broadcasts an operation
+//! *recipe* to every handle and reports when all nodes have applied it
+//! (or which ones failed) — the per-node half of a closed control loop
+//! whose decision making the paper delegates to higher-level software.
+
+use crate::node::{NodeHandle, ReconfigOp};
+
+/// Coordinates reconfiguration over many node handles.
+#[derive(Debug, Clone, Default)]
+pub struct FleetCoordinator {
+    handles: Vec<NodeHandle>,
+}
+
+/// Result of a fleet convergence check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FleetStatus {
+    /// Operations still awaiting a quiescent point, summed over nodes.
+    pub pending: usize,
+    /// `(node index, error)` for nodes whose last operation failed.
+    pub failures: Vec<(usize, String)>,
+}
+
+impl FleetStatus {
+    /// Whether every node applied everything without error.
+    #[must_use]
+    pub fn converged(&self) -> bool {
+        self.pending == 0 && self.failures.is_empty()
+    }
+}
+
+impl FleetCoordinator {
+    /// A coordinator over the given handles.
+    #[must_use]
+    pub fn new(handles: Vec<NodeHandle>) -> Self {
+        FleetCoordinator { handles }
+    }
+
+    /// Adds a node to the fleet.
+    pub fn add(&mut self, handle: NodeHandle) {
+        self.handles.push(handle);
+    }
+
+    /// Number of coordinated nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.handles.len()
+    }
+
+    /// Whether the fleet is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.handles.is_empty()
+    }
+
+    /// Enqueues the operations produced by `recipe` on every node.
+    /// (`ReconfigOp` is not `Clone` — protocol CFs own state — so the
+    /// recipe is invoked once per node.)
+    pub fn apply_all(&self, recipe: impl Fn() -> Vec<ReconfigOp>) {
+        for handle in &self.handles {
+            for op in recipe() {
+                handle.apply(op);
+            }
+        }
+    }
+
+    /// Enqueues node-specific operations: `recipe(i)` for node `i`.
+    pub fn apply_each(&self, recipe: impl Fn(usize) -> Vec<ReconfigOp>) {
+        for (i, handle) in self.handles.iter().enumerate() {
+            for op in recipe(i) {
+                handle.apply(op);
+            }
+        }
+    }
+
+    /// Snapshots fleet convergence.
+    #[must_use]
+    pub fn status(&self) -> FleetStatus {
+        let mut pending = 0;
+        let mut failures = Vec::new();
+        for (i, handle) in self.handles.iter().enumerate() {
+            pending += handle.pending_ops();
+            if let Some(err) = handle.status().last_error {
+                failures.push((i, err));
+            }
+        }
+        FleetStatus { pending, failures }
+    }
+
+    /// Protocol stacks per node, for post-reconfiguration verification.
+    #[must_use]
+    pub fn stacks(&self) -> Vec<Vec<String>> {
+        self.handles.iter().map(|h| h.status().protocols).collect()
+    }
+
+    /// Whether every node runs exactly the given protocol stack.
+    #[must_use]
+    pub fn all_run(&self, stack: &[&str]) -> bool {
+        self.stacks()
+            .iter()
+            .all(|s| s.iter().map(String::as_str).eq(stack.iter().copied()))
+    }
+}

@@ -1,0 +1,123 @@
+//! Event tuples: the declarative `<required-events, provided-events>`
+//! interface of a CFS unit.
+
+use crate::event::EventType;
+
+/// The declarative event interface of a protocol CF.
+///
+/// The Framework Manager derives all inter-protocol wiring from these
+/// declarations (§4.2 of the paper): if an event type appears in one unit's
+/// `provided` set and another's `required` set, events of that type flow
+/// between them.
+///
+/// Three refinements from the paper are supported:
+///
+/// * **exclusive receive** — a type in `exclusive` is delivered to this unit
+///   *only*, even if other units also require it;
+/// * **interposition** — a unit that both provides and requires a type is
+///   interposed in the path of that type (e.g. the fisheye component on
+///   `TC_OUT`);
+/// * **loop avoidance** — a unit never receives an event it emitted itself.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct EventTuple {
+    /// Event types this unit wants to receive.
+    pub required: Vec<EventType>,
+    /// Event types this unit can generate.
+    pub provided: Vec<EventType>,
+    /// Subset of `required` this unit wants exclusively.
+    pub exclusive: Vec<EventType>,
+}
+
+impl EventTuple {
+    /// An empty tuple.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds a required event type.
+    #[must_use]
+    pub fn requires(mut self, ty: EventType) -> Self {
+        if !self.required.contains(&ty) {
+            self.required.push(ty);
+        }
+        self
+    }
+
+    /// Adds a provided event type.
+    #[must_use]
+    pub fn provides(mut self, ty: EventType) -> Self {
+        if !self.provided.contains(&ty) {
+            self.provided.push(ty);
+        }
+        self
+    }
+
+    /// Adds an exclusively-required event type (implies `requires`).
+    #[must_use]
+    pub fn requires_exclusive(mut self, ty: EventType) -> Self {
+        if !self.exclusive.contains(&ty) {
+            self.exclusive.push(ty.clone());
+        }
+        self.requires(ty)
+    }
+
+    /// Whether this unit requires `ty`.
+    #[must_use]
+    pub fn is_required(&self, ty: &EventType) -> bool {
+        self.required.contains(ty)
+    }
+
+    /// Whether this unit provides `ty`.
+    #[must_use]
+    pub fn is_provided(&self, ty: &EventType) -> bool {
+        self.provided.contains(ty)
+    }
+
+    /// Whether this unit requires `ty` exclusively.
+    #[must_use]
+    pub fn is_exclusive(&self, ty: &EventType) -> bool {
+        self.exclusive.contains(ty)
+    }
+
+    /// Whether this unit is an interposer for `ty` (provides *and*
+    /// requires it).
+    #[must_use]
+    pub fn is_interposer(&self, ty: &EventType) -> bool {
+        self.is_required(ty) && self.is_provided(ty)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::event::types;
+
+    #[test]
+    fn builder_dedupes() {
+        let t = EventTuple::new()
+            .requires(types::tc_in())
+            .requires(types::tc_in())
+            .provides(types::tc_out())
+            .provides(types::tc_out());
+        assert_eq!(t.required.len(), 1);
+        assert_eq!(t.provided.len(), 1);
+    }
+
+    #[test]
+    fn exclusive_implies_required() {
+        let t = EventTuple::new().requires_exclusive(types::tc_out());
+        assert!(t.is_required(&types::tc_out()));
+        assert!(t.is_exclusive(&types::tc_out()));
+        assert!(!t.is_exclusive(&types::tc_in()));
+    }
+
+    #[test]
+    fn interposer_detection() {
+        let t = EventTuple::new()
+            .requires(types::tc_out())
+            .provides(types::tc_out());
+        assert!(t.is_interposer(&types::tc_out()));
+        assert!(!t.is_interposer(&types::tc_in()));
+    }
+}

@@ -1,0 +1,168 @@
+//! Property-based tests of the Framework Manager's routing invariants:
+//! whatever tuples protocols declare, loop avoidance, exclusivity and
+//! interposer-chain termination must hold.
+
+use manetkit::event::EventType;
+use manetkit::manager::FrameworkManager;
+use manetkit::registry::EventTuple;
+use proptest::prelude::*;
+
+const TYPES: [&str; 4] = ["A_OUT", "B_OUT", "C_IN", "D_CHANGE"];
+
+#[derive(Debug, Clone)]
+struct UnitSpec {
+    required: Vec<usize>,
+    provided: Vec<usize>,
+    exclusive: Vec<usize>,
+}
+
+fn arb_unit() -> impl Strategy<Value = UnitSpec> {
+    (
+        proptest::collection::vec(0..TYPES.len(), 0..4),
+        proptest::collection::vec(0..TYPES.len(), 0..4),
+        proptest::collection::vec(0..TYPES.len(), 0..2),
+    )
+        .prop_map(|(required, provided, exclusive)| UnitSpec {
+            required,
+            provided,
+            exclusive,
+        })
+}
+
+fn build_manager(units: &[UnitSpec]) -> FrameworkManager {
+    let mut m = FrameworkManager::new();
+    for (i, u) in units.iter().enumerate() {
+        let mut t = EventTuple::new();
+        for r in &u.required {
+            t = t.requires(EventType::named(TYPES[*r]));
+        }
+        for p in &u.provided {
+            t = t.provides(EventType::named(TYPES[*p]));
+        }
+        for x in &u.exclusive {
+            t = t.requires_exclusive(EventType::named(TYPES[*x]));
+        }
+        m.register(format!("u{i}"), t);
+    }
+    m
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// An emitter never receives its own event (loop avoidance).
+    #[test]
+    fn never_routes_back_to_origin(units in proptest::collection::vec(arb_unit(), 1..8)) {
+        let m = build_manager(&units);
+        for ty in TYPES {
+            let ty = EventType::named(ty);
+            for origin in 0..units.len() {
+                let recipients = m.route(&ty, Some(origin));
+                prop_assert!(!recipients.contains(&origin), "{ty} routed back to {origin}");
+            }
+        }
+    }
+
+    /// Recipients always actually require the type.
+    #[test]
+    fn recipients_require_the_type(units in proptest::collection::vec(arb_unit(), 1..8)) {
+        let m = build_manager(&units);
+        for ty in TYPES {
+            let ty = EventType::named(ty);
+            for origin in 0..units.len() {
+                for r in m.route(&ty, Some(origin)) {
+                    prop_assert!(
+                        m.tuple(r).unwrap().is_required(&ty),
+                        "unit {r} got {ty} without requiring it"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Following the routing repeatedly always terminates: an event can
+    /// visit each unit at most once along an interposer chain.
+    #[test]
+    fn interposer_chains_terminate(units in proptest::collection::vec(arb_unit(), 1..8)) {
+        let m = build_manager(&units);
+        for ty in TYPES {
+            let ty = EventType::named(ty);
+            for start in 0..units.len() {
+                let mut origin = Some(start);
+                let mut hops = 0;
+                loop {
+                    let next = m.route(&ty, origin);
+                    // Chain step: single interposer recipient that provides
+                    // the type again.
+                    match next.as_slice() {
+                        [one] if m.tuple(*one).unwrap().is_interposer(&ty) => {
+                            origin = Some(*one);
+                            hops += 1;
+                            prop_assert!(
+                                hops <= units.len(),
+                                "interposer chain for {ty} did not terminate"
+                            );
+                        }
+                        _ => break,
+                    }
+                }
+            }
+        }
+    }
+
+    /// With no interposers for a type, an exclusive consumer receives alone.
+    #[test]
+    fn exclusivity_is_exclusive(units in proptest::collection::vec(arb_unit(), 1..8)) {
+        let m = build_manager(&units);
+        for ty in TYPES {
+            let ty = EventType::named(ty);
+            let has_interposer =
+                (0..units.len()).any(|i| m.tuple(i).unwrap().is_interposer(&ty));
+            if has_interposer {
+                continue;
+            }
+            let exclusives: Vec<usize> = (0..units.len())
+                .filter(|i| m.tuple(*i).unwrap().is_exclusive(&ty))
+                .collect();
+            if exclusives.is_empty() {
+                continue;
+            }
+            for origin in 0..units.len() {
+                if exclusives.contains(&origin) {
+                    // The exclusive consumer emitting the type itself passes
+                    // it onward to the plain consumers (loop avoidance only
+                    // excludes the origin).
+                    continue;
+                }
+                let recipients = m.route(&ty, Some(origin));
+                if recipients.is_empty() {
+                    continue;
+                }
+                prop_assert_eq!(
+                    recipients.len(),
+                    1,
+                    "exclusive consumer for {} must receive alone",
+                    ty
+                );
+                prop_assert!(exclusives.contains(&recipients[0]));
+            }
+        }
+    }
+
+    /// Deactivate/reactivate round-trips the wiring exactly.
+    #[test]
+    fn deactivation_round_trips(units in proptest::collection::vec(arb_unit(), 2..8)) {
+        let mut m = build_manager(&units);
+        let snapshot: Vec<Vec<usize>> = TYPES
+            .iter()
+            .map(|t| m.route(&EventType::named(t), Some(0)))
+            .collect();
+        m.deactivate(1);
+        m.reactivate(1);
+        let after: Vec<Vec<usize>> = TYPES
+            .iter()
+            .map(|t| m.route(&EventType::named(t), Some(0)))
+            .collect();
+        prop_assert_eq!(snapshot, after);
+    }
+}

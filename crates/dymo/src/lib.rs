@@ -1,0 +1,200 @@
+//! DYMO for MANETKit: the paper's second case study (§5.2).
+//!
+//! The composition matches Fig. 6: one reactive `ManetProtocol` instance
+//! atop the System CF, using the reusable Neighbour Detection CF for link
+//! breaks and the System CF's *NetLink* plug-in for the packet-filter
+//! events that drive the reactive machinery:
+//!
+//! * `NO_ROUTE` — a locally originated packet had no route: buffer it and
+//!   start a route discovery (RREQ flood with path accumulation);
+//! * `ROUTE_UPDATE` — traffic used a route: extend its lifetime;
+//! * `SEND_ROUTE_ERR` — forwarding failed: emit a route error;
+//! * on successful discovery DYMO emits `ROUTE_FOUND` back to the System
+//!   CF, which re-injects the buffered packets.
+//!
+//! Variants (§5.2) are derived by runtime reconfiguration:
+//! [`variants::multipath`] (replacement S component and RE/RERR handlers
+//! computing link-disjoint paths) and [`variants::flooding`] (the
+//! Neighbour Detection CF swapped for the richer MPR CF, with RREQ
+//! relaying gated on relay selection).
+//!
+//! # Example
+//!
+//! ```
+//! use manetkit::prelude::*;
+//! use netsim::{NodeId, SimDuration, Topology, World};
+//!
+//! let mut world = World::builder().topology(Topology::line(3)).seed(2).build();
+//! for i in 0..3 {
+//!     let (node, _handle) = manetkit_dymo::node(Default::default());
+//!     world.install_agent(NodeId(i), Box::new(node));
+//! }
+//! world.run_for(SimDuration::from_secs(3));
+//! // Send to the far end: DYMO discovers the route on demand and the
+//! // buffered datagram is delivered.
+//! let far = world.node_addr(2);
+//! world.send_datagram(NodeId(0), far, b"hello".to_vec());
+//! world.run_for(SimDuration::from_secs(2));
+//! assert_eq!(world.stats().data_delivered, 1);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod handlers;
+pub mod messages;
+pub mod state;
+
+/// Runtime-derivable protocol variants.
+pub mod variants {
+    pub mod flooding;
+    pub mod gossip;
+    pub mod multipath;
+}
+
+use manetkit::event::{types, EventType};
+use manetkit::neighbour::{hello_registration, neighbour_detection_cf, NeighbourConfig};
+use manetkit::node::{Deployment, ManetNode, NodeHandle};
+use manetkit::prelude::ConcurrencyModel;
+use manetkit::protocol::{ManetProtocolCf, StateSlot};
+use manetkit::registry::EventTuple;
+use manetkit::system::SystemCf;
+use packetbb::registry::msg_type;
+
+pub use handlers::{
+    learn_from_path, DymoStateAccess, ReHandler, RerrHandler, RouteDiscoveryHandler,
+    RouteLifetimeHandler, SweepHandler, DYMO_SWEEP_TIMER,
+};
+pub use messages::{PathHop, ReKind, RouteElement, RouteError};
+pub use state::{DymoParams, DymoRoute, DymoState};
+
+/// The name under which the DYMO CF registers.
+pub const DYMO_CF: &str = "dymo";
+
+/// Joint configuration for a DYMO deployment.
+#[derive(Debug, Clone, Copy, Default, PartialEq)]
+pub struct DymoDeployment {
+    /// Protocol parameters.
+    pub params: DymoParams,
+    /// Neighbour detection configuration.
+    pub neighbour: NeighbourConfig,
+}
+
+/// The DYMO CF's event tuple.
+#[must_use]
+pub fn dymo_tuple() -> EventTuple {
+    EventTuple::new()
+        .requires(types::re_in())
+        .requires(types::rerr_in())
+        .requires(types::no_route())
+        .requires(types::route_update())
+        .requires(types::send_route_err())
+        .requires(types::tx_failed())
+        .requires(types::nhood_change())
+        .provides(types::re_out())
+        .provides(types::rerr_out())
+        .provides(types::route_found())
+}
+
+/// Builds the DYMO CF (standard: blind RREQ flooding, single-path routes).
+#[must_use]
+pub fn dymo_cf(params: DymoParams) -> ManetProtocolCf {
+    let state = DymoState {
+        params,
+        ..DymoState::default()
+    };
+    ManetProtocolCf::builder(DYMO_CF)
+        .reactive()
+        .tuple(dymo_tuple())
+        .state(StateSlot::new(state))
+        .startup_timer(params.sweep, EventType::named(DYMO_SWEEP_TIMER))
+        .handler(Box::new(RouteDiscoveryHandler::<DymoState>::default()))
+        .handler(Box::new(ReHandler::<DymoState>::default()))
+        .handler(Box::new(RerrHandler::<DymoState>::default()))
+        .handler(Box::new(RouteLifetimeHandler::<DymoState>::default()))
+        .handler(Box::new(SweepHandler::<DymoState>::default()))
+        .build()
+}
+
+/// Registers the message types DYMO needs with a System CF and enables the
+/// NetLink plug-in.
+pub fn register_messages(system: &mut SystemCf) {
+    system.register_in_out(msg_type::RREQ, types::re_in(), types::re_out());
+    system.register_in_out(msg_type::RREP, types::re_in(), types::re_out());
+    system.register_in_out(msg_type::RERR, types::rerr_in(), types::rerr_out());
+    system.enable_netlink();
+}
+
+/// Installs DYMO plus the Neighbour Detection CF into a deployment
+/// (offline).
+///
+/// # Errors
+///
+/// Propagates integrity violations (e.g. another reactive protocol is
+/// already deployed).
+pub fn deploy(dep: &mut Deployment, config: DymoDeployment) -> Result<(), manetkit::DeployError> {
+    register_messages(dep.system_mut());
+    dep.system_mut().register_message(hello_registration());
+    dep.add_protocol_offline(neighbour_detection_cf(config.neighbour))?;
+    dep.add_protocol_offline(dymo_cf(config.params))?;
+    Ok(())
+}
+
+/// Installs only the DYMO CF (the caller provides neighbourhood sensing —
+/// used by the optimised-flooding variant and co-deployments with OLSR).
+///
+/// # Errors
+///
+/// Propagates integrity violations.
+pub fn deploy_core(
+    dep: &mut Deployment,
+    params: DymoParams,
+) -> Result<(), manetkit::DeployError> {
+    register_messages(dep.system_mut());
+    dep.add_protocol_offline(dymo_cf(params))
+}
+
+/// Builds a ready-to-install node running DYMO, plus its control handle.
+#[must_use]
+pub fn node(config: DymoDeployment) -> (ManetNode, NodeHandle) {
+    let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);
+    deploy(node.deployment_mut(), config).expect("fresh deployment accepts DYMO");
+    let handle = node.handle();
+    (node, handle)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cf_composition() {
+        let cf = dymo_cf(DymoParams::default());
+        assert_eq!(cf.name(), DYMO_CF);
+        assert!(cf.is_reactive());
+        let t = cf.tuple();
+        assert!(t.is_required(&types::no_route()));
+        assert!(t.is_provided(&types::route_found()));
+        let names = cf.plugin_names();
+        for expected in [
+            "route-discovery-handler",
+            "re-handler",
+            "rerr-handler",
+            "route-lifetime-handler",
+            "sweep-handler",
+        ] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+
+    #[test]
+    fn two_reactive_protocols_rejected() {
+        let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
+        dep.add_protocol_offline(dymo_cf(DymoParams::default())).unwrap();
+        let mut second = dymo_cf(DymoParams::default());
+        second.set_tuple(EventTuple::new());
+        // Renaming is not enough: reactivity is the integrity dimension.
+        let err = dep.add_protocol_offline(second).unwrap_err();
+        assert!(err.to_string().contains("already"), "{err}");
+    }
+}

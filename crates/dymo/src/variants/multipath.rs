@@ -1,0 +1,494 @@
+//! Multipath DYMO (§5.2, after Gálvez & Ruiz): compute several
+//! link-disjoint paths in a single route discovery, trading a little
+//! discovery latency for far fewer re-floods under link churn.
+//!
+//! Enacted exactly as the paper describes, by replacing three components of
+//! the running DYMO CF:
+//!
+//! 1. the **S** component — [`MultipathState`] embeds the standard
+//!    [`DymoState`] and adds a path list per destination (the state
+//!    transfer keeps all learned routes);
+//! 2. the **RE handler** — duplicate RREQs are no longer discarded but
+//!    mined for link-disjoint alternative paths (atomic handler execution
+//!    makes this safe, as the paper notes);
+//! 3. the **RERR handler** — on breakage it fails over to an alternative
+//!    path when one exists and only sends a route error otherwise.
+
+use std::collections::BTreeMap;
+
+use manetkit::event::{types, Event, EventType, Payload, RouteCtl};
+use manetkit::node::ReconfigOp;
+use manetkit::protocol::{EventHandler, ProtoCtx, StateSlot};
+use netsim::SimTime;
+use packetbb::Address;
+
+use crate::handlers::{DymoStateAccess, ReHandler, RerrHandler, RouteDiscoveryHandler, RouteLifetimeHandler, SweepHandler};
+use crate::messages::{PathHop, ReKind, RouteElement, RouteError};
+use crate::state::DymoState;
+use crate::DYMO_CF;
+
+/// One alternative path to a destination.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AltPath {
+    /// First hop of the alternative (distinct next hops ⇒ link-disjoint
+    /// first links).
+    pub next_hop: Address,
+    /// Hop count along this path.
+    pub hop_count: u8,
+    /// Sequence number the path was learned under.
+    pub seq: u16,
+}
+
+/// The multipath S component: the standard state plus per-destination
+/// alternative paths.
+#[derive(Debug, Default)]
+pub struct MultipathState {
+    /// The embedded standard DYMO state (primary routes live here).
+    pub base: DymoState,
+    /// Alternative paths per destination, distinct from the primary's next
+    /// hop.
+    pub alternatives: BTreeMap<Address, Vec<AltPath>>,
+}
+
+impl DymoStateAccess for MultipathState {
+    fn dymo_mut(&mut self) -> &mut DymoState {
+        &mut self.base
+    }
+    fn dymo(&self) -> &DymoState {
+        &self.base
+    }
+}
+
+impl MultipathState {
+    /// Converts carried-over standard state (the paper's S-component
+    /// replacement keeps the route table).
+    #[must_use]
+    pub fn from_standard(base: DymoState) -> Self {
+        MultipathState {
+            base,
+            alternatives: BTreeMap::new(),
+        }
+    }
+
+    /// Offers an alternative path; kept when its first hop differs from the
+    /// primary route's and from already-known alternatives.
+    pub fn offer_alternative(&mut self, dst: Address, alt: AltPath) -> bool {
+        let primary_hop = self.base.routes.get(&dst).map(|r| r.next_hop);
+        if primary_hop == Some(alt.next_hop) {
+            return false;
+        }
+        let alts = self.alternatives.entry(dst).or_default();
+        if alts.iter().any(|a| a.next_hop == alt.next_hop) {
+            return false;
+        }
+        alts.push(alt);
+        alts.sort_by_key(|a| a.hop_count);
+        true
+    }
+
+    /// Takes the best alternative path to `dst`, if any.
+    pub fn take_alternative(&mut self, dst: Address) -> Option<AltPath> {
+        let alts = self.alternatives.get_mut(&dst)?;
+        if alts.is_empty() {
+            return None;
+        }
+        Some(alts.remove(0))
+    }
+
+    /// Drops alternatives whose first hop is `via` (link break cleanup).
+    pub fn purge_via(&mut self, via: Address) {
+        for alts in self.alternatives.values_mut() {
+            alts.retain(|a| a.next_hop != via);
+        }
+    }
+}
+
+/// Multipath RE handler: processes duplicate RREQs for link-disjoint
+/// paths instead of discarding them.
+pub struct MultipathReHandler;
+
+impl EventHandler for MultipathReHandler {
+    fn name(&self) -> &str {
+        "re-handler"
+    }
+    fn subscriptions(&self) -> Vec<EventType> {
+        vec![types::re_in()]
+    }
+    fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
+        let Some(msg) = event.message() else { return };
+        let Some(from) = event.meta.from else { return };
+        let Some(re) = RouteElement::from_message(msg) else {
+            return;
+        };
+        let local = ctx.local_addr();
+        let orig = re.originator();
+        if orig.addr == local {
+            return;
+        }
+        let now = ctx.now();
+        let s = state.get_mut::<MultipathState>();
+
+        if re.kind == ReKind::Rreq && s.base.duplicates.contains_key(&(orig.addr, orig.seq)) {
+            // Duplicate RREQ: mine it for link-disjoint paths rather than
+            // discarding (the defining multipath behaviour).
+            let hops = re.path.len() as u8;
+            let disjoint = s.offer_alternative(
+                orig.addr,
+                AltPath {
+                    next_hop: from,
+                    hop_count: hops,
+                    seq: orig.seq,
+                },
+            );
+            if disjoint {
+                ctx.os().bump("multipath_alt_learned");
+                if re.target == local {
+                    // As the sought destination, answer each disjoint copy
+                    // with an extra RREP so the originator learns the
+                    // alternative path too (Gálvez & Ruiz's link-disjoint
+                    // reply strategy). Reuse the sequence number of the
+                    // primary reply so the paths rank as equals.
+                    let rrep = RouteElement::rrep(
+                        PathHop {
+                            addr: local,
+                            seq: s.base.own_seq,
+                        },
+                        orig.addr,
+                        s.base.params.hop_limit,
+                    );
+                    ctx.os().bump("multipath_extra_rrep");
+                    ctx.emit(Event::message_out(types::re_out(), rrep.to_message()).to(from));
+                }
+            }
+            return;
+        }
+
+        // Fresh element: delegate to the standard logic (learning, reply,
+        // relay) via an inner standard handler over the embedded state.
+        StandardDelegate.handle(event, state, ctx);
+
+        // Mine the path tail for alternatives to every on-path node as
+        // well: any hop reachable via `from` with a different first hop
+        // than the primary is an alternative.
+        let s = state.get_mut::<MultipathState>();
+        for (i, hop) in re.path.iter().enumerate() {
+            if hop.addr == local {
+                continue;
+            }
+            let hop_count = (re.path.len() - i) as u8;
+            if s.base.routes.get(&hop.addr).map(|r| r.next_hop) != Some(from) {
+                let _ = s.offer_alternative(
+                    hop.addr,
+                    AltPath {
+                        next_hop: from,
+                        hop_count,
+                        seq: hop.seq,
+                    },
+                );
+            }
+        }
+        let _ = now;
+    }
+}
+
+/// Zero-size adapter running the standard RE logic over [`MultipathState`].
+struct StandardDelegate;
+
+impl StandardDelegate {
+    fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
+        let mut inner: ReHandler<MultipathState> = ReHandler::default();
+        EventHandler::handle(&mut inner, event, state, ctx);
+    }
+}
+
+/// Multipath RERR handler: fails over to an alternative path before
+/// resorting to a route error.
+pub struct MultipathRerrHandler;
+
+impl MultipathRerrHandler {
+    /// Attempts failover for every route broken via `via`; returns the
+    /// destinations that could *not* be repaired (with their seqs).
+    fn failover_via(
+        s: &mut MultipathState,
+        via: Address,
+        now: SimTime,
+        ctx: &mut ProtoCtx<'_>,
+    ) -> Vec<(Address, u16)> {
+        let broken = s.base.break_routes_via(via);
+        s.purge_via(via);
+        let mut unrepaired = Vec::new();
+        for (dst, seq) in broken {
+            if let Some(alt) = s.take_alternative(dst) {
+                s.base.offer_route(dst, alt.next_hop, alt.seq.max(seq), alt.hop_count, now);
+                ctx.os()
+                    .route_table_mut()
+                    .add_host_route(dst, alt.next_hop, u32::from(alt.hop_count));
+                ctx.os().bump("multipath_failover");
+            } else {
+                ctx.os().route_table_mut().remove_host_route(dst);
+                unrepaired.push((dst, seq));
+            }
+        }
+        unrepaired
+    }
+
+    fn emit_rerr(
+        s: &mut MultipathState,
+        unreachable: Vec<(Address, u16)>,
+        ctx: &mut ProtoCtx<'_>,
+    ) {
+        if unreachable.is_empty() {
+            return;
+        }
+        let seq = s.base.next_seq();
+        let rerr = RouteError {
+            reporter: ctx.local_addr(),
+            unreachable,
+            hop_limit: 2,
+        };
+        ctx.os().bump("rerr_sent");
+        ctx.emit(Event::message_out(types::rerr_out(), rerr.to_message(seq)));
+    }
+}
+
+impl EventHandler for MultipathRerrHandler {
+    fn name(&self) -> &str {
+        "rerr-handler"
+    }
+    fn subscriptions(&self) -> Vec<EventType> {
+        vec![
+            types::rerr_in(),
+            types::send_route_err(),
+            types::tx_failed(),
+            types::nhood_change(),
+        ]
+    }
+    fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
+        let now = ctx.now();
+        let s = state.get_mut::<MultipathState>();
+        if event.ty == types::rerr_in() {
+            let Some(msg) = event.message() else { return };
+            let Some(from) = event.meta.from else { return };
+            let Some(rerr) = RouteError::from_message(msg) else {
+                return;
+            };
+            let mut unrepaired = Vec::new();
+            for (dst, seq) in &rerr.unreachable {
+                let via_sender = s
+                    .base
+                    .routes
+                    .get(dst)
+                    .is_some_and(|r| r.next_hop == from && !r.broken);
+                if !via_sender {
+                    continue;
+                }
+                if let Some(r) = s.base.routes.get_mut(dst) {
+                    r.broken = true;
+                }
+                if let Some(alt) = s.take_alternative(*dst) {
+                    s.base
+                        .offer_route(*dst, alt.next_hop, alt.seq.max(*seq), alt.hop_count, now);
+                    ctx.os()
+                        .route_table_mut()
+                        .add_host_route(*dst, alt.next_hop, u32::from(alt.hop_count));
+                    ctx.os().bump("multipath_failover");
+                } else {
+                    ctx.os().route_table_mut().remove_host_route(*dst);
+                    unrepaired.push((*dst, *seq));
+                }
+            }
+            if !unrepaired.is_empty() && rerr.hop_limit > 1 {
+                Self::emit_rerr(s, unrepaired, ctx);
+            }
+            return;
+        }
+        match event.route_ctl() {
+            Some(RouteCtl::ForwardFailure { dst, .. }) => {
+                let seq = s.base.routes.get(dst).map_or(0, |r| r.seq);
+                let via = s.base.routes.get(dst).map(|r| r.next_hop);
+                if let Some(r) = s.base.routes.get_mut(dst) {
+                    r.broken = true;
+                }
+                if let Some(alt) = s.take_alternative(*dst) {
+                    s.base.offer_route(*dst, alt.next_hop, alt.seq.max(seq), alt.hop_count, now);
+                    ctx.os()
+                        .route_table_mut()
+                        .add_host_route(*dst, alt.next_hop, u32::from(alt.hop_count));
+                    ctx.os().bump("multipath_failover");
+                } else {
+                    ctx.os().route_table_mut().remove_host_route(*dst);
+                    Self::emit_rerr(s, vec![(*dst, seq)], ctx);
+                }
+                let _ = via;
+            }
+            Some(RouteCtl::TxFailed { neighbour }) => {
+                let unrepaired = Self::failover_via(s, *neighbour, now, ctx);
+                Self::emit_rerr(s, unrepaired, ctx);
+            }
+            _ => {
+                if let Payload::Neighbourhood(nh) = &event.payload {
+                    for lost in nh.lost.clone() {
+                        let unrepaired = Self::failover_via(s, lost, now, ctx);
+                        Self::emit_rerr(s, unrepaired, ctx);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Reconfiguration operations enacting multipath DYMO on a running
+/// deployment: S-component replacement (with state transfer) plus RE/RERR
+/// handler swaps. Exactly the three replacements of §5.2.
+#[must_use]
+pub fn enable_ops() -> Vec<ReconfigOp> {
+    vec![ReconfigOp::Mutate {
+        protocol: DYMO_CF.to_string(),
+        op: Box::new(|cf| {
+            cf.map_state(|slot| {
+                let base = slot
+                    .into_inner::<DymoState>()
+                    .unwrap_or_else(|_| panic!("standard DYMO state expected"));
+                manetkit::protocol::StateSlot::new(MultipathState::from_standard(base))
+            });
+            cf.replace_handler("re-handler", Box::new(MultipathReHandler))
+                .expect("re-handler present");
+            cf.replace_handler("rerr-handler", Box::new(MultipathRerrHandler))
+                .expect("rerr-handler present");
+            // The generic helpers must now read through MultipathState.
+            cf.replace_handler(
+                "route-discovery-handler",
+                Box::new(RouteDiscoveryHandler::<MultipathState>::default()),
+            )
+            .expect("route-discovery-handler present");
+            cf.replace_handler(
+                "route-lifetime-handler",
+                Box::new(RouteLifetimeHandler::<MultipathState>::default()),
+            )
+            .expect("route-lifetime-handler present");
+            cf.replace_handler(
+                "sweep-handler",
+                Box::new(SweepHandler::<MultipathState>::default()),
+            )
+            .expect("sweep-handler present");
+        }),
+    }]
+}
+
+/// Reverts to standard single-path DYMO (alternatives are dropped, the
+/// primary route table is carried back).
+#[must_use]
+pub fn disable_ops() -> Vec<ReconfigOp> {
+    vec![ReconfigOp::Mutate {
+        protocol: DYMO_CF.to_string(),
+        op: Box::new(|cf| {
+            cf.map_state(|slot| {
+                let multi = slot
+                    .into_inner::<MultipathState>()
+                    .unwrap_or_else(|_| panic!("multipath DYMO state expected"));
+                manetkit::protocol::StateSlot::new(multi.base)
+            });
+            cf.replace_handler("re-handler", Box::new(ReHandler::<DymoState>::default()))
+                .expect("re-handler present");
+            cf.replace_handler("rerr-handler", Box::new(RerrHandler::<DymoState>::default()))
+                .expect("rerr-handler present");
+            cf.replace_handler(
+                "route-discovery-handler",
+                Box::new(RouteDiscoveryHandler::<DymoState>::default()),
+            )
+            .expect("route-discovery-handler present");
+            cf.replace_handler(
+                "route-lifetime-handler",
+                Box::new(RouteLifetimeHandler::<DymoState>::default()),
+            )
+            .expect("route-lifetime-handler present");
+            cf.replace_handler(
+                "sweep-handler",
+                Box::new(SweepHandler::<DymoState>::default()),
+            )
+            .expect("sweep-handler present");
+        }),
+    }]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use netsim::SimTime;
+
+    fn addr(n: u8) -> Address {
+        Address::v4([10, 0, 0, n])
+    }
+
+    #[test]
+    fn alternatives_must_be_link_disjoint() {
+        let mut s = MultipathState::default();
+        s.base.offer_route(addr(9), addr(2), 1, 3, SimTime::ZERO);
+        // Same next hop as primary: rejected.
+        assert!(!s.offer_alternative(
+            addr(9),
+            AltPath {
+                next_hop: addr(2),
+                hop_count: 4,
+                seq: 1
+            }
+        ));
+        // Different next hop: accepted once.
+        let alt = AltPath {
+            next_hop: addr(3),
+            hop_count: 4,
+            seq: 1,
+        };
+        assert!(s.offer_alternative(addr(9), alt));
+        assert!(!s.offer_alternative(addr(9), alt), "no duplicates");
+    }
+
+    #[test]
+    fn take_alternative_prefers_shorter() {
+        let mut s = MultipathState::default();
+        s.base.offer_route(addr(9), addr(2), 1, 3, SimTime::ZERO);
+        s.offer_alternative(
+            addr(9),
+            AltPath {
+                next_hop: addr(4),
+                hop_count: 6,
+                seq: 1,
+            },
+        );
+        s.offer_alternative(
+            addr(9),
+            AltPath {
+                next_hop: addr(3),
+                hop_count: 4,
+                seq: 1,
+            },
+        );
+        assert_eq!(s.take_alternative(addr(9)).unwrap().next_hop, addr(3));
+        assert_eq!(s.take_alternative(addr(9)).unwrap().next_hop, addr(4));
+        assert!(s.take_alternative(addr(9)).is_none());
+    }
+
+    #[test]
+    fn purge_drops_paths_via_broken_neighbour() {
+        let mut s = MultipathState::default();
+        s.offer_alternative(
+            addr(9),
+            AltPath {
+                next_hop: addr(3),
+                hop_count: 4,
+                seq: 1,
+            },
+        );
+        s.purge_via(addr(3));
+        assert!(s.take_alternative(addr(9)).is_none());
+    }
+
+    #[test]
+    fn state_transfer_round_trip() {
+        let mut base = DymoState::default();
+        base.offer_route(addr(9), addr(2), 7, 3, SimTime::ZERO);
+        let multi = MultipathState::from_standard(base);
+        assert!(multi.base.routes.contains_key(&addr(9)));
+        assert_eq!(multi.dymo().routes[&addr(9)].seq, 7);
+    }
+}

@@ -1,0 +1,228 @@
+//! Mobility: node movement translated into link-change schedules.
+//!
+//! The MobiEmu tool the paper used replays connectivity changes derived
+//! from node movement. This module provides the same capability: a
+//! random-waypoint walk over the unit square, sampled at fixed steps, with
+//! links derived from a radio radius — producing a deterministic
+//! [`LinkState`] schedule that can be applied to a [`World`].
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::NodeId;
+use crate::time::{SimDuration, SimTime};
+use crate::topology::{LinkState, Topology};
+use crate::world::World;
+
+/// Parameters of a random-waypoint walk.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RandomWaypoint {
+    /// Number of nodes.
+    pub nodes: usize,
+    /// Radio range in unit-square units (link up when within range).
+    pub radius: f64,
+    /// Node speed in unit-square units per second.
+    pub speed: f64,
+    /// Sampling step between connectivity re-evaluations.
+    pub step: SimDuration,
+    /// Total schedule duration.
+    pub duration: SimDuration,
+    /// RNG seed (same seed, same movement).
+    pub seed: u64,
+}
+
+impl Default for RandomWaypoint {
+    fn default() -> Self {
+        RandomWaypoint {
+            nodes: 10,
+            radius: 0.4,
+            speed: 0.02,
+            step: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(120),
+            seed: 0,
+        }
+    }
+}
+
+/// One scheduled link change.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LinkChange {
+    /// When the change happens.
+    pub at: SimTime,
+    /// One endpoint.
+    pub a: NodeId,
+    /// The other endpoint.
+    pub b: NodeId,
+    /// The new state.
+    pub state: LinkState,
+}
+
+/// The product of a mobility run: the initial topology and the change
+/// schedule derived from movement.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MobilityTrace {
+    /// Connectivity at time zero.
+    pub initial: Topology,
+    /// Ordered link changes.
+    pub changes: Vec<LinkChange>,
+}
+
+impl MobilityTrace {
+    /// Applies the schedule to a world (the initial topology must have been
+    /// passed to the builder).
+    pub fn schedule_into(&self, world: &mut World) {
+        for c in &self.changes {
+            world.schedule_link_change(c.at, c.a, c.b, c.state);
+        }
+    }
+
+    /// Number of link transitions in the trace.
+    #[must_use]
+    pub fn churn(&self) -> usize {
+        self.changes.len()
+    }
+}
+
+/// Generates a random-waypoint trace.
+///
+/// # Panics
+///
+/// Panics when `nodes == 0`, the step is zero, or parameters are
+/// non-finite.
+#[must_use]
+pub fn random_waypoint(params: RandomWaypoint) -> MobilityTrace {
+    assert!(params.nodes > 0, "need at least one node");
+    assert!(params.step.as_micros() > 0, "step must be positive");
+    assert!(
+        params.radius.is_finite() && params.speed.is_finite(),
+        "parameters must be finite"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n = params.nodes;
+    let mut pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut waypoint: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+
+    let in_range = |pos: &[(f64, f64)], a: usize, b: usize| {
+        let dx = pos[a].0 - pos[b].0;
+        let dy = pos[a].1 - pos[b].1;
+        (dx * dx + dy * dy).sqrt() <= params.radius
+    };
+
+    // Initial topology.
+    let mut initial = Topology::empty(n);
+    for a in 0..n {
+        for b in (a + 1)..n {
+            if in_range(&pos, a, b) {
+                initial.set_link(NodeId(a), NodeId(b), LinkState::Up);
+            }
+        }
+    }
+
+    let mut current = initial.clone();
+    let mut changes = Vec::new();
+    let step_secs = params.step.as_secs_f64();
+    let move_per_step = params.speed * step_secs;
+    let mut t = SimTime::ZERO;
+    while t.since(SimTime::ZERO) < params.duration {
+        t += params.step;
+        // Move every node toward its waypoint; pick a new one on arrival.
+        for i in 0..n {
+            let (wx, wy) = waypoint[i];
+            let (x, y) = pos[i];
+            let (dx, dy) = (wx - x, wy - y);
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist <= move_per_step {
+                pos[i] = (wx, wy);
+                waypoint[i] = (rng.gen(), rng.gen());
+            } else {
+                pos[i] = (x + dx / dist * move_per_step, y + dy / dist * move_per_step);
+            }
+        }
+        // Emit transitions.
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let now_up = in_range(&pos, a, b);
+                let was_up = current.link_up(NodeId(a), NodeId(b));
+                if now_up != was_up {
+                    let state = if now_up { LinkState::Up } else { LinkState::Down };
+                    current.set_link(NodeId(a), NodeId(b), state);
+                    changes.push(LinkChange {
+                        at: t,
+                        a: NodeId(a),
+                        b: NodeId(b),
+                        state,
+                    });
+                }
+            }
+        }
+    }
+    MobilityTrace { initial, changes }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn trace_is_deterministic() {
+        let p = RandomWaypoint {
+            nodes: 8,
+            seed: 5,
+            ..RandomWaypoint::default()
+        };
+        assert_eq!(random_waypoint(p), random_waypoint(p));
+        let other = RandomWaypoint { seed: 6, ..p };
+        assert_ne!(random_waypoint(p), random_waypoint(other));
+    }
+
+    #[test]
+    fn movement_produces_churn() {
+        let p = RandomWaypoint {
+            nodes: 10,
+            speed: 0.05,
+            duration: SimDuration::from_secs(120),
+            seed: 2,
+            ..RandomWaypoint::default()
+        };
+        let trace = random_waypoint(p);
+        assert!(trace.churn() > 0, "fast movement must flap some links");
+        // Changes are time-ordered and alternate per pair.
+        let mut last = SimTime::ZERO;
+        for c in &trace.changes {
+            assert!(c.at >= last);
+            last = c.at;
+        }
+    }
+
+    #[test]
+    fn zero_speed_means_no_churn() {
+        let p = RandomWaypoint {
+            nodes: 6,
+            speed: 0.0,
+            seed: 3,
+            ..RandomWaypoint::default()
+        };
+        assert_eq!(random_waypoint(p).churn(), 0);
+    }
+
+    #[test]
+    fn trace_applies_to_world() {
+        let p = RandomWaypoint {
+            nodes: 6,
+            speed: 0.08,
+            duration: SimDuration::from_secs(60),
+            seed: 4,
+            ..RandomWaypoint::default()
+        };
+        let trace = random_waypoint(p);
+        let mut world = World::builder()
+            .topology(trace.initial.clone())
+            .seed(4)
+            .build();
+        trace.schedule_into(&mut world);
+        let before = world.pending_events();
+        assert_eq!(before, trace.churn());
+        world.run_for(SimDuration::from_secs(60));
+        assert_eq!(world.pending_events(), 0);
+    }
+}

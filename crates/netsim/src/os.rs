@@ -1,0 +1,326 @@
+//! The per-node simulated operating system handle.
+
+use std::collections::{HashMap, HashSet, VecDeque};
+
+use packetbb::Address;
+
+use crate::packet::{DataPacket, NodeId};
+use crate::route::KernelRouteTable;
+use crate::time::{SimDuration, SimTime};
+
+/// Token identifying a pending timer; chosen by the agent when arming.
+pub type TimerToken = u64;
+
+/// Battery drain model for a node.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BatteryModel {
+    /// Total capacity in abstract energy units.
+    pub capacity: f64,
+    /// Idle drain per simulated second.
+    pub idle_per_sec: f64,
+    /// Cost per transmitted byte.
+    pub tx_per_byte: f64,
+    /// Cost per received byte.
+    pub rx_per_byte: f64,
+}
+
+impl Default for BatteryModel {
+    fn default() -> Self {
+        // Generous defaults: nodes survive typical experiments, but heavy
+        // relaying visibly drains.
+        BatteryModel {
+            capacity: 10_000.0,
+            idle_per_sec: 0.05,
+            tx_per_byte: 0.002,
+            rx_per_byte: 0.001,
+        }
+    }
+}
+
+#[derive(Debug)]
+pub(crate) struct Battery {
+    model: BatteryModel,
+    used: f64,
+    last_idle_update: SimTime,
+}
+
+impl Battery {
+    pub(crate) fn new(model: BatteryModel) -> Self {
+        Battery {
+            model,
+            used: 0.0,
+            last_idle_update: SimTime::ZERO,
+        }
+    }
+
+    pub(crate) fn advance_to(&mut self, now: SimTime) {
+        let dt = now.since(self.last_idle_update).as_secs_f64();
+        self.used += dt * self.model.idle_per_sec;
+        self.last_idle_update = now;
+    }
+
+    pub(crate) fn drain_tx(&mut self, bytes: usize) {
+        self.used += bytes as f64 * self.model.tx_per_byte;
+    }
+
+    pub(crate) fn drain_rx(&mut self, bytes: usize) {
+        self.used += bytes as f64 * self.model.rx_per_byte;
+    }
+
+    pub(crate) fn level(&self) -> f64 {
+        (1.0 - self.used / self.model.capacity).clamp(0.0, 1.0)
+    }
+}
+
+/// Deferred effects an agent callback produced, applied by the world after
+/// the callback returns (keeping callbacks re-entrancy free).
+#[derive(Debug)]
+pub(crate) enum Action {
+    /// Transmit a control frame: broadcast (`None`) or unicast to a
+    /// neighbour address.
+    SendControl {
+        dst: Option<Address>,
+        bytes: Vec<u8>,
+    },
+    /// Arm a timer to fire at an absolute time.
+    SetTimer { at: SimTime, token: TimerToken },
+    /// Re-run the data plane for packets buffered toward `dst`.
+    Reinject { dst: Address },
+    /// Drop packets buffered toward `dst` (route discovery failed).
+    DropBuffered { dst: Address },
+    /// Originate a data packet from this node (used by traffic helpers
+    /// running inside agents).
+    SendData { dst: Address, payload: Vec<u8> },
+}
+
+/// A node's simulated OS: identity, clock, kernel route table, netfilter
+/// buffer, timers, counters and the battery sensor.
+///
+/// Agents receive `&mut NodeOs` in every callback; all interaction with the
+/// world goes through it.
+#[derive(Debug)]
+pub struct NodeOs {
+    id: NodeId,
+    addr: Address,
+    now: SimTime,
+    route_table: KernelRouteTable,
+    pub(crate) nf_buffer: HashMap<Address, VecDeque<DataPacket>>,
+    pub(crate) nf_buffer_cap: usize,
+    pub(crate) actions: Vec<Action>,
+    pub(crate) cancelled_timers: HashSet<TimerToken>,
+    pub(crate) battery: Battery,
+    counters: HashMap<&'static str, u64>,
+    /// Monotonic source for protocol sequence numbers.
+    seq: u16,
+}
+
+impl NodeOs {
+    /// A standalone OS handle not attached to any world.
+    ///
+    /// Useful for protocol unit tests and micro-benchmarks that drive a
+    /// deployment directly: queued actions are simply never applied unless
+    /// the handle is inspected by the caller.
+    #[must_use]
+    pub fn standalone(id: NodeId, addr: Address) -> Self {
+        Self::new(id, addr, BatteryModel::default())
+    }
+
+    pub(crate) fn new(id: NodeId, addr: Address, battery: BatteryModel) -> Self {
+        NodeOs {
+            id,
+            addr,
+            now: SimTime::ZERO,
+            route_table: KernelRouteTable::new(),
+            nf_buffer: HashMap::new(),
+            nf_buffer_cap: 64,
+            actions: Vec::new(),
+            cancelled_timers: HashSet::new(),
+            battery: Battery::new(battery),
+            counters: HashMap::new(),
+            seq: 0,
+        }
+    }
+
+    /// This node's id.
+    #[must_use]
+    pub fn id(&self) -> NodeId {
+        self.id
+    }
+
+    /// This node's network address.
+    #[must_use]
+    pub fn addr(&self) -> Address {
+        self.addr
+    }
+
+    /// Current simulated time.
+    #[must_use]
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    pub(crate) fn set_now(&mut self, now: SimTime) {
+        self.now = now;
+    }
+
+    /// Read access to the kernel route table.
+    #[must_use]
+    pub fn route_table(&self) -> &KernelRouteTable {
+        &self.route_table
+    }
+
+    /// Write access to the kernel route table.
+    #[must_use]
+    pub fn route_table_mut(&mut self) -> &mut KernelRouteTable {
+        &mut self.route_table
+    }
+
+    /// Broadcasts a control frame to all current neighbours.
+    pub fn broadcast_control(&mut self, bytes: Vec<u8>) {
+        self.actions.push(Action::SendControl { dst: None, bytes });
+    }
+
+    /// Unicasts a control frame to a neighbour's address.
+    pub fn unicast_control(&mut self, dst: Address, bytes: Vec<u8>) {
+        self.actions.push(Action::SendControl {
+            dst: Some(dst),
+            bytes,
+        });
+    }
+
+    /// Arms a timer to fire after `delay` with the given token.
+    pub fn set_timer(&mut self, delay: SimDuration, token: TimerToken) {
+        self.cancelled_timers.remove(&token);
+        self.actions.push(Action::SetTimer {
+            at: self.now + delay,
+            token,
+        });
+    }
+
+    /// Cancels every pending timer carrying `token`.
+    pub fn cancel_timer(&mut self, token: TimerToken) {
+        self.cancelled_timers.insert(token);
+    }
+
+    /// Originates a data packet from this node through the data plane.
+    pub fn send_data(&mut self, dst: Address, payload: Vec<u8>) {
+        self.actions.push(Action::SendData { dst, payload });
+    }
+
+    /// Number of packets parked in the netfilter buffer toward `dst`.
+    #[must_use]
+    pub fn buffered_count(&self, dst: Address) -> usize {
+        self.nf_buffer.get(&dst).map_or(0, VecDeque::len)
+    }
+
+    /// Re-injects packets buffered toward `dst` into the data plane
+    /// (call after installing a route — the `ROUTE_FOUND` path).
+    pub fn reinject(&mut self, dst: Address) {
+        self.actions.push(Action::Reinject { dst });
+    }
+
+    /// Drops packets buffered toward `dst` (route discovery failed).
+    pub fn drop_buffered(&mut self, dst: Address) {
+        self.actions.push(Action::DropBuffered { dst });
+    }
+
+    /// Remaining battery as a fraction in `[0, 1]`.
+    #[must_use]
+    pub fn battery_level(&self) -> f64 {
+        self.battery.level()
+    }
+
+    /// Increments a named statistic counter (reported in
+    /// [`WorldStats`](crate::WorldStats)).
+    pub fn bump(&mut self, counter: &'static str) {
+        *self.counters.entry(counter).or_insert(0) += 1;
+    }
+
+    /// Reads a named counter.
+    #[must_use]
+    pub fn counter(&self, counter: &str) -> u64 {
+        self.counters.get(counter).copied().unwrap_or(0)
+    }
+
+    /// All named counters.
+    #[must_use]
+    pub fn counters(&self) -> &HashMap<&'static str, u64> {
+        &self.counters
+    }
+
+    /// The next protocol sequence number (monotonic, wrapping).
+    #[must_use]
+    pub fn next_seq(&mut self) -> u16 {
+        self.seq = self.seq.wrapping_add(1);
+        self.seq
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn os() -> NodeOs {
+        NodeOs::new(
+            NodeId(0),
+            Address::v4([10, 0, 0, 1]),
+            BatteryModel::default(),
+        )
+    }
+
+    #[test]
+    fn actions_accumulate() {
+        let mut os = os();
+        os.broadcast_control(vec![1]);
+        os.unicast_control(Address::v4([10, 0, 0, 2]), vec![2]);
+        os.set_timer(SimDuration::from_secs(1), 7);
+        assert_eq!(os.actions.len(), 3);
+    }
+
+    #[test]
+    fn seq_numbers_monotonic_and_wrapping() {
+        let mut os = os();
+        assert_eq!(os.next_seq(), 1);
+        assert_eq!(os.next_seq(), 2);
+        os.seq = u16::MAX;
+        assert_eq!(os.next_seq(), 0);
+    }
+
+    #[test]
+    fn counters() {
+        let mut os = os();
+        os.bump("rreq");
+        os.bump("rreq");
+        assert_eq!(os.counter("rreq"), 2);
+        assert_eq!(os.counter("other"), 0);
+    }
+
+    #[test]
+    fn battery_drains() {
+        let mut b = Battery::new(BatteryModel {
+            capacity: 100.0,
+            idle_per_sec: 1.0,
+            tx_per_byte: 0.5,
+            rx_per_byte: 0.25,
+        });
+        assert_eq!(b.level(), 1.0);
+        b.advance_to(SimTime::from_micros(10_000_000)); // 10 s idle
+        assert!((b.level() - 0.9).abs() < 1e-9);
+        b.drain_tx(100); // 50 units
+        assert!((b.level() - 0.4).abs() < 1e-9);
+        b.drain_rx(200); // 50 units -> empty
+        assert_eq!(b.level(), 0.0);
+        b.drain_tx(1); // stays clamped
+        assert_eq!(b.level(), 0.0);
+    }
+
+    #[test]
+    fn timer_cancellation_bookkeeping() {
+        let mut os = os();
+        os.cancel_timer(5);
+        assert!(os.cancelled_timers.contains(&5));
+        // Re-arming clears the cancellation.
+        os.set_timer(SimDuration::from_secs(1), 5);
+        assert!(!os.cancelled_timers.contains(&5));
+    }
+}

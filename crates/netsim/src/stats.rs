@@ -1,0 +1,97 @@
+//! World-level statistics collected by the data and control planes.
+
+use std::collections::HashMap;
+
+use crate::time::SimDuration;
+
+/// Counters accumulated over a simulation run.
+///
+/// Control-plane load is what the paper's ablations compare (flooding
+/// overhead, TC dissemination cost); the data-plane numbers support
+/// delivery-ratio and latency claims.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct WorldStats {
+    /// Data packets handed to the data plane by applications.
+    pub data_sent: u64,
+    /// Data packets delivered at their destination.
+    pub data_delivered: u64,
+    /// Data packets dropped: TTL exhausted.
+    pub data_dropped_ttl: u64,
+    /// Data packets dropped: next hop unreachable / lossy.
+    pub data_dropped_link: u64,
+    /// Data packets dropped from a full netfilter buffer or explicit drop.
+    pub data_dropped_buffer: u64,
+    /// Data-plane hop transmissions (each forwarding counts once).
+    pub data_hops: u64,
+    /// Sum of end-to-end delivery latencies (for mean computation).
+    pub delivery_latency_total: SimDuration,
+    /// Control frames transmitted (each broadcast counts once per sender).
+    pub control_frames: u64,
+    /// Control bytes transmitted (wire size, once per sender).
+    pub control_bytes: u64,
+    /// Control frames received by agents (per receiver).
+    pub control_received: u64,
+    /// Control frames lost to the loss model.
+    pub control_lost: u64,
+    /// Per-node named counters bumped by agents, merged at read time.
+    pub agent_counters: HashMap<String, u64>,
+}
+
+impl WorldStats {
+    /// Delivery ratio in `[0, 1]` (1 when nothing was sent).
+    #[must_use]
+    pub fn delivery_ratio(&self) -> f64 {
+        if self.data_sent == 0 {
+            return 1.0;
+        }
+        self.data_delivered as f64 / self.data_sent as f64
+    }
+
+    /// Mean end-to-end latency of delivered packets.
+    #[must_use]
+    pub fn mean_delivery_latency(&self) -> SimDuration {
+        if self.data_delivered == 0 {
+            return SimDuration::ZERO;
+        }
+        SimDuration::from_micros(
+            self.delivery_latency_total.as_micros() / self.data_delivered,
+        )
+    }
+
+    /// Reads a merged agent counter by name.
+    #[must_use]
+    pub fn agent_counter(&self, name: &str) -> u64 {
+        self.agent_counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Number of delivered packets (convenience used by examples).
+    #[must_use]
+    pub fn delivered(&self) -> u64 {
+        self.data_delivered
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ratios_and_means() {
+        let mut s = WorldStats::default();
+        assert_eq!(s.delivery_ratio(), 1.0);
+        assert_eq!(s.mean_delivery_latency(), SimDuration::ZERO);
+        s.data_sent = 4;
+        s.data_delivered = 3;
+        s.delivery_latency_total = SimDuration::from_millis(30);
+        assert!((s.delivery_ratio() - 0.75).abs() < 1e-9);
+        assert_eq!(s.mean_delivery_latency(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn agent_counters_default_zero() {
+        let mut s = WorldStats::default();
+        assert_eq!(s.agent_counter("x"), 0);
+        s.agent_counters.insert("x".into(), 2);
+        assert_eq!(s.agent_counter("x"), 2);
+    }
+}

@@ -1,0 +1,324 @@
+//! Connectivity matrix, link models and topology generators.
+//!
+//! The paper's testbed shaped multi-hop connectivity with MAC-level
+//! filtering plus the MobiEmu emulator. [`Topology`] is that mechanism in
+//! simulation: an `n × n` symmetric boolean matrix saying who hears whom,
+//! adjusted over time by mobility schedules.
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::packet::NodeId;
+use crate::time::SimDuration;
+
+/// Whether a link currently exists between a pair of nodes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum LinkState {
+    /// Frames flow (subject to the loss model).
+    Up,
+    /// No connectivity.
+    Down,
+}
+
+/// Propagation characteristics applied to every delivered frame.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LinkModel {
+    /// Fixed per-hop latency.
+    pub delay: SimDuration,
+    /// Uniform random extra latency in `[0, jitter]`.
+    pub jitter: SimDuration,
+    /// Probability in `[0, 1]` that a frame is lost on a hop.
+    pub loss: f64,
+}
+
+impl Default for LinkModel {
+    fn default() -> Self {
+        // ~1 ms one-hop latency, light jitter, lossless: a quiet 802.11b lab.
+        LinkModel {
+            delay: SimDuration::from_micros(800),
+            jitter: SimDuration::from_micros(400),
+            loss: 0.0,
+        }
+    }
+}
+
+impl LinkModel {
+    /// Samples the latency for one transmission.
+    #[must_use]
+    pub fn sample_delay(&self, rng: &mut StdRng) -> SimDuration {
+        if self.jitter == SimDuration::ZERO {
+            return self.delay;
+        }
+        self.delay + SimDuration::from_micros(rng.gen_range(0..=self.jitter.as_micros()))
+    }
+
+    /// Samples whether a transmission is lost.
+    #[must_use]
+    pub fn sample_loss(&self, rng: &mut StdRng) -> bool {
+        self.loss > 0.0 && rng.gen::<f64>() < self.loss
+    }
+}
+
+/// A symmetric connectivity matrix over `n` nodes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    n: usize,
+    // Row-major upper-triangular usage; stored full for simplicity.
+    up: Vec<bool>,
+}
+
+impl Topology {
+    /// A topology with `n` nodes and no links.
+    #[must_use]
+    pub fn empty(n: usize) -> Self {
+        Topology {
+            n,
+            up: vec![false; n * n],
+        }
+    }
+
+    /// Every node hears every other (single broadcast domain).
+    #[must_use]
+    pub fn full(n: usize) -> Self {
+        let mut t = Topology::empty(n);
+        for a in 0..n {
+            for b in 0..n {
+                if a != b {
+                    t.up[a * n + b] = true;
+                }
+            }
+        }
+        t
+    }
+
+    /// A linear chain `0 – 1 – … – n-1` (the paper's 5-node testbed shape).
+    #[must_use]
+    pub fn line(n: usize) -> Self {
+        let mut t = Topology::empty(n);
+        for i in 1..n {
+            t.set_link(NodeId(i - 1), NodeId(i), LinkState::Up);
+        }
+        t
+    }
+
+    /// A `rows × cols` grid with 4-neighbour connectivity.
+    #[must_use]
+    pub fn grid(rows: usize, cols: usize) -> Self {
+        let n = rows * cols;
+        let mut t = Topology::empty(n);
+        for r in 0..rows {
+            for c in 0..cols {
+                let i = r * cols + c;
+                if c + 1 < cols {
+                    t.set_link(NodeId(i), NodeId(i + 1), LinkState::Up);
+                }
+                if r + 1 < rows {
+                    t.set_link(NodeId(i), NodeId(i + cols), LinkState::Up);
+                }
+            }
+        }
+        t
+    }
+
+    /// A random geometric graph: `n` nodes placed uniformly in the unit
+    /// square, linked when within `radius`. Deterministic for a given seed.
+    /// Density grows with `radius` — useful for flooding experiments.
+    #[must_use]
+    pub fn random_geometric(n: usize, radius: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let pts: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        let mut t = Topology::empty(n);
+        for a in 0..n {
+            for b in (a + 1)..n {
+                let dx = pts[a].0 - pts[b].0;
+                let dy = pts[a].1 - pts[b].1;
+                if (dx * dx + dy * dy).sqrt() <= radius {
+                    t.set_link(NodeId(a), NodeId(b), LinkState::Up);
+                }
+            }
+        }
+        t
+    }
+
+    /// Number of nodes.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.n
+    }
+
+    /// Whether the topology has zero nodes.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.n == 0
+    }
+
+    /// Sets the (symmetric) link state between two nodes.
+    ///
+    /// # Panics
+    ///
+    /// Panics when either id is out of range or `a == b`.
+    pub fn set_link(&mut self, a: NodeId, b: NodeId, state: LinkState) {
+        assert!(a.0 < self.n && b.0 < self.n, "node id out of range");
+        assert_ne!(a, b, "no self links");
+        let up = state == LinkState::Up;
+        self.up[a.0 * self.n + b.0] = up;
+        self.up[b.0 * self.n + a.0] = up;
+    }
+
+    /// Whether a frame from `a` reaches `b`.
+    #[must_use]
+    pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
+        a != b && a.0 < self.n && b.0 < self.n && self.up[a.0 * self.n + b.0]
+    }
+
+    /// Current neighbours of `a`.
+    #[must_use]
+    pub fn neighbours(&self, a: NodeId) -> Vec<NodeId> {
+        (0..self.n)
+            .map(NodeId)
+            .filter(|b| self.link_up(a, *b))
+            .collect()
+    }
+
+    /// Node degree.
+    #[must_use]
+    pub fn degree(&self, a: NodeId) -> usize {
+        self.neighbours(a).len()
+    }
+
+    /// Average degree over all nodes.
+    #[must_use]
+    pub fn average_degree(&self) -> f64 {
+        if self.n == 0 {
+            return 0.0;
+        }
+        let total: usize = (0..self.n).map(|i| self.degree(NodeId(i))).sum();
+        total as f64 / self.n as f64
+    }
+
+    /// Whether the graph is connected (single component).
+    #[must_use]
+    pub fn is_connected(&self) -> bool {
+        if self.n == 0 {
+            return true;
+        }
+        let mut seen = vec![false; self.n];
+        let mut stack = vec![0usize];
+        seen[0] = true;
+        while let Some(cur) = stack.pop() {
+            for nb in self.neighbours(NodeId(cur)) {
+                if !seen[nb.0] {
+                    seen[nb.0] = true;
+                    stack.push(nb.0);
+                }
+            }
+        }
+        seen.into_iter().all(|s| s)
+    }
+
+    /// BFS hop distance between two nodes, if connected.
+    #[must_use]
+    pub fn hop_distance(&self, a: NodeId, b: NodeId) -> Option<usize> {
+        if a == b {
+            return Some(0);
+        }
+        let mut dist = vec![usize::MAX; self.n];
+        let mut queue = std::collections::VecDeque::new();
+        dist[a.0] = 0;
+        queue.push_back(a.0);
+        while let Some(cur) = queue.pop_front() {
+            for nb in self.neighbours(NodeId(cur)) {
+                if dist[nb.0] == usize::MAX {
+                    dist[nb.0] = dist[cur] + 1;
+                    if nb == b {
+                        return Some(dist[nb.0]);
+                    }
+                    queue.push_back(nb.0);
+                }
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn line_topology_shape() {
+        let t = Topology::line(5);
+        assert!(t.link_up(NodeId(0), NodeId(1)));
+        assert!(t.link_up(NodeId(1), NodeId(0)), "symmetric");
+        assert!(!t.link_up(NodeId(0), NodeId(2)));
+        assert_eq!(t.degree(NodeId(0)), 1);
+        assert_eq!(t.degree(NodeId(2)), 2);
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(4)), Some(4));
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn grid_topology_shape() {
+        let t = Topology::grid(3, 3);
+        assert_eq!(t.len(), 9);
+        assert_eq!(t.degree(NodeId(4)), 4, "centre has 4 neighbours");
+        assert_eq!(t.degree(NodeId(0)), 2, "corner has 2");
+        assert_eq!(t.hop_distance(NodeId(0), NodeId(8)), Some(4));
+    }
+
+    #[test]
+    fn full_and_empty() {
+        let t = Topology::full(4);
+        assert_eq!(t.average_degree(), 3.0);
+        let e = Topology::empty(4);
+        assert_eq!(e.average_degree(), 0.0);
+        assert!(!e.is_connected());
+        assert!(e.hop_distance(NodeId(0), NodeId(1)).is_none());
+        assert_eq!(e.hop_distance(NodeId(2), NodeId(2)), Some(0));
+    }
+
+    #[test]
+    fn link_changes() {
+        let mut t = Topology::line(3);
+        t.set_link(NodeId(0), NodeId(1), LinkState::Down);
+        assert!(!t.link_up(NodeId(0), NodeId(1)));
+        assert!(!t.is_connected());
+        t.set_link(NodeId(0), NodeId(2), LinkState::Up);
+        assert!(t.is_connected());
+    }
+
+    #[test]
+    fn random_geometric_is_deterministic() {
+        let a = Topology::random_geometric(25, 0.35, 7);
+        let b = Topology::random_geometric(25, 0.35, 7);
+        assert_eq!(a, b);
+        let c = Topology::random_geometric(25, 0.35, 8);
+        assert_ne!(a, c, "different seed, different graph (overwhelmingly)");
+        // Larger radius, denser graph.
+        let dense = Topology::random_geometric(25, 0.6, 7);
+        assert!(dense.average_degree() > a.average_degree());
+    }
+
+    #[test]
+    fn no_self_links() {
+        let t = Topology::full(3);
+        assert!(!t.link_up(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn link_model_sampling_is_bounded() {
+        let model = LinkModel {
+            delay: SimDuration::from_millis(1),
+            jitter: SimDuration::from_millis(2),
+            loss: 0.0,
+        };
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..100 {
+            let d = model.sample_delay(&mut rng);
+            assert!(d >= SimDuration::from_millis(1) && d <= SimDuration::from_millis(3));
+            assert!(!model.sample_loss(&mut rng));
+        }
+        let lossy = LinkModel { loss: 1.0, ..model };
+        assert!(lossy.sample_loss(&mut rng));
+    }
+}

@@ -1,0 +1,112 @@
+//! Property-based tests of the kernel route table: longest-prefix-match
+//! semantics against a brute-force oracle.
+
+use netsim::KernelRouteTable;
+use packetbb::Address;
+use proptest::prelude::*;
+
+#[derive(Debug, Clone, Copy)]
+struct Entry {
+    dst: [u8; 4],
+    prefix: u8,
+    next_hop: [u8; 4],
+}
+
+fn arb_entry() -> impl Strategy<Value = Entry> {
+    (any::<[u8; 4]>(), 0u8..=32, any::<[u8; 4]>()).prop_map(|(dst, prefix, next_hop)| Entry {
+        dst,
+        prefix,
+        next_hop,
+    })
+}
+
+fn matches(entry: &Entry, addr: [u8; 4]) -> bool {
+    let bits = u32::from_be_bytes(entry.dst) ^ u32::from_be_bytes(addr);
+    if entry.prefix == 0 {
+        return true;
+    }
+    bits >> (32 - entry.prefix) == 0
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    /// The table's lookup equals a brute-force longest-prefix scan.
+    #[test]
+    fn lookup_matches_oracle(
+        entries in proptest::collection::vec(arb_entry(), 0..24),
+        queries in proptest::collection::vec(any::<[u8; 4]>(), 1..16),
+    ) {
+        let mut table = KernelRouteTable::new();
+        // Later inserts with the same (dst, prefix) replace earlier ones,
+        // exactly like the oracle map below.
+        let mut oracle: std::collections::HashMap<([u8; 4], u8), Entry> =
+            std::collections::HashMap::new();
+        for e in &entries {
+            table.add_route(Address::v4(e.dst), e.prefix, Address::v4(e.next_hop), 1);
+            oracle.insert((e.dst, e.prefix), *e);
+        }
+        prop_assert_eq!(table.len(), oracle.len());
+        for q in queries {
+            let expected = oracle
+                .values()
+                .filter(|e| matches(e, q))
+                .max_by_key(|e| e.prefix);
+            let got = table.lookup(Address::v4(q));
+            match (expected, got) {
+                (None, None) => {}
+                (Some(e), Some(g)) => {
+                    prop_assert_eq!(g.prefix_len, e.prefix, "prefix for {:?}", q);
+                    // Ties on prefix length may differ in next hop; assert
+                    // the chosen entry is *a* maximal match.
+                    let mut got_dst = [0u8; 4];
+                    got_dst.copy_from_slice(g.dst.octets());
+                    let chosen = Entry {
+                        dst: got_dst,
+                        prefix: g.prefix_len,
+                        next_hop: [0; 4],
+                    };
+                    let is_match = matches(&chosen, q);
+                    prop_assert!(is_match, "chosen entry does not match query");
+                }
+                (e, g) => prop_assert!(false, "oracle {e:?} vs table {g:?} for {q:?}"),
+            }
+        }
+    }
+
+    /// Removing routes via a next hop removes exactly those.
+    #[test]
+    fn remove_via_is_exact(
+        entries in proptest::collection::vec(arb_entry(), 1..24),
+        via in any::<[u8; 4]>(),
+    ) {
+        let mut table = KernelRouteTable::new();
+        for e in &entries {
+            table.add_route(Address::v4(e.dst), e.prefix, Address::v4(e.next_hop), 1);
+        }
+        let before = table.len();
+        let with_via = table
+            .iter()
+            .filter(|e| e.next_hop == Address::v4(via))
+            .count();
+        let removed = table.remove_routes_via(Address::v4(via));
+        prop_assert_eq!(removed, with_via);
+        prop_assert_eq!(table.len(), before - removed);
+        prop_assert!(table.iter().all(|e| e.next_hop != Address::v4(via)));
+    }
+
+    /// Host-route add/remove round-trips.
+    #[test]
+    fn host_route_round_trip(dsts in proptest::collection::vec(any::<[u8; 4]>(), 1..16)) {
+        let mut table = KernelRouteTable::new();
+        let via = Address::v4([1, 1, 1, 1]);
+        for d in &dsts {
+            table.add_host_route(Address::v4(*d), via, 1);
+        }
+        for d in &dsts {
+            prop_assert!(table.host_route(Address::v4(*d)).is_some());
+            table.remove_host_route(Address::v4(*d));
+        }
+        prop_assert!(table.is_empty());
+    }
+}

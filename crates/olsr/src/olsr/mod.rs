@@ -1,0 +1,87 @@
+//! The OLSR CF proper: topology dissemination and route computation,
+//! stacked on the MPR CF's sensing and flooding services.
+
+mod components;
+mod state;
+
+pub use components::{
+    build_tc, parse_tc, sync_kernel_routes, EnergyMapHandler, NeighbourhoodHandler,
+    ResidualPowerSource, TcHandler, TcSource, TopologyExpiryHandler, TOPO_EXPIRY_TIMER,
+};
+pub use state::{seq_newer, OlsrState, RouteMetric, TopologyEntry};
+
+use manetkit::event::{types, EventType};
+use manetkit::protocol::{ManetProtocolCf, StateSlot};
+use manetkit::registry::EventTuple;
+use netsim::SimDuration;
+
+/// The name under which the OLSR CF registers.
+pub const OLSR_CF: &str = "olsr";
+
+/// Configuration of the OLSR CF.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct OlsrConfig {
+    /// TC period (paper/testbed default: 5 s).
+    pub tc_interval: SimDuration,
+    /// Validity of learned topology edges (default 3 × TC interval).
+    pub topology_validity: SimDuration,
+    /// Hop limit on generated TCs.
+    pub tc_hop_limit: u8,
+}
+
+impl Default for OlsrConfig {
+    fn default() -> Self {
+        OlsrConfig {
+            tc_interval: SimDuration::from_secs(5),
+            topology_validity: SimDuration::from_secs(15),
+            tc_hop_limit: 255,
+        }
+    }
+}
+
+/// Builds the OLSR CF.
+#[must_use]
+pub fn olsr_cf(config: OlsrConfig) -> ManetProtocolCf {
+    let sweep = SimDuration::from_micros(config.topology_validity.as_micros() / 3);
+    ManetProtocolCf::builder(OLSR_CF)
+        .tuple(
+            EventTuple::new()
+                .requires(types::tc_in())
+                .requires(types::nhood_change())
+                .requires(types::mpr_change())
+                .provides(types::tc_out()),
+        )
+        .state(StateSlot::new(OlsrState::default()))
+        .startup_timer(sweep, EventType::named(TOPO_EXPIRY_TIMER))
+        .source(Box::new(TcSource {
+            interval: config.tc_interval,
+            validity: config.topology_validity,
+            hop_limit: config.tc_hop_limit,
+        }))
+        .handler(Box::new(TcHandler {
+            validity: config.topology_validity,
+        }))
+        .handler(Box::new(NeighbourhoodHandler))
+        .handler(Box::new(TopologyExpiryHandler { sweep }))
+        .build()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cf_composition() {
+        let cf = olsr_cf(OlsrConfig::default());
+        assert_eq!(cf.name(), OLSR_CF);
+        let t = cf.tuple();
+        assert!(t.is_provided(&types::tc_out()));
+        assert!(t.is_required(&types::tc_in()));
+        assert!(t.is_required(&types::mpr_change()));
+        assert!(!cf.is_reactive());
+        let names = cf.plugin_names();
+        for expected in ["tc-source", "tc-handler", "nhood-handler", "topo-expiry-handler"] {
+            assert!(names.contains(&expected.to_string()), "missing {expected}");
+        }
+    }
+}

@@ -1,0 +1,281 @@
+//! The OLSR CF's S element: topology set and route computation.
+
+use std::cmp::Ordering;
+use std::collections::{BTreeMap, BTreeSet, BinaryHeap};
+
+use netsim::{SimDuration, SimTime};
+use packetbb::Address;
+
+/// Wraparound-aware sequence comparison (RFC 3626 §19): is `a` newer
+/// than `b`?
+#[must_use]
+pub fn seq_newer(a: u16, b: u16) -> bool {
+    a != b && a.wrapping_sub(b) < 0x8000
+}
+
+/// Route metric plugged into the route calculator.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum RouteMetric {
+    /// Plain hop count (standard OLSR).
+    #[default]
+    HopCount,
+    /// Energy-aware: hops through drained nodes cost more, so selected
+    /// routes maximise residual lifetime (power-aware variant).
+    EnergyAware,
+}
+
+/// One learned topology edge: `last_hop` advertises reachability of `dest`.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TopologyEntry {
+    /// The ANSN this edge was learned under.
+    pub ansn: u16,
+    /// When this edge expires.
+    pub expiry: SimTime,
+}
+
+/// The OLSR CF state.
+#[derive(Debug, Clone, Default)]
+pub struct OlsrState {
+    /// Topology set: `(destination, last_hop)` → entry.
+    pub topology: BTreeMap<(Address, Address), TopologyEntry>,
+    /// Latest ANSN seen per originator.
+    pub latest_ansn: BTreeMap<Address, u16>,
+    /// Current symmetric neighbours (from `NHOOD_CHANGE`).
+    pub sym_neighbours: Vec<Address>,
+    /// `(neighbour, two_hop)` pairs (from `NHOOD_CHANGE`).
+    pub two_hop: Vec<(Address, Address)>,
+    /// Our advertised set: the MPR selectors (from `MPR_CHANGE`).
+    pub advertised: Vec<Address>,
+    /// Our advertised-neighbour sequence number.
+    pub ansn: u16,
+    /// Destinations with kernel routes installed by this protocol.
+    pub installed: BTreeSet<Address>,
+    /// The plugged-in route metric.
+    pub metric: RouteMetric,
+    /// Residual energy per node, fed by `POWER_MSG_IN` (power-aware
+    /// variant).
+    pub energy: BTreeMap<Address, f64>,
+}
+
+impl OlsrState {
+    /// Records the edges a TC from `originator` advertises. Returns `false`
+    /// when the TC is stale (older ANSN) and was ignored.
+    pub fn apply_tc(
+        &mut self,
+        originator: Address,
+        ansn: u16,
+        advertised: &[Address],
+        now: SimTime,
+        validity: SimDuration,
+    ) -> bool {
+        if let Some(latest) = self.latest_ansn.get(&originator) {
+            if seq_newer(*latest, ansn) {
+                return false;
+            }
+        }
+        self.latest_ansn.insert(originator, ansn);
+        // Remove edges previously advertised by this originator under an
+        // older ANSN.
+        self.topology
+            .retain(|(_, last_hop), e| *last_hop != originator || !seq_newer(ansn, e.ansn));
+        for dest in advertised {
+            self.topology.insert(
+                (*dest, originator),
+                TopologyEntry {
+                    ansn,
+                    expiry: now + validity,
+                },
+            );
+        }
+        true
+    }
+
+    /// Drops expired topology edges; returns whether anything changed.
+    pub fn expire(&mut self, now: SimTime) -> bool {
+        let before = self.topology.len();
+        self.topology.retain(|_, e| e.expiry > now);
+        self.topology.len() != before
+    }
+
+    fn node_cost(&self, node: Address) -> f64 {
+        match self.metric {
+            RouteMetric::HopCount => 1.0,
+            RouteMetric::EnergyAware => {
+                // Fresh nodes cost ~1, drained nodes up to 2.
+                2.0 - self.energy.get(&node).copied().unwrap_or(1.0)
+            }
+        }
+    }
+
+    /// Computes routes with Dijkstra over the learned graph: direct links,
+    /// 2-hop advertisements and TC-learned edges.
+    ///
+    /// Returns `dest → (next_hop, hop_count)`.
+    #[must_use]
+    pub fn compute_routes(&self, local: Address) -> BTreeMap<Address, (Address, u32)> {
+        // Build adjacency: edge (u -> v).
+        let mut edges: BTreeMap<Address, BTreeSet<Address>> = BTreeMap::new();
+        for nb in &self.sym_neighbours {
+            edges.entry(local).or_default().insert(*nb);
+        }
+        for (nb, th) in &self.two_hop {
+            edges.entry(*nb).or_default().insert(*th);
+        }
+        for (dest, last_hop) in self.topology.keys() {
+            edges.entry(*last_hop).or_default().insert(*dest);
+        }
+
+        #[derive(PartialEq)]
+        struct Item {
+            cost: f64,
+            hops: u32,
+            node: Address,
+            first_hop: Option<Address>,
+        }
+        impl Eq for Item {}
+        impl Ord for Item {
+            fn cmp(&self, other: &Self) -> Ordering {
+                // Min-heap by cost (then hops) via reversed comparison.
+                other
+                    .cost
+                    .partial_cmp(&self.cost)
+                    .unwrap_or(Ordering::Equal)
+                    .then_with(|| other.hops.cmp(&self.hops))
+                    .then_with(|| other.node.cmp(&self.node))
+            }
+        }
+        impl PartialOrd for Item {
+            fn partial_cmp(&self, other: &Self) -> Option<Ordering> {
+                Some(self.cmp(other))
+            }
+        }
+
+        let mut best: BTreeMap<Address, (Address, u32)> = BTreeMap::new();
+        let mut done: BTreeSet<Address> = BTreeSet::new();
+        let mut heap = BinaryHeap::new();
+        heap.push(Item {
+            cost: 0.0,
+            hops: 0,
+            node: local,
+            first_hop: None,
+        });
+        while let Some(item) = heap.pop() {
+            if !done.insert(item.node) {
+                continue;
+            }
+            if let Some(fh) = item.first_hop {
+                best.insert(item.node, (fh, item.hops));
+            }
+            if let Some(nexts) = edges.get(&item.node) {
+                for next in nexts {
+                    if done.contains(next) {
+                        continue;
+                    }
+                    let first_hop = item.first_hop.or(Some(*next));
+                    heap.push(Item {
+                        cost: item.cost + self.node_cost(*next),
+                        hops: item.hops + 1,
+                        node: *next,
+                        first_hop,
+                    });
+                }
+            }
+        }
+        best
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn addr(n: u8) -> Address {
+        Address::v4([10, 0, 0, n])
+    }
+
+    #[test]
+    fn seq_comparison_wraps() {
+        assert!(seq_newer(2, 1));
+        assert!(!seq_newer(1, 2));
+        assert!(!seq_newer(5, 5));
+        assert!(seq_newer(0, u16::MAX));
+        assert!(!seq_newer(u16::MAX, 0));
+        assert!(seq_newer(10, 0xFFF0));
+    }
+
+    fn line_state() -> OlsrState {
+        // local=1; 1-2 direct; 2 advertises 3; 3 advertises 4.
+        let mut s = OlsrState {
+            sym_neighbours: vec![addr(2)],
+            ..OlsrState::default()
+        };
+        s.apply_tc(addr(2), 1, &[addr(1), addr(3)], SimTime::ZERO, SimDuration::from_secs(15));
+        s.apply_tc(addr(3), 1, &[addr(2), addr(4)], SimTime::ZERO, SimDuration::from_secs(15));
+        s
+    }
+
+    #[test]
+    fn dijkstra_over_line() {
+        let s = line_state();
+        let routes = s.compute_routes(addr(1));
+        assert_eq!(routes.get(&addr(2)), Some(&(addr(2), 1)));
+        assert_eq!(routes.get(&addr(3)), Some(&(addr(2), 2)));
+        assert_eq!(routes.get(&addr(4)), Some(&(addr(2), 3)));
+        assert!(!routes.contains_key(&addr(1)), "no route to self");
+    }
+
+    #[test]
+    fn two_hop_info_contributes_routes() {
+        let s = OlsrState {
+            sym_neighbours: vec![addr(2)],
+            two_hop: vec![(addr(2), addr(3))],
+            ..OlsrState::default()
+        };
+        let routes = s.compute_routes(addr(1));
+        assert_eq!(routes.get(&addr(3)), Some(&(addr(2), 2)));
+    }
+
+    #[test]
+    fn stale_ansn_rejected_and_refresh_replaces() {
+        let mut s = OlsrState::default();
+        assert!(s.apply_tc(addr(2), 5, &[addr(3)], SimTime::ZERO, SimDuration::from_secs(15)));
+        assert!(!s.apply_tc(addr(2), 4, &[addr(9)], SimTime::ZERO, SimDuration::from_secs(15)));
+        assert!(s.topology.contains_key(&(addr(3), addr(2))));
+        assert!(!s.topology.contains_key(&(addr(9), addr(2))));
+        // Newer ANSN replaces the advertised set.
+        assert!(s.apply_tc(addr(2), 6, &[addr(4)], SimTime::ZERO, SimDuration::from_secs(15)));
+        assert!(!s.topology.contains_key(&(addr(3), addr(2))));
+        assert!(s.topology.contains_key(&(addr(4), addr(2))));
+    }
+
+    #[test]
+    fn expiry_drops_edges() {
+        let mut s = OlsrState::default();
+        s.apply_tc(addr(2), 1, &[addr(3)], SimTime::ZERO, SimDuration::from_secs(15));
+        assert!(!s.expire(SimTime::ZERO + SimDuration::from_secs(10)));
+        assert!(s.expire(SimTime::ZERO + SimDuration::from_secs(16)));
+        assert!(s.topology.is_empty());
+    }
+
+    #[test]
+    fn energy_metric_avoids_drained_relays() {
+        // Two disjoint 2-hop paths to 5: via 2 (drained) or via 3 (fresh).
+        let mut s = OlsrState {
+            sym_neighbours: vec![addr(2), addr(3)],
+            metric: RouteMetric::EnergyAware,
+            ..OlsrState::default()
+        };
+        s.apply_tc(addr(2), 1, &[addr(5)], SimTime::ZERO, SimDuration::from_secs(15));
+        s.apply_tc(addr(3), 1, &[addr(5)], SimTime::ZERO, SimDuration::from_secs(15));
+        s.energy.insert(addr(2), 0.1);
+        s.energy.insert(addr(3), 0.9);
+        let routes = s.compute_routes(addr(1));
+        assert_eq!(routes.get(&addr(5)).unwrap().0, addr(3), "fresh relay preferred");
+
+        // Hop-count metric would pick the lower address instead.
+        let mut hs = s.clone();
+        hs.metric = RouteMetric::HopCount;
+        let routes = hs.compute_routes(addr(1));
+        assert_eq!(routes.get(&addr(5)).unwrap().0, addr(2));
+    }
+}

@@ -1,0 +1,204 @@
+//! The architecture reflective meta-model: an inspectable snapshot of a
+//! kernel's component/binding graph.
+
+use crate::component::{ComponentId, LifecycleState};
+use crate::interface::{InterfaceId, ReceptacleId};
+use crate::kernel::BindingId;
+
+/// Reflective description of one loaded component.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ComponentInfo {
+    /// Kernel id.
+    pub id: ComponentId,
+    /// Component (type) name.
+    pub name: String,
+    /// Current lifecycle state.
+    pub state: LifecycleState,
+    /// Interfaces the component provides.
+    pub provided: Vec<InterfaceId>,
+    /// Receptacles the component requires.
+    pub required: Vec<ReceptacleId>,
+}
+
+/// Reflective description of one binding.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BindingInfo {
+    /// Binding id.
+    pub id: BindingId,
+    /// Source (dependent) component.
+    pub from: ComponentId,
+    /// Receptacle on the source.
+    pub receptacle: ReceptacleId,
+    /// Target (providing) component.
+    pub to: ComponentId,
+    /// Interface on the target.
+    pub interface: InterfaceId,
+}
+
+/// A point-in-time copy of the architecture graph, used for inspection and
+/// by integrity rules to vet pending changes.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ArchitectureSnapshot {
+    /// All loaded components.
+    pub components: Vec<ComponentInfo>,
+    /// All live bindings.
+    pub bindings: Vec<BindingInfo>,
+}
+
+impl ArchitectureSnapshot {
+    /// Looks up a component's info by id.
+    #[must_use]
+    pub fn component(&self, id: ComponentId) -> Option<&ComponentInfo> {
+        self.components.iter().find(|c| c.id == id)
+    }
+
+    /// All components with the given name.
+    pub fn named<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a ComponentInfo> + 'a {
+        self.components.iter().filter(move |c| c.name == name)
+    }
+
+    /// How many components carry the given name.
+    #[must_use]
+    pub fn count_named(&self, name: &str) -> usize {
+        self.named(name).count()
+    }
+
+    /// Ids of components providing `iface`.
+    #[must_use]
+    pub fn providers_of(&self, iface: &InterfaceId) -> Vec<ComponentId> {
+        self.components
+            .iter()
+            .filter(|c| c.provided.contains(iface))
+            .map(|c| c.id)
+            .collect()
+    }
+
+    /// Bindings whose source is `id`.
+    pub fn bindings_from(&self, id: ComponentId) -> impl Iterator<Item = &BindingInfo> + '_ {
+        self.bindings.iter().filter(move |b| b.from == id)
+    }
+
+    /// Bindings whose target is `id`.
+    pub fn bindings_to(&self, id: ComponentId) -> impl Iterator<Item = &BindingInfo> + '_ {
+        self.bindings.iter().filter(move |b| b.to == id)
+    }
+
+    /// Whether a binding already connects `from`'s `receptacle`.
+    #[must_use]
+    pub fn receptacle_bound(&self, from: ComponentId, receptacle: &ReceptacleId) -> bool {
+        self.bindings
+            .iter()
+            .any(|b| b.from == from && &b.receptacle == receptacle)
+    }
+
+    /// Components with no bindings at all (isolated in the graph).
+    #[must_use]
+    pub fn isolated(&self) -> Vec<ComponentId> {
+        self.components
+            .iter()
+            .map(|c| c.id)
+            .filter(|id| {
+                !self
+                    .bindings
+                    .iter()
+                    .any(|b| b.from == *id || b.to == *id)
+            })
+            .collect()
+    }
+
+    /// Whether `to` is reachable from `from` following binding direction.
+    ///
+    /// Used by loop-avoidance checks in event wiring.
+    #[must_use]
+    pub fn reaches(&self, from: ComponentId, to: ComponentId) -> bool {
+        if from == to {
+            return true;
+        }
+        let mut stack = vec![from];
+        let mut seen = std::collections::HashSet::new();
+        while let Some(cur) = stack.pop() {
+            if !seen.insert(cur) {
+                continue;
+            }
+            for b in self.bindings_from(cur) {
+                if b.to == to {
+                    return true;
+                }
+                stack.push(b.to);
+            }
+        }
+        false
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cid(n: u64) -> ComponentId {
+        ComponentId::from_raw(n)
+    }
+
+    fn info(id: u64, name: &str, provided: &[&'static str]) -> ComponentInfo {
+        ComponentInfo {
+            id: cid(id),
+            name: name.to_string(),
+            state: LifecycleState::Loaded,
+            provided: provided.iter().map(|s| InterfaceId::of(s)).collect(),
+            required: vec![],
+        }
+    }
+
+    fn binding(id: u64, from: u64, to: u64) -> BindingInfo {
+        BindingInfo {
+            id: BindingId::from_raw(id),
+            from: cid(from),
+            receptacle: ReceptacleId::of("r"),
+            to: cid(to),
+            interface: InterfaceId::of("I"),
+        }
+    }
+
+    #[test]
+    fn queries() {
+        let snap = ArchitectureSnapshot {
+            components: vec![
+                info(1, "x", &["I1"]),
+                info(2, "x", &[]),
+                info(3, "y", &["I1"]),
+            ],
+            bindings: vec![binding(1, 1, 2)],
+        };
+        assert_eq!(snap.count_named("x"), 2);
+        assert_eq!(snap.count_named("z"), 0);
+        assert_eq!(snap.providers_of(&InterfaceId::of("I1")).len(), 2);
+        assert!(snap.receptacle_bound(cid(1), &ReceptacleId::of("r")));
+        assert!(!snap.receptacle_bound(cid(2), &ReceptacleId::of("r")));
+        assert_eq!(snap.isolated(), vec![cid(3)]);
+        assert_eq!(snap.component(cid(3)).unwrap().name, "y");
+        assert_eq!(snap.bindings_from(cid(1)).count(), 1);
+        assert_eq!(snap.bindings_to(cid(2)).count(), 1);
+    }
+
+    #[test]
+    fn reachability() {
+        let snap = ArchitectureSnapshot {
+            components: vec![],
+            bindings: vec![binding(1, 1, 2), binding(2, 2, 3)],
+        };
+        assert!(snap.reaches(cid(1), cid(3)));
+        assert!(snap.reaches(cid(1), cid(1)));
+        assert!(!snap.reaches(cid(3), cid(1)));
+    }
+
+    #[test]
+    fn reachability_handles_cycles() {
+        let snap = ArchitectureSnapshot {
+            components: vec![],
+            bindings: vec![binding(1, 1, 2), binding(2, 2, 1)],
+        };
+        assert!(snap.reaches(cid(1), cid(2)));
+        assert!(snap.reaches(cid(2), cid(1)));
+        assert!(!snap.reaches(cid(1), cid(9)));
+    }
+}

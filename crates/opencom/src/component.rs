@@ -1,0 +1,178 @@
+//! The [`Component`] trait and component identity.
+
+use std::fmt;
+
+use crate::interface::{AnyInterface, InterfaceId, ReceptacleId};
+
+/// Identity of a loaded component within one [`Kernel`](crate::Kernel).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ComponentId(pub(crate) u64);
+
+impl ComponentId {
+    /// The raw numeric id (stable for the kernel's lifetime).
+    #[must_use]
+    pub fn as_u64(self) -> u64 {
+        self.0
+    }
+
+    /// Builds an id from a raw number. Only meaningful for ids previously
+    /// obtained from the same kernel; exposed for test fixtures.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn from_raw(raw: u64) -> Self {
+        ComponentId(raw)
+    }
+}
+
+impl fmt::Display for ComponentId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "#{}", self.0)
+    }
+}
+
+/// Lifecycle transitions the kernel can request of a component.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Lifecycle {
+    /// Allocate resources; called once after load.
+    Init,
+    /// Begin active operation.
+    Start,
+    /// Cease active operation (may be restarted).
+    Stop,
+    /// Release resources; called once before unload.
+    Destroy,
+}
+
+/// Lifecycle state a component is in, as tracked by the kernel.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum LifecycleState {
+    /// Loaded but not initialised.
+    #[default]
+    Loaded,
+    /// Initialised, not running.
+    Ready,
+    /// Running.
+    Running,
+    /// Stopped after running (can restart).
+    Stopped,
+    /// Destroyed, awaiting unload.
+    Destroyed,
+}
+
+impl LifecycleState {
+    /// The state reached by applying `transition`, or `None` if invalid.
+    #[must_use]
+    pub fn apply(self, transition: Lifecycle) -> Option<LifecycleState> {
+        use Lifecycle as T;
+        use LifecycleState as S;
+        match (self, transition) {
+            (S::Loaded, T::Init) => Some(S::Ready),
+            (S::Ready | S::Stopped, T::Start) => Some(S::Running),
+            (S::Running, T::Stop) => Some(S::Stopped),
+            (S::Loaded | S::Ready | S::Stopped, T::Destroy) => Some(S::Destroyed),
+            _ => None,
+        }
+    }
+}
+
+/// A runtime software component.
+///
+/// Components publish *interfaces* (capabilities they implement) and declare
+/// *receptacles* (interfaces they depend on). The kernel connects a
+/// receptacle to another component's interface with an explicit binding,
+/// which the component accepts through [`bind`](Component::bind) — typically
+/// by delegating to an embedded [`Receptacle`](crate::Receptacle).
+///
+/// All methods take `&self`: components use interior mutability, which is
+/// what lets the kernel rewire them while the system runs.
+pub trait Component: Send + Sync {
+    /// Human-readable component (type) name.
+    fn name(&self) -> &str;
+
+    /// Interfaces this component provides.
+    fn provided(&self) -> Vec<InterfaceId> {
+        Vec::new()
+    }
+
+    /// Receptacles this component requires.
+    fn required(&self) -> Vec<ReceptacleId> {
+        Vec::new()
+    }
+
+    /// The interface meta-model: returns a type-erased reference to one of
+    /// the [`provided`](Component::provided) interfaces.
+    fn query_interface(&self, _id: &InterfaceId) -> Option<AnyInterface> {
+        None
+    }
+
+    /// Accepts a binding on one of the [`required`](Component::required)
+    /// receptacles.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the receptacle is unknown or the
+    /// interface type does not match.
+    fn bind(&self, receptacle: &ReceptacleId, _iface: &AnyInterface) -> Result<(), String> {
+        Err(format!("unknown receptacle {receptacle}"))
+    }
+
+    /// Clears a binding on a receptacle.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the receptacle is unknown.
+    fn unbind(&self, receptacle: &ReceptacleId) -> Result<(), String> {
+        Err(format!("unknown receptacle {receptacle}"))
+    }
+
+    /// Applies a lifecycle transition. The kernel validates ordering; the
+    /// component only performs the work.
+    ///
+    /// # Errors
+    ///
+    /// Returns a human-readable reason when the transition's work fails.
+    fn lifecycle(&self, _transition: Lifecycle) -> Result<(), String> {
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lifecycle_state_machine() {
+        use Lifecycle::*;
+        use LifecycleState::*;
+        assert_eq!(Loaded.apply(Init), Some(Ready));
+        assert_eq!(Ready.apply(Start), Some(Running));
+        assert_eq!(Running.apply(Stop), Some(Stopped));
+        assert_eq!(Stopped.apply(Start), Some(Running));
+        assert_eq!(Stopped.apply(Destroy), Some(Destroyed));
+        assert_eq!(Loaded.apply(Start), None);
+        assert_eq!(Running.apply(Destroy), None, "must stop before destroy");
+        assert_eq!(Destroyed.apply(Init), None);
+    }
+
+    struct Minimal;
+    impl Component for Minimal {
+        fn name(&self) -> &str {
+            "minimal"
+        }
+    }
+
+    #[test]
+    fn default_trait_methods() {
+        let c = Minimal;
+        assert!(c.provided().is_empty());
+        assert!(c.required().is_empty());
+        assert!(c.query_interface(&InterfaceId::of("IAny")).is_none());
+        assert!(c.bind(&ReceptacleId::of("r"), &dummy_iface()).is_err());
+        assert!(c.unbind(&ReceptacleId::of("r")).is_err());
+        assert!(c.lifecycle(Lifecycle::Init).is_ok());
+    }
+
+    fn dummy_iface() -> AnyInterface {
+        AnyInterface::new(InterfaceId::of("IAny"), std::sync::Arc::new(0u8))
+    }
+}

@@ -1,0 +1,85 @@
+//! Errors raised by the component runtime.
+
+use std::fmt;
+
+use crate::component::ComponentId;
+use crate::interface::{InterfaceId, ReceptacleId};
+use crate::kernel::BindingId;
+
+/// Errors from kernel and component-framework operations.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ComponentError {
+    /// The referenced component is not loaded in this kernel.
+    NoSuchComponent(ComponentId),
+    /// The referenced binding does not exist.
+    NoSuchBinding(BindingId),
+    /// The target component does not provide the requested interface.
+    InterfaceNotProvided {
+        /// Component that was queried.
+        component: ComponentId,
+        /// Interface that was requested.
+        interface: InterfaceId,
+    },
+    /// The source component rejected the bind (unknown receptacle or type
+    /// mismatch between the erased interface and the receptacle's type).
+    BindRejected {
+        /// Component whose receptacle rejected the bind.
+        component: ComponentId,
+        /// The receptacle involved.
+        receptacle: ReceptacleId,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// A component cannot be unloaded while bindings attach to it.
+    StillBound(ComponentId),
+    /// A named plug-in was not found in a component framework.
+    NoSuchPlugin(String),
+    /// An integrity rule vetoed a structural change.
+    IntegrityViolation {
+        /// The rule that fired.
+        rule: String,
+        /// The rule's explanation.
+        reason: String,
+    },
+    /// A lifecycle transition was invalid (e.g. `Start` before `Init`).
+    BadLifecycle {
+        /// Component involved.
+        component: ComponentId,
+        /// Description of the invalid transition.
+        detail: String,
+    },
+}
+
+impl fmt::Display for ComponentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ComponentError::NoSuchComponent(id) => write!(f, "component {id} not loaded"),
+            ComponentError::NoSuchBinding(id) => write!(f, "binding {id} does not exist"),
+            ComponentError::InterfaceNotProvided {
+                component,
+                interface,
+            } => write!(f, "component {component} does not provide {interface}"),
+            ComponentError::BindRejected {
+                component,
+                receptacle,
+                reason,
+            } => write!(
+                f,
+                "component {component} rejected bind on receptacle {receptacle}: {reason}"
+            ),
+            ComponentError::StillBound(id) => {
+                write!(f, "component {id} still has bindings attached")
+            }
+            ComponentError::NoSuchPlugin(name) => write!(f, "no plug-in named {name:?}"),
+            ComponentError::IntegrityViolation { rule, reason } => {
+                write!(f, "integrity rule {rule:?} vetoed the change: {reason}")
+            }
+            ComponentError::BadLifecycle { component, detail } => {
+                write!(f, "invalid lifecycle transition on {component}: {detail}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ComponentError {}

@@ -1,0 +1,284 @@
+//! Interfaces, receptacles and type-erased interface references.
+
+use std::any::Any;
+use std::borrow::Cow;
+use std::fmt;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+/// Identifies an interface *type* (e.g. `"IForward"`).
+///
+/// Interface identity is nominal: two components interoperate when they agree
+/// on the id string **and** on the Rust trait object type behind it (checked
+/// at [`AnyInterface::downcast`] time).
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct InterfaceId(Cow<'static, str>);
+
+impl InterfaceId {
+    /// Creates an id from a static name — the common case.
+    #[must_use]
+    pub const fn of(name: &'static str) -> Self {
+        InterfaceId(Cow::Borrowed(name))
+    }
+
+    /// Creates an id from a runtime-computed name.
+    #[must_use]
+    pub fn from_string(name: String) -> Self {
+        InterfaceId(Cow::Owned(name))
+    }
+
+    /// The id as a string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for InterfaceId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&'static str> for InterfaceId {
+    fn from(s: &'static str) -> Self {
+        InterfaceId::of(s)
+    }
+}
+
+/// Identifies a receptacle (dependency slot) on a component.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct ReceptacleId(Cow<'static, str>);
+
+impl ReceptacleId {
+    /// Creates an id from a static name.
+    #[must_use]
+    pub const fn of(name: &'static str) -> Self {
+        ReceptacleId(Cow::Borrowed(name))
+    }
+
+    /// Creates an id from a runtime-computed name.
+    #[must_use]
+    pub fn from_string(name: String) -> Self {
+        ReceptacleId(Cow::Owned(name))
+    }
+
+    /// The id as a string.
+    #[must_use]
+    pub fn as_str(&self) -> &str {
+        &self.0
+    }
+}
+
+impl fmt::Display for ReceptacleId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+impl From<&'static str> for ReceptacleId {
+    fn from(s: &'static str) -> Self {
+        ReceptacleId::of(s)
+    }
+}
+
+/// A type-erased reference to an interface implementation.
+///
+/// Internally this wraps `Arc<Arc<dyn Trait>>` as `Arc<dyn Any>`, so the
+/// *unsized* trait-object arc can be recovered with [`downcast`].
+///
+/// [`downcast`]: AnyInterface::downcast
+#[derive(Clone)]
+pub struct AnyInterface {
+    id: InterfaceId,
+    inner: Arc<dyn Any + Send + Sync>,
+}
+
+impl AnyInterface {
+    /// Wraps a concrete or trait-object `Arc` under an interface id.
+    ///
+    /// For trait objects, name the trait explicitly:
+    /// `AnyInterface::new::<dyn IForward>(id, arc)` — the same type must be
+    /// used at [`downcast`](Self::downcast) time.
+    #[must_use]
+    pub fn new<T: ?Sized + Send + Sync + 'static>(id: InterfaceId, iface: Arc<T>) -> Self {
+        AnyInterface {
+            id,
+            inner: Arc::new(iface),
+        }
+    }
+
+    /// The interface id this reference was published under.
+    #[must_use]
+    pub fn id(&self) -> &InterfaceId {
+        &self.id
+    }
+
+    /// Recovers the typed `Arc`, if `T` matches the type used at
+    /// construction.
+    #[must_use]
+    pub fn downcast<T: ?Sized + Send + Sync + 'static>(&self) -> Option<Arc<T>> {
+        self.inner.downcast_ref::<Arc<T>>().cloned()
+    }
+}
+
+impl fmt::Debug for AnyInterface {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("AnyInterface").field("id", &self.id).finish()
+    }
+}
+
+/// A typed dependency slot a component embeds for each required interface.
+///
+/// `Receptacle<dyn IForward>` holds `Option<Arc<dyn IForward>>` behind a
+/// lock; the kernel fills it via [`Component::bind`](crate::Component::bind)
+/// and the component calls through [`Receptacle::get`].
+///
+/// ```
+/// use opencom::{AnyInterface, InterfaceId, Receptacle};
+/// use std::sync::Arc;
+///
+/// trait Sink: Send + Sync { fn push(&self, v: u32); }
+/// struct Null;
+/// impl Sink for Null { fn push(&self, _v: u32) {} }
+///
+/// let recp: Receptacle<dyn Sink> = Receptacle::new();
+/// assert!(recp.get().is_none());
+/// let iface = AnyInterface::new::<dyn Sink>(InterfaceId::of("ISink"), Arc::new(Null));
+/// recp.bind_any(&iface).unwrap();
+/// recp.get().unwrap().push(1);
+/// ```
+pub struct Receptacle<T: ?Sized> {
+    slot: RwLock<Option<Arc<T>>>,
+}
+
+impl<T: ?Sized> Receptacle<T> {
+    /// An empty (unbound) receptacle.
+    #[must_use]
+    pub fn new() -> Self {
+        Receptacle {
+            slot: RwLock::new(None),
+        }
+    }
+
+    /// The currently bound implementation, if any.
+    #[must_use]
+    pub fn get(&self) -> Option<Arc<T>> {
+        self.slot.read().clone()
+    }
+
+    /// Whether an implementation is bound.
+    #[must_use]
+    pub fn is_bound(&self) -> bool {
+        self.slot.read().is_some()
+    }
+
+    /// Binds a typed implementation directly.
+    pub fn bind(&self, iface: Arc<T>) {
+        *self.slot.write() = Some(iface);
+    }
+
+    /// Clears the binding.
+    pub fn unbind(&self) {
+        *self.slot.write() = None;
+    }
+}
+
+impl<T: ?Sized + Send + Sync + 'static> Receptacle<T> {
+    /// Binds from a type-erased reference.
+    ///
+    /// # Errors
+    ///
+    /// Returns the interface id when the erased type does not match `T`.
+    pub fn bind_any(&self, iface: &AnyInterface) -> Result<(), InterfaceId> {
+        match iface.downcast::<T>() {
+            Some(arc) => {
+                self.bind(arc);
+                Ok(())
+            }
+            None => Err(iface.id().clone()),
+        }
+    }
+}
+
+impl<T: ?Sized> Default for Receptacle<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: ?Sized> fmt::Debug for Receptacle<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Receptacle")
+            .field("bound", &self.is_bound())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    trait Calc: Send + Sync {
+        fn add(&self, a: u32, b: u32) -> u32;
+    }
+    struct Adder;
+    impl Calc for Adder {
+        fn add(&self, a: u32, b: u32) -> u32 {
+            a + b
+        }
+    }
+
+    #[test]
+    fn any_interface_round_trip_trait_object() {
+        let arc: Arc<dyn Calc> = Arc::new(Adder);
+        let any = AnyInterface::new(InterfaceId::of("ICalc"), arc);
+        let back: Arc<dyn Calc> = any.downcast().unwrap();
+        assert_eq!(back.add(2, 3), 5);
+    }
+
+    #[test]
+    fn downcast_wrong_type_is_none() {
+        let arc: Arc<dyn Calc> = Arc::new(Adder);
+        let any = AnyInterface::new(InterfaceId::of("ICalc"), arc);
+        trait Other: Send + Sync {}
+        assert!(any.downcast::<dyn Other>().is_none());
+        assert!(any.downcast::<u32>().is_none());
+    }
+
+    #[test]
+    fn concrete_type_round_trip() {
+        let any = AnyInterface::new(InterfaceId::of("INum"), Arc::new(41u32));
+        let n: Arc<u32> = any.downcast().unwrap();
+        assert_eq!(*n, 41);
+    }
+
+    #[test]
+    fn receptacle_lifecycle() {
+        let r: Receptacle<dyn Calc> = Receptacle::new();
+        assert!(!r.is_bound());
+        let arc: Arc<dyn Calc> = Arc::new(Adder);
+        r.bind(arc);
+        assert_eq!(r.get().unwrap().add(1, 1), 2);
+        r.unbind();
+        assert!(r.get().is_none());
+    }
+
+    #[test]
+    fn receptacle_bind_any_type_mismatch() {
+        let r: Receptacle<dyn Calc> = Receptacle::new();
+        let wrong = AnyInterface::new(InterfaceId::of("INum"), Arc::new(1u8));
+        let err = r.bind_any(&wrong).unwrap_err();
+        assert_eq!(err.as_str(), "INum");
+        assert!(!r.is_bound());
+    }
+
+    #[test]
+    fn ids_display_and_convert() {
+        let i: InterfaceId = "IForward".into();
+        assert_eq!(i.to_string(), "IForward");
+        let r = ReceptacleId::from_string(format!("slot{}", 3));
+        assert_eq!(r.as_str(), "slot3");
+    }
+}

@@ -1,0 +1,76 @@
+//! A lightweight runtime component model in the spirit of OpenCom.
+//!
+//! MANETKit (Middleware 2009) is built on OpenCom, a reflective component
+//! runtime: software is composed at *runtime* from components that expose
+//! **interfaces** and declare **receptacles** (typed dependency slots), wired
+//! together by explicit **bindings** managed by a small **kernel**. Two
+//! reflective meta-models make composition inspectable and mutable while the
+//! system runs:
+//!
+//! * the **interface meta-model** — what interfaces/receptacles a component
+//!   has ([`Component::provided`], [`Component::required`],
+//!   [`Component::query_interface`]);
+//! * the **architecture meta-model** — the graph of components and bindings
+//!   ([`Kernel::architecture`], returning an [`ArchitectureSnapshot`]).
+//!
+//! **Component frameworks** ([`ComponentFramework`]) are composite components
+//! that accept plug-ins and *police* their own structure with integrity
+//! rules, so runtime reconfiguration cannot produce an illegal composition.
+//! A [`QuiescenceLock`] brings a framework to a safe state before structural
+//! change — activity (event shepherding) holds read locks, reconfiguration
+//! takes the write lock.
+//!
+//! This crate is protocol-agnostic; MANETKit's routing machinery lives in the
+//! `manetkit` crate on top of it.
+//!
+//! # Example
+//!
+//! ```
+//! use opencom::{AnyInterface, Component, InterfaceId, Kernel, Receptacle};
+//! use std::sync::Arc;
+//!
+//! // An interface is any trait object; components exchange them type-erased.
+//! trait Greeter: Send + Sync {
+//!     fn greet(&self) -> String;
+//! }
+//!
+//! struct English;
+//! impl Greeter for English {
+//!     fn greet(&self) -> String { "hello".into() }
+//! }
+//!
+//! struct GreeterComponent(Arc<dyn Greeter>);
+//! impl Component for GreeterComponent {
+//!     fn name(&self) -> &str { "greeter" }
+//!     fn provided(&self) -> Vec<InterfaceId> { vec![InterfaceId::of("IGreeter")] }
+//!     fn query_interface(&self, id: &InterfaceId) -> Option<AnyInterface> {
+//!         (id.as_str() == "IGreeter")
+//!             .then(|| AnyInterface::new(InterfaceId::of("IGreeter"), self.0.clone()))
+//!     }
+//! }
+//!
+//! let kernel = Kernel::new();
+//! let id = kernel.load(Arc::new(GreeterComponent(Arc::new(English)))).unwrap();
+//! let iface = kernel.query_interface(id, &InterfaceId::of("IGreeter")).unwrap();
+//! let greeter: Arc<dyn Greeter> = iface.downcast().unwrap();
+//! assert_eq!(greeter.greet(), "hello");
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod arch;
+mod cf;
+mod component;
+mod error;
+mod interface;
+mod kernel;
+mod quiescence;
+
+pub use arch::{ArchitectureSnapshot, BindingInfo, ComponentInfo};
+pub use cf::{ComponentFramework, IntegrityRule, PendingChange};
+pub use component::{Component, ComponentId, Lifecycle, LifecycleState};
+pub use error::ComponentError;
+pub use interface::{AnyInterface, InterfaceId, Receptacle, ReceptacleId};
+pub use kernel::{BindingId, Kernel};
+pub use quiescence::{ActivityGuard, QuiescenceLock, ReconfigGuard};

@@ -1,0 +1,139 @@
+//! Quiescence management for safe runtime reconfiguration.
+//!
+//! The paper's reconfiguration model (§4.5) relies on protocols being
+//! *critical sections*: event processing holds the lock shared, a
+//! reconfiguration waits for in-flight processing to drain, blocks new
+//! activity, applies its change and releases. [`QuiescenceLock`] packages
+//! that pattern (a fair readers-writer lock plus counters for observability).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+#[derive(Debug, Default)]
+struct Counters {
+    activities: AtomicU64,
+    reconfigs: AtomicU64,
+}
+
+/// A reconfiguration gate: many concurrent *activities* (event processing),
+/// one exclusive *reconfigurer* at a time.
+///
+/// parking_lot's `RwLock` is used for its writer-favouring fairness: a
+/// pending reconfiguration blocks new activities, so quiescence is reached
+/// even under a steady event stream.
+///
+/// ```
+/// use opencom::QuiescenceLock;
+/// let q = QuiescenceLock::new();
+/// {
+///     let _a = q.activity();      // event shepherding
+///     assert_eq!(q.activities_entered(), 1);
+/// }
+/// let _r = q.reconfigure();       // exclusive structural change
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct QuiescenceLock {
+    lock: Arc<RwLock<()>>,
+    counters: Arc<Counters>,
+}
+
+/// Guard held while an activity (event processing) is in flight.
+pub struct ActivityGuard<'a>(#[allow(dead_code)] RwLockReadGuard<'a, ()>);
+
+/// Guard held while a reconfiguration is in progress.
+pub struct ReconfigGuard<'a>(#[allow(dead_code)] RwLockWriteGuard<'a, ()>);
+
+impl QuiescenceLock {
+    /// Creates a fresh lock.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Enters an activity section, blocking while a reconfiguration runs.
+    #[must_use]
+    pub fn activity(&self) -> ActivityGuard<'_> {
+        let g = self.lock.read();
+        self.counters.activities.fetch_add(1, Ordering::Relaxed);
+        ActivityGuard(g)
+    }
+
+    /// Attempts to enter an activity section without blocking.
+    #[must_use]
+    pub fn try_activity(&self) -> Option<ActivityGuard<'_>> {
+        let g = self.lock.try_read()?;
+        self.counters.activities.fetch_add(1, Ordering::Relaxed);
+        Some(ActivityGuard(g))
+    }
+
+    /// Waits for quiescence (all in-flight activities to finish) and enters
+    /// an exclusive reconfiguration section.
+    #[must_use]
+    pub fn reconfigure(&self) -> ReconfigGuard<'_> {
+        let g = self.lock.write();
+        self.counters.reconfigs.fetch_add(1, Ordering::Relaxed);
+        ReconfigGuard(g)
+    }
+
+    /// Total activity sections entered (observability).
+    #[must_use]
+    pub fn activities_entered(&self) -> u64 {
+        self.counters.activities.load(Ordering::Relaxed)
+    }
+
+    /// Total reconfiguration sections entered (observability).
+    #[must_use]
+    pub fn reconfigs_entered(&self) -> u64 {
+        self.counters.reconfigs.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicBool;
+    use std::time::Duration;
+
+    #[test]
+    fn multiple_activities_coexist() {
+        let q = QuiescenceLock::new();
+        let a = q.activity();
+        let b = q.activity();
+        drop((a, b));
+        assert_eq!(q.activities_entered(), 2);
+    }
+
+    #[test]
+    fn reconfigure_excludes_activity() {
+        let q = QuiescenceLock::new();
+        let r = q.reconfigure();
+        assert!(q.try_activity().is_none());
+        drop(r);
+        assert!(q.try_activity().is_some());
+        assert_eq!(q.reconfigs_entered(), 1);
+    }
+
+    #[test]
+    fn reconfigure_waits_for_inflight_activity() {
+        let q = QuiescenceLock::new();
+        let q2 = q.clone();
+        let reconfigured = Arc::new(AtomicBool::new(false));
+        let flag = reconfigured.clone();
+
+        let a = q.activity();
+        let handle = std::thread::spawn(move || {
+            let _r = q2.reconfigure();
+            flag.store(true, Ordering::SeqCst);
+        });
+        std::thread::sleep(Duration::from_millis(30));
+        assert!(
+            !reconfigured.load(Ordering::SeqCst),
+            "reconfiguration must wait for the activity"
+        );
+        drop(a);
+        handle.join().unwrap();
+        assert!(reconfigured.load(Ordering::SeqCst));
+    }
+}

@@ -1,0 +1,52 @@
+//! Codec throughput of the PacketBB wire format: encode and decode of the
+//! message shapes the protocols actually exchange.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+use packetbb::{Address, AddressBlock, AddressTlv, MessageBuilder, Packet, Tlv};
+
+fn hello_like_packet(neighbours: usize) -> Packet {
+    let addrs: Vec<Address> = (0..neighbours)
+        .map(|i| Address::v4([10, 0, (i / 250) as u8, (i % 250 + 1) as u8]))
+        .collect();
+    let mut block = AddressBlock::new(addrs).expect("non-empty");
+    for i in 0..neighbours {
+        block.add_tlv(AddressTlv::single(
+            Tlv::with_value(packetbb::registry::tlv_type::LINK_STATUS, vec![2]),
+            i as u8,
+        ));
+    }
+    let msg = MessageBuilder::new(packetbb::registry::msg_type::HELLO)
+        .originator(Address::v4([10, 0, 0, 100]))
+        .hop_limit(1)
+        .seq_num(7)
+        .push_tlv(Tlv::with_value(
+            packetbb::registry::tlv_type::VALIDITY_TIME,
+            vec![0x18],
+        ))
+        .push_address_block(block)
+        .build();
+    Packet::builder().seq_num(3).push_message(msg).build()
+}
+
+fn bench_codec(c: &mut Criterion) {
+    let mut group = c.benchmark_group("packetbb_codec");
+    for neighbours in [2usize, 8, 32] {
+        let packet = hello_like_packet(neighbours);
+        let wire = packet.encode_to_vec();
+        group.throughput(Throughput::Bytes(wire.len() as u64));
+        group.bench_function(format!("encode/{neighbours}_neighbours"), |b| {
+            b.iter(|| std::hint::black_box(packet.encode_to_vec()));
+        });
+        group.bench_function(format!("decode/{neighbours}_neighbours"), |b| {
+            b.iter(|| Packet::decode(std::hint::black_box(&wire)).expect("valid"));
+        });
+    }
+    group.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().measurement_time(std::time::Duration::from_secs(3)).warm_up_time(std::time::Duration::from_secs(1));
+    targets = bench_codec
+}
+criterion_main!(benches);

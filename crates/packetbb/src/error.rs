@@ -1,0 +1,105 @@
+//! Error types for the PacketBB codec.
+
+use std::fmt;
+
+/// Top-level error type of this crate.
+///
+/// Today every failure is a [`DecodeError`]; the enum leaves room for future
+/// encode-side validation failures without a breaking change.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Error {
+    /// Decoding a binary packet failed.
+    Decode(DecodeError),
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Error::Decode(e) => write!(f, "packet decode failed: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for Error {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Error::Decode(e) => Some(e),
+        }
+    }
+}
+
+impl From<DecodeError> for Error {
+    fn from(e: DecodeError) -> Self {
+        Error::Decode(e)
+    }
+}
+
+/// Reasons a byte sequence failed to parse as a PacketBB packet.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum DecodeError {
+    /// The buffer ended before the structure was complete.
+    Truncated {
+        /// What was being parsed when the bytes ran out.
+        context: &'static str,
+    },
+    /// The packet declared an unsupported version.
+    BadVersion(u8),
+    /// A message declared an address length other than 4 (IPv4) or 16 (IPv6).
+    BadAddressLength(u8),
+    /// An address block head/tail/mid arithmetic was inconsistent.
+    BadAddressBlock {
+        /// Human-readable description of the inconsistency.
+        reason: &'static str,
+    },
+    /// A message `size` field disagrees with its actual extent.
+    BadMessageSize {
+        /// The size the header declared.
+        declared: usize,
+        /// The minimum bytes the contents require.
+        needed: usize,
+    },
+    /// A TLV index range was inverted or out of bounds for its address block.
+    BadTlvIndex {
+        /// First index in the range.
+        start: u8,
+        /// Last index in the range.
+        stop: u8,
+        /// Number of addresses in the enclosing block.
+        addrs: usize,
+    },
+    /// A prefix length exceeded the number of bits in the address family.
+    BadPrefixLength(u8),
+    /// Trailing bytes remained after the declared packet contents.
+    TrailingBytes(usize),
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::Truncated { context } => {
+                write!(f, "input truncated while reading {context}")
+            }
+            DecodeError::BadVersion(v) => write!(f, "unsupported packet version {v}"),
+            DecodeError::BadAddressLength(l) => {
+                write!(f, "address length {l} is not 4 or 16")
+            }
+            DecodeError::BadAddressBlock { reason } => {
+                write!(f, "malformed address block: {reason}")
+            }
+            DecodeError::BadMessageSize { declared, needed } => write!(
+                f,
+                "message size field {declared} smaller than contents {needed}"
+            ),
+            DecodeError::BadTlvIndex { start, stop, addrs } => write!(
+                f,
+                "tlv index range {start}..={stop} invalid for {addrs} addresses"
+            ),
+            DecodeError::BadPrefixLength(p) => write!(f, "prefix length {p} out of range"),
+            DecodeError::TrailingBytes(n) => write!(f, "{n} trailing bytes after packet"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}

@@ -1,0 +1,57 @@
+//! Generalized MANET packet format in the PacketBB / RFC 5444 family.
+//!
+//! MANETKit (Middleware 2009) bases its event payloads on the PacketBB
+//! internet draft — the "generalized MANET message format" that later became
+//! RFC 5444. This crate implements that format as a standalone substrate:
+//!
+//! * a typed object model ([`Packet`], [`Message`], [`AddressBlock`],
+//!   [`Tlv`]),
+//! * a compact binary codec with head/tail address compression
+//!   ([`Packet::encode`] / [`Packet::decode`]),
+//! * the RFC 5497 mantissa/exponent *time* codec used by OLSRv2 and DYMO for
+//!   validity/interval times ([`time::encode_time`]),
+//! * a registry of well-known message and TLV types used by the protocols in
+//!   this workspace ([`registry`]).
+//!
+//! # Example
+//!
+//! ```
+//! use packetbb::{Address, Message, MessageBuilder, Packet, Tlv};
+//!
+//! # fn main() -> Result<(), packetbb::Error> {
+//! let origin = Address::v4([10, 0, 0, 1]);
+//! let msg = MessageBuilder::new(packetbb::registry::msg_type::HELLO)
+//!     .originator(origin)
+//!     .hop_limit(1)
+//!     .seq_num(7)
+//!     .push_tlv(Tlv::with_value(packetbb::registry::tlv_type::VALIDITY_TIME, vec![0x18]))
+//!     .build();
+//! let packet = Packet::builder().seq_num(1).push_message(msg).build();
+//!
+//! let bytes = packet.encode_to_vec();
+//! let decoded = Packet::decode(&bytes)?;
+//! assert_eq!(packet, decoded);
+//! # Ok(())
+//! # }
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+mod address;
+mod addrblock;
+mod error;
+mod message;
+mod packet;
+mod tlv;
+mod wire;
+
+pub mod registry;
+pub mod time;
+
+pub use address::{Address, AddressFamily};
+pub use addrblock::{AddressBlock, PrefixMode};
+pub use error::{DecodeError, Error};
+pub use message::{Message, MessageBuilder};
+pub use packet::{Packet, PacketBuilder};
+pub use tlv::{AddressTlv, Tlv};

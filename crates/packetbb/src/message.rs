@@ -1,0 +1,446 @@
+//! MANET messages: the routed unit inside a PacketBB packet.
+
+use crate::addrblock::AddressBlock;
+use crate::error::DecodeError;
+use crate::tlv::Tlv;
+use crate::wire::{self, Reader};
+use crate::{Address, AddressFamily};
+
+const MF_HAS_ORIG: u8 = 0x8;
+const MF_HAS_HOP_LIMIT: u8 = 0x4;
+const MF_HAS_HOP_COUNT: u8 = 0x2;
+const MF_HAS_SEQ: u8 = 0x1;
+
+/// A MANET message: typed, optionally originated/scoped/sequenced, carrying
+/// message TLVs and address blocks.
+///
+/// Messages are what routing protocols exchange — HELLOs, TCs, route
+/// elements. The *packet* is merely a transmission envelope; messages are the
+/// unit that gets forwarded, deduplicated and hop-limited.
+///
+/// Construct with [`MessageBuilder`]:
+///
+/// ```
+/// use packetbb::{Address, MessageBuilder};
+/// let msg = MessageBuilder::new(1)
+///     .originator(Address::v4([10, 0, 0, 1]))
+///     .hop_limit(255)
+///     .hop_count(0)
+///     .seq_num(42)
+///     .build();
+/// assert_eq!(msg.seq_num(), Some(42));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Message {
+    msg_type: u8,
+    family: AddressFamily,
+    originator: Option<Address>,
+    hop_limit: Option<u8>,
+    hop_count: Option<u8>,
+    seq_num: Option<u16>,
+    tlvs: Vec<Tlv>,
+    address_blocks: Vec<AddressBlock>,
+}
+
+impl Message {
+    /// The message type octet (see [`crate::registry::msg_type`]).
+    #[must_use]
+    pub fn msg_type(&self) -> u8 {
+        self.msg_type
+    }
+
+    /// The address family all address blocks of this message use.
+    #[must_use]
+    pub fn family(&self) -> AddressFamily {
+        self.family
+    }
+
+    /// The originator address, if present.
+    #[must_use]
+    pub fn originator(&self) -> Option<Address> {
+        self.originator
+    }
+
+    /// Remaining hop budget, if present.
+    #[must_use]
+    pub fn hop_limit(&self) -> Option<u8> {
+        self.hop_limit
+    }
+
+    /// Hops travelled so far, if present.
+    #[must_use]
+    pub fn hop_count(&self) -> Option<u8> {
+        self.hop_count
+    }
+
+    /// The originator's message sequence number, if present.
+    #[must_use]
+    pub fn seq_num(&self) -> Option<u16> {
+        self.seq_num
+    }
+
+    /// Message-level TLVs.
+    #[must_use]
+    pub fn tlvs(&self) -> &[Tlv] {
+        &self.tlvs
+    }
+
+    /// First message TLV of the given type, if any.
+    #[must_use]
+    pub fn find_tlv(&self, tlv_type: u8) -> Option<&Tlv> {
+        self.tlvs.iter().find(|t| t.tlv_type() == tlv_type)
+    }
+
+    /// The address blocks of this message.
+    #[must_use]
+    pub fn address_blocks(&self) -> &[AddressBlock] {
+        &self.address_blocks
+    }
+
+    /// Returns a copy prepared for forwarding: hop count incremented, hop
+    /// limit decremented.
+    ///
+    /// Returns `None` when the hop limit is present and already exhausted
+    /// (`<= 1`), meaning the message must not be forwarded further.
+    #[must_use]
+    pub fn forwarded(&self) -> Option<Message> {
+        let mut next = self.clone();
+        if let Some(hl) = self.hop_limit {
+            if hl <= 1 {
+                return None;
+            }
+            next.hop_limit = Some(hl - 1);
+        }
+        if let Some(hc) = self.hop_count {
+            next.hop_count = Some(hc.saturating_add(1));
+        }
+        Some(next)
+    }
+
+    /// Returns a copy with the hop limit replaced — used by interposers
+    /// that re-scope a message's flooding radius (e.g. fisheye routing).
+    #[must_use]
+    pub fn with_hop_limit(&self, hop_limit: u8) -> Message {
+        let mut m = self.clone();
+        m.hop_limit = Some(hop_limit);
+        m
+    }
+
+    /// Serializes this message, appending to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        out.push(self.msg_type);
+        let mut flags = 0u8;
+        if self.originator.is_some() {
+            flags |= MF_HAS_ORIG;
+        }
+        if self.hop_limit.is_some() {
+            flags |= MF_HAS_HOP_LIMIT;
+        }
+        if self.hop_count.is_some() {
+            flags |= MF_HAS_HOP_COUNT;
+        }
+        if self.seq_num.is_some() {
+            flags |= MF_HAS_SEQ;
+        }
+        let addr_len_nibble = (self.family.len() - 1) as u8;
+        out.push((flags << 4) | addr_len_nibble);
+
+        let size_at = out.len();
+        out.extend_from_slice(&[0, 0]);
+
+        if let Some(orig) = self.originator {
+            out.extend_from_slice(orig.octets());
+        }
+        if let Some(hl) = self.hop_limit {
+            out.push(hl);
+        }
+        if let Some(hc) = self.hop_count {
+            out.push(hc);
+        }
+        if let Some(seq) = self.seq_num {
+            out.extend_from_slice(&seq.to_be_bytes());
+        }
+        wire::encode_tlv_block(out, &self.tlvs);
+        for block in &self.address_blocks {
+            wire::encode_address_block(out, block);
+        }
+        let size = out.len() - size_at + 2; // include type + flags octets
+        debug_assert!(size <= u16::MAX as usize, "message too large");
+        out[size_at..size_at + 2].copy_from_slice(&(size as u16).to_be_bytes());
+    }
+
+    /// Serializes this message into a fresh buffer.
+    #[must_use]
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(64);
+        self.encode(&mut out);
+        out
+    }
+
+    /// Size in bytes this message will occupy on the wire.
+    #[must_use]
+    pub fn encoded_len(&self) -> usize {
+        self.encode_to_vec().len()
+    }
+
+    pub(crate) fn decode(r: &mut Reader<'_>) -> Result<Message, DecodeError> {
+        let start = r.position();
+        let msg_type = r.u8("message type")?;
+        let packed = r.u8("message flags")?;
+        let flags = packed >> 4;
+        let addr_len = (packed & 0x0F) as usize + 1;
+        let family = match addr_len {
+            4 => AddressFamily::V4,
+            16 => AddressFamily::V6,
+            other => return Err(DecodeError::BadAddressLength(other as u8)),
+        };
+        let size = r.u16("message size")? as usize;
+        let header_so_far = r.position() - start;
+        if size < header_so_far {
+            return Err(DecodeError::BadMessageSize {
+                declared: size,
+                needed: header_so_far,
+            });
+        }
+        let mut body = r.slice(size - header_so_far, "message body")?;
+
+        let originator = if flags & MF_HAS_ORIG != 0 {
+            let raw = body.bytes(addr_len, "originator")?;
+            Some(Address::from_octets(raw).expect("validated addr_len"))
+        } else {
+            None
+        };
+        let hop_limit = if flags & MF_HAS_HOP_LIMIT != 0 {
+            Some(body.u8("hop limit")?)
+        } else {
+            None
+        };
+        let hop_count = if flags & MF_HAS_HOP_COUNT != 0 {
+            Some(body.u8("hop count")?)
+        } else {
+            None
+        };
+        let seq_num = if flags & MF_HAS_SEQ != 0 {
+            Some(body.u16("message seq num")?)
+        } else {
+            None
+        };
+        let tlvs = wire::decode_tlv_block(&mut body)?;
+        let mut address_blocks = Vec::new();
+        while body.remaining() > 0 {
+            address_blocks.push(wire::decode_address_block(&mut body, family)?);
+        }
+        Ok(Message {
+            msg_type,
+            family,
+            originator,
+            hop_limit,
+            hop_count,
+            seq_num,
+            tlvs,
+            address_blocks,
+        })
+    }
+}
+
+/// Builder for [`Message`] values.
+///
+/// The address family defaults to IPv4 and is inferred from the first
+/// originator or address block set; mixing families panics (programmer
+/// error — RFC 5444 messages are single-family).
+#[derive(Debug, Clone)]
+pub struct MessageBuilder {
+    msg: Message,
+    family_pinned: bool,
+}
+
+impl MessageBuilder {
+    /// Starts building a message of the given type.
+    #[must_use]
+    pub fn new(msg_type: u8) -> Self {
+        MessageBuilder {
+            msg: Message {
+                msg_type,
+                family: AddressFamily::V4,
+                originator: None,
+                hop_limit: None,
+                hop_count: None,
+                seq_num: None,
+                tlvs: Vec::new(),
+                address_blocks: Vec::new(),
+            },
+            family_pinned: false,
+        }
+    }
+
+    fn pin_family(&mut self, family: AddressFamily) {
+        if self.family_pinned {
+            assert_eq!(
+                self.msg.family, family,
+                "message mixes address families (IPv4 vs IPv6)"
+            );
+        } else {
+            self.msg.family = family;
+            self.family_pinned = true;
+        }
+    }
+
+    /// Sets the originator address.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a different address family was already pinned.
+    #[must_use]
+    pub fn originator(mut self, addr: Address) -> Self {
+        self.pin_family(addr.family());
+        self.msg.originator = Some(addr);
+        self
+    }
+
+    /// Sets the hop limit (TTL analogue).
+    #[must_use]
+    pub fn hop_limit(mut self, hl: u8) -> Self {
+        self.msg.hop_limit = Some(hl);
+        self
+    }
+
+    /// Sets the hop count travelled so far.
+    #[must_use]
+    pub fn hop_count(mut self, hc: u8) -> Self {
+        self.msg.hop_count = Some(hc);
+        self
+    }
+
+    /// Sets the originator sequence number.
+    #[must_use]
+    pub fn seq_num(mut self, seq: u16) -> Self {
+        self.msg.seq_num = Some(seq);
+        self
+    }
+
+    /// Appends a message TLV.
+    #[must_use]
+    pub fn push_tlv(mut self, tlv: Tlv) -> Self {
+        self.msg.tlvs.push(tlv);
+        self
+    }
+
+    /// Appends an address block.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the block's family differs from one already pinned.
+    #[must_use]
+    pub fn push_address_block(mut self, block: AddressBlock) -> Self {
+        self.pin_family(block.family());
+        self.msg.address_blocks.push(block);
+        self
+    }
+
+    /// Finalizes the message.
+    #[must_use]
+    pub fn build(self) -> Message {
+        self.msg
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::tlv::{AddressTlv, Tlv};
+    use crate::AddressBlock;
+
+    fn sample() -> Message {
+        MessageBuilder::new(1)
+            .originator(Address::v4([10, 0, 0, 1]))
+            .hop_limit(4)
+            .hop_count(0)
+            .seq_num(99)
+            .push_tlv(Tlv::with_value(0, vec![0x18]))
+            .push_address_block(
+                AddressBlock::new(vec![
+                    Address::v4([10, 0, 0, 2]),
+                    Address::v4([10, 0, 0, 3]),
+                ])
+                .unwrap()
+                .push_tlv(AddressTlv::single(Tlv::with_value(2, vec![1]), 0)),
+            )
+            .build()
+    }
+
+    #[test]
+    fn round_trip() {
+        let msg = sample();
+        let bytes = msg.encode_to_vec();
+        let mut r = Reader::new(&bytes);
+        let back = Message::decode(&mut r).unwrap();
+        assert_eq!(back, msg);
+        assert_eq!(r.remaining(), 0);
+    }
+
+    #[test]
+    fn minimal_message_round_trip() {
+        let msg = MessageBuilder::new(200).build();
+        let bytes = msg.encode_to_vec();
+        let mut r = Reader::new(&bytes);
+        let back = Message::decode(&mut r).unwrap();
+        assert_eq!(back, msg);
+        // type + flags + size + empty tlv block
+        assert_eq!(bytes.len(), 6);
+    }
+
+    #[test]
+    fn encoded_len_matches() {
+        let msg = sample();
+        assert_eq!(msg.encoded_len(), msg.encode_to_vec().len());
+    }
+
+    #[test]
+    fn forwarded_decrements_and_stops() {
+        let msg = sample();
+        let f = msg.forwarded().unwrap();
+        assert_eq!(f.hop_limit(), Some(3));
+        assert_eq!(f.hop_count(), Some(1));
+
+        let last = MessageBuilder::new(1).hop_limit(1).build();
+        assert!(last.forwarded().is_none());
+
+        let unlimited = MessageBuilder::new(1).build();
+        assert!(unlimited.forwarded().is_some());
+    }
+
+    #[test]
+    fn truncated_message_errors() {
+        let bytes = sample().encode_to_vec();
+        for cut in 0..bytes.len() {
+            let mut r = Reader::new(&bytes[..cut]);
+            assert!(Message::decode(&mut r).is_err(), "cut at {cut} should fail");
+        }
+    }
+
+    #[test]
+    fn bad_addr_len_rejected() {
+        let mut bytes = sample().encode_to_vec();
+        bytes[1] = (bytes[1] & 0xF0) | 0x07; // addr_len = 8
+        let mut r = Reader::new(&bytes);
+        assert!(matches!(
+            Message::decode(&mut r),
+            Err(DecodeError::BadAddressLength(8))
+        ));
+    }
+
+    #[test]
+    #[should_panic(expected = "mixes address families")]
+    fn family_mixing_panics() {
+        let _ = MessageBuilder::new(1)
+            .originator(Address::v4([1, 1, 1, 1]))
+            .push_address_block(AddressBlock::new(vec![Address::v6([0; 16])]).unwrap());
+    }
+
+    #[test]
+    fn find_tlv() {
+        let msg = sample();
+        assert!(msg.find_tlv(0).is_some());
+        assert!(msg.find_tlv(77).is_none());
+    }
+}

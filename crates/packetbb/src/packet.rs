@@ -1,0 +1,280 @@
+//! Packets: the transmission envelope for one or more messages.
+
+use crate::error::{DecodeError, Error};
+use crate::message::Message;
+use crate::tlv::Tlv;
+use crate::wire::{self, Reader};
+
+const PKT_HAS_SEQ: u8 = 0x8;
+const PKT_HAS_TLV: u8 = 0x4;
+
+/// The PacketBB protocol version this crate implements.
+pub const VERSION: u8 = 0;
+
+/// A PacketBB packet: version, optional sequence number, optional packet
+/// TLVs and zero or more [`Message`]s.
+///
+/// Packets exist only between two neighbouring interfaces; routing protocols
+/// reason about the *messages* inside. Several messages from different
+/// protocols may share one packet ("piggybacking").
+///
+/// ```
+/// use packetbb::{MessageBuilder, Packet};
+///
+/// # fn main() -> Result<(), packetbb::Error> {
+/// let p = Packet::builder()
+///     .seq_num(3)
+///     .push_message(MessageBuilder::new(1).build())
+///     .build();
+/// let bytes = p.encode_to_vec();
+/// assert_eq!(Packet::decode(&bytes)?, p);
+/// # Ok(())
+/// # }
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Packet {
+    seq_num: Option<u16>,
+    tlvs: Vec<Tlv>,
+    messages: Vec<Message>,
+}
+
+impl Packet {
+    /// Starts building a packet.
+    #[must_use]
+    pub fn builder() -> PacketBuilder {
+        PacketBuilder {
+            packet: Packet::default(),
+        }
+    }
+
+    /// Convenience: a packet wrapping a single message, no sequence number.
+    #[must_use]
+    pub fn single(message: Message) -> Self {
+        Packet {
+            seq_num: None,
+            tlvs: Vec::new(),
+            messages: vec![message],
+        }
+    }
+
+    /// The packet sequence number, if present.
+    #[must_use]
+    pub fn seq_num(&self) -> Option<u16> {
+        self.seq_num
+    }
+
+    /// Packet-level TLVs.
+    #[must_use]
+    pub fn tlvs(&self) -> &[Tlv] {
+        &self.tlvs
+    }
+
+    /// The messages carried by this packet.
+    #[must_use]
+    pub fn messages(&self) -> &[Message] {
+        &self.messages
+    }
+
+    /// Consumes the packet, yielding its messages.
+    #[must_use]
+    pub fn into_messages(self) -> Vec<Message> {
+        self.messages
+    }
+
+    /// Serializes the packet, appending to `out`.
+    pub fn encode(&self, out: &mut Vec<u8>) {
+        let mut flags = 0u8;
+        if self.seq_num.is_some() {
+            flags |= PKT_HAS_SEQ;
+        }
+        if !self.tlvs.is_empty() {
+            flags |= PKT_HAS_TLV;
+        }
+        out.push((VERSION << 4) | flags);
+        if let Some(seq) = self.seq_num {
+            out.extend_from_slice(&seq.to_be_bytes());
+        }
+        if !self.tlvs.is_empty() {
+            wire::encode_tlv_block(out, &self.tlvs);
+        }
+        for m in &self.messages {
+            m.encode(out);
+        }
+    }
+
+    /// Serializes the packet into a fresh buffer.
+    #[must_use]
+    pub fn encode_to_vec(&self) -> Vec<u8> {
+        let mut out = Vec::with_capacity(128);
+        self.encode(&mut out);
+        out
+    }
+
+    /// Parses a packet from `bytes`, requiring the whole buffer be consumed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Error::Decode`] on malformed, truncated or trailing input.
+    /// Never panics on arbitrary input.
+    pub fn decode(bytes: &[u8]) -> Result<Packet, Error> {
+        let mut r = Reader::new(bytes);
+        let packet = Self::decode_inner(&mut r)?;
+        if r.remaining() > 0 {
+            return Err(DecodeError::TrailingBytes(r.remaining()).into());
+        }
+        Ok(packet)
+    }
+
+    fn decode_inner(r: &mut Reader<'_>) -> Result<Packet, DecodeError> {
+        let first = r.u8("packet header")?;
+        let version = first >> 4;
+        if version != VERSION {
+            return Err(DecodeError::BadVersion(version));
+        }
+        let flags = first & 0x0F;
+        let seq_num = if flags & PKT_HAS_SEQ != 0 {
+            Some(r.u16("packet seq num")?)
+        } else {
+            None
+        };
+        let tlvs = if flags & PKT_HAS_TLV != 0 {
+            wire::decode_tlv_block(r)?
+        } else {
+            Vec::new()
+        };
+        let mut messages = Vec::new();
+        while r.remaining() > 0 {
+            messages.push(Message::decode(r)?);
+        }
+        Ok(Packet {
+            seq_num,
+            tlvs,
+            messages,
+        })
+    }
+}
+
+/// Builder for [`Packet`] values.
+#[derive(Debug, Clone)]
+pub struct PacketBuilder {
+    packet: Packet,
+}
+
+impl PacketBuilder {
+    /// Sets the packet sequence number.
+    #[must_use]
+    pub fn seq_num(mut self, seq: u16) -> Self {
+        self.packet.seq_num = Some(seq);
+        self
+    }
+
+    /// Appends a packet TLV.
+    #[must_use]
+    pub fn push_tlv(mut self, tlv: Tlv) -> Self {
+        self.packet.tlvs.push(tlv);
+        self
+    }
+
+    /// Appends a message.
+    #[must_use]
+    pub fn push_message(mut self, message: Message) -> Self {
+        self.packet.messages.push(message);
+        self
+    }
+
+    /// Appends several messages.
+    #[must_use]
+    pub fn messages(mut self, messages: impl IntoIterator<Item = Message>) -> Self {
+        self.packet.messages.extend(messages);
+        self
+    }
+
+    /// Finalizes the packet.
+    #[must_use]
+    pub fn build(self) -> Packet {
+        self.packet
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::message::MessageBuilder;
+    use crate::Address;
+
+    #[test]
+    fn empty_packet_round_trip() {
+        let p = Packet::default();
+        let bytes = p.encode_to_vec();
+        assert_eq!(bytes, vec![0x00]);
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn full_packet_round_trip() {
+        let p = Packet::builder()
+            .seq_num(515)
+            .push_tlv(Tlv::with_value(9, vec![1, 2]))
+            .push_message(
+                MessageBuilder::new(1)
+                    .originator(Address::v4([192, 168, 0, 1]))
+                    .seq_num(7)
+                    .build(),
+            )
+            .push_message(MessageBuilder::new(2).hop_limit(3).build())
+            .build();
+        let bytes = p.encode_to_vec();
+        assert_eq!(Packet::decode(&bytes).unwrap(), p);
+    }
+
+    #[test]
+    fn piggybacking_multiple_messages() {
+        let msgs: Vec<_> = (0..5).map(|i| MessageBuilder::new(i).build()).collect();
+        let p = Packet::builder().messages(msgs.clone()).build();
+        let back = Packet::decode(&p.encode_to_vec()).unwrap();
+        assert_eq!(back.messages(), &msgs[..]);
+        assert_eq!(back.into_messages(), msgs);
+    }
+
+    #[test]
+    fn bad_version_rejected() {
+        let bytes = vec![0x30];
+        assert!(matches!(
+            Packet::decode(&bytes),
+            Err(Error::Decode(DecodeError::BadVersion(3)))
+        ));
+    }
+
+    #[test]
+    fn trailing_bytes_rejected_for_whole_buffer() {
+        // A message whose size field under-declares leaves trailing bytes
+        // inside the message body handling; here we just append junk after a
+        // valid packet-with-message and expect a decode error (the junk is
+        // parsed as a further message and fails).
+        let p = Packet::single(MessageBuilder::new(1).build());
+        let mut bytes = p.encode_to_vec();
+        bytes.push(0xFF);
+        assert!(Packet::decode(&bytes).is_err());
+    }
+
+    #[test]
+    fn decode_never_panics_on_mutations() {
+        let p = Packet::builder()
+            .seq_num(1)
+            .push_message(
+                MessageBuilder::new(1)
+                    .originator(Address::v4([10, 0, 0, 1]))
+                    .hop_limit(5)
+                    .build(),
+            )
+            .build();
+        let base = p.encode_to_vec();
+        for i in 0..base.len() {
+            for bit in 0..8 {
+                let mut m = base.clone();
+                m[i] ^= 1 << bit;
+                let _ = Packet::decode(&m); // must not panic
+            }
+        }
+    }
+}

@@ -1,0 +1,89 @@
+//! Well-known message and TLV type numbers used by the protocols in this
+//! workspace.
+//!
+//! Values align with the IANA "Mobile Ad hoc NETwork Parameters" registry
+//! where allocations exist (HELLO/TC from OLSRv2, RREQ/RREP/RERR from the
+//! AODVv2/DYMO drafts); experiment-local types use the private-use space.
+
+/// Message type octets.
+pub mod msg_type {
+    /// OLSR(v2) / NHDP HELLO — local link and neighbourhood signalling.
+    pub const HELLO: u8 = 0;
+    /// OLSR(v2) TC — topology control flooding.
+    pub const TC: u8 = 1;
+    /// DYMO route request (flooded).
+    pub const RREQ: u8 = 10;
+    /// DYMO route reply (unicast back along the accumulated path).
+    pub const RREP: u8 = 11;
+    /// DYMO route error.
+    pub const RERR: u8 = 12;
+    /// AODV route request (flooded, no path accumulation).
+    pub const AODV_RREQ: u8 = 16;
+    /// AODV route reply (unicast along the reverse route).
+    pub const AODV_RREP: u8 = 17;
+    /// AODV route error.
+    pub const AODV_RERR: u8 = 18;
+    /// Residual-power dissemination used by the power-aware OLSR variant
+    /// (private-use space).
+    pub const RESIDUAL_POWER: u8 = 224;
+}
+
+/// Message/address TLV type octets.
+pub mod tlv_type {
+    /// RFC 5497 validity time (single-value form).
+    pub const VALIDITY_TIME: u8 = 0;
+    /// RFC 5497 interval time.
+    pub const INTERVAL_TIME: u8 = 1;
+    /// Link status of an advertised address (see [`super::link_status`]).
+    pub const LINK_STATUS: u8 = 2;
+    /// Other-neighbour status (symmetric 2-hop signalling).
+    pub const OTHER_NEIGHB: u8 = 3;
+    /// Flooding-MPR selection flag on a neighbour address.
+    pub const MPR: u8 = 4;
+    /// Node willingness to carry traffic (0..=7, `WILL_DEFAULT` = 3).
+    pub const WILLINGNESS: u8 = 5;
+    /// Advertised neighbour sequence number (ANSN) on TC messages.
+    pub const CONT_SEQ_NUM: u8 = 6;
+    /// Gateway / attached-network flag.
+    pub const GATEWAY: u8 = 7;
+    /// DYMO: target sequence number known by the requester.
+    pub const TARGET_SEQ_NUM: u8 = 10;
+    /// DYMO: per-address sequence number in accumulated paths.
+    pub const ADDR_SEQ_NUM: u8 = 11;
+    /// Link transmission cost (power-aware variant; milliwatt-scaled).
+    pub const LINK_COST: u8 = 12;
+    /// Residual battery energy of the originator (permille of capacity).
+    pub const RESIDUAL_ENERGY: u8 = 13;
+    /// Marks a DYMO RERR address as "unreachable destination".
+    pub const UNREACHABLE: u8 = 14;
+    /// AODV RREQ identifier (per-originator flood id).
+    pub const RREQ_ID: u8 = 15;
+    /// AODV route lifetime granted by an RREP, RFC 5497-encoded.
+    pub const LIFETIME: u8 = 16;
+    /// Flag: the requested destination sequence number is unknown.
+    pub const UNKNOWN_SEQ: u8 = 17;
+}
+
+/// Values of the [`tlv_type::LINK_STATUS`] TLV.
+pub mod link_status {
+    /// The link was recently lost.
+    pub const LOST: u8 = 0;
+    /// Heard but not yet verified bidirectional.
+    pub const ASYMMETRIC: u8 = 1;
+    /// Verified bidirectional.
+    pub const SYMMETRIC: u8 = 2;
+}
+
+/// Values of the [`tlv_type::WILLINGNESS`] TLV (RFC 3626 §18.8).
+pub mod willingness {
+    /// Never route for others.
+    pub const NEVER: u8 = 0;
+    /// Low willingness.
+    pub const LOW: u8 = 1;
+    /// Default willingness.
+    pub const DEFAULT: u8 = 3;
+    /// High willingness.
+    pub const HIGH: u8 = 6;
+    /// Always route for others.
+    pub const ALWAYS: u8 = 7;
+}

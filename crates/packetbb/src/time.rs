@@ -1,0 +1,113 @@
+//! RFC 5497-style representation of time values in single octets.
+//!
+//! MANET control messages carry validity and interval times in a compact
+//! mantissa/exponent form: one octet packs a 3-bit mantissa `a` and a 5-bit
+//! exponent `b` (here as `(a << 5) | b`) encoding
+//! `T = (1 + a/8) * 2^b * C`, with `C` a constant agreed by the protocol
+//! (this crate uses the RFC's recommended `C = 1/1024 s`).
+//!
+//! The encoding is lossy (mantissa steps of 1/8); [`encode_time`] picks the
+//! smallest representable value not less than the input, as the RFC directs
+//! for validity times, so decoded times never under-report validity.
+//!
+//! ```
+//! use packetbb::time::{decode_time, encode_time};
+//! let code = encode_time(2_000); // 2 seconds, in milliseconds
+//! let back = decode_time(code);
+//! assert!(back >= 2_000 && back <= 2_300);
+//! ```
+
+/// The time constant `C` in milliseconds (RFC 5497 recommends 1/1024 s).
+pub const C_MILLIS: f64 = 1000.0 / 1024.0;
+
+/// Largest time value (in milliseconds) representable by the codec
+/// (mantissa 7, exponent 31 — about 46 days).
+#[must_use]
+pub fn max_time_millis() -> u64 {
+    decode_time(0xFF)
+}
+
+/// Encodes a duration in milliseconds to the one-octet form, rounding *up*
+/// to the next representable value.
+///
+/// Zero encodes to code `0` (the smallest representable time, ~1 ms);
+/// inputs beyond [`max_time_millis`] saturate to `0xFF`.
+#[must_use]
+pub fn encode_time(millis: u64) -> u8 {
+    if millis == 0 {
+        return 0;
+    }
+    let t = millis as f64 / C_MILLIS;
+    for b in 0u8..32 {
+        let base = 2f64.powi(i32::from(b));
+        if 1.875 * base >= t {
+            // Smallest mantissa a with (1 + a/8) * base >= t.
+            let a = (((t / base) - 1.0) * 8.0).ceil().clamp(0.0, 7.0) as u8;
+            return (a << 5) | b;
+        }
+    }
+    0xFF
+}
+
+/// Decodes the one-octet form back into milliseconds (rounded to the
+/// nearest millisecond).
+#[must_use]
+pub fn decode_time(code: u8) -> u64 {
+    let a = f64::from(code >> 5);
+    let b = i32::from(code & 0x1F);
+    ((1.0 + a / 8.0) * 2f64.powi(b) * C_MILLIS).round() as u64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zero_is_smallest() {
+        assert_eq!(encode_time(0), 0);
+        assert!(decode_time(0) <= 1);
+    }
+
+    #[test]
+    fn round_trip_is_tight_upper_bound() {
+        for millis in [1u64, 10, 100, 500, 1_000, 2_000, 5_000, 15_000, 60_000] {
+            let code = encode_time(millis);
+            let back = decode_time(code);
+            assert!(back >= millis, "decode({code}) = {back} < {millis}");
+            // Mantissa step is 1/8 -> at most 12.5% above, plus rounding.
+            assert!(
+                (back as f64) <= millis as f64 * 1.13 + 2.0,
+                "decode({code}) = {back} too far above {millis}"
+            );
+        }
+    }
+
+    #[test]
+    fn saturates_at_max() {
+        let max = max_time_millis();
+        assert_eq!(encode_time(max.saturating_mul(2)), 0xFF);
+        assert_eq!(decode_time(0xFF), max);
+        // 1.875 * 2^31 * C ms ≈ 46 days — sanity check the magnitude.
+        assert!(max > 3_000_000_000 && max < 5_000_000_000);
+    }
+
+    #[test]
+    fn encode_decode_total_over_all_codes() {
+        for code in 0u8..=255 {
+            let v = decode_time(code);
+            let re = encode_time(v);
+            // Re-encoding a decoded value must not increase it.
+            assert!(decode_time(re) >= v);
+        }
+    }
+
+    #[test]
+    fn common_protocol_intervals() {
+        // HELLO interval 2s, TC interval 5s, validity 3x interval.
+        for secs in [2u64, 5, 6, 15] {
+            let ms = secs * 1000;
+            let back = decode_time(encode_time(ms));
+            assert!(back >= ms && back < ms + ms / 8 + 2);
+        }
+    }
+}

@@ -1,0 +1,216 @@
+//! Type-Length-Value attributes attached to packets, messages and addresses.
+
+use bytes::Bytes;
+
+/// A Type-Length-Value attribute.
+///
+/// TLVs carry protocol attributes at three levels: packet TLVs, message TLVs
+/// and address TLVs (the latter wrapped in [`AddressTlv`] to add an index
+/// range). A TLV may carry an optional *type extension* octet that
+/// sub-divides its type space, and an optional value.
+///
+/// ```
+/// use packetbb::Tlv;
+/// let t = Tlv::with_value(7, vec![1, 2, 3]);
+/// assert_eq!(t.tlv_type(), 7);
+/// assert_eq!(t.value(), Some(&[1u8, 2, 3][..]));
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct Tlv {
+    tlv_type: u8,
+    type_ext: Option<u8>,
+    value: Option<Bytes>,
+}
+
+impl Tlv {
+    /// Creates a valueless TLV (a pure flag).
+    #[must_use]
+    pub fn flag(tlv_type: u8) -> Self {
+        Tlv {
+            tlv_type,
+            type_ext: None,
+            value: None,
+        }
+    }
+
+    /// Creates a TLV carrying `value`.
+    #[must_use]
+    pub fn with_value(tlv_type: u8, value: impl Into<Bytes>) -> Self {
+        Tlv {
+            tlv_type,
+            type_ext: None,
+            value: Some(value.into()),
+        }
+    }
+
+    /// Returns a copy of this TLV with the given type extension.
+    #[must_use]
+    pub fn type_extended(mut self, ext: u8) -> Self {
+        self.type_ext = Some(ext);
+        self
+    }
+
+    /// The TLV type octet.
+    #[must_use]
+    pub fn tlv_type(&self) -> u8 {
+        self.tlv_type
+    }
+
+    /// The optional type extension octet.
+    #[must_use]
+    pub fn type_ext(&self) -> Option<u8> {
+        self.type_ext
+    }
+
+    /// The attribute value, if any.
+    #[must_use]
+    pub fn value(&self) -> Option<&[u8]> {
+        self.value.as_deref()
+    }
+
+    /// The value interpreted as a single octet.
+    ///
+    /// Convenience for the many MANET TLVs whose value is one byte (link
+    /// status, willingness, encoded times). Returns `None` when there is no
+    /// value or it is not exactly one byte.
+    #[must_use]
+    pub fn value_u8(&self) -> Option<u8> {
+        match self.value() {
+            Some([b]) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value interpreted as a big-endian `u16`.
+    #[must_use]
+    pub fn value_u16(&self) -> Option<u16> {
+        match self.value() {
+            Some([a, b]) => Some(u16::from_be_bytes([*a, *b])),
+            _ => None,
+        }
+    }
+
+    /// The value interpreted as a big-endian `u32`.
+    #[must_use]
+    pub fn value_u32(&self) -> Option<u32> {
+        match self.value() {
+            Some([a, b, c, d]) => Some(u32::from_be_bytes([*a, *b, *c, *d])),
+            _ => None,
+        }
+    }
+}
+
+/// A TLV attached to an [`AddressBlock`](crate::AddressBlock), optionally
+/// scoped to a contiguous index range of the block's addresses.
+///
+/// With `indexes == None` the attribute applies to every address in the
+/// block; with `Some((start, stop))` it applies to addresses
+/// `start..=stop` (inclusive, zero-based).
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct AddressTlv {
+    tlv: Tlv,
+    indexes: Option<(u8, u8)>,
+}
+
+impl AddressTlv {
+    /// An address TLV applying to all addresses of its block.
+    #[must_use]
+    pub fn all(tlv: Tlv) -> Self {
+        AddressTlv { tlv, indexes: None }
+    }
+
+    /// An address TLV applying to a single address index.
+    #[must_use]
+    pub fn single(tlv: Tlv, index: u8) -> Self {
+        AddressTlv {
+            tlv,
+            indexes: Some((index, index)),
+        }
+    }
+
+    /// An address TLV applying to the inclusive index range `start..=stop`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `start > stop`.
+    #[must_use]
+    pub fn range(tlv: Tlv, start: u8, stop: u8) -> Self {
+        assert!(start <= stop, "inverted address TLV index range");
+        AddressTlv {
+            tlv,
+            indexes: Some((start, stop)),
+        }
+    }
+
+    /// The wrapped TLV.
+    #[must_use]
+    pub fn tlv(&self) -> &Tlv {
+        &self.tlv
+    }
+
+    /// The index range, if scoped.
+    #[must_use]
+    pub fn indexes(&self) -> Option<(u8, u8)> {
+        self.indexes
+    }
+
+    /// Whether this TLV applies to the address at `index` in a block of
+    /// `block_len` addresses.
+    #[must_use]
+    pub fn applies_to(&self, index: usize, block_len: usize) -> bool {
+        if index >= block_len {
+            return false;
+        }
+        match self.indexes {
+            None => true,
+            Some((start, stop)) => (start as usize) <= index && index <= (stop as usize),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn value_accessors() {
+        let t = Tlv::with_value(1, vec![0xAB]);
+        assert_eq!(t.value_u8(), Some(0xAB));
+        assert_eq!(t.value_u16(), None);
+        let t = Tlv::with_value(1, vec![0x01, 0x02]);
+        assert_eq!(t.value_u16(), Some(0x0102));
+        let t = Tlv::with_value(1, vec![0, 0, 1, 0]);
+        assert_eq!(t.value_u32(), Some(256));
+        assert_eq!(Tlv::flag(9).value(), None);
+    }
+
+    #[test]
+    fn type_extension() {
+        let t = Tlv::flag(3).type_extended(2);
+        assert_eq!(t.type_ext(), Some(2));
+        assert_eq!(t.tlv_type(), 3);
+    }
+
+    #[test]
+    fn address_tlv_scoping() {
+        let all = AddressTlv::all(Tlv::flag(1));
+        assert!(all.applies_to(0, 3));
+        assert!(all.applies_to(2, 3));
+        assert!(!all.applies_to(3, 3));
+
+        let one = AddressTlv::single(Tlv::flag(1), 1);
+        assert!(!one.applies_to(0, 3));
+        assert!(one.applies_to(1, 3));
+
+        let range = AddressTlv::range(Tlv::flag(1), 1, 2);
+        assert!(!range.applies_to(0, 4));
+        assert!(range.applies_to(2, 4));
+        assert!(!range.applies_to(3, 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "inverted")]
+    fn inverted_range_panics() {
+        let _ = AddressTlv::range(Tlv::flag(1), 3, 1);
+    }
+}

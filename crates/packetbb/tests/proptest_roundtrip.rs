@@ -1,0 +1,176 @@
+//! Property-based tests: arbitrary well-formed packets round-trip through
+//! the binary codec, and arbitrary bytes never panic the decoder.
+
+use packetbb::{
+    Address, AddressBlock, AddressTlv, Message, MessageBuilder, Packet, PrefixMode, Tlv,
+};
+use proptest::prelude::*;
+
+fn arb_tlv() -> impl Strategy<Value = Tlv> {
+    (
+        any::<u8>(),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(proptest::collection::vec(any::<u8>(), 0..32)),
+    )
+        .prop_map(|(ty, ext, value)| {
+            let mut t = match value {
+                Some(v) => Tlv::with_value(ty, v),
+                None => Tlv::flag(ty),
+            };
+            if let Some(e) = ext {
+                t = t.type_extended(e);
+            }
+            t
+        })
+}
+
+fn arb_v4() -> impl Strategy<Value = Address> {
+    any::<[u8; 4]>().prop_map(Address::v4)
+}
+
+fn arb_v6() -> impl Strategy<Value = Address> {
+    any::<[u8; 16]>().prop_map(Address::v6)
+}
+
+fn arb_block_v4() -> impl Strategy<Value = AddressBlock> {
+    (
+        proptest::collection::vec(arb_v4(), 1..8),
+        proptest::option::of(0u8..=32),
+    )
+        .prop_flat_map(|(addrs, single_prefix)| {
+            let n = addrs.len();
+            let prefixes = match single_prefix {
+                Some(p) => Just(PrefixMode::Single(p)).boxed(),
+                None => proptest::option::of(proptest::collection::vec(0u8..=32, n..=n))
+                    .prop_map(|v| match v {
+                        Some(v) => PrefixMode::PerAddress(v),
+                        None => PrefixMode::None,
+                    })
+                    .boxed(),
+            };
+            let tlvs = proptest::collection::vec(
+                (arb_tlv(), proptest::option::of((0..n as u8, 0..n as u8))),
+                0..4,
+            );
+            (Just(addrs), prefixes, tlvs)
+        })
+        .prop_map(|(addrs, prefixes, tlvs)| {
+            let n = addrs.len() as u8;
+            let mut block = AddressBlock::with_prefixes(addrs, prefixes).unwrap();
+            for (tlv, idx) in tlvs {
+                let atlv = match idx {
+                    None => AddressTlv::all(tlv),
+                    Some((a, b)) => {
+                        let (lo, hi) = if a <= b { (a, b) } else { (b, a) };
+                        AddressTlv::range(tlv, lo.min(n - 1), hi.min(n - 1))
+                    }
+                };
+                block.add_tlv(atlv);
+            }
+            block
+        })
+}
+
+fn arb_message() -> impl Strategy<Value = Message> {
+    (
+        any::<u8>(),
+        proptest::option::of(arb_v4()),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(any::<u8>()),
+        proptest::option::of(any::<u16>()),
+        proptest::collection::vec(arb_tlv(), 0..4),
+        proptest::collection::vec(arb_block_v4(), 0..4),
+    )
+        .prop_map(|(ty, orig, hl, hc, seq, tlvs, blocks)| {
+            let mut b = MessageBuilder::new(ty);
+            if let Some(o) = orig {
+                b = b.originator(o);
+            }
+            if let Some(h) = hl {
+                b = b.hop_limit(h);
+            }
+            if let Some(h) = hc {
+                b = b.hop_count(h);
+            }
+            if let Some(s) = seq {
+                b = b.seq_num(s);
+            }
+            for t in tlvs {
+                b = b.push_tlv(t);
+            }
+            for blk in blocks {
+                b = b.push_address_block(blk);
+            }
+            b.build()
+        })
+}
+
+fn arb_message_v6() -> impl Strategy<Value = Message> {
+    (any::<u8>(), arb_v6(), proptest::option::of(any::<u16>())).prop_map(|(ty, orig, seq)| {
+        let mut b = MessageBuilder::new(ty).originator(orig);
+        if let Some(s) = seq {
+            b = b.seq_num(s);
+        }
+        b.build()
+    })
+}
+
+fn arb_packet() -> impl Strategy<Value = Packet> {
+    (
+        proptest::option::of(any::<u16>()),
+        proptest::collection::vec(arb_tlv(), 0..3),
+        proptest::collection::vec(
+            prop_oneof![4 => arb_message(), 1 => arb_message_v6()],
+            0..4,
+        ),
+    )
+        .prop_map(|(seq, tlvs, msgs)| {
+            let mut b = Packet::builder();
+            if let Some(s) = seq {
+                b = b.seq_num(s);
+            }
+            for t in tlvs {
+                b = b.push_tlv(t);
+            }
+            b.messages(msgs).build()
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn packet_round_trips(packet in arb_packet()) {
+        let bytes = packet.encode_to_vec();
+        let back = Packet::decode(&bytes).unwrap();
+        prop_assert_eq!(back, packet);
+    }
+
+    #[test]
+    fn message_round_trips(msg in arb_message()) {
+        let p = Packet::single(msg.clone());
+        let back = Packet::decode(&p.encode_to_vec()).unwrap();
+        prop_assert_eq!(&back.messages()[0], &msg);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_arbitrary_bytes(bytes in proptest::collection::vec(any::<u8>(), 0..256)) {
+        let _ = Packet::decode(&bytes);
+    }
+
+    #[test]
+    fn decoder_never_panics_on_truncations(packet in arb_packet(), frac in 0.0f64..1.0) {
+        let bytes = packet.encode_to_vec();
+        let cut = ((bytes.len() as f64) * frac) as usize;
+        let _ = Packet::decode(&bytes[..cut]);
+    }
+
+    #[test]
+    // Stay below the codec's saturation point (~3.93e9 ms ≈ 46 days).
+    fn time_codec_round_trip_upper_bound(ms in 0u64..3_900_000_000) {
+        let code = packetbb::time::encode_time(ms);
+        let back = packetbb::time::decode_time(code);
+        prop_assert!(back as f64 >= ms as f64 * 0.999);
+        prop_assert!((back as f64) <= (ms as f64) * 1.13 + 2.0);
+    }
+}

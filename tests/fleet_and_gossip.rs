@@ -1,0 +1,95 @@
+//! Coordinated fleet reconfiguration (§7 roadmap) and the gossip flooding
+//! variant, exercised end to end.
+
+use manetkit_repro::manetkit::{FleetCoordinator, ReconfigOp};
+use manetkit_repro::manetkit_dymo::variants::gossip;
+use manetkit_repro::prelude::*;
+
+fn dymo_fleet(topology: Topology, seed: u64) -> (World, FleetCoordinator) {
+    let n = topology.len();
+    let mut world = World::builder().topology(topology).seed(seed).build();
+    let mut coordinator = FleetCoordinator::default();
+    for i in 0..n {
+        let (node, handle) = manetkit_repro::manetkit_dymo::node(Default::default());
+        world.install_agent(NodeId(i), Box::new(node));
+        coordinator.add(handle);
+    }
+    (world, coordinator)
+}
+
+#[test]
+fn fleet_coordinator_converges_a_network_wide_change() {
+    let (mut world, fleet) = dymo_fleet(Topology::line(5), 70);
+    world.run_for(SimDuration::from_secs(2));
+    assert_eq!(fleet.len(), 5);
+    assert!(fleet.all_run(&["neighbour-detection", "dymo"]));
+
+    // Network-wide: switch everyone to multipath DYMO.
+    fleet.apply_all(manetkit_repro::manetkit_dymo::variants::multipath::enable_ops);
+    let before = fleet.status();
+    assert!(before.pending > 0, "ops await quiescent points");
+    world.run_for(SimDuration::from_secs(2));
+    let after = fleet.status();
+    assert!(after.converged(), "{after:?}");
+
+    // And back again, node-by-node recipes (e.g. staged rollout).
+    fleet.apply_each(|_i| manetkit_repro::manetkit_dymo::variants::multipath::disable_ops());
+    world.run_for(SimDuration::from_secs(2));
+    assert!(fleet.status().converged());
+
+    // Traffic still flows after two fleet-wide swaps.
+    let far = world.node_addr(4);
+    world.send_datagram(NodeId(0), far, b"post-fleet".to_vec());
+    world.run_for(SimDuration::from_secs(3));
+    assert_eq!(world.stats().data_delivered, 1);
+}
+
+#[test]
+fn fleet_status_reports_failures_per_node() {
+    let (mut world, fleet) = dymo_fleet(Topology::line(3), 71);
+    world.run_for(SimDuration::from_secs(1));
+    // A bad recipe: remove a protocol that does not exist.
+    fleet.apply_all(|| {
+        vec![ReconfigOp::RemoveProtocol {
+            name: "ghost".into(),
+        }]
+    });
+    world.run_for(SimDuration::from_secs(1));
+    let status = fleet.status();
+    assert!(!status.converged());
+    assert_eq!(status.failures.len(), 3, "{status:?}");
+    assert!(status.failures[0].1.contains("ghost"));
+}
+
+#[test]
+fn gossip_flooding_cuts_relays_and_keeps_delivering_in_dense_networks() {
+    let topo = Topology::random_geometric(25, 0.5, 23);
+    assert!(topo.is_connected());
+    let run = |p: Option<f64>| {
+        let (mut world, fleet) = dymo_fleet(topo.clone(), 23);
+        if let Some(p) = p {
+            fleet.apply_all(|| gossip::enable_ops(p));
+        }
+        world.run_for(SimDuration::from_secs(5));
+        assert!(fleet.status().converged(), "{:?}", fleet.status());
+        world.reset_stats();
+        for (src, dst) in [(0usize, 24usize), (5, 20), (10, 3)] {
+            let dst_addr = world.node_addr(dst);
+            world.send_datagram(NodeId(src), dst_addr, b"g".to_vec());
+            world.run_for(SimDuration::from_secs(5));
+        }
+        let s = world.stats();
+        (s.agent_counter("rreq_relayed"), s.data_delivered)
+    };
+    let (blind_relays, blind_delivered) = run(None);
+    let (gossip_relays, gossip_delivered) = run(Some(0.6));
+    assert_eq!(blind_delivered, 3);
+    assert_eq!(
+        gossip_delivered, 3,
+        "gossip at p=0.6 must still deliver in a dense graph"
+    );
+    assert!(
+        gossip_relays < blind_relays,
+        "gossip must suppress some relays: {gossip_relays} vs {blind_relays}"
+    );
+}

@@ -1,0 +1,86 @@
+//! Cross-crate integration: MANETKit deployments and the monolithic
+//! comparators speak the same PacketBB wire format, so they interoperate
+//! in one network — the strongest check that the framework composition is
+//! functionally equivalent to the monoliths.
+
+use manetkit_repro::manetkit_baseline::{Dymoum, Olsrd, OlsrdConfig};
+use manetkit_repro::prelude::*;
+
+#[test]
+fn mixed_olsr_network_interoperates() {
+    // Alternate MANETKit-OLSR and monolithic olsrd along a 5-node line.
+    let mut world = World::builder().topology(Topology::line(5)).seed(50).build();
+    for i in 0..5 {
+        if i % 2 == 0 {
+            let (node, _h) = manetkit_repro::manetkit_olsr::node(Default::default());
+            world.install_agent(NodeId(i), Box::new(node));
+        } else {
+            world.install_agent(NodeId(i), Box::new(Olsrd::new(OlsrdConfig::default())));
+        }
+    }
+    world.run_for(SimDuration::from_secs(40));
+    // Every pair can route across the mixed network.
+    for a in 0..5 {
+        for b in 0..5 {
+            if a != b {
+                let dst = world.node_addr(b);
+                assert!(
+                    world.os(NodeId(a)).route_table().lookup(dst).is_some(),
+                    "mixed network: route {a} -> {b} missing"
+                );
+            }
+        }
+    }
+    // Data flows end to end through both implementations.
+    let far = world.node_addr(4);
+    world.send_datagram(NodeId(0), far, b"mixed".to_vec());
+    world.run_for(SimDuration::from_secs(1));
+    assert_eq!(world.stats().data_delivered, 1);
+}
+
+#[test]
+fn mixed_dymo_network_interoperates() {
+    let mut world = World::builder().topology(Topology::line(5)).seed(51).build();
+    for i in 0..5 {
+        if i % 2 == 0 {
+            let (node, _h) = manetkit_repro::manetkit_dymo::node(Default::default());
+            world.install_agent(NodeId(i), Box::new(node));
+        } else {
+            world.install_agent(NodeId(i), Box::new(Dymoum::new()));
+        }
+    }
+    world.run_for(SimDuration::from_secs(3));
+    let far = world.node_addr(4);
+    world.send_datagram(NodeId(0), far, b"mixed".to_vec());
+    world.run_for(SimDuration::from_secs(3));
+    let s = world.stats();
+    assert_eq!(
+        s.data_delivered, 1,
+        "discovery must traverse both implementations: {s:?}"
+    );
+}
+
+#[test]
+fn baseline_and_framework_wire_formats_agree() {
+    // A DYMO RouteElement built by the framework crate parses as the same
+    // structure after a wire round trip initiated from raw packetbb types —
+    // guarding against silent format drift between the implementations.
+    use manetkit_repro::manetkit_dymo::{PathHop, RouteElement};
+    use manetkit_repro::packetbb::{Address, Packet};
+
+    let re = RouteElement::rreq(
+        PathHop {
+            addr: Address::v4([10, 0, 0, 1]),
+            seq: 3,
+        },
+        Address::v4([10, 0, 0, 5]),
+        Some(9),
+        10,
+    );
+    let wire = Packet::single(re.to_message()).encode_to_vec();
+    let decoded = Packet::decode(&wire).unwrap();
+    let msg = &decoded.messages()[0];
+    assert_eq!(msg.msg_type(), manetkit_repro::packetbb::registry::msg_type::RREQ);
+    let back = RouteElement::from_message(msg).unwrap();
+    assert_eq!(back, re);
+}

@@ -1,0 +1,90 @@
+//! Mobility (random-waypoint churn, the MobiEmu analogue) under live
+//! protocols, and the ZRP-style hybrid composition.
+
+use manetkit_repro::manetkit::prelude::*;
+use manetkit_repro::manetkit_olsr::{OlsrConfig, OlsrDeployment};
+use manetkit_repro::netsim::mobility::{random_waypoint, RandomWaypoint};
+use manetkit_repro::prelude::*;
+
+#[test]
+fn dymo_survives_random_waypoint_mobility() {
+    let trace = random_waypoint(RandomWaypoint {
+        nodes: 12,
+        radius: 0.45,
+        speed: 0.01,
+        step: SimDuration::from_secs(1),
+        duration: SimDuration::from_secs(90),
+        seed: 33,
+    });
+    assert!(trace.initial.is_connected(), "pick a connected start");
+    let mut world = World::builder()
+        .topology(trace.initial.clone())
+        .seed(33)
+        .build();
+    trace.schedule_into(&mut world);
+    for i in 0..12 {
+        let (node, _h) = manetkit_repro::manetkit_dymo::node(Default::default());
+        world.install_agent(NodeId(i), Box::new(node));
+    }
+    world.run_for(SimDuration::from_secs(3));
+    // Steady cross-network traffic while nodes move.
+    let dst = world.node_addr(11);
+    for k in 0..30u8 {
+        world.send_datagram(NodeId(0), dst, vec![k]);
+        world.run_for(SimDuration::from_secs(3));
+    }
+    let s = world.stats();
+    assert!(
+        s.delivery_ratio() > 0.5,
+        "DYMO must keep delivering under slow mobility: {s:?}"
+    );
+    assert!(
+        s.agent_counter("route_discovery") >= 1,
+        "churn should force at least one rediscovery"
+    );
+}
+
+#[test]
+fn hybrid_zone_routing_composes_from_existing_components() {
+    const NODES: usize = 9;
+    let mut world = World::builder()
+        .topology(Topology::line(NODES))
+        .seed(12)
+        .build();
+    let mut handles = Vec::new();
+    for i in 0..NODES {
+        let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);
+        let dep = node.deployment_mut();
+        let olsr = OlsrDeployment {
+            olsr: OlsrConfig {
+                tc_hop_limit: 2, // the zone radius
+                ..OlsrConfig::default()
+            },
+            ..OlsrDeployment::default()
+        };
+        manetkit_repro::manetkit_olsr::deploy(dep, olsr).unwrap();
+        manetkit_repro::manetkit_dymo::deploy_core(dep, Default::default()).unwrap();
+        let handle = node.handle();
+        for op in manetkit_repro::manetkit_dymo::variants::flooding::enable_ops(None) {
+            handle.apply(op);
+        }
+        world.install_agent(NodeId(i), Box::new(node));
+        handles.push(handle);
+    }
+    world.run_for(SimDuration::from_secs(40));
+
+    let in_zone = world.node_addr(2);
+    let out_of_zone = world.node_addr(NODES - 1);
+    assert!(world.os(NodeId(0)).route_table().lookup(in_zone).is_some());
+    assert!(world.os(NodeId(0)).route_table().lookup(out_of_zone).is_none());
+
+    world.send_datagram(NodeId(0), in_zone, b"intra".to_vec());
+    world.run_for(SimDuration::from_secs(1));
+    assert_eq!(world.stats().data_delivered, 1);
+    assert_eq!(world.stats().agent_counter("route_discovery"), 0);
+
+    world.send_datagram(NodeId(0), out_of_zone, b"inter".to_vec());
+    world.run_for(SimDuration::from_secs(5));
+    assert_eq!(world.stats().data_delivered, 2);
+    assert_eq!(world.stats().agent_counter("route_discovery"), 1);
+}
