@@ -1,7 +1,7 @@
 //! Plug-in components of the AODV CF.
 
 use manetkit::event::{types, Event, EventType, Payload, RouteCtl};
-use manetkit::protocol::{EventHandler, ProtoCtx, StateSlot, PROTO_STOP_EVENT};
+use manetkit::protocol::{proto_stop_event, EventHandler, ProtoCtx, StateSlot, PROTO_STOP_EVENT};
 use packetbb::Address;
 
 use crate::messages::{Rerr, Rrep, Rreq};
@@ -9,6 +9,11 @@ use crate::state::{seq_newer, AodvState};
 
 /// Timer name of the AODV housekeeping sweep.
 pub const AODV_SWEEP_TIMER: &str = "aodv:sweep";
+
+manetkit::cached_event_type! {
+    /// The interned [`AODV_SWEEP_TIMER`] type (cached, no per-call lookup).
+    pub fn aodv_sweep_timer => AODV_SWEEP_TIMER;
+}
 
 fn install_kernel(ctx: &mut ProtoCtx<'_>, dst: Address, next_hop: Address, hops: u8) {
     ctx.os()
@@ -85,13 +90,7 @@ impl EventHandler for AodvDiscoveryHandler {
 pub struct RreqHandler;
 
 impl RreqHandler {
-    fn reply(
-        s: &mut AodvState,
-        rreq: &Rreq,
-        from: Address,
-        rrep: Rrep,
-        ctx: &mut ProtoCtx<'_>,
-    ) {
+    fn reply(s: &mut AodvState, rreq: &Rreq, from: Address, rrep: Rrep, ctx: &mut ProtoCtx<'_>) {
         // The reverse route to the originator carries the reply; the
         // neighbour we received the RREQ from becomes a precursor of the
         // forward route (it will route traffic through us).
@@ -128,7 +127,13 @@ impl EventHandler for RreqHandler {
         if s.offer_route(from, from, None, 1, now) {
             install_kernel(ctx, from, from, 1);
         }
-        if s.offer_route(rreq.orig, from, Some(rreq.orig_seq), rreq.hop_count + 1, now) {
+        if s.offer_route(
+            rreq.orig,
+            from,
+            Some(rreq.orig_seq),
+            rreq.hop_count + 1,
+            now,
+        ) {
             install_kernel(ctx, rreq.orig, from, rreq.hop_count + 1);
         }
 
@@ -175,9 +180,7 @@ impl EventHandler for RreqHandler {
                         ctx.os().bump("intermediate_rrep");
                         // The next hop toward the target learns traffic may
                         // come from the reverse direction.
-                        let reverse_hop = s
-                            .live_route(rreq.orig, now)
-                            .map_or(from, |r| r.next_hop);
+                        let reverse_hop = s.live_route(rreq.orig, now).map_or(from, |r| r.next_hop);
                         s.add_precursor(rreq.target, reverse_hop);
                         Self::reply(s, &rreq, from, rrep, ctx);
                         return;
@@ -244,8 +247,7 @@ impl EventHandler for RrepHandler {
         s.add_precursor(rrep.orig, from);
         ctx.os().bump("rrep_relayed");
         ctx.emit(
-            Event::message_out(types::re_out(), rrep.forwarded().to_message())
-                .to(reverse.next_hop),
+            Event::message_out(types::re_out(), rrep.forwarded().to_message()).to(reverse.next_hop),
         );
     }
 }
@@ -270,8 +272,7 @@ fn report_breaks(
     if all_precursors.is_empty() {
         return; // nobody routes through us; nothing to report
     }
-    let unreachable: Vec<(Address, u16)> =
-        broken.iter().map(|(d, q, _)| (*d, *q)).collect();
+    let unreachable: Vec<(Address, u16)> = broken.iter().map(|(d, q, _)| (*d, *q)).collect();
     let seq = s.next_seq();
     let rerr = Rerr {
         reporter: ctx.local_addr(),
@@ -389,10 +390,7 @@ impl EventHandler for AodvSweepHandler {
         "sweep-handler"
     }
     fn subscriptions(&self) -> Vec<EventType> {
-        vec![
-            EventType::named(AODV_SWEEP_TIMER),
-            EventType::named(PROTO_STOP_EVENT),
-        ]
+        vec![aodv_sweep_timer(), proto_stop_event()]
     }
     fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
         let now = ctx.now();
@@ -436,6 +434,6 @@ impl EventHandler for AodvSweepHandler {
             ctx.os().bump("route_expired");
         }
         let sweep = s.params.sweep;
-        ctx.set_timer(sweep, EventType::named(AODV_SWEEP_TIMER));
+        ctx.set_timer(sweep, aodv_sweep_timer());
     }
 }

@@ -42,7 +42,7 @@ pub mod handlers;
 pub mod messages;
 pub mod state;
 
-use manetkit::event::{types, EventType};
+use manetkit::event::types;
 use manetkit::neighbour::{hello_registration, neighbour_detection_cf, NeighbourConfig};
 use manetkit::node::{Deployment, ManetNode, NodeHandle};
 use manetkit::prelude::ConcurrencyModel;
@@ -93,7 +93,7 @@ pub fn aodv_cf(params: AodvParams) -> ManetProtocolCf {
                 .provides(types::route_found()),
         )
         .state(StateSlot::new(state))
-        .startup_timer(params.sweep, EventType::named(AODV_SWEEP_TIMER))
+        .startup_timer(params.sweep, handlers::aodv_sweep_timer())
         .handler(Box::new(AodvDiscoveryHandler))
         .handler(Box::new(RreqHandler))
         .handler(Box::new(RrepHandler))
@@ -161,7 +161,8 @@ mod tests {
         // Both are reactive: the deployment-level integrity rule allows
         // only one at a time.
         let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
-        dep.add_protocol_offline(aodv_cf(AodvParams::default())).unwrap();
+        dep.add_protocol_offline(aodv_cf(AodvParams::default()))
+            .unwrap();
         let second = aodv_cf(AodvParams::default());
         assert!(dep.add_protocol_offline(second).is_err());
     }

@@ -37,10 +37,7 @@ impl Rreq {
                 Tlv::with_value(tlv_type::TARGET_SEQ_NUM, ts.to_be_bytes().to_vec()),
                 0,
             )),
-            None => target_block.add_tlv(AddressTlv::single(
-                Tlv::flag(tlv_type::UNKNOWN_SEQ),
-                0,
-            )),
+            None => target_block.add_tlv(AddressTlv::single(Tlv::flag(tlv_type::UNKNOWN_SEQ), 0)),
         }
         MessageBuilder::new(msg_type::AODV_RREQ)
             .originator(self.orig)

@@ -71,8 +71,7 @@ impl Default for AodvParams {
 }
 
 /// The AODV CF state.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct AodvState {
     /// The routing table.
     pub routes: BTreeMap<Address, AodvRoute>,
@@ -87,7 +86,6 @@ pub struct AodvState {
     /// Parameters.
     pub params: AodvParams,
 }
-
 
 impl AodvState {
     /// Bumps and returns our sequence number.
@@ -133,8 +131,7 @@ impl AodvState {
                 let accept = existing.broken
                     || match (seq, existing.seq) {
                         (Some(new), Some(old)) => {
-                            seq_newer(new, old)
-                                || (new == old && hop_count < existing.hop_count)
+                            seq_newer(new, old) || (new == old && hop_count < existing.hop_count)
                         }
                         (Some(_), None) => true,
                         (None, _) => hop_count < existing.hop_count,
@@ -187,10 +184,7 @@ impl AodvState {
     /// Breaks every route via `via`; returns `(dst, seq, precursors)` per
     /// broken route, with the destination sequence number incremented as
     /// RFC 3561 §6.11 requires.
-    pub fn break_routes_via(
-        &mut self,
-        via: Address,
-    ) -> Vec<(Address, u16, BTreeSet<Address>)> {
+    pub fn break_routes_via(&mut self, via: Address) -> Vec<(Address, u16, BTreeSet<Address>)> {
         let mut out = Vec::new();
         for (dst, r) in self.routes.iter_mut() {
             if r.next_hop == via && !r.broken {

@@ -58,19 +58,17 @@ impl Dymoum {
 
     fn send(&mut self, os: &mut NodeOs, msg: Message, dst: Option<Address>) {
         self.pkt_seq = self.pkt_seq.wrapping_add(1);
-        let pkt = Packet::builder().seq_num(self.pkt_seq).push_message(msg).build();
+        let pkt = Packet::builder()
+            .seq_num(self.pkt_seq)
+            .push_message(msg)
+            .build();
         match dst {
             None => os.broadcast_control(pkt.encode_to_vec()),
             Some(a) => os.unicast_control(a, pkt.encode_to_vec()),
         }
     }
 
-    fn build_re(
-        kind: u8,
-        target: Address,
-        path: &[(Address, u16)],
-        hop_limit: u8,
-    ) -> Message {
+    fn build_re(kind: u8, target: Address, path: &[(Address, u16)], hop_limit: u8) -> Message {
         let (orig, orig_seq) = path[0];
         let mut b = MessageBuilder::new(kind)
             .originator(orig)
@@ -213,8 +211,7 @@ impl Dymoum {
                     let mut extended = path.clone();
                     extended.push((local, self.own_seq));
                     os.bump("rreq_relayed");
-                    let fwd =
-                        Self::build_re(msg_type::RREQ, target, &extended, hop_limit - 1);
+                    let fwd = Self::build_re(msg_type::RREQ, target, &extended, hop_limit - 1);
                     self.send(os, fwd, None);
                 }
             }
@@ -228,12 +225,8 @@ impl Dymoum {
                         if !route.broken {
                             let mut extended = path.clone();
                             extended.push((local, self.own_seq));
-                            let fwd = Self::build_re(
-                                msg_type::RREP,
-                                target,
-                                &extended,
-                                hop_limit - 1,
-                            );
+                            let fwd =
+                                Self::build_re(msg_type::RREP, target, &extended, hop_limit - 1);
                             self.send(os, fwd, Some(route.next_hop));
                         }
                     }
@@ -416,7 +409,10 @@ mod tests {
 
     #[test]
     fn line_discovery_and_delivery() {
-        let mut world = World::builder().topology(Topology::line(5)).seed(41).build();
+        let mut world = World::builder()
+            .topology(Topology::line(5))
+            .seed(41)
+            .build();
         for i in 0..5 {
             world.install_agent(NodeId(i), Box::new(Dymoum::new()));
         }
@@ -431,7 +427,10 @@ mod tests {
 
     #[test]
     fn unreachable_gives_up_with_retries() {
-        let mut world = World::builder().topology(Topology::line(2)).seed(42).build();
+        let mut world = World::builder()
+            .topology(Topology::line(2))
+            .seed(42)
+            .build();
         for i in 0..2 {
             world.install_agent(NodeId(i), Box::new(Dymoum::new()));
         }
@@ -445,7 +444,10 @@ mod tests {
 
     #[test]
     fn broken_route_reported() {
-        let mut world = World::builder().topology(Topology::line(3)).seed(43).build();
+        let mut world = World::builder()
+            .topology(Topology::line(3))
+            .seed(43)
+            .build();
         for i in 0..3 {
             world.install_agent(NodeId(i), Box::new(Dymoum::new()));
         }

@@ -82,7 +82,10 @@ impl Olsrd {
 
     fn send(&mut self, os: &mut NodeOs, msg: Message, dst: Option<Address>) {
         self.pkt_seq = self.pkt_seq.wrapping_add(1);
-        let pkt = Packet::builder().seq_num(self.pkt_seq).push_message(msg).build();
+        let pkt = Packet::builder()
+            .seq_num(self.pkt_seq)
+            .push_message(msg)
+            .build();
         match dst {
             None => os.broadcast_control(pkt.encode_to_vec()),
             Some(a) => os.unicast_control(a, pkt.encode_to_vec()),
@@ -150,7 +153,9 @@ impl Olsrd {
 
     fn process_hello(&mut self, os: &mut NodeOs, msg: &Message) {
         let local = os.addr();
-        let Some(sender) = msg.originator() else { return };
+        let Some(sender) = msg.originator() else {
+            return;
+        };
         if sender == local {
             return;
         }
@@ -200,13 +205,18 @@ impl Olsrd {
 
     fn process_tc(&mut self, os: &mut NodeOs, msg: &Message, from: Address) {
         let local = os.addr();
-        let Some(originator) = msg.originator() else { return };
+        let Some(originator) = msg.originator() else {
+            return;
+        };
         if originator == local {
             return;
         }
         let now = os.now();
         let seq = msg.seq_num().unwrap_or(0);
-        let Some(ansn) = msg.find_tlv(tlv_type::CONT_SEQ_NUM).and_then(Tlv::value_u16) else {
+        let Some(ansn) = msg
+            .find_tlv(tlv_type::CONT_SEQ_NUM)
+            .and_then(Tlv::value_u16)
+        else {
             return;
         };
         let duplicate = self
@@ -417,7 +427,10 @@ mod tests {
 
     #[test]
     fn line_converges_to_full_routes() {
-        let mut world = World::builder().topology(Topology::line(5)).seed(31).build();
+        let mut world = World::builder()
+            .topology(Topology::line(5))
+            .seed(31)
+            .build();
         for i in 0..5 {
             world.install_agent(NodeId(i), Box::new(Olsrd::new(OlsrdConfig::default())));
         }
@@ -452,7 +465,11 @@ mod tests {
         world.set_link(NodeId(0), NodeId(1), netsim::LinkState::Down);
         world.run_for(SimDuration::from_secs(40));
         let a1 = world.node_addr(1);
-        let entry = world.os(NodeId(0)).route_table().lookup(a1).expect("repaired");
+        let entry = world
+            .os(NodeId(0))
+            .route_table()
+            .lookup(a1)
+            .expect("repaired");
         assert_eq!(entry.next_hop, world.node_addr(3));
     }
 }

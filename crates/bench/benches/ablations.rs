@@ -37,7 +37,10 @@ fn dymo_world(topo: Topology, seed: u64) -> (World, Vec<NodeHandle>) {
 
 fn e5_fisheye() {
     println!("\n--- E5: fisheye OLSR — TC relay transmissions over 90 s ---\n");
-    println!("{:<12}{:>14}{:>14}{:>10}", "line size", "standard", "fisheye", "saving");
+    println!(
+        "{:<12}{:>14}{:>14}{:>10}",
+        "line size", "standard", "fisheye", "saving"
+    );
     println!("{:-<50}", "");
     for n in [6usize, 10, 14] {
         let run = |enable: bool| {
@@ -124,7 +127,10 @@ fn e6_power_aware() {
     };
     let (std_min, std_dr) = build(false);
     let (pa_min, pa_dr) = build(true);
-    println!("{:<22}{:>16}{:>16}", "variant", "min relay batt", "delivery");
+    println!(
+        "{:<22}{:>16}{:>16}",
+        "variant", "min relay batt", "delivery"
+    );
     println!("{:-<54}", "");
     println!("{:<22}{:>15.2}{:>15.2}", "standard OLSR", std_min, std_dr);
     println!("{:<22}{:>15.2}{:>15.2}", "power-aware OLSR", pa_min, pa_dr);
@@ -249,8 +255,14 @@ fn e8_multipath() {
         "variant", "discoveries", "failovers", "delivery"
     );
     println!("{:-<56}", "");
-    println!("{:<18}{:>14}{:>12}{:>11.2}", "standard DYMO", std_disc, 0, std_dr);
-    println!("{:<18}{:>14}{:>12}{:>11.2}", "multipath DYMO", mp_disc, failovers, mp_dr);
+    println!(
+        "{:<18}{:>14}{:>12}{:>11.2}",
+        "standard DYMO", std_disc, 0, std_dr
+    );
+    println!(
+        "{:<18}{:>14}{:>12}{:>11.2}",
+        "multipath DYMO", mp_disc, failovers, mp_dr
+    );
     assert!(
         mp_disc < std_disc,
         "multipath must re-flood less under churn ({mp_disc} vs {std_disc})"

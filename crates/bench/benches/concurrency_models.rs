@@ -17,7 +17,10 @@ fn main() {
         messages: 3_000,
         work_per_message: 20_000,
     };
-    println!("\n=== E9: concurrency models ({} messages, {} stages) ===\n", lab.messages, lab.stages);
+    println!(
+        "\n=== E9: concurrency models ({} messages, {} stages) ===\n",
+        lab.messages, lab.stages
+    );
     println!(
         "{:<28}{:>14}{:>10}{:>8}",
         "model", "msgs/sec", "threads", "FIFO"

@@ -1,0 +1,241 @@
+//! Dispatch hot path: events/sec and allocations for 1→N fan-out.
+//!
+//! Compares the unified event bus (interned `u32` event types, dense
+//! precomputed routing table, `Arc`-shared zero-clone fan-out) against a
+//! faithful simulation of the seed representation (`EventType(Arc<str>)`,
+//! `HashMap<EventType, Wiring>` string-hash routing that materialises a
+//! fresh `Vec<UnitId>` per event, and a deep event clone per target).
+//! The seed itself no longer builds in this workspace, so the legacy path
+//! is reconstructed in-line from the seed sources (`git show bed3135`).
+//!
+//! Run with `cargo bench --bench dispatch_hot_path`; numbers are recorded
+//! in `EXPERIMENTS.md`.
+
+use std::alloc::{GlobalAlloc, Layout, System};
+use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use criterion::{black_box, criterion_group, BatchSize, Criterion, Throughput};
+use manetkit::event::{ContextValue, Event, EventType, Payload};
+use manetkit::prelude::*;
+use manetkit::registry::EventTuple;
+use netsim::{NodeId, NodeOs};
+use packetbb::Address;
+
+/// Counts heap allocations so the two dispatch paths can be audited.
+struct CountingAlloc;
+
+static ALLOCS: AtomicU64 = AtomicU64::new(0);
+
+unsafe impl GlobalAlloc for CountingAlloc {
+    unsafe fn alloc(&self, layout: Layout) -> *mut u8 {
+        ALLOCS.fetch_add(1, Ordering::Relaxed);
+        System.alloc(layout)
+    }
+    unsafe fn dealloc(&self, ptr: *mut u8, layout: Layout) {
+        System.dealloc(ptr, layout)
+    }
+}
+
+#[global_allocator]
+static GLOBAL: CountingAlloc = CountingAlloc;
+
+const EVENT_NAME: &str = "BENCH_EVT";
+const EVENTS: usize = 1024;
+const FANOUTS: [usize; 3] = [1, 4, 16];
+
+/// A subscriber that just observes the event (the framework overhead is
+/// what the benchmark isolates, not handler work).
+struct SinkHandler {
+    ty: EventType,
+}
+
+impl EventHandler for SinkHandler {
+    fn name(&self) -> &str {
+        "sink"
+    }
+    fn subscriptions(&self) -> Vec<EventType> {
+        vec![self.ty]
+    }
+    fn handle(&mut self, event: &Event, _state: &mut StateSlot, _ctx: &mut ProtoCtx<'_>) {
+        black_box(event.ty.id());
+    }
+}
+
+fn new_path_deployment(fanout: usize) -> (Deployment, NodeOs) {
+    let ty = EventType::named(EVENT_NAME);
+    let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
+    for i in 0..fanout {
+        let cf = ManetProtocolCf::builder(format!("sink{i}"))
+            .tuple(EventTuple::new().requires(ty))
+            .state(StateSlot::new(()))
+            .handler(Box::new(SinkHandler { ty }))
+            .build();
+        dep.add_protocol_offline(cf).unwrap();
+    }
+    let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
+    dep.start(&mut os);
+    (dep, os)
+}
+
+fn new_path_events() -> Vec<Event> {
+    let ty = EventType::named(EVENT_NAME);
+    (0..EVENTS)
+        .map(|i| Event {
+            ty,
+            payload: Payload::Context(ContextValue::Custom("seq", i as f64)),
+            meta: Default::default(),
+        })
+        .collect()
+}
+
+// --- Legacy simulation: the seed's event representation -----------------
+
+/// Seed `EventType`: a reference-counted string, hashed by content.
+#[derive(Clone, PartialEq, Eq, Hash)]
+struct LegacyType(Arc<str>);
+
+/// Seed `Event`: cloned in full once per fan-out target.
+#[derive(Clone)]
+struct LegacyEvent {
+    ty: LegacyType,
+    payload: Payload,
+}
+
+fn legacy_routing(fanout: usize) -> HashMap<LegacyType, Vec<usize>> {
+    let mut routing = HashMap::new();
+    routing.insert(
+        LegacyType(Arc::from(EVENT_NAME)),
+        (0..fanout).collect::<Vec<_>>(),
+    );
+    routing
+}
+
+fn legacy_events() -> Vec<LegacyEvent> {
+    let ty = LegacyType(Arc::from(EVENT_NAME));
+    (0..EVENTS)
+        .map(|i| LegacyEvent {
+            ty: ty.clone(),
+            payload: Payload::Context(ContextValue::Custom("seq", i as f64)),
+        })
+        .collect()
+}
+
+/// One seed-style dispatch round, mirroring the seed's code path
+/// step for step: string-hash route lookup materialising a fresh target
+/// `Vec` per event (`route()`), a full event clone pushed per target, then
+/// a drain in which every delivery allocates the protocol-name `String`
+/// (`deliver_one`) and re-asks the handler for its subscription `Vec`
+/// (`ManetProtocolCf::deliver`), as the seed did.
+fn legacy_dispatch(routing: &HashMap<LegacyType, Vec<usize>>, events: Vec<LegacyEvent>) {
+    let mut queue: VecDeque<(usize, LegacyEvent)> = VecDeque::new();
+    for event in events {
+        let targets: Vec<usize> = routing.get(&event.ty).cloned().unwrap_or_default();
+        for target in targets {
+            queue.push_back((target, event.clone()));
+        }
+    }
+    let stored_sub = LegacyType(Arc::from(EVENT_NAME));
+    while let Some((target, event)) = queue.pop_front() {
+        let name = format!("sink{target}");
+        let subscriptions: Vec<LegacyType> = vec![stored_sub.clone()];
+        if subscriptions.contains(&event.ty) {
+            black_box((name.as_str(), &event.payload));
+        }
+    }
+}
+
+// --- Benchmarks ---------------------------------------------------------
+
+fn bench_dispatch(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dispatch_hot_path");
+    for fanout in FANOUTS {
+        group.throughput(Throughput::Elements((EVENTS * fanout) as u64));
+        let (mut dep, mut os) = new_path_deployment(fanout);
+        group.bench_function(format!("new/fanout_{fanout}"), |b| {
+            b.iter_batched(
+                new_path_events,
+                |events| dep.dispatch(&mut os, events, None),
+                BatchSize::LargeInput,
+            )
+        });
+        let routing = legacy_routing(fanout);
+        group.bench_function(format!("legacy_sim/fanout_{fanout}"), |b| {
+            b.iter_batched(
+                legacy_events,
+                |events| legacy_dispatch(&routing, events),
+                BatchSize::LargeInput,
+            )
+        });
+    }
+    group.finish();
+}
+
+fn bench_event_type(c: &mut Criterion) {
+    let mut group = c.benchmark_group("event_type");
+    group.bench_function("named_interned", |b| {
+        b.iter(|| EventType::named(black_box(EVENT_NAME)))
+    });
+    group.bench_function("named_arc_str_seed", |b| {
+        b.iter(|| LegacyType(Arc::from(black_box(EVENT_NAME))))
+    });
+    group.finish();
+}
+
+/// Allocation audit: one dispatch round over `EVENTS` events at fan-out 8,
+/// heap allocations counted by the global allocator.
+fn alloc_audit() {
+    const FANOUT: usize = 8;
+    println!("\n=== allocation audit ({EVENTS} events, fan-out {FANOUT}) ===\n");
+
+    let (mut dep, mut os) = new_path_deployment(FANOUT);
+    // Warm both paths so one-time lazy work is excluded.
+    dep.dispatch(&mut os, new_path_events(), None);
+    let events = new_path_events();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    dep.dispatch(&mut os, events, None);
+    let new_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    let routing = legacy_routing(FANOUT);
+    legacy_dispatch(&routing, legacy_events());
+    let events = legacy_events();
+    let before = ALLOCS.load(Ordering::Relaxed);
+    legacy_dispatch(&routing, events);
+    let legacy_allocs = ALLOCS.load(Ordering::Relaxed) - before;
+
+    println!("{:<24}{:>12}{:>16}", "path", "allocs", "allocs/event");
+    println!("{:-<52}", "");
+    println!(
+        "{:<24}{:>12}{:>16.3}",
+        "new (unified bus)",
+        new_allocs,
+        new_allocs as f64 / EVENTS as f64
+    );
+    println!(
+        "{:<24}{:>12}{:>16.3}",
+        "legacy (seed, sim)",
+        legacy_allocs,
+        legacy_allocs as f64 / EVENTS as f64
+    );
+    assert!(
+        new_allocs < legacy_allocs,
+        "unified bus must allocate less than the seed path \
+         (new {new_allocs} vs legacy {legacy_allocs})"
+    );
+    println!();
+}
+
+criterion_group!(
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(Duration::from_millis(200))
+        .measurement_time(Duration::from_millis(800));
+    targets = bench_dispatch, bench_event_type
+);
+
+fn main() {
+    benches();
+    alloc_audit();
+}

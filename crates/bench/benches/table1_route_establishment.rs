@@ -25,14 +25,33 @@ fn main() {
     let (mkit_olsr, ok2) = mean_delay(RUNS, |s| olsr_route_establishment(&mkit_olsr_factory(), s));
     let (dymoum, ok3) = mean_delay(RUNS, |s| dymo_route_establishment(&dymoum_factory(), s));
     let (mkit_dymo, ok4) = mean_delay(RUNS, |s| dymo_route_establishment(&mkit_dymo_factory(), s));
-    assert!(ok1 && ok2 && ok3 && ok4, "every run must establish its route");
+    assert!(
+        ok1 && ok2 && ok3 && ok4,
+        "every run must establish its route"
+    );
 
     println!("{:<34}{:>14}", "implementation", "delay (ms)");
     println!("{:-<48}", "");
-    println!("{:<34}{:>14}", "Unik-olsrd (monolithic)", manetkit_bench::fmt_ms(olsrd));
-    println!("{:<34}{:>14}", "MKit-OLSR", manetkit_bench::fmt_ms(mkit_olsr));
-    println!("{:<34}{:>14}", "DYMOUM (monolithic)", manetkit_bench::fmt_ms(dymoum));
-    println!("{:<34}{:>14}", "MKit-DYMO", manetkit_bench::fmt_ms(mkit_dymo));
+    println!(
+        "{:<34}{:>14}",
+        "Unik-olsrd (monolithic)",
+        manetkit_bench::fmt_ms(olsrd)
+    );
+    println!(
+        "{:<34}{:>14}",
+        "MKit-OLSR",
+        manetkit_bench::fmt_ms(mkit_olsr)
+    );
+    println!(
+        "{:<34}{:>14}",
+        "DYMOUM (monolithic)",
+        manetkit_bench::fmt_ms(dymoum)
+    );
+    println!(
+        "{:<34}{:>14}",
+        "MKit-DYMO",
+        manetkit_bench::fmt_ms(mkit_dymo)
+    );
 
     let ratio_olsr = mkit_olsr.as_micros() as f64 / olsrd.as_micros().max(1) as f64;
     let ratio_dymo = mkit_dymo.as_micros() as f64 / dymoum.as_micros().max(1) as f64;

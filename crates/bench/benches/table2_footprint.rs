@@ -60,7 +60,10 @@ fn live() -> usize {
 /// Builds a 5-node line world with agents, runs 40 s of simulated time with
 /// cross traffic (so reactive state actually populates), and returns it.
 fn run_world(make: &dyn Fn(usize) -> Option<Box<dyn netsim::RoutingAgent>>) -> World {
-    let mut world = World::builder().topology(Topology::line(5)).seed(77).build();
+    let mut world = World::builder()
+        .topology(Topology::line(5))
+        .seed(77)
+        .build();
     let mut any_agent = false;
     for i in 0..5 {
         if let Some(agent) = make(i) {
@@ -111,13 +114,33 @@ fn main() {
     println!("Source KiB a node must carry for each deployment (shared files counted once per deployment).\n");
     println!("{:<44}{:>10}", "deployment", "KiB");
     println!("{:-<54}", "");
-    println!("{:<44}{:>10.1}", "Unik-olsrd analogue (monolithic)", kib(code.olsrd));
+    println!(
+        "{:<44}{:>10.1}",
+        "Unik-olsrd analogue (monolithic)",
+        kib(code.olsrd)
+    );
     println!("{:<44}{:>10.1}", "MKit-OLSR", kib(code.mkit_olsr));
-    println!("{:<44}{:>10.1}", "DYMOUM analogue (monolithic)", kib(code.dymoum));
+    println!(
+        "{:<44}{:>10.1}",
+        "DYMOUM analogue (monolithic)",
+        kib(code.dymoum)
+    );
     println!("{:<44}{:>10.1}", "MKit-DYMO", kib(code.mkit_dymo));
-    println!("{:<44}{:>10.1}", "two monolithic daemons (sum)", kib(code.monolith_sum()));
-    println!("{:<44}{:>10.1}", "two separate MKit deployments (sum)", kib(code.mkit_sum()));
-    println!("{:<44}{:>10.1}", "MKit OLSR+DYMO (one shared deployment)", kib(code.mkit_both));
+    println!(
+        "{:<44}{:>10.1}",
+        "two monolithic daemons (sum)",
+        kib(code.monolith_sum())
+    );
+    println!(
+        "{:<44}{:>10.1}",
+        "two separate MKit deployments (sum)",
+        kib(code.mkit_sum())
+    );
+    println!(
+        "{:<44}{:>10.1}",
+        "MKit OLSR+DYMO (one shared deployment)",
+        kib(code.mkit_both)
+    );
     let marginal = code.mkit_both - code.mkit_olsr;
     println!(
         "\nsharing saves {:.0}% vs two separate framework deployments",
@@ -165,8 +188,15 @@ fn main() {
     println!("{:<44}{:>10.1}", "MKit-OLSR", mkit_olsr);
     println!("{:<44}{:>10.1}", "DYMOUM analogue (monolithic)", dymoum);
     println!("{:<44}{:>10.1}", "MKit-DYMO", mkit_dymo);
-    println!("{:<44}{:>10.1}", "two separate MKit deployments (sum)", mkit_olsr + mkit_dymo);
-    println!("{:<44}{:>10.1}", "MKit OLSR+DYMO (one shared deployment)", mkit_both);
+    println!(
+        "{:<44}{:>10.1}",
+        "two separate MKit deployments (sum)",
+        mkit_olsr + mkit_dymo
+    );
+    println!(
+        "{:<44}{:>10.1}",
+        "MKit OLSR+DYMO (one shared deployment)", mkit_both
+    );
     println!(
         "\nMKit-OLSR heap overhead over monolith: {:+.0}%",
         (mkit_olsr / olsrd.max(0.001) - 1.0) * 100.0

@@ -17,7 +17,11 @@ use std::path::Path;
 fn files_bytes(root: &Path, files: &[&str]) -> u64 {
     files
         .iter()
-        .map(|f| std::fs::metadata(root.join(f)).map(|m| m.len()).unwrap_or(0))
+        .map(|f| {
+            std::fs::metadata(root.join(f))
+                .map(|m| m.len())
+                .unwrap_or(0)
+        })
         .sum()
 }
 

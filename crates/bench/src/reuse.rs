@@ -74,50 +74,185 @@ fn aodv_row(name: &'static str, files: &[&'static str]) -> ComponentRow {
 pub fn inventory() -> Vec<ComponentRow> {
     vec![
         // ---- generic, reusable components ---------------------------------
-        row("System CF (driver/netlink/power)", true, &["crates/core/src/system.rs"], true, true),
-        row("Framework Manager + event wiring", true, &["crates/core/src/manager.rs", "crates/core/src/registry.rs"], true, true),
-        row("Event ontology", true, &["crates/core/src/event.rs"], true, true),
-        row("ManetControl CF (CFS pattern)", true, &["crates/core/src/protocol.rs"], true, true),
-        row("Deployment / reconfiguration", true, &["crates/core/src/node.rs"], true, true),
-        row("Concurrency models", true, &["crates/core/src/concurrency.rs"], true, true),
-        row("Neighbour Detection CF", true, &["crates/core/src/neighbour.rs"], false, true),
-        row("PacketGenerator/PacketParser (PacketBB)", true, &[
-            "crates/packetbb/src/packet.rs",
-            "crates/packetbb/src/message.rs",
-            "crates/packetbb/src/addrblock.rs",
-            "crates/packetbb/src/tlv.rs",
-            "crates/packetbb/src/wire.rs",
-            "crates/packetbb/src/address.rs",
-            "crates/packetbb/src/time.rs",
-            "crates/packetbb/src/registry.rs",
-        ], true, true),
-        row("Kernel RouteTable", true, &["crates/netsim/src/route.rs"], true, true),
-        row("OpenCom component runtime", true, &[
-            "crates/opencom/src/kernel.rs",
-            "crates/opencom/src/cf.rs",
-            "crates/opencom/src/component.rs",
-            "crates/opencom/src/interface.rs",
-            "crates/opencom/src/arch.rs",
-            "crates/opencom/src/quiescence.rs",
-        ], true, true),
-        row("MPR CF (shared flooding service)", true, &[
-            "crates/olsr/src/mpr/state.rs",
-            "crates/olsr/src/mpr/components.rs",
-            "crates/olsr/src/mpr/mod.rs",
-        ], true, true), // shared by DYMO's optimised-flooding variant
+        row(
+            "System CF (driver/netlink/power)",
+            true,
+            &["crates/core/src/system.rs"],
+            true,
+            true,
+        ),
+        row(
+            "Framework Manager + event wiring",
+            true,
+            &["crates/core/src/manager.rs", "crates/core/src/registry.rs"],
+            true,
+            true,
+        ),
+        row(
+            "Event ontology",
+            true,
+            &["crates/core/src/event.rs"],
+            true,
+            true,
+        ),
+        row(
+            "ManetControl CF (CFS pattern)",
+            true,
+            &["crates/core/src/protocol.rs"],
+            true,
+            true,
+        ),
+        row(
+            "Deployment / reconfiguration",
+            true,
+            &["crates/core/src/node.rs"],
+            true,
+            true,
+        ),
+        row(
+            "Concurrency models",
+            true,
+            &["crates/core/src/concurrency.rs"],
+            true,
+            true,
+        ),
+        row(
+            "Neighbour Detection CF",
+            true,
+            &["crates/core/src/neighbour.rs"],
+            false,
+            true,
+        ),
+        row(
+            "PacketGenerator/PacketParser (PacketBB)",
+            true,
+            &[
+                "crates/packetbb/src/packet.rs",
+                "crates/packetbb/src/message.rs",
+                "crates/packetbb/src/addrblock.rs",
+                "crates/packetbb/src/tlv.rs",
+                "crates/packetbb/src/wire.rs",
+                "crates/packetbb/src/address.rs",
+                "crates/packetbb/src/time.rs",
+                "crates/packetbb/src/registry.rs",
+            ],
+            true,
+            true,
+        ),
+        row(
+            "Kernel RouteTable",
+            true,
+            &["crates/netsim/src/route.rs"],
+            true,
+            true,
+        ),
+        row(
+            "OpenCom component runtime",
+            true,
+            &[
+                "crates/opencom/src/kernel.rs",
+                "crates/opencom/src/cf.rs",
+                "crates/opencom/src/component.rs",
+                "crates/opencom/src/interface.rs",
+                "crates/opencom/src/arch.rs",
+                "crates/opencom/src/quiescence.rs",
+            ],
+            true,
+            true,
+        ),
+        row(
+            "MPR CF (shared flooding service)",
+            true,
+            &[
+                "crates/olsr/src/mpr/state.rs",
+                "crates/olsr/src/mpr/components.rs",
+                "crates/olsr/src/mpr/mod.rs",
+            ],
+            true,
+            true,
+        ), // shared by DYMO's optimised-flooding variant
         // ---- protocol-specific components ----------------------------------
-        row("OLSR: topology set + route calc", false, &["crates/olsr/src/olsr/state.rs"], true, false),
-        row("OLSR: TC generation/handling", false, &["crates/olsr/src/olsr/components.rs", "crates/olsr/src/olsr/mod.rs"], true, false),
-        row("OLSR: fisheye variant", false, &["crates/olsr/src/variants/fisheye.rs"], true, false),
-        row("OLSR: power-aware variant", false, &["crates/olsr/src/variants/power.rs"], true, false),
-        row("DYMO: route table + pending RREQ", false, &["crates/dymo/src/state.rs"], false, true),
-        row("DYMO: RE/RERR/UERR handlers", false, &["crates/dymo/src/handlers.rs"], false, true),
-        row("DYMO: message formats", false, &["crates/dymo/src/messages.rs"], false, true),
-        row("DYMO: multipath variant", false, &["crates/dymo/src/variants/multipath.rs"], false, true),
-        row("DYMO: optimised-flooding variant", false, &["crates/dymo/src/variants/flooding.rs"], false, true),
-        row("DYMO: gossip-flooding variant", false, &["crates/dymo/src/variants/gossip.rs"], false, true),
-        aodv_row("AODV: route table + precursors", &["crates/aodv/src/state.rs"]),
-        aodv_row("AODV: RREQ/RREP/RERR handlers", &["crates/aodv/src/handlers.rs"]),
+        row(
+            "OLSR: topology set + route calc",
+            false,
+            &["crates/olsr/src/olsr/state.rs"],
+            true,
+            false,
+        ),
+        row(
+            "OLSR: TC generation/handling",
+            false,
+            &[
+                "crates/olsr/src/olsr/components.rs",
+                "crates/olsr/src/olsr/mod.rs",
+            ],
+            true,
+            false,
+        ),
+        row(
+            "OLSR: fisheye variant",
+            false,
+            &["crates/olsr/src/variants/fisheye.rs"],
+            true,
+            false,
+        ),
+        row(
+            "OLSR: power-aware variant",
+            false,
+            &["crates/olsr/src/variants/power.rs"],
+            true,
+            false,
+        ),
+        row(
+            "DYMO: route table + pending RREQ",
+            false,
+            &["crates/dymo/src/state.rs"],
+            false,
+            true,
+        ),
+        row(
+            "DYMO: RE/RERR/UERR handlers",
+            false,
+            &["crates/dymo/src/handlers.rs"],
+            false,
+            true,
+        ),
+        row(
+            "DYMO: message formats",
+            false,
+            &["crates/dymo/src/messages.rs"],
+            false,
+            true,
+        ),
+        row(
+            "DYMO: multipath variant",
+            false,
+            &["crates/dymo/src/variants/multipath.rs"],
+            false,
+            true,
+        ),
+        row(
+            "DYMO: optimised-flooding variant",
+            false,
+            &["crates/dymo/src/variants/flooding.rs"],
+            false,
+            true,
+        ),
+        row(
+            "DYMO: gossip-flooding variant",
+            false,
+            &["crates/dymo/src/variants/gossip.rs"],
+            false,
+            true,
+        ),
+        aodv_row(
+            "AODV: route table + precursors",
+            &["crates/aodv/src/state.rs"],
+        ),
+        aodv_row(
+            "AODV: RREQ/RREP/RERR handlers",
+            &["crates/aodv/src/handlers.rs"],
+        ),
         aodv_row("AODV: message formats", &["crates/aodv/src/messages.rs"]),
     ]
 }

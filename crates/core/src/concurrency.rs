@@ -28,8 +28,7 @@ use crate::event::Event;
 use crate::manager::UnitId;
 
 /// How events from below are shepherded to protocol CFs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ConcurrencyModel {
     /// One thread for the whole deployment; lowest overhead, lowest
     /// throughput, zero race conditions.
@@ -46,16 +45,19 @@ pub enum ConcurrencyModel {
     ThreadPerProtocol,
 }
 
-
 /// Deterministic queue discipline for a deployment under a given model.
+///
+/// Events are queued as `Arc<Event>` so fanning one event out to N
+/// subscribers shares a single allocation — [`DispatchQueue::push`] clones
+/// the `Arc` (a reference-count bump), never the event.
 #[derive(Debug)]
 pub enum DispatchQueue {
     /// One global FIFO (single-threaded / thread-per-message semantics).
-    Global(VecDeque<(UnitId, Event)>),
+    Global(VecDeque<(UnitId, Arc<Event>)>),
     /// Per-unit FIFOs drained round-robin (thread-per-protocol semantics).
     PerUnit {
         /// One FIFO per unit id.
-        queues: Vec<VecDeque<Event>>,
+        queues: Vec<VecDeque<Arc<Event>>>,
         /// Round-robin cursor.
         cursor: usize,
     },
@@ -76,8 +78,9 @@ impl DispatchQueue {
         }
     }
 
-    /// Enqueues an event for a unit.
-    pub fn push(&mut self, unit: UnitId, event: Event) {
+    /// Enqueues an event for a unit (a reference-count bump per subscriber,
+    /// not a deep clone).
+    pub fn push(&mut self, unit: UnitId, event: Arc<Event>) {
         match self {
             DispatchQueue::Global(q) => q.push_back((unit, event)),
             DispatchQueue::PerUnit { queues, .. } => {
@@ -90,7 +93,7 @@ impl DispatchQueue {
     }
 
     /// Dequeues the next `(unit, event)` pair, or `None` when drained.
-    pub fn pop(&mut self) -> Option<(UnitId, Event)> {
+    pub fn pop(&mut self) -> Option<(UnitId, Arc<Event>)> {
         match self {
             DispatchQueue::Global(q) => q.pop_front(),
             DispatchQueue::PerUnit { queues, cursor } => {
@@ -113,6 +116,15 @@ impl DispatchQueue {
         match self {
             DispatchQueue::Global(q) => q.is_empty(),
             DispatchQueue::PerUnit { queues, .. } => queues.iter().all(VecDeque::is_empty),
+        }
+    }
+
+    /// Number of pending `(unit, event)` deliveries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        match self {
+            DispatchQueue::Global(q) => q.len(),
+            DispatchQueue::PerUnit { queues, .. } => queues.iter().map(VecDeque::len).sum(),
         }
     }
 }
@@ -352,8 +364,9 @@ mod tests {
     #[test]
     fn global_queue_is_fifo() {
         let mut q = DispatchQueue::for_model(ConcurrencyModel::SingleThreaded);
-        q.push(1, Event::signal(types::tc_in()));
-        q.push(2, Event::signal(types::hello_in()));
+        q.push(1, Arc::new(Event::signal(types::tc_in())));
+        q.push(2, Arc::new(Event::signal(types::hello_in())));
+        assert_eq!(q.len(), 2);
         assert_eq!(q.pop().unwrap().0, 1);
         assert_eq!(q.pop().unwrap().0, 2);
         assert!(q.pop().is_none());
@@ -363,15 +376,30 @@ mod tests {
     #[test]
     fn per_unit_queue_round_robins_but_keeps_per_unit_order() {
         let mut q = DispatchQueue::for_model(ConcurrencyModel::ThreadPerProtocol);
-        q.push(0, Event::signal(types::tc_in()));
-        q.push(0, Event::signal(types::tc_out()));
-        q.push(1, Event::signal(types::hello_in()));
+        q.push(0, Arc::new(Event::signal(types::tc_in())));
+        q.push(0, Arc::new(Event::signal(types::tc_out())));
+        q.push(1, Arc::new(Event::signal(types::hello_in())));
+        assert_eq!(q.len(), 3);
         let order: Vec<_> = std::iter::from_fn(|| q.pop()).collect();
         assert_eq!(order.len(), 3);
         // Per-unit order preserved.
         let unit0: Vec<_> = order.iter().filter(|(u, _)| *u == 0).collect();
         assert_eq!(unit0[0].1.ty, types::tc_in());
         assert_eq!(unit0[1].1.ty, types::tc_out());
+    }
+
+    #[test]
+    fn fan_out_shares_one_allocation() {
+        let mut q = DispatchQueue::for_model(ConcurrencyModel::SingleThreaded);
+        let ev = Arc::new(Event::signal(types::nhood_change()));
+        for unit in 0..8 {
+            q.push(unit, Arc::clone(&ev));
+        }
+        // One allocation, nine handles (ours + eight queued).
+        assert_eq!(Arc::strong_count(&ev), 9);
+        while let Some((_, popped)) = q.pop() {
+            assert!(Arc::ptr_eq(&popped, &ev));
+        }
     }
 
     #[test]
@@ -387,10 +415,7 @@ mod tests {
             ConcurrencyModel::ThreadPerProtocol,
         ] {
             let report = lab.run(model);
-            assert!(
-                report.order_preserved,
-                "{model:?} violated FIFO order"
-            );
+            assert!(report.order_preserved, "{model:?} violated FIFO order");
             assert!(report.throughput > 0.0);
         }
     }
@@ -404,7 +429,8 @@ mod tests {
         };
         assert_eq!(lab.run(ConcurrencyModel::SingleThreaded).threads_used, 1);
         assert_eq!(
-            lab.run(ConcurrencyModel::ThreadPerMessage { pool: 3 }).threads_used,
+            lab.run(ConcurrencyModel::ThreadPerMessage { pool: 3 })
+                .threads_used,
             4
         );
         assert_eq!(lab.run(ConcurrencyModel::ThreadPerProtocol).threads_used, 3);

@@ -7,40 +7,132 @@
 //! [`EventTuple`](crate::registry::EventTuple)s and the Framework Manager
 //! wires them together by name.
 
+use std::collections::HashMap;
 use std::fmt;
-use std::sync::Arc;
+use std::sync::{Arc, OnceLock, RwLock};
 
 use packetbb::{Address, Message};
 
+/// The process-wide intern table mapping event type names to dense ids.
+///
+/// Names are leaked exactly once (`Box::leak`) so `as_str` can hand out
+/// `&'static str` without holding the lock; the leak is bounded by the number
+/// of *distinct* event type names a process ever uses, which for a routing
+/// deployment is a few dozen.
+struct InternTable {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn intern_table() -> &'static RwLock<InternTable> {
+    static TABLE: OnceLock<RwLock<InternTable>> = OnceLock::new();
+    TABLE.get_or_init(|| {
+        RwLock::new(InternTable {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
 /// An interned event type name, e.g. `"TC_OUT"`.
 ///
-/// Cheap to clone and compare; equality is by name.
-#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
-pub struct EventType(Arc<str>);
+/// The value is a dense `u32` id into a process-wide intern table, so it is
+/// `Copy`, equality is a single integer compare and hashing is O(1) —
+/// independent of the name length. Two `EventType`s are equal iff their names
+/// are equal; [`EventType::named`] returns the *same* id for the same name
+/// every time. Ordering ([`Ord`]) compares by name, not id, so sort order is
+/// stable regardless of interning order.
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct EventType(u32);
 
 impl EventType {
-    /// Creates (or references) an event type by name.
+    /// Interns `name` and returns its event type.
+    ///
+    /// The first call for a given name allocates an entry in the global
+    /// intern table; every subsequent call is a read-locked hash lookup that
+    /// returns the identical id with **no further allocation**. Hot paths
+    /// should still cache the returned value (it is `Copy`) rather than
+    /// re-interning per event.
     #[must_use]
     pub fn named(name: &str) -> Self {
-        EventType(Arc::from(name))
+        // Fast path: already interned (read lock only).
+        if let Some(&id) = intern_table()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .by_name
+            .get(name)
+        {
+            return EventType(id);
+        }
+        let mut table = intern_table()
+            .write()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        // Re-check under the write lock: another thread may have won the race.
+        if let Some(&id) = table.by_name.get(name) {
+            return EventType(id);
+        }
+        let id = u32::try_from(table.names.len()).expect("intern table overflow");
+        let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+        table.names.push(leaked);
+        table.by_name.insert(leaked, id);
+        EventType(id)
     }
 
     /// The type name.
     #[must_use]
-    pub fn as_str(&self) -> &str {
-        &self.0
+    pub fn as_str(&self) -> &'static str {
+        intern_table()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .names[self.0 as usize]
+    }
+
+    /// The dense intern id. Ids start at 0 and are assigned in interning
+    /// order, so they index directly into per-type tables sized by
+    /// [`EventType::intern_count`]. Ids are stable for the process lifetime
+    /// but **not** across runs — persist names, not ids.
+    #[must_use]
+    pub fn id(&self) -> u32 {
+        self.0
+    }
+
+    /// Number of distinct event types interned so far. Any id returned by
+    /// [`EventType::id`] is `< intern_count()` at the time of the call.
+    #[must_use]
+    pub fn intern_count() -> usize {
+        intern_table()
+            .read()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .names
+            .len()
+    }
+}
+
+impl PartialOrd for EventType {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for EventType {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        if self.0 == other.0 {
+            std::cmp::Ordering::Equal
+        } else {
+            self.as_str().cmp(other.as_str())
+        }
     }
 }
 
 impl fmt::Debug for EventType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "EventType({})", self.0)
+        write!(f, "EventType({})", self.as_str())
     }
 }
 
 impl fmt::Display for EventType {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.write_str(&self.0)
+        f.write_str(self.as_str())
     }
 }
 
@@ -50,12 +142,40 @@ impl From<&str> for EventType {
     }
 }
 
+/// Defines functions returning cached interned [`EventType`]s for fixed
+/// names: the first call interns the name, every later call is a single
+/// atomic load — no lock, no lookup, no allocation. The `types` module and
+/// the protocol crates' timer constants are built from this.
+///
+/// ```
+/// manetkit::cached_event_type! {
+///     /// My protocol's sweep timer.
+///     pub fn sweep_timer => "myproto:sweep";
+/// }
+/// assert_eq!(sweep_timer(), manetkit::EventType::named("myproto:sweep"));
+/// ```
+#[macro_export]
+macro_rules! cached_event_type {
+    ($($(#[$attr:meta])* $vis:vis fn $name:ident => $ty_name:expr;)+) => {
+        $(
+            $(#[$attr])*
+            #[must_use]
+            $vis fn $name() -> $crate::event::EventType {
+                static CACHE: ::std::sync::OnceLock<$crate::event::EventType> =
+                    ::std::sync::OnceLock::new();
+                *CACHE.get_or_init(|| $crate::event::EventType::named($ty_name))
+            }
+        )+
+    };
+}
+
 /// Well-known event types used by the protocols in this workspace.
 ///
 /// Deployments are free to define further types; these constants only fix
 /// the names the bundled protocols agree on.
 pub mod types {
     use super::EventType;
+    use std::sync::OnceLock;
 
     macro_rules! event_types {
         ($($(#[$doc:meta])* $fn_name:ident => $name:literal;)*) => {
@@ -63,7 +183,8 @@ pub mod types {
                 $(#[$doc])*
                 #[must_use]
                 pub fn $fn_name() -> EventType {
-                    EventType::named($name)
+                    static CACHE: OnceLock<EventType> = OnceLock::new();
+                    *CACHE.get_or_init(|| EventType::named($name))
                 }
             )*
         };
@@ -299,15 +420,44 @@ mod tests {
     }
 
     #[test]
+    fn named_interns_once() {
+        let a = EventType::named("TC_OUT");
+        let before = EventType::intern_count();
+        let b = EventType::named("TC_OUT");
+        // Same id — equality is identity, not a string compare.
+        assert_eq!(a.id(), b.id());
+        assert_eq!(a, b);
+        // No new table entry and the backing name is the very same
+        // allocation: the second call allocated nothing.
+        assert_eq!(EventType::intern_count(), before);
+        assert!(std::ptr::eq(a.as_str(), b.as_str()));
+        // A genuinely new name does grow the table (by exactly one).
+        let c = EventType::named("__INTERN_TEST_FRESH");
+        assert_eq!(EventType::intern_count(), before + 1);
+        assert_ne!(c, a);
+        assert!((c.id() as usize) < EventType::intern_count());
+    }
+
+    #[test]
+    fn ordering_is_by_name() {
+        // Intern in reverse lexicographic order; Ord must still follow names.
+        let z = EventType::named("__ORD_Z");
+        let a = EventType::named("__ORD_A");
+        assert!(a < z);
+        assert_eq!(a.cmp(&a), std::cmp::Ordering::Equal);
+        let mut v = vec![z, a];
+        v.sort();
+        assert_eq!(v, vec![a, z]);
+    }
+
+    #[test]
     fn constructors_fill_meta() {
         let msg = MessageBuilder::new(1).build();
-        let out = Event::message_out(types::tc_out(), msg.clone())
-            .to(Address::v4([10, 0, 0, 2]));
+        let out = Event::message_out(types::tc_out(), msg.clone()).to(Address::v4([10, 0, 0, 2]));
         assert_eq!(out.meta.dst, Some(Address::v4([10, 0, 0, 2])));
         assert!(out.message().is_some());
 
-        let incoming =
-            Event::message_in(types::tc_in(), Arc::new(msg), Address::v4([10, 0, 0, 3]));
+        let incoming = Event::message_in(types::tc_in(), Arc::new(msg), Address::v4([10, 0, 0, 3]));
         assert_eq!(incoming.meta.from, Some(Address::v4([10, 0, 0, 3])));
 
         let sig = Event::signal(types::nhood_change());

@@ -58,18 +58,20 @@ pub mod node;
 pub mod protocol;
 pub mod reconfig;
 pub mod registry;
+pub mod smallvec;
 pub mod system;
+pub mod telemetry;
 
 pub use concurrency::{ConcurrencyModel, DispatchQueue, LabReport, ThroughputLab};
 pub use event::{Event, EventMeta, EventType, Payload};
 pub use manager::FrameworkManager;
 pub use node::{DeployError, Deployment, ManetNode, NodeHandle, NodeStatus, ReconfigOp};
-pub use protocol::{
-    EventHandler, EventSource, Forwarder, ManetProtocolCf, ProtoCtx, StateSlot,
-};
+pub use protocol::{EventHandler, EventSource, Forwarder, ManetProtocolCf, ProtoCtx, StateSlot};
 pub use reconfig::{FleetCoordinator, FleetStatus};
 pub use registry::EventTuple;
+pub use smallvec::SmallVec;
 pub use system::SystemCf;
+pub use telemetry::{BusTelemetry, UnitCounters};
 
 /// Convenient glob-import surface.
 pub mod prelude {

@@ -14,10 +14,16 @@ use std::collections::HashMap;
 
 use crate::event::{ContextValue, EventType};
 use crate::registry::EventTuple;
+use crate::smallvec::SmallVec;
 
 /// Index of a registered unit (stable across rewires, not across
 /// unregister).
 pub type UnitId = usize;
+
+/// Inline capacity of per-type recipient lists: most event types have one or
+/// two recipients, so four inline slots keep the whole routing table
+/// allocation-free for typical deployments.
+const INLINE_UNITS: usize = 4;
 
 #[derive(Debug, Clone)]
 struct UnitDecl {
@@ -29,18 +35,33 @@ struct UnitDecl {
 #[derive(Debug, Clone, Default)]
 struct Wiring {
     /// Units that provide-and-require the type, in registration order.
-    interposers: Vec<UnitId>,
+    interposers: SmallVec<UnitId, INLINE_UNITS>,
     /// The exclusive consumer, if any (first registered wins).
     exclusive: Option<UnitId>,
     /// Plain consumers in registration order (excluding interposers).
-    consumers: Vec<UnitId>,
+    consumers: SmallVec<UnitId, INLINE_UNITS>,
+}
+
+impl Wiring {
+    fn is_empty(&self) -> bool {
+        self.interposers.is_empty() && self.exclusive.is_none() && self.consumers.is_empty()
+    }
 }
 
 /// Derives and maintains the event routing graph from unit tuples.
+///
+/// The routing table is *dense*: `wiring[ty.id()]` holds the precomputed
+/// recipient lists for event type `ty`. It is rebuilt only when the unit set
+/// or a tuple changes ([`FrameworkManager::rewire`]) — per-dispatch routing
+/// is a bounds-checked index, no hashing and no allocation
+/// ([`FrameworkManager::route_for_each`]).
 #[derive(Debug, Default)]
 pub struct FrameworkManager {
     units: Vec<UnitDecl>,
-    wiring: HashMap<EventType, Wiring>,
+    /// Dense routing table indexed by [`EventType::id`]. Types interned
+    /// after the last rewire (or absent from every tuple) simply fall
+    /// outside the table / hold an empty entry — both mean "no recipients".
+    wiring: Vec<Wiring>,
     rewires: u64,
     context: HashMap<String, ContextValue>,
 }
@@ -106,9 +127,7 @@ impl FrameworkManager {
     /// Finds a unit id by name.
     #[must_use]
     pub fn unit_named(&self, name: &str) -> Option<UnitId> {
-        self.units
-            .iter()
-            .position(|u| u.active && u.name == name)
+        self.units.iter().position(|u| u.active && u.name == name)
     }
 
     /// The unit's current tuple.
@@ -123,16 +142,31 @@ impl FrameworkManager {
         self.rewires
     }
 
-    /// Recomputes the routing graph from the current tuples.
+    /// Recomputes the dense routing table from the current tuples.
+    ///
+    /// This is the *only* place the table is built; dispatch never touches
+    /// it mutably. Cost is O(units × tuple size) and is paid on register /
+    /// update / (de)activate — i.e. on deployment and reconfiguration, not
+    /// per event.
     pub fn rewire(&mut self) {
         self.rewires += 1;
-        let mut wiring: HashMap<EventType, Wiring> = HashMap::new();
+        // Size the table to the highest required event id; ids are dense so
+        // this is at most the process-wide intern count.
+        let table_len = self
+            .units
+            .iter()
+            .filter(|u| u.active)
+            .flat_map(|u| u.tuple.required.iter())
+            .map(|ty| ty.id() as usize + 1)
+            .max()
+            .unwrap_or(0);
+        let mut wiring = vec![Wiring::default(); table_len];
         for (id, unit) in self.units.iter().enumerate() {
             if !unit.active {
                 continue;
             }
             for ty in &unit.tuple.required {
-                let w = wiring.entry(ty.clone()).or_default();
+                let w = &mut wiring[ty.id() as usize];
                 if unit.tuple.is_interposer(ty) {
                     w.interposers.push(id);
                 } else if unit.tuple.is_exclusive(ty) {
@@ -162,9 +196,27 @@ impl FrameworkManager {
     ///    propagation), excluding the origin (loop avoidance).
     #[must_use]
     pub fn route(&self, ty: &EventType, origin: Option<UnitId>) -> Vec<UnitId> {
-        let Some(w) = self.wiring.get(ty) else {
-            return Vec::new();
+        let mut out = Vec::new();
+        self.route_for_each(*ty, origin, |id| out.push(id));
+        out
+    }
+
+    /// Visits the recipients of an event of type `ty` emitted by `origin`
+    /// without allocating — the hot-path variant of
+    /// [`FrameworkManager::route`]. Recipients are visited in the same order
+    /// `route` would return them.
+    pub fn route_for_each(
+        &self,
+        ty: EventType,
+        origin: Option<UnitId>,
+        mut visit: impl FnMut(UnitId),
+    ) {
+        let Some(w) = self.wiring.get(ty.id() as usize) else {
+            return;
         };
+        if w.is_empty() {
+            return;
+        }
         // Position in the interposer chain to resume after.
         let chain_start = match origin {
             Some(o) => match w.interposers.iter().position(|i| *i == o) {
@@ -173,29 +225,46 @@ impl FrameworkManager {
             },
             None => 0,
         };
-        if let Some(next) = w.interposers.get(chain_start) {
+        if let Some(next) = w.interposers.as_slice().get(chain_start) {
             if Some(*next) != origin {
-                return vec![*next];
+                visit(*next);
+                return;
             }
         }
         if let Some(x) = w.exclusive {
             if Some(x) != origin {
-                return vec![x];
+                visit(x);
+                return;
             }
         }
-        w.consumers
-            .iter()
-            .copied()
-            .filter(|c| Some(*c) != origin)
-            .collect()
+        for c in &w.consumers {
+            if Some(*c) != origin {
+                visit(*c);
+            }
+        }
+    }
+
+    /// Number of recipients `route` would return, without allocating.
+    #[must_use]
+    pub fn route_count(&self, ty: EventType, origin: Option<UnitId>) -> usize {
+        let mut n = 0;
+        self.route_for_each(ty, origin, |_| n += 1);
+        n
     }
 
     // ---- context concentrator ---------------------------------------------
 
     /// Records a context reading (called by the deployment as context events
     /// flow).
-    pub fn record_context(&mut self, source: impl Into<String>, value: ContextValue) {
-        self.context.insert(source.into(), value);
+    pub fn record_context(&mut self, source: &str, value: ContextValue) {
+        // Overwrite in place when the source is known: context events flow
+        // on the dispatch hot path, and re-inserting would allocate a fresh
+        // key `String` per reading.
+        if let Some(slot) = self.context.get_mut(source) {
+            *slot = value;
+        } else {
+            self.context.insert(source.to_string(), value);
+        }
     }
 
     /// The most recent context reading from `source`, if any.
@@ -333,6 +402,28 @@ mod tests {
         assert_eq!(m.unit_named("sink"), None);
         m.reactivate(1);
         assert_eq!(m.route(&types::re_out(), Some(0)), vec![1]);
+    }
+
+    #[test]
+    fn routing_is_read_only_between_rewires() {
+        let m = manager_with(vec![
+            ("system", EventTuple::new().provides(types::hello_in())),
+            ("mpr", EventTuple::new().requires(types::hello_in())),
+            ("sniffer", EventTuple::new().requires(types::hello_in())),
+        ]);
+        let rewires = m.rewire_count();
+        // Routing — including for types the table has never seen — must not
+        // rebuild anything.
+        for _ in 0..100 {
+            let mut seen = Vec::new();
+            m.route_for_each(types::hello_in(), Some(0), |id| seen.push(id));
+            assert_eq!(seen, vec![1, 2]);
+            assert_eq!(m.route_count(types::hello_in(), Some(0)), 2);
+            m.route_for_each(EventType::named("__NEVER_WIRED"), None, |_| {
+                panic!("no recipients expected")
+            });
+        }
+        assert_eq!(m.rewire_count(), rewires);
     }
 
     #[test]

@@ -12,9 +12,7 @@ use packetbb::registry::{link_status, msg_type, tlv_type};
 use packetbb::{Address, AddressBlock, AddressTlv, Message, MessageBuilder, Tlv};
 
 use crate::event::{types, Event, EventType, NeighbourhoodChange, Payload};
-use crate::protocol::{
-    EventHandler, EventSource, ManetProtocolCf, ProtoCtx, StateSlot,
-};
+use crate::protocol::{EventHandler, EventSource, ManetProtocolCf, ProtoCtx, StateSlot};
 use crate::registry::EventTuple;
 use crate::system::MessageRegistration;
 
@@ -151,6 +149,11 @@ pub fn parse_hello_neighbours(msg: &Message) -> Vec<(Address, bool)> {
 
 const EXPIRY_TIMER: &str = "nd:expiry";
 
+crate::cached_event_type! {
+    /// The interned expiry-sweep timer type (cached, no per-call lookup).
+    fn expiry_timer => EXPIRY_TIMER;
+}
+
 struct HelloSource {
     interval: SimDuration,
     validity: SimDuration,
@@ -245,7 +248,7 @@ impl EventHandler for ExpiryHandler {
         "expiry-handler"
     }
     fn subscriptions(&self) -> Vec<EventType> {
-        vec![EventType::named(EXPIRY_TIMER)]
+        vec![expiry_timer()]
     }
     fn handle(&mut self, _event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
         let now = ctx.now();
@@ -266,7 +269,7 @@ impl EventHandler for ExpiryHandler {
                 .change_event(local, vec![], lost);
             ctx.emit(ev);
         }
-        ctx.set_timer(self.sweep, EventType::named(EXPIRY_TIMER));
+        ctx.set_timer(self.sweep, expiry_timer());
     }
 }
 
@@ -285,7 +288,7 @@ pub fn neighbour_detection_cf(config: NeighbourConfig) -> ManetProtocolCf {
                 .provides(types::nhood_change()),
         )
         .state(StateSlot::new(NeighbourTable::default()))
-        .startup_timer(sweep, EventType::named(EXPIRY_TIMER))
+        .startup_timer(sweep, expiry_timer())
         .source(Box::new(HelloSource {
             interval: config.hello_interval,
             validity: config.validity,

@@ -26,6 +26,7 @@ use crate::manager::{FrameworkManager, UnitId};
 use crate::protocol::{CtxOutputs, ManetProtocolCf, ProtoCtx, ProtocolError, ProtocolStats};
 use crate::registry::EventTuple;
 use crate::system::{MessageRegistration, SystemCf};
+use crate::telemetry::{intern_name, BusTelemetry};
 
 /// Interface id a reactive protocol's reflective adapter exposes; the
 /// default integrity rules key on it.
@@ -172,6 +173,9 @@ struct Slot {
     cf: ManetProtocolCf,
     unit: UnitId,
     component: ComponentId,
+    /// The protocol name, interned once so the delivery hot path can hand
+    /// a `&'static str` to [`ProtoCtx`] without a per-event `String`.
+    name: &'static str,
 }
 
 /// A per-node MANETKit framework instance.
@@ -184,6 +188,13 @@ pub struct Deployment {
     concurrency: ConcurrencyModel,
     timers: TimerTable,
     stats: DeploymentStats,
+    telemetry: BusTelemetry,
+    /// Telemetry state at the last [`flush_telemetry`](Self::flush_telemetry)
+    /// call; flushing bumps OS counters by the delta since.
+    telemetry_flushed: BusTelemetry,
+    /// Interned `bus.<unit>.events_{in,out}` counter names, indexed by unit
+    /// id and filled lazily on first flush.
+    counter_names: Vec<Option<(&'static str, &'static str)>>,
     started: bool,
 }
 
@@ -198,9 +209,7 @@ impl TimerTable {
     fn arm(&mut self, protocol: &str, ty: EventType) -> (u64, Option<u64>) {
         self.next_token += 1;
         let token = self.next_token;
-        let old = self
-            .by_key
-            .insert((protocol.to_string(), ty.clone()), token);
+        let old = self.by_key.insert((protocol.to_string(), ty), token);
         if let Some(old_token) = old {
             self.by_token.remove(&old_token);
         }
@@ -209,14 +218,14 @@ impl TimerTable {
     }
 
     fn cancel(&mut self, protocol: &str, ty: &EventType) -> Option<u64> {
-        let token = self.by_key.remove(&(protocol.to_string(), ty.clone()))?;
+        let token = self.by_key.remove(&(protocol.to_string(), *ty))?;
         self.by_token.remove(&token);
         Some(token)
     }
 
     fn fire(&mut self, token: u64) -> Option<(String, EventType)> {
         let entry = self.by_token.remove(&token)?;
-        self.by_key.remove(&(entry.0.clone(), entry.1.clone()));
+        self.by_key.remove(&(entry.0.clone(), entry.1));
         Some(entry)
     }
 
@@ -248,9 +257,9 @@ impl Deployment {
         meta.add_rule(IntegrityRule::new(
             "unique-protocol-names",
             |arch, change| match change {
-                PendingChange::Load { name } if arch.count_named(name) >= 1 => Err(format!(
-                    "a protocol named {name:?} is already deployed"
-                )),
+                PendingChange::Load { name } if arch.count_named(name) >= 1 => {
+                    Err(format!("a protocol named {name:?} is already deployed"))
+                }
                 _ => Ok(()),
             },
         ));
@@ -263,6 +272,9 @@ impl Deployment {
             concurrency,
             timers: TimerTable::default(),
             stats: DeploymentStats::default(),
+            telemetry: BusTelemetry::new(),
+            telemetry_flushed: BusTelemetry::new(),
+            counter_names: Vec::new(),
             started: false,
         }
     }
@@ -320,7 +332,59 @@ impl Deployment {
     /// Read access to a deployed protocol CF.
     #[must_use]
     pub fn protocol(&self, name: &str) -> Option<&ManetProtocolCf> {
-        self.slots.iter().find(|s| s.cf.name() == name).map(|s| &s.cf)
+        self.slots
+            .iter()
+            .find(|s| s.cf.name() == name)
+            .map(|s| &s.cf)
+    }
+
+    /// Dispatch telemetry (per-unit event counters, queue high-water mark,
+    /// wall-clock dispatch latency).
+    #[must_use]
+    pub fn telemetry(&self) -> &BusTelemetry {
+        &self.telemetry
+    }
+
+    /// Flushes the deterministic telemetry counters into the OS counter
+    /// table (surfacing them in `WorldStats::agent_counters` under `bus.*`
+    /// names). Bumps by the delta since the previous flush, so calling after
+    /// every callback is cheap and idempotent. Wall-clock dispatch latency
+    /// is deliberately excluded: it would differ between otherwise identical
+    /// runs.
+    pub fn flush_telemetry(&mut self, os: &mut NodeOs) {
+        let rounds = self.telemetry.dispatch_rounds - self.telemetry_flushed.dispatch_rounds;
+        os.bump_by("bus.dispatch_rounds", rounds);
+        let hwm = self.telemetry.queue_depth_hwm as u64;
+        let flushed_hwm = self.telemetry_flushed.queue_depth_hwm as u64;
+        os.bump_by("bus.queue_depth_hwm", hwm - flushed_hwm);
+        for (unit, counters) in self.telemetry.units().iter().enumerate() {
+            let previous = self.telemetry_flushed.unit(unit);
+            let delta_in = counters.events_in - previous.events_in;
+            let delta_out = counters.events_out - previous.events_out;
+            if delta_in == 0 && delta_out == 0 {
+                continue;
+            }
+            if self.counter_names.len() <= unit {
+                self.counter_names.resize(unit + 1, None);
+            }
+            let (in_name, out_name) = match self.counter_names[unit] {
+                Some(names) => names,
+                None => {
+                    let Some(name) = self.manager.unit_name(unit) else {
+                        continue;
+                    };
+                    let names = (
+                        intern_name(&format!("bus.{name}.events_in")),
+                        intern_name(&format!("bus.{name}.events_out")),
+                    );
+                    self.counter_names[unit] = Some(names);
+                    names
+                }
+            };
+            os.bump_by(in_name, delta_in);
+            os.bump_by(out_name, delta_out);
+        }
+        self.telemetry_flushed = self.telemetry.clone();
     }
 
     /// Aggregate statistics.
@@ -366,9 +430,7 @@ impl Deployment {
         if self.slots.iter().any(|s| s.cf.name() == cf.name()) {
             return Err(DeployError::DuplicateProtocol(cf.name().to_string()));
         }
-        if cf.is_reactive()
-            && self.slots.iter().any(|s| s.cf.is_reactive())
-        {
+        if cf.is_reactive() && self.slots.iter().any(|s| s.cf.is_reactive()) {
             return Err(DeployError::Integrity(
                 opencom::ComponentError::IntegrityViolation {
                     rule: "one-reactive-protocol".into(),
@@ -378,8 +440,16 @@ impl Deployment {
         }
         let adapter = ProtocolAdapter::from_cf(&cf);
         let component = self.meta.insert(Arc::new(adapter))?;
-        let unit = self.manager.register(cf.name().to_string(), cf.tuple().clone());
-        self.slots.push(Slot { cf, unit, component });
+        let unit = self
+            .manager
+            .register(cf.name().to_string(), cf.tuple().clone());
+        let name = intern_name(cf.name());
+        self.slots.push(Slot {
+            cf,
+            unit,
+            component,
+            name,
+        });
         Ok(())
     }
 
@@ -388,7 +458,11 @@ impl Deployment {
     /// # Errors
     ///
     /// Fails when the protocol is unknown or the meta-CF vetoes removal.
-    pub fn remove_protocol(&mut self, name: &str, os: &mut NodeOs) -> Result<ManetProtocolCf, DeployError> {
+    pub fn remove_protocol(
+        &mut self,
+        name: &str,
+        os: &mut NodeOs,
+    ) -> Result<ManetProtocolCf, DeployError> {
         let idx = self
             .slots
             .iter()
@@ -500,8 +574,8 @@ impl Deployment {
     /// Stops every protocol (cancels timers).
     pub fn stop(&mut self, os: &mut NodeOs) {
         for idx in 0..self.slots.len() {
-            let name = self.slots[idx].cf.name().to_string();
-            let mut ctx = ProtoCtx::new(os, &name);
+            let name = self.slots[idx].name;
+            let mut ctx = ProtoCtx::new(os, name);
             self.slots[idx].cf.stop(&mut ctx);
             let out = ctx.take_outputs();
             drop(ctx);
@@ -511,8 +585,8 @@ impl Deployment {
     }
 
     fn start_protocol(&mut self, idx: usize, os: &mut NodeOs) {
-        let name = self.slots[idx].cf.name().to_string();
-        let mut ctx = ProtoCtx::new(os, &name);
+        let name = self.slots[idx].name;
+        let mut ctx = ProtoCtx::new(os, name);
         self.slots[idx].cf.start(&mut ctx);
         let out = ctx.take_outputs();
         drop(ctx);
@@ -559,14 +633,16 @@ impl Deployment {
     /// queue to quiescence, then flushes aggregated transmissions.
     pub fn dispatch(&mut self, os: &mut NodeOs, events: Vec<Event>, origin: Option<UnitId>) {
         self.stats.dispatch_rounds += 1;
+        let started = std::time::Instant::now();
         let mut queue = DispatchQueue::for_model(self.concurrency);
         for ev in events {
             self.route_event(&mut queue, ev, origin);
         }
         while let Some((unit, event)) = queue.pop() {
-            self.deliver_one(&mut queue, unit, event, os);
+            self.deliver_one(&mut queue, unit, &event, os);
         }
         self.system.flush(os);
+        self.telemetry.record_round(started.elapsed());
     }
 
     fn drain(&mut self, os: &mut NodeOs) {
@@ -589,29 +665,38 @@ impl Deployment {
                 .and_then(|o| self.manager.unit_name(o))
                 .map(str::to_string);
         }
-        for target in self.manager.route(&event.ty, origin) {
-            self.stats.events_routed += 1;
-            queue.push(target, event.clone());
+        if let Some(o) = origin {
+            self.telemetry.record_out(o);
         }
+        // Wrap once; every subscriber shares this allocation. Routing walks
+        // the precomputed table without allocating a recipient list.
+        let shared = Arc::new(event);
+        let Deployment { manager, stats, .. } = self;
+        manager.route_for_each(shared.ty, origin, |target| {
+            stats.events_routed += 1;
+            queue.push(target, Arc::clone(&shared));
+        });
+        self.telemetry.observe_queue_depth(queue.len());
     }
 
     fn deliver_one(
         &mut self,
         queue: &mut DispatchQueue,
         unit: UnitId,
-        event: Event,
+        event: &Event,
         os: &mut NodeOs,
     ) {
+        self.telemetry.record_in(unit);
         if unit == self.system_unit {
-            self.system.consume(&event, os);
+            self.system.consume(event, os);
             return;
         }
         let Some(idx) = self.slots.iter().position(|s| s.unit == unit) else {
             return; // unit removed while event in flight
         };
-        let name = self.slots[idx].cf.name().to_string();
-        let mut ctx = ProtoCtx::new(os, &name);
-        self.slots[idx].cf.deliver(&event, &mut ctx);
+        let name = self.slots[idx].name;
+        let mut ctx = ProtoCtx::new(os, name);
+        self.slots[idx].cf.deliver(event, &mut ctx);
         let out = ctx.take_outputs();
         drop(ctx);
         let origin_unit = self.slots[idx].unit;
@@ -624,16 +709,18 @@ impl Deployment {
     /// Applies non-event outputs and routes emitted events through a fresh
     /// dispatch (used outside an active queue, e.g. timer handling).
     fn apply_outputs(&mut self, idx: usize, out: CtxOutputs, os: &mut NodeOs) {
+        let started = std::time::Instant::now();
         let origin_unit = self.slots[idx].unit;
         let mut queue = DispatchQueue::for_model(self.concurrency);
         for ev in out.emitted {
             self.route_event(&mut queue, ev, Some(origin_unit));
         }
         while let Some((unit, event)) = queue.pop() {
-            self.deliver_one(&mut queue, unit, event, os);
+            self.deliver_one(&mut queue, unit, &event, os);
         }
         self.apply_side_effects(idx, out.sends, out.timer_sets, out.timer_cancels, os);
         self.system.flush(os);
+        self.telemetry.record_round(started.elapsed());
     }
 
     fn apply_side_effects(
@@ -647,14 +734,14 @@ impl Deployment {
         for (dst, msg) in sends {
             self.system.send_direct(msg, dst);
         }
-        let name = self.slots[idx].cf.name().to_string();
+        let name = self.slots[idx].name;
         for ty in timer_cancels {
-            if let Some(token) = self.timers.cancel(&name, &ty) {
+            if let Some(token) = self.timers.cancel(name, &ty) {
                 os.cancel_timer(token);
             }
         }
         for (delay, ty) in timer_sets {
-            let (token, old) = self.timers.arm(&name, ty);
+            let (token, old) = self.timers.arm(name, ty);
             if let Some(old_token) = old {
                 os.cancel_timer(old_token);
             }
@@ -835,35 +922,41 @@ impl netsim::RoutingAgent for ManetNode {
     fn start(&mut self, os: &mut NodeOs) {
         self.quiescent_point(os);
         self.deployment.start(os);
+        self.deployment.flush_telemetry(os);
         self.publish_status();
     }
 
     fn on_frame(&mut self, os: &mut NodeOs, from: Address, bytes: &[u8]) {
         self.quiescent_point(os);
         self.deployment.on_frame(os, from, bytes);
+        self.deployment.flush_telemetry(os);
         self.publish_status();
     }
 
     fn on_timer(&mut self, os: &mut NodeOs, token: u64) {
         self.quiescent_point(os);
         self.deployment.on_timer(os, token);
+        self.deployment.flush_telemetry(os);
         self.publish_status();
     }
 
     fn on_filter_event(&mut self, os: &mut NodeOs, event: FilterEvent) {
         self.quiescent_point(os);
         self.deployment.on_filter_event(os, &event);
+        self.deployment.flush_telemetry(os);
         self.publish_status();
     }
 
     fn on_context(&mut self, os: &mut NodeOs, sample: ContextSample) {
         self.quiescent_point(os);
         self.deployment.on_context(os, &sample);
+        self.deployment.flush_telemetry(os);
         self.publish_status();
     }
 
     fn stop(&mut self, os: &mut NodeOs) {
         self.deployment.stop(os);
+        self.deployment.flush_telemetry(os);
         self.publish_status();
     }
 }

@@ -277,6 +277,21 @@ struct SourceSlot {
     timer: EventType,
 }
 
+/// A handler plus its subscription set, sampled when the handler is
+/// installed so the delivery hot path never re-asks (each
+/// [`EventHandler::subscriptions`] call allocates a fresh `Vec`).
+struct HandlerSlot {
+    handler: Box<dyn EventHandler>,
+    subs: Vec<EventType>,
+}
+
+impl HandlerSlot {
+    fn new(handler: Box<dyn EventHandler>) -> Self {
+        let subs = handler.subscriptions();
+        HandlerSlot { handler, subs }
+    }
+}
+
 /// A ManetProtocol CF: a named, tuple-declared composition of handlers,
 /// sources, an optional forwarder and a state slot.
 ///
@@ -285,9 +300,12 @@ struct SourceSlot {
 pub struct ManetProtocolCf {
     name: String,
     tuple: EventTuple,
-    handlers: Vec<Box<dyn EventHandler>>,
+    handlers: Vec<HandlerSlot>,
     sources: Vec<SourceSlot>,
     forwarder: Option<Box<dyn Forwarder>>,
+    /// Cached `forwarder.subscriptions()` (same rationale as
+    /// [`HandlerSlot::subs`]).
+    forwarder_subs: Vec<EventType>,
     state: StateSlot,
     stats: ProtocolStats,
     /// Named timers armed when the protocol starts (e.g. expiry sweeps).
@@ -309,6 +327,7 @@ impl ManetProtocolCf {
                 handlers: Vec::new(),
                 sources: Vec::new(),
                 forwarder: None,
+                forwarder_subs: Vec::new(),
                 state: StateSlot::empty(),
                 stats: ProtocolStats::default(),
                 startup_timers: Vec::new(),
@@ -353,7 +372,7 @@ impl ManetProtocolCf {
         let mut names: Vec<String> = self
             .handlers
             .iter()
-            .map(|h| h.name().to_string())
+            .map(|h| h.handler.name().to_string())
             .collect();
         names.extend(self.sources.iter().map(|s| s.source.name().to_string()));
         if let Some(f) = &self.forwarder {
@@ -368,10 +387,10 @@ impl ManetProtocolCf {
     /// starts.
     pub fn start(&mut self, ctx: &mut ProtoCtx<'_>) {
         for slot in &self.sources {
-            ctx.set_timer(slot.source.period(), slot.timer.clone());
+            ctx.set_timer(slot.source.period(), slot.timer);
         }
         for (delay, ty) in &self.startup_timers {
-            ctx.set_timer(*delay, ty.clone());
+            ctx.set_timer(*delay, *ty);
         }
     }
 
@@ -379,13 +398,13 @@ impl ManetProtocolCf {
     /// handlers (so they can clean up OS state such as kernel routes) and
     /// cancels the source timers.
     pub fn stop(&mut self, ctx: &mut ProtoCtx<'_>) {
-        let stop = Event::signal(EventType::named(PROTO_STOP_EVENT));
+        let stop = Event::signal(proto_stop_event());
         self.deliver(&stop, ctx);
         for slot in &self.sources {
-            ctx.cancel_timer(slot.timer.clone());
+            ctx.cancel_timer(slot.timer);
         }
         for (_, ty) in &self.startup_timers {
-            ctx.cancel_timer(ty.clone());
+            ctx.cancel_timer(*ty);
         }
     }
 
@@ -394,13 +413,13 @@ impl ManetProtocolCf {
         self.stats.events_delivered += 1;
         let mut handled = false;
         for h in &mut self.handlers {
-            if h.subscriptions().contains(&event.ty) {
-                h.handle(event, &mut self.state, ctx);
+            if h.subs.contains(&event.ty) {
+                h.handler.handle(event, &mut self.state, ctx);
                 handled = true;
             }
         }
         if let Some(f) = &mut self.forwarder {
-            if f.subscriptions().contains(&event.ty) {
+            if self.forwarder_subs.contains(&event.ty) {
                 f.forward(event, &mut self.state, ctx);
                 self.stats.messages_forwarded += 1;
                 handled = true;
@@ -418,17 +437,19 @@ impl ManetProtocolCf {
     pub fn on_timer(&mut self, ty: &EventType, ctx: &mut ProtoCtx<'_>) {
         if let Some(slot) = self.sources.iter_mut().find(|s| &s.timer == ty) {
             slot.source.fire(&mut self.state, ctx);
-            ctx.set_timer(slot.source.period(), slot.timer.clone());
+            ctx.set_timer(slot.source.period(), slot.timer);
             self.stats.source_firings += 1;
             return;
         }
-        let ev = Event::signal(ty.clone());
+        let ev = Event::signal(*ty);
         self.deliver(&ev, ctx);
     }
 
     // ---- fine-grained reconfiguration -------------------------------------
 
-    /// Adds a handler.
+    /// Adds a handler. Its subscription set is sampled now — handlers
+    /// declare static interests (the tuples are declarative); to change
+    /// them, replace the handler.
     ///
     /// # Errors
     ///
@@ -437,7 +458,7 @@ impl ManetProtocolCf {
         if self.plugin_names().iter().any(|n| n == handler.name()) {
             return Err(ProtocolError::DuplicatePlugin(handler.name().to_string()));
         }
-        self.handlers.push(handler);
+        self.handlers.push(HandlerSlot::new(handler));
         Ok(())
     }
 
@@ -450,9 +471,9 @@ impl ManetProtocolCf {
         let idx = self
             .handlers
             .iter()
-            .position(|h| h.name() == name)
+            .position(|h| h.handler.name() == name)
             .ok_or_else(|| ProtocolError::NoSuchPlugin(name.to_string()))?;
-        Ok(self.handlers.remove(idx))
+        Ok(self.handlers.remove(idx).handler)
     }
 
     /// Replaces the handler named `name` in place (same position), returning
@@ -469,10 +490,10 @@ impl ManetProtocolCf {
         let idx = self
             .handlers
             .iter()
-            .position(|h| h.name() == name)
+            .position(|h| h.handler.name() == name)
             .ok_or_else(|| ProtocolError::NoSuchPlugin(name.to_string()))?;
-        let old = std::mem::replace(&mut self.handlers[idx], new);
-        Ok(old)
+        let old = std::mem::replace(&mut self.handlers[idx], HandlerSlot::new(new));
+        Ok(old.handler)
     }
 
     /// Adds a periodic source (its timer arms when the protocol is next
@@ -524,10 +545,8 @@ impl ManetProtocolCf {
     }
 
     /// Replaces the F element, returning the old one.
-    pub fn replace_forwarder(
-        &mut self,
-        new: Box<dyn Forwarder>,
-    ) -> Option<Box<dyn Forwarder>> {
+    pub fn replace_forwarder(&mut self, new: Box<dyn Forwarder>) -> Option<Box<dyn Forwarder>> {
+        self.forwarder_subs = new.subscriptions();
         self.forwarder.replace(new)
     }
 
@@ -600,7 +619,9 @@ impl ManetProtocolBuilder {
     /// Panics on duplicate plug-in names (a composition bug).
     #[must_use]
     pub fn handler(mut self, handler: Box<dyn EventHandler>) -> Self {
-        self.cf.add_handler(handler).expect("duplicate plug-in name");
+        self.cf
+            .add_handler(handler)
+            .expect("duplicate plug-in name");
         self
     }
 
@@ -615,6 +636,7 @@ impl ManetProtocolBuilder {
     /// Sets the F element.
     #[must_use]
     pub fn forwarder(mut self, forwarder: Box<dyn Forwarder>) -> Self {
+        self.cf.forwarder_subs = forwarder.subscriptions();
         self.cf.forwarder = Some(forwarder);
         self
     }
@@ -645,6 +667,11 @@ impl ManetProtocolBuilder {
 /// protocol stops (undeploy/switch): handlers that installed kernel routes
 /// or other OS state clean it up on receipt.
 pub const PROTO_STOP_EVENT: &str = "__PROTO_STOP";
+
+crate::cached_event_type! {
+    /// The interned [`PROTO_STOP_EVENT`] type.
+    pub fn proto_stop_event => PROTO_STOP_EVENT;
+}
 
 /// Serializes a message into a single-message PacketBB packet — the
 /// encoding every protocol in this workspace sends on the wire.

@@ -57,7 +57,7 @@ impl EventTuple {
     #[must_use]
     pub fn requires_exclusive(mut self, ty: EventType) -> Self {
         if !self.exclusive.contains(&ty) {
-            self.exclusive.push(ty.clone());
+            self.exclusive.push(ty);
         }
         self.requires(ty)
     }

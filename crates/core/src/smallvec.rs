@@ -1,0 +1,167 @@
+//! A small-vector of `Copy` values with inline storage.
+//!
+//! Routing fan-out lists are short — one or two units for most event types —
+//! so the routing table stores them in a [`SmallVec`] that keeps up to `N`
+//! elements inline and only touches the heap beyond that. Implemented in
+//! safe Rust (the crate forbids `unsafe`): spilling copies the inline buffer
+//! into a `Vec` once, after which the `Vec` is authoritative.
+
+use std::fmt;
+
+#[derive(Clone)]
+enum Repr<T, const N: usize> {
+    Inline([T; N]),
+    Heap(Vec<T>),
+}
+
+/// A growable vector storing up to `N` elements inline.
+///
+/// `T` must be `Copy + Default` so the inline buffer can be materialised
+/// without `unsafe` (unused slots hold `T::default()`).
+#[derive(Clone)]
+pub struct SmallVec<T, const N: usize> {
+    len: usize,
+    repr: Repr<T, N>,
+}
+
+impl<T: Copy + Default, const N: usize> SmallVec<T, N> {
+    /// An empty vector (no heap allocation).
+    #[must_use]
+    pub fn new() -> Self {
+        SmallVec {
+            len: 0,
+            repr: Repr::Inline([T::default(); N]),
+        }
+    }
+
+    /// Appends `value`, spilling to the heap when the inline buffer is full.
+    pub fn push(&mut self, value: T) {
+        match &mut self.repr {
+            Repr::Inline(buf) if self.len < N => {
+                buf[self.len] = value;
+                self.len += 1;
+            }
+            Repr::Inline(buf) => {
+                let mut spilled = Vec::with_capacity(N * 2);
+                spilled.extend_from_slice(&buf[..self.len]);
+                spilled.push(value);
+                self.len += 1;
+                self.repr = Repr::Heap(spilled);
+            }
+            Repr::Heap(vec) => {
+                vec.push(value);
+                self.len += 1;
+            }
+        }
+    }
+
+    /// Number of elements.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the vector is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// The elements as a slice.
+    #[must_use]
+    pub fn as_slice(&self) -> &[T] {
+        match &self.repr {
+            Repr::Inline(buf) => &buf[..self.len],
+            Repr::Heap(vec) => vec,
+        }
+    }
+
+    /// Whether the elements still live in the inline buffer.
+    #[must_use]
+    pub fn is_inline(&self) -> bool {
+        matches!(self.repr, Repr::Inline(_))
+    }
+}
+
+impl<T: Copy + Default, const N: usize> Default for SmallVec<T, N> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> std::ops::Deref for SmallVec<T, N> {
+    type Target = [T];
+    fn deref(&self) -> &[T] {
+        self.as_slice()
+    }
+}
+
+impl<T: Copy + Default, const N: usize> FromIterator<T> for SmallVec<T, N> {
+    fn from_iter<I: IntoIterator<Item = T>>(iter: I) -> Self {
+        let mut v = SmallVec::new();
+        for item in iter {
+            v.push(item);
+        }
+        v
+    }
+}
+
+impl<'a, T: Copy + Default, const N: usize> IntoIterator for &'a SmallVec<T, N> {
+    type Item = &'a T;
+    type IntoIter = std::slice::Iter<'a, T>;
+    fn into_iter(self) -> Self::IntoIter {
+        self.as_slice().iter()
+    }
+}
+
+impl<T: Copy + Default + PartialEq, const N: usize> PartialEq for SmallVec<T, N> {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl<T: Copy + Default + Eq, const N: usize> Eq for SmallVec<T, N> {}
+
+impl<T: Copy + Default + fmt::Debug, const N: usize> fmt::Debug for SmallVec<T, N> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_list().entries(self.as_slice()).finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn stays_inline_up_to_capacity() {
+        let mut v: SmallVec<usize, 4> = SmallVec::new();
+        assert!(v.is_empty() && v.is_inline());
+        for i in 0..4 {
+            v.push(i);
+        }
+        assert!(v.is_inline());
+        assert_eq!(v.as_slice(), &[0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn spills_preserving_order() {
+        let mut v: SmallVec<usize, 2> = SmallVec::new();
+        for i in 0..5 {
+            v.push(i * 10);
+        }
+        assert!(!v.is_inline());
+        assert_eq!(v.len(), 5);
+        assert_eq!(v.as_slice(), &[0, 10, 20, 30, 40]);
+    }
+
+    #[test]
+    fn collect_and_iterate() {
+        let v: SmallVec<u32, 3> = (0..3).collect();
+        assert!(v.is_inline());
+        let doubled: Vec<u32> = v.into_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled, vec![0, 2, 4]);
+        let w: SmallVec<u32, 3> = (0..3).collect();
+        assert_eq!(v, w);
+        assert_eq!(format!("{v:?}"), "[0, 1, 2]");
+    }
+}

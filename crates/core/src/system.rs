@@ -97,9 +97,9 @@ impl SystemCf {
     pub fn tuple(&self) -> EventTuple {
         let mut t = EventTuple::new();
         for r in &self.registrations {
-            t = t.provides(r.in_event.clone());
+            t = t.provides(r.in_event);
             if let Some(out) = &r.out_event {
-                t = t.requires(out.clone());
+                t = t.requires(*out);
             }
         }
         if self.netlink {
@@ -134,11 +134,7 @@ impl SystemCf {
                 .find(|r| r.msg_type == msg.msg_type())
             {
                 Some(reg) => {
-                    events.push(Event::message_in(
-                        reg.in_event.clone(),
-                        Arc::new(msg),
-                        from,
-                    ));
+                    events.push(Event::message_in(reg.in_event, Arc::new(msg), from));
                 }
                 None => self.unknown_messages += 1,
             }

@@ -1,0 +1,158 @@
+//! Dispatch telemetry for the unified event bus.
+//!
+//! A [`Deployment`](crate::node::Deployment) keeps one [`BusTelemetry`]
+//! updated as events flow: per-unit in/out counters, the dispatch-queue
+//! high-water mark and wall-clock dispatch latency. The deterministic
+//! counters are flushed into the node's
+//! [`NodeOs`](netsim::NodeOs) counters so they surface in
+//! [`WorldStats::agent_counters`](netsim::WorldStats) under `bus.*` names;
+//! the wall-clock latency is deliberately *not* flushed (it would make
+//! otherwise byte-identical simulation stats differ between runs) and is
+//! read directly via [`Deployment::telemetry`](crate::node::Deployment::telemetry)
+//! by the benchmarks.
+
+use std::collections::HashSet;
+use std::sync::{Mutex, OnceLock, PoisonError};
+use std::time::Duration;
+
+use crate::manager::UnitId;
+
+/// Interns an arbitrary counter name, returning a `&'static str`.
+///
+/// Each distinct name is leaked at most once process-wide, so repeated
+/// deployments (one per simulated node) can stamp per-unit counter names
+/// without growing memory per deployment. Needed because
+/// [`netsim::NodeOs`] counters key on `&'static str`.
+#[must_use]
+pub fn intern_name(name: &str) -> &'static str {
+    static NAMES: OnceLock<Mutex<HashSet<&'static str>>> = OnceLock::new();
+    let mut set = NAMES
+        .get_or_init(|| Mutex::new(HashSet::new()))
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner);
+    if let Some(&existing) = set.get(name) {
+        return existing;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    set.insert(leaked);
+    leaked
+}
+
+/// Per-unit event counters.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct UnitCounters {
+    /// Events delivered *to* the unit.
+    pub events_in: u64,
+    /// Events emitted *by* the unit (before fan-out).
+    pub events_out: u64,
+}
+
+/// Aggregate dispatch telemetry of one deployment.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct BusTelemetry {
+    units: Vec<UnitCounters>,
+    /// Highest number of events ever pending in a dispatch queue.
+    pub queue_depth_hwm: usize,
+    /// Dispatch rounds timed.
+    pub dispatch_rounds: u64,
+    /// Total wall-clock time spent inside dispatch rounds, in microseconds.
+    /// Nondeterministic — never merged into simulation statistics.
+    pub dispatch_micros: u64,
+}
+
+impl BusTelemetry {
+    /// Fresh, all-zero telemetry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn unit_mut(&mut self, unit: UnitId) -> &mut UnitCounters {
+        if self.units.len() <= unit {
+            self.units.resize(unit + 1, UnitCounters::default());
+        }
+        &mut self.units[unit]
+    }
+
+    /// Records one event delivered to `unit`.
+    pub fn record_in(&mut self, unit: UnitId) {
+        self.unit_mut(unit).events_in += 1;
+    }
+
+    /// Records one event emitted by `unit`.
+    pub fn record_out(&mut self, unit: UnitId) {
+        self.unit_mut(unit).events_out += 1;
+    }
+
+    /// Raises the queue-depth high-water mark to `depth` if higher.
+    pub fn observe_queue_depth(&mut self, depth: usize) {
+        if depth > self.queue_depth_hwm {
+            self.queue_depth_hwm = depth;
+        }
+    }
+
+    /// Accounts one completed dispatch round of wall-clock length `elapsed`.
+    pub fn record_round(&mut self, elapsed: Duration) {
+        self.dispatch_rounds += 1;
+        self.dispatch_micros += u64::try_from(elapsed.as_micros()).unwrap_or(u64::MAX);
+    }
+
+    /// Counters of `unit` (zero when the unit never moved an event).
+    #[must_use]
+    pub fn unit(&self, unit: UnitId) -> UnitCounters {
+        self.units.get(unit).copied().unwrap_or_default()
+    }
+
+    /// Per-unit counters indexed by [`UnitId`].
+    #[must_use]
+    pub fn units(&self) -> &[UnitCounters] {
+        &self.units
+    }
+
+    /// Mean wall-clock dispatch latency per round, in microseconds.
+    #[must_use]
+    pub fn mean_dispatch_micros(&self) -> f64 {
+        if self.dispatch_rounds == 0 {
+            return 0.0;
+        }
+        self.dispatch_micros as f64 / self.dispatch_rounds as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interning_deduplicates() {
+        let a = intern_name("bus.test.events_in");
+        let b = intern_name("bus.test.events_in");
+        assert!(std::ptr::eq(a, b));
+        assert_eq!(a, "bus.test.events_in");
+    }
+
+    #[test]
+    fn counters_accumulate() {
+        let mut t = BusTelemetry::new();
+        t.record_in(2);
+        t.record_in(2);
+        t.record_out(0);
+        assert_eq!(t.unit(2).events_in, 2);
+        assert_eq!(t.unit(0).events_out, 1);
+        assert_eq!(t.unit(7), UnitCounters::default());
+        assert_eq!(t.units().len(), 3);
+    }
+
+    #[test]
+    fn hwm_and_latency() {
+        let mut t = BusTelemetry::new();
+        t.observe_queue_depth(3);
+        t.observe_queue_depth(1);
+        assert_eq!(t.queue_depth_hwm, 3);
+        t.record_round(Duration::from_micros(10));
+        t.record_round(Duration::from_micros(30));
+        assert_eq!(t.dispatch_rounds, 2);
+        assert_eq!(t.dispatch_micros, 40);
+        assert!((t.mean_dispatch_micros() - 20.0).abs() < 1e-9);
+    }
+}

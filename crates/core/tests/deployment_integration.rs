@@ -89,7 +89,11 @@ fn duplicate_protocol_rejected_via_handle() {
     world.run_for(SimDuration::from_secs(1));
     let status = handles[0].status();
     assert!(
-        status.last_error.as_deref().unwrap_or("").contains("already"),
+        status
+            .last_error
+            .as_deref()
+            .unwrap_or("")
+            .contains("already"),
         "expected duplicate rejection, got {:?}",
         status.last_error
     );

@@ -47,8 +47,11 @@ fn same_round_broadcasts_share_one_packet() {
         .build();
     let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);
     let dep = node.deployment_mut();
-    dep.system_mut()
-        .register_in_out(42, EventType::named("BURST_IN"), EventType::named("BURST_OUT"));
+    dep.system_mut().register_in_out(
+        42,
+        EventType::named("BURST_IN"),
+        EventType::named("BURST_OUT"),
+    );
     dep.add_protocol_offline(burst_protocol(5)).unwrap();
     world.install_agent(NodeId(0), Box::new(node));
 
@@ -69,14 +72,15 @@ fn same_round_broadcasts_share_one_packet() {
         fn on_filter_event(&mut self, _os: &mut NodeOs, _event: netsim::FilterEvent) {}
     }
     let seen = Arc::new(Mutex::new(Vec::new()));
-    world.install_agent(
-        NodeId(1),
-        Box::new(Probe { seen: seen.clone() }),
-    );
+    world.install_agent(NodeId(1), Box::new(Probe { seen: seen.clone() }));
 
     world.run_for(SimDuration::from_millis(3_500));
     let frames = seen.lock().unwrap().clone();
-    assert_eq!(frames.len(), 3, "three burst rounds, three frames: {frames:?}");
+    assert_eq!(
+        frames.len(),
+        3,
+        "three burst rounds, three frames: {frames:?}"
+    );
     assert!(
         frames.iter().all(|n| *n == 5),
         "each frame carries the round's five messages piggybacked: {frames:?}"
@@ -93,10 +97,16 @@ fn cross_protocol_piggybacking_on_one_node() {
         .build();
     let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);
     let dep = node.deployment_mut();
-    dep.system_mut()
-        .register_in_out(42, EventType::named("BURST_IN"), EventType::named("BURST_OUT"));
-    dep.system_mut()
-        .register_in_out(43, EventType::named("OTHER_IN"), EventType::named("OTHER_OUT"));
+    dep.system_mut().register_in_out(
+        42,
+        EventType::named("BURST_IN"),
+        EventType::named("BURST_OUT"),
+    );
+    dep.system_mut().register_in_out(
+        43,
+        EventType::named("OTHER_IN"),
+        EventType::named("OTHER_OUT"),
+    );
     dep.add_protocol_offline(burst_protocol(1)).unwrap();
 
     struct OtherSource;

@@ -35,6 +35,11 @@ impl DymoStateAccess for DymoState {
 /// Timer name of the DYMO housekeeping sweep.
 pub const DYMO_SWEEP_TIMER: &str = "dymo:sweep";
 
+manetkit::cached_event_type! {
+    /// The interned [`DYMO_SWEEP_TIMER`] type (cached, no per-call lookup).
+    pub fn dymo_sweep_timer => DYMO_SWEEP_TIMER;
+}
+
 fn install_kernel(ctx: &mut ProtoCtx<'_>, dst: Address, next_hop: Address, hops: u8) {
     ctx.os()
         .route_table_mut()
@@ -207,13 +212,9 @@ impl<S: DymoStateAccess> EventHandler for ReHandler<S> {
                         orig.addr,
                         s.params.hop_limit,
                     );
-                    let next_hop = s
-                        .live_route(orig.addr, now)
-                        .map_or(from, |r| r.next_hop);
+                    let next_hop = s.live_route(orig.addr, now).map_or(from, |r| r.next_hop);
                     ctx.os().bump("rrep_sent");
-                    ctx.emit(
-                        Event::message_out(types::re_out(), rrep.to_message()).to(next_hop),
-                    );
+                    ctx.emit(Event::message_out(types::re_out(), rrep.to_message()).to(next_hop));
                 } else if gate_open {
                     // Intermediate node: accumulate and re-flood.
                     let hop = PathHop {
@@ -406,10 +407,7 @@ impl<S: DymoStateAccess> EventHandler for SweepHandler<S> {
         "sweep-handler"
     }
     fn subscriptions(&self) -> Vec<EventType> {
-        vec![
-            EventType::named(DYMO_SWEEP_TIMER),
-            EventType::named(manetkit::protocol::PROTO_STOP_EVENT),
-        ]
+        vec![dymo_sweep_timer(), manetkit::protocol::proto_stop_event()]
     }
     fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
         let now = ctx.now();
@@ -458,6 +456,6 @@ impl<S: DymoStateAccess> EventHandler for SweepHandler<S> {
             ctx.os().bump("route_expired");
         }
         let sweep = s.params.sweep;
-        ctx.set_timer(sweep, EventType::named(DYMO_SWEEP_TIMER));
+        ctx.set_timer(sweep, dymo_sweep_timer());
     }
 }

@@ -52,7 +52,7 @@ pub mod variants {
     pub mod multipath;
 }
 
-use manetkit::event::{types, EventType};
+use manetkit::event::types;
 use manetkit::neighbour::{hello_registration, neighbour_detection_cf, NeighbourConfig};
 use manetkit::node::{Deployment, ManetNode, NodeHandle};
 use manetkit::prelude::ConcurrencyModel;
@@ -107,7 +107,7 @@ pub fn dymo_cf(params: DymoParams) -> ManetProtocolCf {
         .reactive()
         .tuple(dymo_tuple())
         .state(StateSlot::new(state))
-        .startup_timer(params.sweep, EventType::named(DYMO_SWEEP_TIMER))
+        .startup_timer(params.sweep, handlers::dymo_sweep_timer())
         .handler(Box::new(RouteDiscoveryHandler::<DymoState>::default()))
         .handler(Box::new(ReHandler::<DymoState>::default()))
         .handler(Box::new(RerrHandler::<DymoState>::default()))
@@ -146,10 +146,7 @@ pub fn deploy(dep: &mut Deployment, config: DymoDeployment) -> Result<(), manetk
 /// # Errors
 ///
 /// Propagates integrity violations.
-pub fn deploy_core(
-    dep: &mut Deployment,
-    params: DymoParams,
-) -> Result<(), manetkit::DeployError> {
+pub fn deploy_core(dep: &mut Deployment, params: DymoParams) -> Result<(), manetkit::DeployError> {
     register_messages(dep.system_mut());
     dep.add_protocol_offline(dymo_cf(params))
 }
@@ -190,7 +187,8 @@ mod tests {
     #[test]
     fn two_reactive_protocols_rejected() {
         let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
-        dep.add_protocol_offline(dymo_cf(DymoParams::default())).unwrap();
+        dep.add_protocol_offline(dymo_cf(DymoParams::default()))
+            .unwrap();
         let mut second = dymo_cf(DymoParams::default());
         second.set_tuple(EventTuple::new());
         // Renaming is not enough: reactivity is the integrity dimension.

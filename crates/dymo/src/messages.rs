@@ -99,8 +99,7 @@ impl RouteElement {
             ReKind::Rreq => msg_type::RREQ,
             ReKind::Rrep => msg_type::RREP,
         };
-        let mut target_block =
-            AddressBlock::new(vec![self.target]).expect("single target address");
+        let mut target_block = AddressBlock::new(vec![self.target]).expect("single target address");
         if let Some(ts) = self.target_seq {
             target_block.add_tlv(AddressTlv::single(
                 Tlv::with_value(tlv_type::TARGET_SEQ_NUM, ts.to_be_bytes().to_vec()),
@@ -202,7 +201,10 @@ impl RouteError {
                 Tlv::with_value(tlv_type::ADDR_SEQ_NUM, s.to_be_bytes().to_vec()),
                 i as u8,
             ));
-            block.add_tlv(AddressTlv::single(Tlv::flag(tlv_type::UNREACHABLE), i as u8));
+            block.add_tlv(AddressTlv::single(
+                Tlv::flag(tlv_type::UNREACHABLE),
+                i as u8,
+            ));
         }
         MessageBuilder::new(msg_type::RERR)
             .originator(self.reporter)

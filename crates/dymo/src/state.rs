@@ -66,8 +66,7 @@ impl Default for DymoParams {
 }
 
 /// The DYMO CF state.
-#[derive(Debug, Clone)]
-#[derive(Default)]
+#[derive(Debug, Clone, Default)]
 pub struct DymoState {
     /// Protocol route table (mirrored into the kernel table).
     pub routes: BTreeMap<Address, DymoRoute>,
@@ -80,7 +79,6 @@ pub struct DymoState {
     /// Parameters.
     pub params: DymoParams,
 }
-
 
 /// Outcome of offering a learned path segment to the route table.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -278,7 +276,9 @@ mod tests {
         // Without the refresh the route would lapse at 5 s.
         let lapsed = s.expire(now + SimDuration::from_secs(6));
         assert!(lapsed.is_empty());
-        assert!(s.live_route(addr(9), now + SimDuration::from_secs(6)).is_some());
+        assert!(s
+            .live_route(addr(9), now + SimDuration::from_secs(6))
+            .is_some());
         let lapsed = s.expire(now + SimDuration::from_secs(10));
         assert_eq!(lapsed, vec![addr(9)]);
     }

@@ -134,10 +134,7 @@ mod tests {
                 }
             }
             let rate = f64::from(hits) / f64::from(total);
-            assert!(
-                (rate - p).abs() < 0.05,
-                "rate {rate:.3} too far from p {p}"
-            );
+            assert!((rate - p).abs() < 0.05, "rate {rate:.3} too far from p {p}");
         }
     }
 

@@ -22,7 +22,10 @@ use manetkit::protocol::{EventHandler, ProtoCtx, StateSlot};
 use netsim::SimTime;
 use packetbb::Address;
 
-use crate::handlers::{DymoStateAccess, ReHandler, RerrHandler, RouteDiscoveryHandler, RouteLifetimeHandler, SweepHandler};
+use crate::handlers::{
+    DymoStateAccess, ReHandler, RerrHandler, RouteDiscoveryHandler, RouteLifetimeHandler,
+    SweepHandler,
+};
 use crate::messages::{PathHop, ReKind, RouteElement, RouteError};
 use crate::state::DymoState;
 use crate::DYMO_CF;
@@ -219,10 +222,13 @@ impl MultipathRerrHandler {
         let mut unrepaired = Vec::new();
         for (dst, seq) in broken {
             if let Some(alt) = s.take_alternative(dst) {
-                s.base.offer_route(dst, alt.next_hop, alt.seq.max(seq), alt.hop_count, now);
-                ctx.os()
-                    .route_table_mut()
-                    .add_host_route(dst, alt.next_hop, u32::from(alt.hop_count));
+                s.base
+                    .offer_route(dst, alt.next_hop, alt.seq.max(seq), alt.hop_count, now);
+                ctx.os().route_table_mut().add_host_route(
+                    dst,
+                    alt.next_hop,
+                    u32::from(alt.hop_count),
+                );
                 ctx.os().bump("multipath_failover");
             } else {
                 ctx.os().route_table_mut().remove_host_route(dst);
@@ -232,11 +238,7 @@ impl MultipathRerrHandler {
         unrepaired
     }
 
-    fn emit_rerr(
-        s: &mut MultipathState,
-        unreachable: Vec<(Address, u16)>,
-        ctx: &mut ProtoCtx<'_>,
-    ) {
+    fn emit_rerr(s: &mut MultipathState, unreachable: Vec<(Address, u16)>, ctx: &mut ProtoCtx<'_>) {
         if unreachable.is_empty() {
             return;
         }
@@ -288,9 +290,11 @@ impl EventHandler for MultipathRerrHandler {
                 if let Some(alt) = s.take_alternative(*dst) {
                     s.base
                         .offer_route(*dst, alt.next_hop, alt.seq.max(*seq), alt.hop_count, now);
-                    ctx.os()
-                        .route_table_mut()
-                        .add_host_route(*dst, alt.next_hop, u32::from(alt.hop_count));
+                    ctx.os().route_table_mut().add_host_route(
+                        *dst,
+                        alt.next_hop,
+                        u32::from(alt.hop_count),
+                    );
                     ctx.os().bump("multipath_failover");
                 } else {
                     ctx.os().route_table_mut().remove_host_route(*dst);
@@ -310,10 +314,13 @@ impl EventHandler for MultipathRerrHandler {
                     r.broken = true;
                 }
                 if let Some(alt) = s.take_alternative(*dst) {
-                    s.base.offer_route(*dst, alt.next_hop, alt.seq.max(seq), alt.hop_count, now);
-                    ctx.os()
-                        .route_table_mut()
-                        .add_host_route(*dst, alt.next_hop, u32::from(alt.hop_count));
+                    s.base
+                        .offer_route(*dst, alt.next_hop, alt.seq.max(seq), alt.hop_count, now);
+                    ctx.os().route_table_mut().add_host_route(
+                        *dst,
+                        alt.next_hop,
+                        u32::from(alt.hop_count),
+                    );
                     ctx.os().bump("multipath_failover");
                 } else {
                     ctx.os().route_table_mut().remove_host_route(*dst);
@@ -390,8 +397,11 @@ pub fn disable_ops() -> Vec<ReconfigOp> {
             });
             cf.replace_handler("re-handler", Box::new(ReHandler::<DymoState>::default()))
                 .expect("re-handler present");
-            cf.replace_handler("rerr-handler", Box::new(RerrHandler::<DymoState>::default()))
-                .expect("rerr-handler present");
+            cf.replace_handler(
+                "rerr-handler",
+                Box::new(RerrHandler::<DymoState>::default()),
+            )
+            .expect("rerr-handler present");
             cf.replace_handler(
                 "route-discovery-handler",
                 Box::new(RouteDiscoveryHandler::<DymoState>::default()),

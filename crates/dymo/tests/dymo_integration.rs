@@ -55,7 +55,10 @@ fn packets_buffer_during_discovery_then_flush() {
     }
     world.run_for(SimDuration::from_secs(3));
     let s = world.stats();
-    assert_eq!(s.data_delivered, 5, "all buffered packets re-injected: {s:?}");
+    assert_eq!(
+        s.data_delivered, 5,
+        "all buffered packets re-injected: {s:?}"
+    );
     assert_eq!(
         s.agent_counter("route_discovery"),
         1,
@@ -161,7 +164,11 @@ fn multipath_variant_fails_over_without_rediscovery() {
     }
     world.run_for(SimDuration::from_secs(1));
     for h in &handles {
-        assert!(h.status().last_error.is_none(), "{:?}", h.status().last_error);
+        assert!(
+            h.status().last_error.is_none(),
+            "{:?}",
+            h.status().last_error
+        );
     }
 
     let far = world.node_addr(3);
@@ -229,7 +236,11 @@ fn optimised_flooding_cuts_rreq_relays_in_dense_networks() {
         // Let neighbourhood/MPR state settle.
         world.run_for(SimDuration::from_secs(10));
         for h in &handles {
-            assert!(h.status().last_error.is_none(), "{:?}", h.status().last_error);
+            assert!(
+                h.status().last_error.is_none(),
+                "{:?}",
+                h.status().last_error
+            );
         }
         world.reset_stats();
         // Several discoveries from scattered sources.
@@ -255,7 +266,10 @@ fn optimised_flooding_cuts_rreq_relays_in_dense_networks() {
 fn dymo_and_olsr_coexist_sharing_mpr() {
     // The leaner co-deployment of §5.2: OLSR (MPR + OLSR CFs) together with
     // DYMO gated on the *same* MPR instance — no Neighbour Detection CF.
-    let mut world = World::builder().topology(Topology::line(4)).seed(17).build();
+    let mut world = World::builder()
+        .topology(Topology::line(4))
+        .seed(17)
+        .build();
     let mut handles = Vec::new();
     for i in 0..4 {
         let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);

@@ -144,7 +144,11 @@ pub fn random_waypoint(params: RandomWaypoint) -> MobilityTrace {
                 let now_up = in_range(&pos, a, b);
                 let was_up = current.link_up(NodeId(a), NodeId(b));
                 if now_up != was_up {
-                    let state = if now_up { LinkState::Up } else { LinkState::Down };
+                    let state = if now_up {
+                        LinkState::Up
+                    } else {
+                        LinkState::Down
+                    };
                     current.set_link(NodeId(a), NodeId(b), state);
                     changes.push(LinkChange {
                         at: t,

@@ -233,7 +233,13 @@ impl NodeOs {
     /// Increments a named statistic counter (reported in
     /// [`WorldStats`](crate::WorldStats)).
     pub fn bump(&mut self, counter: &'static str) {
-        *self.counters.entry(counter).or_insert(0) += 1;
+        self.bump_by(counter, 1);
+    }
+
+    /// Adds `delta` to a named statistic counter. A zero delta still
+    /// materialises the counter so it appears (as 0) in reports.
+    pub fn bump_by(&mut self, counter: &'static str, delta: u64) {
+        *self.counters.entry(counter).or_insert(0) += delta;
     }
 
     /// Reads a named counter.

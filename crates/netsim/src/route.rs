@@ -168,9 +168,18 @@ mod tests {
         t.add_route(a([10, 1, 0, 0]), 16, a([10, 0, 0, 2]), 4);
         t.add_host_route(a([10, 1, 2, 3]), a([10, 0, 0, 3]), 1);
 
-        assert_eq!(t.lookup(a([10, 9, 9, 9])).unwrap().next_hop, a([10, 0, 0, 1]));
-        assert_eq!(t.lookup(a([10, 1, 9, 9])).unwrap().next_hop, a([10, 0, 0, 2]));
-        assert_eq!(t.lookup(a([10, 1, 2, 3])).unwrap().next_hop, a([10, 0, 0, 3]));
+        assert_eq!(
+            t.lookup(a([10, 9, 9, 9])).unwrap().next_hop,
+            a([10, 0, 0, 1])
+        );
+        assert_eq!(
+            t.lookup(a([10, 1, 9, 9])).unwrap().next_hop,
+            a([10, 0, 0, 2])
+        );
+        assert_eq!(
+            t.lookup(a([10, 1, 2, 3])).unwrap().next_hop,
+            a([10, 0, 0, 3])
+        );
         assert!(t.lookup(a([11, 0, 0, 1])).is_none());
     }
 
@@ -188,7 +197,10 @@ mod tests {
         t.add_host_route(a([10, 0, 0, 5]), a([10, 0, 0, 2]), 3);
         t.add_host_route(a([10, 0, 0, 5]), a([10, 0, 0, 9]), 1);
         assert_eq!(t.len(), 1);
-        assert_eq!(t.lookup(a([10, 0, 0, 5])).unwrap().next_hop, a([10, 0, 0, 9]));
+        assert_eq!(
+            t.lookup(a([10, 0, 0, 5])).unwrap().next_hop,
+            a([10, 0, 0, 9])
+        );
     }
 
     #[test]
@@ -207,6 +219,9 @@ mod tests {
         let mut t = KernelRouteTable::new();
         t.add_route(a([0, 0, 0, 0]), 0, a([10, 0, 0, 1]), 1);
         assert!(t.lookup(Address::v6([0; 16])).is_none());
-        assert!(t.lookup(a([1, 2, 3, 4])).is_some(), "default route matches all v4");
+        assert!(
+            t.lookup(a([1, 2, 3, 4])).is_some(),
+            "default route matches all v4"
+        );
     }
 }

@@ -53,9 +53,7 @@ impl WorldStats {
         if self.data_delivered == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_micros(
-            self.delivery_latency_total.as_micros() / self.data_delivered,
-        )
+        SimDuration::from_micros(self.delivery_latency_total.as_micros() / self.data_delivered)
     }
 
     /// Reads a merged agent counter by name.

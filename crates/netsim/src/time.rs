@@ -83,7 +83,10 @@ impl SimDuration {
     /// Panics on negative or non-finite input.
     #[must_use]
     pub fn from_secs_f64(s: f64) -> Self {
-        assert!(s.is_finite() && s >= 0.0, "duration must be finite and non-negative");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "duration must be finite and non-negative"
+        );
         SimDuration((s * 1_000_000.0).round() as u64)
     }
 
@@ -185,7 +188,10 @@ mod tests {
     fn float_conversions() {
         assert_eq!(SimDuration::from_secs_f64(0.25).as_millis(), 250);
         assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-9);
-        assert_eq!(SimDuration::from_secs(2).mul_f64(1.5), SimDuration::from_secs(3));
+        assert_eq!(
+            SimDuration::from_secs(2).mul_f64(1.5),
+            SimDuration::from_secs(3)
+        );
     }
 
     #[test]

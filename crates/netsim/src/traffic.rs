@@ -45,8 +45,7 @@ pub fn install_cbr(world: &mut World, flow: &CbrFlow) {
     for i in 0..flow.count {
         let mut payload = vec![0u8; flow.payload];
         // Stamp a sequence number so payloads differ.
-        payload[..4.min(flow.payload)]
-            .copy_from_slice(&i.to_be_bytes()[..4.min(flow.payload)]);
+        payload[..4.min(flow.payload)].copy_from_slice(&i.to_be_bytes()[..4.min(flow.payload)]);
         world.send_datagram_at(at, flow.src, flow.dst, payload);
         at += flow.interval;
     }
@@ -86,10 +85,7 @@ mod tests {
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(dst, src_route, 1);
-        install_cbr(
-            &mut w,
-            &CbrFlow::small(NodeId(0), dst, SimTime::ZERO, 10),
-        );
+        install_cbr(&mut w, &CbrFlow::small(NodeId(0), dst, SimTime::ZERO, 10));
         w.run_for(SimDuration::from_secs(5));
         let s = w.stats();
         assert_eq!(s.data_sent, 10);
@@ -101,8 +97,12 @@ mod tests {
         let mut w = World::builder().topology(Topology::full(2)).build();
         let a0 = w.node_addr(0);
         let a1 = w.node_addr(1);
-        w.os_mut(NodeId(0)).route_table_mut().add_host_route(a1, a1, 1);
-        w.os_mut(NodeId(1)).route_table_mut().add_host_route(a0, a0, 1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(a1, a1, 1);
+        w.os_mut(NodeId(1))
+            .route_table_mut()
+            .add_host_route(a0, a0, 1);
         install_request_reply(
             &mut w,
             NodeId(0),

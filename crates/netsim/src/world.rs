@@ -16,12 +16,30 @@ use crate::topology::{LinkModel, LinkState, Topology};
 
 #[derive(Debug)]
 enum EventKind {
-    StartAgent { node: NodeId },
-    Arrival { node: NodeId, from: NodeId, frame: Frame },
-    TimerFire { node: NodeId, token: u64 },
-    DataPlane { node: NodeId, packet: DataPacket },
-    LinkChange { a: NodeId, b: NodeId, state: LinkState },
-    ContextTick { node: NodeId },
+    StartAgent {
+        node: NodeId,
+    },
+    Arrival {
+        node: NodeId,
+        from: NodeId,
+        frame: Frame,
+    },
+    TimerFire {
+        node: NodeId,
+        token: u64,
+    },
+    DataPlane {
+        node: NodeId,
+        packet: DataPacket,
+    },
+    LinkChange {
+        a: NodeId,
+        b: NodeId,
+        state: LinkState,
+    },
+    ContextTick {
+        node: NodeId,
+    },
 }
 
 struct Scheduled {
@@ -155,9 +173,7 @@ impl WorldBuilder {
     #[must_use]
     pub fn build(self) -> World {
         assert!(self.nodes > 0, "world needs at least one node");
-        let topo = self
-            .topology
-            .unwrap_or_else(|| Topology::empty(self.nodes));
+        let topo = self.topology.unwrap_or_else(|| Topology::empty(self.nodes));
         let mut nodes = Vec::with_capacity(self.nodes);
         let mut addr_to_node = HashMap::new();
         for i in 0..self.nodes {
@@ -185,9 +201,10 @@ impl WorldBuilder {
         };
         if let Some(interval) = world.context_interval {
             for i in 0..world.nodes.len() {
-                world.schedule(SimTime::ZERO + interval, EventKind::ContextTick {
-                    node: NodeId(i),
-                });
+                world.schedule(
+                    SimTime::ZERO + interval,
+                    EventKind::ContextTick { node: NodeId(i) },
+                );
             }
         }
         world
@@ -403,11 +420,7 @@ impl World {
         }));
     }
 
-    fn with_agent(
-        &mut self,
-        node: NodeId,
-        f: impl FnOnce(&mut dyn RoutingAgent, &mut NodeOs),
-    ) {
+    fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn RoutingAgent, &mut NodeOs)) {
         let now = self.now;
         let slot = &mut self.nodes[node.0];
         if let Some(mut agent) = slot.agent.take() {
@@ -654,7 +667,12 @@ impl World {
             let src = packet.src;
             if self.link_feedback {
                 self.with_agent(node, |agent, os| {
-                    agent.on_filter_event(os, FilterEvent::TxFailed { neighbour: next_hop });
+                    agent.on_filter_event(
+                        os,
+                        FilterEvent::TxFailed {
+                            neighbour: next_hop,
+                        },
+                    );
                 });
             }
             if src != local_addr {
@@ -751,10 +769,7 @@ mod tests {
     }
 
     fn two_node_world() -> World {
-        World::builder()
-            .topology(Topology::full(2))
-            .seed(1)
-            .build()
+        World::builder().topology(Topology::full(2)).seed(1).build()
     }
 
     #[test]
@@ -786,8 +801,10 @@ mod tests {
         let echo = Echo::new();
         let observed = echo.observed();
         w.install_agent(NodeId(0), Box::new(echo));
-        w.os_mut(NodeId(0)).set_timer(SimDuration::from_millis(5), 7);
-        w.os_mut(NodeId(0)).set_timer(SimDuration::from_millis(6), 8);
+        w.os_mut(NodeId(0))
+            .set_timer(SimDuration::from_millis(5), 7);
+        w.os_mut(NodeId(0))
+            .set_timer(SimDuration::from_millis(6), 8);
         w.os_mut(NodeId(0)).cancel_timer(8);
         w.run_for(SimDuration::from_millis(20));
         let obs = observed.lock().unwrap();
@@ -806,7 +823,9 @@ mod tests {
         assert_eq!(w.stats().data_delivered, 0);
         assert_eq!(w.os(NodeId(0)).buffered_count(dst), 1);
         // Install a route and reinject, as a protocol would on ROUTE_FOUND.
-        w.os_mut(NodeId(0)).route_table_mut().add_host_route(dst, dst, 1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
         w.os_mut(NodeId(0)).reinject(dst);
         w.run_for(SimDuration::from_millis(10));
         assert_eq!(w.stats().data_delivered, 1);
@@ -818,8 +837,12 @@ mod tests {
         let mut w = World::builder().topology(Topology::line(3)).seed(4).build();
         let a2 = w.node_addr(2);
         let a1 = w.node_addr(1);
-        w.os_mut(NodeId(0)).route_table_mut().add_host_route(a2, a1, 2);
-        w.os_mut(NodeId(1)).route_table_mut().add_host_route(a2, a2, 1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(a2, a1, 2);
+        w.os_mut(NodeId(1))
+            .route_table_mut()
+            .add_host_route(a2, a2, 1);
         w.send_datagram(NodeId(0), a2, b"hop".to_vec());
         w.run_for(SimDuration::from_millis(50));
         let s = w.stats();
@@ -839,8 +862,12 @@ mod tests {
         let a1 = w.node_addr(1);
         let ghost = Address::v4([10, 9, 9, 9]);
         // Routing loop: each node points at the other for `ghost`.
-        w.os_mut(NodeId(0)).route_table_mut().add_host_route(ghost, a1, 1);
-        w.os_mut(NodeId(1)).route_table_mut().add_host_route(ghost, a0, 1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(ghost, a1, 1);
+        w.os_mut(NodeId(1))
+            .route_table_mut()
+            .add_host_route(ghost, a0, 1);
         w.send_datagram(NodeId(0), ghost, b"loop".to_vec());
         w.run_for(SimDuration::from_secs(1));
         let s = w.stats();
@@ -853,7 +880,9 @@ mod tests {
     fn link_change_breaks_connectivity() {
         let mut w = two_node_world();
         let dst = w.node_addr(1);
-        w.os_mut(NodeId(0)).route_table_mut().add_host_route(dst, dst, 1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
         w.schedule_link_change(
             SimTime::from_micros(1),
             NodeId(0),
@@ -890,7 +919,9 @@ mod tests {
         w.install_agent(NodeId(1), Box::new(echo));
         let a1 = w.node_addr(1);
         let a2 = w.node_addr(2);
-        w.os_mut(NodeId(0)).route_table_mut().add_host_route(a2, a1, 2);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(a2, a1, 2);
         w.send_datagram(NodeId(0), a2, b"x".to_vec());
         w.run_for(SimDuration::from_millis(50));
         let obs = observed.lock().unwrap();

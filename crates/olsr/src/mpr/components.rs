@@ -15,6 +15,11 @@ use super::state::{LinkInfo, LinkStatus, MprState};
 /// Timer name of the MPR CF's expiry sweep.
 pub const MPR_EXPIRY_TIMER: &str = "mpr:expiry";
 
+manetkit::cached_event_type! {
+    /// The interned [`MPR_EXPIRY_TIMER`] type (cached, no per-call lookup).
+    pub fn mpr_expiry_timer => MPR_EXPIRY_TIMER;
+}
+
 /// Builds an OLSR HELLO: link statuses, MPR selection marks, willingness
 /// and (optionally) residual energy.
 #[must_use]
@@ -116,9 +121,7 @@ impl EventSource for MprHelloSource {
         self.interval
     }
     fn fire(&mut self, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
-        let energy = self
-            .advertise_energy
-            .then(|| ctx.os().battery_level());
+        let energy = self.advertise_energy.then(|| ctx.os().battery_level());
         let seq = ctx.os().next_seq();
         let msg = build_olsr_hello(
             ctx.local_addr(),
@@ -294,7 +297,7 @@ impl EventHandler for MprExpiryHandler {
         "expiry-handler"
     }
     fn subscriptions(&self) -> Vec<EventType> {
-        vec![EventType::named(MPR_EXPIRY_TIMER)]
+        vec![mpr_expiry_timer()]
     }
     fn handle(&mut self, _event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
         let now = ctx.now();
@@ -305,8 +308,15 @@ impl EventHandler for MprExpiryHandler {
         if !lost.is_empty() {
             ctx.os().bump("mpr_link_lost");
         }
-        emit_changes(state.get::<MprState>(), local, vec![], lost, mpr_changed, ctx);
-        ctx.set_timer(self.sweep, EventType::named(MPR_EXPIRY_TIMER));
+        emit_changes(
+            state.get::<MprState>(),
+            local,
+            vec![],
+            lost,
+            mpr_changed,
+            ctx,
+        );
+        ctx.set_timer(self.sweep, mpr_expiry_timer());
     }
 }
 
@@ -322,8 +332,7 @@ impl EventHandler for PowerStatusHandler {
         vec![types::power_status()]
     }
     fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
-        let Payload::Context(manetkit::event::ContextValue::Battery(level)) = &event.payload
-        else {
+        let Payload::Context(manetkit::event::ContextValue::Battery(level)) = &event.payload else {
             return;
         };
         let s = state.get_mut::<MprState>();

@@ -15,7 +15,7 @@ pub use components::{
 };
 pub use state::{select_mprs, Hysteresis, LinkInfo, LinkStatus, MprCalculator, MprState};
 
-use manetkit::event::{types, EventType};
+use manetkit::event::types;
 use manetkit::protocol::{ManetProtocolCf, StateSlot};
 use manetkit::registry::EventTuple;
 use netsim::SimDuration;
@@ -67,7 +67,7 @@ pub fn mpr_cf(config: MprConfig) -> ManetProtocolCf {
                 .provides(types::mpr_change()),
         )
         .state(StateSlot::new(state))
-        .startup_timer(sweep, EventType::named(MPR_EXPIRY_TIMER))
+        .startup_timer(sweep, components::mpr_expiry_timer())
         .source(Box::new(MprHelloSource {
             interval: config.hello_interval,
             validity: config.link_validity,

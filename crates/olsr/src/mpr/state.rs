@@ -199,14 +199,16 @@ impl MprState {
 /// Greedy MPR selection over the current 2-hop neighbourhood (RFC 3626
 /// §8.3.1, simplified: no degree-based pre-selection of WILL_ALWAYS).
 #[must_use]
-pub fn select_mprs(state: &MprState, local: Address, calculator: MprCalculator) -> BTreeSet<Address> {
+pub fn select_mprs(
+    state: &MprState,
+    local: Address,
+    calculator: MprCalculator,
+) -> BTreeSet<Address> {
     // Candidate relays: symmetric neighbours willing to relay.
     let candidates: Vec<(Address, &LinkInfo)> = state
         .links
         .iter()
-        .filter(|(_, l)| {
-            l.status == LinkStatus::Symmetric && l.willingness != willingness::NEVER
-        })
+        .filter(|(_, l)| l.status == LinkStatus::Symmetric && l.willingness != willingness::NEVER)
         .map(|(a, l)| (*a, l))
         .collect();
     let neighbour_set: BTreeSet<Address> = candidates.iter().map(|(a, _)| *a).collect();
@@ -364,7 +366,11 @@ mod tests {
         s.links.insert(addr(3), fresh);
 
         let std_set = select_mprs(&s, addr(1), MprCalculator::Standard);
-        assert_eq!(std_set, [addr(2)].into_iter().collect(), "lower addr wins ties");
+        assert_eq!(
+            std_set,
+            [addr(2)].into_iter().collect(),
+            "lower addr wins ties"
+        );
 
         let power_set = select_mprs(&s, addr(1), MprCalculator::PowerAware);
         assert_eq!(power_set, [addr(3)].into_iter().collect(), "energy wins");

@@ -12,6 +12,11 @@ use super::state::OlsrState;
 /// Timer name of the topology expiry sweep.
 pub const TOPO_EXPIRY_TIMER: &str = "olsr:topo-expiry";
 
+manetkit::cached_event_type! {
+    /// The interned [`TOPO_EXPIRY_TIMER`] type (cached, no per-call lookup).
+    pub fn topo_expiry_timer => TOPO_EXPIRY_TIMER;
+}
+
 /// Builds a TC message advertising `advertised` under `ansn`.
 #[must_use]
 pub fn build_tc(
@@ -57,7 +62,11 @@ pub fn parse_tc(msg: &Message) -> Option<(u16, Vec<Address>)> {
 
 /// Installs the computed routes into the kernel table, dropping vanished
 /// ones. Returns `(installed, removed)` counts.
-pub fn sync_kernel_routes(state: &mut OlsrState, local: Address, ctx: &mut ProtoCtx<'_>) -> (usize, usize) {
+pub fn sync_kernel_routes(
+    state: &mut OlsrState,
+    local: Address,
+    ctx: &mut ProtoCtx<'_>,
+) -> (usize, usize) {
     let routes = state.compute_routes(local);
     let mut installed = 0;
     let mut removed = 0;
@@ -134,7 +143,9 @@ impl EventHandler for TcHandler {
     }
     fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
         let Some(msg) = event.message() else { return };
-        let Some(originator) = msg.originator() else { return };
+        let Some(originator) = msg.originator() else {
+            return;
+        };
         let local = ctx.local_addr();
         if originator == local {
             return;
@@ -162,7 +173,7 @@ impl EventHandler for NeighbourhoodHandler {
         vec![
             types::nhood_change(),
             types::mpr_change(),
-            EventType::named(manetkit::protocol::PROTO_STOP_EVENT),
+            manetkit::protocol::proto_stop_event(),
         ]
     }
     fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
@@ -181,26 +192,25 @@ impl EventHandler for NeighbourhoodHandler {
                 s.two_hop = nh.two_hop.clone();
                 sync_kernel_routes(s, local, ctx);
             }
-            Payload::Mpr(mpr)
-                if s.advertised != mpr.selectors => {
-                    s.advertised = mpr.selectors.clone();
-                    s.ansn = s.ansn.wrapping_add(1);
-                    // Early TC on selection change speeds up convergence
-                    // (RFC 3626 permits triggered TCs).
-                    if !s.advertised.is_empty() {
-                        let seq = ctx.os().next_seq();
-                        let msg = build_tc(
-                            local,
-                            seq,
-                            s.ansn,
-                            SimDuration::from_secs(15),
-                            &s.advertised,
-                            255,
-                        );
-                        ctx.os().bump("tc_sent");
-                        ctx.emit(Event::message_out(types::tc_out(), msg));
-                    }
+            Payload::Mpr(mpr) if s.advertised != mpr.selectors => {
+                s.advertised = mpr.selectors.clone();
+                s.ansn = s.ansn.wrapping_add(1);
+                // Early TC on selection change speeds up convergence
+                // (RFC 3626 permits triggered TCs).
+                if !s.advertised.is_empty() {
+                    let seq = ctx.os().next_seq();
+                    let msg = build_tc(
+                        local,
+                        seq,
+                        s.ansn,
+                        SimDuration::from_secs(15),
+                        &s.advertised,
+                        255,
+                    );
+                    ctx.os().bump("tc_sent");
+                    ctx.emit(Event::message_out(types::tc_out(), msg));
                 }
+            }
             _ => {}
         }
     }
@@ -217,7 +227,7 @@ impl EventHandler for TopologyExpiryHandler {
         "topo-expiry-handler"
     }
     fn subscriptions(&self) -> Vec<EventType> {
-        vec![EventType::named(TOPO_EXPIRY_TIMER)]
+        vec![topo_expiry_timer()]
     }
     fn handle(&mut self, _event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
         let local = ctx.local_addr();
@@ -226,7 +236,7 @@ impl EventHandler for TopologyExpiryHandler {
         if s.expire(now) {
             sync_kernel_routes(s, local, ctx);
         }
-        ctx.set_timer(self.sweep, EventType::named(TOPO_EXPIRY_TIMER));
+        ctx.set_timer(self.sweep, topo_expiry_timer());
     }
 }
 
@@ -243,7 +253,9 @@ impl EventHandler for EnergyMapHandler {
     }
     fn handle(&mut self, event: &Event, state: &mut StateSlot, ctx: &mut ProtoCtx<'_>) {
         let Some(msg) = event.message() else { return };
-        let Some(originator) = msg.originator() else { return };
+        let Some(originator) = msg.originator() else {
+            return;
+        };
         let Some(raw) = msg
             .find_tlv(tlv_type::RESIDUAL_ENERGY)
             .and_then(Tlv::value_u8)
@@ -326,7 +338,9 @@ mod tests {
 
     #[test]
     fn tc_without_ansn_rejected() {
-        let msg = MessageBuilder::new(msg_type::TC).originator(addr(1)).build();
+        let msg = MessageBuilder::new(msg_type::TC)
+            .originator(addr(1))
+            .build();
         assert!(parse_tc(&msg).is_none());
     }
 }

@@ -10,7 +10,7 @@ pub use components::{
 };
 pub use state::{seq_newer, OlsrState, RouteMetric, TopologyEntry};
 
-use manetkit::event::{types, EventType};
+use manetkit::event::types;
 use manetkit::protocol::{ManetProtocolCf, StateSlot};
 use manetkit::registry::EventTuple;
 use netsim::SimDuration;
@@ -52,7 +52,7 @@ pub fn olsr_cf(config: OlsrConfig) -> ManetProtocolCf {
                 .provides(types::tc_out()),
         )
         .state(StateSlot::new(OlsrState::default()))
-        .startup_timer(sweep, EventType::named(TOPO_EXPIRY_TIMER))
+        .startup_timer(sweep, components::topo_expiry_timer())
         .source(Box::new(TcSource {
             interval: config.tc_interval,
             validity: config.topology_validity,
@@ -80,7 +80,12 @@ mod tests {
         assert!(t.is_required(&types::mpr_change()));
         assert!(!cf.is_reactive());
         let names = cf.plugin_names();
-        for expected in ["tc-source", "tc-handler", "nhood-handler", "topo-expiry-handler"] {
+        for expected in [
+            "tc-source",
+            "tc-handler",
+            "nhood-handler",
+            "topo-expiry-handler",
+        ] {
             assert!(names.contains(&expected.to_string()), "missing {expected}");
         }
     }

@@ -209,8 +209,20 @@ mod tests {
             sym_neighbours: vec![addr(2)],
             ..OlsrState::default()
         };
-        s.apply_tc(addr(2), 1, &[addr(1), addr(3)], SimTime::ZERO, SimDuration::from_secs(15));
-        s.apply_tc(addr(3), 1, &[addr(2), addr(4)], SimTime::ZERO, SimDuration::from_secs(15));
+        s.apply_tc(
+            addr(2),
+            1,
+            &[addr(1), addr(3)],
+            SimTime::ZERO,
+            SimDuration::from_secs(15),
+        );
+        s.apply_tc(
+            addr(3),
+            1,
+            &[addr(2), addr(4)],
+            SimTime::ZERO,
+            SimDuration::from_secs(15),
+        );
         s
     }
 
@@ -238,12 +250,30 @@ mod tests {
     #[test]
     fn stale_ansn_rejected_and_refresh_replaces() {
         let mut s = OlsrState::default();
-        assert!(s.apply_tc(addr(2), 5, &[addr(3)], SimTime::ZERO, SimDuration::from_secs(15)));
-        assert!(!s.apply_tc(addr(2), 4, &[addr(9)], SimTime::ZERO, SimDuration::from_secs(15)));
+        assert!(s.apply_tc(
+            addr(2),
+            5,
+            &[addr(3)],
+            SimTime::ZERO,
+            SimDuration::from_secs(15)
+        ));
+        assert!(!s.apply_tc(
+            addr(2),
+            4,
+            &[addr(9)],
+            SimTime::ZERO,
+            SimDuration::from_secs(15)
+        ));
         assert!(s.topology.contains_key(&(addr(3), addr(2))));
         assert!(!s.topology.contains_key(&(addr(9), addr(2))));
         // Newer ANSN replaces the advertised set.
-        assert!(s.apply_tc(addr(2), 6, &[addr(4)], SimTime::ZERO, SimDuration::from_secs(15)));
+        assert!(s.apply_tc(
+            addr(2),
+            6,
+            &[addr(4)],
+            SimTime::ZERO,
+            SimDuration::from_secs(15)
+        ));
         assert!(!s.topology.contains_key(&(addr(3), addr(2))));
         assert!(s.topology.contains_key(&(addr(4), addr(2))));
     }
@@ -251,7 +281,13 @@ mod tests {
     #[test]
     fn expiry_drops_edges() {
         let mut s = OlsrState::default();
-        s.apply_tc(addr(2), 1, &[addr(3)], SimTime::ZERO, SimDuration::from_secs(15));
+        s.apply_tc(
+            addr(2),
+            1,
+            &[addr(3)],
+            SimTime::ZERO,
+            SimDuration::from_secs(15),
+        );
         assert!(!s.expire(SimTime::ZERO + SimDuration::from_secs(10)));
         assert!(s.expire(SimTime::ZERO + SimDuration::from_secs(16)));
         assert!(s.topology.is_empty());
@@ -265,12 +301,28 @@ mod tests {
             metric: RouteMetric::EnergyAware,
             ..OlsrState::default()
         };
-        s.apply_tc(addr(2), 1, &[addr(5)], SimTime::ZERO, SimDuration::from_secs(15));
-        s.apply_tc(addr(3), 1, &[addr(5)], SimTime::ZERO, SimDuration::from_secs(15));
+        s.apply_tc(
+            addr(2),
+            1,
+            &[addr(5)],
+            SimTime::ZERO,
+            SimDuration::from_secs(15),
+        );
+        s.apply_tc(
+            addr(3),
+            1,
+            &[addr(5)],
+            SimTime::ZERO,
+            SimDuration::from_secs(15),
+        );
         s.energy.insert(addr(2), 0.1);
         s.energy.insert(addr(3), 0.9);
         let routes = s.compute_routes(addr(1));
-        assert_eq!(routes.get(&addr(5)).unwrap().0, addr(3), "fresh relay preferred");
+        assert_eq!(
+            routes.get(&addr(5)).unwrap().0,
+            addr(3),
+            "fresh relay preferred"
+        );
 
         // Hop-count metric would pick the lower address instead.
         let mut hs = s.clone();

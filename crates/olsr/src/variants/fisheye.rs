@@ -74,7 +74,10 @@ impl EventHandler for FisheyeHandler {
 /// Panics when the schedule pattern is empty.
 #[must_use]
 pub fn fisheye_cf(schedule: FisheyeSchedule) -> ManetProtocolCf {
-    assert!(!schedule.pattern.is_empty(), "fisheye pattern must be non-empty");
+    assert!(
+        !schedule.pattern.is_empty(),
+        "fisheye pattern must be non-empty"
+    );
     ManetProtocolCf::builder(FISHEYE_CF)
         .tuple(
             EventTuple::new()

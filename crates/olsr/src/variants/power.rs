@@ -183,9 +183,16 @@ mod tests {
         }
         let olsr = dep.protocol(OLSR_CF).unwrap();
         assert!(olsr.plugin_names().contains(&"residual-power".to_string()));
-        assert_eq!(olsr.state().get::<OlsrState>().metric, RouteMetric::EnergyAware);
         assert_eq!(
-            dep.protocol(MPR_CF).unwrap().state().get::<MprState>().calculator,
+            olsr.state().get::<OlsrState>().metric,
+            RouteMetric::EnergyAware
+        );
+        assert_eq!(
+            dep.protocol(MPR_CF)
+                .unwrap()
+                .state()
+                .get::<MprState>()
+                .calculator,
             MprCalculator::PowerAware
         );
         assert!(olsr.tuple().is_provided(&types::power_msg_out()));
@@ -195,7 +202,10 @@ mod tests {
         }
         let olsr = dep.protocol(OLSR_CF).unwrap();
         assert!(!olsr.plugin_names().contains(&"residual-power".to_string()));
-        assert_eq!(olsr.state().get::<OlsrState>().metric, RouteMetric::HopCount);
+        assert_eq!(
+            olsr.state().get::<OlsrState>().metric,
+            RouteMetric::HopCount
+        );
         assert!(!olsr.tuple().is_provided(&types::power_msg_out()));
     }
 }

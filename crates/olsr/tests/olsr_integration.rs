@@ -42,7 +42,12 @@ fn five_node_line_converges_to_full_routes() {
     assert!(fully_routed(&world), "all 20 routes must exist");
     // Route from end to end goes through the chain with metric 4.
     let far = world.node_addr(4);
-    let entry = world.os(NodeId(0)).route_table().lookup(far).unwrap().clone();
+    let entry = world
+        .os(NodeId(0))
+        .route_table()
+        .lookup(far)
+        .unwrap()
+        .clone();
     assert_eq!(entry.next_hop, world.node_addr(1));
     assert_eq!(entry.metric, 4);
 }
@@ -56,13 +61,22 @@ fn routes_repair_after_link_break() {
     world.run_for(SimDuration::from_secs(40));
     let a1 = world.node_addr(1);
     assert_eq!(
-        world.os(NodeId(0)).route_table().lookup(a1).unwrap().next_hop,
+        world
+            .os(NodeId(0))
+            .route_table()
+            .lookup(a1)
+            .unwrap()
+            .next_hop,
         a1,
         "direct route first"
     );
     world.set_link(NodeId(0), NodeId(1), LinkState::Down);
     world.run_for(SimDuration::from_secs(40));
-    let entry = world.os(NodeId(0)).route_table().lookup(a1).expect("repaired route");
+    let entry = world
+        .os(NodeId(0))
+        .route_table()
+        .lookup(a1)
+        .expect("repaired route");
     assert_eq!(entry.next_hop, world.node_addr(3), "rerouted the long way");
 }
 
@@ -196,8 +210,8 @@ fn power_aware_variant_enables_and_reroutes() {
 
 #[test]
 fn hysteresis_delays_symmetry_under_loss() {
-    use manetkit_olsr::{MprConfig, OlsrConfig};
     use manetkit_olsr::mpr::Hysteresis;
+    use manetkit_olsr::{MprConfig, OlsrConfig};
 
     let run = |hysteresis: Hysteresis| {
         let mut world = World::builder()

@@ -97,12 +97,7 @@ impl ArchitectureSnapshot {
         self.components
             .iter()
             .map(|c| c.id)
-            .filter(|id| {
-                !self
-                    .bindings
-                    .iter()
-                    .any(|b| b.from == *id || b.to == *id)
-            })
+            .filter(|id| !self.bindings.iter().any(|b| b.from == *id || b.to == *id))
             .collect()
     }
 

@@ -84,32 +84,34 @@ impl IntegrityRule {
     /// Rule: at most one component named `component_name` may be loaded.
     #[must_use]
     pub fn at_most_one_named(component_name: &'static str) -> Self {
-        IntegrityRule::new(format!("at-most-one:{component_name}"), move |arch, change| {
-            match change {
+        IntegrityRule::new(
+            format!("at-most-one:{component_name}"),
+            move |arch, change| match change {
                 PendingChange::Load { name }
                     if name == component_name && arch.count_named(component_name) >= 1 =>
                 {
                     Err(format!("a {component_name:?} component is already present"))
                 }
                 _ => Ok(()),
-            }
-        })
+            },
+        )
     }
 
     /// Rule: a component named `component_name` may never be removed.
     #[must_use]
     pub fn forbid_unload_named(component_name: &'static str) -> Self {
-        IntegrityRule::new(format!("pinned:{component_name}"), move |arch, change| {
-            match change {
+        IntegrityRule::new(
+            format!("pinned:{component_name}"),
+            move |arch, change| match change {
                 PendingChange::Unload { id } => match arch.component(*id) {
-                    Some(info) if info.name == component_name => {
-                        Err(format!("{component_name:?} is pinned and cannot be removed"))
-                    }
+                    Some(info) if info.name == component_name => Err(format!(
+                        "{component_name:?} is pinned and cannot be removed"
+                    )),
                     _ => Ok(()),
                 },
                 _ => Ok(()),
-            }
-        })
+            },
+        )
     }
 
     /// The rule's name (appears in violation errors).
@@ -457,7 +459,9 @@ mod tests {
 
     fn wired_cf() -> (ComponentFramework, ComponentId, ComponentId, Arc<Display>) {
         let cf = ComponentFramework::new("test-cf");
-        let clock = cf.insert(Arc::new(ClockComponent(Arc::new(Clock(1))))).unwrap();
+        let clock = cf
+            .insert(Arc::new(ClockComponent(Arc::new(Clock(1)))))
+            .unwrap();
         let display_arc = Arc::new(Display {
             tick: Receptacle::new(),
         });
@@ -476,7 +480,8 @@ mod tests {
     fn integrity_rule_vetoes_duplicate() {
         let cf = ComponentFramework::new("cf");
         cf.add_rule(IntegrityRule::at_most_one_named("clock"));
-        cf.insert(Arc::new(ClockComponent(Arc::new(Clock(0))))).unwrap();
+        cf.insert(Arc::new(ClockComponent(Arc::new(Clock(0)))))
+            .unwrap();
         let err = cf
             .insert(Arc::new(ClockComponent(Arc::new(Clock(0)))))
             .unwrap_err();
@@ -487,7 +492,9 @@ mod tests {
     fn pinned_component_cannot_be_removed() {
         let cf = ComponentFramework::new("cf");
         cf.add_rule(IntegrityRule::forbid_unload_named("clock"));
-        let id = cf.insert(Arc::new(ClockComponent(Arc::new(Clock(0))))).unwrap();
+        let id = cf
+            .insert(Arc::new(ClockComponent(Arc::new(Clock(0)))))
+            .unwrap();
         assert!(matches!(
             cf.remove(id),
             Err(ComponentError::IntegrityViolation { .. })

@@ -125,7 +125,9 @@ impl AnyInterface {
 
 impl fmt::Debug for AnyInterface {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        f.debug_struct("AnyInterface").field("id", &self.id).finish()
+        f.debug_struct("AnyInterface")
+            .field("id", &self.id)
+            .finish()
     }
 }
 

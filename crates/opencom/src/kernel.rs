@@ -406,8 +406,7 @@ mod tests {
             vec![InterfaceId::of("ICounter")]
         }
         fn query_interface(&self, id: &InterfaceId) -> Option<AnyInterface> {
-            (id.as_str() == "ICounter")
-                .then(|| AnyInterface::new(id.clone(), self.0.clone()))
+            (id.as_str() == "ICounter").then(|| AnyInterface::new(id.clone(), self.0.clone()))
         }
     }
 
@@ -441,7 +440,9 @@ mod tests {
     fn setup() -> (Kernel, ComponentId, ComponentId, Arc<Consumer>) {
         let kernel = Kernel::new();
         let provider = kernel
-            .load(Arc::new(Provider(Arc::new(CounterImpl(Default::default())))))
+            .load(Arc::new(Provider(Arc::new(
+                CounterImpl(Default::default()),
+            ))))
             .unwrap();
         let consumer_arc = Arc::new(Consumer {
             counter: Receptacle::new(),
@@ -566,7 +567,10 @@ mod tests {
         let b = &arch.bindings[0];
         assert_eq!(b.from, consumer);
         assert_eq!(b.to, provider);
-        assert_eq!(arch.providers_of(&InterfaceId::of("ICounter")), vec![provider]);
+        assert_eq!(
+            arch.providers_of(&InterfaceId::of("ICounter")),
+            vec![provider]
+        );
     }
 
     #[test]

@@ -269,24 +269,18 @@ mod tests {
 
     #[test]
     fn prefix_validation() {
-        let err =
-            AddressBlock::with_prefixes(vec![v4(1)], PrefixMode::Single(33)).unwrap_err();
+        let err = AddressBlock::with_prefixes(vec![v4(1)], PrefixMode::Single(33)).unwrap_err();
         assert_eq!(err, AddressBlockError::PrefixTooLong(33));
-        let err = AddressBlock::with_prefixes(
-            vec![v4(1), v4(2)],
-            PrefixMode::PerAddress(vec![24]),
-        )
-        .unwrap_err();
+        let err = AddressBlock::with_prefixes(vec![v4(1), v4(2)], PrefixMode::PerAddress(vec![24]))
+            .unwrap_err();
         assert!(matches!(err, AddressBlockError::PrefixArity { .. }));
     }
 
     #[test]
     fn prefix_len_lookup() {
-        let b = AddressBlock::with_prefixes(
-            vec![v4(1), v4(2)],
-            PrefixMode::PerAddress(vec![24, 16]),
-        )
-        .unwrap();
+        let b =
+            AddressBlock::with_prefixes(vec![v4(1), v4(2)], PrefixMode::PerAddress(vec![24, 16]))
+                .unwrap();
         assert_eq!(b.prefix_len(0), Some(24));
         assert_eq!(b.prefix_len(1), Some(16));
         assert_eq!(b.prefix_len(2), None);
@@ -299,11 +293,8 @@ mod tests {
         let b = AddressBlock::new(vec![v4(1), v4(2)]).unwrap();
         assert_eq!(b.head_tail(), (3, 0));
 
-        let b = AddressBlock::new(vec![
-            Address::v4([10, 1, 0, 5]),
-            Address::v4([10, 2, 0, 5]),
-        ])
-        .unwrap();
+        let b = AddressBlock::new(vec![Address::v4([10, 1, 0, 5]), Address::v4([10, 2, 0, 5])])
+            .unwrap();
         assert_eq!(b.head_tail(), (1, 2));
     }
 

@@ -9,7 +9,6 @@ use std::net::{Ipv4Addr, Ipv6Addr};
 /// `addr-length` field; only 4-byte (IPv4) and 16-byte (IPv6) addresses are
 /// defined.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum AddressFamily {
     /// 4-byte IPv4 addresses.
     V4,
@@ -51,7 +50,6 @@ impl AddressFamily {
 /// assert_eq!(a.to_string(), "10.0.0.1");
 /// ```
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
-#[cfg_attr(feature = "serde", derive(serde::Serialize, serde::Deserialize))]
 pub enum Address {
     /// An IPv4 address.
     V4([u8; 4]),

@@ -38,8 +38,8 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
-mod address;
 mod addrblock;
+mod address;
 mod error;
 mod message;
 mod packet;
@@ -49,8 +49,8 @@ mod wire;
 pub mod registry;
 pub mod time;
 
-pub use address::{Address, AddressFamily};
 pub use addrblock::{AddressBlock, PrefixMode};
+pub use address::{Address, AddressFamily};
 pub use error::{DecodeError, Error};
 pub use message::{Message, MessageBuilder};
 pub use packet::{Packet, PacketBuilder};

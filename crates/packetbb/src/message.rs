@@ -358,12 +358,9 @@ mod tests {
             .seq_num(99)
             .push_tlv(Tlv::with_value(0, vec![0x18]))
             .push_address_block(
-                AddressBlock::new(vec![
-                    Address::v4([10, 0, 0, 2]),
-                    Address::v4([10, 0, 0, 3]),
-                ])
-                .unwrap()
-                .push_tlv(AddressTlv::single(Tlv::with_value(2, vec![1]), 0)),
+                AddressBlock::new(vec![Address::v4([10, 0, 0, 2]), Address::v4([10, 0, 0, 3])])
+                    .unwrap()
+                    .push_tlv(AddressTlv::single(Tlv::with_value(2, vec![1]), 0)),
             )
             .build()
     }

@@ -326,12 +326,11 @@ pub(crate) fn decode_address_block(
     };
 
     let tlvs = decode_addr_tlv_block(r, num)?;
-    let mut block =
-        AddressBlock::with_prefixes(addresses, prefixes).map_err(|_| {
-            DecodeError::BadAddressBlock {
-                reason: "inconsistent reconstructed block",
-            }
-        })?;
+    let mut block = AddressBlock::with_prefixes(addresses, prefixes).map_err(|_| {
+        DecodeError::BadAddressBlock {
+            reason: "inconsistent reconstructed block",
+        }
+    })?;
     for t in tlvs {
         block.add_tlv(t);
     }
@@ -415,11 +414,8 @@ mod tests {
 
     #[test]
     fn truncated_inputs_error_not_panic() {
-        let block = AddressBlock::new(vec![
-            Address::v4([10, 0, 1, 1]),
-            Address::v4([10, 0, 2, 1]),
-        ])
-        .unwrap();
+        let block = AddressBlock::new(vec![Address::v4([10, 0, 1, 1]), Address::v4([10, 0, 2, 1])])
+            .unwrap();
         let mut out = Vec::new();
         encode_address_block(&mut out, &block);
         for cut in 0..out.len() {

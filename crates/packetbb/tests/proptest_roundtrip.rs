@@ -119,10 +119,7 @@ fn arb_packet() -> impl Strategy<Value = Packet> {
     (
         proptest::option::of(any::<u16>()),
         proptest::collection::vec(arb_tlv(), 0..3),
-        proptest::collection::vec(
-            prop_oneof![4 => arb_message(), 1 => arb_message_v6()],
-            0..4,
-        ),
+        proptest::collection::vec(prop_oneof![4 => arb_message(), 1 => arb_message_v6()], 0..4),
     )
         .prop_map(|(seq, tlvs, msgs)| {
             let mut b = Packet::builder();

@@ -49,7 +49,11 @@ fn main() {
     }
     world.run_for(SimDuration::from_secs(40));
     for h in &handles {
-        assert!(h.status().last_error.is_none(), "{:?}", h.status().last_error);
+        assert!(
+            h.status().last_error.is_none(),
+            "{:?}",
+            h.status().last_error
+        );
     }
 
     let in_zone = world.node_addr(2);
@@ -57,14 +61,22 @@ fn main() {
     println!(
         "zone radius {ZONE_RADIUS}: node 0 proactively routes to {} -> {:?}",
         in_zone,
-        world.os(NodeId(0)).route_table().lookup(in_zone).map(|r| r.next_hop)
+        world
+            .os(NodeId(0))
+            .route_table()
+            .lookup(in_zone)
+            .map(|r| r.next_hop)
     );
     assert!(
         world.os(NodeId(0)).route_table().lookup(in_zone).is_some(),
         "in-zone destination must be proactively routed"
     );
     assert!(
-        world.os(NodeId(0)).route_table().lookup(out_of_zone).is_none(),
+        world
+            .os(NodeId(0))
+            .route_table()
+            .lookup(out_of_zone)
+            .is_none(),
         "out-of-zone destination must not be proactively routed"
     );
 

@@ -50,7 +50,9 @@ fn main() {
     // Runtime switch: retire OLSR + MPR, deploy the DYMO composition. The
     // handles enact the operations at each node's next quiescent point.
     for h in &handles {
-        h.apply(ReconfigOp::RemoveProtocol { name: "olsr".into() });
+        h.apply(ReconfigOp::RemoveProtocol {
+            name: "olsr".into(),
+        });
         h.apply(ReconfigOp::RemoveProtocol { name: "mpr".into() });
         h.apply(ReconfigOp::RegisterMessage(
             manetkit_repro::manetkit::neighbour::hello_registration(),
@@ -58,9 +60,9 @@ fn main() {
         h.apply(ReconfigOp::AddProtocol(
             manetkit_repro::manetkit::neighbour::neighbour_detection_cf(Default::default()),
         ));
-        h.apply(ReconfigOp::AddProtocol(manetkit_repro::manetkit_dymo::dymo_cf(
-            Default::default(),
-        )));
+        h.apply(ReconfigOp::AddProtocol(
+            manetkit_repro::manetkit_dymo::dymo_cf(Default::default()),
+        ));
     }
     // DYMO needs its message registrations and the NetLink plug-in, which
     // `dymo_cf` assumes; load them into the System CF at runtime too.
@@ -75,7 +77,10 @@ fn main() {
         let st = h.status();
         assert!(st.last_error.is_none(), "node {i}: {:?}", st.last_error);
     }
-    println!("protocols after switch: {:?}", handles[0].status().protocols);
+    println!(
+        "protocols after switch: {:?}",
+        handles[0].status().protocols
+    );
 
     // Reactive routing across the grown network.
     let far = world.node_addr(FULL - 1);

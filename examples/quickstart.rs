@@ -9,10 +9,7 @@ use manetkit_repro::prelude::*;
 fn main() {
     // The paper's testbed shape: 5 nodes in a line, multi-hop connectivity
     // enforced by the topology matrix (the MAC-filter / MobiEmu analogue).
-    let mut world = World::builder()
-        .topology(Topology::line(5))
-        .seed(7)
-        .build();
+    let mut world = World::builder().topology(Topology::line(5)).seed(7).build();
 
     // One MANETKit deployment per node, each running the DYMO composition:
     // Neighbour Detection CF + DYMO CF on top of the System CF.
@@ -28,7 +25,10 @@ fn main() {
     // netfilter buffer, a route discovery floods, the RREP comes back and
     // the buffered packet is re-injected.
     let far = world.node_addr(4);
-    println!("sending 10 datagrams from {} to {far} ...", world.node_addr(0));
+    println!(
+        "sending 10 datagrams from {} to {far} ...",
+        world.node_addr(0)
+    );
     for k in 0..10u8 {
         world.send_datagram(NodeId(0), far, vec![k; 64]);
         world.run_for(SimDuration::from_millis(300));
@@ -36,13 +36,23 @@ fn main() {
     world.run_for(SimDuration::from_secs(2));
 
     let stats = world.stats();
-    println!("delivered:         {}/{}", stats.data_delivered, stats.data_sent);
+    println!(
+        "delivered:         {}/{}",
+        stats.data_delivered, stats.data_sent
+    );
     println!("mean latency:      {}", stats.mean_delivery_latency());
-    println!("route discoveries: {}", stats.agent_counter("route_discovery"));
+    println!(
+        "route discoveries: {}",
+        stats.agent_counter("route_discovery")
+    );
     println!("control frames:    {}", stats.control_frames);
     println!(
         "route at source:   {:?}",
-        world.os(NodeId(0)).route_table().lookup(far).map(|r| r.next_hop)
+        world
+            .os(NodeId(0))
+            .route_table()
+            .lookup(far)
+            .map(|r| r.next_hop)
     );
     assert_eq!(stats.data_delivered, stats.data_sent, "all pings delivered");
     println!("\nquickstart OK");

@@ -40,8 +40,7 @@ fn main() {
         )));
     }
     world.run_for(SimDuration::from_secs(40));
-    let with_fisheye =
-        world.stats().agent_counter("flood_relayed") - baseline_relays;
+    let with_fisheye = world.stats().agent_counter("flood_relayed") - baseline_relays;
     let scoped = world.stats().agent_counter("fisheye_scoped");
     println!(
         "phase 2 — fisheye inserted: {with_fisheye} TC relays in the next 40 s ({scoped} TCs re-scoped)"
@@ -82,7 +81,11 @@ fn main() {
     world.run_for(SimDuration::from_secs(2));
     assert_eq!(world.stats().data_delivered, 1);
     for h in &handles {
-        assert!(h.status().last_error.is_none(), "{:?}", h.status().last_error);
+        assert!(
+            h.status().last_error.is_none(),
+            "{:?}",
+            h.status().last_error
+        );
     }
     println!("\nvariant hot-swap OK — traffic never stopped");
 }

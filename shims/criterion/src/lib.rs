@@ -1,0 +1,256 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Keeps the macro and builder surface the workspace benches use
+//! (`criterion_group!`, `criterion_main!`, benchmark groups, `iter`,
+//! `iter_batched`, throughput annotation) but implements a deliberately
+//! simple harness: warm up for `warm_up_time`, measure batches for
+//! `measurement_time`, report the mean wall-clock time per iteration on
+//! stdout. No statistics engine, plots or baselines.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Work-size annotation attached to a benchmark for throughput reporting.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Throughput {
+    /// Bytes processed per iteration.
+    Bytes(u64),
+    /// Logical elements processed per iteration.
+    Elements(u64),
+}
+
+/// Hint for how batched inputs are grouped; the shim times per-input either
+/// way, so the variants only exist for API compatibility.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small cheap inputs.
+    SmallInput,
+    /// Large inputs.
+    LargeInput,
+    /// One input per iteration.
+    PerIteration,
+}
+
+/// The benchmark harness configuration and sink.
+#[derive(Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_secs(1),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the measurement window per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the warm-up window per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Accepted for API compatibility; the shim has no sampling engine.
+    #[must_use]
+    pub fn sample_size(self, _n: usize) -> Self {
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            c: self,
+            name: name.into(),
+            throughput: None,
+        }
+    }
+
+    /// Runs one stand-alone benchmark.
+    pub fn bench_function(
+        &mut self,
+        id: impl Into<String>,
+        f: impl FnMut(&mut Bencher),
+    ) -> &mut Self {
+        let id = id.into();
+        run_one(self.warm_up, self.measurement, &id, None, f);
+        self
+    }
+}
+
+/// A named set of benchmarks sharing a throughput annotation.
+pub struct BenchmarkGroup<'a> {
+    c: &'a mut Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Annotates subsequent benchmarks with a work size.
+    pub fn throughput(&mut self, t: Throughput) {
+        self.throughput = Some(t);
+    }
+
+    /// Runs one benchmark in the group.
+    pub fn bench_function(&mut self, id: impl Into<String>, f: impl FnMut(&mut Bencher)) {
+        let id = format!("{}/{}", self.name, id.into());
+        run_one(self.c.warm_up, self.c.measurement, &id, self.throughput, f);
+    }
+
+    /// Ends the group (printing already happened per benchmark).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; `iter`/`iter_batched` do the timing.
+pub struct Bencher {
+    warm_up: Duration,
+    measurement: Duration,
+    total: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `routine` repeatedly.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        // Warm-up: run without recording.
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine());
+        }
+        // Measure in growing batches to amortise clock reads.
+        let mut batch = 1u64;
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            let t0 = Instant::now();
+            for _ in 0..batch {
+                black_box(routine());
+            }
+            self.total += t0.elapsed();
+            self.iters += batch;
+            batch = (batch * 2).min(1 << 20);
+        }
+    }
+
+    /// Times `routine` over inputs built by `setup`; setup time is excluded.
+    pub fn iter_batched<I, O>(
+        &mut self,
+        mut setup: impl FnMut() -> I,
+        mut routine: impl FnMut(I) -> O,
+        _size: BatchSize,
+    ) {
+        let start = Instant::now();
+        while start.elapsed() < self.warm_up {
+            black_box(routine(setup()));
+        }
+        let start = Instant::now();
+        while start.elapsed() < self.measurement {
+            let input = setup();
+            let t0 = Instant::now();
+            black_box(routine(input));
+            self.total += t0.elapsed();
+            self.iters += 1;
+        }
+    }
+}
+
+fn run_one(
+    warm_up: Duration,
+    measurement: Duration,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    let mut b = Bencher {
+        warm_up,
+        measurement,
+        total: Duration::ZERO,
+        iters: 0,
+    };
+    f(&mut b);
+    if b.iters == 0 {
+        println!("{id:<56} (no iterations recorded)");
+        return;
+    }
+    let ns_per_iter = b.total.as_nanos() as f64 / b.iters as f64;
+    let rate = match throughput {
+        Some(Throughput::Bytes(n)) => {
+            let mb_s = n as f64 / (ns_per_iter / 1e9) / (1024.0 * 1024.0);
+            format!("  {mb_s:>10.1} MiB/s")
+        }
+        Some(Throughput::Elements(n)) => {
+            let elem_s = n as f64 / (ns_per_iter / 1e9);
+            format!("  {elem_s:>10.0} elem/s")
+        }
+        None => String::new(),
+    };
+    println!(
+        "{id:<56} {:>12.1} ns/iter  ({} iters){rate}",
+        ns_per_iter, b.iters
+    );
+}
+
+/// Declares a benchmark group function, mirroring criterion's two forms.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut c = $config;
+            $($target(&mut c);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the bench binary's `main`, running each group in order.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick() -> Criterion {
+        Criterion::default()
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn groups_and_batched_iters_run() {
+        let mut c = quick();
+        let mut group = c.benchmark_group("shim");
+        group.throughput(Throughput::Bytes(64));
+        group.bench_function("iter", |b| b.iter(|| black_box(2u64 + 2)));
+        group.bench_function("batched", |b| {
+            b.iter_batched(|| vec![1u8; 64], |v| v.len(), BatchSize::SmallInput)
+        });
+        group.finish();
+        c.bench_function("top-level", |b| b.iter(|| black_box(1)));
+    }
+}

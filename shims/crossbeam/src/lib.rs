@@ -1,0 +1,174 @@
+//! Offline stand-in for the `crossbeam` crate.
+//!
+//! Provides the slice of the API this workspace uses: `channel::unbounded`
+//! multi-producer multi-consumer channels with blocking `recv`. Backed by a
+//! `Mutex<VecDeque>` + `Condvar`; adequate for the deterministic tests and
+//! the concurrency lab, not tuned for contention.
+
+#![warn(missing_docs)]
+
+/// MPMC channels (`crossbeam::channel` subset).
+pub mod channel {
+    use std::collections::VecDeque;
+    use std::fmt;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::{Arc, Condvar, Mutex, PoisonError};
+
+    struct Inner<T> {
+        queue: Mutex<VecDeque<T>>,
+        ready: Condvar,
+        senders: AtomicUsize,
+        receivers: AtomicUsize,
+    }
+
+    /// The sending half of an unbounded channel.
+    pub struct Sender<T>(Arc<Inner<T>>);
+
+    /// The receiving half of an unbounded channel; clonable (MPMC).
+    pub struct Receiver<T>(Arc<Inner<T>>);
+
+    /// Error returned by [`Sender::send`] when all receivers are gone.
+    #[derive(Debug, PartialEq, Eq)]
+    pub struct SendError<T>(pub T);
+
+    /// Error returned by [`Receiver::recv`] when the channel is empty and
+    /// all senders are gone.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct RecvError;
+
+    impl<T> fmt::Display for SendError<T> {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("sending on a disconnected channel")
+        }
+    }
+
+    impl fmt::Display for RecvError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            f.write_str("receiving on an empty, disconnected channel")
+        }
+    }
+
+    /// Creates an unbounded MPMC channel.
+    pub fn unbounded<T>() -> (Sender<T>, Receiver<T>) {
+        let inner = Arc::new(Inner {
+            queue: Mutex::new(VecDeque::new()),
+            ready: Condvar::new(),
+            senders: AtomicUsize::new(1),
+            receivers: AtomicUsize::new(1),
+        });
+        (Sender(inner.clone()), Receiver(inner))
+    }
+
+    impl<T> Sender<T> {
+        /// Enqueues `value`, failing when every receiver has been dropped.
+        pub fn send(&self, value: T) -> Result<(), SendError<T>> {
+            if self.0.receivers.load(Ordering::Acquire) == 0 {
+                return Err(SendError(value));
+            }
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .push_back(value);
+            self.0.ready.notify_one();
+            Ok(())
+        }
+    }
+
+    impl<T> Clone for Sender<T> {
+        fn clone(&self) -> Self {
+            self.0.senders.fetch_add(1, Ordering::Release);
+            Sender(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Sender<T> {
+        fn drop(&mut self) {
+            if self.0.senders.fetch_sub(1, Ordering::AcqRel) == 1 {
+                // Last sender: wake blocked receivers so they observe
+                // disconnection.
+                self.0.ready.notify_all();
+            }
+        }
+    }
+
+    impl<T> Receiver<T> {
+        /// Dequeues a value, blocking until one arrives or every sender is
+        /// dropped.
+        pub fn recv(&self) -> Result<T, RecvError> {
+            let mut queue = self.0.queue.lock().unwrap_or_else(PoisonError::into_inner);
+            loop {
+                if let Some(v) = queue.pop_front() {
+                    return Ok(v);
+                }
+                if self.0.senders.load(Ordering::Acquire) == 0 {
+                    return Err(RecvError);
+                }
+                queue = self
+                    .0
+                    .ready
+                    .wait(queue)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+        }
+
+        /// Dequeues a value without blocking.
+        pub fn try_recv(&self) -> Result<T, RecvError> {
+            self.0
+                .queue
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .pop_front()
+                .ok_or(RecvError)
+        }
+    }
+
+    impl<T> Clone for Receiver<T> {
+        fn clone(&self) -> Self {
+            self.0.receivers.fetch_add(1, Ordering::Release);
+            Receiver(self.0.clone())
+        }
+    }
+
+    impl<T> Drop for Receiver<T> {
+        fn drop(&mut self) {
+            self.0.receivers.fetch_sub(1, Ordering::AcqRel);
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn fan_out_to_cloned_receivers() {
+            let (tx, rx) = unbounded::<u32>();
+            let rx2 = rx.clone();
+            for i in 0..100 {
+                tx.send(i).unwrap();
+            }
+            drop(tx);
+            let mut got = Vec::new();
+            let h = std::thread::spawn(move || {
+                let mut got = Vec::new();
+                while let Ok(v) = rx2.recv() {
+                    got.push(v);
+                }
+                got
+            });
+            while let Ok(v) = rx.recv() {
+                got.push(v);
+            }
+            got.extend(h.join().unwrap());
+            got.sort_unstable();
+            assert_eq!(got, (0..100).collect::<Vec<_>>());
+        }
+
+        #[test]
+        fn send_fails_after_receivers_drop() {
+            let (tx, rx) = unbounded::<u8>();
+            drop(rx);
+            assert_eq!(tx.send(1), Err(SendError(1)));
+        }
+    }
+}

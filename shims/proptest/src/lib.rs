@@ -1,0 +1,655 @@
+//! Offline stand-in for the `proptest` crate.
+//!
+//! Reimplements the subset of the proptest API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
+//! `boxed`, [`Just`], integer-range and tuple strategies, `any::<T>()`,
+//! `collection::vec`, `option::of`, weighted `prop_oneof!`, and the
+//! `proptest!` test macro driven by a deterministic RNG.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case reports the generated input verbatim.
+//! * **Deterministic seeding.** Every test function runs the same input
+//!   sequence on every machine; there is no persistence file handling
+//!   (existing `.proptest-regressions` files are ignored).
+//! * `prop_assert!`/`prop_assert_eq!` panic like `assert!` instead of
+//!   returning `TestCaseError` — equivalent test outcomes, simpler types.
+
+#![warn(missing_docs)]
+
+/// Test-runner types: configuration, RNG and the case loop.
+pub mod test_runner {
+    use crate::strategy::Strategy;
+    use std::fmt::Debug;
+
+    /// Configuration accepted by `proptest_config`.
+    #[derive(Debug, Clone)]
+    pub struct ProptestConfig {
+        /// Number of random cases each test runs.
+        pub cases: u32,
+    }
+
+    impl Default for ProptestConfig {
+        fn default() -> Self {
+            ProptestConfig { cases: 256 }
+        }
+    }
+
+    impl ProptestConfig {
+        /// A config running `cases` random cases per test.
+        #[must_use]
+        pub fn with_cases(cases: u32) -> Self {
+            ProptestConfig { cases }
+        }
+    }
+
+    /// Deterministic generator feeding the strategies (splitmix64).
+    #[derive(Debug, Clone)]
+    pub struct TestRng(u64);
+
+    impl TestRng {
+        /// A generator with a fixed, documented seed.
+        #[must_use]
+        pub fn deterministic() -> Self {
+            TestRng(0xA076_1D64_78BD_642F)
+        }
+
+        /// The next 64 random bits.
+        pub fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+
+        /// A uniform value in `[0, bound)`; `bound` must be non-zero.
+        pub fn below(&mut self, bound: u64) -> u64 {
+            self.next_u64() % bound
+        }
+
+        /// A uniform `f64` in `[0, 1)`.
+        pub fn unit_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+        }
+    }
+
+    /// Runs `config.cases` random cases of `body` over `strategy`,
+    /// reporting the generated input when a case panics.
+    pub fn run_cases<S: Strategy>(
+        config: &ProptestConfig,
+        strategy: &S,
+        mut body: impl FnMut(S::Value),
+    ) where
+        S::Value: Debug,
+    {
+        let mut rng = TestRng::deterministic();
+        for case in 0..config.cases {
+            let value = strategy.new_value(&mut rng);
+            let repr = format!("{value:?}");
+            let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| body(value)));
+            if let Err(payload) = outcome {
+                eprintln!(
+                    "proptest (shim): case {case}/{} failed; no shrinking — input was:\n{repr}",
+                    config.cases
+                );
+                std::panic::resume_unwind(payload);
+            }
+        }
+    }
+}
+
+/// The [`Strategy`] trait and combinators.
+pub mod strategy {
+    use crate::test_runner::TestRng;
+    use std::marker::PhantomData;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A recipe for generating values of `Self::Value`.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn new_value(&self, rng: &mut TestRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+            F: Fn(Self::Value) -> U,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Feeds generated values into `f` to pick a dependent strategy.
+        fn prop_flat_map<S2, F>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+            S2: Strategy,
+            F: Fn(Self::Value) -> S2,
+        {
+            FlatMap { inner: self, f }
+        }
+
+        /// Retries generation until `f` accepts the value (up to a bound).
+        fn prop_filter<F>(self, whence: &'static str, f: F) -> Filter<Self, F>
+        where
+            Self: Sized,
+            F: Fn(&Self::Value) -> bool,
+        {
+            Filter {
+                inner: self,
+                whence,
+                f,
+            }
+        }
+
+        /// Erases the strategy type.
+        fn boxed(self) -> BoxedStrategy<Self::Value>
+        where
+            Self: Sized + 'static,
+        {
+            BoxedStrategy(Box::new(self))
+        }
+    }
+
+    /// Object-safe generation, used by [`BoxedStrategy`].
+    trait DynStrategy<T> {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> T;
+    }
+
+    impl<S: Strategy> DynStrategy<S::Value> for S {
+        fn new_value_dyn(&self, rng: &mut TestRng) -> S::Value {
+            self.new_value(rng)
+        }
+    }
+
+    /// A type-erased strategy.
+    pub struct BoxedStrategy<T>(Box<dyn DynStrategy<T>>);
+
+    impl<T> Strategy for BoxedStrategy<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            self.0.new_value_dyn(rng)
+        }
+    }
+
+    /// Always generates a clone of the given value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T: Clone>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+        fn new_value(&self, _rng: &mut TestRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+        fn new_value(&self, rng: &mut TestRng) -> U {
+            (self.f)(self.inner.new_value(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, S2: Strategy, F: Fn(S::Value) -> S2> Strategy for FlatMap<S, F> {
+        type Value = S2::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S2::Value {
+            (self.f)(self.inner.new_value(rng)).new_value(rng)
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_filter`].
+    pub struct Filter<S, F> {
+        inner: S,
+        whence: &'static str,
+        f: F,
+    }
+
+    impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+        type Value = S::Value;
+        fn new_value(&self, rng: &mut TestRng) -> S::Value {
+            for _ in 0..1000 {
+                let v = self.inner.new_value(rng);
+                if (self.f)(&v) {
+                    return v;
+                }
+            }
+            panic!(
+                "prop_filter rejected 1000 consecutive values: {}",
+                self.whence
+            );
+        }
+    }
+
+    /// Weighted choice among boxed strategies (`prop_oneof!`).
+    pub struct Union<T> {
+        arms: Vec<(u32, BoxedStrategy<T>)>,
+        total: u64,
+    }
+
+    impl<T> Union<T> {
+        /// A union of `(weight, strategy)` arms; weights must not all be 0.
+        #[must_use]
+        pub fn new(arms: Vec<(u32, BoxedStrategy<T>)>) -> Self {
+            let total = arms.iter().map(|(w, _)| u64::from(*w)).sum();
+            assert!(total > 0, "prop_oneof! needs a positive total weight");
+            Union { arms, total }
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+        fn new_value(&self, rng: &mut TestRng) -> T {
+            let mut pick = rng.below(self.total);
+            for (w, s) in &self.arms {
+                let w = u64::from(*w);
+                if pick < w {
+                    return s.new_value(rng);
+                }
+                pick -= w;
+            }
+            unreachable!("weights sum checked in Union::new")
+        }
+    }
+
+    macro_rules! int_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        let span = (self.end as i128 - self.start as i128) as u64;
+                        (self.start as i128 + rng.below(span) as i128) as $t
+                    }
+                }
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range strategy");
+                        let span = (end as i128 - start as i128 + 1) as u128;
+                        if span > u128::from(u64::MAX) {
+                            return rng.next_u64() as $t;
+                        }
+                        (start as i128 + rng.below(span as u64) as i128) as $t
+                    }
+                }
+            )*
+        };
+    }
+    int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    macro_rules! float_range_strategy {
+        ($($t:ty),*) => {
+            $(
+                impl Strategy for Range<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        assert!(self.start < self.end, "empty range strategy");
+                        self.start + (rng.unit_f64() as $t) * (self.end - self.start)
+                    }
+                }
+                impl Strategy for RangeInclusive<$t> {
+                    type Value = $t;
+                    fn new_value(&self, rng: &mut TestRng) -> $t {
+                        let (start, end) = (*self.start(), *self.end());
+                        assert!(start <= end, "empty range strategy");
+                        start + (rng.unit_f64() as $t) * (end - start)
+                    }
+                }
+            )*
+        };
+    }
+    float_range_strategy!(f32, f64);
+
+    macro_rules! tuple_strategy {
+        ($($S:ident/$v:ident),+) => {
+            impl<$($S: Strategy),+> Strategy for ($($S,)+) {
+                type Value = ($($S::Value,)+);
+                fn new_value(&self, rng: &mut TestRng) -> Self::Value {
+                    let ($($v,)+) = self;
+                    ($($v.new_value(rng),)+)
+                }
+            }
+        };
+    }
+    tuple_strategy!(A / a);
+    tuple_strategy!(A / a, B / b);
+    tuple_strategy!(A / a, B / b, C / c);
+    tuple_strategy!(A / a, B / b, C / c, D / d);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g);
+    tuple_strategy!(A / a, B / b, C / c, D / d, E / e, F / f, G / g, H / h);
+    tuple_strategy!(
+        A / a,
+        B / b,
+        C / c,
+        D / d,
+        E / e,
+        F / f,
+        G / g,
+        H / h,
+        I / i
+    );
+    tuple_strategy!(
+        A / a,
+        B / b,
+        C / c,
+        D / d,
+        E / e,
+        F / f,
+        G / g,
+        H / h,
+        I / i,
+        J / j
+    );
+
+    /// Strategy for any value of a primitive type (see [`crate::arbitrary`]).
+    pub struct AnyPrim<T>(pub(crate) PhantomData<T>);
+
+    macro_rules! any_prim {
+        ($($t:ty),*) => {
+            $(impl Strategy for AnyPrim<$t> {
+                type Value = $t;
+                fn new_value(&self, rng: &mut TestRng) -> $t {
+                    rng.next_u64() as $t
+                }
+            })*
+        };
+    }
+    any_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    impl Strategy for AnyPrim<bool> {
+        type Value = bool;
+        fn new_value(&self, rng: &mut TestRng) -> bool {
+            rng.next_u64() & 1 == 1
+        }
+    }
+
+    impl Strategy for AnyPrim<f64> {
+        type Value = f64;
+        fn new_value(&self, rng: &mut TestRng) -> f64 {
+            rng.unit_f64()
+        }
+    }
+
+    /// Strategy for fixed-size arrays of `any` values.
+    pub struct AnyArray<T, const N: usize>(pub(crate) PhantomData<T>);
+
+    impl<T, const N: usize> Strategy for AnyArray<T, N>
+    where
+        AnyPrim<T>: Strategy<Value = T>,
+    {
+        type Value = [T; N];
+        fn new_value(&self, rng: &mut TestRng) -> [T; N] {
+            let element = AnyPrim::<T>(PhantomData);
+            std::array::from_fn(|_| element.new_value(rng))
+        }
+    }
+}
+
+/// `any::<T>()`: strategies derived from a type alone.
+pub mod arbitrary {
+    use crate::strategy::{AnyArray, AnyPrim};
+    use std::marker::PhantomData;
+
+    /// Types with a canonical strategy.
+    pub trait Arbitrary: Sized {
+        /// That canonical strategy's type.
+        type Strategy: crate::strategy::Strategy<Value = Self>;
+        /// Builds the canonical strategy.
+        fn arbitrary() -> Self::Strategy;
+    }
+
+    macro_rules! arb_prim {
+        ($($t:ty),*) => {
+            $(impl Arbitrary for $t {
+                type Strategy = AnyPrim<$t>;
+                fn arbitrary() -> Self::Strategy {
+                    AnyPrim(PhantomData)
+                }
+            })*
+        };
+    }
+    arb_prim!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, bool, f64);
+
+    impl<T, const N: usize> Arbitrary for [T; N]
+    where
+        T: Arbitrary,
+        AnyPrim<T>: crate::strategy::Strategy<Value = T>,
+    {
+        type Strategy = AnyArray<T, N>;
+        fn arbitrary() -> Self::Strategy {
+            AnyArray(PhantomData)
+        }
+    }
+
+    /// The canonical strategy for `T`.
+    #[must_use]
+    pub fn any<T: Arbitrary>() -> T::Strategy {
+        T::arbitrary()
+    }
+}
+
+/// Collection strategies (`proptest::collection` subset).
+pub mod collection {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// An inclusive size window for generated collections.
+    #[derive(Debug, Clone, Copy)]
+    pub struct SizeRange {
+        /// Smallest size generated.
+        pub min: usize,
+        /// Largest size generated (inclusive).
+        pub max: usize,
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty collection size range");
+            SizeRange {
+                min: r.start,
+                max: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            assert!(r.start() <= r.end(), "empty collection size range");
+            SizeRange {
+                min: *r.start(),
+                max: *r.end(),
+            }
+        }
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            SizeRange { min: n, max: n }
+        }
+    }
+
+    /// Strategy generating `Vec`s of `element` with a size in `size`.
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    /// `Vec` strategy: each element drawn from `element`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.size.max - self.size.min) as u64 + 1;
+            let len = self.size.min + rng.below(span) as usize;
+            (0..len).map(|_| self.element.new_value(rng)).collect()
+        }
+    }
+}
+
+/// Option strategies (`proptest::option` subset).
+pub mod option {
+    use crate::strategy::Strategy;
+    use crate::test_runner::TestRng;
+
+    /// Strategy generating `Option`s of an inner strategy's values.
+    pub struct OptionStrategy<S>(S);
+
+    /// `Option` strategy: `Some` with probability one half.
+    pub fn of<S: Strategy>(inner: S) -> OptionStrategy<S> {
+        OptionStrategy(inner)
+    }
+
+    impl<S: Strategy> Strategy for OptionStrategy<S> {
+        type Value = Option<S::Value>;
+        fn new_value(&self, rng: &mut TestRng) -> Option<S::Value> {
+            if rng.next_u64() & 1 == 1 {
+                Some(self.0.new_value(rng))
+            } else {
+                None
+            }
+        }
+    }
+}
+
+/// The names `use proptest::prelude::*` is expected to bring in.
+pub mod prelude {
+    pub use crate::arbitrary::{any, Arbitrary};
+    pub use crate::strategy::{BoxedStrategy, Just, Strategy};
+    pub use crate::test_runner::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_oneof, proptest};
+}
+
+/// Asserts a condition inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+/// Chooses among strategies, optionally weighted (`w => strategy`).
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($weight:expr => $strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $(($weight as u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![
+            $((1u32, $crate::strategy::Strategy::boxed($strat)),)+
+        ])
+    };
+}
+
+/// Declares property tests: `fn name(arg in strategy, ...) { body }`.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items!{ [$cfg] $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items!{
+            [$crate::test_runner::ProptestConfig::default()] $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`]: expands one test fn at a time.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    ([$cfg:expr]) => {};
+    ([$cfg:expr]
+     $(#[$meta:meta])*
+     fn $name:ident($($arg:ident in $strat:expr),+ $(,)?) $body:block
+     $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let __config = $cfg;
+            let __strategy = ($($strat,)+);
+            $crate::test_runner::run_cases(&__config, &__strategy, |($($arg,)+)| $body);
+        }
+        $crate::__proptest_items!{ [$cfg] $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        /// Smoke: all the macro forms this workspace uses expand and run.
+        #[test]
+        fn macro_and_strategies_work(
+            xs in crate::collection::vec(0usize..10, 1..8),
+            flag in any::<bool>(),
+            quad in any::<[u8; 4]>(),
+            pick in prop_oneof![2 => Just(1u8), 1 => Just(2u8)],
+            maybe in crate::option::of(any::<u16>()),
+            mapped in (0u8..4, 4u8..8).prop_map(|(a, b)| (b, a)),
+            chained in (1usize..4).prop_flat_map(|n| crate::collection::vec(Just(n), n..n + 1)),
+        ) {
+            prop_assert!(!xs.is_empty() && xs.len() < 8);
+            prop_assert!(xs.iter().all(|x| *x < 10));
+            prop_assert!(matches!(flag, true | false));
+            prop_assert_eq!(quad.len(), 4);
+            prop_assert!(pick == 1 || pick == 2);
+            if let Some(v) = maybe {
+                prop_assert!(u32::from(v) <= 0xFFFF);
+            }
+            prop_assert!(mapped.0 >= 4 && mapped.1 < 4);
+            prop_assert_eq!(chained.len(), chained[0]);
+            prop_assert_ne!(mapped.0, mapped.1);
+        }
+    }
+
+    #[test]
+    fn deterministic_across_runners() {
+        use crate::strategy::Strategy;
+        use crate::test_runner::TestRng;
+        let strat = crate::collection::vec(0u64..1000, 3..6);
+        let a = strat.new_value(&mut TestRng::deterministic());
+        let b = strat.new_value(&mut TestRng::deterministic());
+        assert_eq!(a, b);
+    }
+}

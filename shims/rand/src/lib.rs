@@ -1,0 +1,213 @@
+//! Offline stand-in for the `rand` crate.
+//!
+//! Implements the subset the workspace uses: `rngs::StdRng` (a
+//! deterministic xoshiro256++ generator), `SeedableRng::seed_from_u64`, and
+//! the `Rng` extension methods `gen`, `gen_range` and `gen_bool` for the
+//! primitive types that appear in the simulator. The stream differs from
+//! upstream `rand`'s `StdRng`, but is stable across runs and platforms —
+//! which is what the deterministic simulation actually relies on.
+
+#![warn(missing_docs)]
+
+use std::ops::{Range, RangeInclusive};
+
+/// Core random source: 64 fresh bits per call.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Construction of a generator from seed material.
+pub trait SeedableRng: Sized {
+    /// Builds a generator whose stream is fully determined by `seed`.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// Types that can be sampled uniformly from a generator's raw bits.
+pub trait Standard: Sized {
+    /// Draws one value.
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self;
+}
+
+macro_rules! standard_int {
+    ($($t:ty),*) => {
+        $(impl Standard for $t {
+            fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+                rng.next_u64() as $t
+            }
+        })*
+    };
+}
+standard_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Standard for bool {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+impl Standard for f64 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        // 53 uniform mantissa bits in [0, 1).
+        (rng.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl Standard for f32 {
+    fn sample<R: RngCore + ?Sized>(rng: &mut R) -> Self {
+        (rng.next_u64() >> 40) as f32 * (1.0 / (1u64 << 24) as f32)
+    }
+}
+
+/// Ranges that can be sampled uniformly.
+pub trait SampleRange {
+    /// The element type produced.
+    type Output;
+    /// Draws one value from the range.
+    ///
+    /// # Panics
+    ///
+    /// Panics when the range is empty.
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> Self::Output;
+}
+
+macro_rules! sample_range_int {
+    ($($t:ty),*) => {
+        $(
+            impl SampleRange for Range<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    assert!(self.start < self.end, "cannot sample empty range");
+                    let span = (self.end as u128 - self.start as u128) as u64;
+                    self.start + (rng.next_u64() % span) as $t
+                }
+            }
+            impl SampleRange for RangeInclusive<$t> {
+                type Output = $t;
+                fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> $t {
+                    let (start, end) = (*self.start(), *self.end());
+                    assert!(start <= end, "cannot sample empty range");
+                    let span = (end as u128 - start as u128) + 1;
+                    if span > u64::MAX as u128 {
+                        return rng.next_u64() as $t; // the full u64 domain
+                    }
+                    start + (rng.next_u64() % span as u64) as $t
+                }
+            }
+        )*
+    };
+}
+sample_range_int!(u8, u16, u32, u64, usize, i32, i64);
+
+impl SampleRange for Range<f64> {
+    type Output = f64;
+    fn sample_from<R: RngCore + ?Sized>(self, rng: &mut R) -> f64 {
+        assert!(self.start < self.end, "cannot sample empty range");
+        self.start + f64::sample(rng) * (self.end - self.start)
+    }
+}
+
+/// Convenience sampling methods, blanket-implemented for every [`RngCore`].
+pub trait Rng: RngCore {
+    /// Draws a uniform value of type `T`.
+    fn gen<T: Standard>(&mut self) -> T {
+        T::sample(self)
+    }
+
+    /// Draws a uniform value from `range`.
+    fn gen_range<S: SampleRange>(&mut self, range: S) -> S::Output {
+        range.sample_from(self)
+    }
+
+    /// Draws `true` with probability `p`.
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::sample(self) < p
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// Named generator types (`rand::rngs` subset).
+pub mod rngs {
+    use super::{RngCore, SeedableRng};
+
+    /// The workspace's standard deterministic generator: xoshiro256++.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        s: [u64; 4],
+    }
+
+    fn splitmix64(state: &mut u64) -> u64 {
+        *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = *state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> Self {
+            let mut sm = seed;
+            StdRng {
+                s: std::array::from_fn(|_| splitmix64(&mut sm)),
+            }
+        }
+    }
+
+    impl RngCore for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            let s = &mut self.s;
+            let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
+            let t = s[1] << 17;
+            s[2] ^= s[0];
+            s[3] ^= s[1];
+            s[1] ^= s[2];
+            s[0] ^= s[3];
+            s[2] ^= t;
+            s[3] = s[3].rotate_left(45);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..64 {
+            assert_eq!(a.next_u64_pub(), b.next_u64_pub());
+        }
+        let mut c = StdRng::seed_from_u64(8);
+        assert_ne!(a.next_u64_pub(), c.next_u64_pub());
+    }
+
+    trait NextPub {
+        fn next_u64_pub(&mut self) -> u64;
+    }
+    impl NextPub for StdRng {
+        fn next_u64_pub(&mut self) -> u64 {
+            use super::RngCore;
+            self.next_u64()
+        }
+    }
+
+    #[test]
+    fn ranges_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(1);
+        for _ in 0..1000 {
+            let v: u64 = rng.gen_range(0u64..=10);
+            assert!(v <= 10);
+            let f: f64 = rng.gen();
+            assert!((0.0..1.0).contains(&f));
+            let w = rng.gen_range(3usize..9);
+            assert!((3..9).contains(&w));
+        }
+        // Degenerate inclusive range.
+        assert_eq!(rng.gen_range(5u64..=5), 5);
+    }
+}

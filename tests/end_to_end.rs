@@ -6,7 +6,10 @@ use manetkit_repro::prelude::*;
 
 #[test]
 fn switch_olsr_to_dymo_under_traffic() {
-    let mut world = World::builder().topology(Topology::line(4)).seed(60).build();
+    let mut world = World::builder()
+        .topology(Topology::line(4))
+        .seed(60)
+        .build();
     let mut handles = Vec::new();
     for i in 0..4 {
         let (node, h) = manetkit_repro::manetkit_olsr::node(Default::default());
@@ -21,7 +24,9 @@ fn switch_olsr_to_dymo_under_traffic() {
 
     // Live switch on every node.
     for h in &handles {
-        h.apply(ReconfigOp::RemoveProtocol { name: "olsr".into() });
+        h.apply(ReconfigOp::RemoveProtocol {
+            name: "olsr".into(),
+        });
         h.apply(ReconfigOp::RemoveProtocol { name: "mpr".into() });
         h.apply(ReconfigOp::MutateSystem {
             op: Box::new(|sys| {
@@ -32,9 +37,9 @@ fn switch_olsr_to_dymo_under_traffic() {
         h.apply(ReconfigOp::AddProtocol(
             manetkit_repro::manetkit::neighbour::neighbour_detection_cf(Default::default()),
         ));
-        h.apply(ReconfigOp::AddProtocol(manetkit_repro::manetkit_dymo::dymo_cf(
-            Default::default(),
-        )));
+        h.apply(ReconfigOp::AddProtocol(
+            manetkit_repro::manetkit_dymo::dymo_cf(Default::default()),
+        ));
     }
     world.run_for(SimDuration::from_secs(5));
     for h in &handles {
@@ -49,12 +54,18 @@ fn switch_olsr_to_dymo_under_traffic() {
     world.run_for(SimDuration::from_secs(5));
     let s = world.stats();
     assert_eq!(s.data_delivered, 2, "{s:?}");
-    assert!(s.agent_counter("route_discovery") >= 1, "reactive path used");
+    assert!(
+        s.agent_counter("route_discovery") >= 1,
+        "reactive path used"
+    );
 }
 
 #[test]
 fn twenty_five_node_grid_converges_under_olsr() {
-    let mut world = World::builder().topology(Topology::grid(5, 5)).seed(61).build();
+    let mut world = World::builder()
+        .topology(Topology::grid(5, 5))
+        .seed(61)
+        .build();
     for i in 0..25 {
         let (node, _h) = manetkit_repro::manetkit_olsr::node(Default::default());
         world.install_agent(NodeId(i), Box::new(node));
@@ -106,7 +117,10 @@ fn concurrency_model_is_selectable_per_deployment() {
     use manetkit_repro::manetkit::prelude::*;
     // Same DYMO scenario under each queue discipline; behaviour identical.
     let run = |model: ConcurrencyModel| {
-        let mut world = World::builder().topology(Topology::line(3)).seed(62).build();
+        let mut world = World::builder()
+            .topology(Topology::line(3))
+            .seed(62)
+            .build();
         for i in 0..3 {
             let mut node = ManetNode::new(model);
             manetkit_repro::manetkit_dymo::deploy(node.deployment_mut(), Default::default())
@@ -125,5 +139,8 @@ fn concurrency_model_is_selectable_per_deployment() {
     let per_proto = run(ConcurrencyModel::ThreadPerProtocol);
     assert_eq!(single, (1, 1));
     assert_eq!(per_msg, single, "models must not change protocol behaviour");
-    assert_eq!(per_proto, single, "models must not change protocol behaviour");
+    assert_eq!(
+        per_proto, single,
+        "models must not change protocol behaviour"
+    );
 }

@@ -9,7 +9,10 @@ use manetkit_repro::prelude::*;
 #[test]
 fn mixed_olsr_network_interoperates() {
     // Alternate MANETKit-OLSR and monolithic olsrd along a 5-node line.
-    let mut world = World::builder().topology(Topology::line(5)).seed(50).build();
+    let mut world = World::builder()
+        .topology(Topology::line(5))
+        .seed(50)
+        .build();
     for i in 0..5 {
         if i % 2 == 0 {
             let (node, _h) = manetkit_repro::manetkit_olsr::node(Default::default());
@@ -40,7 +43,10 @@ fn mixed_olsr_network_interoperates() {
 
 #[test]
 fn mixed_dymo_network_interoperates() {
-    let mut world = World::builder().topology(Topology::line(5)).seed(51).build();
+    let mut world = World::builder()
+        .topology(Topology::line(5))
+        .seed(51)
+        .build();
     for i in 0..5 {
         if i % 2 == 0 {
             let (node, _h) = manetkit_repro::manetkit_dymo::node(Default::default());
@@ -80,7 +86,10 @@ fn baseline_and_framework_wire_formats_agree() {
     let wire = Packet::single(re.to_message()).encode_to_vec();
     let decoded = Packet::decode(&wire).unwrap();
     let msg = &decoded.messages()[0];
-    assert_eq!(msg.msg_type(), manetkit_repro::packetbb::registry::msg_type::RREQ);
+    assert_eq!(
+        msg.msg_type(),
+        manetkit_repro::packetbb::registry::msg_type::RREQ
+    );
     let back = RouteElement::from_message(msg).unwrap();
     assert_eq!(back, re);
 }

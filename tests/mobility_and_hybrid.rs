@@ -76,7 +76,11 @@ fn hybrid_zone_routing_composes_from_existing_components() {
     let in_zone = world.node_addr(2);
     let out_of_zone = world.node_addr(NODES - 1);
     assert!(world.os(NodeId(0)).route_table().lookup(in_zone).is_some());
-    assert!(world.os(NodeId(0)).route_table().lookup(out_of_zone).is_none());
+    assert!(world
+        .os(NodeId(0))
+        .route_table()
+        .lookup(out_of_zone)
+        .is_none());
 
     world.send_datagram(NodeId(0), in_zone, b"intra".to_vec());
     world.run_for(SimDuration::from_secs(1));
