@@ -1,0 +1,262 @@
+//! Chaos-engineering campaigns (E12): inject partitions, node crashes and
+//! bursty link flapping into a converged fleet and measure time-windowed
+//! delivery before, during and after the fault — the resilience half of
+//! the dynamic-deployment story.
+//!
+//! Every campaign runs the paper's 5-node line with constant-bit-rate
+//! traffic from node 0 to node 4, and slices the run into windows with
+//! [`World::take_window`]:
+//!
+//! ```text
+//! 0s ── warm-up ── 30s ── pre ── 60s ── fault ── 90s ── gap ── 120s ── post ── 150s
+//! ```
+//!
+//! The `pre` window is the healthy baseline, the `during` window shows the
+//! fault biting, the re-convergence `gap` is discarded, and the `post`
+//! window is the recovery measurement. A protocol *recovers* when its
+//! post-heal windowed delivery ratio is at least 0.9× the pre-fault
+//! window's — the E12 acceptance criterion.
+
+use std::fmt;
+
+use netsim::fault::FaultPlan;
+use netsim::{
+    GilbertElliott, LinkModel, NodeId, SimDuration, SimTime, Topology, World, WorldStats,
+};
+
+use crate::scenarios::{mkit_aodv_factory, mkit_dymo_factory, mkit_olsr_factory, AgentFactory};
+
+/// Node count of the campaign topology (the paper's 5-node line).
+pub const NODES: usize = 5;
+
+/// Seconds of warm-up before the first measured window.
+pub const WARMUP_S: u64 = 30;
+/// Second at which the fault is injected (end of the `pre` window).
+pub const FAULT_S: u64 = 60;
+/// Second at which the fault heals (end of the `during` window).
+pub const HEAL_S: u64 = 90;
+/// Start of the `post` window, after the re-convergence gap.
+pub const POST_START_S: u64 = 120;
+/// End of the `post` window and of CBR traffic.
+pub const POST_END_S: u64 = 150;
+
+fn secs(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(n)
+}
+
+/// Windowed delivery measurements around one injected fault.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RecoveryReport {
+    /// Healthy pre-fault window.
+    pub pre: WorldStats,
+    /// Window while the fault is active.
+    pub during: WorldStats,
+    /// Post-heal window, taken after the re-convergence gap.
+    pub post: WorldStats,
+    /// Cumulative statistics for the whole run.
+    pub total: WorldStats,
+}
+
+impl RecoveryReport {
+    /// Delivery ratio of the pre-fault window.
+    #[must_use]
+    pub fn pre_ratio(&self) -> f64 {
+        self.pre.delivery_ratio()
+    }
+
+    /// Delivery ratio while the fault was active.
+    #[must_use]
+    pub fn during_ratio(&self) -> f64 {
+        self.during.delivery_ratio()
+    }
+
+    /// Delivery ratio of the post-heal window.
+    #[must_use]
+    pub fn post_ratio(&self) -> f64 {
+        self.post.delivery_ratio()
+    }
+
+    /// The E12 acceptance criterion: traffic flowed in both measured
+    /// windows and post-heal delivery is at least 0.9× the pre-fault
+    /// baseline.
+    #[must_use]
+    pub fn recovered(&self) -> bool {
+        self.pre.data_sent > 0
+            && self.post.data_sent > 0
+            && self.post_ratio() >= 0.9 * self.pre_ratio()
+    }
+}
+
+impl fmt::Display for RecoveryReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "pre {:5.1}% | during {:5.1}% | post {:5.1}% ({})",
+            100.0 * self.pre_ratio(),
+            100.0 * self.during_ratio(),
+            100.0 * self.post_ratio(),
+            if self.recovered() {
+                "recovered"
+            } else {
+                "NOT recovered"
+            }
+        )
+    }
+}
+
+/// Runs one campaign: 5-node line, CBR traffic node 0 → node 4 at 4 pkt/s
+/// across the measured phases, the given fault plan and link model, and
+/// windowed measurement per the module timeline.
+#[must_use]
+pub fn run_campaign(
+    make: &AgentFactory,
+    seed: u64,
+    plan: FaultPlan,
+    link: LinkModel,
+) -> RecoveryReport {
+    let mut world = World::builder()
+        .topology(Topology::line(NODES))
+        .seed(seed)
+        .link_model(link)
+        .fault_plan(plan)
+        .build();
+    for i in 0..NODES {
+        world.install_agent(NodeId(i), make());
+    }
+    // CBR source, offset off the window boundaries so every send falls
+    // unambiguously inside one window.
+    let dst = world.node_addr(NODES - 1);
+    let mut t = secs(WARMUP_S) + SimDuration::from_millis(125);
+    let mut k = 0u64;
+    while t < secs(POST_END_S) {
+        world.send_datagram_at(t, NodeId(0), dst, vec![(k & 0xff) as u8]);
+        t += SimDuration::from_millis(250);
+        k += 1;
+    }
+
+    world.run_until(secs(WARMUP_S));
+    world.take_window(); // discard the warm-up window
+    world.run_until(secs(FAULT_S));
+    let pre = world.take_window();
+    world.run_until(secs(HEAL_S));
+    let during = world.take_window();
+    world.run_until(secs(POST_START_S));
+    world.take_window(); // discard the re-convergence gap
+    world.run_until(secs(POST_END_S) + SimDuration::from_secs(1));
+    let post = world.take_window();
+    RecoveryReport {
+        pre,
+        during,
+        post,
+        total: world.stats(),
+    }
+}
+
+/// Partition campaign: the line is cut between nodes 2 and 3 for the
+/// fault window, severing the CBR flow, then healed.
+#[must_use]
+pub fn partition_campaign(make: &AgentFactory, seed: u64) -> RecoveryReport {
+    let plan = FaultPlan::builder(seed)
+        .partition(
+            secs(FAULT_S),
+            secs(HEAL_S),
+            "chaos-cut",
+            vec![
+                vec![NodeId(0), NodeId(1), NodeId(2)],
+                vec![NodeId(3), NodeId(4)],
+            ],
+        )
+        .build();
+    run_campaign(make, seed, plan, LinkModel::default())
+}
+
+/// Crash campaign: the mid-line relay (node 2) crashes for the fault
+/// window — route table flushed, buffered packets dropped — then reboots
+/// cold and must rejoin the network.
+#[must_use]
+pub fn crash_campaign(make: &AgentFactory, seed: u64) -> RecoveryReport {
+    let plan = FaultPlan::builder(seed)
+        .crash_for(
+            secs(FAULT_S),
+            NodeId(NODES / 2),
+            SimDuration::from_secs(HEAL_S - FAULT_S),
+        )
+        .build();
+    run_campaign(make, seed, plan, LinkModel::default())
+}
+
+/// Flap campaign: every link runs a Gilbert–Elliott bursty-loss chain for
+/// the whole run. The "fault" is stationary, so recovery here means the
+/// protocol holds its delivery ratio window over window despite the
+/// flapping (short near-total-loss bursts, ≈4% stationary loss).
+#[must_use]
+pub fn flap_campaign(make: &AgentFactory, seed: u64) -> RecoveryReport {
+    let link = LinkModel {
+        burst: Some(GilbertElliott {
+            p_bad: 0.02,
+            p_good: 0.5,
+            loss_good: 0.0,
+            loss_bad: 0.9,
+        }),
+        ..LinkModel::default()
+    };
+    run_campaign(make, seed, FaultPlan::builder(seed).build(), link)
+}
+
+/// The MANETKit protocol stacks every campaign is run against.
+#[must_use]
+pub fn protocol_factories() -> Vec<(&'static str, AgentFactory)> {
+    vec![
+        ("mkit-olsr", mkit_olsr_factory()),
+        ("mkit-dymo", mkit_dymo_factory()),
+        ("mkit-aodv", mkit_aodv_factory()),
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn partition_campaign_recovers_for_every_protocol() {
+        for (name, make) in protocol_factories() {
+            let r = partition_campaign(&make, 7);
+            assert_eq!(r.total.partitions_started, 1, "{name}");
+            assert_eq!(r.total.partitions_healed, 1, "{name}");
+            assert!(
+                r.during_ratio() < 0.5,
+                "{name}: partition did not bite: {r}"
+            );
+            assert!(r.recovered(), "{name} failed to recover: {r}");
+        }
+    }
+
+    #[test]
+    fn crash_campaign_recovers_for_every_protocol() {
+        for (name, make) in protocol_factories() {
+            let r = crash_campaign(&make, 7);
+            assert_eq!(r.total.node_crashes, 1, "{name}");
+            assert_eq!(r.total.node_reboots, 1, "{name}");
+            assert!(r.during_ratio() < 0.5, "{name}: crash did not bite: {r}");
+            assert!(r.recovered(), "{name} failed to recover: {r}");
+        }
+    }
+
+    #[test]
+    fn flap_campaign_sustains_delivery() {
+        for (name, make) in protocol_factories() {
+            let r = flap_campaign(&make, 7);
+            assert!(r.total.link_flaps > 0, "{name}: no bursts fired");
+            assert!(r.recovered(), "{name} degraded under flapping: {r}");
+        }
+    }
+
+    #[test]
+    fn same_seed_campaign_replays_identically() {
+        let make = mkit_olsr_factory();
+        let a = partition_campaign(&make, 11);
+        let b = partition_campaign(&make, 11);
+        assert_eq!(a.total, b.total, "whole-run stats must be byte-identical");
+        assert_eq!((a.pre, a.during, a.post), (b.pre, b.during, b.post));
+    }
+}

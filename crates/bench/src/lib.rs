@@ -6,10 +6,14 @@
 #![warn(missing_docs)]
 #![forbid(unsafe_code)]
 
+pub mod chaos;
 pub mod footprint;
 pub mod reuse;
 pub mod scenarios;
 
+pub use chaos::{
+    crash_campaign, flap_campaign, partition_campaign, protocol_factories, RecoveryReport,
+};
 pub use scenarios::{
     dymo_route_establishment, olsr_route_establishment, AgentFactory, RouteEstablishment,
 };

@@ -46,6 +46,15 @@ pub fn dymoum_factory() -> AgentFactory {
     Box::new(|| Box::new(Dymoum::new()))
 }
 
+/// Factory for MANETKit AODV nodes.
+#[must_use]
+pub fn mkit_aodv_factory() -> AgentFactory {
+    Box::new(|| {
+        let (node, _handle) = manetkit_aodv::node(Default::default());
+        Box::new(node)
+    })
+}
+
 fn step_until(world: &mut World, deadline: SimTime, mut done: impl FnMut(&World) -> bool) -> bool {
     while world.now() < deadline {
         if done(world) {

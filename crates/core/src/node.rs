@@ -157,7 +157,7 @@ pub struct DeploymentStats {
 }
 
 /// A status snapshot shared with [`NodeHandle`]s.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Clone)]
 pub struct NodeStatus {
     /// Deployed protocol names, in stack order.
     pub protocols: Vec<String>,
@@ -165,8 +165,25 @@ pub struct NodeStatus {
     pub reconfigs_applied: u64,
     /// Most recent reconfiguration failure, if any.
     pub last_error: Option<String>,
+    /// Whether the node is running. Set to `false` when the simulated node
+    /// crashes (fault injection); back to `true` once the rebooted node
+    /// publishes its first status. Operations enqueued while dead stay
+    /// pending and are applied at the first post-reboot quiescent point.
+    pub alive: bool,
     /// Deployment counters.
     pub stats: DeploymentStats,
+}
+
+impl Default for NodeStatus {
+    fn default() -> Self {
+        NodeStatus {
+            protocols: Vec::new(),
+            reconfigs_applied: 0,
+            last_error: None,
+            alive: true,
+            stats: DeploymentStats::default(),
+        }
+    }
 }
 
 struct Slot {
@@ -839,6 +856,23 @@ impl NodeHandle {
     pub fn pending_ops(&self) -> usize {
         self.ops.lock().len()
     }
+
+    /// Discards every operation still waiting for a quiescent point and
+    /// returns how many were dropped (give-up path for nodes that will not
+    /// come back).
+    pub fn clear_pending(&self) -> usize {
+        let mut ops = self.ops.lock();
+        let dropped = ops.len();
+        ops.clear();
+        dropped
+    }
+
+    /// Whether the node last reported itself running (see
+    /// [`NodeStatus::alive`]).
+    #[must_use]
+    pub fn is_alive(&self) -> bool {
+        self.status.lock().alive
+    }
 }
 
 impl fmt::Debug for NodeHandle {
@@ -892,8 +926,12 @@ impl ManetNode {
     fn quiescent_point(&mut self, os: &mut NodeOs) {
         let ops: Vec<ReconfigOp> = std::mem::take(&mut *self.ops.lock());
         for op in ops {
-            if let Err(e) = self.deployment.apply(op, os) {
-                self.status.lock().last_error = Some(e.to_string());
+            match self.deployment.apply(op, os) {
+                Ok(()) => os.bump("reconfig.ops_applied"),
+                Err(e) => {
+                    os.bump("reconfig.ops_failed");
+                    self.status.lock().last_error = Some(e.to_string());
+                }
             }
         }
     }
@@ -903,6 +941,7 @@ impl ManetNode {
         status.protocols = self.deployment.protocol_names();
         status.stats = self.deployment.stats();
         status.reconfigs_applied = status.stats.reconfigs_applied;
+        status.alive = true;
     }
 }
 
@@ -958,5 +997,13 @@ impl netsim::RoutingAgent for ManetNode {
         self.deployment.stop(os);
         self.deployment.flush_telemetry(os);
         self.publish_status();
+    }
+
+    fn on_crash(&mut self, _os: &mut NodeOs) {
+        // The node goes dark without a clean shutdown. Pending handle ops
+        // deliberately survive: they drain at the first post-reboot
+        // quiescent point, which is how the fleet coordinator's deferred
+        // reconfigurations eventually apply.
+        self.status.lock().alive = false;
     }
 }

@@ -8,6 +8,8 @@
 //! (or which ones failed) — the per-node half of a closed control loop
 //! whose decision making the paper delegates to higher-level software.
 
+use std::fmt;
+
 use crate::node::{NodeHandle, ReconfigOp};
 
 /// Coordinates reconfiguration over many node handles.
@@ -23,6 +25,11 @@ pub struct FleetStatus {
     pub pending: usize,
     /// `(node index, error)` for nodes whose last operation failed.
     pub failures: Vec<(usize, String)>,
+    /// Nodes that are currently down (crashed or battery-dead) with
+    /// operations waiting for them. Deferred is not failure: the pending
+    /// operations apply automatically at the node's first post-reboot
+    /// quiescent point.
+    pub deferred: Vec<usize>,
 }
 
 impl FleetStatus {
@@ -30,6 +37,22 @@ impl FleetStatus {
     #[must_use]
     pub fn converged(&self) -> bool {
         self.pending == 0 && self.failures.is_empty()
+    }
+}
+
+impl fmt::Display for FleetStatus {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.converged() {
+            return write!(f, "converged");
+        }
+        write!(f, "pending {}", self.pending)?;
+        if !self.deferred.is_empty() {
+            write!(f, " (deferred on down nodes {:?})", self.deferred)?;
+        }
+        for (node, err) in &self.failures {
+            write!(f, "; node {node} failed: {err}")?;
+        }
+        Ok(())
     }
 }
 
@@ -77,18 +100,64 @@ impl FleetCoordinator {
         }
     }
 
+    /// Enqueues the operations produced by `recipe` on every node, with
+    /// crash-aware reporting: the recipe lands on every handle (so nodes
+    /// that are down pick it up at their first post-reboot quiescent
+    /// point), and the returned list names the nodes that were down at
+    /// enqueue time — deferred, distinct from a real apply failure.
+    ///
+    /// There is no coordinator-side retry loop to run: the per-node ops
+    /// queue *is* the retry mechanism. Use [`status`](Self::status) to
+    /// watch deferral drain, or [`give_up_deferred`](Self::give_up_deferred)
+    /// to abandon nodes that will not come back.
+    pub fn apply_all_with_retry(&self, recipe: impl Fn() -> Vec<ReconfigOp>) -> Vec<usize> {
+        let mut deferred = Vec::new();
+        for (i, handle) in self.handles.iter().enumerate() {
+            if !handle.is_alive() {
+                deferred.push(i);
+            }
+            for op in recipe() {
+                handle.apply(op);
+            }
+        }
+        deferred
+    }
+
+    /// Drops the pending operations of every node that is currently down,
+    /// returning `(node index, operations dropped)` per affected node —
+    /// the give-up path when a deferred reconfiguration should no longer
+    /// apply on reboot.
+    pub fn give_up_deferred(&self) -> Vec<(usize, usize)> {
+        let mut abandoned = Vec::new();
+        for (i, handle) in self.handles.iter().enumerate() {
+            if !handle.is_alive() && handle.pending_ops() > 0 {
+                abandoned.push((i, handle.clear_pending()));
+            }
+        }
+        abandoned
+    }
+
     /// Snapshots fleet convergence.
     #[must_use]
     pub fn status(&self) -> FleetStatus {
         let mut pending = 0;
         let mut failures = Vec::new();
+        let mut deferred = Vec::new();
         for (i, handle) in self.handles.iter().enumerate() {
-            pending += handle.pending_ops();
+            let node_pending = handle.pending_ops();
+            pending += node_pending;
             if let Some(err) = handle.status().last_error {
                 failures.push((i, err));
             }
+            if node_pending > 0 && !handle.is_alive() {
+                deferred.push(i);
+            }
         }
-        FleetStatus { pending, failures }
+        FleetStatus {
+            pending,
+            failures,
+            deferred,
+        }
     }
 
     /// Protocol stacks per node, for post-reconfiguration verification.
@@ -103,5 +172,99 @@ impl FleetCoordinator {
         self.stacks()
             .iter()
             .all(|s| s.iter().map(String::as_str).eq(stack.iter().copied()))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    use netsim::fault::FaultPlan;
+    use netsim::{NodeId, SimDuration, SimTime, Topology, World};
+
+    use crate::concurrency::ConcurrencyModel;
+    use crate::neighbour::{hello_registration, neighbour_detection_cf};
+    use crate::node::ManetNode;
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(n)
+    }
+
+    /// Builds a two-node world of neighbour-detection deployments and
+    /// returns it with the fleet handles.
+    fn fleet_world(plan: FaultPlan) -> (World, FleetCoordinator) {
+        let mut world = World::builder()
+            .topology(Topology::full(2))
+            .seed(42)
+            .fault_plan(plan)
+            .build();
+        let mut fleet = FleetCoordinator::default();
+        for i in 0..2 {
+            let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);
+            node.deployment_mut()
+                .system_mut()
+                .register_message(hello_registration());
+            node.deployment_mut()
+                .add_protocol_offline(neighbour_detection_cf(Default::default()))
+                .expect("fresh deployment accepts the protocol");
+            fleet.add(node.handle());
+            world.install_agent(NodeId(i), Box::new(node));
+        }
+        (world, fleet)
+    }
+
+    #[test]
+    fn apply_all_with_retry_defers_on_crashed_node_and_applies_on_reboot() {
+        let plan = FaultPlan::builder(0)
+            .crash_for(ms(500), NodeId(1), SimDuration::from_millis(1_500))
+            .build();
+        let (mut world, fleet) = fleet_world(plan);
+        world.run_until(ms(1_000));
+        assert!(!world.node_up(NodeId(1)));
+
+        let deferred =
+            fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
+        assert_eq!(deferred, vec![1], "the crashed node is reported deferred");
+
+        let status = fleet.status();
+        assert!(!status.converged());
+        assert!(status.pending >= 1);
+        assert_eq!(status.deferred, vec![1]);
+        assert!(
+            status.to_string().contains("deferred on down nodes [1]"),
+            "Display names the deferral: {status}"
+        );
+
+        // The reboot at 2 s restarts the agent; its first quiescent point
+        // drains the deferred op. Node 0 drains at its next HELLO tick.
+        world.run_until(ms(4_000));
+        let status = fleet.status();
+        assert!(status.converged(), "not converged: {status}");
+        assert!(status.deferred.is_empty());
+        assert_eq!(status.to_string(), "converged");
+        assert_eq!(
+            world.stats().agent_counter("reconfig.ops_applied"),
+            2,
+            "both nodes applied the recipe exactly once"
+        );
+    }
+
+    #[test]
+    fn give_up_deferred_drops_pending_ops_of_dead_nodes() {
+        // Crash with no reboot scheduled: the node never comes back.
+        let plan = FaultPlan::builder(0).crash(ms(500), NodeId(1)).build();
+        let (mut world, fleet) = fleet_world(plan);
+        world.run_until(ms(1_000));
+
+        let deferred =
+            fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
+        assert_eq!(deferred, vec![1]);
+
+        // Node 0 applies at its next quiescent point; node 1 never will.
+        world.run_until(ms(2_500));
+        let abandoned = fleet.give_up_deferred();
+        assert_eq!(abandoned, vec![(1, 1)]);
+        let status = fleet.status();
+        assert!(status.converged(), "give-up clears the deferral: {status}");
     }
 }

@@ -92,4 +92,12 @@ pub trait RoutingAgent: Send {
 
     /// Called when the agent is removed or the world shuts down.
     fn stop(&mut self, _os: &mut NodeOs) {}
+
+    /// The node crashed (fault injection): the agent is being suspended
+    /// without a clean shutdown — no further callbacks run until a reboot
+    /// restarts it via [`start`](Self::start) (or replaces it via a
+    /// reboot factory). Implementations must not queue actions here; any
+    /// queued action is discarded, exactly as a real crash would lose
+    /// in-flight work. The default does nothing.
+    fn on_crash(&mut self, _os: &mut NodeOs) {}
 }

@@ -18,6 +18,9 @@
 //!   to live on a node (MANETKit nodes and the monolithic baselines both
 //!   implement it).
 //! * [`traffic`] — workload generators (CBR flows).
+//! * [`fault`] — deterministic fault injection: scheduled node crashes,
+//!   reboots, named partitions, battery exhaustion, seeded churn and
+//!   frame-level chaos, replayable per plan seed.
 //!
 //! # Example
 //!
@@ -49,22 +52,24 @@ mod time;
 mod topology;
 mod world;
 
+pub mod fault;
 pub mod mobility;
 pub mod traffic;
 
 pub use agent::{ContextSample, FilterEvent, RoutingAgent};
+pub use fault::{FaultEntry, FaultKind, FaultPlan, FaultPlanBuilder, FrameChaos};
 pub use os::{BatteryModel, NodeOs, TimerToken};
 pub use packet::{DataPacket, Frame, NodeId};
 pub use route::{KernelRouteTable, RouteEntry};
 pub use stats::WorldStats;
 pub use time::{SimDuration, SimTime};
-pub use topology::{LinkModel, LinkState, Topology};
-pub use world::{World, WorldBuilder};
+pub use topology::{GilbertElliott, LinkModel, LinkPhase, LinkState, Topology};
+pub use world::{RebootFactory, World, WorldBuilder};
 
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::{
-        ContextSample, DataPacket, FilterEvent, KernelRouteTable, NodeId, NodeOs, RoutingAgent,
-        SimDuration, SimTime, Topology, World,
+        ContextSample, DataPacket, FaultPlan, FilterEvent, FrameChaos, KernelRouteTable, NodeId,
+        NodeOs, RoutingAgent, SimDuration, SimTime, Topology, World,
     };
 }

@@ -70,6 +70,18 @@ impl Battery {
     pub(crate) fn level(&self) -> f64 {
         (1.0 - self.used / self.model.capacity).clamp(0.0, 1.0)
     }
+
+    /// Forces the battery empty (fault injection: battery exhaustion).
+    pub(crate) fn exhaust(&mut self) {
+        self.used = self.model.capacity;
+    }
+
+    /// Restores a full charge as of `now` (fault injection: reboot with a
+    /// fresh battery).
+    pub(crate) fn recharge(&mut self, now: SimTime) {
+        self.used = 0.0;
+        self.last_idle_update = now;
+    }
 }
 
 /// Deferred effects an agent callback produced, applied by the world after
@@ -260,6 +272,19 @@ impl NodeOs {
         self.seq = self.seq.wrapping_add(1);
         self.seq
     }
+
+    /// Crash semantics at the OS level: flush the kernel route table, drop
+    /// the netfilter buffer and discard any queued actions and timer
+    /// bookkeeping. Returns the number of buffered packets dropped.
+    /// Counters survive (they are cumulative run statistics, not state).
+    pub(crate) fn crash_flush(&mut self) -> usize {
+        let dropped = self.nf_buffer.values().map(VecDeque::len).sum();
+        self.nf_buffer.clear();
+        self.route_table.clear();
+        self.actions.clear();
+        self.cancelled_timers.clear();
+        dropped
+    }
 }
 
 #[cfg(test)]
@@ -318,6 +343,37 @@ mod tests {
         assert_eq!(b.level(), 0.0);
         b.drain_tx(1); // stays clamped
         assert_eq!(b.level(), 0.0);
+    }
+
+    #[test]
+    fn crash_flush_clears_os_state_but_keeps_counters() {
+        let mut os = os();
+        os.bump("rreq");
+        os.route_table_mut().add_host_route(
+            Address::v4([10, 0, 0, 9]),
+            Address::v4([10, 0, 0, 2]),
+            1,
+        );
+        os.nf_buffer.entry(Address::v4([10, 0, 0, 9])).or_default();
+        os.broadcast_control(vec![1]);
+        os.cancel_timer(3);
+        let dropped = os.crash_flush();
+        assert_eq!(dropped, 0, "empty queue drops nothing");
+        assert!(os.route_table().is_empty());
+        assert!(os.nf_buffer.is_empty());
+        assert!(os.actions.is_empty());
+        assert!(os.cancelled_timers.is_empty());
+        assert_eq!(os.counter("rreq"), 1, "counters are run statistics");
+    }
+
+    #[test]
+    fn battery_exhaust_and_recharge() {
+        let mut b = Battery::new(BatteryModel::default());
+        b.exhaust();
+        assert_eq!(b.level(), 0.0);
+        b.recharge(SimTime::from_micros(5));
+        assert_eq!(b.level(), 1.0);
+        assert_eq!(b.last_idle_update, SimTime::from_micros(5));
     }
 
     #[test]

@@ -8,12 +8,18 @@ use crate::time::SimDuration;
 ///
 /// Control-plane load is what the paper's ablations compare (flooding
 /// overhead, TC dissemination cost); the data-plane numbers support
-/// delivery-ratio and latency claims.
+/// delivery-ratio and latency claims; the fault counters record what the
+/// chaos engine did to the run so recovery can be attributed.
+///
+/// `WorldStats` is plain data: subtracting one snapshot from an earlier
+/// one with [`delta_since`](Self::delta_since) yields a *windowed*
+/// snapshot, which is how time-to-reconverge is measured (delivery ratio
+/// in the post-heal window recovering toward the pre-fault window).
 #[derive(Debug, Clone, Default, PartialEq)]
 pub struct WorldStats {
     /// Data packets handed to the data plane by applications.
     pub data_sent: u64,
-    /// Data packets delivered at their destination.
+    /// Data packets delivered at their destination (first copy only).
     pub data_delivered: u64,
     /// Data packets dropped: TTL exhausted.
     pub data_dropped_ttl: u64,
@@ -21,18 +27,47 @@ pub struct WorldStats {
     pub data_dropped_link: u64,
     /// Data packets dropped from a full netfilter buffer or explicit drop.
     pub data_dropped_buffer: u64,
+    /// Data frames dropped at or through a crashed (or battery-dead) node,
+    /// including netfilter buffers flushed by the crash itself.
+    pub data_dropped_crash: u64,
+    /// Data frames that arrived corrupted and failed their CRC.
+    pub data_corrupted: u64,
+    /// Data frames duplicated in flight by the chaos engine.
+    pub data_duplicated: u64,
+    /// Duplicate copies that reached the destination (not counted in
+    /// [`data_delivered`](Self::data_delivered)).
+    pub data_dup_delivered: u64,
+    /// Data frames held back by the reordering process.
+    pub data_reordered: u64,
     /// Data-plane hop transmissions (each forwarding counts once).
     pub data_hops: u64,
     /// Sum of end-to-end delivery latencies (for mean computation).
     pub delivery_latency_total: SimDuration,
+    /// Every end-to-end delivery latency, in microseconds, in delivery
+    /// order. Feeds the exact p50/p95 quantiles; memory is O(delivered).
+    pub delivery_latencies_us: Vec<u64>,
     /// Control frames transmitted (each broadcast counts once per sender).
     pub control_frames: u64,
     /// Control bytes transmitted (wire size, once per sender).
     pub control_bytes: u64,
     /// Control frames received by agents (per receiver).
     pub control_received: u64,
-    /// Control frames lost to the loss model.
+    /// Control frames lost to the loss model, dead links or dead nodes.
     pub control_lost: u64,
+    /// Faults injected by the fault plan (all kinds).
+    pub faults_injected: u64,
+    /// Node crash events enacted.
+    pub node_crashes: u64,
+    /// Node reboot events enacted.
+    pub node_reboots: u64,
+    /// Battery exhaustion events enacted.
+    pub battery_exhaustions: u64,
+    /// Named partitions activated.
+    pub partitions_started: u64,
+    /// Named partitions healed.
+    pub partitions_healed: u64,
+    /// Gilbert–Elliott links flipping into their bursty `Bad` phase.
+    pub link_flaps: u64,
     /// Per-node named counters bumped by agents, merged at read time.
     pub agent_counters: HashMap<String, u64>,
 }
@@ -47,13 +82,106 @@ impl WorldStats {
         self.data_delivered as f64 / self.data_sent as f64
     }
 
-    /// Mean end-to-end latency of delivered packets.
+    /// Mean end-to-end latency of delivered packets, rounded to the
+    /// nearest microsecond.
     #[must_use]
     pub fn mean_delivery_latency(&self) -> SimDuration {
         if self.data_delivered == 0 {
             return SimDuration::ZERO;
         }
-        SimDuration::from_micros(self.delivery_latency_total.as_micros() / self.data_delivered)
+        let total = self.delivery_latency_total.as_micros();
+        let n = self.data_delivered;
+        SimDuration::from_micros((total + n / 2) / n)
+    }
+
+    /// Exact delivery-latency quantile (nearest-rank) for `q` in `[0, 1]`.
+    /// Returns zero when nothing was delivered.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is not a probability.
+    #[must_use]
+    pub fn delivery_latency_quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.delivery_latencies_us.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.delivery_latencies_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        SimDuration::from_micros(sorted[idx])
+    }
+
+    /// Median end-to-end delivery latency.
+    #[must_use]
+    pub fn p50_delivery_latency(&self) -> SimDuration {
+        self.delivery_latency_quantile(0.50)
+    }
+
+    /// 95th-percentile end-to-end delivery latency.
+    #[must_use]
+    pub fn p95_delivery_latency(&self) -> SimDuration {
+        self.delivery_latency_quantile(0.95)
+    }
+
+    /// The window of activity between an earlier snapshot and this one:
+    /// every counter becomes the delta, and the latency series keeps only
+    /// the deliveries that happened after `base` was taken.
+    ///
+    /// All counters are monotonic, so with `base` taken from the same run
+    /// the subtraction is exact; a foreign `base` saturates at zero.
+    #[must_use]
+    pub fn delta_since(&self, base: &WorldStats) -> WorldStats {
+        let mut agent_counters = HashMap::new();
+        for (name, v) in &self.agent_counters {
+            let before = base.agent_counters.get(name).copied().unwrap_or(0);
+            agent_counters.insert(name.clone(), v.saturating_sub(before));
+        }
+        let latency_from = base
+            .delivery_latencies_us
+            .len()
+            .min(self.delivery_latencies_us.len());
+        WorldStats {
+            data_sent: self.data_sent.saturating_sub(base.data_sent),
+            data_delivered: self.data_delivered.saturating_sub(base.data_delivered),
+            data_dropped_ttl: self.data_dropped_ttl.saturating_sub(base.data_dropped_ttl),
+            data_dropped_link: self
+                .data_dropped_link
+                .saturating_sub(base.data_dropped_link),
+            data_dropped_buffer: self
+                .data_dropped_buffer
+                .saturating_sub(base.data_dropped_buffer),
+            data_dropped_crash: self
+                .data_dropped_crash
+                .saturating_sub(base.data_dropped_crash),
+            data_corrupted: self.data_corrupted.saturating_sub(base.data_corrupted),
+            data_duplicated: self.data_duplicated.saturating_sub(base.data_duplicated),
+            data_dup_delivered: self
+                .data_dup_delivered
+                .saturating_sub(base.data_dup_delivered),
+            data_reordered: self.data_reordered.saturating_sub(base.data_reordered),
+            data_hops: self.data_hops.saturating_sub(base.data_hops),
+            delivery_latency_total: self.delivery_latency_total - base.delivery_latency_total,
+            delivery_latencies_us: self.delivery_latencies_us[latency_from..].to_vec(),
+            control_frames: self.control_frames.saturating_sub(base.control_frames),
+            control_bytes: self.control_bytes.saturating_sub(base.control_bytes),
+            control_received: self.control_received.saturating_sub(base.control_received),
+            control_lost: self.control_lost.saturating_sub(base.control_lost),
+            faults_injected: self.faults_injected.saturating_sub(base.faults_injected),
+            node_crashes: self.node_crashes.saturating_sub(base.node_crashes),
+            node_reboots: self.node_reboots.saturating_sub(base.node_reboots),
+            battery_exhaustions: self
+                .battery_exhaustions
+                .saturating_sub(base.battery_exhaustions),
+            partitions_started: self
+                .partitions_started
+                .saturating_sub(base.partitions_started),
+            partitions_healed: self
+                .partitions_healed
+                .saturating_sub(base.partitions_healed),
+            link_flaps: self.link_flaps.saturating_sub(base.link_flaps),
+            agent_counters,
+        }
     }
 
     /// Reads a merged agent counter by name.
@@ -83,6 +211,70 @@ mod tests {
         s.delivery_latency_total = SimDuration::from_millis(30);
         assert!((s.delivery_ratio() - 0.75).abs() < 1e-9);
         assert_eq!(s.mean_delivery_latency(), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn mean_rounds_to_nearest_microsecond() {
+        let mut s = WorldStats {
+            data_delivered: 3,
+            ..WorldStats::default()
+        };
+        // 10 µs over 3 deliveries: 3.33 µs → rounds to 3 µs.
+        s.delivery_latency_total = SimDuration::from_micros(10);
+        assert_eq!(s.mean_delivery_latency(), SimDuration::from_micros(3));
+        // 11 µs over 3: 3.67 µs → rounds up to 4 µs (the seed truncated to 3).
+        s.delivery_latency_total = SimDuration::from_micros(11);
+        assert_eq!(s.mean_delivery_latency(), SimDuration::from_micros(4));
+    }
+
+    #[test]
+    fn quantiles_are_exact() {
+        let mut s = WorldStats::default();
+        assert_eq!(s.p50_delivery_latency(), SimDuration::ZERO);
+        assert_eq!(s.p95_delivery_latency(), SimDuration::ZERO);
+        // Deliveries arrive out of order; quantiles sort internally.
+        s.delivery_latencies_us = vec![50, 10, 40, 20, 30];
+        assert_eq!(s.p50_delivery_latency(), SimDuration::from_micros(30));
+        assert_eq!(s.p95_delivery_latency(), SimDuration::from_micros(50));
+        assert_eq!(
+            s.delivery_latency_quantile(0.0),
+            SimDuration::from_micros(10)
+        );
+        let tail: Vec<u64> = (1..=100).collect();
+        s.delivery_latencies_us = tail;
+        assert_eq!(s.p95_delivery_latency(), SimDuration::from_micros(95));
+    }
+
+    #[test]
+    fn delta_since_windows_counters_and_latencies() {
+        let mut base = WorldStats {
+            data_sent: 10,
+            data_delivered: 8,
+            delivery_latencies_us: vec![5, 5],
+            delivery_latency_total: SimDuration::from_micros(10),
+            ..WorldStats::default()
+        };
+        base.agent_counters.insert("hello".into(), 4);
+
+        let mut later = base.clone();
+        later.data_sent = 25;
+        later.data_delivered = 20;
+        later.node_crashes = 1;
+        later.delivery_latencies_us = vec![5, 5, 9, 11];
+        later.delivery_latency_total = SimDuration::from_micros(30);
+        later.agent_counters.insert("hello".into(), 7);
+
+        let w = later.delta_since(&base);
+        assert_eq!(w.data_sent, 15);
+        assert_eq!(w.data_delivered, 12);
+        assert_eq!(w.node_crashes, 1);
+        assert_eq!(w.delivery_latencies_us, vec![9, 11]);
+        assert_eq!(w.delivery_latency_total, SimDuration::from_micros(20));
+        assert_eq!(w.agent_counter("hello"), 3);
+        // Windowing an identical snapshot yields the zero window.
+        let zero = later.delta_since(&later);
+        assert_eq!(zero.data_sent, 0);
+        assert!(zero.delivery_latencies_us.is_empty());
     }
 
     #[test]

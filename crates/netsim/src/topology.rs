@@ -20,6 +20,76 @@ pub enum LinkState {
     Down,
 }
 
+/// Which phase of the Gilbert–Elliott two-state chain a link is in.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum LinkPhase {
+    /// Low-loss phase.
+    #[default]
+    Good,
+    /// Bursty high-loss phase.
+    Bad,
+}
+
+/// A Gilbert–Elliott bursty loss model: a per-link two-state Markov chain
+/// stepped once per transmission. In the `Good` phase frames are lost with
+/// probability [`loss_good`](Self::loss_good); in the `Bad` phase with
+/// [`loss_bad`](Self::loss_bad). This upgrades the i.i.d.
+/// [`LinkModel::loss`] with temporally correlated loss bursts — link
+/// flapping as a protocol under test experiences it.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct GilbertElliott {
+    /// Per-transmission probability of entering the `Bad` phase from `Good`.
+    pub p_bad: f64,
+    /// Per-transmission probability of recovering `Good` from `Bad`.
+    pub p_good: f64,
+    /// Loss probability while `Good` (usually near zero).
+    pub loss_good: f64,
+    /// Loss probability while `Bad` (usually near one).
+    pub loss_bad: f64,
+}
+
+impl GilbertElliott {
+    /// A classic flapping profile: mostly clean, occasionally dropping
+    /// into a near-total-loss burst. `p_bad` controls burst frequency,
+    /// `p_good` burst length (expected burst ≈ `1/p_good` transmissions).
+    #[must_use]
+    pub fn flappy(p_bad: f64, p_good: f64) -> Self {
+        GilbertElliott {
+            p_bad,
+            p_good,
+            loss_good: 0.0,
+            loss_bad: 0.95,
+        }
+    }
+
+    /// Advances the chain one transmission and samples loss in the
+    /// resulting phase. The caller owns the per-link phase.
+    #[must_use]
+    pub fn sample(&self, phase: &mut LinkPhase, rng: &mut StdRng) -> bool {
+        *phase = match *phase {
+            LinkPhase::Good if rng.gen::<f64>() < self.p_bad => LinkPhase::Bad,
+            LinkPhase::Bad if rng.gen::<f64>() < self.p_good => LinkPhase::Good,
+            unchanged => unchanged,
+        };
+        let loss = match *phase {
+            LinkPhase::Good => self.loss_good,
+            LinkPhase::Bad => self.loss_bad,
+        };
+        loss > 0.0 && rng.gen::<f64>() < loss
+    }
+
+    /// The stationary (long-run) loss probability of the chain.
+    #[must_use]
+    pub fn stationary_loss(&self) -> f64 {
+        let denom = self.p_bad + self.p_good;
+        if denom == 0.0 {
+            return self.loss_good;
+        }
+        let frac_bad = self.p_bad / denom;
+        (1.0 - frac_bad) * self.loss_good + frac_bad * self.loss_bad
+    }
+}
+
 /// Propagation characteristics applied to every delivered frame.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct LinkModel {
@@ -27,8 +97,12 @@ pub struct LinkModel {
     pub delay: SimDuration,
     /// Uniform random extra latency in `[0, jitter]`.
     pub jitter: SimDuration,
-    /// Probability in `[0, 1]` that a frame is lost on a hop.
+    /// Probability in `[0, 1]` that a frame is lost on a hop (i.i.d.;
+    /// ignored when [`burst`](Self::burst) is set).
     pub loss: f64,
+    /// Optional Gilbert–Elliott bursty loss replacing the i.i.d. `loss`.
+    /// Each link keeps its own chain phase inside the world.
+    pub burst: Option<GilbertElliott>,
 }
 
 impl Default for LinkModel {
@@ -38,6 +112,7 @@ impl Default for LinkModel {
             delay: SimDuration::from_micros(800),
             jitter: SimDuration::from_micros(400),
             loss: 0.0,
+            burst: None,
         }
     }
 }
@@ -311,6 +386,7 @@ mod tests {
             delay: SimDuration::from_millis(1),
             jitter: SimDuration::from_millis(2),
             loss: 0.0,
+            burst: None,
         };
         let mut rng = StdRng::seed_from_u64(1);
         for _ in 0..100 {
@@ -320,5 +396,43 @@ mod tests {
         }
         let lossy = LinkModel { loss: 1.0, ..model };
         assert!(lossy.sample_loss(&mut rng));
+    }
+
+    #[test]
+    fn gilbert_elliott_bursts_and_recovers() {
+        let ge = GilbertElliott::flappy(0.05, 0.2);
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut phase = LinkPhase::Good;
+        let mut losses = 0u32;
+        let mut bad_transmissions = 0u32;
+        const N: u32 = 20_000;
+        for _ in 0..N {
+            let lost = ge.sample(&mut phase, &mut rng);
+            losses += u32::from(lost);
+            bad_transmissions += u32::from(phase == LinkPhase::Bad);
+            // Good phase never loses in the flappy profile.
+            assert!(!(lost && phase == LinkPhase::Good));
+        }
+        // Stationary bad fraction is p_bad/(p_bad+p_good) = 0.2; the loss
+        // rate tracks 0.95 of that. Allow generous sampling slack.
+        let bad_frac = f64::from(bad_transmissions) / f64::from(N);
+        assert!((bad_frac - 0.2).abs() < 0.05, "bad fraction {bad_frac}");
+        let loss_rate = f64::from(losses) / f64::from(N);
+        assert!(
+            (loss_rate - ge.stationary_loss()).abs() < 0.05,
+            "loss rate {loss_rate} vs stationary {}",
+            ge.stationary_loss()
+        );
+    }
+
+    #[test]
+    fn gilbert_elliott_stationary_loss_edges() {
+        let never = GilbertElliott {
+            p_bad: 0.0,
+            p_good: 0.0,
+            loss_good: 0.25,
+            loss_bad: 1.0,
+        };
+        assert_eq!(never.stationary_loss(), 0.25, "chain never leaves Good");
     }
 }

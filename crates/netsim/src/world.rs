@@ -5,14 +5,15 @@ use std::collections::{BinaryHeap, HashMap};
 
 use packetbb::Address;
 use rand::rngs::StdRng;
-use rand::SeedableRng;
+use rand::{Rng, SeedableRng};
 
 use crate::agent::{ContextSample, FilterEvent, RoutingAgent};
+use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::os::{Action, BatteryModel, NodeOs};
 use crate::packet::{DataPacket, Frame, NodeId};
 use crate::stats::WorldStats;
 use crate::time::{SimDuration, SimTime};
-use crate::topology::{LinkModel, LinkState, Topology};
+use crate::topology::{LinkModel, LinkPhase, LinkState, Topology};
 
 #[derive(Debug)]
 enum EventKind {
@@ -27,8 +28,18 @@ enum EventKind {
     TimerFire {
         node: NodeId,
         token: u64,
+        /// Boot epoch at arming time: timers armed before a crash never
+        /// fire into the rebooted incarnation.
+        epoch: u32,
     },
     DataPlane {
+        node: NodeId,
+        packet: DataPacket,
+    },
+    /// Application datagram entering the network at its scheduled send
+    /// time: accounted as sent when the event fires, so windowed stats
+    /// attribute pre-scheduled traffic to the phase in which it flows.
+    DataInject {
         node: NodeId,
         packet: DataPacket,
     },
@@ -40,6 +51,7 @@ enum EventKind {
     ContextTick {
         node: NodeId,
     },
+    Fault(FaultKind),
 }
 
 struct Scheduled {
@@ -65,9 +77,20 @@ impl Ord for Scheduled {
     }
 }
 
+/// Builds a fresh agent for a rebooting node (true cold boot).
+pub type RebootFactory = Box<dyn Fn() -> Box<dyn RoutingAgent> + Send>;
+
 struct NodeSlot {
     os: NodeOs,
     agent: Option<Box<dyn RoutingAgent>>,
+    /// Whether the node is currently crashed (or battery-dead): its agent
+    /// is suspended and no frame enters or leaves.
+    crashed: bool,
+    /// Bumped on every crash; timers carry the epoch they were armed in.
+    boot_epoch: u32,
+    /// Optional factory replacing the agent on reboot; without one the
+    /// suspended instance is restarted over the flushed OS.
+    factory: Option<RebootFactory>,
 }
 
 /// Configures and constructs a [`World`].
@@ -82,6 +105,7 @@ pub struct WorldBuilder {
     link_feedback: bool,
     default_ttl: u8,
     nf_capacity: usize,
+    fault_plan: Option<FaultPlan>,
 }
 
 impl Default for WorldBuilder {
@@ -96,6 +120,7 @@ impl Default for WorldBuilder {
             link_feedback: true,
             default_ttl: 32,
             nf_capacity: 64,
+            fault_plan: None,
         }
     }
 }
@@ -165,6 +190,16 @@ impl WorldBuilder {
         self
     }
 
+    /// Installs a fault-injection plan: its scheduled entries are enacted
+    /// by the event loop and its stochastic processes (frame chaos) run
+    /// from the plan's own seeded RNG — the base simulation's random
+    /// stream is untouched, and the same plan replays byte-identically.
+    #[must_use]
+    pub fn fault_plan(mut self, plan: FaultPlan) -> Self {
+        self.fault_plan = Some(plan);
+        self
+    }
+
     /// Builds the world.
     ///
     /// # Panics
@@ -181,8 +216,18 @@ impl WorldBuilder {
             addr_to_node.insert(addr, NodeId(i));
             let mut os = NodeOs::new(NodeId(i), addr, self.battery);
             os.nf_buffer_cap = self.nf_capacity;
-            nodes.push(NodeSlot { os, agent: None });
+            nodes.push(NodeSlot {
+                os,
+                agent: None,
+                crashed: false,
+                boot_epoch: 0,
+                factory: None,
+            });
         }
+        let (fault, dedupe_delivery) = match &self.fault_plan {
+            Some(plan) => (FaultInjector::new(plan), plan.chaos().duplicate > 0.0),
+            None => (FaultInjector::inert(), false),
+        };
         let mut world = World {
             now: SimTime::ZERO,
             heap: BinaryHeap::new(),
@@ -198,7 +243,16 @@ impl WorldBuilder {
             link_feedback: self.link_feedback,
             context_interval: self.context_interval,
             default_ttl: self.default_ttl,
+            fault,
+            dedupe_delivery,
+            ge_phases: HashMap::new(),
+            window_base: WorldStats::default(),
         };
+        if let Some(plan) = self.fault_plan {
+            for entry in plan.entries() {
+                world.schedule(entry.at, EventKind::Fault(entry.kind.clone()));
+            }
+        }
         if let Some(interval) = world.context_interval {
             for i in 0..world.nodes.len() {
                 world.schedule(
@@ -229,6 +283,14 @@ pub struct World {
     link_feedback: bool,
     context_interval: Option<SimDuration>,
     default_ttl: u8,
+    fault: FaultInjector,
+    /// Suppress double-counting of duplicated deliveries (set when the
+    /// fault plan enables frame duplication).
+    dedupe_delivery: bool,
+    /// Per-link Gilbert–Elliott chain phase, keyed by the undirected pair.
+    ge_phases: HashMap<(usize, usize), LinkPhase>,
+    /// Snapshot taken by the last [`take_window`](Self::take_window).
+    window_base: WorldStats,
 }
 
 /// Address assigned to node `i`: `10.0.x.y`, unique for i < 62_500.
@@ -297,6 +359,30 @@ impl World {
         &self.topo
     }
 
+    /// Whether the node is currently up (not crashed, not battery-dead).
+    #[must_use]
+    pub fn node_up(&self, node: NodeId) -> bool {
+        !self.nodes[node.0].crashed
+    }
+
+    /// Names of the fault plan's currently active partitions.
+    #[must_use]
+    pub fn active_partitions(&self) -> Vec<&str> {
+        self.fault.active_partitions()
+    }
+
+    /// Registers a factory used to build a brand-new agent when this node
+    /// reboots after a crash (a true cold boot, discarding all protocol
+    /// soft state). Without a factory the suspended agent instance is
+    /// restarted via its `start` callback over the flushed OS.
+    pub fn set_reboot_factory(
+        &mut self,
+        node: NodeId,
+        make: impl Fn() -> Box<dyn RoutingAgent> + Send + 'static,
+    ) {
+        self.nodes[node.0].factory = Some(Box::new(make));
+    }
+
     /// Installs a routing agent on a node; its `start` callback runs at the
     /// current simulation time (before any later event).
     pub fn install_agent(&mut self, node: NodeId, agent: Box<dyn RoutingAgent>) {
@@ -350,9 +436,7 @@ impl World {
             ttl: self.default_ttl,
             payload,
         };
-        self.stats.data_sent += 1;
-        self.sent_at.insert(id, at);
-        self.schedule(at, EventKind::DataPlane { node: src, packet });
+        self.schedule(at, EventKind::DataInject { node: src, packet });
         id
     }
 
@@ -407,6 +491,19 @@ impl World {
     pub fn reset_stats(&mut self) {
         self.stats = WorldStats::default();
         self.sent_at.clear();
+        self.window_base = WorldStats::default();
+    }
+
+    /// Returns the statistics accumulated since the previous
+    /// `take_window` call (or the start of the run) and opens a new
+    /// window. This is the measurement primitive for recovery analysis:
+    /// compare the pre-fault window's delivery ratio against the
+    /// post-heal window's.
+    pub fn take_window(&mut self) -> WorldStats {
+        let snapshot = self.stats();
+        let window = snapshot.delta_since(&self.window_base);
+        self.window_base = snapshot;
+        window
     }
 
     // ---- internals --------------------------------------------------------
@@ -423,6 +520,12 @@ impl World {
     fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn RoutingAgent, &mut NodeOs)) {
         let now = self.now;
         let slot = &mut self.nodes[node.0];
+        if slot.crashed {
+            // Suspended agents get no callbacks, and anything queued from
+            // outside (via `os_mut`) is lost exactly like in-flight work.
+            slot.os.actions.clear();
+            return;
+        }
         if let Some(mut agent) = slot.agent.take() {
             slot.os.set_now(now);
             slot.os.battery.advance_to(now);
@@ -442,6 +545,10 @@ impl World {
     }
 
     fn flush_actions(&mut self, node: NodeId) {
+        if self.nodes[node.0].crashed {
+            self.nodes[node.0].os.actions.clear();
+            return;
+        }
         loop {
             let actions = std::mem::take(&mut self.nodes[node.0].os.actions);
             if actions.is_empty() {
@@ -457,7 +564,8 @@ impl World {
         match action {
             Action::SendControl { dst, bytes } => self.send_control(node, dst, bytes),
             Action::SetTimer { at, token } => {
-                self.schedule(at, EventKind::TimerFire { node, token });
+                let epoch = self.nodes[node.0].boot_epoch;
+                self.schedule(at, EventKind::TimerFire { node, token, epoch });
             }
             Action::Reinject { dst } => {
                 let queued: Vec<DataPacket> = self.nodes[node.0]
@@ -500,7 +608,11 @@ impl World {
         match dst {
             None => {
                 for nb in self.topo.neighbours(node) {
-                    if self.link_model.sample_loss(&mut self.rng) {
+                    if !self.reachable(node, nb) {
+                        self.stats.control_lost += 1;
+                        continue;
+                    }
+                    if self.sample_link_loss(node, nb) {
                         self.stats.control_lost += 1;
                         continue;
                     }
@@ -520,7 +632,7 @@ impl World {
                     self.stats.control_lost += 1;
                     return;
                 };
-                if !self.topo.link_up(node, nb) {
+                if !self.reachable(node, nb) {
                     self.stats.control_lost += 1;
                     if self.link_feedback {
                         self.with_agent(node, |agent, os| {
@@ -529,7 +641,7 @@ impl World {
                     }
                     return;
                 }
-                if self.link_model.sample_loss(&mut self.rng) {
+                if self.sample_link_loss(node, nb) {
                     self.stats.control_lost += 1;
                     return;
                 }
@@ -549,27 +661,52 @@ impl World {
     fn dispatch(&mut self, kind: EventKind) {
         match kind {
             EventKind::StartAgent { node } => {
+                if self.nodes[node.0].crashed {
+                    return;
+                }
                 self.with_agent(node, |agent, os| agent.start(os));
             }
             EventKind::Arrival { node, from, frame } => match frame {
                 Frame::Control(bytes) => {
+                    if self.nodes[node.0].crashed {
+                        self.stats.control_lost += 1;
+                        return;
+                    }
                     self.stats.control_received += 1;
                     let from_addr = self.nodes[from.0].os.addr();
                     self.nodes[node.0].os.battery.drain_rx(bytes.len());
                     self.with_agent(node, |agent, os| agent.on_frame(os, from_addr, &bytes));
                 }
                 Frame::Data(packet) => {
+                    if self.nodes[node.0].crashed {
+                        self.stats.data_dropped_crash += 1;
+                        return;
+                    }
                     self.nodes[node.0].os.battery.drain_rx(packet.wire_len());
                     self.data_plane(node, packet);
                 }
             },
-            EventKind::TimerFire { node, token } => {
+            EventKind::TimerFire { node, token, epoch } => {
+                // Timers armed before a crash never fire into the rebooted
+                // incarnation: their epoch is stale.
+                if self.nodes[node.0].crashed || epoch != self.nodes[node.0].boot_epoch {
+                    return;
+                }
                 if self.nodes[node.0].os.cancelled_timers.remove(&token) {
                     return;
                 }
                 self.with_agent(node, |agent, os| agent.on_timer(os, token));
             }
+            EventKind::DataInject { node, packet } => {
+                self.stats.data_sent += 1;
+                self.sent_at.insert(packet.id, self.now);
+                self.dispatch(EventKind::DataPlane { node, packet });
+            }
             EventKind::DataPlane { node, packet } => {
+                if self.nodes[node.0].crashed {
+                    self.stats.data_dropped_crash += 1;
+                    return;
+                }
                 // Give the agent's packet-inspection hook first refusal.
                 let mut pass = true;
                 let slot = &mut self.nodes[node.0];
@@ -589,15 +726,113 @@ impl World {
                 self.topo.set_link(a, b, state);
             }
             EventKind::ContextTick { node } => {
-                self.nodes[node.0].os.battery.advance_to(self.now);
-                let level = self.nodes[node.0].os.battery_level();
-                self.with_agent(node, |agent, os| {
-                    agent.on_context(os, ContextSample::Battery(level));
-                });
+                if !self.nodes[node.0].crashed {
+                    self.nodes[node.0].os.battery.advance_to(self.now);
+                    let level = self.nodes[node.0].os.battery_level();
+                    self.with_agent(node, |agent, os| {
+                        agent.on_context(os, ContextSample::Battery(level));
+                    });
+                }
                 if let Some(interval) = self.context_interval {
                     self.schedule(self.now + interval, EventKind::ContextTick { node });
                 }
             }
+            EventKind::Fault(kind) => self.apply_fault(kind),
+        }
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    fn apply_fault(&mut self, kind: FaultKind) {
+        self.stats.faults_injected += 1;
+        match kind {
+            FaultKind::Crash(node) => self.crash_node(node, false),
+            FaultKind::BatteryExhaust(node) => self.crash_node(node, true),
+            FaultKind::Reboot(node) => self.reboot_node(node),
+            FaultKind::PartitionStart { name, groups } => {
+                if self.fault.start_partition(&name, &groups) {
+                    self.stats.partitions_started += 1;
+                }
+            }
+            FaultKind::PartitionHeal { name } => {
+                if self.fault.heal_partition(&name) {
+                    self.stats.partitions_healed += 1;
+                }
+            }
+        }
+    }
+
+    /// Suspends a node: last-gasp `on_crash` callback (queued actions are
+    /// discarded), OS flushed, boot epoch bumped. Idempotent.
+    fn crash_node(&mut self, node: NodeId, exhausted: bool) {
+        let now = self.now;
+        let slot = &mut self.nodes[node.0];
+        if slot.crashed {
+            return;
+        }
+        slot.crashed = true;
+        slot.boot_epoch += 1;
+        slot.os.set_now(now);
+        if exhausted {
+            slot.os.battery.advance_to(now);
+            slot.os.battery.exhaust();
+            self.stats.battery_exhaustions += 1;
+        } else {
+            self.stats.node_crashes += 1;
+        }
+        if let Some(agent) = slot.agent.as_mut() {
+            agent.on_crash(&mut slot.os);
+        }
+        let dropped = slot.os.crash_flush();
+        self.stats.data_dropped_crash += dropped as u64;
+    }
+
+    /// Revives a crashed node: fresh battery, flushed OS, agent restarted
+    /// cold (replaced when a reboot factory is registered). A no-op on a
+    /// running node.
+    fn reboot_node(&mut self, node: NodeId) {
+        let now = self.now;
+        let slot = &mut self.nodes[node.0];
+        if !slot.crashed {
+            return;
+        }
+        slot.crashed = false;
+        slot.os.set_now(now);
+        slot.os.battery.recharge(now);
+        slot.os.crash_flush();
+        if let Some(make) = slot.factory.as_ref() {
+            slot.agent = Some(make());
+        }
+        self.stats.node_reboots += 1;
+        if self.nodes[node.0].agent.is_some() {
+            self.schedule(now, EventKind::StartAgent { node });
+        }
+    }
+
+    /// Whether a frame can physically travel from `a` to `b` right now:
+    /// radio link up, both nodes alive, no active partition cutting the pair.
+    fn reachable(&self, a: NodeId, b: NodeId) -> bool {
+        self.topo.link_up(a, b)
+            && !self.nodes[a.0].crashed
+            && !self.nodes[b.0].crashed
+            && !self.fault.severed(a, b)
+    }
+
+    /// Samples loss on the `(a, b)` link: the per-link Gilbert–Elliott
+    /// chain when burst loss is configured, the i.i.d. model otherwise.
+    fn sample_link_loss(&mut self, a: NodeId, b: NodeId) -> bool {
+        match self.link_model.burst {
+            Some(ge) => {
+                let key = (a.0.min(b.0), a.0.max(b.0));
+                let phase = self.ge_phases.entry(key).or_default();
+                let before = *phase;
+                let lost = ge.sample(phase, &mut self.rng);
+                if before == LinkPhase::Good && *phase == LinkPhase::Bad {
+                    self.stats.link_flaps += 1;
+                }
+                lost
+            }
+            None => self.link_model.sample_loss(&mut self.rng),
         }
     }
 
@@ -606,10 +841,18 @@ impl World {
     fn data_plane(&mut self, node: NodeId, packet: DataPacket) {
         let local_addr = self.nodes[node.0].os.addr();
         if packet.dst == local_addr {
+            // First delivery claims the send record; with duplication
+            // active, later copies are counted separately.
+            let first = self.sent_at.remove(&packet.id);
+            if self.dedupe_delivery && first.is_none() {
+                self.stats.data_dup_delivered += 1;
+                return;
+            }
             self.stats.data_delivered += 1;
-            if let Some(sent) = self.sent_at.remove(&packet.id) {
-                self.stats.delivery_latency_total =
-                    self.stats.delivery_latency_total + self.now.since(sent);
+            if let Some(sent) = first {
+                let latency = self.now.since(sent);
+                self.stats.delivery_latency_total = self.stats.delivery_latency_total + latency;
+                self.stats.delivery_latencies_us.push(latency.as_micros());
             }
             return;
         }
@@ -660,7 +903,7 @@ impl World {
             return;
         };
         let local_addr = self.nodes[node.0].os.addr();
-        let link_ok = self.topo.link_up(node, nb) && !self.link_model.sample_loss(&mut self.rng);
+        let link_ok = self.reachable(node, nb) && !self.sample_link_loss(node, nb);
         if !link_ok {
             self.stats.data_dropped_link += 1;
             let dst = packet.dst;
@@ -693,6 +936,41 @@ impl World {
         self.with_agent(node, |agent, os| {
             agent.on_filter_event(os, FilterEvent::RouteUsed { dst, next_hop });
         });
+        let chaos = self.fault.chaos;
+        if chaos.is_active() {
+            // All chaos draws come from the plan's RNG so the base
+            // simulation stream is unchanged by enabling a fault plan.
+            if chaos.corrupt > 0.0 && self.fault.rng.gen_bool(chaos.corrupt) {
+                self.stats.data_corrupted += 1;
+                return;
+            }
+            let copies = if chaos.duplicate > 0.0 && self.fault.rng.gen_bool(chaos.duplicate) {
+                self.stats.data_duplicated += 1;
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let mut delay = self.link_model.sample_delay(&mut self.rng);
+                if chaos.reorder > 0.0 && self.fault.rng.gen_bool(chaos.reorder) {
+                    self.stats.data_reordered += 1;
+                    let extra = self
+                        .fault
+                        .rng
+                        .gen_range(0..=chaos.reorder_spread.as_micros());
+                    delay = delay + SimDuration::from_micros(extra);
+                }
+                self.schedule(
+                    self.now + delay,
+                    EventKind::Arrival {
+                        node: nb,
+                        from: node,
+                        frame: Frame::Data(next_packet.clone()),
+                    },
+                );
+            }
+            return;
+        }
         let delay = self.link_model.sample_delay(&mut self.rng);
         self.schedule(
             self.now + delay,
@@ -957,5 +1235,279 @@ mod tests {
         };
         assert_eq!(run(11), run(11));
         assert_ne!(run(11), run(12));
+    }
+
+    // ---- fault injection ---------------------------------------------------
+
+    use crate::fault::{FaultPlan, FrameChaos};
+
+    fn ms(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(n)
+    }
+
+    #[test]
+    fn crash_suspends_node_and_reboot_restarts_it() {
+        let plan = FaultPlan::builder(0)
+            .crash_for(ms(5), NodeId(1), SimDuration::from_millis(10))
+            .build();
+        let mut w = World::builder()
+            .topology(Topology::full(2))
+            .seed(1)
+            .fault_plan(plan)
+            .build();
+        let echo = Echo::new();
+        let observed = echo.observed();
+        w.install_agent(NodeId(1), Box::new(echo));
+        let dst = w.node_addr(1);
+        let back = w.node_addr(0);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
+        w.os_mut(NodeId(1))
+            .route_table_mut()
+            .add_host_route(back, back, 1);
+        w.run_for(SimDuration::from_millis(4));
+        assert!(w.node_up(NodeId(1)));
+        w.run_for(SimDuration::from_millis(3)); // crash fires at 5 ms
+        assert!(!w.node_up(NodeId(1)));
+        assert!(
+            w.os(NodeId(1)).route_table().is_empty(),
+            "crash must flush the kernel route table"
+        );
+        w.send_datagram(NodeId(0), dst, b"x".to_vec());
+        w.run_for(SimDuration::from_millis(3));
+        assert_eq!(w.stats().data_delivered, 0, "crashed node receives nothing");
+        w.run_for(SimDuration::from_millis(10)); // reboot fired at 15 ms
+        assert!(w.node_up(NodeId(1)));
+        w.send_datagram(NodeId(0), dst, b"y".to_vec());
+        w.run_for(SimDuration::from_millis(10));
+        let s = w.stats();
+        assert_eq!(s.data_delivered, 1);
+        assert_eq!(s.node_crashes, 1);
+        assert_eq!(s.node_reboots, 1);
+        let obs = observed.lock().unwrap();
+        // The pre-crash start timer (armed at 0, due at 10 ms) is stale by
+        // epoch; only the post-reboot start's timer (due 25 ms) fires.
+        assert_eq!(obs.timers, vec![1]);
+    }
+
+    #[test]
+    fn crash_drops_buffered_packets() {
+        let plan = FaultPlan::builder(0).crash(ms(5), NodeId(0)).build();
+        let mut w = World::builder()
+            .topology(Topology::full(2))
+            .seed(2)
+            .fault_plan(plan)
+            .build();
+        w.install_agent(NodeId(0), Box::new(Echo::new()));
+        let dst = w.node_addr(1);
+        // No route: the packet parks in the netfilter buffer, then the
+        // crash flushes it.
+        w.send_datagram(NodeId(0), dst, b"x".to_vec());
+        w.run_for(SimDuration::from_millis(10));
+        let s = w.stats();
+        assert_eq!(s.data_dropped_crash, 1);
+        assert_eq!(s.node_crashes, 1);
+        assert_eq!(s.faults_injected, 1);
+    }
+
+    #[test]
+    fn partition_cuts_and_heals() {
+        let plan = FaultPlan::builder(0)
+            .partition(
+                ms(5),
+                ms(20),
+                "split",
+                vec![vec![NodeId(0)], vec![NodeId(1)]],
+            )
+            .build();
+        let mut w = World::builder()
+            .topology(Topology::full(2))
+            .seed(3)
+            .fault_plan(plan)
+            .build();
+        let dst = w.node_addr(1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
+        w.run_for(SimDuration::from_millis(6));
+        assert_eq!(w.active_partitions(), vec!["split"]);
+        w.send_datagram(NodeId(0), dst, b"cut".to_vec());
+        w.run_for(SimDuration::from_millis(5));
+        assert_eq!(w.stats().data_delivered, 0);
+        assert_eq!(w.stats().data_dropped_link, 1);
+        w.run_for(SimDuration::from_millis(10)); // heal fires at 20 ms
+        assert!(w.active_partitions().is_empty());
+        w.send_datagram(NodeId(0), dst, b"ok".to_vec());
+        w.run_for(SimDuration::from_millis(10));
+        let s = w.stats();
+        assert_eq!(s.data_delivered, 1);
+        assert_eq!(s.partitions_started, 1);
+        assert_eq!(s.partitions_healed, 1);
+    }
+
+    #[test]
+    fn battery_exhaustion_downs_node_until_reboot() {
+        let plan = FaultPlan::builder(0)
+            .battery_exhaust(ms(5), NodeId(0))
+            .reboot(ms(10), NodeId(0))
+            .build();
+        let mut w = World::builder().nodes(1).seed(4).fault_plan(plan).build();
+        w.run_for(SimDuration::from_millis(7));
+        assert!(!w.node_up(NodeId(0)));
+        assert_eq!(w.os(NodeId(0)).battery_level(), 0.0);
+        w.run_for(SimDuration::from_millis(7));
+        assert!(w.node_up(NodeId(0)));
+        assert!(
+            w.os(NodeId(0)).battery_level() > 0.99,
+            "reboot restores a fresh battery"
+        );
+        let s = w.stats();
+        assert_eq!(s.battery_exhaustions, 1);
+        assert_eq!(s.node_reboots, 1);
+        assert_eq!(s.node_crashes, 0, "exhaustion is counted separately");
+    }
+
+    #[test]
+    fn chaos_corruption_drops_every_frame() {
+        let plan = FaultPlan::builder(7)
+            .chaos(FrameChaos {
+                corrupt: 1.0,
+                ..FrameChaos::default()
+            })
+            .build();
+        let mut w = World::builder()
+            .topology(Topology::full(2))
+            .seed(5)
+            .fault_plan(plan)
+            .build();
+        let dst = w.node_addr(1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
+        for _ in 0..5 {
+            w.send_datagram(NodeId(0), dst, b"x".to_vec());
+        }
+        w.run_for(SimDuration::from_millis(20));
+        let s = w.stats();
+        assert_eq!(s.data_delivered, 0);
+        assert_eq!(s.data_corrupted, 5);
+    }
+
+    #[test]
+    fn chaos_duplication_does_not_inflate_delivery() {
+        let plan = FaultPlan::builder(7)
+            .chaos(FrameChaos {
+                duplicate: 1.0,
+                ..FrameChaos::default()
+            })
+            .build();
+        let mut w = World::builder()
+            .topology(Topology::full(2))
+            .seed(6)
+            .fault_plan(plan)
+            .build();
+        let dst = w.node_addr(1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
+        for _ in 0..5 {
+            w.send_datagram(NodeId(0), dst, b"x".to_vec());
+        }
+        w.run_for(SimDuration::from_millis(20));
+        let s = w.stats();
+        assert_eq!(s.data_delivered, 5, "duplicates must not inflate delivery");
+        assert_eq!(s.data_duplicated, 5);
+        assert_eq!(s.data_dup_delivered, 5);
+        assert_eq!(s.delivery_latencies_us.len(), 5);
+    }
+
+    #[test]
+    fn reboot_factory_replaces_agent_cold() {
+        let plan = FaultPlan::builder(0)
+            .crash_for(ms(5), NodeId(0), SimDuration::from_millis(1))
+            .build();
+        let mut w = World::builder().nodes(1).seed(7).fault_plan(plan).build();
+        let old = Echo::new();
+        let old_obs = old.observed();
+        w.install_agent(NodeId(0), Box::new(old));
+        let replacements: Arc<Mutex<Vec<Arc<Mutex<Observed>>>>> = Arc::new(Mutex::new(Vec::new()));
+        let sink = replacements.clone();
+        w.set_reboot_factory(NodeId(0), move || {
+            let e = Echo::new();
+            sink.lock().unwrap().push(e.observed());
+            Box::new(e)
+        });
+        w.run_for(SimDuration::from_millis(30));
+        assert!(
+            old_obs.lock().unwrap().timers.is_empty(),
+            "the replaced agent's timer must never fire"
+        );
+        let spawned = replacements.lock().unwrap();
+        assert_eq!(spawned.len(), 1, "one reboot builds one fresh agent");
+        assert_eq!(spawned[0].lock().unwrap().timers, vec![1]);
+    }
+
+    #[test]
+    fn take_window_isolates_traffic_phases() {
+        let mut w = two_node_world();
+        let dst = w.node_addr(1);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
+        w.send_datagram(NodeId(0), dst, b"a".to_vec());
+        w.run_for(SimDuration::from_millis(10));
+        let w1 = w.take_window();
+        assert_eq!(w1.data_sent, 1);
+        assert_eq!(w1.data_delivered, 1);
+        w.send_datagram(NodeId(0), dst, b"b".to_vec());
+        w.send_datagram(NodeId(0), dst, b"c".to_vec());
+        w.run_for(SimDuration::from_millis(10));
+        let w2 = w.take_window();
+        assert_eq!(w2.data_sent, 2);
+        assert_eq!(w2.data_delivered, 2);
+        assert_eq!(w2.delivery_latencies_us.len(), 2);
+    }
+
+    #[test]
+    fn fault_plan_runs_are_deterministic() {
+        let run = || {
+            let plan = FaultPlan::builder(21)
+                .churn(
+                    vec![NodeId(0), NodeId(1), NodeId(2)],
+                    SimDuration::from_millis(40),
+                    SimDuration::from_millis(15),
+                    SimTime::ZERO,
+                    SimTime::ZERO + SimDuration::from_millis(400),
+                )
+                .chaos(FrameChaos {
+                    corrupt: 0.1,
+                    duplicate: 0.1,
+                    reorder: 0.2,
+                    ..FrameChaos::default()
+                })
+                .build();
+            let mut w = World::builder()
+                .topology(Topology::full(4))
+                .seed(9)
+                .link_model(LinkModel {
+                    loss: 0.1,
+                    ..LinkModel::default()
+                })
+                .fault_plan(plan)
+                .build();
+            let dst = w.node_addr(3);
+            for i in 0..3 {
+                w.os_mut(NodeId(i))
+                    .route_table_mut()
+                    .add_host_route(dst, dst, 1);
+            }
+            for k in 0..40u64 {
+                w.send_datagram(NodeId((k % 3) as usize), dst, vec![k as u8]);
+                w.run_for(SimDuration::from_millis(10));
+            }
+            w.stats()
+        };
+        assert_eq!(run(), run(), "same seeds, byte-identical statistics");
     }
 }

@@ -1,0 +1,146 @@
+//! Property-based test of the fault subsystem's determinism contract:
+//! a world driven by an *active stochastic* fault plan (churn, partitions,
+//! frame chaos, bursty loss) must replay byte-identically for the same
+//! pair of seeds — the property that makes chaos campaigns debuggable.
+
+use netsim::fault::{FaultPlan, FrameChaos};
+use netsim::{
+    FilterEvent, GilbertElliott, LinkModel, NodeId, NodeOs, RoutingAgent, SimDuration, SimTime,
+    Topology, World, WorldStats,
+};
+use packetbb::Address;
+use proptest::prelude::*;
+
+/// A deterministic flooding agent: every HELLO heard is counted and
+/// re-broadcast up to a hop budget, producing enough control and data
+/// traffic to exercise loss, chaos and crash paths.
+struct Flooder;
+
+impl RoutingAgent for Flooder {
+    fn name(&self) -> &str {
+        "flooder"
+    }
+    fn start(&mut self, os: &mut NodeOs) {
+        os.set_timer(SimDuration::from_millis(20), 1);
+    }
+    fn on_frame(&mut self, os: &mut NodeOs, _from: Address, bytes: &[u8]) {
+        os.bump("flood.rx");
+        if let Some((&hops, rest)) = bytes.split_first() {
+            if hops > 0 {
+                let mut fwd = vec![hops - 1];
+                fwd.extend_from_slice(rest);
+                os.broadcast_control(fwd);
+            }
+        }
+    }
+    fn on_timer(&mut self, os: &mut NodeOs, token: u64) {
+        os.broadcast_control(vec![2, token as u8]);
+        os.set_timer(SimDuration::from_millis(20), token + 1);
+    }
+    fn on_filter_event(&mut self, os: &mut NodeOs, _event: FilterEvent) {
+        os.bump("flood.filter_event");
+    }
+}
+
+fn chaotic_run(world_seed: u64, plan_seed: u64, nodes: usize) -> WorldStats {
+    let all: Vec<NodeId> = (0..nodes).map(NodeId).collect();
+    let (left, right) = all.split_at(nodes / 2);
+    let plan = FaultPlan::builder(plan_seed)
+        .churn(
+            all.clone(),
+            SimDuration::from_millis(150),
+            SimDuration::from_millis(60),
+            SimTime::ZERO,
+            SimTime::ZERO + SimDuration::from_millis(900),
+        )
+        .partition(
+            SimTime::ZERO + SimDuration::from_millis(200),
+            SimTime::ZERO + SimDuration::from_millis(500),
+            "prop-cut",
+            vec![left.to_vec(), right.to_vec()],
+        )
+        .chaos(FrameChaos {
+            corrupt: 0.05,
+            duplicate: 0.1,
+            reorder: 0.2,
+            ..FrameChaos::default()
+        })
+        .build();
+    let mut world = World::builder()
+        .topology(Topology::full(nodes))
+        .seed(world_seed)
+        .link_model(LinkModel {
+            loss: 0.05,
+            burst: Some(GilbertElliott::flappy(0.05, 0.3)),
+            ..LinkModel::default()
+        })
+        .fault_plan(plan)
+        .build();
+    for &n in &all {
+        world.install_agent(n, Box::new(Flooder));
+    }
+    // Cross-traffic so data-plane chaos (corrupt/duplicate/reorder) runs.
+    let dst = world.node_addr(nodes - 1);
+    for &n in &all[..nodes - 1] {
+        world
+            .os_mut(n)
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
+    }
+    for k in 0..30u64 {
+        let src = NodeId((k as usize) % (nodes - 1));
+        world.send_datagram_at(
+            SimTime::ZERO + SimDuration::from_millis(30 * k),
+            src,
+            dst,
+            vec![k as u8],
+        );
+    }
+    world.run_until(SimTime::ZERO + SimDuration::from_millis(1_200));
+    world.stats()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    /// Same (world seed, plan seed) → byte-identical statistics, even with
+    /// churn, a partition, bursty loss and frame chaos all active.
+    #[test]
+    fn same_seeds_replay_identically(
+        world_seed in any::<u64>(),
+        plan_seed in any::<u64>(),
+        nodes in 4usize..8,
+    ) {
+        let a = chaotic_run(world_seed, plan_seed, nodes);
+        let b = chaotic_run(world_seed, plan_seed, nodes);
+        prop_assert_eq!(&a, &b);
+        // The run must actually have exercised the chaos machinery, or the
+        // property is vacuous.
+        prop_assert!(a.faults_injected > 0, "no faults fired");
+        prop_assert!(a.partitions_started == 1 && a.partitions_healed == 1);
+    }
+
+    /// Different plan seeds produce different churn schedules, confirming
+    /// the plan seed actually feeds the stochastic expansion. (Checked at
+    /// the plan level: microsecond-resolution gap draws collide with
+    /// negligible probability, whereas aggregated world counters can
+    /// legitimately coincide.)
+    #[test]
+    fn different_plan_seeds_diverge(plan_seed in any::<u64>()) {
+        let build = |seed: u64| {
+            FaultPlan::builder(seed)
+                .churn(
+                    (0..6).map(NodeId).collect(),
+                    SimDuration::from_millis(150),
+                    SimDuration::from_millis(60),
+                    SimTime::ZERO,
+                    SimTime::ZERO + SimDuration::from_millis(900),
+                )
+                .build()
+        };
+        let a = build(plan_seed);
+        let b = build(plan_seed.wrapping_add(1));
+        prop_assert!(!a.entries().is_empty());
+        prop_assert_ne!(a.entries(), b.entries());
+    }
+}
