@@ -29,7 +29,7 @@
 //!     world.install_agent(NodeId(i), Box::new(node));
 //! }
 //! world.run_for(SimDuration::from_secs(3));
-//! let far = world.node_addr(3);
+//! let far = world.addr(NodeId(3));
 //! world.send_datagram(NodeId(0), far, b"hello".to_vec());
 //! world.run_for(SimDuration::from_secs(2));
 //! assert_eq!(world.stats().data_delivered, 1);

@@ -21,14 +21,14 @@ fn aodv_world(topology: Topology, seed: u64) -> (World, Vec<NodeHandle>) {
 fn five_node_line_discovery_and_reverse_route() {
     let (mut world, _h) = aodv_world(Topology::line(5), 1);
     world.run_for(SimDuration::from_secs(3));
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     world.send_datagram(NodeId(0), far, b"fwd".to_vec());
     world.run_for(SimDuration::from_secs(3));
     let s = world.stats();
     assert_eq!(s.data_delivered, 1, "{s:?}");
     assert!(s.agent_counter("rrep_received") >= 1);
     // Reverse route exists without a new discovery (learned from the RREQ).
-    let back = world.node_addr(0);
+    let back = world.addr(NodeId(0));
     world.send_datagram(NodeId(4), back, b"rev".to_vec());
     world.run_for(SimDuration::from_secs(2));
     let s2 = world.stats();
@@ -59,7 +59,7 @@ fn intermediate_node_answers_with_fresh_route() {
 
     let (mut world, _h) = aodv_world(topo, 2);
     world.run_for(SimDuration::from_secs(2));
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     world.send_datagram(NodeId(0), far, b"seed".to_vec());
     world.run_for(SimDuration::from_secs(1));
     assert_eq!(world.stats().data_delivered, 1);
@@ -79,7 +79,7 @@ fn intermediate_node_answers_with_fresh_route() {
 fn rerr_goes_to_precursors_and_triggers_rediscovery() {
     let (mut world, _h) = aodv_world(Topology::line(4), 3);
     world.run_for(SimDuration::from_secs(2));
-    let far = world.node_addr(3);
+    let far = world.addr(NodeId(3));
     world.send_datagram(NodeId(0), far, b"a".to_vec());
     world.run_for(SimDuration::from_secs(1));
     assert_eq!(world.stats().data_delivered, 1);
@@ -132,7 +132,7 @@ fn switch_aodv_to_dymo_at_runtime() {
         assert!(st.protocols.contains(&"dymo".to_string()));
         assert!(!st.protocols.contains(&"aodv".to_string()));
     }
-    let far = world.node_addr(2);
+    let far = world.addr(NodeId(2));
     world.send_datagram(NodeId(0), far, b"post-switch".to_vec());
     world.run_for(SimDuration::from_secs(3));
     assert_eq!(world.stats().data_delivered, 1);
@@ -151,7 +151,7 @@ fn aodv_dymo_mixed_network_does_not_interoperate_but_does_not_crash() {
     world.install_agent(NodeId(1), Box::new(n1));
     world.install_agent(NodeId(2), Box::new(n2));
     world.run_for(SimDuration::from_secs(2));
-    let far = world.node_addr(2);
+    let far = world.addr(NodeId(2));
     world.send_datagram(NodeId(0), far, b"x".to_vec());
     world.run_for(SimDuration::from_secs(10));
     assert_eq!(world.stats().data_delivered, 0, "protocols must not mix");

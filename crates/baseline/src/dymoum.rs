@@ -417,7 +417,7 @@ mod tests {
             world.install_agent(NodeId(i), Box::new(Dymoum::new()));
         }
         world.run_for(SimDuration::from_secs(1));
-        let far = world.node_addr(4);
+        let far = world.addr(NodeId(4));
         world.send_datagram(NodeId(0), far, b"x".to_vec());
         world.run_for(SimDuration::from_secs(3));
         let s = world.stats();
@@ -452,7 +452,7 @@ mod tests {
             world.install_agent(NodeId(i), Box::new(Dymoum::new()));
         }
         world.run_for(SimDuration::from_secs(1));
-        let far = world.node_addr(2);
+        let far = world.addr(NodeId(2));
         world.send_datagram(NodeId(0), far, b"x".to_vec());
         world.run_for(SimDuration::from_secs(2));
         assert_eq!(world.stats().data_delivered, 1);

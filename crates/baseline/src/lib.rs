@@ -16,7 +16,7 @@
 //! world.install_agent(NodeId(0), Box::new(Dymoum::new()));
 //! world.install_agent(NodeId(1), Box::new(Dymoum::new()));
 //! world.install_agent(NodeId(2), Box::new(Dymoum::new()));
-//! let far = world.node_addr(2);
+//! let far = world.addr(NodeId(2));
 //! world.send_datagram(NodeId(0), far, b"ping".to_vec());
 //! world.run_for(SimDuration::from_secs(3));
 //! assert_eq!(world.stats().data_delivered, 1);

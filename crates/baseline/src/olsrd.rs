@@ -438,7 +438,7 @@ mod tests {
         for a in 0..5 {
             for b in 0..5 {
                 if a != b {
-                    let dst = world.node_addr(b);
+                    let dst = world.addr(NodeId(b));
                     assert!(
                         world.os(NodeId(a)).route_table().lookup(dst).is_some(),
                         "route {a} -> {b} missing"
@@ -447,7 +447,7 @@ mod tests {
             }
         }
         // End-to-end data.
-        let far = world.node_addr(4);
+        let far = world.addr(NodeId(4));
         world.send_datagram(NodeId(0), far, b"x".to_vec());
         world.run_for(SimDuration::from_secs(1));
         assert_eq!(world.stats().data_delivered, 1);
@@ -464,12 +464,12 @@ mod tests {
         world.run_for(SimDuration::from_secs(40));
         world.set_link(NodeId(0), NodeId(1), netsim::LinkState::Down);
         world.run_for(SimDuration::from_secs(40));
-        let a1 = world.node_addr(1);
+        let a1 = world.addr(NodeId(1));
         let entry = world
             .os(NodeId(0))
             .route_table()
             .lookup(a1)
             .expect("repaired");
-        assert_eq!(entry.next_hop, world.node_addr(3));
+        assert_eq!(entry.next_hop, world.addr(NodeId(3)));
     }
 }

@@ -105,7 +105,7 @@ fn e6_power_aware() {
         }
         // Converge, then 120 s of CBR.
         world.run_for(SimDuration::from_secs(25));
-        let dst = world.node_addr(3);
+        let dst = world.addr(NodeId(3));
         let start = world.now();
         netsim::traffic::install_cbr(
             &mut world,
@@ -168,7 +168,7 @@ fn e7_flooding() {
             world.run_for(SimDuration::from_secs(10));
             world.reset_stats();
             for (src, dst) in [(0usize, 24usize), (5, 20), (10, 3), (17, 8)] {
-                let dst_addr = world.node_addr(dst);
+                let dst_addr = world.addr(NodeId(dst));
                 world.send_datagram(NodeId(src), dst_addr, b"d".to_vec());
                 world.run_for(SimDuration::from_secs(5));
             }
@@ -214,7 +214,7 @@ fn e8_multipath() {
             }
         }
         world.run_for(SimDuration::from_secs(3));
-        let dst = world.node_addr(3);
+        let dst = world.addr(NodeId(3));
         // Steady CBR keeps routes warm; flap one of the two first links
         // every 2 s.
         let start = world.now();

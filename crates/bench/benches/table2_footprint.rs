@@ -75,7 +75,7 @@ fn run_world(make: &dyn Fn(usize) -> Option<Box<dyn netsim::RoutingAgent>>) -> W
     if any_agent {
         // Identical workload for every deployment: end-to-end CBR pairs.
         for (src, dst) in [(0usize, 4usize), (4, 0), (1, 3)] {
-            let dst_addr = world.node_addr(dst);
+            let dst_addr = world.addr(NodeId(dst));
             let start = world.now();
             netsim::traffic::install_cbr(
                 &mut world,

@@ -4,8 +4,9 @@
 //! the dynamic-deployment story.
 //!
 //! Every campaign runs the paper's 5-node line with constant-bit-rate
-//! traffic from node 0 to node 4, and slices the run into windows with
-//! [`World::take_window`]:
+//! traffic from node 0 to node 4 — declared once as a [`ScenarioSpec`] —
+//! and slices the run into windows with a [`netsim::StatsWindow`] cursor
+//! from [`World::stats_window`]:
 //!
 //! ```text
 //! 0s ── warm-up ── 30s ── pre ── 60s ── fault ── 90s ── gap ── 120s ── post ── 150s
@@ -19,12 +20,11 @@
 
 use std::fmt;
 
+use campaign::{Protocol, ScenarioSpec, TopologySpec};
 use netsim::fault::FaultPlan;
-use netsim::{
-    GilbertElliott, LinkModel, NodeId, SimDuration, SimTime, Topology, World, WorldStats,
-};
+use netsim::{GilbertElliott, LinkModel, NodeId, SimDuration, SimTime, WorldStats};
 
-use crate::scenarios::{mkit_aodv_factory, mkit_dymo_factory, mkit_olsr_factory, AgentFactory};
+use crate::scenarios::AgentFactory;
 
 /// Node count of the campaign topology (the paper's 5-node line).
 pub const NODES: usize = 5;
@@ -104,9 +104,23 @@ impl fmt::Display for RecoveryReport {
     }
 }
 
-/// Runs one campaign: 5-node line, CBR traffic node 0 → node 4 at 4 pkt/s
-/// across the measured phases, the given fault plan and link model, and
-/// windowed measurement per the module timeline.
+/// The chaos scenario every campaign shares: the paper's 5-node line with
+/// CBR traffic node 0 → node 4 at 4 pkt/s across the measured phases (the
+/// first packet lands half an interval past warm-up, so every send falls
+/// unambiguously inside one window).
+#[must_use]
+pub fn chaos_scenario(link: LinkModel) -> ScenarioSpec {
+    ScenarioSpec::builder()
+        .topology(TopologySpec::Line(NODES))
+        .link_model(link)
+        .cbr(NodeId(0), NodeId(NODES - 1), SimDuration::from_millis(250))
+        .warmup(SimDuration::from_secs(WARMUP_S))
+        .duration(SimDuration::from_secs(POST_END_S - WARMUP_S))
+        .build()
+}
+
+/// Runs one campaign: the [`chaos_scenario`] under the given fault plan
+/// and link model, with windowed measurement per the module timeline.
 #[must_use]
 pub fn run_campaign(
     make: &AgentFactory,
@@ -114,36 +128,24 @@ pub fn run_campaign(
     plan: FaultPlan,
     link: LinkModel,
 ) -> RecoveryReport {
-    let mut world = World::builder()
-        .topology(Topology::line(NODES))
-        .seed(seed)
-        .link_model(link)
-        .fault_plan(plan)
-        .build();
+    let scenario = chaos_scenario(link);
+    let mut world = scenario.world_builder().seed(seed).fault_plan(plan).build();
     for i in 0..NODES {
         world.install_agent(NodeId(i), make());
     }
-    // CBR source, offset off the window boundaries so every send falls
-    // unambiguously inside one window.
-    let dst = world.node_addr(NODES - 1);
-    let mut t = secs(WARMUP_S) + SimDuration::from_millis(125);
-    let mut k = 0u64;
-    while t < secs(POST_END_S) {
-        world.send_datagram_at(t, NodeId(0), dst, vec![(k & 0xff) as u8]);
-        t += SimDuration::from_millis(250);
-        k += 1;
-    }
+    scenario.install_traffic(&mut world);
 
+    let mut window = world.stats_window();
     world.run_until(secs(WARMUP_S));
-    world.take_window(); // discard the warm-up window
+    window.skip(&world); // discard the warm-up window
     world.run_until(secs(FAULT_S));
-    let pre = world.take_window();
+    let pre = window.advance(&world);
     world.run_until(secs(HEAL_S));
-    let during = world.take_window();
+    let during = window.advance(&world);
     world.run_until(secs(POST_START_S));
-    world.take_window(); // discard the re-convergence gap
+    window.skip(&world); // discard the re-convergence gap
     world.run_until(secs(POST_END_S) + SimDuration::from_secs(1));
-    let post = world.take_window();
+    let post = window.advance(&world);
     RecoveryReport {
         pre,
         during,
@@ -206,11 +208,10 @@ pub fn flap_campaign(make: &AgentFactory, seed: u64) -> RecoveryReport {
 /// The MANETKit protocol stacks every campaign is run against.
 #[must_use]
 pub fn protocol_factories() -> Vec<(&'static str, AgentFactory)> {
-    vec![
-        ("mkit-olsr", mkit_olsr_factory()),
-        ("mkit-dymo", mkit_dymo_factory()),
-        ("mkit-aodv", mkit_aodv_factory()),
-    ]
+    Protocol::MANETKIT
+        .into_iter()
+        .map(|p| (p.name(), p.factory()))
+        .collect()
 }
 
 #[cfg(test)]
@@ -253,7 +254,7 @@ mod tests {
 
     #[test]
     fn same_seed_campaign_replays_identically() {
-        let make = mkit_olsr_factory();
+        let make = Protocol::MkitOlsr.factory();
         let a = partition_campaign(&make, 11);
         let b = partition_campaign(&make, 11);
         assert_eq!(a.total, b.total, "whole-run stats must be byte-identical");

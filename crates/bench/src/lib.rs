@@ -11,8 +11,15 @@ pub mod footprint;
 pub mod reuse;
 pub mod scenarios;
 
+/// The parallel campaign engine (re-exported `campaign` crate): declarative
+/// [`campaign::CampaignSpec`] grids executed across OS threads with
+/// mergeable, deterministic statistics.
+pub use campaign;
+
+pub use campaign::{CampaignSpec, Protocol, ScenarioSpec};
 pub use chaos::{
-    crash_campaign, flap_campaign, partition_campaign, protocol_factories, RecoveryReport,
+    chaos_scenario, crash_campaign, flap_campaign, partition_campaign, protocol_factories,
+    RecoveryReport,
 };
 pub use scenarios::{
     dymo_route_establishment, olsr_route_establishment, AgentFactory, RouteEstablishment,

@@ -1,11 +1,10 @@
 //! Reusable evaluation scenarios: the paper's 5-node linear testbed and the
 //! route-establishment measurements of Table 1.
 
-use manetkit_baseline::{Dymoum, Olsrd, OlsrdConfig};
-use netsim::{LinkState, NodeId, RoutingAgent, SimDuration, SimTime, Topology, World};
+use campaign::Protocol;
+use netsim::{LinkState, NodeId, SimDuration, SimTime, Topology, World};
 
-/// Builds a routing agent for one node (MANETKit or monolithic).
-pub type AgentFactory = Box<dyn Fn() -> Box<dyn RoutingAgent>>;
+pub use campaign::AgentFactory;
 
 /// Result of a route-establishment measurement.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -19,40 +18,31 @@ pub struct RouteEstablishment {
 /// Factory for MANETKit OLSR nodes.
 #[must_use]
 pub fn mkit_olsr_factory() -> AgentFactory {
-    Box::new(|| {
-        let (node, _handle) = manetkit_olsr::node(Default::default());
-        Box::new(node)
-    })
+    Protocol::MkitOlsr.factory()
 }
 
 /// Factory for monolithic Unik-olsrd-analogue nodes.
 #[must_use]
 pub fn olsrd_factory() -> AgentFactory {
-    Box::new(|| Box::new(Olsrd::new(OlsrdConfig::default())))
+    Protocol::Olsrd.factory()
 }
 
 /// Factory for MANETKit DYMO nodes.
 #[must_use]
 pub fn mkit_dymo_factory() -> AgentFactory {
-    Box::new(|| {
-        let (node, _handle) = manetkit_dymo::node(Default::default());
-        Box::new(node)
-    })
+    Protocol::MkitDymo.factory()
 }
 
 /// Factory for monolithic DYMOUM-analogue nodes.
 #[must_use]
 pub fn dymoum_factory() -> AgentFactory {
-    Box::new(|| Box::new(Dymoum::new()))
+    Protocol::Dymoum.factory()
 }
 
 /// Factory for MANETKit AODV nodes.
 #[must_use]
 pub fn mkit_aodv_factory() -> AgentFactory {
-    Box::new(|| {
-        let (node, _handle) = manetkit_aodv::node(Default::default());
-        Box::new(node)
-    })
+    Protocol::MkitAodv.factory()
 }
 
 fn step_until(world: &mut World, deadline: SimTime, mut done: impl FnMut(&World) -> bool) -> bool {
@@ -82,7 +72,7 @@ pub fn olsr_route_establishment(make: &AgentFactory, seed: u64) -> RouteEstablis
     // Node 4 arrives.
     world.set_link(NodeId(3), NodeId(4), LinkState::Up);
     let t0 = world.now();
-    let peer_addrs: Vec<_> = (0..4).map(|i| world.node_addr(i)).collect();
+    let peer_addrs: Vec<_> = (0..4).map(|i| world.addr(NodeId(i))).collect();
     let deadline = t0 + SimDuration::from_secs(60);
     let established = step_until(&mut world, deadline, |w| {
         peer_addrs
@@ -108,7 +98,7 @@ pub fn dymo_route_establishment(make: &AgentFactory, seed: u64) -> RouteEstablis
         world.install_agent(NodeId(i), make());
     }
     world.run_for(SimDuration::from_secs(5));
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     let t0 = world.now();
     world.send_datagram(NodeId(0), far, b"probe".to_vec());
     let deadline = t0 + SimDuration::from_secs(30);

@@ -1,0 +1,55 @@
+//! Parallel experiment-campaign engine for the MANETKit reproduction.
+//!
+//! The paper's evaluation (§5–§6) is a grid of experiment cells —
+//! protocol × topology × fault × seed — that the original authors executed
+//! one at a time on a 5-node testbed. Here each cell is a self-contained
+//! deterministic [`netsim::World`], which makes a campaign embarrassingly
+//! parallel: this crate provides
+//!
+//! * [`spec`] — the declarative vocabulary: [`Protocol`], [`TopologySpec`],
+//!   [`ScenarioSpec`] (builder-style; the scenario vocabulary shared with
+//!   the `bench` crate), [`FaultSpec`] and the [`CampaignSpec`] grid.
+//! * [`engine`] — scoped work-stealing execution over OS threads
+//!   ([`engine::run`]): workers claim cells off an atomic cursor, results
+//!   land in deterministic cell order, and `check_determinism` re-runs
+//!   every cell on whatever thread frees up and byte-compares the
+//!   outcomes (wall-clock excluded).
+//! * [`report`] — [`CampaignReport`] with per-cell and
+//!   [`WorldStats::merge`](netsim::WorldStats::merge)d statistics and the
+//!   machine-readable `BENCH_campaign.json` emitter, split into a
+//!   byte-stable deterministic section and a timing section.
+//!
+//! # Example
+//!
+//! ```
+//! use campaign::{engine, CampaignSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec};
+//! use netsim::{NodeId, SimDuration};
+//!
+//! let scenario = ScenarioSpec::builder()
+//!     .topology(TopologySpec::Line(3))
+//!     .cbr(NodeId(0), NodeId(2), SimDuration::from_millis(500))
+//!     .warmup(SimDuration::from_secs(5))
+//!     .duration(SimDuration::from_secs(10))
+//!     .build();
+//! let spec = CampaignSpec::new("doc")
+//!     .scenario("line3", scenario)
+//!     .protocols([Protocol::MkitDymo])
+//!     .seeds([1]);
+//! let report = engine::run(&spec, &RunConfig { threads: 2, check_determinism: false });
+//! assert_eq!(report.cells.len(), 1);
+//! assert!(report.merged.data_sent > 0);
+//! ```
+
+#![warn(missing_docs)]
+#![forbid(unsafe_code)]
+
+pub mod engine;
+pub mod report;
+pub mod spec;
+
+pub use engine::{available_threads, run_cell, RunConfig};
+pub use report::{CampaignReport, CellResult, DeterminismCheck};
+pub use spec::{
+    AgentFactory, CampaignSpec, Cell, FaultSpec, Protocol, ScenarioBuilder, ScenarioSpec,
+    TopologySpec, TrafficSpec,
+};

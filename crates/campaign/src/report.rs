@@ -1,0 +1,357 @@
+//! Campaign results and the machine-readable `BENCH_campaign.json` report.
+//!
+//! The report is split into a **deterministic** section (per-cell and
+//! merged statistics — byte-identical however many threads executed the
+//! grid, the property `--check-determinism` and the engine tests enforce)
+//! and a **timing** section (wall-clock, thread count, speedup) that is
+//! legitimately nondeterministic and therefore excluded from every
+//! determinism comparison.
+
+use netsim::WorldStats;
+
+/// The outcome of one executed campaign cell.
+#[derive(Debug, Clone, PartialEq)]
+pub struct CellResult {
+    /// Position in the campaign's deterministic cell ordering.
+    pub index: usize,
+    /// Protocol stack name.
+    pub protocol: &'static str,
+    /// Scenario label.
+    pub scenario: String,
+    /// Fault-axis label.
+    pub fault: String,
+    /// World seed.
+    pub seed: u64,
+    /// Measured-window statistics (post-warm-up through end of run).
+    pub stats: WorldStats,
+    /// Wall-clock microseconds this cell took to dispatch on its worker
+    /// thread. **Nondeterministic by nature** — never part of the
+    /// determinism fingerprint or the byte-stable report section.
+    pub dispatch_micros: u64,
+}
+
+impl CellResult {
+    /// The cell's deterministic fingerprint: everything except wall-clock.
+    ///
+    /// Two executions of the same cell must produce byte-identical
+    /// fingerprints regardless of which thread ran them or how long they
+    /// took — this is exactly what `--check-determinism` compares.
+    #[must_use]
+    pub fn fingerprint(&self) -> String {
+        format!(
+            "{}|{}|{}|{}|{}",
+            self.protocol,
+            self.scenario,
+            self.fault,
+            self.seed,
+            stats_fingerprint(&self.stats)
+        )
+    }
+
+    /// Short `protocol/scenario/fault/seed` coordinate label.
+    #[must_use]
+    pub fn label(&self) -> String {
+        format!(
+            "{}/{}/{}/s{}",
+            self.protocol, self.scenario, self.fault, self.seed
+        )
+    }
+
+    /// The cell's deterministic JSON object (no timing fields).
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        format!(
+            "{{\"index\":{},\"protocol\":{},\"scenario\":{},\"fault\":{},\"seed\":{},\"stats\":{}}}",
+            self.index,
+            json_string(self.protocol),
+            json_string(&self.scenario),
+            json_string(&self.fault),
+            self.seed,
+            stats_json(&self.stats),
+        )
+    }
+}
+
+/// Result of a `--check-determinism` pass: every cell was executed twice
+/// (scheduled onto whatever threads were free) and the two fingerprints
+/// were byte-compared.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeterminismCheck {
+    /// Labels of cells whose re-run diverged (empty means the check passed).
+    pub mismatched: Vec<String>,
+}
+
+impl DeterminismCheck {
+    /// Whether every cell replayed byte-identically.
+    #[must_use]
+    pub fn passed(&self) -> bool {
+        self.mismatched.is_empty()
+    }
+}
+
+/// Everything one campaign run produced.
+#[derive(Debug, Clone)]
+pub struct CampaignReport {
+    /// Campaign name.
+    pub name: String,
+    /// Per-cell results in deterministic cell order.
+    pub cells: Vec<CellResult>,
+    /// All cells' measured windows merged with [`WorldStats::merge`] in
+    /// cell order — exact percentiles over the concatenated latency
+    /// multiset, not averaged per-cell quantiles.
+    pub merged: WorldStats,
+    /// Worker threads used.
+    pub threads: usize,
+    /// Wall-clock microseconds for the whole campaign.
+    pub wall_micros: u64,
+    /// Sum of per-work-item dispatch times — including determinism-check
+    /// re-runs, so the speedup always compares the *same* amount of work
+    /// as `wall_micros` covers.
+    pub serial_micros: u64,
+    /// Determinism verification, when `--check-determinism` ran.
+    pub determinism: Option<DeterminismCheck>,
+}
+
+impl CampaignReport {
+    /// The wall-clock a 1-thread run of the same work list would need
+    /// (modulo scheduling noise).
+    #[must_use]
+    pub fn serial_micros(&self) -> u64 {
+        self.serial_micros
+    }
+
+    /// Parallel speedup over the serial estimate.
+    #[must_use]
+    pub fn speedup(&self) -> f64 {
+        if self.wall_micros == 0 {
+            return 1.0;
+        }
+        self.serial_micros() as f64 / self.wall_micros as f64
+    }
+
+    /// The deterministic (byte-stable across thread counts) report
+    /// section: per-cell and merged statistics only.
+    #[must_use]
+    pub fn deterministic_json(&self) -> String {
+        let cells: Vec<String> = self
+            .cells
+            .iter()
+            .map(CellResult::deterministic_json)
+            .collect();
+        format!(
+            "{{\"name\":{},\"cells\":[{}],\"merged\":{}}}",
+            json_string(&self.name),
+            cells.join(","),
+            stats_json(&self.merged),
+        )
+    }
+
+    /// The full report: the deterministic `campaign` section plus the
+    /// nondeterministic `timing` section (and the determinism verdict when
+    /// the check ran). This is what `BENCH_campaign.json` holds.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let timing = format!(
+            "{{\"threads\":{},\"wall_ms\":{:.3},\"serial_ms\":{:.3},\"speedup\":{:.2},\"per_cell_ms\":[{}]}}",
+            self.threads,
+            self.wall_micros as f64 / 1000.0,
+            self.serial_micros() as f64 / 1000.0,
+            self.speedup(),
+            self.cells
+                .iter()
+                .map(|c| format!("{:.3}", c.dispatch_micros as f64 / 1000.0))
+                .collect::<Vec<_>>()
+                .join(","),
+        );
+        let determinism = match &self.determinism {
+            None => String::new(),
+            Some(check) => format!(
+                ",\"determinism\":{{\"checked\":true,\"passed\":{},\"mismatched\":[{}]}}",
+                check.passed(),
+                check
+                    .mismatched
+                    .iter()
+                    .map(|s| json_string(s))
+                    .collect::<Vec<_>>()
+                    .join(","),
+            ),
+        };
+        format!(
+            "{{\"campaign\":{},\"timing\":{}{}}}",
+            self.deterministic_json(),
+            timing,
+            determinism,
+        )
+    }
+}
+
+/// Renders the deterministic summary of a [`WorldStats`]: delivery,
+/// overhead, exact latency percentiles and fault counters. Latency
+/// percentiles come from the snapshot's full per-delivery series, so a
+/// merged snapshot reports exact grid-wide quantiles.
+#[must_use]
+pub fn stats_json(s: &WorldStats) -> String {
+    format!(
+        "{{\"data_sent\":{},\"data_delivered\":{},\"delivery_ratio\":{:.6},\
+\"data_hops\":{},\"data_dropped_link\":{},\"data_dropped_buffer\":{},\
+\"data_dropped_crash\":{},\"control_frames\":{},\"control_bytes\":{},\
+\"control_received\":{},\"control_lost\":{},\"latency_mean_us\":{},\
+\"latency_p50_us\":{},\"latency_p95_us\":{},\"faults_injected\":{},\
+\"node_crashes\":{},\"node_reboots\":{},\"partitions_started\":{},\
+\"partitions_healed\":{},\"link_flaps\":{}}}",
+        s.data_sent,
+        s.data_delivered,
+        s.delivery_ratio(),
+        s.data_hops,
+        s.data_dropped_link,
+        s.data_dropped_buffer,
+        s.data_dropped_crash,
+        s.control_frames,
+        s.control_bytes,
+        s.control_received,
+        s.control_lost,
+        s.mean_delivery_latency().as_micros(),
+        s.p50_delivery_latency().as_micros(),
+        s.p95_delivery_latency().as_micros(),
+        s.faults_injected,
+        s.node_crashes,
+        s.node_reboots,
+        s.partitions_started,
+        s.partitions_healed,
+        s.link_flaps,
+    )
+}
+
+/// A canonical, order-stable dump of *every* [`WorldStats`] field — the
+/// agent-counter map is sorted by name (`HashMap` iteration order is not
+/// deterministic across instances) and the full latency series is
+/// included, so any divergence at all flips the fingerprint.
+fn stats_fingerprint(s: &WorldStats) -> String {
+    let mut counters: Vec<(&str, u64)> = s
+        .agent_counters
+        .iter()
+        .map(|(k, v)| (k.as_str(), *v))
+        .collect();
+    counters.sort_unstable();
+    format!(
+        "{:?}",
+        (
+            (
+                s.data_sent,
+                s.data_delivered,
+                s.data_dropped_ttl,
+                s.data_dropped_link,
+                s.data_dropped_buffer,
+                s.data_dropped_crash,
+            ),
+            (
+                s.data_corrupted,
+                s.data_duplicated,
+                s.data_dup_delivered,
+                s.data_reordered,
+                s.data_hops,
+            ),
+            (s.delivery_latency_total, &s.delivery_latencies_us),
+            (
+                s.control_frames,
+                s.control_bytes,
+                s.control_received,
+                s.control_lost,
+            ),
+            (
+                s.faults_injected,
+                s.node_crashes,
+                s.node_reboots,
+                s.battery_exhaustions,
+                s.partitions_started,
+                s.partitions_healed,
+                s.link_flaps,
+            ),
+            counters,
+        )
+    )
+}
+
+/// Escapes a string as a JSON string literal (ASCII-safe).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cell(dispatch_micros: u64) -> CellResult {
+        CellResult {
+            index: 0,
+            protocol: "mkit-olsr",
+            scenario: "line5".into(),
+            fault: "none".into(),
+            seed: 7,
+            stats: WorldStats {
+                data_sent: 10,
+                data_delivered: 9,
+                delivery_latencies_us: vec![5, 9, 30],
+                ..WorldStats::default()
+            },
+            dispatch_micros,
+        }
+    }
+
+    #[test]
+    fn fingerprint_excludes_wall_clock_dispatch_micros() {
+        // Same cell, wildly different wall-clock: the determinism
+        // comparison must not see the difference…
+        let fast = cell(12);
+        let slow = cell(9_999_999);
+        assert_eq!(fast.fingerprint(), slow.fingerprint());
+        assert_eq!(fast.deterministic_json(), slow.deterministic_json());
+        // …but any genuine stat divergence must be caught.
+        let mut diverged = cell(12);
+        diverged.stats.data_delivered = 8;
+        assert_ne!(fast.fingerprint(), diverged.fingerprint());
+    }
+
+    #[test]
+    fn json_escaping_and_shape() {
+        let mut c = cell(3);
+        c.scenario = "li\"ne\n5".into();
+        let json = c.deterministic_json();
+        assert!(json.contains("\"scenario\":\"li\\\"ne\\n5\""));
+        assert!(json.contains("\"delivery_ratio\":0.900000"));
+        assert!(json.contains("\"latency_p50_us\":9"));
+        assert!(!json.contains("dispatch"), "timing never leaks: {json}");
+    }
+
+    #[test]
+    fn report_speedup_uses_serial_estimate() {
+        let report = CampaignReport {
+            name: "t".into(),
+            cells: vec![cell(100), cell(300)],
+            merged: WorldStats::default(),
+            threads: 2,
+            wall_micros: 200,
+            serial_micros: 400,
+            determinism: None,
+        };
+        assert_eq!(report.serial_micros(), 400);
+        assert!((report.speedup() - 2.0).abs() < 1e-9);
+        let json = report.to_json();
+        assert!(json.contains("\"speedup\":2.00"));
+        assert!(json.starts_with("{\"campaign\":{"));
+    }
+}

@@ -1,0 +1,570 @@
+//! The declarative campaign vocabulary: protocols, topologies, traffic,
+//! scenarios, fault axes and the grid that multiplies them into cells.
+
+use manetkit_baseline::{Dymoum, Olsrd, OlsrdConfig};
+use netsim::fault::{FaultPlan, FrameChaos};
+use netsim::{
+    LinkModel, NodeId, RoutingAgent, SimDuration, SimTime, Topology, World, WorldBuilder,
+};
+
+/// Builds a routing agent for one node.
+///
+/// `Send + Sync` so a single factory can be shared by (or rebuilt on) any
+/// campaign worker thread — the bound every parallel engine needs and the
+/// reason this type lives here rather than in `bench`.
+pub type AgentFactory = Box<dyn Fn() -> Box<dyn RoutingAgent> + Send + Sync>;
+
+/// A routing-protocol stack a campaign cell can deploy fleet-wide.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum Protocol {
+    /// MANETKit componentised OLSR.
+    MkitOlsr,
+    /// MANETKit componentised DYMO.
+    MkitDymo,
+    /// MANETKit componentised AODV.
+    MkitAodv,
+    /// Monolithic Unik-olsrd analogue (baseline).
+    Olsrd,
+    /// Monolithic DYMOUM analogue (baseline).
+    Dymoum,
+}
+
+impl Protocol {
+    /// Every protocol stack the campaign engine knows.
+    pub const ALL: [Protocol; 5] = [
+        Protocol::MkitOlsr,
+        Protocol::MkitDymo,
+        Protocol::MkitAodv,
+        Protocol::Olsrd,
+        Protocol::Dymoum,
+    ];
+
+    /// The MANETKit stacks only (the paper's framework side).
+    pub const MANETKIT: [Protocol; 3] =
+        [Protocol::MkitOlsr, Protocol::MkitDymo, Protocol::MkitAodv];
+
+    /// Stable display name (also the JSON report key).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Protocol::MkitOlsr => "mkit-olsr",
+            Protocol::MkitDymo => "mkit-dymo",
+            Protocol::MkitAodv => "mkit-aodv",
+            Protocol::Olsrd => "olsrd",
+            Protocol::Dymoum => "dymoum",
+        }
+    }
+
+    /// A thread-safe factory building one node's agent for this stack.
+    #[must_use]
+    pub fn factory(self) -> AgentFactory {
+        match self {
+            Protocol::MkitOlsr => Box::new(|| {
+                let (node, _handle) = manetkit_olsr::node(Default::default());
+                Box::new(node)
+            }),
+            Protocol::MkitDymo => Box::new(|| {
+                let (node, _handle) = manetkit_dymo::node(Default::default());
+                Box::new(node)
+            }),
+            Protocol::MkitAodv => Box::new(|| {
+                let (node, _handle) = manetkit_aodv::node(Default::default());
+                Box::new(node)
+            }),
+            Protocol::Olsrd => Box::new(|| Box::new(Olsrd::new(OlsrdConfig::default()))),
+            Protocol::Dymoum => Box::new(|| Box::new(Dymoum::new())),
+        }
+    }
+}
+
+/// Declarative topology — builds a concrete [`Topology`] per cell.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TopologySpec {
+    /// A chain of `n` nodes (the paper's testbed shape).
+    Line(usize),
+    /// All-to-all connectivity over `n` nodes.
+    Full(usize),
+    /// A `rows` x `cols` lattice.
+    Grid(usize, usize),
+    /// `n` nodes scattered uniformly on a unit square, linked within
+    /// `radius`; `seed` fixes the placement (not the world's RNG).
+    RandomGeometric {
+        /// Node count.
+        n: usize,
+        /// Connectivity radius on the unit square.
+        radius: f64,
+        /// Placement seed.
+        seed: u64,
+    },
+}
+
+impl TopologySpec {
+    /// Builds the concrete connectivity matrix.
+    #[must_use]
+    pub fn build(&self) -> Topology {
+        match *self {
+            TopologySpec::Line(n) => Topology::line(n),
+            TopologySpec::Full(n) => Topology::full(n),
+            TopologySpec::Grid(rows, cols) => Topology::grid(rows, cols),
+            TopologySpec::RandomGeometric { n, radius, seed } => {
+                Topology::random_geometric(n, radius, seed)
+            }
+        }
+    }
+
+    /// Number of nodes the built topology will have.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        match *self {
+            TopologySpec::Line(n) | TopologySpec::Full(n) => n,
+            TopologySpec::Grid(rows, cols) => rows * cols,
+            TopologySpec::RandomGeometric { n, .. } => n,
+        }
+    }
+
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            TopologySpec::Line(n) => format!("line{n}"),
+            TopologySpec::Full(n) => format!("full{n}"),
+            TopologySpec::Grid(rows, cols) => format!("grid{rows}x{cols}"),
+            TopologySpec::RandomGeometric { n, radius, seed } => {
+                format!("geo{n}-r{radius}-s{seed}")
+            }
+        }
+    }
+}
+
+/// One application traffic pattern of a scenario.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum TrafficSpec {
+    /// Constant-bit-rate datagrams `src` → `dst` every `interval` for the
+    /// scenario's whole measured span. The first packet is offset half an
+    /// interval past warm-up so every send falls unambiguously inside one
+    /// measurement window.
+    Cbr {
+        /// Originating node.
+        src: NodeId,
+        /// Destination node.
+        dst: NodeId,
+        /// Inter-packet gap.
+        interval: SimDuration,
+        /// Payload size in bytes.
+        payload: usize,
+    },
+}
+
+/// A fault axis of the grid: how (and whether) a cell's run is disturbed.
+///
+/// Declarative so the same axis can be stamped with each cell's seed —
+/// stochastic plan expansion (churn, chaos draws) stays per-seed
+/// deterministic.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum FaultSpec {
+    /// Undisturbed run.
+    None,
+    /// `node` crashes at `at` and reboots cold after `downtime`.
+    CrashFor {
+        /// The crashing node.
+        node: NodeId,
+        /// Crash instant.
+        at: SimTime,
+        /// Time until the cold reboot.
+        downtime: SimDuration,
+    },
+    /// A named partition separates `groups` between `at` and `heal`.
+    Partition {
+        /// Partition start.
+        at: SimTime,
+        /// Heal instant.
+        heal: SimTime,
+        /// The mutually-unreachable node groups.
+        groups: Vec<Vec<NodeId>>,
+    },
+    /// Stochastic frame chaos (corruption/duplication/reordering) for the
+    /// whole run, drawn from the plan seed.
+    Chaos(FrameChaos),
+}
+
+impl FaultSpec {
+    /// Stable label for reports.
+    #[must_use]
+    pub fn label(&self) -> String {
+        match self {
+            FaultSpec::None => "none".into(),
+            FaultSpec::CrashFor { node, .. } => format!("crash-{node}"),
+            FaultSpec::Partition { groups, .. } => format!("partition-{}way", groups.len()),
+            FaultSpec::Chaos(_) => "chaos".into(),
+        }
+    }
+
+    /// Materialises the fault plan for one cell, seeded by the cell seed.
+    #[must_use]
+    pub fn plan(&self, seed: u64) -> Option<FaultPlan> {
+        match self {
+            FaultSpec::None => None,
+            FaultSpec::CrashFor { node, at, downtime } => Some(
+                FaultPlan::builder(seed)
+                    .crash_for(*at, *node, *downtime)
+                    .build(),
+            ),
+            FaultSpec::Partition { at, heal, groups } => Some(
+                FaultPlan::builder(seed)
+                    .partition(*at, *heal, "campaign-cut", groups.clone())
+                    .build(),
+            ),
+            FaultSpec::Chaos(chaos) => Some(FaultPlan::builder(seed).chaos(*chaos).build()),
+        }
+    }
+}
+
+/// A complete experiment scenario: topology, link model, traffic and the
+/// warm-up/measurement timeline. Built with [`ScenarioSpec::builder`] — the
+/// one scenario vocabulary shared by campaign cells and the E-series
+/// benches (no positional-argument constructors).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ScenarioSpec {
+    topology: TopologySpec,
+    link: LinkModel,
+    traffic: Vec<TrafficSpec>,
+    warmup: SimDuration,
+    duration: SimDuration,
+}
+
+impl ScenarioSpec {
+    /// Starts building a scenario (default: 5-node line, default link
+    /// model, no traffic, 30 s warm-up, 60 s measured span).
+    #[must_use]
+    pub fn builder() -> ScenarioBuilder {
+        ScenarioBuilder {
+            spec: ScenarioSpec {
+                topology: TopologySpec::Line(5),
+                link: LinkModel::default(),
+                traffic: Vec::new(),
+                warmup: SimDuration::from_secs(30),
+                duration: SimDuration::from_secs(60),
+            },
+        }
+    }
+
+    /// The scenario's topology.
+    #[must_use]
+    pub fn topology(&self) -> &TopologySpec {
+        &self.topology
+    }
+
+    /// Number of nodes in the scenario.
+    #[must_use]
+    pub fn node_count(&self) -> usize {
+        self.topology.node_count()
+    }
+
+    /// Warm-up span (excluded from measurement).
+    #[must_use]
+    pub fn warmup(&self) -> SimDuration {
+        self.warmup
+    }
+
+    /// Measured span following warm-up.
+    #[must_use]
+    pub fn duration(&self) -> SimDuration {
+        self.duration
+    }
+
+    /// End of the run (warm-up plus measured span).
+    #[must_use]
+    pub fn end(&self) -> SimTime {
+        SimTime::ZERO + self.warmup + self.duration
+    }
+
+    /// A [`WorldBuilder`] preconfigured with this scenario's topology and
+    /// link model; callers add the seed and an optional fault plan.
+    #[must_use]
+    pub fn world_builder(&self) -> WorldBuilder {
+        World::builder()
+            .topology(self.topology.build())
+            .link_model(self.link)
+    }
+
+    /// Schedules the scenario's traffic into a freshly built world.
+    pub fn install_traffic(&self, world: &mut World) {
+        for t in &self.traffic {
+            match *t {
+                TrafficSpec::Cbr {
+                    src,
+                    dst,
+                    interval,
+                    payload,
+                } => {
+                    let dst_addr = world.addr(dst);
+                    let mut at = SimTime::ZERO
+                        + self.warmup
+                        + SimDuration::from_micros(interval.as_micros() / 2);
+                    let end = self.end();
+                    let mut k = 0u32;
+                    while at < end {
+                        let mut bytes = vec![0u8; payload.max(4)];
+                        bytes[..4].copy_from_slice(&k.to_be_bytes());
+                        world.send_datagram_at(at, src, dst_addr, bytes);
+                        at += interval;
+                        k += 1;
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Builder for [`ScenarioSpec`].
+#[derive(Debug, Clone)]
+pub struct ScenarioBuilder {
+    spec: ScenarioSpec,
+}
+
+impl ScenarioBuilder {
+    /// Sets the topology.
+    #[must_use]
+    pub fn topology(mut self, topology: TopologySpec) -> Self {
+        self.spec.topology = topology;
+        self
+    }
+
+    /// Sets the link delay/jitter/loss model.
+    #[must_use]
+    pub fn link_model(mut self, link: LinkModel) -> Self {
+        self.spec.link = link;
+        self
+    }
+
+    /// Adds a CBR flow `src` → `dst` with the given inter-packet gap and a
+    /// 64-byte payload.
+    #[must_use]
+    pub fn cbr(self, src: NodeId, dst: NodeId, interval: SimDuration) -> Self {
+        self.cbr_sized(src, dst, interval, 64)
+    }
+
+    /// Adds a CBR flow with an explicit payload size.
+    #[must_use]
+    pub fn cbr_sized(
+        mut self,
+        src: NodeId,
+        dst: NodeId,
+        interval: SimDuration,
+        payload: usize,
+    ) -> Self {
+        self.spec.traffic.push(TrafficSpec::Cbr {
+            src,
+            dst,
+            interval,
+            payload,
+        });
+        self
+    }
+
+    /// Sets the warm-up span (excluded from measurement).
+    #[must_use]
+    pub fn warmup(mut self, warmup: SimDuration) -> Self {
+        self.spec.warmup = warmup;
+        self
+    }
+
+    /// Sets the measured span following warm-up.
+    #[must_use]
+    pub fn duration(mut self, duration: SimDuration) -> Self {
+        self.spec.duration = duration;
+        self
+    }
+
+    /// Finishes the scenario.
+    #[must_use]
+    pub fn build(self) -> ScenarioSpec {
+        self.spec
+    }
+}
+
+/// One cell of a campaign grid: the cross product coordinates plus the
+/// cell's deterministic position in the report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Cell {
+    /// Position in the deterministic cell ordering (also the report index).
+    pub index: usize,
+    /// Protocol stack deployed on every node.
+    pub protocol: Protocol,
+    /// Index into [`CampaignSpec::scenarios`].
+    pub scenario: usize,
+    /// Index into [`CampaignSpec::faults`].
+    pub fault: usize,
+    /// World seed (also stamps the fault plan).
+    pub seed: u64,
+}
+
+/// A declarative grid of experiment cells:
+/// scenarios × protocols × faults × seeds, in that nesting order.
+///
+/// The grid is *data*; execution lives in [`crate::engine`]. Cell order is
+/// deterministic and independent of how many threads later execute it.
+#[derive(Debug)]
+pub struct CampaignSpec {
+    /// Campaign name (report header).
+    pub name: String,
+    /// Labelled scenarios (outermost axis).
+    pub scenarios: Vec<(String, ScenarioSpec)>,
+    /// Protocol stacks.
+    pub protocols: Vec<Protocol>,
+    /// Fault axes.
+    pub faults: Vec<FaultSpec>,
+    /// World seeds (innermost axis).
+    pub seeds: Vec<u64>,
+}
+
+impl CampaignSpec {
+    /// Starts a campaign grid with the given name and no axes.
+    #[must_use]
+    pub fn new(name: impl Into<String>) -> Self {
+        CampaignSpec {
+            name: name.into(),
+            scenarios: Vec::new(),
+            protocols: Vec::new(),
+            faults: Vec::new(),
+            seeds: Vec::new(),
+        }
+    }
+
+    /// Adds a labelled scenario.
+    #[must_use]
+    pub fn scenario(mut self, label: impl Into<String>, spec: ScenarioSpec) -> Self {
+        self.scenarios.push((label.into(), spec));
+        self
+    }
+
+    /// Adds protocol stacks to the grid.
+    #[must_use]
+    pub fn protocols(mut self, protocols: impl IntoIterator<Item = Protocol>) -> Self {
+        self.protocols.extend(protocols);
+        self
+    }
+
+    /// Adds a fault axis.
+    #[must_use]
+    pub fn fault(mut self, fault: FaultSpec) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Adds world seeds.
+    #[must_use]
+    pub fn seeds(mut self, seeds: impl IntoIterator<Item = u64>) -> Self {
+        self.seeds.extend(seeds);
+        self
+    }
+
+    /// Enumerates the grid in its deterministic order:
+    /// scenario → protocol → fault → seed. An empty fault axis behaves as
+    /// a single [`FaultSpec::None`].
+    #[must_use]
+    pub fn cells(&self) -> Vec<Cell> {
+        let fault_count = self.faults.len().max(1);
+        let mut cells = Vec::new();
+        for scenario in 0..self.scenarios.len() {
+            for &protocol in &self.protocols {
+                for fault in 0..fault_count {
+                    for &seed in &self.seeds {
+                        cells.push(Cell {
+                            index: cells.len(),
+                            protocol,
+                            scenario,
+                            fault,
+                            seed,
+                        });
+                    }
+                }
+            }
+        }
+        cells
+    }
+
+    /// The fault spec for a cell (the implicit `None` when no axis is set).
+    #[must_use]
+    pub fn fault_spec(&self, cell: &Cell) -> FaultSpec {
+        self.faults
+            .get(cell.fault)
+            .cloned()
+            .unwrap_or(FaultSpec::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grid_enumeration_is_deterministic_and_ordered() {
+        let spec = CampaignSpec::new("t")
+            .scenario("a", ScenarioSpec::builder().build())
+            .scenario("b", ScenarioSpec::builder().build())
+            .protocols([Protocol::MkitOlsr, Protocol::Dymoum])
+            .fault(FaultSpec::None)
+            .seeds([1, 2]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 8);
+        assert!(cells.iter().enumerate().all(|(i, c)| c.index == i));
+        // Scenario is the outermost axis, seed the innermost.
+        assert_eq!(cells[0].scenario, 0);
+        assert_eq!(cells[0].seed, 1);
+        assert_eq!(cells[1].seed, 2);
+        assert_eq!(cells[4].scenario, 1);
+        assert_eq!(spec.cells(), cells, "re-enumeration is stable");
+    }
+
+    #[test]
+    fn empty_fault_axis_means_one_undisturbed_cell_per_point() {
+        let spec = CampaignSpec::new("t")
+            .scenario("a", ScenarioSpec::builder().build())
+            .protocols([Protocol::MkitAodv])
+            .seeds([9]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(spec.fault_spec(&cells[0]), FaultSpec::None);
+    }
+
+    #[test]
+    fn factories_are_shareable_across_threads() {
+        fn assert_sync<T: Sync + Send>(_: &T) {}
+        for p in Protocol::ALL {
+            let f = p.factory();
+            assert_sync(&f);
+            let agent = f();
+            assert!(!agent.name().is_empty());
+        }
+    }
+
+    #[test]
+    fn scenario_traffic_lands_inside_the_measured_span() {
+        let spec = ScenarioSpec::builder()
+            .topology(TopologySpec::Full(2))
+            .cbr(NodeId(0), NodeId(1), SimDuration::from_millis(250))
+            .warmup(SimDuration::from_secs(1))
+            .duration(SimDuration::from_secs(2))
+            .build();
+        let mut world = spec.world_builder().seed(1).build();
+        let dst = world.addr(NodeId(1));
+        world
+            .os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(dst, dst, 1);
+        spec.install_traffic(&mut world);
+        let mut win = world.stats_window();
+        world.run_until(SimTime::ZERO + spec.warmup());
+        win.skip(&world);
+        world.run_until(spec.end() + SimDuration::from_secs(1));
+        let measured = win.advance(&world);
+        // 2 s at 4 pkt/s, all within the window.
+        assert_eq!(measured.data_sent, 8);
+        assert_eq!(measured.data_delivered, 8);
+    }
+}

@@ -1,0 +1,114 @@
+//! E13 acceptance: the 8-cell campaign grid (2 protocols × 2 faults ×
+//! 2 seeds on the 5-node line) produces a byte-identical deterministic
+//! report section on 1 and on 4 threads, passes `--check-determinism`,
+//! and merges shard statistics exactly.
+
+use campaign::{engine, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec};
+use netsim::{NodeId, SimDuration, SimTime, WorldStats};
+
+/// The example's E13 smoke grid, time-compressed so the test stays fast
+/// in debug builds: 8 cells over a 5-node line.
+fn eight_cell_spec() -> CampaignSpec {
+    let scenario = ScenarioSpec::builder()
+        .topology(TopologySpec::Line(5))
+        .cbr(NodeId(0), NodeId(4), SimDuration::from_millis(250))
+        .warmup(SimDuration::from_secs(10))
+        .duration(SimDuration::from_secs(20))
+        .build();
+    CampaignSpec::new("e13-acceptance")
+        .scenario("line5", scenario)
+        .protocols([Protocol::MkitOlsr, Protocol::MkitDymo])
+        .fault(FaultSpec::None)
+        .fault(FaultSpec::CrashFor {
+            node: NodeId(2),
+            at: SimTime::ZERO + SimDuration::from_secs(15),
+            downtime: SimDuration::from_secs(5),
+        })
+        .seeds([1, 2])
+}
+
+#[test]
+fn eight_cells_byte_identical_on_one_and_four_threads() {
+    let spec = eight_cell_spec();
+    assert_eq!(spec.cells().len(), 8);
+
+    let one = engine::run(
+        &spec,
+        &RunConfig {
+            threads: 1,
+            check_determinism: false,
+        },
+    );
+    let four = engine::run(
+        &spec,
+        &RunConfig {
+            threads: 4,
+            check_determinism: false,
+        },
+    );
+
+    assert_eq!(
+        one.deterministic_json(),
+        four.deterministic_json(),
+        "the campaign section of BENCH_campaign.json must not depend on thread count"
+    );
+    assert!(
+        !one.deterministic_json().contains("wall"),
+        "timing must not leak into the deterministic section"
+    );
+
+    // The grid exercises both the healthy and the crash cells.
+    assert_eq!(one.merged.node_crashes, 4);
+    assert_eq!(one.merged.node_reboots, 4);
+    assert!(one.merged.delivery_ratio() > 0.5);
+    for cell in &one.cells {
+        assert!(cell.stats.data_sent > 0, "idle cell: {}", cell.label());
+    }
+}
+
+#[test]
+fn determinism_check_passes_on_the_full_eight_cell_grid() {
+    let spec = eight_cell_spec();
+    let report = engine::run(
+        &spec,
+        &RunConfig {
+            threads: 4,
+            check_determinism: true,
+        },
+    );
+    let check = report.determinism.as_ref().expect("check requested");
+    assert!(check.passed(), "diverged cells: {:?}", check.mismatched);
+    let json = report.to_json();
+    assert!(json.contains("\"determinism\":{\"checked\":true,\"passed\":true"));
+}
+
+#[test]
+fn merged_section_equals_any_order_shard_fold() {
+    let spec = eight_cell_spec();
+    let report = engine::run(
+        &spec,
+        &RunConfig {
+            threads: 3,
+            check_determinism: false,
+        },
+    );
+    // Fold shards in three different orders; all must equal the report.
+    let in_order = report
+        .cells
+        .iter()
+        .fold(WorldStats::default(), |acc, c| acc.merged(&c.stats));
+    let reversed = report
+        .cells
+        .iter()
+        .rev()
+        .fold(WorldStats::default(), |acc, c| acc.merged(&c.stats));
+    let interleaved = report
+        .cells
+        .iter()
+        .step_by(2)
+        .chain(report.cells.iter().skip(1).step_by(2))
+        .fold(WorldStats::default(), |acc, c| acc.merged(&c.stats));
+    assert_eq!(report.merged, in_order);
+    assert_eq!(report.merged, reversed);
+    assert_eq!(report.merged, interleaved);
+}

@@ -32,7 +32,7 @@
 //! world.run_for(SimDuration::from_secs(3));
 //! // Send to the far end: DYMO discovers the route on demand and the
 //! // buffered datagram is delivered.
-//! let far = world.node_addr(2);
+//! let far = world.addr(NodeId(2));
 //! world.send_datagram(NodeId(0), far, b"hello".to_vec());
 //! world.run_for(SimDuration::from_secs(2));
 //! assert_eq!(world.stats().data_delivered, 1);

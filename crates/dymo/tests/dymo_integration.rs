@@ -23,7 +23,7 @@ fn dymo_world(topology: Topology, seed: u64) -> (World, Vec<NodeHandle>) {
 fn five_node_line_discovery_and_delivery() {
     let (mut world, _handles) = dymo_world(Topology::line(5), 1);
     world.run_for(SimDuration::from_secs(3));
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     world.send_datagram(NodeId(0), far, b"end-to-end".to_vec());
     world.run_for(SimDuration::from_secs(3));
     let s = world.stats();
@@ -32,7 +32,7 @@ fn five_node_line_discovery_and_delivery() {
     assert!(s.agent_counter("rrep_received") >= 1);
     // The reverse route was learned from path accumulation: node 4 can
     // reach node 0 without a fresh discovery.
-    let back = world.node_addr(0);
+    let back = world.addr(NodeId(0));
     world.send_datagram(NodeId(4), back, b"reply".to_vec());
     world.run_for(SimDuration::from_secs(2));
     let s2 = world.stats();
@@ -48,7 +48,7 @@ fn five_node_line_discovery_and_delivery() {
 fn packets_buffer_during_discovery_then_flush() {
     let (mut world, _handles) = dymo_world(Topology::line(3), 2);
     world.run_for(SimDuration::from_secs(2));
-    let far = world.node_addr(2);
+    let far = world.addr(NodeId(2));
     // Burst of 5 packets before any route exists.
     for i in 0..5u8 {
         world.send_datagram(NodeId(0), far, vec![i]);
@@ -90,7 +90,7 @@ fn discovery_to_unreachable_destination_gives_up() {
 fn link_break_triggers_rerr_and_rediscovery() {
     let (mut world, _handles) = dymo_world(Topology::line(4), 4);
     world.run_for(SimDuration::from_secs(2));
-    let far = world.node_addr(3);
+    let far = world.addr(NodeId(3));
     world.send_datagram(NodeId(0), far, b"a".to_vec());
     world.run_for(SimDuration::from_secs(2));
     assert_eq!(world.stats().data_delivered, 1);
@@ -112,7 +112,7 @@ fn link_break_triggers_rerr_and_rediscovery() {
 fn routes_expire_without_traffic() {
     let (mut world, _handles) = dymo_world(Topology::line(3), 5);
     world.run_for(SimDuration::from_secs(1));
-    let far = world.node_addr(2);
+    let far = world.addr(NodeId(2));
     world.send_datagram(NodeId(0), far, b"x".to_vec());
     world.run_for(SimDuration::from_secs(2));
     assert!(world.os(NodeId(0)).route_table().lookup(far).is_some());
@@ -129,7 +129,7 @@ fn routes_expire_without_traffic() {
 fn traffic_keeps_routes_alive() {
     let (mut world, _handles) = dymo_world(Topology::line(3), 6);
     world.run_for(SimDuration::from_secs(1));
-    let far = world.node_addr(2);
+    let far = world.addr(NodeId(2));
     // Steady traffic for 15 s (lifetime is 5 s).
     for k in 0..15 {
         world.send_datagram(NodeId(0), far, vec![k]);
@@ -171,7 +171,7 @@ fn multipath_variant_fails_over_without_rediscovery() {
         );
     }
 
-    let far = world.node_addr(3);
+    let far = world.addr(NodeId(3));
     world.send_datagram(NodeId(0), far, b"probe".to_vec());
     world.run_for(SimDuration::from_millis(500));
     let s = world.stats();
@@ -245,7 +245,7 @@ fn optimised_flooding_cuts_rreq_relays_in_dense_networks() {
         world.reset_stats();
         // Several discoveries from scattered sources.
         for (src, dst) in [(0usize, 24usize), (5, 20), (10, 3), (17, 8)] {
-            let dst_addr = world.node_addr(dst);
+            let dst_addr = world.addr(NodeId(dst));
             world.send_datagram(NodeId(src), dst_addr, b"d".to_vec());
             world.run_for(SimDuration::from_secs(5));
         }
@@ -293,7 +293,7 @@ fn dymo_and_olsr_coexist_sharing_mpr() {
         assert!(st.protocols.contains(&DYMO_CF.to_string()));
     }
     // OLSR proactively installed routes; data flows without discovery.
-    let far = world.node_addr(3);
+    let far = world.addr(NodeId(3));
     world.send_datagram(NodeId(0), far, b"shared".to_vec());
     world.run_for(SimDuration::from_secs(2));
     let s = world.stats();

@@ -25,14 +25,14 @@
 //! # Example
 //!
 //! ```
-//! use netsim::{SimDuration, Topology, World};
+//! use netsim::{NodeId, SimDuration, Topology, World};
 //!
 //! // Two nodes in range of each other; no routing agent needed when the
 //! // destination is a direct neighbour... but without a route table entry
 //! // the packet parks in the netfilter buffer. Static routes fix that:
 //! let mut world = World::builder().nodes(2).topology(Topology::full(2)).build();
-//! let dst = world.node_addr(1);
-//! let a0 = world.node_addr(0);
+//! let dst = world.addr(NodeId(1));
+//! let a0 = world.addr(NodeId(0));
 //! world.os_mut(0.into()).route_table_mut().add_host_route(dst, dst, 1);
 //! world.os_mut(1.into()).route_table_mut().add_host_route(a0, a0, 1);
 //! world.send_datagram(0.into(), dst, b"ping".to_vec());
@@ -61,7 +61,7 @@ pub use fault::{FaultEntry, FaultKind, FaultPlan, FaultPlanBuilder, FrameChaos};
 pub use os::{BatteryModel, NodeOs, TimerToken};
 pub use packet::{DataPacket, Frame, NodeId};
 pub use route::{KernelRouteTable, RouteEntry};
-pub use stats::WorldStats;
+pub use stats::{StatsWindow, WorldStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{GilbertElliott, LinkModel, LinkPhase, LinkState, Topology};
 pub use world::{RebootFactory, World, WorldBuilder};

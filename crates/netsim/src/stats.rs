@@ -184,6 +184,65 @@ impl WorldStats {
         }
     }
 
+    /// Merges another snapshot into this one: counters add, agent counters
+    /// add per name, and the per-delivery latency series are merged into
+    /// **sorted** order — the merged snapshot carries the exact multiset of
+    /// latencies, so [`delivery_latency_quantile`](Self::delivery_latency_quantile)
+    /// over a merge equals the quantile over the concatenated raw series
+    /// (no lossy p50/p95 averaging).
+    ///
+    /// Because the merged series is kept in canonical sorted order, `merge`
+    /// is associative and order-insensitive: folding any permutation of any
+    /// sharding of a run yields byte-identical statistics. This is what
+    /// lets a parallel campaign sum per-cell stats in deterministic cell
+    /// order yet stay independent of which thread finished first.
+    pub fn merge(&mut self, other: &WorldStats) {
+        self.data_sent += other.data_sent;
+        self.data_delivered += other.data_delivered;
+        self.data_dropped_ttl += other.data_dropped_ttl;
+        self.data_dropped_link += other.data_dropped_link;
+        self.data_dropped_buffer += other.data_dropped_buffer;
+        self.data_dropped_crash += other.data_dropped_crash;
+        self.data_corrupted += other.data_corrupted;
+        self.data_duplicated += other.data_duplicated;
+        self.data_dup_delivered += other.data_dup_delivered;
+        self.data_reordered += other.data_reordered;
+        self.data_hops += other.data_hops;
+        self.delivery_latency_total = self.delivery_latency_total + other.delivery_latency_total;
+        self.delivery_latencies_us
+            .extend_from_slice(&other.delivery_latencies_us);
+        self.delivery_latencies_us.sort_unstable();
+        self.control_frames += other.control_frames;
+        self.control_bytes += other.control_bytes;
+        self.control_received += other.control_received;
+        self.control_lost += other.control_lost;
+        self.faults_injected += other.faults_injected;
+        self.node_crashes += other.node_crashes;
+        self.node_reboots += other.node_reboots;
+        self.battery_exhaustions += other.battery_exhaustions;
+        self.partitions_started += other.partitions_started;
+        self.partitions_healed += other.partitions_healed;
+        self.link_flaps += other.link_flaps;
+        for (name, v) in &other.agent_counters {
+            *self.agent_counters.entry(name.clone()).or_insert(0) += v;
+        }
+    }
+
+    /// [`merge`](Self::merge) as a consuming fold step.
+    #[must_use]
+    pub fn merged(mut self, other: &WorldStats) -> WorldStats {
+        self.merge(other);
+        self
+    }
+
+    /// The canonical form used for merge comparisons: the latency series
+    /// sorted (deliveries carry no order information across shards).
+    #[must_use]
+    pub fn canonical(mut self) -> WorldStats {
+        self.delivery_latencies_us.sort_unstable();
+        self
+    }
+
     /// Reads a merged agent counter by name.
     #[must_use]
     pub fn agent_counter(&self, name: &str) -> u64 {
@@ -194,6 +253,54 @@ impl WorldStats {
     #[must_use]
     pub fn delivered(&self) -> u64 {
         self.data_delivered
+    }
+}
+
+/// A cursor over a [`World`](crate::World)'s statistics stream.
+///
+/// This is the single windowing primitive: open a cursor with
+/// [`World::stats_window`](crate::World::stats_window), then each
+/// [`advance`](Self::advance) returns the activity since the cursor's last
+/// position and moves the cursor to *now*. Multiple cursors over the same
+/// world are independent — the chaos campaigns and the parallel campaign
+/// engine both slice one run without coordinating.
+///
+/// The older `World::take_window`/`reset_stats` surface delegates to an
+/// internal cursor and remains as thin wrappers.
+#[derive(Debug, Clone, Default)]
+pub struct StatsWindow {
+    base: WorldStats,
+}
+
+impl StatsWindow {
+    pub(crate) fn new(base: WorldStats) -> Self {
+        StatsWindow { base }
+    }
+
+    /// Statistics accumulated since the cursor's position, without moving
+    /// the cursor.
+    #[must_use]
+    pub fn peek(&self, world: &crate::World) -> WorldStats {
+        world.stats().delta_since(&self.base)
+    }
+
+    /// Returns the statistics accumulated since the cursor's position and
+    /// advances the cursor to the world's current totals.
+    pub fn advance(&mut self, world: &crate::World) -> WorldStats {
+        let snapshot = world.stats();
+        let window = snapshot.delta_since(&self.base);
+        self.base = snapshot;
+        window
+    }
+
+    /// Moves the cursor to the world's current totals, discarding the
+    /// elapsed window (e.g. a warm-up or re-convergence gap).
+    pub fn skip(&mut self, world: &crate::World) {
+        self.base = world.stats();
+    }
+
+    pub(crate) fn rebase(&mut self, base: WorldStats) {
+        self.base = base;
     }
 }
 
@@ -275,6 +382,52 @@ mod tests {
         let zero = later.delta_since(&later);
         assert_eq!(zero.data_sent, 0);
         assert!(zero.delivery_latencies_us.is_empty());
+    }
+
+    #[test]
+    fn merge_sums_counters_and_merges_latency_multisets() {
+        let mut a = WorldStats {
+            data_sent: 3,
+            data_delivered: 2,
+            delivery_latencies_us: vec![30, 10],
+            delivery_latency_total: SimDuration::from_micros(40),
+            ..WorldStats::default()
+        };
+        a.agent_counters.insert("rreq".into(), 2);
+        let mut b = WorldStats {
+            data_sent: 5,
+            data_delivered: 3,
+            delivery_latencies_us: vec![20, 50, 40],
+            delivery_latency_total: SimDuration::from_micros(110),
+            ..WorldStats::default()
+        };
+        b.agent_counters.insert("rreq".into(), 1);
+        b.agent_counters.insert("tc".into(), 7);
+
+        let m = a.clone().merged(&b);
+        assert_eq!(m.data_sent, 8);
+        assert_eq!(m.data_delivered, 5);
+        assert_eq!(m.delivery_latencies_us, vec![10, 20, 30, 40, 50]);
+        assert_eq!(m.delivery_latency_total, SimDuration::from_micros(150));
+        assert_eq!(m.agent_counter("rreq"), 3);
+        assert_eq!(m.agent_counter("tc"), 7);
+        // Exact percentile over the merged multiset, not an average of the
+        // shard percentiles.
+        assert_eq!(m.p50_delivery_latency(), SimDuration::from_micros(30));
+        // Order-insensitive: b ⊎ a is byte-identical to a ⊎ b.
+        assert_eq!(m, b.clone().merged(&a));
+        // Associative over a third shard.
+        let c = WorldStats {
+            data_delivered: 1,
+            delivery_latencies_us: vec![25],
+            ..WorldStats::default()
+        };
+        assert_eq!(
+            a.clone().merged(&b).merged(&c),
+            a.clone().merged(&c.clone().merged(&b))
+        );
+        // Identity: merging the zero snapshot changes nothing.
+        assert_eq!(a.clone().merged(&WorldStats::default()), a.canonical());
     }
 
     #[test]

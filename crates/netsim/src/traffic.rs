@@ -62,8 +62,8 @@ pub fn install_request_reply(
     gap: SimDuration,
     pairs: u32,
 ) {
-    let addr_a = world.node_addr(a.index());
-    let addr_b = world.node_addr(b.index());
+    let addr_a = world.addr(a);
+    let addr_b = world.addr(b);
     let mut at = start;
     for i in 0..pairs {
         world.send_datagram_at(at, a, addr_b, i.to_be_bytes().to_vec());
@@ -80,7 +80,7 @@ mod tests {
     #[test]
     fn cbr_schedules_count_packets() {
         let mut w = World::builder().topology(Topology::full(2)).build();
-        let dst = w.node_addr(1);
+        let dst = w.addr(NodeId(1));
         let src_route = dst;
         w.os_mut(NodeId(0))
             .route_table_mut()
@@ -95,8 +95,8 @@ mod tests {
     #[test]
     fn request_reply_round_trips() {
         let mut w = World::builder().topology(Topology::full(2)).build();
-        let a0 = w.node_addr(0);
-        let a1 = w.node_addr(1);
+        let a0 = w.addr(NodeId(0));
+        let a1 = w.addr(NodeId(1));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(a1, a1, 1);

@@ -11,7 +11,7 @@ use crate::agent::{ContextSample, FilterEvent, RoutingAgent};
 use crate::fault::{FaultInjector, FaultKind, FaultPlan};
 use crate::os::{Action, BatteryModel, NodeOs};
 use crate::packet::{DataPacket, Frame, NodeId};
-use crate::stats::WorldStats;
+use crate::stats::{StatsWindow, WorldStats};
 use crate::time::{SimDuration, SimTime};
 use crate::topology::{LinkModel, LinkPhase, LinkState, Topology};
 
@@ -246,7 +246,7 @@ impl WorldBuilder {
             fault,
             dedupe_delivery,
             ge_phases: HashMap::new(),
-            window_base: WorldStats::default(),
+            window: StatsWindow::default(),
         };
         if let Some(plan) = self.fault_plan {
             for entry in plan.entries() {
@@ -289,9 +289,19 @@ pub struct World {
     dedupe_delivery: bool,
     /// Per-link Gilbert–Elliott chain phase, keyed by the undirected pair.
     ge_phases: HashMap<(usize, usize), LinkPhase>,
-    /// Snapshot taken by the last [`take_window`](Self::take_window).
-    window_base: WorldStats,
+    /// Cursor behind the legacy [`take_window`](Self::take_window) wrapper.
+    window: StatsWindow,
 }
+
+/// A built `World` (agents installed or not) is `Send`: campaign engines
+/// move whole worlds onto worker threads. Everything inside is owned plain
+/// data, `RoutingAgent` and `RebootFactory` are `Send` by bound, and the
+/// RNGs are plain structs — this assertion keeps it that way.
+const _: fn() = || {
+    fn assert_send<T: Send>() {}
+    assert_send::<World>();
+    assert_send::<WorldBuilder>();
+};
 
 /// Address assigned to node `i`: `10.0.x.y`, unique for i < 62_500.
 fn node_address(i: usize) -> Address {
@@ -322,14 +332,26 @@ impl World {
         (0..self.nodes.len()).map(NodeId)
     }
 
-    /// The network address of node `i`.
+    /// The network address of a node.
+    ///
+    /// `NodeId` is the single node-addressing currency of the `World` API:
+    /// every sibling accessor (`os`, `node_up`, `install_agent`,
+    /// `send_datagram`, …) takes one, and so does this.
     ///
     /// # Panics
     ///
-    /// Panics when `i` is out of range.
+    /// Panics when `node` is out of range.
+    #[must_use]
+    pub fn addr(&self, node: NodeId) -> Address {
+        self.nodes[node.0].os.addr()
+    }
+
+    /// Deprecated raw-index variant of [`addr`](Self::addr).
+    #[doc(hidden)]
+    #[deprecated(since = "0.1.0", note = "use `World::addr(NodeId)` instead")]
     #[must_use]
     pub fn node_addr(&self, i: usize) -> Address {
-        self.nodes[i].os.addr()
+        self.addr(NodeId(i))
     }
 
     /// Resolves an address to its node.
@@ -487,11 +509,21 @@ impl World {
         s
     }
 
+    /// Opens an independent statistics cursor positioned at the world's
+    /// current totals. This is the windowing primitive: each
+    /// [`StatsWindow::advance`] returns the activity since the cursor's
+    /// last position. Cursors are independent of one another and of the
+    /// legacy [`take_window`](Self::take_window) wrapper.
+    #[must_use]
+    pub fn stats_window(&self) -> StatsWindow {
+        StatsWindow::new(self.stats())
+    }
+
     /// Resets the statistic counters (topology, agents and time persist).
     pub fn reset_stats(&mut self) {
         self.stats = WorldStats::default();
         self.sent_at.clear();
-        self.window_base = WorldStats::default();
+        self.window.rebase(WorldStats::default());
     }
 
     /// Returns the statistics accumulated since the previous
@@ -499,10 +531,14 @@ impl World {
     /// window. This is the measurement primitive for recovery analysis:
     /// compare the pre-fault window's delivery ratio against the
     /// post-heal window's.
+    ///
+    /// Thin wrapper over the world's internal [`StatsWindow`] cursor;
+    /// prefer [`stats_window`](Self::stats_window), which supports several
+    /// concurrent cursors.
     pub fn take_window(&mut self) -> WorldStats {
-        let snapshot = self.stats();
-        let window = snapshot.delta_since(&self.window_base);
-        self.window_base = snapshot;
+        let mut cursor = std::mem::take(&mut self.window);
+        let window = cursor.advance(self);
+        self.window = cursor;
         window
     }
 
@@ -1055,7 +1091,7 @@ mod tests {
         let w = World::builder().nodes(300).build();
         let mut seen = std::collections::HashSet::new();
         for i in 0..300 {
-            assert!(seen.insert(w.node_addr(i)), "address collision at {i}");
+            assert!(seen.insert(w.addr(NodeId(i))), "address collision at {i}");
         }
     }
 
@@ -1095,7 +1131,7 @@ mod tests {
     fn no_route_buffers_and_reinjects() {
         let mut w = World::builder().topology(Topology::full(2)).seed(2).build();
         w.install_agent(NodeId(0), Box::new(Echo::new()));
-        let dst = w.node_addr(1);
+        let dst = w.addr(NodeId(1));
         w.send_datagram(NodeId(0), dst, b"x".to_vec());
         w.run_for(SimDuration::from_millis(10));
         assert_eq!(w.stats().data_delivered, 0);
@@ -1113,8 +1149,8 @@ mod tests {
     #[test]
     fn multi_hop_forwarding_with_static_routes() {
         let mut w = World::builder().topology(Topology::line(3)).seed(4).build();
-        let a2 = w.node_addr(2);
-        let a1 = w.node_addr(1);
+        let a2 = w.addr(NodeId(2));
+        let a1 = w.addr(NodeId(1));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(a2, a1, 2);
@@ -1136,8 +1172,8 @@ mod tests {
             .seed(5)
             .default_ttl(4)
             .build();
-        let a0 = w.node_addr(0);
-        let a1 = w.node_addr(1);
+        let a0 = w.addr(NodeId(0));
+        let a1 = w.addr(NodeId(1));
         let ghost = Address::v4([10, 9, 9, 9]);
         // Routing loop: each node points at the other for `ghost`.
         w.os_mut(NodeId(0))
@@ -1157,7 +1193,7 @@ mod tests {
     #[test]
     fn link_change_breaks_connectivity() {
         let mut w = two_node_world();
-        let dst = w.node_addr(1);
+        let dst = w.addr(NodeId(1));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(dst, dst, 1);
@@ -1195,8 +1231,8 @@ mod tests {
         let echo = Echo::new();
         let observed = echo.observed();
         w.install_agent(NodeId(1), Box::new(echo));
-        let a1 = w.node_addr(1);
-        let a2 = w.node_addr(2);
+        let a1 = w.addr(NodeId(1));
+        let a2 = w.addr(NodeId(2));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(a2, a1, 2);
@@ -1258,8 +1294,8 @@ mod tests {
         let echo = Echo::new();
         let observed = echo.observed();
         w.install_agent(NodeId(1), Box::new(echo));
-        let dst = w.node_addr(1);
-        let back = w.node_addr(0);
+        let dst = w.addr(NodeId(1));
+        let back = w.addr(NodeId(0));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(dst, dst, 1);
@@ -1300,7 +1336,7 @@ mod tests {
             .fault_plan(plan)
             .build();
         w.install_agent(NodeId(0), Box::new(Echo::new()));
-        let dst = w.node_addr(1);
+        let dst = w.addr(NodeId(1));
         // No route: the packet parks in the netfilter buffer, then the
         // crash flushes it.
         w.send_datagram(NodeId(0), dst, b"x".to_vec());
@@ -1326,7 +1362,7 @@ mod tests {
             .seed(3)
             .fault_plan(plan)
             .build();
-        let dst = w.node_addr(1);
+        let dst = w.addr(NodeId(1));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(dst, dst, 1);
@@ -1381,7 +1417,7 @@ mod tests {
             .seed(5)
             .fault_plan(plan)
             .build();
-        let dst = w.node_addr(1);
+        let dst = w.addr(NodeId(1));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(dst, dst, 1);
@@ -1407,7 +1443,7 @@ mod tests {
             .seed(6)
             .fault_plan(plan)
             .build();
-        let dst = w.node_addr(1);
+        let dst = w.addr(NodeId(1));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(dst, dst, 1);
@@ -1451,7 +1487,7 @@ mod tests {
     #[test]
     fn take_window_isolates_traffic_phases() {
         let mut w = two_node_world();
-        let dst = w.node_addr(1);
+        let dst = w.addr(NodeId(1));
         w.os_mut(NodeId(0))
             .route_table_mut()
             .add_host_route(dst, dst, 1);
@@ -1496,7 +1532,7 @@ mod tests {
                 })
                 .fault_plan(plan)
                 .build();
-            let dst = w.node_addr(3);
+            let dst = w.addr(NodeId(3));
             for i in 0..3 {
                 w.os_mut(NodeId(i))
                     .route_table_mut()

@@ -80,7 +80,7 @@ fn chaotic_run(world_seed: u64, plan_seed: u64, nodes: usize) -> WorldStats {
         world.install_agent(n, Box::new(Flooder));
     }
     // Cross-traffic so data-plane chaos (corrupt/duplicate/reorder) runs.
-    let dst = world.node_addr(nodes - 1);
+    let dst = world.addr(NodeId(nodes - 1));
     for &n in &all[..nodes - 1] {
         world
             .os_mut(n)

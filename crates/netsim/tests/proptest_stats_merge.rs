@@ -1,0 +1,170 @@
+//! Property-based tests of the [`WorldStats::merge`] algebra — the
+//! foundation the parallel campaign engine's result aggregation rests on.
+//!
+//! Two independent properties:
+//!
+//! 1. **Algebraic** (on arbitrary snapshots): merge is associative,
+//!    order-insensitive up to canonical form, and has the empty snapshot
+//!    as identity — so shards can be combined in whatever order worker
+//!    threads finish.
+//! 2. **Operational** (on a real simulation): slicing one run into `k`
+//!    windows with the [`World::stats_window`] cursor and merging the
+//!    window deltas — in any rotation — reproduces the whole run's
+//!    statistics exactly, including the latency percentile inputs.
+
+use netsim::{NodeId, RoutingAgent, SimDuration, Topology, World, WorldStats};
+use proptest::collection::vec;
+use proptest::prelude::*;
+
+/// An arbitrary-ish snapshot: representative counters, a latency series
+/// and agent counters drawn from a small key set (so merges actually
+/// collide on keys).
+fn arb_stats() -> impl Strategy<Value = WorldStats> {
+    (
+        (0u64..1_000, 0u64..1_000, 0u64..100, 0u64..100),
+        (0u64..10_000, 0u64..500_000, 0u64..50, 0u64..50),
+        vec(1u64..100_000, 0..32),
+        vec((0usize..3, 1u64..50), 0..6),
+    )
+        .prop_map(|(data, control, latencies, counters)| {
+            let mut s = WorldStats {
+                data_sent: data.0,
+                data_delivered: data.1,
+                data_dropped_link: data.2,
+                data_hops: data.3,
+                control_frames: control.0,
+                control_bytes: control.1,
+                node_crashes: control.2,
+                link_flaps: control.3,
+                delivery_latency_total: SimDuration::from_micros(latencies.iter().copied().sum()),
+                delivery_latencies_us: latencies,
+                ..WorldStats::default()
+            };
+            const KEYS: [&str; 3] = ["olsr.hello", "dymo.rreq", "relay.fwd"];
+            for (k, v) in counters {
+                *s.agent_counters.entry(KEYS[k].to_string()).or_insert(0) += v;
+            }
+            s
+        })
+}
+
+/// Minimal deterministic chatter: periodic broadcasts plus forwarding via
+/// pre-installed routes, enough to produce deliveries and latencies.
+struct Beacon;
+
+impl RoutingAgent for Beacon {
+    fn name(&self) -> &str {
+        "beacon"
+    }
+    fn start(&mut self, os: &mut netsim::NodeOs) {
+        os.set_timer(SimDuration::from_millis(100), 0);
+    }
+    fn on_frame(&mut self, os: &mut netsim::NodeOs, _from: packetbb::Address, _bytes: &[u8]) {
+        os.bump("beacon.rx");
+    }
+    fn on_timer(&mut self, os: &mut netsim::NodeOs, token: u64) {
+        os.broadcast_control(vec![token as u8]);
+        os.set_timer(SimDuration::from_millis(100), token + 1);
+    }
+    fn on_filter_event(&mut self, os: &mut netsim::NodeOs, _event: netsim::FilterEvent) {
+        os.bump("beacon.filter_event");
+    }
+}
+
+/// One seeded 3-node-line run with CBR-ish traffic; returns the world
+/// ready to be sliced (traffic pre-scheduled across 10 simulated seconds).
+fn traffic_world(seed: u64) -> World {
+    let mut world = World::builder()
+        .topology(Topology::line(3))
+        .seed(seed)
+        .build();
+    for i in 0..3 {
+        world.install_agent(NodeId(i), Box::new(Beacon));
+    }
+    let dst = world.addr(NodeId(2));
+    let hop = world.addr(NodeId(1));
+    world
+        .os_mut(NodeId(0))
+        .route_table_mut()
+        .add_host_route(dst, hop, 2);
+    world
+        .os_mut(NodeId(1))
+        .route_table_mut()
+        .add_host_route(dst, dst, 1);
+    for k in 0..40u64 {
+        world.send_datagram_at(
+            netsim::SimTime::ZERO + SimDuration::from_millis(125 + 250 * k),
+            NodeId(0),
+            dst,
+            vec![k as u8],
+        );
+    }
+    world
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// merge is associative: (a ⊕ b) ⊕ c == a ⊕ (b ⊕ c).
+    #[test]
+    fn merge_is_associative(
+        a in arb_stats(),
+        b in arb_stats(),
+        c in arb_stats(),
+    ) {
+        let left = a.clone().merged(&b).merged(&c);
+        let right = a.merged(&b.clone().merged(&c));
+        prop_assert_eq!(left, right);
+    }
+
+    /// merge is order-insensitive: any permutation of shards folds to the
+    /// same snapshot (latency series is a canonical multiset).
+    #[test]
+    fn merge_is_order_insensitive(
+        a in arb_stats(),
+        b in arb_stats(),
+        c in arb_stats(),
+    ) {
+        let abc = a.clone().merged(&b).merged(&c);
+        let cba = c.clone().merged(&b).merged(&a);
+        let bac = b.merged(&a).merged(&c);
+        prop_assert_eq!(&abc, &cba);
+        prop_assert_eq!(&abc, &bac);
+    }
+
+    /// The empty snapshot is the identity, up to canonical latency order.
+    #[test]
+    fn empty_is_identity(s in arb_stats()) {
+        let merged = WorldStats::default().merged(&s);
+        prop_assert_eq!(merged, s.canonical());
+    }
+
+    /// Slicing one real run into k cursor windows and merging the deltas —
+    /// in any rotation — reproduces the whole run's stats exactly:
+    /// the property that makes sharded campaign aggregation lossless.
+    #[test]
+    fn window_shards_merge_back_to_the_whole_run(
+        seed in any::<u64>(),
+        k in 2usize..6,
+        rotate in 0usize..6,
+    ) {
+        let mut world = traffic_world(seed);
+        let mut window = world.stats_window();
+        let mut shards = Vec::with_capacity(k);
+        let total_ms = 11_000u64; // traffic ends at 10.1 s; 0.9 s drain
+        for i in 1..=k {
+            world.run_until(
+                netsim::SimTime::ZERO + SimDuration::from_millis(total_ms * i as u64 / k as u64),
+            );
+            shards.push(window.advance(&world));
+        }
+        let whole = world.stats().canonical();
+        prop_assert!(whole.data_delivered > 0, "run must deliver traffic");
+
+        shards.rotate_left(rotate % k);
+        let merged = shards
+            .iter()
+            .fold(WorldStats::default(), |acc, s| acc.merged(s));
+        prop_assert_eq!(merged, whole);
+    }
+}

@@ -30,7 +30,7 @@
 //! }
 //! world.run_for(SimDuration::from_secs(30));
 //! // Node 0 has learned a multi-hop route to node 2.
-//! let far = world.node_addr(2);
+//! let far = world.addr(NodeId(2));
 //! assert!(world.os(NodeId(0)).route_table().lookup(far).is_some());
 //! ```
 

@@ -25,7 +25,7 @@ fn fully_routed(world: &World) -> bool {
     for a in 0..n {
         for b in 0..n {
             if a != b {
-                let dst = world.node_addr(b);
+                let dst = world.addr(NodeId(b));
                 if world.os(NodeId(a)).route_table().lookup(dst).is_none() {
                     return false;
                 }
@@ -41,14 +41,14 @@ fn five_node_line_converges_to_full_routes() {
     world.run_for(SimDuration::from_secs(40));
     assert!(fully_routed(&world), "all 20 routes must exist");
     // Route from end to end goes through the chain with metric 4.
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     let entry = world
         .os(NodeId(0))
         .route_table()
         .lookup(far)
         .unwrap()
         .clone();
-    assert_eq!(entry.next_hop, world.node_addr(1));
+    assert_eq!(entry.next_hop, world.addr(NodeId(1)));
     assert_eq!(entry.metric, 4);
 }
 
@@ -59,7 +59,7 @@ fn routes_repair_after_link_break() {
     topo.set_link(NodeId(3), NodeId(0), LinkState::Up);
     let (mut world, _handles) = olsr_world(topo, 7);
     world.run_for(SimDuration::from_secs(40));
-    let a1 = world.node_addr(1);
+    let a1 = world.addr(NodeId(1));
     assert_eq!(
         world
             .os(NodeId(0))
@@ -77,7 +77,11 @@ fn routes_repair_after_link_break() {
         .route_table()
         .lookup(a1)
         .expect("repaired route");
-    assert_eq!(entry.next_hop, world.node_addr(3), "rerouted the long way");
+    assert_eq!(
+        entry.next_hop,
+        world.addr(NodeId(3)),
+        "rerouted the long way"
+    );
 }
 
 #[test]
@@ -107,7 +111,7 @@ fn mpr_flooding_beats_blind_flooding_in_dense_networks() {
 fn data_flows_end_to_end_over_olsr_routes() {
     let (mut world, _handles) = olsr_world(Topology::line(4), 9);
     world.run_for(SimDuration::from_secs(40));
-    let far = world.node_addr(3);
+    let far = world.addr(NodeId(3));
     for _ in 0..10 {
         world.send_datagram(NodeId(0), far, vec![0xAB; 64]);
         world.run_for(SimDuration::from_millis(200));
@@ -202,7 +206,7 @@ fn power_aware_variant_enables_and_reroutes() {
         "residual power dissemination active"
     );
     // Routes still work after the reconfiguration.
-    let far = world.node_addr(3);
+    let far = world.addr(NodeId(3));
     world.send_datagram(NodeId(0), far, vec![1; 32]);
     world.run_for(SimDuration::from_secs(2));
     assert_eq!(world.stats().data_delivered, 1);

@@ -1,0 +1,153 @@
+//! E13 — the parallel campaign engine: a declarative protocol × fault ×
+//! seed grid executed across OS threads, with mergeable statistics and a
+//! machine-readable report.
+//!
+//! The default grid is the 8-cell E13 smoke campaign (5-node line,
+//! MKit-OLSR vs MKit-DYMO, undisturbed vs mid-line crash, 2 seeds) with
+//! the determinism check on; `--full` expands to the full E13 grid
+//! (2 topologies × all 5 protocol stacks × 2 faults × 3 seeds = 60 cells).
+//!
+//! ```text
+//! cargo run --release --example campaign -- [--threads N] [--full]
+//!     [--no-check-determinism] [--out BENCH_campaign.json]
+//! ```
+//!
+//! The `campaign` section of the JSON report is byte-identical for any
+//! thread count; wall-clock lives in the separate `timing` section.
+
+use manetkit_repro::campaign::{
+    self, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec,
+};
+use manetkit_repro::netsim::{NodeId, SimDuration, SimTime};
+
+fn line5_scenario() -> ScenarioSpec {
+    ScenarioSpec::builder()
+        .topology(TopologySpec::Line(5))
+        .cbr(NodeId(0), NodeId(4), SimDuration::from_millis(250))
+        .warmup(SimDuration::from_secs(30))
+        .duration(SimDuration::from_secs(60))
+        .build()
+}
+
+fn grid9_scenario() -> ScenarioSpec {
+    ScenarioSpec::builder()
+        .topology(TopologySpec::Grid(3, 3))
+        .cbr(NodeId(0), NodeId(8), SimDuration::from_millis(250))
+        .warmup(SimDuration::from_secs(30))
+        .duration(SimDuration::from_secs(60))
+        .build()
+}
+
+/// Mid-line relay crash during the measured span, rebooting cold.
+fn crash_fault() -> FaultSpec {
+    FaultSpec::CrashFor {
+        node: NodeId(2),
+        at: SimTime::ZERO + SimDuration::from_secs(45),
+        downtime: SimDuration::from_secs(20),
+    }
+}
+
+fn smoke_spec() -> CampaignSpec {
+    CampaignSpec::new("e13-smoke")
+        .scenario("line5", line5_scenario())
+        .protocols([Protocol::MkitOlsr, Protocol::MkitDymo])
+        .fault(FaultSpec::None)
+        .fault(crash_fault())
+        .seeds([1, 2])
+}
+
+fn full_spec() -> CampaignSpec {
+    CampaignSpec::new("e13-full")
+        .scenario("line5", line5_scenario())
+        .scenario("grid3x3", grid9_scenario())
+        .protocols(Protocol::ALL)
+        .fault(FaultSpec::None)
+        .fault(crash_fault())
+        .seeds([1, 2, 3])
+}
+
+fn main() {
+    let mut threads = campaign::available_threads();
+    let mut check_determinism = true;
+    let mut full = false;
+    let mut out = String::from("BENCH_campaign.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            "--full" => full = true,
+            "--no-check-determinism" => check_determinism = false,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (see the module docs)"),
+        }
+    }
+
+    let spec = if full { full_spec() } else { smoke_spec() };
+    let cells = spec.cells().len();
+    println!(
+        "campaign {:?}: {cells} cells on {threads} thread(s), determinism check {}",
+        spec.name,
+        if check_determinism { "on" } else { "off" },
+    );
+
+    let report = campaign::engine::run(
+        &spec,
+        &RunConfig {
+            threads,
+            check_determinism,
+        },
+    );
+
+    for cell in &report.cells {
+        let s = &cell.stats;
+        println!(
+            "  [{:2}] {:9} {:8} fault={:8} seed={}  delivery {:5.1}%  sent {:4}  p95 {:.1} ms",
+            cell.index,
+            cell.protocol,
+            cell.scenario,
+            cell.fault,
+            cell.seed,
+            100.0 * s.delivery_ratio(),
+            s.data_sent,
+            s.p95_delivery_latency().as_micros() as f64 / 1000.0,
+        );
+    }
+    println!(
+        "merged: delivery {:5.1}% over {} datagrams, {} crashes / {} reboots",
+        100.0 * report.merged.delivery_ratio(),
+        report.merged.data_sent,
+        report.merged.node_crashes,
+        report.merged.node_reboots,
+    );
+    println!(
+        "wall {:.1} ms | serial-equivalent {:.1} ms | speedup {:.2}x on {} threads",
+        report.wall_micros as f64 / 1000.0,
+        report.serial_micros() as f64 / 1000.0,
+        report.speedup(),
+        report.threads,
+    );
+
+    if let Some(check) = &report.determinism {
+        assert!(
+            check.passed(),
+            "determinism check FAILED for cells: {:?}",
+            check.mismatched
+        );
+        println!("determinism check: every cell re-ran byte-identical");
+    }
+
+    assert_eq!(report.cells.len(), cells, "every cell must be reported");
+    assert!(
+        report.merged.data_sent > 0 && report.merged.delivery_ratio() > 0.5,
+        "the campaign must move (and mostly deliver) traffic"
+    );
+
+    std::fs::write(&out, report.to_json()).expect("write report");
+    println!("report written to {out}");
+}

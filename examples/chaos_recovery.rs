@@ -69,7 +69,7 @@ fn main() {
     }
 
     // CBR traffic node 0 → node 5 for the whole exercise.
-    let dst = world.node_addr(NODES - 1);
+    let dst = world.addr(NodeId(NODES - 1));
     let mut t = secs(30) + SimDuration::from_millis(250);
     while t < secs(110) {
         world.send_datagram_at(t, NodeId(0), dst, b"cbr".to_vec());

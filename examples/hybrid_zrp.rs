@@ -56,8 +56,8 @@ fn main() {
         );
     }
 
-    let in_zone = world.node_addr(2);
-    let out_of_zone = world.node_addr(NODES - 1);
+    let in_zone = world.addr(NodeId(2));
+    let out_of_zone = world.addr(NodeId(NODES - 1));
     println!(
         "zone radius {ZONE_RADIUS}: node 0 proactively routes to {} -> {:?}",
         in_zone,

@@ -32,7 +32,7 @@ fn main() {
     }
     world.run_for(SimDuration::from_secs(30));
 
-    let far_small = world.node_addr(SMALL - 1);
+    let far_small = world.addr(NodeId(SMALL - 1));
     world.send_datagram(NodeId(0), far_small, b"proactive".to_vec());
     world.run_for(SimDuration::from_secs(1));
     println!(
@@ -83,7 +83,7 @@ fn main() {
     );
 
     // Reactive routing across the grown network.
-    let far = world.node_addr(FULL - 1);
+    let far = world.addr(NodeId(FULL - 1));
     world.send_datagram(NodeId(0), far, b"reactive".to_vec());
     world.run_for(SimDuration::from_secs(5));
     let stats = world.stats();

@@ -24,10 +24,10 @@ fn main() {
     // Ping end to end. DYMO has no route yet: the packet parks in the
     // netfilter buffer, a route discovery floods, the RREP comes back and
     // the buffered packet is re-injected.
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     println!(
         "sending 10 datagrams from {} to {far} ...",
-        world.node_addr(0)
+        world.addr(NodeId(0))
     );
     for k in 0..10u8 {
         world.send_datagram(NodeId(0), far, vec![k; 64]);

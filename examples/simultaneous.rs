@@ -50,7 +50,7 @@ fn main() {
     assert!(err.unwrap_or_default().contains("reactive"));
 
     // Proactive routes serve traffic with zero discoveries.
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     world.send_datagram(NodeId(0), far, b"via-olsr".to_vec());
     world.run_for(SimDuration::from_secs(2));
     let s = world.stats();

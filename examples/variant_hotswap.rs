@@ -76,7 +76,7 @@ fn main() {
     assert!(power_msgs > 0);
 
     // Traffic still flows after all that reconfiguration.
-    let far = world.node_addr(7);
+    let far = world.addr(NodeId(7));
     world.send_datagram(NodeId(0), far, b"still-alive".to_vec());
     world.run_for(SimDuration::from_secs(2));
     assert_eq!(world.stats().data_delivered, 1);

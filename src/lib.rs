@@ -20,12 +20,13 @@
 //!     world.install_agent(NodeId(i), Box::new(node));
 //! }
 //! world.run_for(SimDuration::from_secs(2));
-//! let far = world.node_addr(2);
+//! let far = world.addr(NodeId(2));
 //! world.send_datagram(NodeId(0), far, b"hello".to_vec());
 //! world.run_for(SimDuration::from_secs(5));
 //! assert!(world.stats().delivered() >= 1);
 //! ```
 
+pub use campaign;
 pub use manetkit;
 pub use manetkit_aodv;
 pub use manetkit_baseline;

@@ -17,7 +17,7 @@ fn switch_olsr_to_dymo_under_traffic() {
         handles.push(h);
     }
     world.run_for(SimDuration::from_secs(30));
-    let far = world.node_addr(3);
+    let far = world.addr(NodeId(3));
     world.send_datagram(NodeId(0), far, b"before".to_vec());
     world.run_for(SimDuration::from_secs(1));
     assert_eq!(world.stats().data_delivered, 1);
@@ -72,7 +72,7 @@ fn twenty_five_node_grid_converges_under_olsr() {
     }
     world.run_for(SimDuration::from_secs(60));
     // Corner to corner: 8 hops across the grid.
-    let far = world.node_addr(24);
+    let far = world.addr(NodeId(24));
     let entry = world
         .os(NodeId(0))
         .route_table()
@@ -100,7 +100,7 @@ fn dymo_scales_to_a_sparse_random_network() {
     world.run_for(SimDuration::from_secs(3));
     let mut delivered_targets = 0;
     for (src, dst) in [(0usize, 29usize), (7, 23), (15, 2)] {
-        let dst_addr = world.node_addr(dst);
+        let dst_addr = world.addr(NodeId(dst));
         world.send_datagram(NodeId(src), dst_addr, b"far".to_vec());
         world.run_for(SimDuration::from_secs(8));
         delivered_targets += 1;
@@ -128,7 +128,7 @@ fn concurrency_model_is_selectable_per_deployment() {
             world.install_agent(NodeId(i), Box::new(node));
         }
         world.run_for(SimDuration::from_secs(2));
-        let far = world.node_addr(2);
+        let far = world.addr(NodeId(2));
         world.send_datagram(NodeId(0), far, b"m".to_vec());
         world.run_for(SimDuration::from_secs(3));
         let s = world.stats();

@@ -38,7 +38,7 @@ fn fleet_coordinator_converges_a_network_wide_change() {
     assert!(fleet.status().converged());
 
     // Traffic still flows after two fleet-wide swaps.
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     world.send_datagram(NodeId(0), far, b"post-fleet".to_vec());
     world.run_for(SimDuration::from_secs(3));
     assert_eq!(world.stats().data_delivered, 1);
@@ -74,7 +74,7 @@ fn gossip_flooding_cuts_relays_and_keeps_delivering_in_dense_networks() {
         assert!(fleet.status().converged(), "{:?}", fleet.status());
         world.reset_stats();
         for (src, dst) in [(0usize, 24usize), (5, 20), (10, 3)] {
-            let dst_addr = world.node_addr(dst);
+            let dst_addr = world.addr(NodeId(dst));
             world.send_datagram(NodeId(src), dst_addr, b"g".to_vec());
             world.run_for(SimDuration::from_secs(5));
         }

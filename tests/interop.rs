@@ -26,7 +26,7 @@ fn mixed_olsr_network_interoperates() {
     for a in 0..5 {
         for b in 0..5 {
             if a != b {
-                let dst = world.node_addr(b);
+                let dst = world.addr(NodeId(b));
                 assert!(
                     world.os(NodeId(a)).route_table().lookup(dst).is_some(),
                     "mixed network: route {a} -> {b} missing"
@@ -35,7 +35,7 @@ fn mixed_olsr_network_interoperates() {
         }
     }
     // Data flows end to end through both implementations.
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     world.send_datagram(NodeId(0), far, b"mixed".to_vec());
     world.run_for(SimDuration::from_secs(1));
     assert_eq!(world.stats().data_delivered, 1);
@@ -56,7 +56,7 @@ fn mixed_dymo_network_interoperates() {
         }
     }
     world.run_for(SimDuration::from_secs(3));
-    let far = world.node_addr(4);
+    let far = world.addr(NodeId(4));
     world.send_datagram(NodeId(0), far, b"mixed".to_vec());
     world.run_for(SimDuration::from_secs(3));
     let s = world.stats();

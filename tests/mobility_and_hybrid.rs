@@ -28,7 +28,7 @@ fn dymo_survives_random_waypoint_mobility() {
     }
     world.run_for(SimDuration::from_secs(3));
     // Steady cross-network traffic while nodes move.
-    let dst = world.node_addr(11);
+    let dst = world.addr(NodeId(11));
     for k in 0..30u8 {
         world.send_datagram(NodeId(0), dst, vec![k]);
         world.run_for(SimDuration::from_secs(3));
@@ -73,8 +73,8 @@ fn hybrid_zone_routing_composes_from_existing_components() {
     }
     world.run_for(SimDuration::from_secs(40));
 
-    let in_zone = world.node_addr(2);
-    let out_of_zone = world.node_addr(NODES - 1);
+    let in_zone = world.addr(NodeId(2));
+    let out_of_zone = world.addr(NodeId(NODES - 1));
     assert!(world.os(NodeId(0)).route_table().lookup(in_zone).is_some());
     assert!(world
         .os(NodeId(0))
