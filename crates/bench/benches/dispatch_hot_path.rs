@@ -15,7 +15,7 @@ use std::alloc::{GlobalAlloc, Layout, System};
 use std::collections::{HashMap, VecDeque};
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 use criterion::{black_box, criterion_group, BatchSize, Criterion, Throughput};
 use manetkit::event::{ContextValue, Event, EventType, Payload};
@@ -64,7 +64,7 @@ impl EventHandler for SinkHandler {
     }
 }
 
-fn new_path_deployment(fanout: usize) -> (Deployment, NodeOs) {
+fn build_deployment(fanout: usize) -> Deployment {
     let ty = EventType::named(EVENT_NAME);
     let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
     for i in 0..fanout {
@@ -75,6 +75,11 @@ fn new_path_deployment(fanout: usize) -> (Deployment, NodeOs) {
             .build();
         dep.add_protocol_offline(cf).unwrap();
     }
+    dep
+}
+
+fn new_path_deployment(fanout: usize) -> (Deployment, NodeOs) {
+    let mut dep = build_deployment(fanout);
     let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
     dep.start(&mut os);
     (dep, os)
@@ -173,6 +178,41 @@ fn bench_dispatch(c: &mut Criterion) {
     group.finish();
 }
 
+/// Flight-recorder cost on the dispatch hot path: the identical fan-out
+/// round driven through a node OS with a recorder ring attached vs one
+/// without. The `trace` feature is compiled in for both sides (the bench
+/// graph enables it); the detached side pays only the `Option` branch in
+/// `trace_bus_deliver`, the attached side additionally writes one ring
+/// record per delivery. The fully-compiled-out cost is proven separately
+/// by the `--no-default-features` build in CI.
+fn bench_trace_overhead(c: &mut Criterion) {
+    const FANOUT: usize = 16;
+    let mut group = c.benchmark_group("dispatch_trace");
+    group.throughput(Throughput::Elements((EVENTS * FANOUT) as u64));
+
+    let (mut dep, mut os) = new_path_deployment(FANOUT);
+    group.bench_function("recorder_detached", |b| {
+        b.iter_batched(
+            new_path_events,
+            |events| dep.dispatch(&mut os, events, None),
+            BatchSize::LargeInput,
+        )
+    });
+
+    let mut world = netsim::World::builder().nodes(1).trace(1 << 15).build();
+    let traced_os = world.os_mut(NodeId(0));
+    let mut traced_dep = build_deployment(FANOUT);
+    traced_dep.start(traced_os);
+    group.bench_function("recorder_attached", |b| {
+        b.iter_batched(
+            new_path_events,
+            |events| traced_dep.dispatch(traced_os, events, None),
+            BatchSize::LargeInput,
+        )
+    });
+    group.finish();
+}
+
 fn bench_event_type(c: &mut Criterion) {
     let mut group = c.benchmark_group("event_type");
     group.bench_function("named_interned", |b| {
@@ -227,15 +267,70 @@ fn alloc_audit() {
     println!();
 }
 
+/// Overhead-ratio audit for the flight recorder: many fan-out-8 dispatch
+/// rounds timed with the recorder attached vs detached, the ratio recorded
+/// in the BENCH output (target: < 5% attached; 0% compiled out, which the
+/// `--no-default-features` CI build proves by construction).
+fn trace_overhead_audit() {
+    const FANOUT: usize = 8;
+    const ROUNDS: usize = 300;
+    println!(
+        "\n=== flight-recorder overhead ({EVENTS} events, fan-out {FANOUT}, {ROUNDS} rounds) ===\n"
+    );
+
+    let (mut dep, mut os) = new_path_deployment(FANOUT);
+    dep.dispatch(&mut os, new_path_events(), None); // warm
+    let batches: Vec<Vec<Event>> = (0..ROUNDS).map(|_| new_path_events()).collect();
+    let t0 = Instant::now();
+    for events in batches {
+        dep.dispatch(&mut os, events, None);
+    }
+    let detached = t0.elapsed();
+
+    let mut world = netsim::World::builder().nodes(1).trace(1 << 15).build();
+    let traced_os = world.os_mut(NodeId(0));
+    let mut traced_dep = build_deployment(FANOUT);
+    traced_dep.start(traced_os);
+    traced_dep.dispatch(traced_os, new_path_events(), None); // warm
+    let batches: Vec<Vec<Event>> = (0..ROUNDS).map(|_| new_path_events()).collect();
+    let t1 = Instant::now();
+    for events in batches {
+        traced_dep.dispatch(traced_os, events, None);
+    }
+    let attached = t1.elapsed();
+
+    let per_event = |d: Duration| d.as_nanos() as f64 / (ROUNDS * EVENTS * FANOUT) as f64;
+    let overhead = per_event(attached) / per_event(detached) - 1.0;
+    println!("{:<24}{:>16}{:>16}", "recorder", "total", "ns/delivery");
+    println!("{:-<56}", "");
+    println!(
+        "{:<24}{:>16?}{:>16.2}",
+        "detached",
+        detached,
+        per_event(detached)
+    );
+    println!(
+        "{:<24}{:>16?}{:>16.2}",
+        "attached",
+        attached,
+        per_event(attached)
+    );
+    println!(
+        "\nattached overhead: {:+.2}%  (target < 5%; compiled out = 0% by construction)\n",
+        overhead * 100.0
+    );
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
         .warm_up_time(Duration::from_millis(200))
         .measurement_time(Duration::from_millis(800));
-    targets = bench_dispatch, bench_event_type
+    targets = bench_dispatch, bench_trace_overhead, bench_event_type
 );
 
 fn main() {
     benches();
     alloc_audit();
+    trace_overhead_audit();
 }

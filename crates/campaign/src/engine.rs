@@ -47,11 +47,41 @@ pub fn available_threads() -> usize {
     std::thread::available_parallelism().map_or(1, usize::from)
 }
 
+/// Per-node flight-recorder ring capacity used when the engine replays a
+/// mismatched cell under tracing (ample for the smoke-scale cells the
+/// determinism checker re-runs).
+#[cfg(feature = "trace")]
+pub const TRACE_RING_CAPACITY: usize = 4096;
+
 /// Executes one cell: build the world, deploy the protocol fleet-wide,
 /// install traffic, run warm-up (discarded) plus the measured span, and
 /// return the measured window in canonical (merge-ready) form.
 #[must_use]
 pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
+    execute_cell(spec, cell, None).0
+}
+
+/// [`run_cell`] with the flight recorder attached: every node records into
+/// a ring of `capacity` records, and the run's merged trace is returned
+/// alongside the result. Attaching the recorder does not perturb the
+/// simulation's random streams, so a traced replay of a seeded cell is the
+/// same run.
+#[cfg(feature = "trace")]
+#[must_use]
+pub fn run_cell_traced(
+    spec: &CampaignSpec,
+    cell: &Cell,
+    capacity: usize,
+) -> (CellResult, netsim::trace::Trace) {
+    let (result, world) = execute_cell(spec, cell, Some(capacity));
+    (result, world.trace())
+}
+
+fn execute_cell(
+    spec: &CampaignSpec,
+    cell: &Cell,
+    trace_capacity: Option<usize>,
+) -> (CellResult, netsim::World) {
     let started = Instant::now();
     let (scenario_label, scenario) = &spec.scenarios[cell.scenario];
     let fault = spec.fault_spec(cell);
@@ -59,6 +89,12 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
     if let Some(plan) = fault.plan(cell.seed) {
         builder = builder.fault_plan(plan);
     }
+    #[cfg(feature = "trace")]
+    if let Some(capacity) = trace_capacity {
+        builder = builder.trace(capacity);
+    }
+    #[cfg(not(feature = "trace"))]
+    let _ = trace_capacity;
     let mut world = builder.build();
     let factory = cell.protocol.factory();
     let nodes: Vec<_> = world.node_ids().collect();
@@ -73,7 +109,7 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
     world.run_until(scenario.end() + SimDuration::from_secs(1));
     let stats = window.advance(&world).canonical();
 
-    CellResult {
+    let result = CellResult {
         index: cell.index,
         protocol: cell.protocol.name(),
         scenario: scenario_label.clone(),
@@ -81,7 +117,8 @@ pub fn run_cell(spec: &CampaignSpec, cell: &Cell) -> CellResult {
         seed: cell.seed,
         stats,
         dispatch_micros: started.elapsed().as_micros() as u64,
-    }
+    };
+    (result, world)
 }
 
 /// Runs the whole grid under `config` and assembles the report.
@@ -125,8 +162,9 @@ pub fn run(spec: &CampaignSpec, config: &RunConfig) -> CampaignReport {
 
     let mut firsts = Vec::with_capacity(cells.len());
     let mut mismatched = Vec::new();
+    let mut details = Vec::new();
     let mut serial_micros = 0u64;
-    for slot in results {
+    for (slot, _cell) in results.into_iter().zip(cells.iter()) {
         let [first, second] = slot.into_inner().expect("result slot poisoned");
         let first = first.expect("every cell was executed");
         serial_micros += first.dispatch_micros;
@@ -134,7 +172,33 @@ pub fn run(spec: &CampaignSpec, config: &RunConfig) -> CampaignReport {
             let second = second.expect("determinism pass executed every cell");
             serial_micros += second.dispatch_micros;
             if first.fingerprint() != second.fingerprint() {
+                // Name *what* diverged (the earliest differing stat field)…
+                let mut detail = match first.stats.first_difference(&second.stats) {
+                    Some((field, a, b)) => format!(
+                        "{}: first differing stat `{field}` ({a} vs {b})",
+                        first.label()
+                    ),
+                    None => format!(
+                        "{}: fingerprints differ outside the stats fields",
+                        first.label()
+                    ),
+                };
+                // …then replay the cell twice under the flight recorder to
+                // show *where*: the first diverging record with node,
+                // virtual time and record kind.
+                #[cfg(feature = "trace")]
+                {
+                    let (_, left) = run_cell_traced(spec, _cell, TRACE_RING_CAPACITY);
+                    let (_, right) = run_cell_traced(spec, _cell, TRACE_RING_CAPACITY);
+                    match netsim::trace::first_divergence(&left, &right) {
+                        Some(d) => detail.push_str(&format!("; traced replay: {d}")),
+                        None => {
+                            detail.push_str("; traced replay did not reproduce the divergence");
+                        }
+                    }
+                }
                 mismatched.push(first.label());
+                details.push(detail);
             }
         }
         firsts.push(first);
@@ -151,9 +215,10 @@ pub fn run(spec: &CampaignSpec, config: &RunConfig) -> CampaignReport {
         threads,
         wall_micros,
         serial_micros,
-        determinism: config
-            .check_determinism
-            .then_some(DeterminismCheck { mismatched }),
+        determinism: config.check_determinism.then_some(DeterminismCheck {
+            mismatched,
+            details,
+        }),
     }
 }
 

@@ -48,6 +48,8 @@ pub mod report;
 pub mod spec;
 
 pub use engine::{available_threads, run_cell, RunConfig};
+#[cfg(feature = "trace")]
+pub use engine::{run_cell_traced, TRACE_RING_CAPACITY};
 pub use report::{CampaignReport, CellResult, DeterminismCheck};
 pub use spec::{
     AgentFactory, CampaignSpec, Cell, FaultSpec, Protocol, ScenarioBuilder, ScenarioSpec,

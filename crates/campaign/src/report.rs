@@ -79,6 +79,10 @@ impl CellResult {
 pub struct DeterminismCheck {
     /// Labels of cells whose re-run diverged (empty means the check passed).
     pub mismatched: Vec<String>,
+    /// One diagnostic line per mismatched cell: the first differing stat
+    /// field, plus (when the `trace` feature is on) the first diverging
+    /// flight-recorder record from a traced replay of the cell.
+    pub details: Vec<String>,
 }
 
 impl DeterminismCheck {
@@ -166,10 +170,16 @@ impl CampaignReport {
         let determinism = match &self.determinism {
             None => String::new(),
             Some(check) => format!(
-                ",\"determinism\":{{\"checked\":true,\"passed\":{},\"mismatched\":[{}]}}",
+                ",\"determinism\":{{\"checked\":true,\"passed\":{},\"mismatched\":[{}],\"details\":[{}]}}",
                 check.passed(),
                 check
                     .mismatched
+                    .iter()
+                    .map(|s| json_string(s))
+                    .collect::<Vec<_>>()
+                    .join(","),
+                check
+                    .details
                     .iter()
                     .map(|s| json_string(s))
                     .collect::<Vec<_>>()

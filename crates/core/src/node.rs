@@ -517,9 +517,13 @@ impl Deployment {
     /// left unchanged on error.
     pub fn apply(&mut self, op: ReconfigOp, os: &mut NodeOs) -> Result<(), DeployError> {
         match op {
-            ReconfigOp::AddProtocol(cf) => self.add_protocol(cf, os)?,
+            ReconfigOp::AddProtocol(cf) => {
+                self.add_protocol(cf, os)?;
+                os.trace_reconfig_apply("add_protocol");
+            }
             ReconfigOp::RemoveProtocol { name } => {
                 self.remove_protocol(&name, os)?;
+                os.trace_reconfig_apply("remove_protocol");
             }
             ReconfigOp::SwitchProtocol {
                 old,
@@ -531,7 +535,9 @@ impl Deployment {
                 if transfer_state {
                     new.replace_state(old_cf.take_state());
                 }
+                os.trace_state_transfer("switch_protocol", transfer_state);
                 self.add_protocol(new, os)?;
+                os.trace_rebind("switch_protocol");
             }
             ReconfigOp::UpdateTuple { protocol, tuple } => {
                 let slot = self
@@ -541,6 +547,7 @@ impl Deployment {
                     .ok_or(DeployError::NoSuchProtocol(protocol))?;
                 slot.cf.set_tuple(tuple.clone());
                 self.manager.update_tuple(slot.unit, tuple);
+                os.trace_rebind("update_tuple");
             }
             ReconfigOp::Mutate { protocol, op } => {
                 let slot = self
@@ -561,14 +568,17 @@ impl Deployment {
                         .expect("slot still present");
                     self.start_protocol(idx, os);
                 }
+                os.trace_rebind("mutate");
             }
             ReconfigOp::RegisterMessage(reg) => {
                 self.system.register_message(reg);
                 self.refresh_system_tuple();
+                os.trace_rebind("register_message");
             }
             ReconfigOp::MutateSystem { op } => {
                 op(&mut self.system);
                 self.refresh_system_tuple();
+                os.trace_rebind("mutate_system");
             }
         }
         self.stats.reconfigs_applied += 1;
@@ -704,6 +714,7 @@ impl Deployment {
         os: &mut NodeOs,
     ) {
         self.telemetry.record_in(unit);
+        os.trace_bus_deliver(event.ty.as_str(), unit as u64, queue.len() as u64);
         if unit == self.system_unit {
             self.system.consume(event, os);
             return;
@@ -828,6 +839,10 @@ impl Component for ProtocolAdapter {
 
 // ---- ManetNode: the netsim adapter -----------------------------------------
 
+/// Pending reconfiguration ops, each optionally stamped with the virtual
+/// time it was requested at (feeds the flight recorder's quiesce-wait).
+type PendingOps = Arc<Mutex<Vec<(ReconfigOp, Option<netsim::SimTime>)>>>;
+
 /// External control handle over a running [`ManetNode`].
 ///
 /// Reconfiguration requests enqueue here and are enacted at the node's next
@@ -835,14 +850,22 @@ impl Component for ProtocolAdapter {
 /// reconfiguration discipline.
 #[derive(Clone)]
 pub struct NodeHandle {
-    ops: Arc<Mutex<Vec<ReconfigOp>>>,
+    ops: PendingOps,
     status: Arc<Mutex<NodeStatus>>,
 }
 
 impl NodeHandle {
     /// Enqueues a reconfiguration operation.
     pub fn apply(&self, op: ReconfigOp) {
-        self.ops.lock().push(op);
+        self.ops.lock().push((op, None));
+    }
+
+    /// Enqueues a reconfiguration operation stamped with the virtual time
+    /// of the request. The stamp feeds the flight recorder: the node's
+    /// quiesce-begin record reports how long the oldest stamped op waited
+    /// for the quiescent point.
+    pub fn apply_at(&self, op: ReconfigOp, now: netsim::SimTime) {
+        self.ops.lock().push((op, Some(now)));
     }
 
     /// The most recent status snapshot.
@@ -886,7 +909,7 @@ impl fmt::Debug for NodeHandle {
 /// A MANETKit deployment living on a netsim node.
 pub struct ManetNode {
     deployment: Deployment,
-    ops: Arc<Mutex<Vec<ReconfigOp>>>,
+    ops: PendingOps,
     status: Arc<Mutex<NodeStatus>>,
 }
 
@@ -924,16 +947,31 @@ impl ManetNode {
     }
 
     fn quiescent_point(&mut self, os: &mut NodeOs) {
-        let ops: Vec<ReconfigOp> = std::mem::take(&mut *self.ops.lock());
-        for op in ops {
+        let ops: Vec<(ReconfigOp, Option<netsim::SimTime>)> = std::mem::take(&mut *self.ops.lock());
+        if ops.is_empty() {
+            return;
+        }
+        let now = os.now();
+        let waited = ops
+            .iter()
+            .filter_map(|(_, at)| at.map(|t| now.since(t).as_micros()))
+            .max()
+            .unwrap_or(0);
+        os.trace_quiesce_begin(ops.len() as u64, waited);
+        let mut applied = 0u64;
+        for (op, _) in ops {
             match self.deployment.apply(op, os) {
-                Ok(()) => os.bump("reconfig.ops_applied"),
+                Ok(()) => {
+                    applied += 1;
+                    os.bump("reconfig.ops_applied");
+                }
                 Err(e) => {
                     os.bump("reconfig.ops_failed");
                     self.status.lock().last_error = Some(e.to_string());
                 }
             }
         }
+        os.trace_resume(applied, self.deployment.stats().reconfigs_applied);
     }
 
     fn publish_status(&self) {

@@ -125,6 +125,62 @@ proptest! {
         }
     }
 
+    /// Reconfiguring between dispatch batches (the quiescent-point
+    /// discipline: ops apply only when no event is mid-flight) never drops
+    /// or reorders the surviving consumers' event streams — whatever the
+    /// batch shapes and whatever transient protocols come and go.
+    #[test]
+    fn reconfig_between_batches_preserves_fifo_and_completeness(
+        batches in proptest::collection::vec(
+            proptest::collection::vec(0..TYPES.len(), 1..16), 2..5),
+    ) {
+        let subs = vec![vec![0, 1, 2], vec![1]];
+        let (mut dep, logs) = logging_deployment(ConcurrencyModel::SingleThreaded, &subs);
+        let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
+        dep.start(&mut os);
+        let mut seq = 0u64;
+        let mut emitted: Vec<usize> = Vec::new();
+        for (round, batch) in batches.iter().enumerate() {
+            let events: Vec<Event> = batch
+                .iter()
+                .map(|t| {
+                    emitted.push(*t);
+                    let e = seq_event(*t, seq);
+                    seq += 1;
+                    e
+                })
+                .collect();
+            dep.dispatch(&mut os, events, None);
+            // Structural churn between batches: deploy a transient consumer
+            // of TYPES[0] and retire it again. Neither op may disturb the
+            // established consumers' routing.
+            let name = format!("transient{round}");
+            let cf = ManetProtocolCf::builder(name.clone())
+                .tuple(EventTuple::new().requires(EventType::named(TYPES[0])))
+                .state(StateSlot::new(()))
+                .handler(Box::new(LogHandler {
+                    subs: vec![EventType::named(TYPES[0])],
+                    log: Arc::new(Mutex::new(Vec::new())),
+                }))
+                .build();
+            dep.apply(ReconfigOp::AddProtocol(cf), &mut os).unwrap();
+            dep.apply(ReconfigOp::RemoveProtocol { name }, &mut os).unwrap();
+        }
+        for (i, log) in logs.iter().enumerate() {
+            let seen = log.lock().unwrap();
+            let expected: Vec<u64> = emitted
+                .iter()
+                .enumerate()
+                .filter(|(_, t)| subs[i].contains(t))
+                .map(|(s, _)| s as u64)
+                .collect();
+            prop_assert_eq!(
+                &*seen, &expected,
+                "consumer{} dropped or reordered events across reconfigs", i
+            );
+        }
+    }
+
     /// The fan-out never rebuilds the routing table: dispatching any event
     /// load leaves the rewire count where deployment-time wiring put it.
     #[test]

@@ -66,6 +66,11 @@ pub use time::{SimDuration, SimTime};
 pub use topology::{GilbertElliott, LinkModel, LinkPhase, LinkState, Topology};
 pub use world::{RebootFactory, World, WorldBuilder};
 
+/// The flight-recorder record/diff/timeline types (re-export of the
+/// `manetkit-trace` crate), available with the `trace` feature.
+#[cfg(feature = "trace")]
+pub use mktrace as trace;
+
 /// Convenient glob-import surface.
 pub mod prelude {
     pub use crate::{

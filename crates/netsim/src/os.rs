@@ -124,6 +124,11 @@ pub struct NodeOs {
     counters: HashMap<&'static str, u64>,
     /// Monotonic source for protocol sequence numbers.
     seq: u16,
+    /// Flight-recorder ring, installed by [`WorldBuilder::trace`]
+    /// (crate::WorldBuilder::trace). Boxed so the common untraced `NodeOs`
+    /// stays one pointer wider, not one ring wider.
+    #[cfg(feature = "trace")]
+    pub(crate) trace: Option<Box<mktrace::NodeRing>>,
 }
 
 impl NodeOs {
@@ -150,6 +155,8 @@ impl NodeOs {
             battery: Battery::new(battery),
             counters: HashMap::new(),
             seq: 0,
+            #[cfg(feature = "trace")]
+            trace: None,
         }
     }
 
@@ -284,6 +291,126 @@ impl NodeOs {
         self.actions.clear();
         self.cancelled_timers.clear();
         dropped
+    }
+
+    /// Installs a flight-recorder ring of the given capacity on this node.
+    #[cfg(feature = "trace")]
+    pub(crate) fn install_trace(&mut self, capacity: usize) {
+        self.trace = Some(Box::new(mktrace::NodeRing::new(capacity)));
+    }
+
+    /// The node's flight-recorder ring, if tracing was enabled at build
+    /// time via [`WorldBuilder::trace`](crate::WorldBuilder::trace).
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub fn trace_ring(&self) -> Option<&mktrace::NodeRing> {
+        self.trace.as_deref()
+    }
+
+    /// Appends a record stamped with an explicit virtual time. One branch
+    /// and one ring write when a recorder is attached; one branch when not.
+    #[cfg(feature = "trace")]
+    #[inline]
+    pub(crate) fn trace_emit_at(
+        &mut self,
+        t_us: u64,
+        kind: mktrace::TraceKind,
+        tag: &'static str,
+        a: u64,
+        b: u64,
+    ) {
+        if let Some(ring) = &mut self.trace {
+            ring.push(mktrace::TraceRecord {
+                t_us,
+                node: self.id.0 as u32,
+                kind,
+                tag,
+                a,
+                b,
+            });
+        }
+    }
+
+    #[cfg(feature = "trace")]
+    #[inline]
+    fn trace_emit(&mut self, kind: mktrace::TraceKind, tag: &'static str, a: u64, b: u64) {
+        let t = self.now.as_micros();
+        self.trace_emit_at(t, kind, tag, a, b);
+    }
+
+    // --- Semantic trace hooks -------------------------------------------
+    //
+    // Always present so higher layers (manetkit core) can call them without
+    // any feature gating; each compiles to an empty body when the `trace`
+    // feature is off.
+
+    /// Records a bus dispatch: `event_type` delivered to one subscriber
+    /// (`unit`), with `queue_depth` events still pending behind it.
+    #[inline]
+    pub fn trace_bus_deliver(&mut self, event_type: &'static str, unit: u64, queue_depth: u64) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(
+            mktrace::TraceKind::BusDeliver,
+            event_type,
+            unit,
+            queue_depth,
+        );
+        #[cfg(not(feature = "trace"))]
+        let _ = (event_type, unit, queue_depth);
+    }
+
+    /// Records the start of a quiescent reconfiguration batch: `pending`
+    /// queued ops, the oldest of which waited `waited_us` virtual time.
+    #[inline]
+    pub fn trace_quiesce_begin(&mut self, pending: u64, waited_us: u64) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(
+            mktrace::TraceKind::QuiesceBegin,
+            "reconfig",
+            pending,
+            waited_us,
+        );
+        #[cfg(not(feature = "trace"))]
+        let _ = (pending, waited_us);
+    }
+
+    /// Records a state transfer between protocol generations during `op`;
+    /// `carried` is whether live state crossed the swap.
+    #[inline]
+    pub fn trace_state_transfer(&mut self, op: &'static str, carried: bool) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::StateTransfer, op, u64::from(carried), 0);
+        #[cfg(not(feature = "trace"))]
+        let _ = (op, carried);
+    }
+
+    /// Records a connector/tuple rebind performed by `op`.
+    #[inline]
+    pub fn trace_rebind(&mut self, op: &'static str) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::Rebind, op, 0, 0);
+        #[cfg(not(feature = "trace"))]
+        let _ = op;
+    }
+
+    /// Records the end of a reconfiguration batch: `applied` ops succeeded,
+    /// the framework is now at reconfiguration `generation`.
+    #[inline]
+    pub fn trace_resume(&mut self, applied: u64, generation: u64) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::Resume, "reconfig", applied, generation);
+        #[cfg(not(feature = "trace"))]
+        let _ = (applied, generation);
+    }
+
+    /// Records one applied reconfiguration operation (`op` names the
+    /// variant, e.g. `add_protocol`).
+    #[inline]
+    pub fn trace_reconfig_apply(&mut self, op: &'static str) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::ReconfigApply, op, 0, 0);
+        #[cfg(not(feature = "trace"))]
+        let _ = op;
     }
 }
 

@@ -254,6 +254,91 @@ impl WorldStats {
     pub fn delivered(&self) -> u64 {
         self.data_delivered
     }
+
+    /// The first field (in declaration order) on which two snapshots
+    /// disagree, as `(field name, self value, other value)`; `None` when
+    /// they are equal. This is the campaign determinism checker's first
+    /// diagnostic: it names *what* diverged before the trace replay shows
+    /// *where*.
+    #[must_use]
+    pub fn first_difference(&self, other: &WorldStats) -> Option<(&'static str, String, String)> {
+        macro_rules! cmp {
+            ($field:ident) => {
+                if self.$field != other.$field {
+                    return Some((
+                        stringify!($field),
+                        format!("{:?}", self.$field),
+                        format!("{:?}", other.$field),
+                    ));
+                }
+            };
+        }
+        cmp!(data_sent);
+        cmp!(data_delivered);
+        cmp!(data_dropped_ttl);
+        cmp!(data_dropped_link);
+        cmp!(data_dropped_buffer);
+        cmp!(data_dropped_crash);
+        cmp!(data_corrupted);
+        cmp!(data_duplicated);
+        cmp!(data_dup_delivered);
+        cmp!(data_reordered);
+        cmp!(data_hops);
+        cmp!(delivery_latency_total);
+        if self.delivery_latencies_us != other.delivery_latencies_us {
+            let idx = self
+                .delivery_latencies_us
+                .iter()
+                .zip(&other.delivery_latencies_us)
+                .position(|(a, b)| a != b)
+                .unwrap_or_else(|| {
+                    self.delivery_latencies_us
+                        .len()
+                        .min(other.delivery_latencies_us.len())
+                });
+            let show = |v: &Vec<u64>| match v.get(idx) {
+                Some(us) => format!("[{idx}]={us}us"),
+                None => format!("len={}", v.len()),
+            };
+            return Some((
+                "delivery_latencies_us",
+                show(&self.delivery_latencies_us),
+                show(&other.delivery_latencies_us),
+            ));
+        }
+        cmp!(control_frames);
+        cmp!(control_bytes);
+        cmp!(control_received);
+        cmp!(control_lost);
+        cmp!(faults_injected);
+        cmp!(node_crashes);
+        cmp!(node_reboots);
+        cmp!(battery_exhaustions);
+        cmp!(partitions_started);
+        cmp!(partitions_healed);
+        cmp!(link_flaps);
+        if self.agent_counters != other.agent_counters {
+            let mut names: Vec<&String> = self
+                .agent_counters
+                .keys()
+                .chain(other.agent_counters.keys())
+                .collect();
+            names.sort();
+            names.dedup();
+            for name in names {
+                let a = self.agent_counters.get(name).copied().unwrap_or(0);
+                let b = other.agent_counters.get(name).copied().unwrap_or(0);
+                if a != b {
+                    return Some((
+                        "agent_counters",
+                        format!("{name}={a}"),
+                        format!("{name}={b}"),
+                    ));
+                }
+            }
+        }
+        None
+    }
 }
 
 /// A cursor over a [`World`](crate::World)'s statistics stream.
@@ -428,6 +513,38 @@ mod tests {
         );
         // Identity: merging the zero snapshot changes nothing.
         assert_eq!(a.clone().merged(&WorldStats::default()), a.canonical());
+    }
+
+    #[test]
+    fn first_difference_names_the_earliest_divergent_field() {
+        let a = WorldStats {
+            data_sent: 5,
+            control_frames: 9,
+            ..WorldStats::default()
+        };
+        assert_eq!(a.first_difference(&a), None);
+
+        let mut b = a.clone();
+        b.control_frames = 11;
+        b.data_hops = 2;
+        // data_hops precedes control_frames in declaration order.
+        let (field, left, right) = a.first_difference(&b).unwrap();
+        assert_eq!(field, "data_hops");
+        assert_eq!((left.as_str(), right.as_str()), ("0", "2"));
+
+        let mut c = a.clone();
+        c.delivery_latencies_us = vec![10, 30];
+        let mut d = a.clone();
+        d.delivery_latencies_us = vec![10, 40];
+        let (field, left, right) = c.first_difference(&d).unwrap();
+        assert_eq!(field, "delivery_latencies_us");
+        assert_eq!((left.as_str(), right.as_str()), ("[1]=30us", "[1]=40us"));
+
+        let mut e = a.clone();
+        e.agent_counters.insert("olsr.tc".into(), 3);
+        let (field, left, right) = a.first_difference(&e).unwrap();
+        assert_eq!(field, "agent_counters");
+        assert_eq!((left.as_str(), right.as_str()), ("olsr.tc=0", "olsr.tc=3"));
     }
 
     #[test]

@@ -106,6 +106,8 @@ pub struct WorldBuilder {
     default_ttl: u8,
     nf_capacity: usize,
     fault_plan: Option<FaultPlan>,
+    #[cfg(feature = "trace")]
+    trace_capacity: Option<usize>,
 }
 
 impl Default for WorldBuilder {
@@ -121,6 +123,8 @@ impl Default for WorldBuilder {
             default_ttl: 32,
             nf_capacity: 64,
             fault_plan: None,
+            #[cfg(feature = "trace")]
+            trace_capacity: None,
         }
     }
 }
@@ -200,6 +204,19 @@ impl WorldBuilder {
         self
     }
 
+    /// Attaches the flight recorder: every node gets a fixed-capacity ring
+    /// of [`trace::TraceRecord`](mktrace::TraceRecord)s fed from the frame
+    /// plane, the data plane and the reconfiguration hooks. When the ring
+    /// fills, the oldest records are overwritten (see
+    /// [`World::trace_dropped`]). Virtual timestamps make the trace of a
+    /// seeded run byte-stable across repeats.
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub fn trace(mut self, capacity: usize) -> Self {
+        self.trace_capacity = Some(capacity);
+        self
+    }
+
     /// Builds the world.
     ///
     /// # Panics
@@ -216,6 +233,10 @@ impl WorldBuilder {
             addr_to_node.insert(addr, NodeId(i));
             let mut os = NodeOs::new(NodeId(i), addr, self.battery);
             os.nf_buffer_cap = self.nf_capacity;
+            #[cfg(feature = "trace")]
+            if let Some(cap) = self.trace_capacity {
+                os.install_trace(cap);
+            }
             nodes.push(NodeSlot {
                 os,
                 agent: None,
@@ -308,6 +329,23 @@ fn node_address(i: usize) -> Address {
     Address::v4([10, 0, (i / 250) as u8, (i % 250 + 1) as u8])
 }
 
+/// Appends a flight-recorder record for `$node` at the world's current
+/// virtual time. Expands to nothing without the `trace` feature, keeping
+/// call sites single-line with zero disabled cost; operand expressions are
+/// only evaluated when the feature is on.
+macro_rules! tr {
+    ($w:expr, $node:expr, $kind:ident, $tag:expr, $a:expr, $b:expr) => {
+        #[cfg(feature = "trace")]
+        {
+            let t = $w.now.as_micros();
+            let (a, b) = (($a) as u64, ($b) as u64);
+            $w.nodes[$node.0]
+                .os
+                .trace_emit_at(t, mktrace::TraceKind::$kind, $tag, a, b);
+        }
+    };
+}
+
 impl World {
     /// Starts configuring a world.
     #[must_use]
@@ -344,14 +382,6 @@ impl World {
     #[must_use]
     pub fn addr(&self, node: NodeId) -> Address {
         self.nodes[node.0].os.addr()
-    }
-
-    /// Deprecated raw-index variant of [`addr`](Self::addr).
-    #[doc(hidden)]
-    #[deprecated(since = "0.1.0", note = "use `World::addr(NodeId)` instead")]
-    #[must_use]
-    pub fn node_addr(&self, i: usize) -> Address {
-        self.addr(NodeId(i))
     }
 
     /// Resolves an address to its node.
@@ -542,6 +572,55 @@ impl World {
         window
     }
 
+    // ---- flight recorder --------------------------------------------------
+
+    /// The merged flight-recorder trace: every node's ring, interleaved by
+    /// `(virtual time, node)`. Empty when tracing was not enabled via
+    /// [`WorldBuilder::trace`].
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub fn trace(&self) -> mktrace::Trace {
+        mktrace::Trace::from_nodes(
+            self.nodes
+                .iter()
+                .map(|slot| {
+                    slot.os
+                        .trace_ring()
+                        .map(mktrace::NodeRing::to_vec)
+                        .unwrap_or_default()
+                })
+                .collect(),
+        )
+    }
+
+    /// Byte-stable JSONL serialization of [`trace`](Self::trace): the same
+    /// seeded run always produces the identical string.
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub fn trace_jsonl(&self) -> String {
+        self.trace().to_jsonl()
+    }
+
+    /// Pcap capture of the packet-level trace records (virtual
+    /// timestamps), viewable in standard tooling via `LINKTYPE_USER0`.
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub fn trace_pcap(&self) -> Vec<u8> {
+        mktrace::pcap::export(&self.trace())
+    }
+
+    /// Total records overwritten across all node rings; zero means the
+    /// configured capacity held the whole run.
+    #[cfg(feature = "trace")]
+    #[must_use]
+    pub fn trace_dropped(&self) -> u64 {
+        self.nodes
+            .iter()
+            .filter_map(|slot| slot.os.trace_ring())
+            .map(mktrace::NodeRing::dropped)
+            .sum()
+    }
+
     // ---- internals --------------------------------------------------------
 
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
@@ -631,6 +710,14 @@ impl World {
                 };
                 self.stats.data_sent += 1;
                 self.sent_at.insert(id, self.now);
+                tr!(
+                    self,
+                    node,
+                    DataSend,
+                    "data",
+                    self.node_of(packet.dst).map_or(u64::MAX, |n| n.0 as u64),
+                    packet.payload.len()
+                );
                 self.schedule(self.now, EventKind::DataPlane { node, packet });
             }
         }
@@ -643,13 +730,16 @@ impl World {
         self.nodes[node.0].os.battery.drain_tx(frame_len);
         match dst {
             None => {
+                tr!(self, node, FrameTx, "frame.control", frame_len, u64::MAX);
                 for nb in self.topo.neighbours(node) {
                     if !self.reachable(node, nb) {
                         self.stats.control_lost += 1;
+                        tr!(self, node, FrameDrop, "unreachable", nb.0, frame_len);
                         continue;
                     }
                     if self.sample_link_loss(node, nb) {
                         self.stats.control_lost += 1;
+                        tr!(self, node, FrameDrop, "loss", nb.0, frame_len);
                         continue;
                     }
                     let delay = self.link_model.sample_delay(&mut self.rng);
@@ -666,10 +756,13 @@ impl World {
             Some(addr) => {
                 let Some(nb) = self.node_of(addr) else {
                     self.stats.control_lost += 1;
+                    tr!(self, node, FrameDrop, "no_such_addr", u64::MAX, frame_len);
                     return;
                 };
+                tr!(self, node, FrameTx, "frame.control", frame_len, nb.0);
                 if !self.reachable(node, nb) {
                     self.stats.control_lost += 1;
+                    tr!(self, node, FrameDrop, "unreachable", nb.0, frame_len);
                     if self.link_feedback {
                         self.with_agent(node, |agent, os| {
                             agent.on_filter_event(os, FilterEvent::TxFailed { neighbour: addr });
@@ -679,6 +772,7 @@ impl World {
                 }
                 if self.sample_link_loss(node, nb) {
                     self.stats.control_lost += 1;
+                    tr!(self, node, FrameDrop, "loss", nb.0, frame_len);
                     return;
                 }
                 let delay = self.link_model.sample_delay(&mut self.rng);
@@ -706,9 +800,11 @@ impl World {
                 Frame::Control(bytes) => {
                     if self.nodes[node.0].crashed {
                         self.stats.control_lost += 1;
+                        tr!(self, node, FrameDrop, "crashed", from.0, bytes.len());
                         return;
                     }
                     self.stats.control_received += 1;
+                    tr!(self, node, FrameRx, "frame.control", from.0, bytes.len());
                     let from_addr = self.nodes[from.0].os.addr();
                     self.nodes[node.0].os.battery.drain_rx(bytes.len());
                     self.with_agent(node, |agent, os| agent.on_frame(os, from_addr, &bytes));
@@ -716,6 +812,7 @@ impl World {
                 Frame::Data(packet) => {
                     if self.nodes[node.0].crashed {
                         self.stats.data_dropped_crash += 1;
+                        tr!(self, node, DataDrop, "crash", packet.id, packet.ttl);
                         return;
                     }
                     self.nodes[node.0].os.battery.drain_rx(packet.wire_len());
@@ -736,11 +833,20 @@ impl World {
             EventKind::DataInject { node, packet } => {
                 self.stats.data_sent += 1;
                 self.sent_at.insert(packet.id, self.now);
+                tr!(
+                    self,
+                    node,
+                    DataSend,
+                    "data",
+                    self.node_of(packet.dst).map_or(u64::MAX, |n| n.0 as u64),
+                    packet.payload.len()
+                );
                 self.dispatch(EventKind::DataPlane { node, packet });
             }
             EventKind::DataPlane { node, packet } => {
                 if self.nodes[node.0].crashed {
                     self.stats.data_dropped_crash += 1;
+                    tr!(self, node, DataDrop, "crash", packet.id, packet.ttl);
                     return;
                 }
                 // Give the agent's packet-inspection hook first refusal.
@@ -756,10 +862,19 @@ impl World {
                     self.data_plane(node, packet);
                 } else {
                     self.stats.data_dropped_buffer += 1;
+                    tr!(self, node, DataDrop, "filter", packet.id, packet.ttl);
                 }
             }
             EventKind::LinkChange { a, b, state } => {
                 self.topo.set_link(a, b, state);
+                tr!(
+                    self,
+                    NodeId(a.0.min(b.0)),
+                    LinkChange,
+                    "mobility",
+                    a.0.max(b.0),
+                    matches!(state, LinkState::Up)
+                );
             }
             EventKind::ContextTick { node } => {
                 if !self.nodes[node.0].crashed {
@@ -788,11 +903,13 @@ impl World {
             FaultKind::PartitionStart { name, groups } => {
                 if self.fault.start_partition(&name, &groups) {
                     self.stats.partitions_started += 1;
+                    tr!(self, NodeId(0), Fault, "partition.start", groups.len(), 0);
                 }
             }
             FaultKind::PartitionHeal { name } => {
                 if self.fault.heal_partition(&name) {
                     self.stats.partitions_healed += 1;
+                    tr!(self, NodeId(0), Fault, "partition.heal", 0, 0);
                 }
             }
         }
@@ -821,6 +938,14 @@ impl World {
         }
         let dropped = slot.os.crash_flush();
         self.stats.data_dropped_crash += dropped as u64;
+        tr!(
+            self,
+            node,
+            NodeCrash,
+            if exhausted { "battery" } else { "crash" },
+            dropped,
+            0
+        );
     }
 
     /// Revives a crashed node: fresh battery, flushed OS, agent restarted
@@ -840,6 +965,7 @@ impl World {
             slot.agent = Some(make());
         }
         self.stats.node_reboots += 1;
+        tr!(self, node, NodeReboot, "reboot", 0, 0);
         if self.nodes[node.0].agent.is_some() {
             self.schedule(now, EventKind::StartAgent { node });
         }
@@ -882,6 +1008,7 @@ impl World {
             let first = self.sent_at.remove(&packet.id);
             if self.dedupe_delivery && first.is_none() {
                 self.stats.data_dup_delivered += 1;
+                tr!(self, node, DataDrop, "duplicate", packet.id, packet.ttl);
                 return;
             }
             self.stats.data_delivered += 1;
@@ -890,6 +1017,14 @@ impl World {
                 self.stats.delivery_latency_total = self.stats.delivery_latency_total + latency;
                 self.stats.delivery_latencies_us.push(latency.as_micros());
             }
+            tr!(
+                self,
+                node,
+                DataDeliver,
+                "data",
+                packet.id,
+                first.map_or(0, |sent| self.now.since(sent).as_micros())
+            );
             return;
         }
         let route = self.nodes[node.0]
@@ -906,9 +1041,16 @@ impl World {
                     let os = &mut self.nodes[node.0].os;
                     let q = os.nf_buffer.entry(dst).or_default();
                     q.push_back(packet);
-                    if q.len() > os.nf_buffer_cap {
-                        q.pop_front();
+                    let overflow = if q.len() > os.nf_buffer_cap {
+                        q.pop_front()
+                    } else {
+                        None
+                    };
+                    if let Some(old) = overflow {
                         self.stats.data_dropped_buffer += 1;
+                        tr!(self, node, DataDrop, "buffer", old.id, old.ttl);
+                        #[cfg(not(feature = "trace"))]
+                        let _ = old;
                     }
                     self.with_agent(node, |agent, os| {
                         agent.on_filter_event(os, FilterEvent::NoRoute { dst });
@@ -917,6 +1059,7 @@ impl World {
                     // Transit packet with no route: drop and raise the
                     // route-error trigger.
                     self.stats.data_dropped_link += 1;
+                    tr!(self, node, DataDrop, "no_route", packet.id, packet.ttl);
                     let (src, dst) = (packet.src, packet.dst);
                     self.with_agent(node, |agent, os| {
                         agent.on_filter_event(
@@ -936,12 +1079,14 @@ impl World {
     fn forward(&mut self, node: NodeId, packet: DataPacket, next_hop: Address) {
         let Some(nb) = self.node_of(next_hop) else {
             self.stats.data_dropped_link += 1;
+            tr!(self, node, DataDrop, "bad_next_hop", packet.id, packet.ttl);
             return;
         };
         let local_addr = self.nodes[node.0].os.addr();
         let link_ok = self.reachable(node, nb) && !self.sample_link_loss(node, nb);
         if !link_ok {
             self.stats.data_dropped_link += 1;
+            tr!(self, node, DataDrop, "link", packet.id, packet.ttl);
             let dst = packet.dst;
             let src = packet.src;
             if self.link_feedback {
@@ -963,11 +1108,13 @@ impl World {
         }
         let Some(next_packet) = packet.next_hop_copy() else {
             self.stats.data_dropped_ttl += 1;
+            tr!(self, node, DataDrop, "ttl", packet.id, packet.ttl);
             return;
         };
         let wire = next_packet.wire_len();
         self.nodes[node.0].os.battery.drain_tx(wire);
         self.stats.data_hops += 1;
+        tr!(self, node, DataHop, "data", nb.0, next_packet.ttl);
         let dst = next_packet.dst;
         self.with_agent(node, |agent, os| {
             agent.on_filter_event(os, FilterEvent::RouteUsed { dst, next_hop });
@@ -978,6 +1125,14 @@ impl World {
             // simulation stream is unchanged by enabling a fault plan.
             if chaos.corrupt > 0.0 && self.fault.rng.gen_bool(chaos.corrupt) {
                 self.stats.data_corrupted += 1;
+                tr!(
+                    self,
+                    node,
+                    DataDrop,
+                    "corrupt",
+                    next_packet.id,
+                    next_packet.ttl
+                );
                 return;
             }
             let copies = if chaos.duplicate > 0.0 && self.fault.rng.gen_bool(chaos.duplicate) {

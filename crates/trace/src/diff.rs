@@ -1,0 +1,114 @@
+//! First-divergence comparison of two traces.
+
+use std::fmt;
+
+use crate::record::TraceRecord;
+use crate::Trace;
+
+/// The first point where two traces stop agreeing.
+///
+/// `left`/`right` are the records at the diverging index (`None` when one
+/// trace simply ended early). [`fmt::Display`] renders the campaign
+/// engine's one-line post-mortem: index, node, virtual time and record
+/// kind of both sides.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Divergence {
+    /// Index into the merged record streams where the traces differ.
+    pub index: usize,
+    /// The left trace's record at `index`, if any.
+    pub left: Option<TraceRecord>,
+    /// The right trace's record at `index`, if any.
+    pub right: Option<TraceRecord>,
+}
+
+impl fmt::Display for Divergence {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fn side(r: &Option<TraceRecord>) -> String {
+            match r {
+                Some(r) => format!(
+                    "node {} at t={}us kind={} tag={} a={} b={}",
+                    r.node, r.t_us, r.kind, r.tag, r.a, r.b
+                ),
+                None => "<end of trace>".to_string(),
+            }
+        }
+        write!(
+            f,
+            "first divergence at record #{}: {} vs {}",
+            self.index,
+            side(&self.left),
+            side(&self.right)
+        )
+    }
+}
+
+/// Compares two traces record by record and returns the first index where
+/// they differ, or `None` when they are identical.
+///
+/// Because both traces are in the deterministic merged order, the first
+/// differing record localises *where* two supposedly identical runs
+/// diverged: which node, at which virtual time, doing what.
+#[must_use]
+pub fn first_divergence(left: &Trace, right: &Trace) -> Option<Divergence> {
+    let (l, r) = (left.records(), right.records());
+    let n = l.len().max(r.len());
+    for i in 0..n {
+        let (lr, rr) = (l.get(i).copied(), r.get(i).copied());
+        if lr != rr {
+            return Some(Divergence {
+                index: i,
+                left: lr,
+                right: rr,
+            });
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceKind;
+
+    fn rec(t_us: u64, node: u32, a: u64) -> TraceRecord {
+        TraceRecord {
+            t_us,
+            node,
+            kind: TraceKind::DataDeliver,
+            tag: "data",
+            a,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn identical_traces_have_no_divergence() {
+        let t = Trace::from_records(vec![rec(1, 0, 1), rec(2, 1, 2)]);
+        assert_eq!(first_divergence(&t, &t.clone()), None);
+    }
+
+    #[test]
+    fn reports_first_differing_record() {
+        let a = Trace::from_records(vec![rec(1, 0, 1), rec(2, 1, 2), rec(3, 2, 3)]);
+        let b = Trace::from_records(vec![rec(1, 0, 1), rec(2, 1, 9), rec(3, 2, 3)]);
+        let d = first_divergence(&a, &b).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert_eq!(d.left.unwrap().a, 2);
+        assert_eq!(d.right.unwrap().a, 9);
+        let msg = d.to_string();
+        assert!(msg.contains("record #1"), "{msg}");
+        assert!(msg.contains("node 1"), "{msg}");
+        assert!(msg.contains("t=2us"), "{msg}");
+        assert!(msg.contains("kind=data_deliver"), "{msg}");
+    }
+
+    #[test]
+    fn truncation_counts_as_divergence() {
+        let a = Trace::from_records(vec![rec(1, 0, 1), rec(2, 1, 2)]);
+        let b = Trace::from_records(vec![rec(1, 0, 1)]);
+        let d = first_divergence(&a, &b).expect("diverges");
+        assert_eq!(d.index, 1);
+        assert!(d.right.is_none());
+        assert!(d.to_string().contains("<end of trace>"));
+    }
+}

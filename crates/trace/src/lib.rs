@@ -1,0 +1,176 @@
+//! Deterministic flight recorder for the MANETKit reproduction.
+//!
+//! Every layer of the stack — the `netsim` frame/data plane, the `manetkit`
+//! event bus and the quiescence-guarded reconfiguration machinery — emits
+//! fixed-size [`TraceRecord`]s into per-node [`NodeRing`] buffers. Records
+//! carry **virtual** timestamps only, so two runs of the same seeded world
+//! produce byte-identical traces however fast the host executed them.
+//!
+//! The crate is dependency-free and knows nothing about worlds or agents;
+//! the `trace` cargo feature on `netsim` decides whether any records are
+//! produced at all (compiled out entirely when disabled). Consumers:
+//!
+//! * [`Trace`] — a merged, deterministically ordered record stream with
+//!   byte-stable JSONL serialization ([`Trace::to_jsonl`] /
+//!   [`Trace::from_jsonl`]) and a pcap-style binary export
+//!   ([`pcap::export`]).
+//! * [`first_divergence`] — compares two traces and reports the first
+//!   record where they differ (node, virtual time, record kind), the
+//!   campaign engine's `--check-determinism` post-mortem.
+//! * [`timeline::render_node`] — a per-node reconfiguration timeline
+//!   (quiesce-begin → state-transfer → rebind → resume with per-phase
+//!   virtual durations) used by the examples.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod diff;
+mod record;
+mod ring;
+
+pub mod pcap;
+pub mod timeline;
+
+pub use diff::{first_divergence, Divergence};
+pub use record::{intern_tag, TraceKind, TraceRecord};
+pub use ring::NodeRing;
+
+use std::fmt;
+
+/// A merged trace: every node's records in one deterministic order.
+///
+/// Ordering is `(t_us, node, per-node emission order)` — a *stable* sort of
+/// the per-node chronological streams, so ties at the same virtual
+/// microsecond resolve identically on every run.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Trace {
+    records: Vec<TraceRecord>,
+}
+
+impl Trace {
+    /// Builds a trace from per-node record streams (each already in its
+    /// node's emission order). The merge is deterministic.
+    #[must_use]
+    pub fn from_nodes(nodes: Vec<Vec<TraceRecord>>) -> Self {
+        let mut records: Vec<TraceRecord> = nodes.into_iter().flatten().collect();
+        records.sort_by_key(|r| (r.t_us, r.node));
+        Trace { records }
+    }
+
+    /// Builds a trace from an already-ordered record list (no re-sort).
+    #[must_use]
+    pub fn from_records(records: Vec<TraceRecord>) -> Self {
+        Trace { records }
+    }
+
+    /// The ordered records.
+    #[must_use]
+    pub fn records(&self) -> &[TraceRecord] {
+        &self.records
+    }
+
+    /// Number of records.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    /// Whether the trace holds no records.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    /// Byte-stable JSONL serialization: one record per line, fixed key
+    /// order, no whitespace, tag names inline (so the bytes are stable
+    /// across processes — intern ids never leak into the format).
+    #[must_use]
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::with_capacity(self.records.len() * 64);
+        for r in &self.records {
+            r.write_jsonl(&mut out);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Parses a JSONL trace produced by [`Trace::to_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a line-numbered message when any line is not a well-formed
+    /// record.
+    pub fn from_jsonl(s: &str) -> Result<Self, String> {
+        let mut records = Vec::new();
+        for (i, line) in s.lines().enumerate() {
+            if line.trim().is_empty() {
+                continue;
+            }
+            let rec =
+                TraceRecord::parse_jsonl(line).map_err(|e| format!("trace line {}: {e}", i + 1))?;
+            records.push(rec);
+        }
+        Ok(Trace { records })
+    }
+}
+
+impl fmt::Display for Trace {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "trace of {} records", self.records.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rec(t_us: u64, node: u32, kind: TraceKind) -> TraceRecord {
+        TraceRecord {
+            t_us,
+            node,
+            kind,
+            tag: "test.tag",
+            a: 1,
+            b: 2,
+        }
+    }
+
+    #[test]
+    fn merge_orders_by_time_then_node_stably() {
+        let n0 = vec![rec(5, 0, TraceKind::FrameTx), rec(5, 0, TraceKind::FrameRx)];
+        let n1 = vec![
+            rec(3, 1, TraceKind::DataSend),
+            rec(5, 1, TraceKind::DataHop),
+        ];
+        let t = Trace::from_nodes(vec![n0, n1]);
+        let kinds: Vec<TraceKind> = t.records().iter().map(|r| r.kind).collect();
+        assert_eq!(
+            kinds,
+            vec![
+                TraceKind::DataSend, // t=3
+                TraceKind::FrameTx,  // t=5 node 0, emission order kept
+                TraceKind::FrameRx,
+                TraceKind::DataHop, // t=5 node 1
+            ]
+        );
+    }
+
+    #[test]
+    fn jsonl_round_trips_byte_identically() {
+        let t = Trace::from_nodes(vec![vec![
+            rec(1, 0, TraceKind::FrameTx),
+            rec(2, 0, TraceKind::QuiesceBegin),
+            rec(3, 0, TraceKind::Resume),
+        ]]);
+        let jsonl = t.to_jsonl();
+        let back = Trace::from_jsonl(&jsonl).expect("parses");
+        assert_eq!(back, t);
+        assert_eq!(back.to_jsonl(), jsonl, "serialization is byte-stable");
+    }
+
+    #[test]
+    fn jsonl_parse_reports_bad_lines() {
+        let err = Trace::from_jsonl("{\"nope\":1}").unwrap_err();
+        assert!(err.contains("line 1"), "{err}");
+    }
+}

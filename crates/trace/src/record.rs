@@ -1,0 +1,351 @@
+//! The fixed-size trace record and its byte-stable JSONL form.
+
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Mutex, OnceLock};
+
+/// What a [`TraceRecord`] describes. One byte on the wire; the JSONL form
+/// uses the stable snake_case names from [`TraceKind::as_str`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[repr(u8)]
+#[non_exhaustive]
+pub enum TraceKind {
+    /// Control frame transmitted (`a` = wire bytes, `b` = receiver count).
+    FrameTx,
+    /// Control frame received (`a` = sender node, `b` = wire bytes).
+    FrameRx,
+    /// Control frame dropped in flight (`tag` = reason, `a` = intended
+    /// receiver node, `b` = wire bytes).
+    FrameDrop,
+    /// Data packet originated (`a` = destination node or `u64::MAX` when
+    /// unresolved, `b` = payload bytes).
+    DataSend,
+    /// Data packet forwarded one hop (`a` = next-hop node, `b` = TTL left).
+    DataHop,
+    /// Data packet delivered (`a` = source node, `b` = latency in virtual
+    /// microseconds).
+    DataDeliver,
+    /// Data packet dropped (`tag` = reason, `a` = destination node or
+    /// `u64::MAX`, `b` = payload bytes).
+    DataDrop,
+    /// Event-bus delivery span (`tag` = interned event-type name, `a` =
+    /// handler units reached, `b` = queue depth after dispatch).
+    BusDeliver,
+    /// Reconfiguration quiesce point reached (`a` = pending ops drained,
+    /// `b` = virtual microseconds the oldest op waited).
+    QuiesceBegin,
+    /// Protocol state carried over during a switch (`tag` = op label, `a` =
+    /// 1 when state was transferred, 0 for a cold switch).
+    StateTransfer,
+    /// Component rebind (tuple-space update) applied (`tag` = op label).
+    Rebind,
+    /// Reconfiguration batch finished, normal processing resumed (`a` =
+    /// ops applied, `b` = quiescence-lock reconfig generation).
+    Resume,
+    /// A single reconfig op applied outside the phase records (`tag` = op
+    /// label).
+    ReconfigApply,
+    /// Fault injected (`tag` = fault label).
+    Fault,
+    /// Node crashed (`a` = buffered packets lost).
+    NodeCrash,
+    /// Node rebooted.
+    NodeReboot,
+    /// Link state changed (`a` = peer node, `b` = 1 up / 0 down).
+    LinkChange,
+}
+
+impl TraceKind {
+    /// Stable snake_case name (the JSONL `kind` value).
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TraceKind::FrameTx => "frame_tx",
+            TraceKind::FrameRx => "frame_rx",
+            TraceKind::FrameDrop => "frame_drop",
+            TraceKind::DataSend => "data_send",
+            TraceKind::DataHop => "data_hop",
+            TraceKind::DataDeliver => "data_deliver",
+            TraceKind::DataDrop => "data_drop",
+            TraceKind::BusDeliver => "bus_deliver",
+            TraceKind::QuiesceBegin => "quiesce_begin",
+            TraceKind::StateTransfer => "state_transfer",
+            TraceKind::Rebind => "rebind",
+            TraceKind::Resume => "resume",
+            TraceKind::ReconfigApply => "reconfig_apply",
+            TraceKind::Fault => "fault",
+            TraceKind::NodeCrash => "node_crash",
+            TraceKind::NodeReboot => "node_reboot",
+            TraceKind::LinkChange => "link_change",
+        }
+    }
+
+    /// Parses a stable name back into a kind.
+    #[must_use]
+    pub fn parse(s: &str) -> Option<TraceKind> {
+        Some(match s {
+            "frame_tx" => TraceKind::FrameTx,
+            "frame_rx" => TraceKind::FrameRx,
+            "frame_drop" => TraceKind::FrameDrop,
+            "data_send" => TraceKind::DataSend,
+            "data_hop" => TraceKind::DataHop,
+            "data_deliver" => TraceKind::DataDeliver,
+            "data_drop" => TraceKind::DataDrop,
+            "bus_deliver" => TraceKind::BusDeliver,
+            "quiesce_begin" => TraceKind::QuiesceBegin,
+            "state_transfer" => TraceKind::StateTransfer,
+            "rebind" => TraceKind::Rebind,
+            "resume" => TraceKind::Resume,
+            "reconfig_apply" => TraceKind::ReconfigApply,
+            "fault" => TraceKind::Fault,
+            "node_crash" => TraceKind::NodeCrash,
+            "node_reboot" => TraceKind::NodeReboot,
+            "link_change" => TraceKind::LinkChange,
+            _ => return None,
+        })
+    }
+
+    /// Whether the record describes a frame/packet event (exported to
+    /// pcap).
+    #[must_use]
+    pub fn is_packet(self) -> bool {
+        matches!(
+            self,
+            TraceKind::FrameTx
+                | TraceKind::FrameRx
+                | TraceKind::FrameDrop
+                | TraceKind::DataSend
+                | TraceKind::DataHop
+                | TraceKind::DataDeliver
+                | TraceKind::DataDrop
+        )
+    }
+
+    /// Whether the record belongs to the reconfiguration timeline.
+    #[must_use]
+    pub fn is_reconfig(self) -> bool {
+        matches!(
+            self,
+            TraceKind::QuiesceBegin
+                | TraceKind::StateTransfer
+                | TraceKind::Rebind
+                | TraceKind::Resume
+                | TraceKind::ReconfigApply
+        )
+    }
+}
+
+impl fmt::Display for TraceKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// One fixed-size flight-recorder entry.
+///
+/// `tag` is an interned `&'static str` — producers pass names that already
+/// live for the program (interned event types, literal reason strings);
+/// the JSONL parser interns unknown names via [`intern_tag`]. The `a`/`b`
+/// payload words are kind-specific (see [`TraceKind`]'s variant docs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct TraceRecord {
+    /// Virtual timestamp in microseconds.
+    pub t_us: u64,
+    /// Emitting node.
+    pub node: u32,
+    /// What happened.
+    pub kind: TraceKind,
+    /// Kind-specific label (event type, drop reason, op name…).
+    pub tag: &'static str,
+    /// First kind-specific payload word.
+    pub a: u64,
+    /// Second kind-specific payload word.
+    pub b: u64,
+}
+
+impl TraceRecord {
+    /// Appends the record's byte-stable JSONL object (no trailing newline).
+    ///
+    /// Key order is fixed; tags never contain JSON-special characters by
+    /// construction (interned identifiers), but quotes/backslashes are
+    /// escaped anyway so arbitrary parsed-back tags stay well-formed.
+    pub fn write_jsonl(&self, out: &mut String) {
+        use fmt::Write;
+        out.push_str("{\"t_us\":");
+        let _ = write!(out, "{}", self.t_us);
+        out.push_str(",\"node\":");
+        let _ = write!(out, "{}", self.node);
+        out.push_str(",\"kind\":\"");
+        out.push_str(self.kind.as_str());
+        out.push_str("\",\"tag\":\"");
+        for c in self.tag.chars() {
+            match c {
+                '"' => out.push_str("\\\""),
+                '\\' => out.push_str("\\\\"),
+                c => out.push(c),
+            }
+        }
+        out.push_str("\",\"a\":");
+        let _ = write!(out, "{}", self.a);
+        out.push_str(",\"b\":");
+        let _ = write!(out, "{}", self.b);
+        out.push('}');
+    }
+
+    /// Parses one JSONL line written by [`TraceRecord::write_jsonl`].
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first malformed field.
+    pub fn parse_jsonl(line: &str) -> Result<TraceRecord, String> {
+        let t_us = field_u64(line, "t_us")?;
+        let node = field_u64(line, "node")?;
+        let kind_name = field_str(line, "kind")?;
+        let kind = TraceKind::parse(&kind_name)
+            .ok_or_else(|| format!("unknown record kind {kind_name:?}"))?;
+        let tag = intern_tag(&field_str(line, "tag")?);
+        let a = field_u64(line, "a")?;
+        let b = field_u64(line, "b")?;
+        Ok(TraceRecord {
+            t_us,
+            node: u32::try_from(node).map_err(|_| "node id overflows u32".to_string())?,
+            kind,
+            tag,
+            a,
+            b,
+        })
+    }
+}
+
+impl fmt::Display for TraceRecord {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "t={}us node={} kind={} tag={} a={} b={}",
+            self.t_us, self.node, self.kind, self.tag, self.a, self.b
+        )
+    }
+}
+
+/// Interns a tag name, returning a `&'static str` that is pointer-stable
+/// for the life of the process (mirrors `manetkit`'s event-type interner;
+/// repeated names leak exactly once).
+#[must_use]
+pub fn intern_tag(name: &str) -> &'static str {
+    static TAGS: OnceLock<Mutex<HashMap<String, &'static str>>> = OnceLock::new();
+    let mut map = TAGS
+        .get_or_init(|| Mutex::new(HashMap::new()))
+        .lock()
+        .unwrap_or_else(std::sync::PoisonError::into_inner);
+    if let Some(&s) = map.get(name) {
+        return s;
+    }
+    let leaked: &'static str = Box::leak(name.to_owned().into_boxed_str());
+    map.insert(name.to_owned(), leaked);
+    leaked
+}
+
+fn find_key(line: &str, key: &str) -> Result<usize, String> {
+    let pat = format!("\"{key}\":");
+    line.find(&pat)
+        .map(|i| i + pat.len())
+        .ok_or_else(|| format!("missing field {key:?}"))
+}
+
+fn field_u64(line: &str, key: &str) -> Result<u64, String> {
+    let start = find_key(line, key)?;
+    let digits: String = line[start..]
+        .chars()
+        .take_while(char::is_ascii_digit)
+        .collect();
+    digits
+        .parse()
+        .map_err(|_| format!("field {key:?} is not a number"))
+}
+
+fn field_str(line: &str, key: &str) -> Result<String, String> {
+    let start = find_key(line, key)?;
+    let rest = &line[start..];
+    let mut chars = rest.chars();
+    if chars.next() != Some('"') {
+        return Err(format!("field {key:?} is not a string"));
+    }
+    let mut out = String::new();
+    let mut escaped = false;
+    for c in chars {
+        match (escaped, c) {
+            (true, c) => {
+                out.push(c);
+                escaped = false;
+            }
+            (false, '\\') => escaped = true,
+            (false, '"') => return Ok(out),
+            (false, c) => out.push(c),
+        }
+    }
+    Err(format!("unterminated string field {key:?}"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn kind_names_round_trip() {
+        for kind in [
+            TraceKind::FrameTx,
+            TraceKind::FrameRx,
+            TraceKind::FrameDrop,
+            TraceKind::DataSend,
+            TraceKind::DataHop,
+            TraceKind::DataDeliver,
+            TraceKind::DataDrop,
+            TraceKind::BusDeliver,
+            TraceKind::QuiesceBegin,
+            TraceKind::StateTransfer,
+            TraceKind::Rebind,
+            TraceKind::Resume,
+            TraceKind::ReconfigApply,
+            TraceKind::Fault,
+            TraceKind::NodeCrash,
+            TraceKind::NodeReboot,
+            TraceKind::LinkChange,
+        ] {
+            assert_eq!(TraceKind::parse(kind.as_str()), Some(kind));
+        }
+        assert_eq!(TraceKind::parse("nope"), None);
+    }
+
+    #[test]
+    fn record_jsonl_round_trip_with_escapes() {
+        let rec = TraceRecord {
+            t_us: 42,
+            node: 7,
+            kind: TraceKind::FrameDrop,
+            tag: intern_tag("weird\"tag\\name"),
+            a: u64::MAX,
+            b: 0,
+        };
+        let mut line = String::new();
+        rec.write_jsonl(&mut line);
+        let back = TraceRecord::parse_jsonl(&line).expect("parses");
+        assert_eq!(back, rec);
+    }
+
+    #[test]
+    fn interning_is_pointer_stable() {
+        let a = intern_tag("alpha.beta");
+        let b = intern_tag("alpha.beta");
+        assert!(std::ptr::eq(a, b));
+    }
+
+    #[test]
+    fn packet_and_reconfig_classes_are_disjoint() {
+        assert!(TraceKind::FrameTx.is_packet());
+        assert!(!TraceKind::FrameTx.is_reconfig());
+        assert!(TraceKind::Rebind.is_reconfig());
+        assert!(!TraceKind::Rebind.is_packet());
+        assert!(!TraceKind::Fault.is_packet());
+        assert!(!TraceKind::Fault.is_reconfig());
+    }
+}

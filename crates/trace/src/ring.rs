@@ -1,0 +1,141 @@
+//! The fixed-capacity per-node ring buffer.
+
+use crate::record::TraceRecord;
+
+/// A fixed-capacity ring of [`TraceRecord`]s that overwrites its oldest
+/// entry when full — the flight-recorder property: memory use is bounded
+/// up front and the *most recent* history always survives.
+///
+/// Pushing is one bounds check and one slot write; no allocation after the
+/// ring first reaches capacity.
+#[derive(Debug, Clone)]
+pub struct NodeRing {
+    cap: usize,
+    /// Index of the oldest record once the ring has wrapped.
+    head: usize,
+    buf: Vec<TraceRecord>,
+    written: u64,
+}
+
+impl NodeRing {
+    /// Creates a ring holding at most `capacity` records (min 1).
+    #[must_use]
+    pub fn new(capacity: usize) -> Self {
+        let cap = capacity.max(1);
+        NodeRing {
+            cap,
+            head: 0,
+            buf: Vec::with_capacity(cap),
+            written: 0,
+        }
+    }
+
+    /// The ring's capacity.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.cap
+    }
+
+    /// Appends a record, overwriting the oldest when full.
+    #[inline]
+    pub fn push(&mut self, rec: TraceRecord) {
+        if self.buf.len() < self.cap {
+            self.buf.push(rec);
+        } else {
+            self.buf[self.head] = rec;
+            self.head += 1;
+            if self.head == self.cap {
+                self.head = 0;
+            }
+        }
+        self.written += 1;
+    }
+
+    /// Number of records currently retained.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.buf.len()
+    }
+
+    /// Whether nothing has been recorded (or everything overwritten — a
+    /// ring never shrinks, so this means nothing was ever pushed).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.buf.is_empty()
+    }
+
+    /// Total records ever pushed.
+    #[must_use]
+    pub fn written(&self) -> u64 {
+        self.written
+    }
+
+    /// Records lost to overwriting (`written - retained`).
+    #[must_use]
+    pub fn dropped(&self) -> u64 {
+        self.written - self.buf.len() as u64
+    }
+
+    /// The retained records in chronological (emission) order.
+    pub fn iter(&self) -> impl Iterator<Item = &TraceRecord> {
+        self.buf[self.head..]
+            .iter()
+            .chain(self.buf[..self.head].iter())
+    }
+
+    /// The retained records as an owned chronological `Vec`.
+    #[must_use]
+    pub fn to_vec(&self) -> Vec<TraceRecord> {
+        self.iter().copied().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceKind;
+
+    fn rec(t_us: u64) -> TraceRecord {
+        TraceRecord {
+            t_us,
+            node: 0,
+            kind: TraceKind::FrameTx,
+            tag: "t",
+            a: 0,
+            b: 0,
+        }
+    }
+
+    #[test]
+    fn fills_then_overwrites_oldest() {
+        let mut ring = NodeRing::new(3);
+        for t in 0..5 {
+            ring.push(rec(t));
+        }
+        assert_eq!(ring.len(), 3);
+        assert_eq!(ring.written(), 5);
+        assert_eq!(ring.dropped(), 2);
+        let times: Vec<u64> = ring.iter().map(|r| r.t_us).collect();
+        assert_eq!(times, vec![2, 3, 4], "newest history survives, in order");
+    }
+
+    #[test]
+    fn capacity_is_clamped_to_one() {
+        let mut ring = NodeRing::new(0);
+        ring.push(rec(1));
+        ring.push(rec(2));
+        assert_eq!(ring.len(), 1);
+        assert_eq!(ring.to_vec()[0].t_us, 2);
+    }
+
+    #[test]
+    fn wraps_repeatedly_without_losing_order() {
+        let mut ring = NodeRing::new(4);
+        for t in 0..103 {
+            ring.push(rec(t));
+        }
+        let times: Vec<u64> = ring.iter().map(|r| r.t_us).collect();
+        assert_eq!(times, vec![99, 100, 101, 102]);
+        assert_eq!(ring.dropped(), 99);
+    }
+}

@@ -1,0 +1,201 @@
+//! Per-node reconfiguration timeline rendering.
+//!
+//! Turns the reconfig-phase records of one node into a human-readable
+//! timeline: quiesce-begin → state-transfer → rebind → resume, with the
+//! per-phase **virtual** durations (wall-clock never appears — the
+//! rendering of a seeded run is deterministic).
+
+use std::fmt::Write;
+
+use crate::record::TraceKind;
+use crate::Trace;
+
+/// Renders node `node`'s reconfiguration timeline, plus fault/crash/reboot
+/// context lines. Returns an empty string when the node has no such
+/// records.
+#[must_use]
+pub fn render_node(trace: &Trace, node: u32) -> String {
+    let mut out = String::new();
+    // Virtual time of the batch's quiesce point, for per-phase offsets.
+    let mut batch_start: Option<u64> = None;
+    for r in trace.records().iter().filter(|r| {
+        r.node == node
+            && (r.kind.is_reconfig()
+                || matches!(
+                    r.kind,
+                    TraceKind::Fault | TraceKind::NodeCrash | TraceKind::NodeReboot
+                ))
+    }) {
+        if out.is_empty() {
+            let _ = writeln!(out, "node {node} reconfig timeline:");
+        }
+        let t = fmt_time(r.t_us);
+        match r.kind {
+            TraceKind::QuiesceBegin => {
+                batch_start = Some(r.t_us);
+                let _ = writeln!(
+                    out,
+                    "  {t} quiesce-begin      ops={} waited={}",
+                    r.a,
+                    fmt_dur(r.b)
+                );
+            }
+            TraceKind::StateTransfer => {
+                let _ = writeln!(
+                    out,
+                    "  {t} state-transfer     op={} {} (+{})",
+                    r.tag,
+                    if r.a == 1 { "carried" } else { "cold" },
+                    offset(batch_start, r.t_us)
+                );
+            }
+            TraceKind::Rebind => {
+                let _ = writeln!(
+                    out,
+                    "  {t} rebind             op={} (+{})",
+                    r.tag,
+                    offset(batch_start, r.t_us)
+                );
+            }
+            TraceKind::ReconfigApply => {
+                let _ = writeln!(
+                    out,
+                    "  {t} apply              op={} (+{})",
+                    r.tag,
+                    offset(batch_start, r.t_us)
+                );
+            }
+            TraceKind::Resume => {
+                let _ = writeln!(
+                    out,
+                    "  {t} resume             applied={} gen={} (+{})",
+                    r.a,
+                    r.b,
+                    offset(batch_start, r.t_us)
+                );
+                batch_start = None;
+            }
+            TraceKind::Fault => {
+                let _ = writeln!(out, "  {t} fault              {}", r.tag);
+            }
+            TraceKind::NodeCrash => {
+                let _ = writeln!(out, "  {t} crash              lost={}", r.a);
+            }
+            TraceKind::NodeReboot => {
+                let _ = writeln!(out, "  {t} reboot");
+            }
+            _ => {}
+        }
+    }
+    out
+}
+
+/// Renders the timeline of every node that has one, in node order.
+#[must_use]
+pub fn render_all(trace: &Trace) -> String {
+    let mut nodes: Vec<u32> = trace.records().iter().map(|r| r.node).collect();
+    nodes.sort_unstable();
+    nodes.dedup();
+    let mut out = String::new();
+    for node in nodes {
+        let section = render_node(trace, node);
+        if !section.is_empty() {
+            if !out.is_empty() {
+                out.push('\n');
+            }
+            out.push_str(&section);
+        }
+    }
+    out
+}
+
+fn offset(start: Option<u64>, now: u64) -> String {
+    match start {
+        Some(s) if now >= s => fmt_dur(now - s),
+        _ => fmt_dur(0),
+    }
+}
+
+fn fmt_time(t_us: u64) -> String {
+    format!("t={}.{:06}s", t_us / 1_000_000, t_us % 1_000_000)
+}
+
+fn fmt_dur(us: u64) -> String {
+    if us >= 1_000_000 {
+        format!("{}.{:03}s", us / 1_000_000, (us % 1_000_000) / 1_000)
+    } else if us >= 1_000 {
+        format!("{}.{:03}ms", us / 1_000, us % 1_000)
+    } else {
+        format!("{us}us")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::record::TraceRecord;
+
+    fn rec(
+        t_us: u64,
+        node: u32,
+        kind: TraceKind,
+        tag: &'static str,
+        a: u64,
+        b: u64,
+    ) -> TraceRecord {
+        TraceRecord {
+            t_us,
+            node,
+            kind,
+            tag,
+            a,
+            b,
+        }
+    }
+
+    #[test]
+    fn renders_phases_with_offsets() {
+        let t = Trace::from_records(vec![
+            rec(30_000_000, 2, TraceKind::QuiesceBegin, "reconfig", 1, 1_500),
+            rec(
+                30_000_000,
+                2,
+                TraceKind::StateTransfer,
+                "switch_protocol",
+                1,
+                0,
+            ),
+            rec(30_000_000, 2, TraceKind::Rebind, "switch_protocol", 0, 0),
+            rec(30_000_000, 2, TraceKind::Resume, "reconfig", 1, 1),
+            rec(31_000_000, 3, TraceKind::FrameTx, "frame.control", 52, 1),
+        ]);
+        let out = render_node(&t, 2);
+        assert!(out.contains("node 2 reconfig timeline:"), "{out}");
+        assert!(
+            out.contains("quiesce-begin      ops=1 waited=1.500ms"),
+            "{out}"
+        );
+        assert!(
+            out.contains("state-transfer     op=switch_protocol carried"),
+            "{out}"
+        );
+        assert!(
+            out.contains("rebind             op=switch_protocol"),
+            "{out}"
+        );
+        assert!(out.contains("resume             applied=1 gen=1"), "{out}");
+        assert_eq!(render_node(&t, 3), "", "frame records are not a timeline");
+    }
+
+    #[test]
+    fn render_all_covers_every_node_with_reconfigs() {
+        let t = Trace::from_records(vec![
+            rec(1, 0, TraceKind::ReconfigApply, "mutate", 0, 0),
+            rec(2, 4, TraceKind::NodeCrash, "fault", 3, 0),
+        ]);
+        let out = render_all(&t);
+        assert!(out.contains("node 0 reconfig timeline:"), "{out}");
+        assert!(out.contains("node 4 reconfig timeline:"), "{out}");
+        assert!(out.contains("crash              lost=3"), "{out}");
+    }
+}

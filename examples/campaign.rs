@@ -150,4 +150,18 @@ fn main() {
 
     std::fs::write(&out, report.to_json()).expect("write report");
     println!("report written to {out}");
+
+    // Flight-recorder sample: replay the first cell with the recorder
+    // attached and keep the capture next to the report (CI uploads both).
+    #[cfg(feature = "trace")]
+    {
+        use manetkit_repro::campaign::{run_cell_traced, TRACE_RING_CAPACITY};
+        let cell = &spec.cells()[0];
+        let (_, trace) = run_cell_traced(&spec, cell, TRACE_RING_CAPACITY);
+        std::fs::write("BENCH_trace_sample.jsonl", trace.to_jsonl()).expect("write trace");
+        println!(
+            "trace sample ({} records from cell 0) written to BENCH_trace_sample.jsonl",
+            trace.len()
+        );
+    }
 }
