@@ -1,0 +1,331 @@
+//! Transactional reconfiguration under chaos (E15): drive repeated
+//! fleet-wide two-phase protocol switches (OLSR ⇄ DYMO) into the paper's
+//! 5-node line while scheduled crashes hit the fleet, and measure the
+//! transaction outcome mix — the abort-rate-under-chaos experiment.
+//!
+//! Every round attempts one atomic switch through
+//! [`FleetCoordinator::commit_two_phase`]. Chaos produces all three
+//! distributed outcomes:
+//!
+//! * a node that is **down at round start** is skipped and reconciled
+//!   best-effort afterwards (its queued ops apply at reboot);
+//! * a node that **crashes before preparing** makes the prepare deadline
+//!   pass, aborting the round everywhere — every prepared node rolls back
+//!   and the fleet keeps its old composition;
+//! * a node that **crashes after preparing** dooms its own transaction
+//!   (rolled back at reboot) while the rest of the fleet commits; the
+//!   coordinator reports it unresolved and the campaign repairs it
+//!   best-effort.
+//!
+//! The acceptance criterion is *consistency*, not a particular mix: after
+//! the final settle window no node may be wedged — every node runs exactly
+//! the composition the verdict history implies, and the per-node
+//! transaction counters balance (`prepared == committed + rolled_back`).
+
+use std::fmt;
+
+use manetkit::neighbour::{hello_registration, neighbour_detection_cf};
+use manetkit::{FleetCoordinator, ReconfigOp, TxnOptions, TxnVerdict};
+use netsim::fault::FaultPlan;
+use netsim::{NodeId, SimDuration, SimTime, Topology, World, WorldStats};
+
+/// Node count of the campaign topology (the paper's 5-node line).
+pub const NODES: usize = 5;
+/// Seconds of warm-up before the first transaction round.
+pub const WARMUP_S: u64 = 30;
+/// Virtual seconds between round starts.
+pub const ROUND_GAP_S: u64 = 15;
+/// Number of two-phase switch rounds.
+pub const ROUNDS: u32 = 6;
+/// End of the run: last round plus a settle window for reboots, repairs
+/// and re-convergence.
+pub const END_S: u64 = WARMUP_S + ROUNDS as u64 * ROUND_GAP_S + 30;
+
+fn secs(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(n)
+}
+
+/// The stack the fleet runs between rounds.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Stack {
+    Olsr,
+    Dymo,
+}
+
+impl Stack {
+    fn flipped(self) -> Stack {
+        match self {
+            Stack::Olsr => Stack::Dymo,
+            Stack::Dymo => Stack::Olsr,
+        }
+    }
+
+    fn protocols(self) -> Vec<String> {
+        match self {
+            Stack::Olsr => vec!["mpr".to_string(), "olsr".to_string()],
+            Stack::Dymo => vec!["neighbour-detection".to_string(), "dymo".to_string()],
+        }
+    }
+
+    /// The atomic switch recipe away from this stack.
+    fn switch_recipe(self) -> Vec<ReconfigOp> {
+        match self {
+            Stack::Olsr => vec![
+                ReconfigOp::RemoveProtocol {
+                    name: "olsr".into(),
+                },
+                ReconfigOp::RemoveProtocol { name: "mpr".into() },
+                ReconfigOp::MutateSystem {
+                    op: Box::new(|sys| {
+                        manetkit_dymo::register_messages(sys);
+                        sys.register_message(hello_registration());
+                    }),
+                },
+                ReconfigOp::AddProtocol(neighbour_detection_cf(Default::default())),
+                ReconfigOp::AddProtocol(manetkit_dymo::dymo_cf(Default::default())),
+            ],
+            Stack::Dymo => vec![
+                ReconfigOp::RemoveProtocol {
+                    name: "dymo".into(),
+                },
+                ReconfigOp::RemoveProtocol {
+                    name: "neighbour-detection".into(),
+                },
+                ReconfigOp::MutateSystem {
+                    op: Box::new(manetkit_olsr::register_messages),
+                },
+                ReconfigOp::AddProtocol(manetkit_olsr::mpr_cf(Default::default())),
+                ReconfigOp::AddProtocol(manetkit_olsr::olsr_cf(Default::default())),
+            ],
+        }
+    }
+}
+
+/// Per-round outcome of the campaign.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RoundOutcome {
+    /// Transaction id the coordinator assigned.
+    pub txn: u64,
+    /// Verdict string (`committed` / `aborted` / `reverted`).
+    pub verdict: String,
+    /// Nodes skipped because they were down at round start.
+    pub skipped: Vec<usize>,
+    /// Nodes that never acknowledged the verdict (crashed mid-txn).
+    pub unresolved: Vec<usize>,
+}
+
+/// The E15 campaign report.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnChaosReport {
+    /// Rounds attempted.
+    pub rounds: u32,
+    /// Rounds that committed fleet-wide.
+    pub committed: u32,
+    /// Rounds that aborted (every prepared node rolled back).
+    pub aborted: u32,
+    /// Rounds reverted by a health gate (none in the default campaign).
+    pub reverted: u32,
+    /// Nodes reconciled best-effort after missing a committed round.
+    pub repairs: u32,
+    /// Per-round outcomes, in order.
+    pub outcomes: Vec<RoundOutcome>,
+    /// Nodes whose final stack disagrees with the verdict history.
+    pub wedged: Vec<usize>,
+    /// Sum of per-node `txn.prepared` counters.
+    pub prepared_count: u64,
+    /// Sum of per-node `txn.committed` counters.
+    pub committed_count: u64,
+    /// Sum of per-node `txn.rolled_back` counters.
+    pub rolled_back_count: u64,
+    /// Cumulative world statistics for the whole run.
+    pub total: WorldStats,
+}
+
+impl TxnChaosReport {
+    /// Fraction of rounds that aborted.
+    #[must_use]
+    pub fn abort_rate(&self) -> f64 {
+        if self.rounds == 0 {
+            return 0.0;
+        }
+        f64::from(self.aborted) / f64::from(self.rounds)
+    }
+
+    /// The E15 acceptance criterion: no node is wedged in a half-applied
+    /// composition and every prepared per-node transaction was resolved
+    /// (committed or rolled back) exactly once.
+    #[must_use]
+    pub fn consistent(&self) -> bool {
+        self.wedged.is_empty()
+            && self.prepared_count == self.committed_count + self.rolled_back_count
+    }
+}
+
+impl fmt::Display for TxnChaosReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} rounds: {} committed, {} aborted, {} reverted \
+             (abort rate {:.0}%), {} repairs ({})",
+            self.rounds,
+            self.committed,
+            self.aborted,
+            self.reverted,
+            100.0 * self.abort_rate(),
+            self.repairs,
+            if self.consistent() {
+                "consistent"
+            } else {
+                "INCONSISTENT"
+            }
+        )
+    }
+}
+
+/// The E15 fault script, phased against the round starts:
+///
+/// * node 1 is down across the round-1 start (skip + repair path);
+/// * node 3 crashes moments after the round-2 prepare broadcast and stays
+///   down past the prepare deadline (fleet-wide abort path);
+/// * node 2 crashes mid-round-3, after its prepare (doomed-transaction
+///   rollback + repair path).
+#[must_use]
+pub fn chaos_plan(seed: u64) -> FaultPlan {
+    let round = |r: u64| WARMUP_S + r * ROUND_GAP_S;
+    FaultPlan::builder(seed)
+        .crash_for(secs(round(1) - 1), NodeId(1), SimDuration::from_secs(6))
+        // 500 µs after the prepare broadcast: deterministically before the
+        // earliest possible post-broadcast callback (the link model's
+        // minimum one-hop latency is 800 µs and protocol timers fire on
+        // whole-second phases), so the node is guaranteed to die
+        // unprepared and the round aborts on the prepare deadline.
+        .crash_for(
+            secs(round(2)) + SimDuration::from_micros(500),
+            NodeId(3),
+            SimDuration::from_secs(10),
+        )
+        .crash_for(
+            secs(round(3)) + SimDuration::from_millis(1_500),
+            NodeId(2),
+            SimDuration::from_secs(6),
+        )
+        .build()
+}
+
+/// Runs the E15 campaign: [`ROUNDS`] alternating OLSR ⇄ DYMO two-phase
+/// switches under [`chaos_plan`], with CBR traffic node 0 → node 4
+/// throughout and a settle window at the end.
+#[must_use]
+pub fn run_campaign(seed: u64) -> TxnChaosReport {
+    let mut world = World::builder()
+        .topology(Topology::line(NODES))
+        .seed(seed)
+        .fault_plan(chaos_plan(seed))
+        .build();
+    let mut fleet = FleetCoordinator::default();
+    for i in 0..NODES {
+        let (node, handle) = manetkit_olsr::node(Default::default());
+        fleet.add(handle);
+        world.install_agent(NodeId(i), Box::new(node));
+    }
+
+    // CBR 0 → 4 at 4 pkt/s across every phase.
+    let dst = world.addr(NodeId(NODES - 1));
+    let mut t = secs(WARMUP_S) + SimDuration::from_millis(125);
+    while t < secs(END_S) {
+        world.send_datagram_at(t, NodeId(0), dst, vec![0u8; 64]);
+        t += SimDuration::from_millis(250);
+    }
+
+    let opts = TxnOptions::default();
+    let mut current = Stack::Olsr;
+    let mut report = TxnChaosReport {
+        rounds: ROUNDS,
+        committed: 0,
+        aborted: 0,
+        reverted: 0,
+        repairs: 0,
+        outcomes: Vec::new(),
+        wedged: Vec::new(),
+        prepared_count: 0,
+        committed_count: 0,
+        rolled_back_count: 0,
+        total: WorldStats::default(),
+    };
+    for r in 0..u64::from(ROUNDS) {
+        world.run_until(secs(WARMUP_S + r * ROUND_GAP_S));
+        let from = current;
+        let fleet_report = fleet.commit_two_phase(&mut world, || from.switch_recipe(), &opts);
+        let outcome = RoundOutcome {
+            txn: fleet_report.txn,
+            verdict: fleet_report.verdict.to_string(),
+            skipped: fleet_report.skipped.iter().map(|n| n.0).collect(),
+            unresolved: fleet_report.unresolved.iter().map(|n| n.0).collect(),
+        };
+        match fleet_report.verdict {
+            TxnVerdict::Committed => {
+                report.committed += 1;
+                current = current.flipped();
+                // Nodes that missed the committed round (down at start, or
+                // crashed mid-transaction and doomed to roll back) are
+                // reconciled best-effort: the same recipe enqueues on their
+                // handle and applies at their next (post-reboot) quiescent
+                // point — after the doomed rollback, which runs first.
+                for node in outcome.skipped.iter().chain(&outcome.unresolved) {
+                    let handle = fleet.handle_of(NodeId(*node)).expect("fleet member");
+                    for op in from.switch_recipe() {
+                        handle.apply(op);
+                    }
+                    report.repairs += 1;
+                }
+            }
+            TxnVerdict::Aborted => report.aborted += 1,
+            TxnVerdict::Reverted => report.reverted += 1,
+        }
+        report.outcomes.push(outcome);
+    }
+
+    // Settle: reboots, doomed rollbacks and repairs all land, then verify
+    // nobody is wedged.
+    world.run_until(secs(END_S));
+    let expected = current.protocols();
+    for (i, stack) in fleet.stacks().iter().enumerate() {
+        if *stack != expected {
+            report.wedged.push(i);
+        }
+    }
+    let stats = world.stats();
+    report.prepared_count = stats.agent_counter("txn.prepared");
+    report.committed_count = stats.agent_counter("txn.committed");
+    report.rolled_back_count = stats.agent_counter("txn.rolled_back");
+    report.total = stats;
+    report
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn txn_chaos_campaign_commits_aborts_and_stays_consistent() {
+        let r = run_campaign(7);
+        assert_eq!(r.rounds, ROUNDS);
+        assert!(r.committed >= 3, "most rounds commit: {r}");
+        assert!(r.aborted >= 1, "the pre-prepare crash aborts a round: {r}");
+        assert!(r.repairs >= 1, "a missed committed round is repaired: {r}");
+        assert!(r.consistent(), "no wedged nodes, balanced counters: {r}");
+        assert_eq!(r.total.node_crashes, 3, "{r}");
+        assert_eq!(r.total.node_reboots, 3, "{r}");
+        assert!(
+            r.total.delivery_ratio() > 0.5,
+            "traffic keeps flowing across the rounds: {r}"
+        );
+    }
+
+    #[test]
+    fn same_seed_campaign_replays_identically() {
+        let a = run_campaign(11);
+        let b = run_campaign(11);
+        assert_eq!(a, b, "the campaign must be deterministic");
+    }
+}

@@ -61,17 +61,26 @@ pub mod registry;
 pub mod smallvec;
 pub mod system;
 pub mod telemetry;
+pub mod txn;
 
 pub use concurrency::{ConcurrencyModel, DispatchQueue, LabReport, ThroughputLab};
 pub use event::{Event, EventMeta, EventType, Payload};
 pub use manager::FrameworkManager;
-pub use node::{DeployError, Deployment, ManetNode, NodeHandle, NodeStatus, ReconfigOp};
-pub use protocol::{EventHandler, EventSource, Forwarder, ManetProtocolCf, ProtoCtx, StateSlot};
-pub use reconfig::{FleetCoordinator, FleetStatus};
+pub use node::{
+    DeployError, Deployment, ManetNode, NodeHandle, NodeStatus, ReconfigOp, TxnCtl, TxnPhase,
+    TxnReport,
+};
+pub use protocol::{
+    EventHandler, EventSource, Forwarder, ManetProtocolCf, ProtoCtx, StateCodec, StateSlot,
+};
+pub use reconfig::{
+    FleetCoordinator, FleetStatus, FleetTxnReport, HealthGate, TxnOptions, TxnVerdict,
+};
 pub use registry::EventTuple;
 pub use smallvec::SmallVec;
-pub use system::SystemCf;
+pub use system::{SystemCf, SystemConfig};
 pub use telemetry::{BusTelemetry, UnitCounters};
+pub use txn::{CompositionFingerprint, ProtocolFingerprint, TxnAborted};
 
 /// Convenient glob-import surface.
 pub mod prelude {

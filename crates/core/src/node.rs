@@ -156,6 +156,46 @@ pub struct DeploymentStats {
     pub protocols: Vec<(String, ProtocolStats)>,
 }
 
+/// Where a node stands in its most recent reconfiguration transaction.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnPhase {
+    /// Ops applied, undo log live, awaiting commit or abort.
+    Prepared,
+    /// Committed; the undo log is retained for a possible health revert.
+    Committed,
+    /// Prepare failed (rollback, if any was needed, already ran).
+    Aborted,
+    /// A prepared transaction was rolled back on coordinator orders (or
+    /// because the node crashed while it was open).
+    RolledBack,
+    /// A committed transaction was backed out by the health gate.
+    Reverted,
+}
+
+impl fmt::Display for TxnPhase {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TxnPhase::Prepared => "prepared",
+            TxnPhase::Committed => "committed",
+            TxnPhase::Aborted => "aborted",
+            TxnPhase::RolledBack => "rolled_back",
+            TxnPhase::Reverted => "reverted",
+        })
+    }
+}
+
+/// Outcome of the node's most recent transaction, surfaced through
+/// [`NodeStatus::txn`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TxnReport {
+    /// Transaction id (coordinator-assigned).
+    pub id: u64,
+    /// Current phase.
+    pub phase: TxnPhase,
+    /// Reason/detail for aborts and rollbacks; empty otherwise.
+    pub detail: String,
+}
+
 /// A status snapshot shared with [`NodeHandle`]s.
 #[derive(Debug, Clone)]
 pub struct NodeStatus {
@@ -170,6 +210,9 @@ pub struct NodeStatus {
     /// publishes its first status. Operations enqueued while dead stay
     /// pending and are applied at the first post-reboot quiescent point.
     pub alive: bool,
+    /// The most recent transaction's outcome (`None` until the node first
+    /// participates in one).
+    pub txn: Option<TxnReport>,
     /// Deployment counters.
     pub stats: DeploymentStats,
 }
@@ -181,6 +224,7 @@ impl Default for NodeStatus {
             reconfigs_applied: 0,
             last_error: None,
             alive: true,
+            txn: None,
             stats: DeploymentStats::default(),
         }
     }
@@ -444,30 +488,109 @@ impl Deployment {
     ///
     /// Same failure modes as [`add_protocol`](Self::add_protocol).
     pub fn add_protocol_offline(&mut self, cf: ManetProtocolCf) -> Result<(), DeployError> {
+        self.try_add_protocol_offline(cf).map_err(|(_, e)| e)
+    }
+
+    /// Like [`add_protocol_offline`](Self::add_protocol_offline), but hands
+    /// the protocol CF back on failure instead of dropping it — the
+    /// transactional path, where a rejected CF (and the state it may carry)
+    /// must survive the abort.
+    ///
+    /// # Errors
+    ///
+    /// Returns the untouched CF alongside the failure.
+    // The Err variant is deliberately the full CF: the caller re-owns it to
+    // reinstate carried state on abort, so boxing would only move the cost.
+    #[allow(clippy::result_large_err)]
+    pub fn try_add_protocol_offline(
+        &mut self,
+        cf: ManetProtocolCf,
+    ) -> Result<(), (ManetProtocolCf, DeployError)> {
+        let at = self.slots.len();
+        self.try_insert_protocol_offline(at, cf)
+    }
+
+    /// Inserts a protocol at stack position `at` (used by transactional
+    /// rollback to reinstate a removed protocol in its original position),
+    /// returning the CF on failure.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_insert_protocol_offline(
+        &mut self,
+        at: usize,
+        cf: ManetProtocolCf,
+    ) -> Result<(), (ManetProtocolCf, DeployError)> {
         if self.slots.iter().any(|s| s.cf.name() == cf.name()) {
-            return Err(DeployError::DuplicateProtocol(cf.name().to_string()));
+            let err = DeployError::DuplicateProtocol(cf.name().to_string());
+            return Err((cf, err));
         }
         if cf.is_reactive() && self.slots.iter().any(|s| s.cf.is_reactive()) {
-            return Err(DeployError::Integrity(
-                opencom::ComponentError::IntegrityViolation {
-                    rule: "one-reactive-protocol".into(),
-                    reason: "a reactive routing protocol is already deployed".into(),
-                },
-            ));
+            let err = DeployError::Integrity(opencom::ComponentError::IntegrityViolation {
+                rule: "one-reactive-protocol".into(),
+                reason: "a reactive routing protocol is already deployed".into(),
+            });
+            return Err((cf, err));
         }
         let adapter = ProtocolAdapter::from_cf(&cf);
-        let component = self.meta.insert(Arc::new(adapter))?;
+        let component = match self.meta.insert(Arc::new(adapter)) {
+            Ok(id) => id,
+            Err(e) => return Err((cf, e.into())),
+        };
         let unit = self
             .manager
             .register(cf.name().to_string(), cf.tuple().clone());
         let name = intern_name(cf.name());
-        self.slots.push(Slot {
-            cf,
-            unit,
-            component,
-            name,
-        });
+        let at = at.min(self.slots.len());
+        self.slots.insert(
+            at,
+            Slot {
+                cf,
+                unit,
+                component,
+                name,
+            },
+        );
         Ok(())
+    }
+
+    /// Online variant of [`try_insert_protocol_offline`]: the protocol
+    /// starts immediately when the deployment is running.
+    #[allow(clippy::result_large_err)]
+    pub(crate) fn try_insert_protocol(
+        &mut self,
+        at: usize,
+        cf: ManetProtocolCf,
+        os: &mut NodeOs,
+    ) -> Result<(), (ManetProtocolCf, DeployError)> {
+        let at = at.min(self.slots.len());
+        self.try_insert_protocol_offline(at, cf)?;
+        if self.started {
+            self.start_protocol(at, os);
+            self.drain(os);
+        }
+        Ok(())
+    }
+
+    /// Stack position of the named protocol.
+    pub(crate) fn protocol_position(&self, name: &str) -> Option<usize> {
+        self.slots.iter().position(|s| s.cf.name() == name)
+    }
+
+    /// Replaces a protocol's tuple, returning the previous one (the undo
+    /// artefact for transactional rollback).
+    pub(crate) fn swap_protocol_tuple(
+        &mut self,
+        protocol: &str,
+        tuple: EventTuple,
+    ) -> Result<EventTuple, DeployError> {
+        let slot = self
+            .slots
+            .iter_mut()
+            .find(|s| s.cf.name() == protocol)
+            .ok_or_else(|| DeployError::NoSuchProtocol(protocol.to_string()))?;
+        let old = slot.cf.tuple().clone();
+        slot.cf.set_tuple(tuple.clone());
+        self.manager.update_tuple(slot.unit, tuple);
+        Ok(old)
     }
 
     /// Undeploys a protocol, cancelling its timers.
@@ -751,6 +874,12 @@ impl Deployment {
         self.telemetry.record_round(started.elapsed());
     }
 
+    /// Credits `n` reconfiguration ops to the counters (the transactional
+    /// path applies ops itself and reports them here on commit).
+    pub(crate) fn note_reconfigs(&mut self, n: u64) {
+        self.stats.reconfigs_applied += n;
+    }
+
     fn apply_side_effects(
         &mut self,
         idx: usize,
@@ -843,6 +972,58 @@ impl Component for ProtocolAdapter {
 /// time it was requested at (feeds the flight recorder's quiesce-wait).
 type PendingOps = Arc<Mutex<Vec<(ReconfigOp, Option<netsim::SimTime>)>>>;
 
+/// A transaction control verb delivered through a [`NodeHandle`], processed
+/// FIFO at the node's next quiescent point. The fleet coordinator drives
+/// two-phase commit with these.
+pub enum TxnCtl {
+    /// Checkpoint and apply `ops`; hold the undo log open.
+    Prepare {
+        /// Transaction id.
+        id: u64,
+        /// The batch to apply atomically.
+        ops: Vec<ReconfigOp>,
+        /// Virtual time of the request (feeds quiesce-wait tracing).
+        requested: Option<netsim::SimTime>,
+        /// Virtual-time deadline: a node that reaches its quiescent point
+        /// later than this refuses the prepare (`quiesce_timeout`) instead
+        /// of preparing into a transaction the coordinator gave up on.
+        deadline: Option<netsim::SimTime>,
+        /// Wall-clock budget for the quiescence-lock probe.
+        quiesce_within: std::time::Duration,
+    },
+    /// Make a prepared transaction permanent (undo log retained for a
+    /// possible health revert).
+    Commit {
+        /// Transaction id.
+        id: u64,
+    },
+    /// Roll a prepared transaction back to its checkpoint.
+    Abort {
+        /// Transaction id.
+        id: u64,
+        /// Why the coordinator aborted (trace tag).
+        reason: &'static str,
+    },
+    /// Back out a *committed* transaction (health gate tripped).
+    Revert {
+        /// Transaction id.
+        id: u64,
+    },
+}
+
+impl fmt::Debug for TxnCtl {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TxnCtl::Prepare { id, ops, .. } => write!(f, "Prepare(#{id}, {} ops)", ops.len()),
+            TxnCtl::Commit { id } => write!(f, "Commit(#{id})"),
+            TxnCtl::Abort { id, reason } => write!(f, "Abort(#{id}, {reason})"),
+            TxnCtl::Revert { id } => write!(f, "Revert(#{id})"),
+        }
+    }
+}
+
+type TxnCtlQueue = Arc<Mutex<Vec<TxnCtl>>>;
+
 /// External control handle over a running [`ManetNode`].
 ///
 /// Reconfiguration requests enqueue here and are enacted at the node's next
@@ -851,6 +1032,7 @@ type PendingOps = Arc<Mutex<Vec<(ReconfigOp, Option<netsim::SimTime>)>>>;
 #[derive(Clone)]
 pub struct NodeHandle {
     ops: PendingOps,
+    txns: TxnCtlQueue,
     status: Arc<Mutex<NodeStatus>>,
 }
 
@@ -896,6 +1078,21 @@ impl NodeHandle {
     pub fn is_alive(&self) -> bool {
         self.status.lock().alive
     }
+
+    /// Enqueues a transaction control verb (see [`TxnCtl`]). Verbs are
+    /// processed FIFO at the next quiescent point, so a `Prepare`
+    /// immediately followed by an `Abort` resolves deterministically even
+    /// when the node only wakes after both were enqueued.
+    pub fn txn_ctl(&self, ctl: TxnCtl) {
+        self.txns.lock().push(ctl);
+    }
+
+    /// Number of transaction control verbs still waiting for a quiescent
+    /// point.
+    #[must_use]
+    pub fn pending_txn_ctl(&self) -> usize {
+        self.txns.lock().len()
+    }
 }
 
 impl fmt::Debug for NodeHandle {
@@ -910,7 +1107,20 @@ impl fmt::Debug for NodeHandle {
 pub struct ManetNode {
     deployment: Deployment,
     ops: PendingOps,
+    txns: TxnCtlQueue,
     status: Arc<Mutex<NodeStatus>>,
+    /// A prepared transaction awaiting commit or abort. While one is open,
+    /// plain pending ops stay queued (they would contaminate the undo log's
+    /// checkpoint).
+    prepared: Option<crate::txn::PreparedTxn>,
+    /// A committed transaction whose undo log is retained for a possible
+    /// health-gated revert. Finalised (dropped) when the next transaction
+    /// prepares.
+    committed: Option<crate::txn::PreparedTxn>,
+    /// Set when the node crashed while a transaction was prepared: the
+    /// first post-reboot quiescent point rolls it back before anything
+    /// else, so a reboot can never resurrect a half-committed composition.
+    txn_doomed: bool,
 }
 
 impl ManetNode {
@@ -920,7 +1130,11 @@ impl ManetNode {
         ManetNode {
             deployment: Deployment::new(concurrency),
             ops: Arc::new(Mutex::new(Vec::new())),
+            txns: Arc::new(Mutex::new(Vec::new())),
             status: Arc::new(Mutex::new(NodeStatus::default())),
+            prepared: None,
+            committed: None,
+            txn_doomed: false,
         }
     }
 
@@ -942,11 +1156,144 @@ impl ManetNode {
     pub fn handle(&self) -> NodeHandle {
         NodeHandle {
             ops: self.ops.clone(),
+            txns: self.txns.clone(),
             status: self.status.clone(),
         }
     }
 
+    fn set_txn_report(&self, id: u64, phase: TxnPhase, detail: String) {
+        self.status.lock().txn = Some(TxnReport { id, phase, detail });
+    }
+
+    /// Processes queued transaction control verbs (FIFO). Runs before plain
+    /// pending ops so 2PC outcomes resolve first.
+    fn txn_point(&mut self, os: &mut NodeOs) {
+        // A crash while a transaction was prepared dooms it: the
+        // coordinator cannot have committed (it never saw us prepared, or
+        // saw us die), so roll back before anything else runs.
+        if self.txn_doomed {
+            self.txn_doomed = false;
+            if let Some(txn) = self.prepared.take() {
+                let id = txn.id;
+                os.trace_txn_abort(id, "crashed");
+                os.bump("txn.aborted");
+                let clean = crate::txn::rollback(&mut self.deployment, txn, os);
+                let detail = if clean {
+                    "crashed while prepared".to_string()
+                } else {
+                    "crashed while prepared; rollback mismatch".to_string()
+                };
+                self.set_txn_report(id, TxnPhase::RolledBack, detail);
+            }
+        }
+        let ctls: Vec<TxnCtl> = std::mem::take(&mut *self.txns.lock());
+        for ctl in ctls {
+            match ctl {
+                TxnCtl::Prepare {
+                    id,
+                    ops,
+                    requested,
+                    deadline,
+                    quiesce_within,
+                } => {
+                    // A new transaction finalises any undo log retained
+                    // from the previous committed one.
+                    self.committed = None;
+                    if self.prepared.is_some() {
+                        os.bump("txn.aborted");
+                        os.trace_txn_abort(id, "busy");
+                        self.set_txn_report(
+                            id,
+                            TxnPhase::Aborted,
+                            "a transaction is already prepared".to_string(),
+                        );
+                        continue;
+                    }
+                    let now = os.now();
+                    if let Some(dl) = deadline {
+                        if now > dl {
+                            // The coordinator's prepare window has passed:
+                            // it has already counted us out. Refusing here
+                            // keeps a late-waking node from preparing into
+                            // a transaction that was resolved without it.
+                            os.bump("txn.prepare_expired");
+                            os.bump("txn.aborted");
+                            os.trace_txn_abort(id, "quiesce_timeout");
+                            self.set_txn_report(
+                                id,
+                                TxnPhase::Aborted,
+                                format!(
+                                    "quiescent point reached at {}us, after the prepare deadline {}us",
+                                    now.as_micros(),
+                                    dl.as_micros()
+                                ),
+                            );
+                            continue;
+                        }
+                    }
+                    let waited = requested.map_or(0, |t| now.since(t).as_micros());
+                    os.trace_quiesce_begin(ops.len() as u64, waited);
+                    match crate::txn::prepare(&mut self.deployment, id, ops, quiesce_within, os) {
+                        Ok(txn) => {
+                            self.set_txn_report(id, TxnPhase::Prepared, String::new());
+                            self.prepared = Some(txn);
+                        }
+                        Err(aborted) => {
+                            self.status.lock().last_error = Some(aborted.to_string());
+                            self.set_txn_report(
+                                id,
+                                TxnPhase::Aborted,
+                                format!("{}: {}", aborted.reason, aborted.detail),
+                            );
+                        }
+                    }
+                }
+                TxnCtl::Commit { id } => {
+                    if self.prepared.as_ref().is_some_and(|t| t.id == id) {
+                        let txn = self.prepared.take().expect("checked above");
+                        crate::txn::commit(&mut self.deployment, &txn, os);
+                        self.committed = Some(txn);
+                        self.set_txn_report(id, TxnPhase::Committed, String::new());
+                    }
+                }
+                TxnCtl::Abort { id, reason } => {
+                    if self.prepared.as_ref().is_some_and(|t| t.id == id) {
+                        let txn = self.prepared.take().expect("checked above");
+                        os.trace_txn_abort(id, reason);
+                        os.bump("txn.aborted");
+                        let clean = crate::txn::rollback(&mut self.deployment, txn, os);
+                        let detail = if clean {
+                            reason.to_string()
+                        } else {
+                            format!("{reason}; rollback mismatch")
+                        };
+                        self.set_txn_report(id, TxnPhase::RolledBack, detail);
+                    }
+                }
+                TxnCtl::Revert { id } => {
+                    if self.committed.as_ref().is_some_and(|t| t.id == id) {
+                        let txn = self.committed.take().expect("checked above");
+                        let clean = crate::txn::revert(&mut self.deployment, txn, os);
+                        let detail = if clean {
+                            String::new()
+                        } else {
+                            "rollback mismatch".to_string()
+                        };
+                        self.set_txn_report(id, TxnPhase::Reverted, detail);
+                    }
+                }
+            }
+        }
+    }
+
     fn quiescent_point(&mut self, os: &mut NodeOs) {
+        self.txn_point(os);
+        if self.prepared.is_some() {
+            // Plain ops wait until the open transaction resolves: applying
+            // them now would change the composition underneath the undo
+            // log's checkpoint.
+            return;
+        }
         let ops: Vec<(ReconfigOp, Option<netsim::SimTime>)> = std::mem::take(&mut *self.ops.lock());
         if ops.is_empty() {
             return;
@@ -1041,7 +1388,12 @@ impl netsim::RoutingAgent for ManetNode {
         // The node goes dark without a clean shutdown. Pending handle ops
         // deliberately survive: they drain at the first post-reboot
         // quiescent point, which is how the fleet coordinator's deferred
-        // reconfigurations eventually apply.
+        // reconfigurations eventually apply. A transaction that was open
+        // when the lights went out is doomed — the first post-reboot
+        // quiescent point rolls it back to the checkpoint.
+        if self.prepared.is_some() {
+            self.txn_doomed = true;
+        }
         self.status.lock().alive = false;
     }
 }

@@ -307,6 +307,10 @@ pub struct ManetProtocolCf {
     /// [`HandlerSlot::subs`]).
     forwarder_subs: Vec<EventType>,
     state: StateSlot,
+    /// Optional state codec: exports the S element to deterministic bytes
+    /// so transactional checkpoints can fingerprint it (see
+    /// [`export_state`](Self::export_state)).
+    state_codec: Option<StateCodec>,
     stats: ProtocolStats,
     /// Named timers armed when the protocol starts (e.g. expiry sweeps).
     startup_timers: Vec<(SimDuration, EventType)>,
@@ -329,6 +333,7 @@ impl ManetProtocolCf {
                 forwarder: None,
                 forwarder_subs: Vec::new(),
                 state: StateSlot::empty(),
+                state_codec: None,
                 stats: ProtocolStats::default(),
                 startup_timers: Vec::new(),
                 reactive: false,
@@ -568,6 +573,22 @@ impl ManetProtocolCf {
         std::mem::replace(&mut self.state, StateSlot::empty())
     }
 
+    /// Installs (or replaces) the state codec used by
+    /// [`export_state`](Self::export_state).
+    pub fn set_state_codec(&mut self, codec: StateCodec) {
+        self.state_codec = Some(codec);
+    }
+
+    /// Exports the S element as deterministic bytes through the protocol's
+    /// state codec, or `None` when no codec is installed. Two exports are
+    /// byte-identical exactly when the codec considers the states equal —
+    /// the fingerprint the transactional reconfiguration engine compares
+    /// across checkpoint/rollback.
+    #[must_use]
+    pub fn export_state(&self) -> Option<Vec<u8>> {
+        self.state_codec.as_ref().map(|codec| codec(&self.state))
+    }
+
     /// Read access to the state slot.
     #[must_use]
     pub fn state(&self) -> &StateSlot {
@@ -591,6 +612,11 @@ impl fmt::Debug for ManetProtocolCf {
             .finish()
     }
 }
+
+/// Exports a protocol's S element as deterministic bytes (any stable
+/// encoding works — `Debug` text of an ordered structure is fine; the bytes
+/// are compared, never decoded).
+pub type StateCodec = Box<dyn Fn(&StateSlot) -> Vec<u8> + Send>;
 
 /// Builder for [`ManetProtocolCf`].
 pub struct ManetProtocolBuilder {
@@ -645,6 +671,14 @@ impl ManetProtocolBuilder {
     #[must_use]
     pub fn state(mut self, state: StateSlot) -> Self {
         self.cf.state = state;
+        self
+    }
+
+    /// Installs a state codec (deterministic byte export of the S element)
+    /// used by transactional checkpoints to prove rollback exactness.
+    #[must_use]
+    pub fn state_codec(mut self, codec: impl Fn(&StateSlot) -> Vec<u8> + Send + 'static) -> Self {
+        self.cf.state_codec = Some(Box::new(codec));
         self
     }
 

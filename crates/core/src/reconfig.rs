@@ -7,15 +7,45 @@
 //! *recipe* to every handle and reports when all nodes have applied it
 //! (or which ones failed) — the per-node half of a closed control loop
 //! whose decision making the paper delegates to higher-level software.
+//!
+//! Two coordination disciplines are provided:
+//!
+//! * **Best-effort** ([`apply_all`](FleetCoordinator::apply_all) and
+//!   friends): ops enqueue everywhere and apply independently; crashed
+//!   nodes pick theirs up after reboot.
+//! * **Transactional** ([`commit_two_phase`]
+//!   (FleetCoordinator::commit_two_phase)): a two-phase commit over the
+//!   per-node transaction engine ([`crate::txn`]) — every alive node
+//!   *prepares* the batch (checkpoint + apply + hold the undo log open),
+//!   and the coordinator commits only when **all** of them prepared in
+//!   time; otherwise the prepared subset rolls back and no node is left
+//!   running the new composition. An optional [`HealthGate`] then watches
+//!   the committed composition for a provisional window and *reverts* the
+//!   whole fleet if the delivery ratio regresses.
 
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
 
-use crate::node::{NodeHandle, ReconfigOp};
+use netsim::{NodeId, SimDuration, World};
+use parking_lot::Mutex;
+
+use crate::node::{NodeHandle, ReconfigOp, TxnCtl, TxnPhase};
 
 /// Coordinates reconfiguration over many node handles.
-#[derive(Debug, Clone, Default)]
+#[derive(Clone, Default)]
 pub struct FleetCoordinator {
     handles: Vec<NodeHandle>,
+    ids: Vec<NodeId>,
+    /// How many consecutive times [`apply_all_with_retry`]
+    /// (Self::apply_all_with_retry) may find a node dead before its pending
+    /// ops are dropped automatically (`None`: never give up).
+    retry_budget: Option<u32>,
+    /// Consecutive dead-at-enqueue counts, indexed like `handles`. Shared
+    /// so cloned coordinators agree on the budget accounting.
+    attempts: Arc<Mutex<Vec<u32>>>,
+    /// Transaction id allocator.
+    next_txn: Arc<AtomicU64>,
 }
 
 /// Result of a fleet convergence check.
@@ -23,13 +53,13 @@ pub struct FleetCoordinator {
 pub struct FleetStatus {
     /// Operations still awaiting a quiescent point, summed over nodes.
     pub pending: usize,
-    /// `(node index, error)` for nodes whose last operation failed.
-    pub failures: Vec<(usize, String)>,
+    /// `(node, error)` for nodes whose last operation failed.
+    pub failures: Vec<(NodeId, String)>,
     /// Nodes that are currently down (crashed or battery-dead) with
     /// operations waiting for them. Deferred is not failure: the pending
     /// operations apply automatically at the node's first post-reboot
     /// quiescent point.
-    pub deferred: Vec<usize>,
+    pub deferred: Vec<NodeId>,
 }
 
 impl FleetStatus {
@@ -47,25 +77,177 @@ impl fmt::Display for FleetStatus {
         }
         write!(f, "pending {}", self.pending)?;
         if !self.deferred.is_empty() {
-            write!(f, " (deferred on down nodes {:?})", self.deferred)?;
+            write!(f, " (deferred on down nodes [")?;
+            for (i, node) in self.deferred.iter().enumerate() {
+                if i > 0 {
+                    write!(f, ", ")?;
+                }
+                write!(f, "{}", node.0)?;
+            }
+            write!(f, "])")?;
         }
         for (node, err) in &self.failures {
-            write!(f, "; node {node} failed: {err}")?;
+            write!(f, "; node {} failed: {err}", node.0)?;
+        }
+        Ok(())
+    }
+}
+
+/// How a fleet transaction ended.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TxnVerdict {
+    /// Every participant prepared and committed; the health window (if
+    /// any) passed.
+    Committed,
+    /// Prepare failed somewhere (or timed out); every prepared node rolled
+    /// back to its checkpoint.
+    Aborted,
+    /// The fleet committed but the health gate tripped; every participant
+    /// reverted to its checkpoint.
+    Reverted,
+}
+
+impl fmt::Display for TxnVerdict {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            TxnVerdict::Committed => "committed",
+            TxnVerdict::Aborted => "aborted",
+            TxnVerdict::Reverted => "reverted",
+        })
+    }
+}
+
+/// Health gate for a transactional commit: after commit, the new
+/// composition runs provisionally for `window`; if the fleet delivery
+/// ratio drops more than `max_drop` below the baseline, the coordinator
+/// reverts the whole transaction.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HealthGate {
+    /// Length of the provisional observation window.
+    pub window: SimDuration,
+    /// Maximum tolerated drop in delivery ratio (absolute, in `[0, 1]`).
+    pub max_drop: f64,
+    /// Baseline delivery ratio to compare against; `None` makes the
+    /// coordinator measure a pre-window of the same length before
+    /// preparing.
+    pub baseline: Option<f64>,
+}
+
+impl HealthGate {
+    /// A gate with a measured baseline.
+    #[must_use]
+    pub fn new(window: SimDuration, max_drop: f64) -> Self {
+        HealthGate {
+            window,
+            max_drop,
+            baseline: None,
+        }
+    }
+}
+
+/// Knobs for [`FleetCoordinator::commit_two_phase`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TxnOptions {
+    /// Virtual-time budget for every participant to reach a quiescent
+    /// point and prepare. Nodes reaching their quiescent point later
+    /// refuse the prepare themselves (see [`TxnCtl::Prepare`]).
+    pub prepare_timeout: SimDuration,
+    /// Simulation slice between coordinator status polls.
+    pub poll: SimDuration,
+    /// Virtual-time budget for commit/abort/revert acknowledgements.
+    pub resolve_timeout: SimDuration,
+    /// Wall-clock budget for each node's quiescence-lock probe.
+    pub quiesce_within: std::time::Duration,
+    /// Optional health-gated commit.
+    pub health: Option<HealthGate>,
+    /// `true` (default): nodes that are down when the transaction starts
+    /// are skipped (reported in [`FleetTxnReport::skipped`]); `false`:
+    /// any dead node aborts the transaction up front.
+    pub skip_dead: bool,
+}
+
+impl Default for TxnOptions {
+    fn default() -> Self {
+        TxnOptions {
+            prepare_timeout: SimDuration::from_secs(5),
+            poll: SimDuration::from_millis(100),
+            resolve_timeout: SimDuration::from_secs(5),
+            quiesce_within: crate::txn::DEFAULT_QUIESCE_WITHIN,
+            health: None,
+            skip_dead: true,
+        }
+    }
+}
+
+/// Outcome of one [`commit_two_phase`](FleetCoordinator::commit_two_phase)
+/// run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FleetTxnReport {
+    /// Transaction id (matches the per-node trace records).
+    pub txn: u64,
+    /// How it ended.
+    pub verdict: TxnVerdict,
+    /// Nodes that took part.
+    pub participants: Vec<NodeId>,
+    /// Nodes skipped because they were down at the start.
+    pub skipped: Vec<NodeId>,
+    /// Why the transaction aborted or reverted (`None` on commit).
+    pub reason: Option<String>,
+    /// Baseline delivery ratio the health gate compared against.
+    pub pre_ratio: Option<f64>,
+    /// Delivery ratio observed in the provisional window.
+    pub window_ratio: Option<f64>,
+    /// Participants that never acknowledged the final verdict within the
+    /// resolve budget (typically nodes that crashed mid-transaction; their
+    /// own doomed-transaction rollback squares them with the fleet when
+    /// they reboot).
+    pub unresolved: Vec<NodeId>,
+}
+
+impl fmt::Display for FleetTxnReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "txn {} {}", self.txn, self.verdict)?;
+        if let Some(reason) = &self.reason {
+            write!(f, " ({reason})")?;
+        }
+        write!(f, ": {} participants", self.participants.len())?;
+        if !self.skipped.is_empty() {
+            write!(f, ", {} skipped", self.skipped.len())?;
+        }
+        if !self.unresolved.is_empty() {
+            write!(f, ", {} unresolved", self.unresolved.len())?;
         }
         Ok(())
     }
 }
 
 impl FleetCoordinator {
-    /// A coordinator over the given handles.
+    /// A coordinator over the given handles; node ids are assigned by
+    /// position (`NodeId(0)`, `NodeId(1)`, …), matching the usual
+    /// install-in-order worlds.
     #[must_use]
     pub fn new(handles: Vec<NodeHandle>) -> Self {
-        FleetCoordinator { handles }
+        let ids = (0..handles.len()).map(NodeId).collect();
+        FleetCoordinator {
+            handles,
+            ids,
+            retry_budget: None,
+            attempts: Arc::new(Mutex::new(Vec::new())),
+            next_txn: Arc::new(AtomicU64::new(0)),
+        }
     }
 
-    /// Adds a node to the fleet.
+    /// Adds a node to the fleet with the next positional id.
     pub fn add(&mut self, handle: NodeHandle) {
+        let id = NodeId(self.handles.len());
+        self.add_node(id, handle);
+    }
+
+    /// Adds a node with an explicit id (fleets over sparse or re-ordered
+    /// world populations).
+    pub fn add_node(&mut self, id: NodeId, handle: NodeHandle) {
         self.handles.push(handle);
+        self.ids.push(id);
     }
 
     /// Number of coordinated nodes.
@@ -78,6 +260,25 @@ impl FleetCoordinator {
     #[must_use]
     pub fn is_empty(&self) -> bool {
         self.handles.is_empty()
+    }
+
+    /// The handle registered under the given node id, if any — the
+    /// per-node escape hatch for targeted follow-ups (e.g. best-effort
+    /// reconciliation of a node that missed a committed transaction).
+    #[must_use]
+    pub fn handle_of(&self, id: NodeId) -> Option<&NodeHandle> {
+        self.ids
+            .iter()
+            .position(|&n| n == id)
+            .map(|i| &self.handles[i])
+    }
+
+    /// Caps how many consecutive [`apply_all_with_retry`]
+    /// (Self::apply_all_with_retry) calls may find a node dead before the
+    /// coordinator automatically drops that node's pending ops (the
+    /// permanently-dead give-up path). `None` (the default) defers forever.
+    pub fn set_retry_budget(&mut self, budget: Option<u32>) {
+        self.retry_budget = budget;
     }
 
     /// Enqueues the operations produced by `recipe` on every node.
@@ -108,13 +309,29 @@ impl FleetCoordinator {
     ///
     /// There is no coordinator-side retry loop to run: the per-node ops
     /// queue *is* the retry mechanism. Use [`status`](Self::status) to
-    /// watch deferral drain, or [`give_up_deferred`](Self::give_up_deferred)
-    /// to abandon nodes that will not come back.
-    pub fn apply_all_with_retry(&self, recipe: impl Fn() -> Vec<ReconfigOp>) -> Vec<usize> {
+    /// watch deferral drain, [`give_up_deferred`](Self::give_up_deferred)
+    /// to abandon nodes manually, or [`set_retry_budget`]
+    /// (Self::set_retry_budget) to have nodes found dead too many times in
+    /// a row abandoned automatically (their pending ops are dropped and no
+    /// new ones enqueue until they come back).
+    pub fn apply_all_with_retry(&self, recipe: impl Fn() -> Vec<ReconfigOp>) -> Vec<NodeId> {
         let mut deferred = Vec::new();
+        let mut attempts = self.attempts.lock();
+        if attempts.len() < self.handles.len() {
+            attempts.resize(self.handles.len(), 0);
+        }
         for (i, handle) in self.handles.iter().enumerate() {
-            if !handle.is_alive() {
-                deferred.push(i);
+            if handle.is_alive() {
+                attempts[i] = 0;
+            } else {
+                attempts[i] += 1;
+                if self.retry_budget.is_some_and(|budget| attempts[i] > budget) {
+                    // Budget exhausted: the node is treated as permanently
+                    // dead. Drop whatever it still holds and skip it.
+                    handle.clear_pending();
+                    continue;
+                }
+                deferred.push(self.ids[i]);
             }
             for op in recipe() {
                 handle.apply(op);
@@ -124,14 +341,14 @@ impl FleetCoordinator {
     }
 
     /// Drops the pending operations of every node that is currently down,
-    /// returning `(node index, operations dropped)` per affected node —
-    /// the give-up path when a deferred reconfiguration should no longer
+    /// returning `(node, operations dropped)` per affected node — the
+    /// give-up path when a deferred reconfiguration should no longer
     /// apply on reboot.
-    pub fn give_up_deferred(&self) -> Vec<(usize, usize)> {
+    pub fn give_up_deferred(&self) -> Vec<(NodeId, usize)> {
         let mut abandoned = Vec::new();
         for (i, handle) in self.handles.iter().enumerate() {
             if !handle.is_alive() && handle.pending_ops() > 0 {
-                abandoned.push((i, handle.clear_pending()));
+                abandoned.push((self.ids[i], handle.clear_pending()));
             }
         }
         abandoned
@@ -147,10 +364,10 @@ impl FleetCoordinator {
             let node_pending = handle.pending_ops();
             pending += node_pending;
             if let Some(err) = handle.status().last_error {
-                failures.push((i, err));
+                failures.push((self.ids[i], err));
             }
             if node_pending > 0 && !handle.is_alive() {
-                deferred.push(i);
+                deferred.push(self.ids[i]);
             }
         }
         FleetStatus {
@@ -172,6 +389,226 @@ impl FleetCoordinator {
         self.stacks()
             .iter()
             .all(|s| s.iter().map(String::as_str).eq(stack.iter().copied()))
+    }
+
+    // ---- two-phase commit --------------------------------------------------
+
+    /// Applies `recipe` across the fleet as one distributed transaction.
+    ///
+    /// Phase 1 (*prepare*): every alive node gets the batch with a virtual
+    /// prepare deadline; each checkpoints, applies, and holds its undo log
+    /// open at its own quiescent point. Phase 2: if — and only if — every
+    /// participant reported `Prepared` before the deadline, the coordinator
+    /// broadcasts *commit*; otherwise it broadcasts *abort* and the
+    /// prepared subset rolls back to its checkpoints, so no mix of old and
+    /// new compositions survives.
+    ///
+    /// With a [`HealthGate`] configured, a committed composition runs
+    /// provisionally for the gate's window; if the fleet delivery ratio
+    /// drops more than `max_drop` below the baseline the coordinator
+    /// broadcasts *revert* and the fleet returns to the checkpoint
+    /// compositions ([`TxnVerdict::Reverted`]).
+    ///
+    /// The world is advanced (`run_for`) while the coordinator waits, so
+    /// call this where simulation time is allowed to progress. A
+    /// participant that crashes mid-transaction dooms its own prepared
+    /// transaction (rolled back at its first post-reboot quiescent point)
+    /// and shows up in [`FleetTxnReport::unresolved`].
+    pub fn commit_two_phase(
+        &self,
+        world: &mut World,
+        recipe: impl Fn() -> Vec<ReconfigOp>,
+        opts: &TxnOptions,
+    ) -> FleetTxnReport {
+        let txn = self.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
+        let mut participants = Vec::new();
+        let mut skipped = Vec::new();
+        for (i, handle) in self.handles.iter().enumerate() {
+            if handle.is_alive() {
+                participants.push(i);
+            } else {
+                skipped.push(self.ids[i]);
+            }
+        }
+        let participant_ids: Vec<NodeId> = participants.iter().map(|&i| self.ids[i]).collect();
+        let mut report = FleetTxnReport {
+            txn,
+            verdict: TxnVerdict::Aborted,
+            participants: participant_ids,
+            skipped,
+            reason: None,
+            pre_ratio: None,
+            window_ratio: None,
+            unresolved: Vec::new(),
+        };
+        if !opts.skip_dead && !report.skipped.is_empty() {
+            report.reason = Some(format!(
+                "{} node(s) down and skip_dead is off",
+                report.skipped.len()
+            ));
+            return report;
+        }
+        if participants.is_empty() {
+            report.reason = Some("no alive participants".to_string());
+            return report;
+        }
+
+        // Health baseline: measure a pre-window unless one was supplied.
+        let mut window = world.stats_window();
+        if let Some(gate) = &opts.health {
+            let baseline = match gate.baseline {
+                Some(b) => b,
+                None => {
+                    window.skip(world);
+                    world.run_for(gate.window);
+                    window.advance(world).delivery_ratio()
+                }
+            };
+            report.pre_ratio = Some(baseline);
+        }
+
+        // Phase 1: prepare everywhere, with a virtual deadline.
+        let started = world.now();
+        let deadline = started + opts.prepare_timeout;
+        for &i in &participants {
+            self.handles[i].txn_ctl(TxnCtl::Prepare {
+                id: txn,
+                ops: recipe(),
+                requested: Some(started),
+                deadline: Some(deadline),
+                quiesce_within: opts.quiesce_within,
+            });
+        }
+        let mut abort_reason: Option<String> = None;
+        loop {
+            world.run_for(opts.poll);
+            let mut all_prepared = true;
+            for &i in &participants {
+                match self.handles[i].status().txn {
+                    Some(r) if r.id == txn => match r.phase {
+                        TxnPhase::Prepared | TxnPhase::Committed => {}
+                        TxnPhase::Aborted | TxnPhase::RolledBack | TxnPhase::Reverted => {
+                            abort_reason =
+                                Some(format!("node {} {}: {}", self.ids[i].0, r.phase, r.detail));
+                            all_prepared = false;
+                        }
+                    },
+                    _ => all_prepared = false,
+                }
+            }
+            if abort_reason.is_some() {
+                break;
+            }
+            if all_prepared {
+                break;
+            }
+            if world.now() > deadline {
+                abort_reason = Some(format!(
+                    "prepare deadline passed with {} node(s) unprepared",
+                    participants
+                        .iter()
+                        .filter(|&&i| !matches!(
+                            self.handles[i].status().txn,
+                            Some(ref r) if r.id == txn && r.phase == TxnPhase::Prepared
+                        ))
+                        .count()
+                ));
+                break;
+            }
+        }
+
+        if let Some(reason) = abort_reason {
+            // Phase 2a: abort. The per-node ctl queue is FIFO, so a node
+            // that has not processed its Prepare yet will prepare and then
+            // immediately roll back — or refuse the stale prepare at its
+            // deadline — either way converging on the checkpoint.
+            for &i in &participants {
+                self.handles[i].txn_ctl(TxnCtl::Abort {
+                    id: txn,
+                    reason: "peer_abort",
+                });
+            }
+            report.unresolved = self.drain(world, &participants, txn, opts, |phase| {
+                matches!(
+                    phase,
+                    TxnPhase::Aborted | TxnPhase::RolledBack | TxnPhase::Reverted
+                )
+            });
+            report.verdict = TxnVerdict::Aborted;
+            report.reason = Some(reason);
+            return report;
+        }
+
+        // Phase 2b: commit.
+        for &i in &participants {
+            self.handles[i].txn_ctl(TxnCtl::Commit { id: txn });
+        }
+        report.unresolved = self.drain(world, &participants, txn, opts, |phase| {
+            phase == TxnPhase::Committed
+        });
+        report.verdict = TxnVerdict::Committed;
+
+        // Health-gated provisional window.
+        if let Some(gate) = &opts.health {
+            let baseline = report.pre_ratio.unwrap_or(1.0);
+            window.skip(world);
+            world.run_for(gate.window);
+            let ratio = window.advance(world).delivery_ratio();
+            report.window_ratio = Some(ratio);
+            if baseline - ratio > gate.max_drop {
+                for &i in &participants {
+                    self.handles[i].txn_ctl(TxnCtl::Revert { id: txn });
+                }
+                report.unresolved = self.drain(world, &participants, txn, opts, |phase| {
+                    phase == TxnPhase::Reverted
+                });
+                report.verdict = TxnVerdict::Reverted;
+                report.reason = Some(format!(
+                    "delivery ratio {ratio:.3} fell more than {:.3} below baseline {baseline:.3}",
+                    gate.max_drop
+                ));
+            }
+        }
+        report
+    }
+
+    /// Runs the world in poll slices until every participant's status
+    /// reports the wanted phase for `txn`, or the resolve budget runs out.
+    /// Returns the nodes that never got there.
+    fn drain(
+        &self,
+        world: &mut World,
+        participants: &[usize],
+        txn: u64,
+        opts: &TxnOptions,
+        done: impl Fn(TxnPhase) -> bool,
+    ) -> Vec<NodeId> {
+        let deadline = world.now() + opts.resolve_timeout;
+        loop {
+            world.run_for(opts.poll);
+            let laggards: Vec<NodeId> = participants
+                .iter()
+                .filter(|&&i| {
+                    !matches!(
+                        self.handles[i].status().txn,
+                        Some(ref r) if r.id == txn && done(r.phase)
+                    )
+                })
+                .map(|&i| self.ids[i])
+                .collect();
+            if laggards.is_empty() || world.now() > deadline {
+                return laggards;
+            }
+        }
+    }
+}
+
+impl fmt::Debug for FleetCoordinator {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("FleetCoordinator")
+            .field("nodes", &self.ids)
+            .field("retry_budget", &self.retry_budget)
+            .finish()
     }
 }
 
@@ -224,12 +661,16 @@ mod tests {
 
         let deferred =
             fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
-        assert_eq!(deferred, vec![1], "the crashed node is reported deferred");
+        assert_eq!(
+            deferred,
+            vec![NodeId(1)],
+            "the crashed node is reported deferred"
+        );
 
         let status = fleet.status();
         assert!(!status.converged());
         assert!(status.pending >= 1);
-        assert_eq!(status.deferred, vec![1]);
+        assert_eq!(status.deferred, vec![NodeId(1)]);
         assert!(
             status.to_string().contains("deferred on down nodes [1]"),
             "Display names the deferral: {status}"
@@ -258,13 +699,104 @@ mod tests {
 
         let deferred =
             fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
-        assert_eq!(deferred, vec![1]);
+        assert_eq!(deferred, vec![NodeId(1)]);
 
         // Node 0 applies at its next quiescent point; node 1 never will.
         world.run_until(ms(2_500));
         let abandoned = fleet.give_up_deferred();
-        assert_eq!(abandoned, vec![(1, 1)]);
+        assert_eq!(abandoned, vec![(NodeId(1), 1)]);
         let status = fleet.status();
         assert!(status.converged(), "give-up clears the deferral: {status}");
+    }
+
+    #[test]
+    fn retry_budget_gives_up_on_permanently_dead_nodes_automatically() {
+        let plan = FaultPlan::builder(0).crash(ms(500), NodeId(1)).build();
+        let (mut world, mut fleet) = fleet_world(plan);
+        fleet.set_retry_budget(Some(1));
+        world.run_until(ms(1_000));
+
+        // First encounter: within budget, the op is deferred normally.
+        let deferred =
+            fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
+        assert_eq!(deferred, vec![NodeId(1)]);
+        assert_eq!(fleet.status().deferred, vec![NodeId(1)]);
+
+        // Second encounter: budget exceeded — pending ops are dropped and
+        // nothing new enqueues on the dead node.
+        let deferred =
+            fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
+        assert!(deferred.is_empty(), "given-up node no longer deferred");
+
+        world.run_until(ms(2_500));
+        let status = fleet.status();
+        assert!(
+            status.converged(),
+            "auto-give-up clears the backlog: {status}"
+        );
+        assert_eq!(
+            world.stats().agent_counter("reconfig.ops_applied"),
+            2,
+            "the alive node applied both rounds; the dead one applied nothing"
+        );
+    }
+
+    #[test]
+    fn two_phase_commit_converges_the_fleet() {
+        let (mut world, fleet) = fleet_world(FaultPlan::builder(0).build());
+        world.run_until(ms(1_000));
+
+        let report = fleet.commit_two_phase(
+            &mut world,
+            || vec![ReconfigOp::RegisterMessage(hello_registration())],
+            &TxnOptions::default(),
+        );
+        assert_eq!(report.verdict, TxnVerdict::Committed, "{report}");
+        assert!(report.unresolved.is_empty(), "{report}");
+        assert_eq!(report.participants, vec![NodeId(0), NodeId(1)]);
+        let stats = world.stats();
+        assert_eq!(stats.agent_counter("txn.prepared"), 2);
+        assert_eq!(stats.agent_counter("txn.committed"), 2);
+        assert_eq!(stats.agent_counter("txn.aborted"), 0);
+        assert_eq!(
+            stats.agent_counter("reconfig.ops_applied"),
+            2,
+            "committed ops count as applied reconfigurations"
+        );
+    }
+
+    #[test]
+    fn two_phase_commit_aborts_everywhere_when_one_node_cannot_apply() {
+        let (mut world, fleet) = fleet_world(FaultPlan::builder(0).build());
+        world.run_until(ms(1_000));
+
+        // Node 1's batch contains an op that must fail (removing a protocol
+        // that does not exist); node 0's batch is fine. 2PC must roll node
+        // 0's prepared batch back, leaving both compositions untouched.
+        let stacks_before = fleet.stacks();
+        let counter = std::sync::atomic::AtomicUsize::new(0);
+        let report = fleet.commit_two_phase(
+            &mut world,
+            || {
+                let i = counter.fetch_add(1, Ordering::Relaxed);
+                if i.is_multiple_of(2) {
+                    vec![ReconfigOp::RemoveProtocol {
+                        name: "neighbour-detection".into(),
+                    }]
+                } else {
+                    vec![ReconfigOp::RemoveProtocol {
+                        name: "no-such-protocol".into(),
+                    }]
+                }
+            },
+            &TxnOptions::default(),
+        );
+        assert_eq!(report.verdict, TxnVerdict::Aborted, "{report}");
+        assert!(report.reason.is_some());
+        assert!(report.unresolved.is_empty(), "{report}");
+        assert_eq!(fleet.stacks(), stacks_before, "no node kept the change");
+        let stats = world.stats();
+        assert!(stats.agent_counter("txn.aborted") >= 1);
+        assert!(stats.agent_counter("txn.rolled_back") >= 1);
     }
 }

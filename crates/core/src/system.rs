@@ -32,6 +32,24 @@ pub struct MessageRegistration {
     pub out_event: Option<EventType>,
 }
 
+/// The System CF's *configuration* — the part of its identity that
+/// reconfiguration operations mutate (message registrations and loaded
+/// plug-ins), as a cloneable, comparable value.
+///
+/// Runtime artefacts (the tx aggregation buffer, sequence numbers,
+/// observability counters) are deliberately excluded: a checkpoint/restore
+/// pair around an aborted transaction must not rewind history, only undo
+/// configuration.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct SystemConfig {
+    /// NetworkDriver message registrations, in registration order.
+    pub registrations: Vec<MessageRegistration>,
+    /// Whether the NetLink plug-in is loaded.
+    pub netlink: bool,
+    /// Whether the PowerStatus plug-in is loaded.
+    pub power_status: bool,
+}
+
 /// The System CF.
 #[derive(Debug, Default)]
 pub struct SystemCf {
@@ -90,6 +108,27 @@ impl SystemCf {
     /// `POWER_STATUS` events.
     pub fn enable_power_status(&mut self) {
         self.power_status = true;
+    }
+
+    /// Snapshots the reconfigurable configuration (registrations and
+    /// plug-in flags) — the checkpoint half of transactional rollback.
+    #[must_use]
+    pub fn config(&self) -> SystemConfig {
+        SystemConfig {
+            registrations: self.registrations.clone(),
+            netlink: self.netlink,
+            power_status: self.power_status,
+        }
+    }
+
+    /// Restores a configuration previously captured with
+    /// [`config`](Self::config), leaving runtime state (tx buffer, packet
+    /// sequence, counters) untouched. Callers re-derive the System tuple
+    /// afterwards.
+    pub fn restore_config(&mut self, config: SystemConfig) {
+        self.registrations = config.registrations;
+        self.netlink = config.netlink;
+        self.power_status = config.power_status;
     }
 
     /// The System CF's event tuple, derived from its loaded plug-ins.

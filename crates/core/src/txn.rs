@@ -1,0 +1,517 @@
+//! Transactional reconfiguration: checkpoint, apply, validate, roll back.
+//!
+//! The quiescence discipline (§4.5) guarantees no event is *in flight* when
+//! a reconfiguration runs, but it says nothing about what happens when the
+//! reconfiguration itself fails halfway: a `SwitchProtocol` whose add leg is
+//! vetoed would previously leave the node with the old protocol gone and the
+//! new one never installed. This module wraps a batch of [`ReconfigOp`]s in
+//! a transaction:
+//!
+//! 1. **Checkpoint** — capture a [`CompositionFingerprint`] of the
+//!    architecture meta-model, protocol tuples/plug-ins, exported protocol
+//!    state and System CF configuration.
+//! 2. **Apply** — run each op while building a physical undo log (removed
+//!    CFs are *kept*, not reconstructed — protocol state lives in
+//!    type-erased [`StateSlot`](crate::protocol::StateSlot)s that cannot be
+//!    cloned).
+//! 3. **Validate** — any op failure, integrity veto, quiescence timeout or
+//!    non-undoable op aborts the transaction.
+//! 4. **Roll back** — unwind the undo log in reverse and verify the
+//!    fingerprint matches the checkpoint, so an abort provably restores the
+//!    pre-transaction composition.
+//!
+//! A prepared transaction can be held open (two-phase commit across a
+//! fleet: see [`FleetCoordinator::commit_two_phase`]
+//! (crate::reconfig::FleetCoordinator::commit_two_phase)) and either
+//! committed or rolled back later; after commit the undo log is retained so
+//! a health-gated coordinator can still *revert* a composition that turns
+//! out to regress delivery.
+//!
+//! All transitions emit trace records (`txn_prepare`, `txn_commit`,
+//! `txn_abort`, `txn_rollback`, `txn_revert`) and bump `txn.*` OS counters
+//! that surface in `WorldStats::agent_counters`.
+
+use std::fmt;
+use std::time::Duration;
+
+use netsim::NodeOs;
+
+use crate::node::{Deployment, ReconfigOp};
+use crate::protocol::ManetProtocolCf;
+use crate::registry::EventTuple;
+use crate::system::SystemConfig;
+
+/// Default wall-clock budget for reaching quiescence on the meta-CF's
+/// [`QuiescenceLock`](opencom::QuiescenceLock) before a prepare gives up.
+pub const DEFAULT_QUIESCE_WITHIN: Duration = Duration::from_millis(100);
+
+/// Why a transaction aborted.
+///
+/// The reason tags are interned `&'static str`s so they double as trace
+/// record tags.
+#[derive(Debug, Clone)]
+pub struct TxnAborted {
+    /// Transaction id.
+    pub id: u64,
+    /// Machine-readable reason tag (`op_failed`, `integrity`,
+    /// `non_undoable`, `quiesce_timeout`, `prepare_timeout`, `peer_abort`,
+    /// `crashed`, `health`, `busy`).
+    pub reason: &'static str,
+    /// Human-readable detail (the underlying error).
+    pub detail: String,
+    /// Whether the rollback verified byte-identical to the checkpoint.
+    pub rollback_clean: bool,
+}
+
+impl fmt::Display for TxnAborted {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "txn {} aborted ({}): {}",
+            self.id, self.reason, self.detail
+        )?;
+        if !self.rollback_clean {
+            write!(f, " [rollback mismatch]")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for TxnAborted {}
+
+/// An id-free structural digest of a deployment: what the composition *is*,
+/// independent of the kernel identifiers that change when a component is
+/// removed and reinserted. Two fingerprints compare equal iff the
+/// architecture meta-model, every protocol's tuple/plug-ins/reactivity,
+/// exported protocol state bytes and the System CF configuration all match.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CompositionFingerprint {
+    /// Architecture meta-model entries as `(name, provided, required)`
+    /// interface-name triples, sorted by name (kernel ids normalised out).
+    pub components: Vec<(String, Vec<String>, Vec<String>)>,
+    /// Per-protocol digests in stack order.
+    pub protocols: Vec<ProtocolFingerprint>,
+    /// System CF configuration.
+    pub system: SystemConfig,
+}
+
+/// One protocol's contribution to a [`CompositionFingerprint`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ProtocolFingerprint {
+    /// Protocol name.
+    pub name: String,
+    /// Declared event tuple.
+    pub tuple: EventTuple,
+    /// Loaded plug-in names.
+    pub plugins: Vec<String>,
+    /// Whether the protocol registered as reactive.
+    pub reactive: bool,
+    /// Exported state bytes (`None` when the protocol has no state codec).
+    pub state: Option<Vec<u8>>,
+}
+
+/// Computes the [`CompositionFingerprint`] of a deployment.
+#[must_use]
+pub fn fingerprint(dep: &Deployment) -> CompositionFingerprint {
+    let arch = dep.meta().architecture();
+    let mut components: Vec<(String, Vec<String>, Vec<String>)> = arch
+        .components
+        .iter()
+        .map(|c| {
+            let mut provided: Vec<String> =
+                c.provided.iter().map(|i| i.as_str().to_string()).collect();
+            provided.sort();
+            let mut required: Vec<String> =
+                c.required.iter().map(|r| r.as_str().to_string()).collect();
+            required.sort();
+            (c.name.clone(), provided, required)
+        })
+        .collect();
+    components.sort();
+    let protocols = dep
+        .protocol_names()
+        .iter()
+        .filter_map(|name| dep.protocol(name))
+        .map(|cf| ProtocolFingerprint {
+            name: cf.name().to_string(),
+            tuple: cf.tuple().clone(),
+            plugins: cf.plugin_names(),
+            reactive: cf.is_reactive(),
+            state: cf.export_state(),
+        })
+        .collect();
+    CompositionFingerprint {
+        components,
+        protocols,
+        system: dep.system().config(),
+    }
+}
+
+/// One reversible step of an applied transaction. Undo is *physical*:
+/// removed CFs ride along in the log and are reinserted on rollback, which
+/// is the only way to restore type-erased protocol state exactly.
+enum Undo {
+    /// An `AddProtocol` applied — undo removes it again.
+    RemoveAdded { name: String },
+    /// A `RemoveProtocol` applied — undo reinserts the kept CF at its old
+    /// stack position.
+    Reinsert { cf: ManetProtocolCf, index: usize },
+    /// A `SwitchProtocol` applied — undo removes the new CF, moves the
+    /// transferred state back into the kept old CF and reinserts it.
+    UnSwitch {
+        new_name: String,
+        old: ManetProtocolCf,
+        index: usize,
+        transfer: bool,
+    },
+    /// An `UpdateTuple` applied — undo restores the previous tuple.
+    RestoreTuple { protocol: String, tuple: EventTuple },
+    /// A System CF mutation applied — undo restores the configuration
+    /// snapshot taken just before.
+    RestoreSystem { config: SystemConfig },
+}
+
+impl fmt::Debug for Undo {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Undo::RemoveAdded { name } => write!(f, "RemoveAdded({name})"),
+            Undo::Reinsert { cf, index } => write!(f, "Reinsert({} @ {index})", cf.name()),
+            Undo::UnSwitch { new_name, old, .. } => {
+                write!(f, "UnSwitch({new_name} -> {})", old.name())
+            }
+            Undo::RestoreTuple { protocol, .. } => write!(f, "RestoreTuple({protocol})"),
+            Undo::RestoreSystem { .. } => write!(f, "RestoreSystem"),
+        }
+    }
+}
+
+/// A transaction whose ops have been applied but whose undo log is still
+/// live: it can be [`commit`]ted, [`rollback`]ed, or (after commit)
+/// [`revert`]ed by a health gate.
+#[derive(Debug)]
+pub struct PreparedTxn {
+    /// Transaction id (coordinator-assigned).
+    pub id: u64,
+    /// Number of ops applied.
+    pub ops_applied: u64,
+    checkpoint: CompositionFingerprint,
+    undo: Vec<Undo>,
+}
+
+impl PreparedTxn {
+    /// The checkpoint fingerprint taken before any op ran.
+    #[must_use]
+    pub fn checkpoint(&self) -> &CompositionFingerprint {
+        &self.checkpoint
+    }
+}
+
+/// Checkpoints the deployment, applies `ops` and returns the prepared
+/// transaction with its undo log, or rolls everything back and reports why.
+///
+/// Quiescence is probed with a bounded wait (`quiesce_within`) on the
+/// meta-CF's lock — if activities are still in flight past the deadline the
+/// prepare aborts with reason `quiesce_timeout` instead of blocking forever.
+/// The guard is dropped before ops run (the per-op kernel paths re-acquire
+/// it; the lock is not reentrant).
+///
+/// # Errors
+///
+/// Aborts (with rollback already performed) on any op failure, integrity
+/// veto, quiescence timeout, or a non-undoable `Mutate` op.
+pub fn prepare(
+    dep: &mut Deployment,
+    id: u64,
+    ops: Vec<ReconfigOp>,
+    quiesce_within: Duration,
+    os: &mut NodeOs,
+) -> Result<PreparedTxn, TxnAborted> {
+    // Bounded quiescence probe: acquire and immediately drop. In-flight
+    // activity holds read locks; if we can take the write lock the
+    // framework is quiescent *now*, and since ops run synchronously from
+    // this same thread nothing can start in between.
+    match dep.meta().quiescence().reconfigure_within(quiesce_within) {
+        Ok(guard) => drop(guard),
+        Err(timeout) => {
+            os.bump("txn.quiesce_timeout");
+            os.bump("txn.aborted");
+            os.trace_txn_abort(id, "quiesce_timeout");
+            return Err(TxnAborted {
+                id,
+                reason: "quiesce_timeout",
+                detail: timeout.to_string(),
+                rollback_clean: true,
+            });
+        }
+    }
+    let checkpoint = fingerprint(dep);
+    let mut undo: Vec<Undo> = Vec::with_capacity(ops.len());
+    let mut ops_applied = 0u64;
+    let mut failure: Option<(&'static str, String)> = None;
+    for op in ops {
+        if failure.is_some() {
+            break; // remaining ops are dropped; the batch is atomic
+        }
+        match apply_one(dep, op, &mut undo, os) {
+            Ok(()) => ops_applied += 1,
+            Err((reason, detail)) => failure = Some((reason, detail)),
+        }
+    }
+    if let Some((reason, detail)) = failure {
+        let clean = unwind(dep, &checkpoint, undo, os);
+        os.bump("txn.aborted");
+        // NOT txn.rolled_back: that counter tracks *prepared* transactions
+        // only, preserving prepared == committed + rolled_back. The unwind
+        // is still visible as a txn_rollback trace record.
+        os.trace_txn_abort(id, reason);
+        os.trace_txn_rollback(id, ops_applied);
+        return Err(TxnAborted {
+            id,
+            reason,
+            detail,
+            rollback_clean: clean,
+        });
+    }
+    os.bump("txn.prepared");
+    os.trace_txn_prepare(id, ops_applied);
+    Ok(PreparedTxn {
+        id,
+        ops_applied,
+        checkpoint,
+        undo,
+    })
+}
+
+/// Commits a prepared transaction: the new composition becomes the node's
+/// configuration of record. The undo log is *returned retained* inside the
+/// `PreparedTxn` so a health gate can still [`revert`] — drop it to
+/// finalise.
+pub fn commit(dep: &mut Deployment, txn: &PreparedTxn, os: &mut NodeOs) {
+    dep.note_reconfigs(txn.ops_applied);
+    os.bump_by("reconfig.ops_applied", txn.ops_applied);
+    os.bump("txn.committed");
+    os.trace_txn_commit(txn.id, txn.ops_applied);
+}
+
+/// Rolls a prepared (not yet committed) transaction back to its checkpoint.
+/// Returns whether the post-rollback fingerprint matched the checkpoint.
+pub fn rollback(dep: &mut Deployment, txn: PreparedTxn, os: &mut NodeOs) -> bool {
+    let PreparedTxn {
+        id,
+        ops_applied,
+        checkpoint,
+        undo,
+    } = txn;
+    let clean = unwind(dep, &checkpoint, undo, os);
+    os.bump("txn.rolled_back");
+    os.trace_txn_rollback(id, ops_applied);
+    clean
+}
+
+/// Reverts a *committed* transaction (health-gated back-out): same physical
+/// unwind as [`rollback`], but recorded as a revert.
+pub fn revert(dep: &mut Deployment, txn: PreparedTxn, os: &mut NodeOs) -> bool {
+    let PreparedTxn {
+        id,
+        ops_applied,
+        checkpoint,
+        undo,
+    } = txn;
+    let clean = unwind(dep, &checkpoint, undo, os);
+    os.bump("txn.reverted");
+    os.trace_txn_revert(id, ops_applied);
+    clean
+}
+
+/// Applies a whole batch transactionally in one step: prepare then commit.
+/// The single-node convenience over the prepare/commit split the fleet
+/// coordinator uses.
+///
+/// # Errors
+///
+/// Aborts (with rollback already performed) under the same conditions as
+/// [`prepare`].
+pub fn apply_transactional(
+    dep: &mut Deployment,
+    id: u64,
+    ops: Vec<ReconfigOp>,
+    os: &mut NodeOs,
+) -> Result<u64, TxnAborted> {
+    let txn = prepare(dep, id, ops, DEFAULT_QUIESCE_WITHIN, os)?;
+    let applied = txn.ops_applied;
+    commit(dep, &txn, os);
+    Ok(applied)
+}
+
+/// Applies one op, logging its undo. On error the op itself has had no
+/// effect (individual ops are atomic); the caller unwinds previous ops.
+fn apply_one(
+    dep: &mut Deployment,
+    op: ReconfigOp,
+    undo: &mut Vec<Undo>,
+    os: &mut NodeOs,
+) -> Result<(), (&'static str, String)> {
+    match op {
+        ReconfigOp::AddProtocol(cf) => {
+            let name = cf.name().to_string();
+            let at = dep.protocol_names().len();
+            match dep.try_insert_protocol(at, cf, os) {
+                Ok(()) => {
+                    undo.push(Undo::RemoveAdded { name });
+                    os.trace_reconfig_apply("add_protocol");
+                    Ok(())
+                }
+                Err((_, e)) => Err(classify(&e)),
+            }
+        }
+        ReconfigOp::RemoveProtocol { name } => {
+            let index = dep
+                .protocol_position(&name)
+                .ok_or_else(|| ("op_failed", format!("no protocol named {name:?}")))?;
+            match dep.remove_protocol(&name, os) {
+                Ok(cf) => {
+                    undo.push(Undo::Reinsert { cf, index });
+                    os.trace_reconfig_apply("remove_protocol");
+                    Ok(())
+                }
+                Err(e) => Err(classify(&e)),
+            }
+        }
+        ReconfigOp::SwitchProtocol {
+            old,
+            new,
+            transfer_state,
+        } => {
+            let index = dep
+                .protocol_position(&old)
+                .ok_or_else(|| ("op_failed", format!("no protocol named {old:?}")))?;
+            let mut old_cf = match dep.remove_protocol(&old, os) {
+                Ok(cf) => cf,
+                Err(e) => return Err(classify(&e)),
+            };
+            let mut new = new;
+            if transfer_state {
+                new.replace_state(old_cf.take_state());
+            }
+            os.trace_state_transfer("switch_protocol", transfer_state);
+            let new_name = new.name().to_string();
+            let at = dep.protocol_names().len();
+            match dep.try_insert_protocol(at, new, os) {
+                Ok(()) => {
+                    undo.push(Undo::UnSwitch {
+                        new_name,
+                        old: old_cf,
+                        index,
+                        transfer: transfer_state,
+                    });
+                    os.trace_rebind("switch_protocol");
+                    Ok(())
+                }
+                Err((mut rejected, e)) => {
+                    // The new CF was refused: move the state back and
+                    // reinstate the old protocol before reporting, so this
+                    // op nets out to a no-op like every other failed op.
+                    if transfer_state {
+                        old_cf.replace_state(rejected.take_state());
+                    }
+                    let classified = classify(&e);
+                    if let Err((_, reinsert_err)) = dep.try_insert_protocol(index, old_cf, os) {
+                        return Err((
+                            classified.0,
+                            format!("{} (and reinstating {old:?} failed: {reinsert_err})", classified.1),
+                        ));
+                    }
+                    Err(classified)
+                }
+            }
+        }
+        ReconfigOp::UpdateTuple { protocol, tuple } => {
+            match dep.swap_protocol_tuple(&protocol, tuple) {
+                Ok(previous) => {
+                    undo.push(Undo::RestoreTuple {
+                        protocol,
+                        tuple: previous,
+                    });
+                    os.trace_rebind("update_tuple");
+                    Ok(())
+                }
+                Err(e) => Err(classify(&e)),
+            }
+        }
+        ReconfigOp::Mutate { protocol, .. } => Err((
+            "non_undoable",
+            format!("Mutate({protocol}) is an opaque FnOnce and cannot be rolled back; apply it outside a transaction"),
+        )),
+        ReconfigOp::RegisterMessage(reg) => {
+            let config = dep.system().config();
+            dep.system_mut().register_message(reg);
+            dep.refresh_system_tuple();
+            undo.push(Undo::RestoreSystem { config });
+            os.trace_rebind("register_message");
+            Ok(())
+        }
+        ReconfigOp::MutateSystem { op } => {
+            let config = dep.system().config();
+            op(dep.system_mut());
+            dep.refresh_system_tuple();
+            undo.push(Undo::RestoreSystem { config });
+            os.trace_rebind("mutate_system");
+            Ok(())
+        }
+    }
+}
+
+fn classify(e: &crate::node::DeployError) -> (&'static str, String) {
+    let reason = match e {
+        crate::node::DeployError::Integrity(_) => "integrity",
+        _ => "op_failed",
+    };
+    (reason, e.to_string())
+}
+
+/// Unwinds an undo log in reverse and verifies the result against the
+/// checkpoint. A mismatch bumps `txn.rollback_mismatch` — it should never
+/// happen (the property tests assert it doesn't) but is surfaced rather
+/// than silently ignored.
+fn unwind(
+    dep: &mut Deployment,
+    checkpoint: &CompositionFingerprint,
+    undo: Vec<Undo>,
+    os: &mut NodeOs,
+) -> bool {
+    for entry in undo.into_iter().rev() {
+        match entry {
+            Undo::RemoveAdded { name } => {
+                let _ = dep.remove_protocol(&name, os);
+            }
+            Undo::Reinsert { cf, index } => {
+                let _ = dep.try_insert_protocol(index, cf, os);
+            }
+            Undo::UnSwitch {
+                new_name,
+                mut old,
+                index,
+                transfer,
+            } => {
+                if let Ok(mut new_cf) = dep.remove_protocol(&new_name, os) {
+                    if transfer {
+                        old.replace_state(new_cf.take_state());
+                    }
+                }
+                let _ = dep.try_insert_protocol(index, old, os);
+            }
+            Undo::RestoreTuple { protocol, tuple } => {
+                let _ = dep.swap_protocol_tuple(&protocol, tuple);
+            }
+            Undo::RestoreSystem { config } => {
+                dep.system_mut().restore_config(config);
+                dep.refresh_system_tuple();
+            }
+        }
+    }
+    let clean = fingerprint(dep) == *checkpoint;
+    if !clean {
+        os.bump("txn.rollback_mismatch");
+    }
+    clean
+}

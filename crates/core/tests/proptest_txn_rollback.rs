@@ -1,0 +1,285 @@
+//! Property-based tests of transactional reconfiguration: a transaction
+//! that aborts at ANY failure point must leave the composition — the
+//! architecture meta-model, every protocol's tuple/plug-ins, the exported
+//! protocol state bytes and the System CF configuration — exactly as the
+//! checkpoint recorded it. The same holds for an explicit rollback of a
+//! successfully prepared transaction, and for a transaction doomed by a
+//! node crash between prepare and commit.
+
+use std::time::Duration;
+
+use manetkit::event::EventType;
+use manetkit::neighbour::{hello_registration, neighbour_detection_cf};
+use manetkit::prelude::*;
+use manetkit::protocol::StateSlot;
+use manetkit::system::MessageRegistration;
+use manetkit::txn;
+use manetkit::TxnPhase;
+use netsim::fault::FaultPlan;
+use netsim::{NodeId, NodeOs, SimDuration, SimTime, Topology, World};
+use packetbb::Address;
+use proptest::prelude::*;
+
+/// A protocol CF with a state codec, so rollback exactness is checked down
+/// to the exported state bytes.
+fn stateful_cf(name: String, state: u64) -> ManetProtocolCf {
+    ManetProtocolCf::builder(name)
+        .tuple(
+            EventTuple::new()
+                .requires(EventType::named("TXN_A"))
+                .provides(EventType::named("TXN_B")),
+        )
+        .state(StateSlot::new(state))
+        .state_codec(|slot| {
+            slot.try_get::<u64>()
+                .map(|v| v.to_le_bytes().to_vec())
+                .unwrap_or_default()
+        })
+        .build()
+}
+
+fn registration(msg_type: u8) -> MessageRegistration {
+    MessageRegistration {
+        msg_type,
+        in_event: EventType::named("TXN_MSG_IN"),
+        out_event: None,
+    }
+}
+
+/// The fixed starting composition: two stateful protocols and one message
+/// registration.
+fn base_deployment(os: &mut NodeOs) -> Deployment {
+    let mut dep = Deployment::new(ConcurrencyModel::SingleThreaded);
+    dep.system_mut().register_message(registration(42));
+    dep.add_protocol_offline(stateful_cf("alpha".into(), 7))
+        .unwrap();
+    dep.add_protocol_offline(stateful_cf("gamma".into(), 9))
+        .unwrap();
+    dep.start(os);
+    dep
+}
+
+/// Builds op `i` of a batch from a generated code. Codes deliberately mix
+/// ops that succeed, ops that must fail (unknown/duplicate protocols) and
+/// a non-undoable `Mutate` — every mix exercises a different abort point.
+fn build_op(code: u8, i: usize) -> ReconfigOp {
+    match code {
+        0 => ReconfigOp::AddProtocol(stateful_cf(format!("p{i}"), i as u64)),
+        1 => ReconfigOp::AddProtocol(stateful_cf("alpha".into(), 1)),
+        2 => ReconfigOp::RemoveProtocol {
+            name: "alpha".into(),
+        },
+        3 => ReconfigOp::RemoveProtocol {
+            name: "ghost".into(),
+        },
+        4 => ReconfigOp::UpdateTuple {
+            protocol: "gamma".into(),
+            tuple: EventTuple::new()
+                .requires(EventType::named("TXN_B"))
+                .provides(EventType::named("TXN_C")),
+        },
+        5 => ReconfigOp::Mutate {
+            protocol: "gamma".into(),
+            op: Box::new(|_| {}),
+        },
+        6 => ReconfigOp::RegisterMessage(registration(50 + (i as u8 % 100))),
+        7 => ReconfigOp::SwitchProtocol {
+            old: "alpha".into(),
+            new: stateful_cf(format!("s{i}"), 100 + i as u64),
+            transfer_state: true,
+        },
+        _ => ReconfigOp::MutateSystem {
+            op: Box::new(|sys| sys.enable_netlink()),
+        },
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    /// Whatever mix of valid, failing and non-undoable ops a transaction
+    /// carries, an abort at any injected failure point — or an explicit
+    /// rollback of a fully prepared batch — restores the composition
+    /// fingerprint byte-identically to the checkpoint.
+    #[test]
+    fn abort_at_any_failure_point_restores_the_checkpoint(
+        codes in proptest::collection::vec(0u8..9, 1..10),
+    ) {
+        let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
+        let mut dep = base_deployment(&mut os);
+        let before = txn::fingerprint(&dep);
+        let ops: Vec<ReconfigOp> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| build_op(*c, i))
+            .collect();
+        match txn::prepare(&mut dep, 1, ops, Duration::from_millis(50), &mut os) {
+            Ok(prepared) => {
+                // The batch applied cleanly; roll it back anyway (the
+                // coordinator-abort path) and demand exactness.
+                let clean = txn::rollback(&mut dep, prepared, &mut os);
+                prop_assert!(clean, "rollback fingerprint mismatch");
+                prop_assert_eq!(txn::fingerprint(&dep), before);
+            }
+            Err(aborted) => {
+                prop_assert!(
+                    aborted.rollback_clean,
+                    "abort ({}) left a dirty rollback: {}",
+                    aborted.reason,
+                    aborted.detail
+                );
+                prop_assert_eq!(txn::fingerprint(&dep), before);
+            }
+        }
+    }
+
+    /// A committed-then-reverted transaction (the health-gate back-out)
+    /// also lands exactly on the checkpoint.
+    #[test]
+    fn revert_after_commit_restores_the_checkpoint(
+        codes in proptest::collection::vec(prop_oneof![
+            Just(0u8), Just(4u8), Just(6u8), Just(7u8), Just(8u8)
+        ], 1..6),
+    ) {
+        let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
+        let mut dep = base_deployment(&mut os);
+        let before = txn::fingerprint(&dep);
+        // Code 7 switches "alpha" away, so only its first occurrence can
+        // succeed; downgrade repeats to plain adds to keep the batch
+        // infallible.
+        let mut switched = false;
+        let ops: Vec<ReconfigOp> = codes
+            .iter()
+            .enumerate()
+            .map(|(i, c)| {
+                let c = if *c == 7 && std::mem::replace(&mut switched, true) {
+                    0
+                } else {
+                    *c
+                };
+                build_op(c, i)
+            })
+            .collect();
+        // These op codes never fail on the base composition, so prepare
+        // must succeed.
+        let prepared = match txn::prepare(&mut dep, 2, ops, Duration::from_millis(50), &mut os) {
+            Ok(p) => p,
+            Err(e) => panic!("unexpected abort: {e}"),
+        };
+        txn::commit(&mut dep, &prepared, &mut os);
+        prop_assert_ne!(txn::fingerprint(&dep), before.clone(),
+            "every generated batch changes the composition");
+        let clean = txn::revert(&mut dep, prepared, &mut os);
+        prop_assert!(clean, "revert fingerprint mismatch");
+        prop_assert_eq!(txn::fingerprint(&dep), before);
+    }
+}
+
+/// A non-undoable `Mutate` op aborts the transaction with the dedicated
+/// reason, even when every other op in the batch is valid.
+#[test]
+fn mutate_ops_abort_as_non_undoable() {
+    let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
+    let mut dep = base_deployment(&mut os);
+    let before = txn::fingerprint(&dep);
+    let ops = vec![
+        ReconfigOp::RegisterMessage(registration(60)),
+        ReconfigOp::Mutate {
+            protocol: "alpha".into(),
+            op: Box::new(|_| {}),
+        },
+    ];
+    let aborted = txn::prepare(&mut dep, 3, ops, Duration::from_millis(50), &mut os)
+        .expect_err("Mutate must abort the transaction");
+    assert_eq!(aborted.reason, "non_undoable");
+    assert!(aborted.rollback_clean);
+    assert_eq!(txn::fingerprint(&dep), before);
+}
+
+/// A quiescence timeout (activity still in flight past the deadline)
+/// aborts the prepare without touching the composition, instead of
+/// blocking forever.
+#[test]
+fn quiesce_timeout_aborts_without_blocking() {
+    let mut os = NodeOs::standalone(NodeId(0), Address::v4([10, 0, 0, 1]));
+    let mut dep = base_deployment(&mut os);
+    let before = txn::fingerprint(&dep);
+    // Hold an activity (read) guard, as an in-flight event shepherd would.
+    // QuiescenceLock clones share the same lock, which sidesteps borrowing
+    // `dep` while `prepare` needs it mutably.
+    let quiescence = dep.meta().quiescence().clone();
+    let _activity = quiescence.activity();
+    let started = std::time::Instant::now();
+    let aborted = txn::prepare(
+        &mut dep,
+        4,
+        vec![ReconfigOp::RegisterMessage(registration(61))],
+        Duration::from_millis(30),
+        &mut os,
+    )
+    .expect_err("prepare must time out under activity");
+    assert!(started.elapsed() < Duration::from_secs(2), "bounded wait");
+    assert_eq!(aborted.reason, "quiesce_timeout");
+    assert_eq!(txn::fingerprint(&dep), before);
+    assert_eq!(os.counter("txn.quiesce_timeout"), 1);
+}
+
+/// Crash between prepare and commit: the node reboots with the transaction
+/// doomed, and its first post-reboot quiescent point rolls back to the
+/// checkpoint — the composition is never left half-wired.
+#[test]
+fn crash_between_prepare_and_commit_rolls_back_on_reboot() {
+    let ms = |n: u64| SimTime::ZERO + SimDuration::from_millis(n);
+    let plan = FaultPlan::builder(7)
+        .crash_for(ms(2_500), NodeId(1), SimDuration::from_millis(2_500))
+        .build();
+    let mut world = World::builder()
+        .topology(Topology::full(2))
+        .seed(11)
+        .fault_plan(plan)
+        .build();
+    let mut handles = Vec::new();
+    for i in 0..2 {
+        let mut node = ManetNode::new(ConcurrencyModel::SingleThreaded);
+        node.deployment_mut()
+            .system_mut()
+            .register_message(hello_registration());
+        node.deployment_mut()
+            .add_protocol_offline(neighbour_detection_cf(Default::default()))
+            .unwrap();
+        handles.push(node.handle());
+        world.install_agent(NodeId(i), Box::new(node));
+    }
+    world.run_until(ms(1_000));
+    let stack_before = handles[1].status().protocols.clone();
+
+    // Prepare a transaction on node 1 and never commit it: the crash at
+    // 2.5 s arrives first.
+    handles[1].txn_ctl(manetkit::TxnCtl::Prepare {
+        id: 9,
+        ops: vec![ReconfigOp::AddProtocol(stateful_cf("extra".into(), 1))],
+        requested: Some(world.now()),
+        deadline: None,
+        quiesce_within: Duration::from_millis(50),
+    });
+    world.run_until(ms(2_400));
+    let report = handles[1].status().txn.expect("node reached prepare");
+    assert_eq!(report.phase, TxnPhase::Prepared);
+    assert_eq!(
+        handles[1].status().protocols.len(),
+        stack_before.len() + 1,
+        "prepared composition is live while the txn is open"
+    );
+
+    // Crash at 2.5 s, reboot at 5 s; the doomed transaction must roll back
+    // at the first post-reboot quiescent point.
+    world.run_until(ms(7_000));
+    let status = handles[1].status();
+    assert!(status.alive);
+    let report = status.txn.expect("rollback reported");
+    assert_eq!(report.phase, TxnPhase::RolledBack);
+    assert_eq!(status.protocols, stack_before, "checkpoint composition");
+    let stats = world.stats();
+    assert_eq!(stats.agent_counter("txn.rolled_back"), 1);
+    assert_eq!(stats.agent_counter("txn.committed"), 0);
+}

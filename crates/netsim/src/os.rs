@@ -412,6 +412,59 @@ impl NodeOs {
         #[cfg(not(feature = "trace"))]
         let _ = op;
     }
+
+    // --- Transactional reconfiguration hooks ----------------------------
+
+    /// Records a transaction reaching the *prepared* state: checkpoint
+    /// taken, `ops` operations applied, undo log held pending the commit
+    /// decision.
+    #[inline]
+    pub fn trace_txn_prepare(&mut self, txn: u64, ops: u64) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::TxnPrepare, "txn", txn, ops);
+        #[cfg(not(feature = "trace"))]
+        let _ = (txn, ops);
+    }
+
+    /// Records a transaction committing: the undo log is discarded and the
+    /// `ops` applied operations become permanent.
+    #[inline]
+    pub fn trace_txn_commit(&mut self, txn: u64, ops: u64) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::TxnCommit, "txn", txn, ops);
+        #[cfg(not(feature = "trace"))]
+        let _ = (txn, ops);
+    }
+
+    /// Records a transaction aborting for `reason` (an interned label such
+    /// as `op_failed` or `quiesce_timeout`).
+    #[inline]
+    pub fn trace_txn_abort(&mut self, txn: u64, reason: &'static str) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::TxnAbort, reason, txn, 0);
+        #[cfg(not(feature = "trace"))]
+        let _ = (txn, reason);
+    }
+
+    /// Records a transaction's undo log unwinding (`undone` entries
+    /// replayed) back to its checkpoint.
+    #[inline]
+    pub fn trace_txn_rollback(&mut self, txn: u64, undone: u64) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::TxnRollback, "txn", txn, undone);
+        #[cfg(not(feature = "trace"))]
+        let _ = (txn, undone);
+    }
+
+    /// Records the health gate reverting a provisionally-committed
+    /// composition (`undone` undo entries replayed).
+    #[inline]
+    pub fn trace_txn_revert(&mut self, txn: u64, undone: u64) {
+        #[cfg(feature = "trace")]
+        self.trace_emit(mktrace::TraceKind::TxnRevert, "health", txn, undone);
+        #[cfg(not(feature = "trace"))]
+        let _ = (txn, undone);
+    }
 }
 
 #[cfg(test)]

@@ -73,4 +73,4 @@ pub use component::{Component, ComponentId, Lifecycle, LifecycleState};
 pub use error::ComponentError;
 pub use interface::{AnyInterface, InterfaceId, Receptacle, ReceptacleId};
 pub use kernel::{BindingId, Kernel};
-pub use quiescence::{ActivityGuard, QuiescenceLock, ReconfigGuard};
+pub use quiescence::{ActivityGuard, QuiesceTimeout, QuiescenceLock, ReconfigGuard};

@@ -15,7 +15,29 @@ use parking_lot::{RwLock, RwLockReadGuard, RwLockWriteGuard};
 struct Counters {
     activities: AtomicU64,
     reconfigs: AtomicU64,
+    timeouts: AtomicU64,
 }
+
+/// Quiescence was not reached within the deadline passed to
+/// [`QuiescenceLock::reconfigure_within`]: in-flight activities did not
+/// drain in time, and the reconfiguration was *not* entered.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuiesceTimeout {
+    /// The deadline that elapsed.
+    pub waited: std::time::Duration,
+}
+
+impl std::fmt::Display for QuiesceTimeout {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "quiescence not reached within {:?} (activities still in flight)",
+            self.waited
+        )
+    }
+}
+
+impl std::error::Error for QuiesceTimeout {}
 
 /// A reconfiguration gate: many concurrent *activities* (event processing),
 /// one exclusive *reconfigurer* at a time.
@@ -77,6 +99,41 @@ impl QuiescenceLock {
         ReconfigGuard(g)
     }
 
+    /// Attempts to enter an exclusive reconfiguration section without
+    /// blocking (succeeds only when the lock is already quiescent).
+    #[must_use]
+    pub fn try_reconfigure(&self) -> Option<ReconfigGuard<'_>> {
+        let g = self.lock.try_write()?;
+        self.counters.reconfigs.fetch_add(1, Ordering::Relaxed);
+        Some(ReconfigGuard(g))
+    }
+
+    /// Waits for quiescence, but gives up after `deadline` instead of
+    /// blocking forever — the transactional reconfiguration path: a node
+    /// that cannot drain its in-flight activities in time reports
+    /// [`QuiesceTimeout`] (counted in [`quiesce_timeouts`](Self::quiesce_timeouts))
+    /// so the transaction can abort rather than wedge.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`QuiesceTimeout`] when activities were still in flight at
+    /// the deadline; the lock is untouched and activities keep running.
+    pub fn reconfigure_within(
+        &self,
+        deadline: std::time::Duration,
+    ) -> Result<ReconfigGuard<'_>, QuiesceTimeout> {
+        match self.lock.try_write_for(deadline) {
+            Some(g) => {
+                self.counters.reconfigs.fetch_add(1, Ordering::Relaxed);
+                Ok(ReconfigGuard(g))
+            }
+            None => {
+                self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                Err(QuiesceTimeout { waited: deadline })
+            }
+        }
+    }
+
     /// Total activity sections entered (observability).
     #[must_use]
     pub fn activities_entered(&self) -> u64 {
@@ -87,6 +144,12 @@ impl QuiescenceLock {
     #[must_use]
     pub fn reconfigs_entered(&self) -> u64 {
         self.counters.reconfigs.load(Ordering::Relaxed)
+    }
+
+    /// Total deadline-bounded acquisitions that timed out (observability).
+    #[must_use]
+    pub fn quiesce_timeouts(&self) -> u64 {
+        self.counters.timeouts.load(Ordering::Relaxed)
     }
 }
 
@@ -154,6 +217,59 @@ mod tests {
         assert_eq!(q.activities_entered(), 3);
         // The lock is fully released afterwards: a reconfiguration gets in.
         let _r = q.reconfigure();
+        assert_eq!(q.reconfigs_entered(), 1);
+    }
+
+    #[test]
+    fn reconfigure_within_times_out_under_activity() {
+        let q = QuiescenceLock::new();
+        let a = q.activity();
+        let err = q
+            .reconfigure_within(Duration::from_millis(20))
+            .map(|_| ())
+            .expect_err("an in-flight activity must defeat the deadline");
+        assert_eq!(err.waited, Duration::from_millis(20));
+        assert_eq!(q.quiesce_timeouts(), 1);
+        assert_eq!(
+            q.reconfigs_entered(),
+            0,
+            "the failed attempt is not entered"
+        );
+        drop(a);
+        // Quiescent again: the bounded acquisition succeeds immediately.
+        let g = q
+            .reconfigure_within(Duration::from_millis(20))
+            .expect("quiescent lock admits the reconfiguration");
+        drop(g);
+        assert_eq!(q.reconfigs_entered(), 1);
+        assert_eq!(q.quiesce_timeouts(), 1);
+    }
+
+    #[test]
+    fn reconfigure_within_waits_for_activity_to_drain() {
+        // The activity finishes *before* the deadline: the bounded
+        // acquisition must succeed rather than time out eagerly.
+        let q = QuiescenceLock::new();
+        let q2 = q.clone();
+        let a = q.activity();
+        let handle =
+            std::thread::spawn(move || q2.reconfigure_within(Duration::from_secs(5)).map(|_| ()));
+        std::thread::sleep(Duration::from_millis(30));
+        drop(a);
+        handle
+            .join()
+            .unwrap()
+            .expect("deadline far away: acquisition succeeds once drained");
+        assert_eq!(q.quiesce_timeouts(), 0);
+    }
+
+    #[test]
+    fn try_reconfigure_mirrors_try_activity() {
+        let q = QuiescenceLock::new();
+        let a = q.activity();
+        assert!(q.try_reconfigure().is_none());
+        drop(a);
+        assert!(q.try_reconfigure().is_some());
         assert_eq!(q.reconfigs_entered(), 1);
     }
 

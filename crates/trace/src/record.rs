@@ -45,6 +45,20 @@ pub enum TraceKind {
     /// A single reconfig op applied outside the phase records (`tag` = op
     /// label).
     ReconfigApply,
+    /// Transaction prepared: checkpoint taken, ops applied, undo log held
+    /// (`a` = transaction id, `b` = ops applied).
+    TxnPrepare,
+    /// Transaction committed: undo log discarded, new composition final
+    /// (`a` = transaction id, `b` = ops that became permanent).
+    TxnCommit,
+    /// Transaction aborted (`tag` = reason, `a` = transaction id).
+    TxnAbort,
+    /// Transaction undo log unwound back to the checkpoint (`a` =
+    /// transaction id, `b` = undo entries replayed).
+    TxnRollback,
+    /// Provisionally-committed composition reverted by the health gate
+    /// (`a` = transaction id, `b` = undo entries replayed).
+    TxnRevert,
     /// Fault injected (`tag` = fault label).
     Fault,
     /// Node crashed (`a` = buffered packets lost).
@@ -73,6 +87,11 @@ impl TraceKind {
             TraceKind::Rebind => "rebind",
             TraceKind::Resume => "resume",
             TraceKind::ReconfigApply => "reconfig_apply",
+            TraceKind::TxnPrepare => "txn_prepare",
+            TraceKind::TxnCommit => "txn_commit",
+            TraceKind::TxnAbort => "txn_abort",
+            TraceKind::TxnRollback => "txn_rollback",
+            TraceKind::TxnRevert => "txn_revert",
             TraceKind::Fault => "fault",
             TraceKind::NodeCrash => "node_crash",
             TraceKind::NodeReboot => "node_reboot",
@@ -97,6 +116,11 @@ impl TraceKind {
             "rebind" => TraceKind::Rebind,
             "resume" => TraceKind::Resume,
             "reconfig_apply" => TraceKind::ReconfigApply,
+            "txn_prepare" => TraceKind::TxnPrepare,
+            "txn_commit" => TraceKind::TxnCommit,
+            "txn_abort" => TraceKind::TxnAbort,
+            "txn_rollback" => TraceKind::TxnRollback,
+            "txn_revert" => TraceKind::TxnRevert,
             "fault" => TraceKind::Fault,
             "node_crash" => TraceKind::NodeCrash,
             "node_reboot" => TraceKind::NodeReboot,
@@ -131,6 +155,11 @@ impl TraceKind {
                 | TraceKind::Rebind
                 | TraceKind::Resume
                 | TraceKind::ReconfigApply
+                | TraceKind::TxnPrepare
+                | TraceKind::TxnCommit
+                | TraceKind::TxnAbort
+                | TraceKind::TxnRollback
+                | TraceKind::TxnRevert
         )
     }
 }
@@ -306,6 +335,11 @@ mod tests {
             TraceKind::Rebind,
             TraceKind::Resume,
             TraceKind::ReconfigApply,
+            TraceKind::TxnPrepare,
+            TraceKind::TxnCommit,
+            TraceKind::TxnAbort,
+            TraceKind::TxnRollback,
+            TraceKind::TxnRevert,
             TraceKind::Fault,
             TraceKind::NodeCrash,
             TraceKind::NodeReboot,

@@ -97,7 +97,11 @@ fn main() {
          status: {}",
         fleet.status()
     );
-    assert_eq!(deferred, vec![NODES - 1], "only the crashed node defers");
+    assert_eq!(
+        deferred,
+        vec![NodeId(NODES - 1)],
+        "only the crashed node defers"
+    );
 
     world.run_until(secs(70));
     let during = world.take_window();

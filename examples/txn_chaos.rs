@@ -1,0 +1,251 @@
+//! E15 — transactional reconfiguration under chaos: repeated fleet-wide
+//! two-phase OLSR ⇄ DYMO switches while scheduled crashes hit the 5-node
+//! line, measuring the abort rate and proving no node is ever left
+//! half-wired.
+//!
+//! Three distributed failure modes are scripted against the round starts:
+//! a node down at round start (skipped + reconciled), a node crashing
+//! before it can prepare (fleet-wide abort on the prepare deadline), and a
+//! node crashing after it prepared (doomed transaction, rolled back at
+//! reboot while the rest of the fleet commits).
+//!
+//! Writes `BENCH_txn_chaos.json` (outcome mix + counters) and, with the
+//! flight recorder on, `BENCH_trace_txn.jsonl` — the reconfiguration
+//! timeline (prepare/commit/abort/rollback records interleaved with the
+//! fault events that caused them).
+//!
+//! ```text
+//! cargo run --release --example txn_chaos
+//! ```
+
+use manetkit_repro::manetkit::{FleetCoordinator, ReconfigOp, TxnOptions, TxnVerdict};
+use manetkit_repro::netsim::fault::FaultPlan;
+use manetkit_repro::prelude::*;
+
+const NODES: usize = 5;
+const WARMUP_S: u64 = 30;
+const ROUND_GAP_S: u64 = 15;
+const ROUNDS: u64 = 6;
+const END_S: u64 = WARMUP_S + ROUNDS * ROUND_GAP_S + 30;
+
+fn secs(n: u64) -> SimTime {
+    SimTime::ZERO + SimDuration::from_secs(n)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum Stack {
+    Olsr,
+    Dymo,
+}
+
+impl Stack {
+    fn flipped(self) -> Stack {
+        match self {
+            Stack::Olsr => Stack::Dymo,
+            Stack::Dymo => Stack::Olsr,
+        }
+    }
+
+    fn protocols(self) -> Vec<String> {
+        match self {
+            Stack::Olsr => vec!["mpr".to_string(), "olsr".to_string()],
+            Stack::Dymo => vec!["neighbour-detection".to_string(), "dymo".to_string()],
+        }
+    }
+
+    fn switch_recipe(self) -> Vec<ReconfigOp> {
+        use manetkit_repro::manetkit::neighbour::{hello_registration, neighbour_detection_cf};
+        match self {
+            Stack::Olsr => vec![
+                ReconfigOp::RemoveProtocol {
+                    name: "olsr".into(),
+                },
+                ReconfigOp::RemoveProtocol { name: "mpr".into() },
+                ReconfigOp::MutateSystem {
+                    op: Box::new(|sys| {
+                        manetkit_repro::manetkit_dymo::register_messages(sys);
+                        sys.register_message(hello_registration());
+                    }),
+                },
+                ReconfigOp::AddProtocol(neighbour_detection_cf(Default::default())),
+                ReconfigOp::AddProtocol(manetkit_repro::manetkit_dymo::dymo_cf(Default::default())),
+            ],
+            Stack::Dymo => vec![
+                ReconfigOp::RemoveProtocol {
+                    name: "dymo".into(),
+                },
+                ReconfigOp::RemoveProtocol {
+                    name: "neighbour-detection".into(),
+                },
+                ReconfigOp::MutateSystem {
+                    op: Box::new(manetkit_repro::manetkit_olsr::register_messages),
+                },
+                ReconfigOp::AddProtocol(manetkit_repro::manetkit_olsr::mpr_cf(Default::default())),
+                ReconfigOp::AddProtocol(manetkit_repro::manetkit_olsr::olsr_cf(Default::default())),
+            ],
+        }
+    }
+}
+
+fn main() {
+    let round = |r: u64| WARMUP_S + r * ROUND_GAP_S;
+    // The fault script, phased against the round starts (see module docs).
+    // The 500 µs offset on the round-2 crash is deterministically earlier
+    // than any post-broadcast callback: the link model's minimum one-hop
+    // latency is 800 µs and the protocol timers fire on whole-second
+    // phases, so the node dies unprepared and the round must abort.
+    let plan = FaultPlan::builder(7)
+        .crash_for(secs(round(1) - 1), NodeId(1), SimDuration::from_secs(6))
+        .crash_for(
+            secs(round(2)) + SimDuration::from_micros(500),
+            NodeId(3),
+            SimDuration::from_secs(10),
+        )
+        .crash_for(
+            secs(round(3)) + SimDuration::from_millis(1_500),
+            NodeId(2),
+            SimDuration::from_secs(6),
+        )
+        .build();
+
+    let builder = World::builder()
+        .topology(Topology::line(NODES))
+        .seed(7)
+        .fault_plan(plan);
+    #[cfg(feature = "trace")]
+    let builder = builder.trace(1 << 16);
+    let mut world = builder.build();
+    let mut fleet = FleetCoordinator::default();
+    for i in 0..NODES {
+        let (node, handle) = manetkit_repro::manetkit_olsr::node(Default::default());
+        fleet.add(handle);
+        world.install_agent(NodeId(i), Box::new(node));
+    }
+
+    // CBR 0 → 4 at 4 pkt/s across every phase.
+    let dst = world.addr(NodeId(NODES - 1));
+    let mut t = secs(WARMUP_S) + SimDuration::from_millis(125);
+    while t < secs(END_S) {
+        world.send_datagram_at(t, NodeId(0), dst, vec![0u8; 64]);
+        t += SimDuration::from_millis(250);
+    }
+
+    let opts = TxnOptions::default();
+    let mut current = Stack::Olsr;
+    let mut committed = 0u32;
+    let mut aborted = 0u32;
+    let mut repairs = 0u32;
+    let mut outcomes = Vec::new();
+    for r in 0..ROUNDS {
+        world.run_until(secs(round(r)));
+        let from = current;
+        let report = fleet.commit_two_phase(&mut world, || from.switch_recipe(), &opts);
+        println!("round {r} @ {:3}s: {report}", round(r),);
+        match report.verdict {
+            TxnVerdict::Committed => {
+                committed += 1;
+                current = current.flipped();
+                // Reconcile nodes that missed the committed round: the same
+                // recipe enqueues best-effort and applies at their next
+                // (post-reboot) quiescent point, after the doomed rollback.
+                for id in report.skipped.iter().chain(&report.unresolved) {
+                    let handle = fleet.handle_of(*id).expect("fleet member");
+                    for op in from.switch_recipe() {
+                        handle.apply(op);
+                    }
+                    repairs += 1;
+                    println!("         repair: re-applying the switch on node {}", id.0);
+                }
+            }
+            TxnVerdict::Aborted => aborted += 1,
+            TxnVerdict::Reverted => unreachable!("no health gate in this campaign"),
+        }
+        outcomes.push((report.txn, report.verdict.to_string()));
+    }
+
+    // Settle, then verify nobody is wedged.
+    world.run_until(secs(END_S));
+    let expected = current.protocols();
+    for (i, stack) in fleet.stacks().iter().enumerate() {
+        assert_eq!(*stack, expected, "node {i} is wedged");
+    }
+    let stats = world.stats();
+    let prepared = stats.agent_counter("txn.prepared");
+    let txn_committed = stats.agent_counter("txn.committed");
+    let rolled_back = stats.agent_counter("txn.rolled_back");
+    assert_eq!(
+        prepared,
+        txn_committed + rolled_back,
+        "every prepared per-node transaction resolved exactly once"
+    );
+    assert!(committed >= 3 && aborted >= 1 && repairs >= 1);
+    println!(
+        "\n{ROUNDS} rounds: {committed} committed, {aborted} aborted \
+         (abort rate {:.0}%), {repairs} repairs; \
+         counters prepared={prepared} committed={txn_committed} rolled_back={rolled_back}; \
+         delivery {:.1}% — no wedged nodes",
+        100.0 * f64::from(aborted) / ROUNDS as f64,
+        100.0 * stats.delivery_ratio(),
+    );
+
+    let mut json = String::from("{\n  \"experiment\": \"e15-txn-chaos\",\n");
+    json.push_str(&format!("  \"rounds\": {ROUNDS},\n"));
+    json.push_str(&format!("  \"committed\": {committed},\n"));
+    json.push_str(&format!("  \"aborted\": {aborted},\n"));
+    json.push_str(&format!(
+        "  \"abort_rate\": {:.4},\n",
+        f64::from(aborted) / ROUNDS as f64
+    ));
+    json.push_str(&format!("  \"repairs\": {repairs},\n"));
+    json.push_str(&format!(
+        "  \"counters\": {{\"prepared\": {prepared}, \"committed\": {txn_committed}, \
+         \"rolled_back\": {rolled_back}}},\n"
+    ));
+    json.push_str(&format!(
+        "  \"delivery_ratio\": {:.4},\n",
+        stats.delivery_ratio()
+    ));
+    json.push_str("  \"outcomes\": [");
+    for (i, (txn, verdict)) in outcomes.iter().enumerate() {
+        if i > 0 {
+            json.push_str(", ");
+        }
+        json.push_str(&format!("{{\"txn\": {txn}, \"verdict\": \"{verdict}\"}}"));
+    }
+    json.push_str("]\n}\n");
+    std::fs::write("BENCH_txn_chaos.json", json).expect("write report");
+    println!("report written to BENCH_txn_chaos.json");
+
+    // The reconfiguration timeline: transaction phase records interleaved
+    // with the faults that caused them (packet-level records filtered out
+    // to keep the artifact small).
+    #[cfg(feature = "trace")]
+    {
+        let keep = [
+            "\"kind\":\"txn_",
+            "\"kind\":\"quiesce_begin\"",
+            "\"kind\":\"reconfig_apply\"",
+            "\"kind\":\"state_transfer\"",
+            "\"kind\":\"rebind\"",
+            "\"kind\":\"resume\"",
+            "\"kind\":\"fault\"",
+            "\"kind\":\"node_crash\"",
+            "\"kind\":\"node_reboot\"",
+        ];
+        let jsonl = world.trace_jsonl();
+        let timeline: String = jsonl
+            .lines()
+            .filter(|l| keep.iter().any(|k| l.contains(k)))
+            .flat_map(|l| [l, "\n"])
+            .collect();
+        assert!(
+            timeline.contains("\"kind\":\"txn_rollback\""),
+            "the abort round's rollbacks are on the timeline"
+        );
+        std::fs::write("BENCH_trace_txn.jsonl", &timeline).expect("write trace");
+        println!(
+            "transaction timeline ({} records) written to BENCH_trace_txn.jsonl",
+            timeline.lines().count()
+        );
+    }
+}

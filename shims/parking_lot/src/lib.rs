@@ -173,6 +173,28 @@ impl<T: ?Sized> RwLock<T> {
         }
     }
 
+    /// Attempts exclusive write access, giving up after `timeout`.
+    ///
+    /// `std::sync::RwLock` has no native timed acquisition, so this polls
+    /// `try_write` with a short exponential backoff until the deadline —
+    /// semantically equivalent to `parking_lot`'s `try_write_for` for the
+    /// uncontended and briefly-contended cases this workspace exercises.
+    pub fn try_write_for(&self, timeout: std::time::Duration) -> Option<RwLockWriteGuard<'_, T>> {
+        let deadline = std::time::Instant::now() + timeout;
+        let mut backoff = std::time::Duration::from_micros(10);
+        loop {
+            if let Some(g) = self.try_write() {
+                return Some(g);
+            }
+            let now = std::time::Instant::now();
+            if now >= deadline {
+                return None;
+            }
+            std::thread::sleep(backoff.min(deadline - now));
+            backoff = (backoff * 2).min(std::time::Duration::from_millis(1));
+        }
+    }
+
     /// Mutable access without locking (the borrow proves exclusivity).
     pub fn get_mut(&mut self) -> &mut T {
         self.0
@@ -229,6 +251,24 @@ mod tests {
         assert_eq!(*l.read(), vec![1, 2]);
         let _r = l.read();
         assert!(l.try_write().is_none());
+    }
+
+    #[test]
+    fn try_write_for_times_out_under_reader_and_succeeds_free() {
+        let l = RwLock::new(0);
+        assert!(l
+            .try_write_for(std::time::Duration::from_millis(5))
+            .is_some());
+        let r = l.read();
+        let started = std::time::Instant::now();
+        assert!(l
+            .try_write_for(std::time::Duration::from_millis(20))
+            .is_none());
+        assert!(started.elapsed() >= std::time::Duration::from_millis(20));
+        drop(r);
+        assert!(l
+            .try_write_for(std::time::Duration::from_millis(5))
+            .is_some());
     }
 
     #[test]
