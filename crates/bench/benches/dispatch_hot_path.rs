@@ -321,6 +321,143 @@ fn trace_overhead_audit() {
     );
 }
 
+/// Simulation-kernel throughput audit: the simkern hierarchical timing
+/// wheel against a plain `BinaryHeap` event queue on the *hold model* —
+/// the classic scheduler workload where a large population of pending
+/// timers is held steady while the earliest is repeatedly popped and a
+/// fresh one scheduled. This is exactly `netsim::World`'s steady state at
+/// 10k nodes. Both queues process the identical deterministic delay
+/// sequence; events/sec and the wheel/heap ratio land in
+/// `BENCH_kernel.json` at the repo root.
+fn kernel_throughput_audit() {
+    use simkern::{EventQueue, HeapQueue, SimTime};
+
+    const PENDING: usize = 1 << 17; // held population (≈ city10k's queue depth)
+    const OPS: usize = 1 << 21; // pop+reschedule operations timed
+    const WARMUP_OPS: usize = 1 << 16;
+
+    /// Payload stub sized like `netsim::EventKind` (88 bytes by
+    /// `size_of`), so the heap baseline sifts what the simulator's
+    /// pre-refactor `BinaryHeap<Scheduled>` sifted, while the wheel parks
+    /// payloads in its arena and moves only 20-byte `(time, seq, idx)`
+    /// entries — the structural difference the refactor banks on.
+    #[derive(Clone, Copy)]
+    struct FatEvent {
+        tag: u32,
+        _body: [u64; 10],
+    }
+
+    impl FatEvent {
+        fn new(tag: u32) -> Self {
+            FatEvent {
+                tag,
+                _body: [0; 10],
+            }
+        }
+    }
+
+    const _: () = assert!(std::mem::size_of::<FatEvent>() == 88);
+
+    // Deterministic delay stream (same for both queues), shaped like the
+    // simulator's: almost all events are link-delay-scale (1 µs ..= ~16 ms
+    // — frame arrivals, data-plane hops), with one in 64 a protocol-timer-
+    // scale delay up to ~16.8 s (hello intervals, route expiry, mobility).
+    fn delay(state: &mut u64) -> u64 {
+        *state = state
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add(1442695040888963407);
+        let r = *state >> 33;
+        if r.is_multiple_of(64) {
+            1 + (r >> 6) % (1 << 24)
+        } else {
+            1 + (r >> 6) % (1 << 14)
+        }
+    }
+
+    fn hold_model<Q>(
+        mut schedule: impl FnMut(&mut Q, SimTime, FatEvent),
+        mut pop: impl FnMut(&mut Q) -> Option<(SimTime, FatEvent)>,
+        now: impl Fn(&Q) -> SimTime,
+        queue: &mut Q,
+    ) -> Duration {
+        let mut lcg = 0x5EED_CAFE_u64;
+        for i in 0..PENDING {
+            let at = SimTime::from_micros(delay(&mut lcg));
+            schedule(queue, at, FatEvent::new(i as u32));
+        }
+        for _ in 0..WARMUP_OPS {
+            let (_, ev) = pop(queue).expect("held population never drains");
+            let at = now(queue) + simkern::SimDuration::from_micros(delay(&mut lcg));
+            schedule(queue, at, ev);
+        }
+        let t0 = Instant::now();
+        for _ in 0..OPS {
+            let (_, ev) = pop(queue).expect("held population never drains");
+            black_box(ev.tag);
+            let at = now(queue) + simkern::SimDuration::from_micros(delay(&mut lcg));
+            schedule(queue, at, ev);
+        }
+        t0.elapsed()
+    }
+
+    println!("\n=== simkern throughput ({PENDING} held timers, {OPS} pop+reschedule ops) ===\n");
+
+    // Interleaved trials, median per queue: robust against other tenants
+    // of the machine drifting one side of the comparison.
+    const TRIALS: usize = 3;
+    let mut wheel_times = Vec::with_capacity(TRIALS);
+    let mut heap_times = Vec::with_capacity(TRIALS);
+    for _ in 0..TRIALS {
+        let mut wheel: EventQueue<FatEvent> = EventQueue::new();
+        wheel_times.push(hold_model(
+            |q, at, e| q.schedule(at, e),
+            |q| q.pop_due(SimTime::MAX),
+            |q| q.now(),
+            &mut wheel,
+        ));
+        let mut heap: HeapQueue<FatEvent> = HeapQueue::new();
+        heap_times.push(hold_model(
+            |q, at, e| q.schedule(at, e),
+            |q| q.pop_due(SimTime::MAX),
+            |q| q.now(),
+            &mut heap,
+        ));
+    }
+    wheel_times.sort_unstable();
+    heap_times.sort_unstable();
+    let (wheel_time, heap_time) = (wheel_times[TRIALS / 2], heap_times[TRIALS / 2]);
+
+    let rate = |d: Duration| OPS as f64 / d.as_secs_f64();
+    let (wheel_rate, heap_rate) = (rate(wheel_time), rate(heap_time));
+    let speedup = wheel_rate / heap_rate;
+    println!("{:<24}{:>16}{:>18}", "queue", "total", "events/sec");
+    println!("{:-<58}", "");
+    println!(
+        "{:<24}{:>16?}{:>18.0}",
+        "timing wheel", wheel_time, wheel_rate
+    );
+    println!("{:<24}{:>16?}{:>18.0}", "binary heap", heap_time, heap_rate);
+    println!("\nwheel/heap: {speedup:.2}x (target ≥ 5x)\n");
+
+    let json = format!(
+        "{{\n  \"bench\": \"kernel_throughput\",\n  \"workload\": {{ \"model\": \"hold\", \
+         \"held_timers\": {PENDING}, \"ops\": {OPS}, \"delay_span_us\": {}, \
+         \"payload_bytes\": {} }},\n  \
+         \"wheel_events_per_sec\": {wheel_rate:.0},\n  \
+         \"heap_events_per_sec\": {heap_rate:.0},\n  \"speedup\": {speedup:.2}\n}}\n",
+        1u64 << 24,
+        std::mem::size_of::<FatEvent>()
+    );
+    let out = concat!(env!("CARGO_MANIFEST_DIR"), "/../../BENCH_kernel.json");
+    std::fs::write(out, json).expect("write BENCH_kernel.json");
+    println!("kernel bench written to {out}");
+
+    assert!(
+        speedup >= 5.0,
+        "timing wheel must beat the heap baseline by ≥5x (got {speedup:.2}x)"
+    );
+}
+
 criterion_group!(
     name = benches;
     config = Criterion::default()
@@ -333,4 +470,5 @@ fn main() {
     benches();
     alloc_audit();
     trace_overhead_audit();
+    kernel_throughput_audit();
 }

@@ -86,6 +86,9 @@ fn execute_cell(
     let (scenario_label, scenario) = &spec.scenarios[cell.scenario];
     let fault = spec.fault_spec(cell);
     let mut builder = scenario.world_builder().seed(cell.seed);
+    if cell.protocol.is_agentless() {
+        builder = builder.geo_routing(true);
+    }
     if let Some(plan) = fault.plan(cell.seed) {
         builder = builder.fault_plan(plan);
     }
@@ -96,11 +99,14 @@ fn execute_cell(
     #[cfg(not(feature = "trace"))]
     let _ = trace_capacity;
     let mut world = builder.build();
-    let factory = cell.protocol.factory();
-    let nodes: Vec<_> = world.node_ids().collect();
-    for node in nodes {
-        world.install_agent(node, factory());
+    if !cell.protocol.is_agentless() {
+        let factory = cell.protocol.factory();
+        let nodes: Vec<_> = world.node_ids().collect();
+        for node in nodes {
+            world.install_agent(node, factory());
+        }
     }
+    scenario.install_mobility(&mut world);
     scenario.install_traffic(&mut world);
 
     let mut window = world.stats_window();
@@ -280,6 +286,43 @@ mod tests {
         );
         let check = report.determinism.expect("check ran");
         assert!(check.passed(), "mismatches: {:?}", check.mismatched);
+    }
+
+    #[test]
+    fn geo_cells_run_agentless_over_mobile_spatial_worlds() {
+        use netsim::mobility::RandomWaypoint;
+        let scenario = ScenarioSpec::builder()
+            .mobility(RandomWaypoint {
+                nodes: 40,
+                radius: 0.3,
+                speed: 0.05,
+                step: SimDuration::from_secs(1),
+                duration: SimDuration::from_secs(15),
+                seed: 3,
+            })
+            .random_flows(8, SimDuration::from_millis(500), 32, 17)
+            .warmup(SimDuration::from_secs(5))
+            .duration(SimDuration::from_secs(10))
+            .build();
+        let spec = CampaignSpec::new("geo-test")
+            .scenario("rw40", scenario)
+            .protocols([Protocol::Geo])
+            .seeds([1, 2]);
+        let report = run(
+            &spec,
+            &RunConfig {
+                threads: 2,
+                check_determinism: true,
+            },
+        );
+        let check = report.determinism.expect("check ran");
+        assert!(check.passed(), "mismatches: {:?}", check.mismatched);
+        assert!(report.merged.data_sent > 0, "flows must inject traffic");
+        assert!(
+            report.merged.data_delivered > 0,
+            "geo forwarding must deliver some packets on a dense walk"
+        );
+        assert_eq!(report.merged.control_frames, 0, "agentless: no control");
     }
 
     #[test]

@@ -203,8 +203,8 @@ impl CampaignReport {
 pub fn stats_json(s: &WorldStats) -> String {
     format!(
         "{{\"data_sent\":{},\"data_delivered\":{},\"delivery_ratio\":{:.6},\
-\"data_hops\":{},\"data_dropped_link\":{},\"data_dropped_buffer\":{},\
-\"data_dropped_crash\":{},\"control_frames\":{},\"control_bytes\":{},\
+\"data_hops\":{},\"data_dropped_ttl\":{},\"data_dropped_link\":{},\
+\"data_dropped_buffer\":{},\"data_dropped_crash\":{},\"control_frames\":{},\"control_bytes\":{},\
 \"control_received\":{},\"control_lost\":{},\"latency_mean_us\":{},\
 \"latency_p50_us\":{},\"latency_p95_us\":{},\"faults_injected\":{},\
 \"node_crashes\":{},\"node_reboots\":{},\"partitions_started\":{},\
@@ -213,6 +213,7 @@ pub fn stats_json(s: &WorldStats) -> String {
         s.data_delivered,
         s.delivery_ratio(),
         s.data_hops,
+        s.data_dropped_ttl,
         s.data_dropped_link,
         s.data_dropped_buffer,
         s.data_dropped_crash,

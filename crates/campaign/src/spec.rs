@@ -3,9 +3,12 @@
 
 use manetkit_baseline::{Dymoum, Olsrd, OlsrdConfig};
 use netsim::fault::{FaultPlan, FrameChaos};
+use netsim::mobility::{random_waypoint_field, RandomWaypoint};
 use netsim::{
-    LinkModel, NodeId, RoutingAgent, SimDuration, SimTime, Topology, World, WorldBuilder,
+    LinkModel, NodeId, NodeOs, RoutingAgent, SimDuration, SimTime, Topology, World, WorldBuilder,
 };
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// Builds a routing agent for one node.
 ///
@@ -28,6 +31,12 @@ pub enum Protocol {
     Olsrd,
     /// Monolithic DYMOUM analogue (baseline).
     Dymoum,
+    /// Agentless greedy geographic forwarding over a spatial topology:
+    /// the world's data plane relays via positions (no per-node agent,
+    /// no control traffic). The scale-testing stack — not part of
+    /// [`ALL`](Self::ALL) because it is not a routing protocol under
+    /// comparison.
+    Geo,
 }
 
 impl Protocol {
@@ -53,7 +62,16 @@ impl Protocol {
             Protocol::MkitAodv => "mkit-aodv",
             Protocol::Olsrd => "olsrd",
             Protocol::Dymoum => "dymoum",
+            Protocol::Geo => "geo",
         }
+    }
+
+    /// Whether this stack runs without per-node agents (the world's own
+    /// data plane does the forwarding). The engine skips agent
+    /// installation and enables the matching world mode instead.
+    #[must_use]
+    pub fn is_agentless(self) -> bool {
+        matches!(self, Protocol::Geo)
     }
 
     /// A thread-safe factory building one node's agent for this stack.
@@ -74,8 +92,24 @@ impl Protocol {
             }),
             Protocol::Olsrd => Box::new(|| Box::new(Olsrd::new(OlsrdConfig::default()))),
             Protocol::Dymoum => Box::new(|| Box::new(Dymoum::new())),
+            Protocol::Geo => Box::new(|| Box::new(NullAgent)),
         }
     }
+}
+
+/// The do-nothing agent behind agentless stacks: satisfies the factory
+/// contract but the engine never installs it (forwarding happens in the
+/// world's data plane).
+struct NullAgent;
+
+impl RoutingAgent for NullAgent {
+    fn name(&self) -> &str {
+        "geo"
+    }
+    fn start(&mut self, _os: &mut NodeOs) {}
+    fn on_frame(&mut self, _os: &mut NodeOs, _from: packetbb::Address, _bytes: &[u8]) {}
+    fn on_timer(&mut self, _os: &mut NodeOs, _token: u64) {}
+    fn on_filter_event(&mut self, _os: &mut NodeOs, _event: netsim::FilterEvent) {}
 }
 
 /// Declarative topology — builds a concrete [`Topology`] per cell.
@@ -98,6 +132,18 @@ pub enum TopologySpec {
         /// Placement seed.
         seed: u64,
     },
+    /// Like [`RandomGeometric`](Self::RandomGeometric) (same seeded
+    /// placements) but backed by the grid-bucket spatial index: O(nearby)
+    /// neighbour queries instead of an O(n²) matrix, the form that scales
+    /// to 10k-node worlds and supports per-node moves and geo forwarding.
+    Spatial {
+        /// Node count.
+        n: usize,
+        /// Radio radius on the unit square.
+        radius: f64,
+        /// Placement seed.
+        seed: u64,
+    },
 }
 
 impl TopologySpec {
@@ -111,6 +157,7 @@ impl TopologySpec {
             TopologySpec::RandomGeometric { n, radius, seed } => {
                 Topology::random_geometric(n, radius, seed)
             }
+            TopologySpec::Spatial { n, radius, seed } => Topology::random_spatial(n, radius, seed),
         }
     }
 
@@ -120,7 +167,7 @@ impl TopologySpec {
         match *self {
             TopologySpec::Line(n) | TopologySpec::Full(n) => n,
             TopologySpec::Grid(rows, cols) => rows * cols,
-            TopologySpec::RandomGeometric { n, .. } => n,
+            TopologySpec::RandomGeometric { n, .. } | TopologySpec::Spatial { n, .. } => n,
         }
     }
 
@@ -133,6 +180,9 @@ impl TopologySpec {
             TopologySpec::Grid(rows, cols) => format!("grid{rows}x{cols}"),
             TopologySpec::RandomGeometric { n, radius, seed } => {
                 format!("geo{n}-r{radius}-s{seed}")
+            }
+            TopologySpec::Spatial { n, radius, seed } => {
+                format!("spatial{n}-r{radius}-s{seed}")
             }
         }
     }
@@ -155,6 +205,21 @@ pub enum TrafficSpec {
         interval: SimDuration,
         /// Payload size in bytes.
         payload: usize,
+    },
+    /// `flows` CBR flows between seeded random distinct node pairs —
+    /// the way to load a 10k-node world with a thousand flows without
+    /// enumerating them. Pair selection is fixed by `seed`, not by the
+    /// world seed, so the same scenario means the same flows across the
+    /// whole seed axis.
+    RandomFlows {
+        /// Number of concurrent flows.
+        flows: usize,
+        /// Inter-packet gap per flow.
+        interval: SimDuration,
+        /// Payload size in bytes.
+        payload: usize,
+        /// Pair-selection seed.
+        seed: u64,
     },
 }
 
@@ -232,6 +297,7 @@ pub struct ScenarioSpec {
     topology: TopologySpec,
     link: LinkModel,
     traffic: Vec<TrafficSpec>,
+    mobility: Option<RandomWaypoint>,
     warmup: SimDuration,
     duration: SimDuration,
 }
@@ -246,6 +312,7 @@ impl ScenarioSpec {
                 topology: TopologySpec::Line(5),
                 link: LinkModel::default(),
                 traffic: Vec::new(),
+                mobility: None,
                 warmup: SimDuration::from_secs(30),
                 duration: SimDuration::from_secs(60),
             },
@@ -291,6 +358,20 @@ impl ScenarioSpec {
             .link_model(self.link)
     }
 
+    /// The scenario's random-waypoint mobility parameters, when set.
+    #[must_use]
+    pub fn mobility(&self) -> Option<&RandomWaypoint> {
+        self.mobility.as_ref()
+    }
+
+    /// Schedules the scenario's mobility (per-node moves over the spatial
+    /// grid) into a freshly built world. A no-op for static scenarios.
+    pub fn install_mobility(&self, world: &mut World) {
+        if let Some(params) = self.mobility {
+            random_waypoint_field(params).schedule_into(world);
+        }
+    }
+
     /// Schedules the scenario's traffic into a freshly built world.
     pub fn install_traffic(&self, world: &mut World) {
         for t in &self.traffic {
@@ -301,21 +382,61 @@ impl ScenarioSpec {
                     interval,
                     payload,
                 } => {
-                    let dst_addr = world.addr(dst);
-                    let mut at = SimTime::ZERO
-                        + self.warmup
-                        + SimDuration::from_micros(interval.as_micros() / 2);
-                    let end = self.end();
-                    let mut k = 0u32;
-                    while at < end {
-                        let mut bytes = vec![0u8; payload.max(4)];
-                        bytes[..4].copy_from_slice(&k.to_be_bytes());
-                        world.send_datagram_at(at, src, dst_addr, bytes);
-                        at += interval;
-                        k += 1;
+                    self.schedule_cbr(world, src, dst, interval, payload, SimDuration::ZERO);
+                }
+                TrafficSpec::RandomFlows {
+                    flows,
+                    interval,
+                    payload,
+                    seed,
+                } => {
+                    let n = world.node_count();
+                    assert!(n >= 2, "random flows need at least two nodes");
+                    let mut rng = StdRng::seed_from_u64(seed);
+                    for f in 0..flows {
+                        let src = NodeId(rng.gen_range(0..n));
+                        let dst = loop {
+                            let d = NodeId(rng.gen_range(0..n));
+                            if d != src {
+                                break d;
+                            }
+                        };
+                        // Stagger flow phases across one interval so a
+                        // thousand flows don't all fire on the same tick.
+                        let phase = SimDuration::from_micros(
+                            interval.as_micros() * (f as u64) / (flows as u64).max(1),
+                        );
+                        self.schedule_cbr(world, src, dst, interval, payload, phase);
                     }
                 }
             }
+        }
+    }
+
+    /// Schedules one CBR flow: first send half an interval past warm-up
+    /// (plus `phase`), then every `interval` until the measured span ends.
+    fn schedule_cbr(
+        &self,
+        world: &mut World,
+        src: NodeId,
+        dst: NodeId,
+        interval: SimDuration,
+        payload: usize,
+        phase: SimDuration,
+    ) {
+        let dst_addr = world.addr(dst);
+        let mut at = SimTime::ZERO
+            + self.warmup
+            + SimDuration::from_micros(interval.as_micros() / 2)
+            + phase;
+        let end = self.end();
+        let mut k = 0u32;
+        while at < end {
+            let mut bytes = vec![0u8; payload.max(4)];
+            bytes[..4].copy_from_slice(&k.to_be_bytes());
+            world.send_datagram_at(at, src, dst_addr, bytes);
+            at += interval;
+            k += 1;
         }
     }
 }
@@ -363,6 +484,40 @@ impl ScenarioBuilder {
             interval,
             payload,
         });
+        self
+    }
+
+    /// Adds `flows` CBR flows between seeded random distinct node pairs
+    /// (see [`TrafficSpec::RandomFlows`]).
+    #[must_use]
+    pub fn random_flows(
+        mut self,
+        flows: usize,
+        interval: SimDuration,
+        payload: usize,
+        seed: u64,
+    ) -> Self {
+        self.spec.traffic.push(TrafficSpec::RandomFlows {
+            flows,
+            interval,
+            payload,
+            seed,
+        });
+        self
+    }
+
+    /// Attaches random-waypoint mobility and sets the topology to the
+    /// walk's spatial starting placements: `params` fully determines both
+    /// (same seed, same physical movement), so topology and movement
+    /// cannot drift apart.
+    #[must_use]
+    pub fn mobility(mut self, params: RandomWaypoint) -> Self {
+        self.spec.topology = TopologySpec::Spatial {
+            n: params.nodes,
+            radius: params.radius,
+            seed: params.seed,
+        };
+        self.spec.mobility = Some(params);
         self
     }
 

@@ -1,14 +1,14 @@
-//! E13 acceptance: the 8-cell campaign grid (2 protocols × 2 faults ×
-//! 2 seeds on the 5-node line) produces a byte-identical deterministic
-//! report section on 1 and on 4 threads, passes `--check-determinism`,
-//! and merges shard statistics exactly.
+//! E13 acceptance: the 12-cell campaign grid (the three MANETKit
+//! stacks × 2 faults × 2 seeds on the 5-node line) produces a
+//! byte-identical deterministic report section on 1 and on 4 threads,
+//! passes `--check-determinism`, and merges shard statistics exactly.
 
 use campaign::{engine, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec};
 use netsim::{NodeId, SimDuration, SimTime, WorldStats};
 
 /// The example's E13 smoke grid, time-compressed so the test stays fast
-/// in debug builds: 8 cells over a 5-node line.
-fn eight_cell_spec() -> CampaignSpec {
+/// in debug builds: 12 cells (OLSR, DYMO, AODV) over a 5-node line.
+fn smoke_grid_spec() -> CampaignSpec {
     let scenario = ScenarioSpec::builder()
         .topology(TopologySpec::Line(5))
         .cbr(NodeId(0), NodeId(4), SimDuration::from_millis(250))
@@ -17,7 +17,7 @@ fn eight_cell_spec() -> CampaignSpec {
         .build();
     CampaignSpec::new("e13-acceptance")
         .scenario("line5", scenario)
-        .protocols([Protocol::MkitOlsr, Protocol::MkitDymo])
+        .protocols(Protocol::MANETKIT)
         .fault(FaultSpec::None)
         .fault(FaultSpec::CrashFor {
             node: NodeId(2),
@@ -28,9 +28,9 @@ fn eight_cell_spec() -> CampaignSpec {
 }
 
 #[test]
-fn eight_cells_byte_identical_on_one_and_four_threads() {
-    let spec = eight_cell_spec();
-    assert_eq!(spec.cells().len(), 8);
+fn smoke_grid_byte_identical_on_one_and_four_threads() {
+    let spec = smoke_grid_spec();
+    assert_eq!(spec.cells().len(), 12);
 
     let one = engine::run(
         &spec,
@@ -58,8 +58,8 @@ fn eight_cells_byte_identical_on_one_and_four_threads() {
     );
 
     // The grid exercises both the healthy and the crash cells.
-    assert_eq!(one.merged.node_crashes, 4);
-    assert_eq!(one.merged.node_reboots, 4);
+    assert_eq!(one.merged.node_crashes, 6);
+    assert_eq!(one.merged.node_reboots, 6);
     assert!(one.merged.delivery_ratio() > 0.5);
     for cell in &one.cells {
         assert!(cell.stats.data_sent > 0, "idle cell: {}", cell.label());
@@ -67,8 +67,8 @@ fn eight_cells_byte_identical_on_one_and_four_threads() {
 }
 
 #[test]
-fn determinism_check_passes_on_the_full_eight_cell_grid() {
-    let spec = eight_cell_spec();
+fn determinism_check_passes_on_the_full_smoke_grid() {
+    let spec = smoke_grid_spec();
     let report = engine::run(
         &spec,
         &RunConfig {
@@ -84,7 +84,7 @@ fn determinism_check_passes_on_the_full_eight_cell_grid() {
 
 #[test]
 fn merged_section_equals_any_order_shard_fold() {
-    let spec = eight_cell_spec();
+    let spec = smoke_grid_spec();
     let report = engine::run(
         &spec,
         &RunConfig {

@@ -83,6 +83,91 @@ impl MobilityTrace {
     }
 }
 
+/// A per-node movement schedule for spatial topologies: the scalable
+/// counterpart of [`MobilityTrace`]. Where the trace pre-computes O(n²)
+/// pairwise link transitions per step, this stores O(n) position updates
+/// and lets the world's grid index derive connectivity on demand — the
+/// form that makes 10k-node mobile worlds tractable.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MoveSchedule {
+    /// Spatial topology at time zero (positions plus radio radius).
+    pub initial: Topology,
+    /// Time-ordered node relocations `(at, node, x, y)`.
+    pub moves: Vec<(SimTime, NodeId, f64, f64)>,
+}
+
+impl MoveSchedule {
+    /// Applies the schedule to a world (the initial topology must have
+    /// been passed to the builder).
+    pub fn schedule_into(&self, world: &mut World) {
+        for &(at, node, x, y) in &self.moves {
+            world.schedule_node_move(at, node, x, y);
+        }
+    }
+
+    /// Number of scheduled relocations.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.moves.len()
+    }
+
+    /// Whether the schedule has no relocations.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.moves.is_empty()
+    }
+}
+
+/// Generates a random-waypoint walk as a spatial topology plus per-node
+/// move schedule. Draws from the seeded RNG in the same order as
+/// [`random_waypoint`], so the same parameters describe the same physical
+/// movement in either representation — only the encoding differs (O(n)
+/// moves per step here versus O(n²) pair scans there).
+///
+/// # Panics
+///
+/// Panics when `nodes == 0`, the step is zero, the radius is not
+/// positive, or parameters are non-finite.
+#[must_use]
+pub fn random_waypoint_field(params: RandomWaypoint) -> MoveSchedule {
+    assert!(params.nodes > 0, "need at least one node");
+    assert!(params.step.as_micros() > 0, "step must be positive");
+    assert!(
+        params.radius.is_finite() && params.speed.is_finite(),
+        "parameters must be finite"
+    );
+    let mut rng = StdRng::seed_from_u64(params.seed);
+    let n = params.nodes;
+    let mut pos: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+    let mut waypoint: Vec<(f64, f64)> = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+
+    let initial = Topology::spatial(pos.clone(), params.radius);
+
+    let mut moves = Vec::new();
+    let step_secs = params.step.as_secs_f64();
+    let move_per_step = params.speed * step_secs;
+    let mut t = SimTime::ZERO;
+    while t.since(SimTime::ZERO) < params.duration {
+        t += params.step;
+        for i in 0..n {
+            let (wx, wy) = waypoint[i];
+            let (x, y) = pos[i];
+            let (dx, dy) = (wx - x, wy - y);
+            let dist = (dx * dx + dy * dy).sqrt();
+            if dist <= move_per_step {
+                pos[i] = (wx, wy);
+                waypoint[i] = (rng.gen(), rng.gen());
+            } else {
+                pos[i] = (x + dx / dist * move_per_step, y + dy / dist * move_per_step);
+            }
+            if pos[i] != (x, y) {
+                moves.push((t, NodeId(i), pos[i].0, pos[i].1));
+            }
+        }
+    }
+    MoveSchedule { initial, moves }
+}
+
 /// Generates a random-waypoint trace.
 ///
 /// # Panics
@@ -207,6 +292,64 @@ mod tests {
             ..RandomWaypoint::default()
         };
         assert_eq!(random_waypoint(p).churn(), 0);
+    }
+
+    #[test]
+    fn field_schedule_is_deterministic() {
+        let p = RandomWaypoint {
+            nodes: 8,
+            seed: 5,
+            ..RandomWaypoint::default()
+        };
+        assert_eq!(random_waypoint_field(p), random_waypoint_field(p));
+        let other = RandomWaypoint { seed: 6, ..p };
+        assert_ne!(random_waypoint_field(p), random_waypoint_field(other));
+    }
+
+    #[test]
+    fn field_matches_pairwise_trace_connectivity() {
+        // The two encodings draw from the RNG in the same order, so the
+        // physical movement is identical: after running both schedules,
+        // every node's neighbour set must agree.
+        let p = RandomWaypoint {
+            nodes: 20,
+            radius: 0.3,
+            speed: 0.06,
+            duration: SimDuration::from_secs(30),
+            seed: 9,
+            ..RandomWaypoint::default()
+        };
+        let trace = random_waypoint(p);
+        let field = random_waypoint_field(p);
+        assert_eq!(
+            trace.initial.neighbours(NodeId(0)),
+            field.initial.neighbours(NodeId(0))
+        );
+
+        let mut dense = World::builder().topology(trace.initial.clone()).build();
+        trace.schedule_into(&mut dense);
+        let mut spatial = World::builder().topology(field.initial.clone()).build();
+        field.schedule_into(&mut spatial);
+        dense.run_for(p.duration);
+        spatial.run_for(p.duration);
+        for i in 0..p.nodes {
+            assert_eq!(
+                dense.topology().neighbours(NodeId(i)),
+                spatial.topology().neighbours(NodeId(i)),
+                "node {i} neighbour sets diverged"
+            );
+        }
+    }
+
+    #[test]
+    fn zero_speed_field_emits_no_moves() {
+        let p = RandomWaypoint {
+            nodes: 6,
+            speed: 0.0,
+            seed: 3,
+            ..RandomWaypoint::default()
+        };
+        assert!(random_waypoint_field(p).is_empty());
     }
 
     #[test]

@@ -282,10 +282,15 @@ impl NodeOs {
 
     /// Crash semantics at the OS level: flush the kernel route table, drop
     /// the netfilter buffer and discard any queued actions and timer
-    /// bookkeeping. Returns the number of buffered packets dropped.
+    /// bookkeeping. Returns the ids of the buffered packets dropped, so
+    /// the world can settle their in-flight send records.
     /// Counters survive (they are cumulative run statistics, not state).
-    pub(crate) fn crash_flush(&mut self) -> usize {
-        let dropped = self.nf_buffer.values().map(VecDeque::len).sum();
+    pub(crate) fn crash_flush(&mut self) -> Vec<u64> {
+        let dropped = self
+            .nf_buffer
+            .values()
+            .flat_map(|q| q.iter().map(|p| p.id))
+            .collect();
         self.nf_buffer.clear();
         self.route_table.clear();
         self.actions.clear();
@@ -538,7 +543,7 @@ mod tests {
         os.broadcast_control(vec![1]);
         os.cancel_timer(3);
         let dropped = os.crash_flush();
-        assert_eq!(dropped, 0, "empty queue drops nothing");
+        assert!(dropped.is_empty(), "empty queue drops nothing");
         assert!(os.route_table().is_empty());
         assert!(os.nf_buffer.is_empty());
         assert!(os.actions.is_empty());

@@ -1,208 +1,7 @@
-//! Virtual time: instants and durations measured in simulated microseconds.
+//! Virtual time, re-exported from the simulation kernel.
+//!
+//! `SimTime`/`SimDuration` originated in this crate and moved down into
+//! `simkern` when the event loop was extracted; they are the same types, so
+//! netsim values interoperate directly with kernel scheduling APIs.
 
-use std::fmt;
-use std::ops::{Add, AddAssign, Sub};
-
-/// A point in simulated time (microseconds since simulation start).
-///
-/// `SimTime` is totally ordered and starts at [`SimTime::ZERO`]. All timer
-/// and delivery scheduling in [`World`](crate::World) uses this type — the
-/// wall clock never leaks into simulation logic, which is what makes runs
-/// reproducible.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct SimTime(u64);
-
-/// A span of simulated time (microseconds).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
-pub struct SimDuration(u64);
-
-impl SimTime {
-    /// The simulation epoch.
-    pub const ZERO: SimTime = SimTime(0);
-
-    /// A time value that compares greater than any reachable time.
-    pub const MAX: SimTime = SimTime(u64::MAX);
-
-    /// Microseconds since the epoch.
-    #[must_use]
-    pub const fn as_micros(self) -> u64 {
-        self.0
-    }
-
-    /// Milliseconds since the epoch (truncating).
-    #[must_use]
-    pub fn as_millis(self) -> u64 {
-        self.0 / 1_000
-    }
-
-    /// Seconds since the epoch as a float.
-    #[must_use]
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1_000_000.0
-    }
-
-    /// Builds a time from microseconds since the epoch.
-    #[must_use]
-    pub const fn from_micros(us: u64) -> Self {
-        SimTime(us)
-    }
-
-    /// The duration elapsed since `earlier`, saturating at zero.
-    #[must_use]
-    pub fn since(self, earlier: SimTime) -> SimDuration {
-        SimDuration(self.0.saturating_sub(earlier.0))
-    }
-}
-
-impl SimDuration {
-    /// Zero-length duration.
-    pub const ZERO: SimDuration = SimDuration(0);
-
-    /// Builds a duration from microseconds.
-    #[must_use]
-    pub const fn from_micros(us: u64) -> Self {
-        SimDuration(us)
-    }
-
-    /// Builds a duration from milliseconds.
-    #[must_use]
-    pub const fn from_millis(ms: u64) -> Self {
-        SimDuration(ms * 1_000)
-    }
-
-    /// Builds a duration from whole seconds.
-    #[must_use]
-    pub const fn from_secs(s: u64) -> Self {
-        SimDuration(s * 1_000_000)
-    }
-
-    /// Builds a duration from fractional seconds.
-    ///
-    /// # Panics
-    ///
-    /// Panics on negative or non-finite input.
-    #[must_use]
-    pub fn from_secs_f64(s: f64) -> Self {
-        assert!(
-            s.is_finite() && s >= 0.0,
-            "duration must be finite and non-negative"
-        );
-        SimDuration((s * 1_000_000.0).round() as u64)
-    }
-
-    /// Microseconds in this duration.
-    #[must_use]
-    pub const fn as_micros(self) -> u64 {
-        self.0
-    }
-
-    /// Milliseconds in this duration (truncating).
-    #[must_use]
-    pub fn as_millis(self) -> u64 {
-        self.0 / 1_000
-    }
-
-    /// Seconds as a float.
-    #[must_use]
-    pub fn as_secs_f64(self) -> f64 {
-        self.0 as f64 / 1_000_000.0
-    }
-
-    /// Scales the duration by a float factor (saturating, non-negative).
-    #[must_use]
-    pub fn mul_f64(self, factor: f64) -> Self {
-        assert!(factor.is_finite() && factor >= 0.0, "factor must be >= 0");
-        SimDuration((self.0 as f64 * factor).round() as u64)
-    }
-}
-
-impl Add<SimDuration> for SimTime {
-    type Output = SimTime;
-    fn add(self, rhs: SimDuration) -> SimTime {
-        SimTime(self.0.saturating_add(rhs.0))
-    }
-}
-
-impl AddAssign<SimDuration> for SimTime {
-    fn add_assign(&mut self, rhs: SimDuration) {
-        *self = *self + rhs;
-    }
-}
-
-impl Sub<SimTime> for SimTime {
-    type Output = SimDuration;
-    fn sub(self, rhs: SimTime) -> SimDuration {
-        self.since(rhs)
-    }
-}
-
-impl Add for SimDuration {
-    type Output = SimDuration;
-    fn add(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.saturating_add(rhs.0))
-    }
-}
-
-impl Sub for SimDuration {
-    type Output = SimDuration;
-    fn sub(self, rhs: SimDuration) -> SimDuration {
-        SimDuration(self.0.saturating_sub(rhs.0))
-    }
-}
-
-impl fmt::Display for SimTime {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "t={:.6}s", self.as_secs_f64())
-    }
-}
-
-impl fmt::Display for SimDuration {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{:.6}s", self.as_secs_f64())
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-
-    #[test]
-    fn arithmetic() {
-        let t = SimTime::ZERO + SimDuration::from_millis(1500);
-        assert_eq!(t.as_millis(), 1500);
-        assert_eq!(t.as_micros(), 1_500_000);
-        let d = t - SimTime::from_micros(500_000);
-        assert_eq!(d, SimDuration::from_secs(1));
-        assert_eq!(
-            SimDuration::from_secs(1) + SimDuration::from_millis(500),
-            SimDuration::from_millis(1500)
-        );
-        assert_eq!(
-            SimDuration::from_secs(2) - SimDuration::from_secs(3),
-            SimDuration::ZERO,
-            "saturating"
-        );
-    }
-
-    #[test]
-    fn float_conversions() {
-        assert_eq!(SimDuration::from_secs_f64(0.25).as_millis(), 250);
-        assert!((SimDuration::from_millis(1500).as_secs_f64() - 1.5).abs() < 1e-9);
-        assert_eq!(
-            SimDuration::from_secs(2).mul_f64(1.5),
-            SimDuration::from_secs(3)
-        );
-    }
-
-    #[test]
-    fn ordering() {
-        assert!(SimTime::ZERO < SimTime::from_micros(1));
-        assert!(SimTime::MAX > SimTime::from_micros(u64::MAX - 1));
-    }
-
-    #[test]
-    #[should_panic(expected = "non-negative")]
-    fn negative_duration_panics() {
-        let _ = SimDuration::from_secs_f64(-1.0);
-    }
-}
+pub use simkern::{SimDuration, SimTime};

@@ -1,9 +1,18 @@
-//! Connectivity matrix, link models and topology generators.
+//! Connectivity, link models and topology generators.
 //!
 //! The paper's testbed shaped multi-hop connectivity with MAC-level
 //! filtering plus the MobiEmu emulator. [`Topology`] is that mechanism in
-//! simulation: an `n × n` symmetric boolean matrix saying who hears whom,
-//! adjusted over time by mobility schedules.
+//! simulation, with two backends behind one API:
+//!
+//! * **Dense** — an `n × n` symmetric boolean matrix saying who hears whom,
+//!   adjusted over time by explicit link changes. Right for small worlds
+//!   and hand-shaped testbed scenarios.
+//! * **Spatial** — node positions in the unit square with a radio
+//!   `radius`; a link exists exactly when two nodes are within range. A
+//!   grid-bucket index (cell width ≥ radius) makes neighbour queries visit
+//!   only the 3 × 3 surrounding cells instead of all pairs, and node moves
+//!   update the index incrementally — the representation that scales to
+//!   10k-node mobile worlds.
 
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -134,12 +143,116 @@ impl LinkModel {
     }
 }
 
-/// A symmetric connectivity matrix over `n` nodes.
-#[derive(Debug, Clone, PartialEq, Eq)]
+/// Symmetric connectivity over `n` nodes (see the module docs for the two
+/// backends).
+#[derive(Debug, Clone, PartialEq)]
 pub struct Topology {
     n: usize,
-    // Row-major upper-triangular usage; stored full for simplicity.
-    up: Vec<bool>,
+    backend: Backend,
+}
+
+#[derive(Debug, Clone, PartialEq)]
+enum Backend {
+    /// Explicit matrix, row-major; stored full for simplicity.
+    Dense { up: Vec<bool> },
+    /// Positions + radio radius with a grid-bucket index.
+    Spatial(SpatialField),
+}
+
+/// Grid-bucket spatial index over node positions in the unit square.
+///
+/// The square is cut into `cols × rows` cells of width ≥ `radius`, so every
+/// node within radio range of a point lies in the 3 × 3 cell block around
+/// it. Buckets hold node ids; [`move_node`](Topology::move_node) rebuckets
+/// only the moved node. Bucket order is insertion order — queries that
+/// expose neighbour sets sort or reduce deterministically, so bucket
+/// internals never leak into simulation outcomes.
+#[derive(Debug, Clone, PartialEq)]
+struct SpatialField {
+    radius: f64,
+    cols: usize,
+    rows: usize,
+    positions: Vec<(f64, f64)>,
+    buckets: Vec<Vec<u32>>,
+    node_cell: Vec<u32>,
+}
+
+impl SpatialField {
+    fn new(positions: Vec<(f64, f64)>, radius: f64) -> Self {
+        assert!(
+            radius.is_finite() && radius > 0.0,
+            "spatial radius must be positive"
+        );
+        for &(x, y) in &positions {
+            assert!(
+                (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y),
+                "positions must lie in the unit square"
+            );
+        }
+        // Cell width = 1/cols ≥ radius keeps range queries within 3 × 3.
+        let cols = ((1.0 / radius).floor() as usize).clamp(1, 4096);
+        let mut field = SpatialField {
+            radius,
+            cols,
+            rows: cols,
+            positions: Vec::new(),
+            buckets: vec![Vec::new(); cols * cols],
+            node_cell: Vec::new(),
+        };
+        for (i, &(x, y)) in positions.iter().enumerate() {
+            let cell = field.cell_of(x, y);
+            field.buckets[cell as usize].push(i as u32);
+            field.node_cell.push(cell);
+        }
+        field.positions = positions;
+        field
+    }
+
+    fn cell_of(&self, x: f64, y: f64) -> u32 {
+        let cx = ((x * self.cols as f64) as usize).min(self.cols - 1);
+        let cy = ((y * self.rows as f64) as usize).min(self.rows - 1);
+        (cy * self.cols + cx) as u32
+    }
+
+    fn in_range(&self, a: usize, b: usize) -> bool {
+        let (ax, ay) = self.positions[a];
+        let (bx, by) = self.positions[b];
+        let (dx, dy) = (ax - bx, ay - by);
+        dx * dx + dy * dy <= self.radius * self.radius
+    }
+
+    /// Visits every node in the 3 × 3 cell block around `(x, y)`.
+    fn for_each_nearby(&self, x: f64, y: f64, mut visit: impl FnMut(usize)) {
+        let cx = ((x * self.cols as f64) as usize).min(self.cols - 1);
+        let cy = ((y * self.rows as f64) as usize).min(self.rows - 1);
+        for gy in cy.saturating_sub(1)..=(cy + 1).min(self.rows - 1) {
+            for gx in cx.saturating_sub(1)..=(cx + 1).min(self.cols - 1) {
+                for &id in &self.buckets[gy * self.cols + gx] {
+                    visit(id as usize);
+                }
+            }
+        }
+    }
+
+    fn move_node(&mut self, node: usize, x: f64, y: f64) {
+        assert!(
+            (0.0..=1.0).contains(&x) && (0.0..=1.0).contains(&y),
+            "positions must lie in the unit square"
+        );
+        self.positions[node] = (x, y);
+        let new_cell = self.cell_of(x, y);
+        let old_cell = self.node_cell[node];
+        if new_cell != old_cell {
+            let bucket = &mut self.buckets[old_cell as usize];
+            let at = bucket
+                .iter()
+                .position(|&id| id == node as u32)
+                .expect("node missing from its bucket");
+            bucket.swap_remove(at);
+            self.buckets[new_cell as usize].push(node as u32);
+            self.node_cell[node] = new_cell;
+        }
+    }
 }
 
 impl Topology {
@@ -148,22 +261,51 @@ impl Topology {
     pub fn empty(n: usize) -> Self {
         Topology {
             n,
-            up: vec![false; n * n],
+            backend: Backend::Dense {
+                up: vec![false; n * n],
+            },
         }
     }
 
     /// Every node hears every other (single broadcast domain).
     #[must_use]
     pub fn full(n: usize) -> Self {
-        let mut t = Topology::empty(n);
+        let mut up = vec![true; n * n];
         for a in 0..n {
-            for b in 0..n {
-                if a != b {
-                    t.up[a * n + b] = true;
-                }
-            }
+            up[a * n + a] = false;
         }
-        t
+        Topology {
+            n,
+            backend: Backend::Dense { up },
+        }
+    }
+
+    /// A spatial topology: nodes at `positions` in the unit square, linked
+    /// exactly when within `radius` of each other. Connectivity follows the
+    /// positions — use [`move_node`](Self::move_node) (or the world's
+    /// scheduled moves) instead of [`set_link`](Self::set_link).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `radius` is not positive and finite, or a position lies
+    /// outside the unit square.
+    #[must_use]
+    pub fn spatial(positions: Vec<(f64, f64)>, radius: f64) -> Self {
+        let n = positions.len();
+        Topology {
+            n,
+            backend: Backend::Spatial(SpatialField::new(positions, radius)),
+        }
+    }
+
+    /// A spatial topology with `n` nodes placed uniformly at random in the
+    /// unit square (deterministic per seed): the scalable counterpart of
+    /// [`random_geometric`](Self::random_geometric).
+    #[must_use]
+    pub fn random_spatial(n: usize, radius: f64, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let positions = (0..n).map(|_| (rng.gen(), rng.gen())).collect();
+        Topology::spatial(positions, radius)
     }
 
     /// A linear chain `0 – 1 – … – n-1` (the paper's 5-node testbed shape).
@@ -231,28 +373,139 @@ impl Topology {
     ///
     /// # Panics
     ///
-    /// Panics when either id is out of range or `a == b`.
+    /// Panics when either id is out of range, `a == b`, or the topology is
+    /// spatial — there connectivity is a function of node positions, so
+    /// move the nodes instead.
     pub fn set_link(&mut self, a: NodeId, b: NodeId, state: LinkState) {
         assert!(a.0 < self.n && b.0 < self.n, "node id out of range");
         assert_ne!(a, b, "no self links");
-        let up = state == LinkState::Up;
-        self.up[a.0 * self.n + b.0] = up;
-        self.up[b.0 * self.n + a.0] = up;
+        match &mut self.backend {
+            Backend::Dense { up } => {
+                let v = state == LinkState::Up;
+                up[a.0 * self.n + b.0] = v;
+                up[b.0 * self.n + a.0] = v;
+            }
+            Backend::Spatial(_) => {
+                panic!("spatial topologies derive links from positions; use move_node")
+            }
+        }
     }
 
     /// Whether a frame from `a` reaches `b`.
     #[must_use]
     pub fn link_up(&self, a: NodeId, b: NodeId) -> bool {
-        a != b && a.0 < self.n && b.0 < self.n && self.up[a.0 * self.n + b.0]
+        if a == b || a.0 >= self.n || b.0 >= self.n {
+            return false;
+        }
+        match &self.backend {
+            Backend::Dense { up } => up[a.0 * self.n + b.0],
+            Backend::Spatial(field) => field.in_range(a.0, b.0),
+        }
     }
 
-    /// Current neighbours of `a`.
+    /// Current neighbours of `a`, in ascending id order.
     #[must_use]
     pub fn neighbours(&self, a: NodeId) -> Vec<NodeId> {
-        (0..self.n)
-            .map(NodeId)
-            .filter(|b| self.link_up(a, *b))
-            .collect()
+        match &self.backend {
+            Backend::Dense { up } => (0..self.n)
+                .filter(|b| a.0 != *b && up[a.0 * self.n + b])
+                .map(NodeId)
+                .collect(),
+            Backend::Spatial(field) => {
+                let (x, y) = field.positions[a.0];
+                let mut out = Vec::new();
+                field.for_each_nearby(x, y, |b| {
+                    if b != a.0 && field.in_range(a.0, b) {
+                        out.push(NodeId(b));
+                    }
+                });
+                // Bucket order is arbitrary; callers iterate neighbour sets
+                // into scheduling decisions, so pin ascending-id order to
+                // match the dense backend exactly.
+                out.sort_unstable();
+                out
+            }
+        }
+    }
+
+    /// Whether this topology derives links from node positions.
+    #[must_use]
+    pub fn is_spatial(&self) -> bool {
+        matches!(self.backend, Backend::Spatial(_))
+    }
+
+    /// The radio radius of a spatial topology.
+    #[must_use]
+    pub fn radius(&self) -> Option<f64> {
+        match &self.backend {
+            Backend::Dense { .. } => None,
+            Backend::Spatial(field) => Some(field.radius),
+        }
+    }
+
+    /// A node's position in the unit square (spatial topologies only).
+    #[must_use]
+    pub fn position(&self, a: NodeId) -> Option<(f64, f64)> {
+        match &self.backend {
+            Backend::Dense { .. } => None,
+            Backend::Spatial(field) => field.positions.get(a.0).copied(),
+        }
+    }
+
+    /// Moves a node of a spatial topology, updating the index
+    /// incrementally (O(1), not an all-pairs re-evaluation).
+    ///
+    /// # Panics
+    ///
+    /// Panics on a dense topology, an out-of-range id, or a position
+    /// outside the unit square.
+    pub fn move_node(&mut self, a: NodeId, x: f64, y: f64) {
+        assert!(a.0 < self.n, "node id out of range");
+        match &mut self.backend {
+            Backend::Dense { .. } => panic!("dense topologies have no positions; use set_link"),
+            Backend::Spatial(field) => field.move_node(a.0, x, y),
+        }
+    }
+
+    /// Greedy geographic next hop: the neighbour of `from` strictly closest
+    /// to `dst`'s position, `None` at a local minimum (no neighbour closer
+    /// than `from` itself) or on a dense topology. Ties break towards the
+    /// lowest node id, keeping routing deterministic regardless of bucket
+    /// order.
+    #[must_use]
+    pub fn geo_next_hop(&self, from: NodeId, dst: NodeId) -> Option<NodeId> {
+        let Backend::Spatial(field) = &self.backend else {
+            return None;
+        };
+        if from == dst || from.0 >= self.n || dst.0 >= self.n {
+            return None;
+        }
+        let (fx, fy) = field.positions[from.0];
+        let (dx, dy) = field.positions[dst.0];
+        let dist2 = |x: f64, y: f64| {
+            let (ex, ey) = (x - dx, y - dy);
+            ex * ex + ey * ey
+        };
+        let own = dist2(fx, fy);
+        let mut best: Option<(f64, usize)> = None;
+        field.for_each_nearby(fx, fy, |b| {
+            if b == from.0 || !field.in_range(from.0, b) {
+                return;
+            }
+            let (bx, by) = field.positions[b];
+            let d = dist2(bx, by);
+            if d >= own {
+                return;
+            }
+            let better = match best {
+                None => true,
+                Some((bd, bid)) => d < bd || (d == bd && b < bid),
+            };
+            if better {
+                best = Some((d, b));
+            }
+        });
+        best.map(|(_, b)| NodeId(b))
     }
 
     /// Node degree.
@@ -378,6 +631,79 @@ mod tests {
     fn no_self_links() {
         let t = Topology::full(3);
         assert!(!t.link_up(NodeId(1), NodeId(1)));
+    }
+
+    #[test]
+    fn spatial_matches_dense_geometric() {
+        // Same seed and radius: the spatial index must agree with the
+        // all-pairs matrix on every link and every neighbour list.
+        let (n, radius, seed) = (60, 0.2, 11);
+        let dense = Topology::random_geometric(n, radius, seed);
+        let spatial = Topology::random_spatial(n, radius, seed);
+        for a in 0..n {
+            assert_eq!(
+                dense.neighbours(NodeId(a)),
+                spatial.neighbours(NodeId(a)),
+                "neighbour divergence at node {a}"
+            );
+            for b in 0..n {
+                assert_eq!(
+                    dense.link_up(NodeId(a), NodeId(b)),
+                    spatial.link_up(NodeId(a), NodeId(b)),
+                );
+            }
+        }
+        assert!(spatial.is_spatial() && !dense.is_spatial());
+        assert_eq!(spatial.radius(), Some(radius));
+    }
+
+    #[test]
+    fn moves_update_links_incrementally() {
+        let positions = vec![(0.1, 0.1), (0.15, 0.1), (0.9, 0.9)];
+        let mut t = Topology::spatial(positions, 0.1);
+        assert!(t.link_up(NodeId(0), NodeId(1)));
+        assert!(!t.link_up(NodeId(0), NodeId(2)));
+        // Walk node 2 across many cell boundaries into range of node 0.
+        let mut x: f64 = 0.9;
+        while x > 0.1 {
+            x -= 0.04;
+            t.move_node(NodeId(2), x.max(0.0), 0.1);
+        }
+        assert!(t.link_up(NodeId(0), NodeId(2)));
+        assert_eq!(t.position(NodeId(2)).unwrap().1, 0.1);
+        // And out again.
+        t.move_node(NodeId(2), 0.9, 0.9);
+        assert!(!t.link_up(NodeId(0), NodeId(2)));
+        assert_eq!(t.neighbours(NodeId(0)), vec![NodeId(1)]);
+    }
+
+    #[test]
+    fn geo_next_hop_progresses_and_detects_dead_ends() {
+        // A chain of relays from left to right, each within range of the
+        // next; greedy forwarding must walk it without skipping backwards.
+        let positions = vec![
+            (0.05, 0.5),
+            (0.2, 0.5),
+            (0.35, 0.5),
+            (0.5, 0.5),
+            (0.95, 0.5), // destination, reachable only from node 3? no — gap
+        ];
+        let t = Topology::spatial(positions, 0.16);
+        assert_eq!(t.geo_next_hop(NodeId(0), NodeId(4)), Some(NodeId(1)));
+        assert_eq!(t.geo_next_hop(NodeId(1), NodeId(4)), Some(NodeId(2)));
+        assert_eq!(t.geo_next_hop(NodeId(2), NodeId(4)), Some(NodeId(3)));
+        // Node 3 is 0.45 from the destination with no closer neighbour:
+        // a geographic local minimum.
+        assert_eq!(t.geo_next_hop(NodeId(3), NodeId(4)), None);
+        // Dense topologies have no geometry.
+        assert_eq!(Topology::full(3).geo_next_hop(NodeId(0), NodeId(2)), None);
+    }
+
+    #[test]
+    #[should_panic(expected = "use move_node")]
+    fn set_link_rejected_on_spatial() {
+        let mut t = Topology::random_spatial(4, 0.3, 1);
+        t.set_link(NodeId(0), NodeId(1), LinkState::Down);
     }
 
     #[test]

@@ -1,7 +1,13 @@
 //! The discrete-event simulation world.
+//!
+//! The event loop itself — virtual clock, timing-wheel scheduler, arena
+//! event store — lives in the reusable [`simkern`] crate; this module owns
+//! everything MANET-specific that runs *on* that kernel: nodes, radio
+//! topology, the data plane and fault injection.
 
-use std::cmp::Reverse;
-use std::collections::{BinaryHeap, HashMap};
+use std::collections::HashMap;
+
+use simkern::EventQueue;
 
 use packetbb::Address;
 use rand::rngs::StdRng;
@@ -48,33 +54,17 @@ enum EventKind {
         b: NodeId,
         state: LinkState,
     },
+    /// Spatial-topology mobility: the node relocates and the grid index
+    /// updates incrementally (the scalable analogue of `LinkChange`).
+    NodeMove {
+        node: NodeId,
+        x: f64,
+        y: f64,
+    },
     ContextTick {
         node: NodeId,
     },
     Fault(FaultKind),
-}
-
-struct Scheduled {
-    at: SimTime,
-    seq: u64,
-    kind: EventKind,
-}
-
-impl PartialEq for Scheduled {
-    fn eq(&self, other: &Self) -> bool {
-        self.at == other.at && self.seq == other.seq
-    }
-}
-impl Eq for Scheduled {}
-impl PartialOrd for Scheduled {
-    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
-        Some(self.cmp(other))
-    }
-}
-impl Ord for Scheduled {
-    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
-        (self.at, self.seq).cmp(&(other.at, other.seq))
-    }
 }
 
 /// Builds a fresh agent for a rebooting node (true cold boot).
@@ -105,6 +95,7 @@ pub struct WorldBuilder {
     link_feedback: bool,
     default_ttl: u8,
     nf_capacity: usize,
+    geo_routing: bool,
     fault_plan: Option<FaultPlan>,
     #[cfg(feature = "trace")]
     trace_capacity: Option<usize>,
@@ -122,6 +113,7 @@ impl Default for WorldBuilder {
             link_feedback: true,
             default_ttl: 32,
             nf_capacity: 64,
+            geo_routing: false,
             fault_plan: None,
             #[cfg(feature = "trace")]
             trace_capacity: None,
@@ -194,6 +186,16 @@ impl WorldBuilder {
         self
     }
 
+    /// Enables greedy geographic forwarding as the data plane's fallback
+    /// when a node's route table has no entry for a destination. Requires
+    /// a spatial topology (node positions). An explicit route entry always
+    /// wins, so routing agents can override geo decisions per prefix.
+    #[must_use]
+    pub fn geo_routing(mut self, enabled: bool) -> Self {
+        self.geo_routing = enabled;
+        self
+    }
+
     /// Installs a fault-injection plan: its scheduled entries are enacted
     /// by the event loop and its stochastic processes (frame chaos) run
     /// from the plan's own seeded RNG — the base simulation's random
@@ -226,6 +228,10 @@ impl WorldBuilder {
     pub fn build(self) -> World {
         assert!(self.nodes > 0, "world needs at least one node");
         let topo = self.topology.unwrap_or_else(|| Topology::empty(self.nodes));
+        assert!(
+            !self.geo_routing || topo.is_spatial(),
+            "geo_routing needs a spatial topology (node positions)"
+        );
         let mut nodes = Vec::with_capacity(self.nodes);
         let mut addr_to_node = HashMap::new();
         for i in 0..self.nodes {
@@ -251,8 +257,7 @@ impl WorldBuilder {
         };
         let mut world = World {
             now: SimTime::ZERO,
-            heap: BinaryHeap::new(),
-            seq: 0,
+            kern: EventQueue::new(),
             topo,
             link_model: self.link_model,
             nodes,
@@ -264,6 +269,7 @@ impl WorldBuilder {
             link_feedback: self.link_feedback,
             context_interval: self.context_interval,
             default_ttl: self.default_ttl,
+            geo_routing: self.geo_routing,
             fault,
             dedupe_delivery,
             ge_phases: HashMap::new(),
@@ -291,8 +297,7 @@ impl WorldBuilder {
 /// agents.
 pub struct World {
     now: SimTime,
-    heap: BinaryHeap<Reverse<Scheduled>>,
-    seq: u64,
+    kern: EventQueue<EventKind>,
     topo: Topology,
     link_model: LinkModel,
     nodes: Vec<NodeSlot>,
@@ -300,10 +305,11 @@ pub struct World {
     stats: WorldStats,
     rng: StdRng,
     next_packet_id: u64,
-    sent_at: HashMap<u64, SimTime>,
+    sent_at: HashMap<u64, SentRecord>,
     link_feedback: bool,
     context_interval: Option<SimDuration>,
     default_ttl: u8,
+    geo_routing: bool,
     fault: FaultInjector,
     /// Suppress double-counting of duplicated deliveries (set when the
     /// fault plan enables frame duplication).
@@ -312,6 +318,29 @@ pub struct World {
     ge_phases: HashMap<(usize, usize), LinkPhase>,
     /// Cursor behind the legacy [`take_window`](Self::take_window) wrapper.
     window: StatsWindow,
+}
+
+/// In-flight bookkeeping for one application datagram: when it left, how
+/// many copies the network still carries, and whether any copy has been
+/// delivered (frame duplication can clone packets mid-path). The record is
+/// removed when the last copy is accounted for — delivered or dropped — so
+/// the map's size is exactly the number of packets still in flight and a
+/// long campaign cannot accrete dead entries.
+#[derive(Debug, Clone, Copy)]
+struct SentRecord {
+    at: SimTime,
+    copies: u32,
+    delivered: bool,
+}
+
+impl SentRecord {
+    fn new(at: SimTime) -> Self {
+        SentRecord {
+            at,
+            copies: 1,
+            delivered: false,
+        }
+    }
 }
 
 /// A built `World` (agents installed or not) is `Send`: campaign engines
@@ -466,6 +495,12 @@ impl World {
         self.schedule(at, EventKind::LinkChange { a, b, state });
     }
 
+    /// Schedules a node relocation on a spatial topology (mobility). The
+    /// grid index updates incrementally when the event fires.
+    pub fn schedule_node_move(&mut self, at: SimTime, node: NodeId, x: f64, y: f64) {
+        self.schedule(at, EventKind::NodeMove { node, x, y });
+    }
+
     /// Sends an application datagram now; returns the packet id.
     pub fn send_datagram(&mut self, src: NodeId, dst: Address, payload: Vec<u8>) -> u64 {
         self.send_datagram_at(self.now, src, dst, payload)
@@ -495,15 +530,12 @@ impl World {
     /// Runs until simulated time `t` (inclusive of events at `t`).
     pub fn run_until(&mut self, t: SimTime) {
         self.flush_all();
-        while let Some(Reverse(top)) = self.heap.peek() {
-            if top.at > t {
-                break;
-            }
-            let Reverse(ev) = self.heap.pop().expect("peeked");
-            self.now = ev.at;
-            self.dispatch(ev.kind);
+        while let Some((at, kind)) = self.kern.pop_due(t) {
+            self.now = at;
+            self.dispatch(kind);
         }
         self.now = t;
+        self.kern.advance_to(t);
     }
 
     /// Runs for a span of simulated time.
@@ -514,17 +546,24 @@ impl World {
     /// Processes a single event; returns its time, or `None` when idle.
     pub fn step(&mut self) -> Option<SimTime> {
         self.flush_all();
-        let Reverse(ev) = self.heap.pop()?;
-        self.now = ev.at;
-        let at = ev.at;
-        self.dispatch(ev.kind);
+        let (at, kind) = self.kern.pop_due(SimTime::MAX)?;
+        self.now = at;
+        self.dispatch(kind);
         Some(at)
     }
 
     /// Number of events pending in the scheduler.
     #[must_use]
     pub fn pending_events(&self) -> usize {
-        self.heap.len()
+        self.kern.len()
+    }
+
+    /// Application datagrams sent but not yet settled (delivered or
+    /// dropped on every path). Packets parked in netfilter buffers count;
+    /// a quiescent world with empty buffers reports zero.
+    #[must_use]
+    pub fn outstanding_sends(&self) -> usize {
+        self.sent_at.len()
     }
 
     /// Statistics with per-node agent counters merged in.
@@ -624,12 +663,7 @@ impl World {
     // ---- internals --------------------------------------------------------
 
     fn schedule(&mut self, at: SimTime, kind: EventKind) {
-        self.seq += 1;
-        self.heap.push(Reverse(Scheduled {
-            at: at.max(self.now),
-            seq: self.seq,
-            kind,
-        }));
+        self.kern.schedule(at.max(self.now), kind);
     }
 
     fn with_agent(&mut self, node: NodeId, f: impl FnOnce(&mut dyn RoutingAgent, &mut NodeOs)) {
@@ -696,6 +730,9 @@ impl World {
             Action::DropBuffered { dst } => {
                 if let Some(q) = self.nodes[node.0].os.nf_buffer.remove(&dst) {
                     self.stats.data_dropped_buffer += q.len() as u64;
+                    for p in q {
+                        self.settle_send(p.id);
+                    }
                 }
             }
             Action::SendData { dst, payload } => {
@@ -709,7 +746,7 @@ impl World {
                     payload,
                 };
                 self.stats.data_sent += 1;
-                self.sent_at.insert(id, self.now);
+                self.sent_at.insert(id, SentRecord::new(self.now));
                 tr!(
                     self,
                     node,
@@ -813,6 +850,7 @@ impl World {
                     if self.nodes[node.0].crashed {
                         self.stats.data_dropped_crash += 1;
                         tr!(self, node, DataDrop, "crash", packet.id, packet.ttl);
+                        self.settle_send(packet.id);
                         return;
                     }
                     self.nodes[node.0].os.battery.drain_rx(packet.wire_len());
@@ -832,7 +870,7 @@ impl World {
             }
             EventKind::DataInject { node, packet } => {
                 self.stats.data_sent += 1;
-                self.sent_at.insert(packet.id, self.now);
+                self.sent_at.insert(packet.id, SentRecord::new(self.now));
                 tr!(
                     self,
                     node,
@@ -847,6 +885,7 @@ impl World {
                 if self.nodes[node.0].crashed {
                     self.stats.data_dropped_crash += 1;
                     tr!(self, node, DataDrop, "crash", packet.id, packet.ttl);
+                    self.settle_send(packet.id);
                     return;
                 }
                 // Give the agent's packet-inspection hook first refusal.
@@ -863,6 +902,7 @@ impl World {
                 } else {
                     self.stats.data_dropped_buffer += 1;
                     tr!(self, node, DataDrop, "filter", packet.id, packet.ttl);
+                    self.settle_send(packet.id);
                 }
             }
             EventKind::LinkChange { a, b, state } => {
@@ -874,6 +914,17 @@ impl World {
                     "mobility",
                     a.0.max(b.0),
                     matches!(state, LinkState::Up)
+                );
+            }
+            EventKind::NodeMove { node, x, y } => {
+                self.topo.move_node(node, x, y);
+                tr!(
+                    self,
+                    node,
+                    NodeMove,
+                    "mobility",
+                    (x * 1e6) as u64,
+                    (y * 1e6) as u64
                 );
             }
             EventKind::ContextTick { node } => {
@@ -937,15 +988,18 @@ impl World {
             agent.on_crash(&mut slot.os);
         }
         let dropped = slot.os.crash_flush();
-        self.stats.data_dropped_crash += dropped as u64;
+        self.stats.data_dropped_crash += dropped.len() as u64;
         tr!(
             self,
             node,
             NodeCrash,
             if exhausted { "battery" } else { "crash" },
-            dropped,
+            dropped.len(),
             0
         );
+        for id in dropped {
+            self.settle_send(id);
+        }
     }
 
     /// Revives a crashed node: fresh battery, flushed OS, agent restarted
@@ -960,11 +1014,16 @@ impl World {
         slot.crashed = false;
         slot.os.set_now(now);
         slot.os.battery.recharge(now);
-        slot.os.crash_flush();
+        let flushed = slot.os.crash_flush();
         if let Some(make) = slot.factory.as_ref() {
             slot.agent = Some(make());
         }
         self.stats.node_reboots += 1;
+        // The buffer was flushed at crash time, so this is normally empty —
+        // settled anyway so a future code path can't reintroduce the leak.
+        for id in flushed {
+            self.settle_send(id);
+        }
         tr!(self, node, NodeReboot, "reboot", 0, 0);
         if self.nodes[node.0].agent.is_some() {
             self.schedule(now, EventKind::StartAgent { node });
@@ -978,6 +1037,17 @@ impl World {
             && !self.nodes[a.0].crashed
             && !self.nodes[b.0].crashed
             && !self.fault.severed(a, b)
+    }
+
+    /// Accounts for one terminal event — delivery or drop — of one copy of
+    /// a sent datagram, removing the record when no copies remain.
+    fn settle_send(&mut self, id: u64) {
+        if let Some(rec) = self.sent_at.get_mut(&id) {
+            rec.copies -= 1;
+            if rec.copies == 0 {
+                self.sent_at.remove(&id);
+            }
+        }
     }
 
     /// Samples loss on the `(a, b)` link: the per-link Gilbert–Elliott
@@ -1003,12 +1073,17 @@ impl World {
     fn data_plane(&mut self, node: NodeId, packet: DataPacket) {
         let local_addr = self.nodes[node.0].os.addr();
         if packet.dst == local_addr {
-            // First delivery claims the send record; with duplication
-            // active, later copies are counted separately.
-            let first = self.sent_at.remove(&packet.id);
+            // First delivery claims the send record's latency; with
+            // duplication active, later copies are counted separately.
+            let first = self
+                .sent_at
+                .get(&packet.id)
+                .filter(|rec| !rec.delivered)
+                .map(|rec| rec.at);
             if self.dedupe_delivery && first.is_none() {
                 self.stats.data_dup_delivered += 1;
                 tr!(self, node, DataDrop, "duplicate", packet.id, packet.ttl);
+                self.settle_send(packet.id);
                 return;
             }
             self.stats.data_delivered += 1;
@@ -1025,6 +1100,10 @@ impl World {
                 packet.id,
                 first.map_or(0, |sent| self.now.since(sent).as_micros())
             );
+            if let Some(rec) = self.sent_at.get_mut(&packet.id) {
+                rec.delivered = true;
+            }
+            self.settle_send(packet.id);
             return;
         }
         let route = self.nodes[node.0]
@@ -1034,6 +1113,26 @@ impl World {
             .cloned();
         match route {
             Some(entry) => self.forward(node, packet, entry.next_hop),
+            None if self.geo_routing => {
+                // Agentless greedy geographic forwarding: relay via the
+                // neighbour strictly closest to the destination, or drop at
+                // a local minimum. An explicit route entry (above) always
+                // wins, so agents can override geo decisions per prefix.
+                let hop = self
+                    .node_of(packet.dst)
+                    .and_then(|dst_node| self.topo.geo_next_hop(node, dst_node));
+                match hop {
+                    Some(nb) => {
+                        let next_hop = self.nodes[nb.0].os.addr();
+                        self.forward(node, packet, next_hop);
+                    }
+                    None => {
+                        self.stats.data_dropped_link += 1;
+                        tr!(self, node, DataDrop, "geo_dead_end", packet.id, packet.ttl);
+                        self.settle_send(packet.id);
+                    }
+                }
+            }
             None => {
                 if packet.src == local_addr {
                     // Locally originated: buffer and raise NO_ROUTE.
@@ -1049,8 +1148,7 @@ impl World {
                     if let Some(old) = overflow {
                         self.stats.data_dropped_buffer += 1;
                         tr!(self, node, DataDrop, "buffer", old.id, old.ttl);
-                        #[cfg(not(feature = "trace"))]
-                        let _ = old;
+                        self.settle_send(old.id);
                     }
                     self.with_agent(node, |agent, os| {
                         agent.on_filter_event(os, FilterEvent::NoRoute { dst });
@@ -1060,6 +1158,7 @@ impl World {
                     // route-error trigger.
                     self.stats.data_dropped_link += 1;
                     tr!(self, node, DataDrop, "no_route", packet.id, packet.ttl);
+                    self.settle_send(packet.id);
                     let (src, dst) = (packet.src, packet.dst);
                     self.with_agent(node, |agent, os| {
                         agent.on_filter_event(
@@ -1080,6 +1179,7 @@ impl World {
         let Some(nb) = self.node_of(next_hop) else {
             self.stats.data_dropped_link += 1;
             tr!(self, node, DataDrop, "bad_next_hop", packet.id, packet.ttl);
+            self.settle_send(packet.id);
             return;
         };
         let local_addr = self.nodes[node.0].os.addr();
@@ -1087,6 +1187,7 @@ impl World {
         if !link_ok {
             self.stats.data_dropped_link += 1;
             tr!(self, node, DataDrop, "link", packet.id, packet.ttl);
+            self.settle_send(packet.id);
             let dst = packet.dst;
             let src = packet.src;
             if self.link_feedback {
@@ -1109,6 +1210,7 @@ impl World {
         let Some(next_packet) = packet.next_hop_copy() else {
             self.stats.data_dropped_ttl += 1;
             tr!(self, node, DataDrop, "ttl", packet.id, packet.ttl);
+            self.settle_send(packet.id);
             return;
         };
         let wire = next_packet.wire_len();
@@ -1133,10 +1235,16 @@ impl World {
                     next_packet.id,
                     next_packet.ttl
                 );
+                self.settle_send(next_packet.id);
                 return;
             }
             let copies = if chaos.duplicate > 0.0 && self.fault.rng.gen_bool(chaos.duplicate) {
                 self.stats.data_duplicated += 1;
+                // The clone is a second in-flight copy of the same id; the
+                // send record must outlive both.
+                if let Some(rec) = self.sent_at.get_mut(&next_packet.id) {
+                    rec.copies += 1;
+                }
                 2
             } else {
                 1
@@ -1179,7 +1287,7 @@ impl std::fmt::Debug for World {
         f.debug_struct("World")
             .field("now", &self.now)
             .field("nodes", &self.nodes.len())
-            .field("pending_events", &self.heap.len())
+            .field("pending_events", &self.kern.len())
             .finish()
     }
 }
@@ -1700,5 +1808,177 @@ mod tests {
             w.stats()
         };
         assert_eq!(run(), run(), "same seeds, byte-identical statistics");
+    }
+
+    // ---- send-record settlement (leak regression) --------------------------
+
+    #[test]
+    fn ttl_drops_settle_send_records() {
+        let mut w = World::builder()
+            .topology(Topology::full(2))
+            .seed(5)
+            .default_ttl(4)
+            .build();
+        let a0 = w.addr(NodeId(0));
+        let a1 = w.addr(NodeId(1));
+        let ghost = Address::v4([10, 9, 9, 9]);
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(ghost, a1, 1);
+        w.os_mut(NodeId(1))
+            .route_table_mut()
+            .add_host_route(ghost, a0, 1);
+        for _ in 0..5 {
+            w.send_datagram(NodeId(0), ghost, b"loop".to_vec());
+        }
+        w.run_for(SimDuration::from_secs(1));
+        assert_eq!(w.stats().data_dropped_ttl, 5);
+        assert_eq!(
+            w.outstanding_sends(),
+            0,
+            "every looped packet must settle its send record"
+        );
+    }
+
+    #[test]
+    fn geo_dead_end_drops_settle_send_records() {
+        let positions = vec![(0.05, 0.5), (0.30, 0.5), (0.95, 0.5)];
+        let mut w = World::builder()
+            .topology(Topology::spatial(positions, 0.3))
+            .seed(1)
+            .geo_routing(true)
+            .build();
+        let dst = w.addr(NodeId(2));
+        for _ in 0..4 {
+            w.send_datagram(NodeId(0), dst, b"x".to_vec());
+        }
+        w.run_for(SimDuration::from_millis(100));
+        assert_eq!(w.stats().data_delivered, 0);
+        assert_eq!(w.outstanding_sends(), 0, "dead-end drops must settle");
+    }
+
+    #[test]
+    fn crash_flush_settles_buffered_send_records() {
+        let plan = FaultPlan::builder(0).crash(ms(5), NodeId(0)).build();
+        let mut w = World::builder()
+            .topology(Topology::full(2))
+            .seed(2)
+            .fault_plan(plan)
+            .build();
+        w.install_agent(NodeId(0), Box::new(Echo::new()));
+        let dst = w.addr(NodeId(1));
+        // No route: the packet parks in the netfilter buffer.
+        w.send_datagram(NodeId(0), dst, b"x".to_vec());
+        w.run_for(SimDuration::from_millis(2));
+        assert_eq!(w.outstanding_sends(), 1, "buffered packet is in flight");
+        w.run_for(SimDuration::from_millis(10));
+        assert_eq!(w.stats().data_dropped_crash, 1);
+        assert_eq!(w.outstanding_sends(), 0, "crash flush must settle");
+    }
+
+    #[test]
+    fn duplicated_copies_settle_to_empty_map() {
+        let plan = FaultPlan::builder(7)
+            .chaos(FrameChaos {
+                duplicate: 1.0,
+                ..FrameChaos::default()
+            })
+            .build();
+        let mut w = World::builder()
+            .topology(Topology::line(3))
+            .seed(6)
+            .fault_plan(plan)
+            .build();
+        let a2 = w.addr(NodeId(2));
+        let a1 = w.addr(NodeId(1));
+        w.os_mut(NodeId(0))
+            .route_table_mut()
+            .add_host_route(a2, a1, 2);
+        w.os_mut(NodeId(1))
+            .route_table_mut()
+            .add_host_route(a2, a2, 1);
+        for _ in 0..6 {
+            w.send_datagram(NodeId(0), a2, b"x".to_vec());
+        }
+        w.run_for(SimDuration::from_millis(100));
+        let s = w.stats();
+        assert_eq!(s.data_delivered, 6);
+        assert!(s.data_dup_delivered > 0, "duplication must be exercised");
+        assert_eq!(
+            w.outstanding_sends(),
+            0,
+            "every duplicated copy must settle the shared record"
+        );
+    }
+
+    // ---- geographic forwarding --------------------------------------------
+
+    #[test]
+    fn geo_routing_delivers_multi_hop_without_agents() {
+        let positions = vec![(0.05, 0.5), (0.30, 0.5), (0.55, 0.5), (0.80, 0.5)];
+        let mut w = World::builder()
+            .topology(Topology::spatial(positions, 0.3))
+            .seed(1)
+            .geo_routing(true)
+            .build();
+        let dst = w.addr(NodeId(3));
+        w.send_datagram(NodeId(0), dst, b"geo".to_vec());
+        w.run_for(SimDuration::from_millis(100));
+        let s = w.stats();
+        assert_eq!(s.data_delivered, 1);
+        assert_eq!(s.data_hops, 3, "greedy forwarding walks the line");
+        assert_eq!(s.control_frames, 0, "no agents, no control traffic");
+    }
+
+    #[test]
+    fn geo_routing_drops_at_dead_end() {
+        // Node 1 is the closest to the destination among node 0's
+        // neighbours, but the destination is out of node 1's range and no
+        // neighbour of node 1 is strictly closer: a greedy local minimum.
+        let positions = vec![(0.05, 0.5), (0.30, 0.5), (0.95, 0.5)];
+        let mut w = World::builder()
+            .topology(Topology::spatial(positions, 0.3))
+            .seed(1)
+            .geo_routing(true)
+            .build();
+        let dst = w.addr(NodeId(2));
+        w.send_datagram(NodeId(0), dst, b"x".to_vec());
+        w.run_for(SimDuration::from_millis(100));
+        let s = w.stats();
+        assert_eq!(s.data_delivered, 0);
+        assert!(s.data_dropped_link >= 1, "dead end counts as a link drop");
+    }
+
+    #[test]
+    fn scheduled_moves_change_geo_reachability() {
+        // The destination starts out of radio range; a scheduled move
+        // brings it adjacent, flipping geo reachability mid-run.
+        let positions = vec![(0.1, 0.5), (0.9, 0.5)];
+        let mut w = World::builder()
+            .topology(Topology::spatial(positions, 0.3))
+            .seed(1)
+            .geo_routing(true)
+            .build();
+        let dst = w.addr(NodeId(1));
+        // Early send: endpoints are 0.8 apart, unreachable.
+        w.send_datagram(NodeId(0), dst, b"early".to_vec());
+        w.run_for(SimDuration::from_millis(5));
+        assert_eq!(w.stats().data_delivered, 0);
+        // Move node 1 adjacent to node 0, then send again.
+        w.schedule_node_move(
+            SimTime::ZERO + SimDuration::from_millis(10),
+            NodeId(1),
+            0.3,
+            0.5,
+        );
+        w.send_datagram_at(
+            SimTime::ZERO + SimDuration::from_millis(20),
+            NodeId(0),
+            dst,
+            b"late".to_vec(),
+        );
+        w.run_for(SimDuration::from_millis(100));
+        assert_eq!(w.stats().data_delivered, 1, "post-move send is deliverable");
+        assert_eq!(w.topology().position(NodeId(1)), Some((0.3, 0.5)));
     }
 }

@@ -1,0 +1,118 @@
+//! A slab arena for event payloads.
+//!
+//! Scheduler slots hold a compact `(time, seq, index)` triple instead of the
+//! payload itself, so moving entries between wheel levels shifts 20-byte
+//! records rather than full event structs. The payload lives here, addressed
+//! by a stable `u32` index, and freed slots are recycled through a free list.
+
+/// Arena-backed storage with O(1) insert/remove and index reuse.
+#[derive(Debug, Clone)]
+pub struct Arena<T> {
+    slots: Vec<Option<T>>,
+    free: Vec<u32>,
+    len: usize,
+}
+
+impl<T> Default for Arena<T> {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl<T> Arena<T> {
+    /// An empty arena.
+    #[must_use]
+    pub fn new() -> Self {
+        Arena {
+            slots: Vec::new(),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// An empty arena with room for `cap` payloads before reallocating.
+    #[must_use]
+    pub fn with_capacity(cap: usize) -> Self {
+        Arena {
+            slots: Vec::with_capacity(cap),
+            free: Vec::new(),
+            len: 0,
+        }
+    }
+
+    /// Stores a payload and returns its index.
+    pub fn insert(&mut self, value: T) -> u32 {
+        self.len += 1;
+        if let Some(idx) = self.free.pop() {
+            debug_assert!(self.slots[idx as usize].is_none());
+            self.slots[idx as usize] = Some(value);
+            idx
+        } else {
+            let idx = u32::try_from(self.slots.len()).expect("arena capacity exceeded u32");
+            self.slots.push(Some(value));
+            idx
+        }
+    }
+
+    /// Removes and returns the payload at `idx`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `idx` is vacant — scheduler indices are handed out exactly
+    /// once, so a vacant hit is a kernel bug, not a recoverable condition.
+    pub fn remove(&mut self, idx: u32) -> T {
+        let value = self.slots[idx as usize]
+            .take()
+            .expect("arena slot already vacated");
+        self.len -= 1;
+        self.free.push(idx);
+        value
+    }
+
+    /// Number of live payloads.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no payloads are stored.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_remove_roundtrip() {
+        let mut arena = Arena::new();
+        let a = arena.insert("a");
+        let b = arena.insert("b");
+        assert_eq!(arena.len(), 2);
+        assert_eq!(arena.remove(a), "a");
+        assert_eq!(arena.remove(b), "b");
+        assert!(arena.is_empty());
+    }
+
+    #[test]
+    fn indices_are_recycled() {
+        let mut arena = Arena::new();
+        let a = arena.insert(1u32);
+        arena.remove(a);
+        let b = arena.insert(2u32);
+        assert_eq!(a, b, "freed slot must be reused before growing");
+        assert_eq!(arena.remove(b), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "already vacated")]
+    fn double_remove_panics() {
+        let mut arena = Arena::new();
+        let a = arena.insert(());
+        arena.remove(a);
+        arena.remove(a);
+    }
+}

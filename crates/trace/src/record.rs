@@ -67,6 +67,9 @@ pub enum TraceKind {
     NodeReboot,
     /// Link state changed (`a` = peer node, `b` = 1 up / 0 down).
     LinkChange,
+    /// Node moved to a new position in a spatial topology (`a`/`b` = x/y
+    /// scaled by 1e6 — fixed-point keeps the record integer-only).
+    NodeMove,
 }
 
 impl TraceKind {
@@ -96,6 +99,7 @@ impl TraceKind {
             TraceKind::NodeCrash => "node_crash",
             TraceKind::NodeReboot => "node_reboot",
             TraceKind::LinkChange => "link_change",
+            TraceKind::NodeMove => "node_move",
         }
     }
 
@@ -125,6 +129,7 @@ impl TraceKind {
             "node_crash" => TraceKind::NodeCrash,
             "node_reboot" => TraceKind::NodeReboot,
             "link_change" => TraceKind::LinkChange,
+            "node_move" => TraceKind::NodeMove,
             _ => return None,
         })
     }
@@ -344,6 +349,7 @@ mod tests {
             TraceKind::NodeCrash,
             TraceKind::NodeReboot,
             TraceKind::LinkChange,
+            TraceKind::NodeMove,
         ] {
             assert_eq!(TraceKind::parse(kind.as_str()), Some(kind));
         }

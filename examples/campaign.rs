@@ -2,9 +2,10 @@
 //! seed grid executed across OS threads, with mergeable statistics and a
 //! machine-readable report.
 //!
-//! The default grid is the 8-cell E13 smoke campaign (5-node line,
-//! MKit-OLSR vs MKit-DYMO, undisturbed vs mid-line crash, 2 seeds) with
-//! the determinism check on; `--full` expands to the full E13 grid
+//! The default grid is the 12-cell E13 smoke campaign (5-node line, the
+//! three MANETKit stacks — OLSR, DYMO, AODV — undisturbed vs mid-line
+//! crash, 2 seeds) with the determinism check on; `--full` expands to
+//! the full E13 grid
 //! (2 topologies × all 5 protocol stacks × 2 faults × 3 seeds = 60 cells).
 //!
 //! ```text
@@ -50,7 +51,7 @@ fn crash_fault() -> FaultSpec {
 fn smoke_spec() -> CampaignSpec {
     CampaignSpec::new("e13-smoke")
         .scenario("line5", line5_scenario())
-        .protocols([Protocol::MkitOlsr, Protocol::MkitDymo])
+        .protocols(Protocol::MANETKIT)
         .fault(FaultSpec::None)
         .fault(crash_fault())
         .seeds([1, 2])

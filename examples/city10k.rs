@@ -1,0 +1,153 @@
+//! E16 — city10k: a 10,000-node random-waypoint city sweep through the
+//! campaign engine, built on the simkern timing wheel and the grid-bucket
+//! spatial index.
+//!
+//! Every node lives on the unit square with a 0.025 radio radius (about
+//! 20 neighbours each); 1,200 concurrent CBR flows between seeded random
+//! pairs ride greedy geographic forwarding — no per-node agents, so the
+//! run measures the kernel, the spatial data plane and mobility, not
+//! protocol convergence. The determinism check re-runs every cell and
+//! byte-compares the reports.
+//!
+//! ```text
+//! cargo run --release --example city10k -- [--smoke] [--threads N]
+//!     [--no-check-determinism] [--out BENCH_city10k.json]
+//! ```
+//!
+//! `--smoke` scales the same shape down (500 nodes, 60 flows) for CI.
+
+use manetkit_repro::campaign::{self, CampaignSpec, Protocol, RunConfig, ScenarioSpec};
+use manetkit_repro::netsim::mobility::RandomWaypoint;
+use manetkit_repro::netsim::SimDuration;
+
+struct Scale {
+    name: &'static str,
+    nodes: usize,
+    radius: f64,
+    flows: usize,
+    min_delivery: f64,
+}
+
+const CITY: Scale = Scale {
+    name: "e16-city10k",
+    nodes: 10_000,
+    radius: 0.025,
+    flows: 1_200,
+    min_delivery: 0.3,
+};
+
+/// Same shape, CI-sized. The radius is scaled so the expected neighbour
+/// count (~n·π·r²) stays close to the full run's.
+const SMOKE: Scale = Scale {
+    name: "e16-city10k-smoke",
+    nodes: 500,
+    radius: 0.11,
+    flows: 60,
+    min_delivery: 0.3,
+};
+
+fn city_spec(scale: &Scale) -> CampaignSpec {
+    let scenario = ScenarioSpec::builder()
+        .mobility(RandomWaypoint {
+            nodes: scale.nodes,
+            radius: scale.radius,
+            speed: 0.005,
+            step: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(12),
+            seed: 42,
+        })
+        .random_flows(scale.flows, SimDuration::from_millis(500), 32, 7)
+        .warmup(SimDuration::from_secs(2))
+        .duration(SimDuration::from_secs(10))
+        .build();
+    CampaignSpec::new(scale.name)
+        .scenario("random-waypoint", scenario)
+        .protocols([Protocol::Geo])
+        .seeds([1])
+}
+
+fn main() {
+    let mut threads = campaign::available_threads();
+    let mut check_determinism = true;
+    let mut smoke = false;
+    let mut out = String::from("BENCH_city10k.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            "--smoke" => smoke = true,
+            "--no-check-determinism" => check_determinism = false,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (see the module docs)"),
+        }
+    }
+
+    let scale = if smoke { &SMOKE } else { &CITY };
+    let spec = city_spec(scale);
+    println!(
+        "{}: {} nodes, radius {}, {} flows, determinism check {}",
+        scale.name,
+        scale.nodes,
+        scale.radius,
+        scale.flows,
+        if check_determinism { "on" } else { "off" },
+    );
+
+    let report = campaign::engine::run(
+        &spec,
+        &RunConfig {
+            threads,
+            check_determinism,
+        },
+    );
+
+    let s = &report.merged;
+    println!(
+        "delivery {:5.1}% of {} datagrams | {} hops | mean latency {:.2} ms | p95 {:.2} ms",
+        100.0 * s.delivery_ratio(),
+        s.data_sent,
+        s.data_hops,
+        s.mean_delivery_latency().as_micros() as f64 / 1000.0,
+        s.p95_delivery_latency().as_micros() as f64 / 1000.0,
+    );
+    println!(
+        "drops: link/dead-end {} | ttl {} | wall {:.1} ms",
+        s.data_dropped_link,
+        s.data_dropped_ttl,
+        report.wall_micros as f64 / 1000.0,
+    );
+
+    if let Some(check) = &report.determinism {
+        assert!(
+            check.passed(),
+            "determinism check FAILED for cells: {:?}",
+            check.mismatched
+        );
+        println!("determinism check: the city re-ran byte-identical");
+    }
+
+    // 10 s at 2 pkt/s per flow; phase staggering trims the last send for
+    // flows whose offset pushes it past the measured span.
+    let flows = scale.flows as u64;
+    assert!(
+        s.data_sent >= flows * 19 && s.data_sent <= flows * 20,
+        "every flow must inject its schedule (sent {})",
+        s.data_sent
+    );
+    assert!(
+        s.delivery_ratio() >= scale.min_delivery,
+        "geo forwarding delivered only {:.1}% (< {:.0}% floor)",
+        100.0 * s.delivery_ratio(),
+        100.0 * scale.min_delivery,
+    );
+    assert_eq!(s.control_frames, 0, "agentless run must send no control");
+
+    std::fs::write(&out, report.to_json()).expect("write report");
+    println!("report written to {out}");
+}
