@@ -1,0 +1,43 @@
+//! Campaign cells run their protocol stacks without ever opening a
+//! reconfiguration transaction, so the fleet-wide
+//! `prepared == committed + rolled_back` ledger — the same law `mcheck`
+//! audits state-by-state and the engine's own fault tests assert after a
+//! run — must hold *identically at zero* on every cell. A nonzero
+//! counter here means a campaign workload started mutating compositions
+//! behind the experiment's back.
+
+use campaign::{engine, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec};
+use netsim::{NodeId, SimDuration};
+
+#[test]
+fn every_campaign_cell_conserves_the_txn_ledger() {
+    let scenario = ScenarioSpec::builder()
+        .topology(TopologySpec::Line(4))
+        .cbr(NodeId(0), NodeId(3), SimDuration::from_millis(500))
+        .warmup(SimDuration::from_secs(5))
+        .duration(SimDuration::from_secs(10))
+        .build();
+    let spec = CampaignSpec::new("txn-conservation")
+        .scenario("line4", scenario)
+        .protocols(Protocol::MANETKIT)
+        .fault(FaultSpec::None)
+        .seeds([3]);
+    let report = engine::run(
+        &spec,
+        &RunConfig {
+            threads: 2,
+            check_determinism: false,
+        },
+    );
+    assert!(!report.cells.is_empty());
+    for cell in &report.cells {
+        manetkit::check_fleet_conservation(&cell.stats, 0)
+            .unwrap_or_else(|v| panic!("{}: {v}", cell.label()));
+        assert_eq!(
+            cell.stats.agent_counter("txn.prepared"),
+            0,
+            "{}: a campaign cell opened a transaction",
+            cell.label()
+        );
+    }
+}

@@ -80,7 +80,10 @@ pub use registry::EventTuple;
 pub use smallvec::SmallVec;
 pub use system::{SystemCf, SystemConfig};
 pub use telemetry::{BusTelemetry, UnitCounters};
-pub use txn::{CompositionFingerprint, ProtocolFingerprint, TxnAborted};
+pub use txn::invariants::{
+    assert_fleet_conservation, check_fleet_conservation, ConservationViolation, TxnCounters,
+};
+pub use txn::{structural_hash, CompositionFingerprint, ProtocolFingerprint, TxnAborted};
 
 /// Convenient glob-import surface.
 pub mod prelude {

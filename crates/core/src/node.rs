@@ -215,6 +215,11 @@ pub struct NodeStatus {
     pub txn: Option<TxnReport>,
     /// Deployment counters.
     pub stats: DeploymentStats,
+    /// [`structural_hash`](crate::txn::structural_hash) of the live
+    /// composition, published only when
+    /// [`ManetNode::set_publish_composition`] is on (the hash walk is not
+    /// free, and only the model checker compares compositions per step).
+    pub composition_hash: Option<u64>,
 }
 
 impl Default for NodeStatus {
@@ -226,6 +231,7 @@ impl Default for NodeStatus {
             alive: true,
             txn: None,
             stats: DeploymentStats::default(),
+            composition_hash: None,
         }
     }
 }
@@ -1121,6 +1127,16 @@ pub struct ManetNode {
     /// first post-reboot quiescent point rolls it back before anything
     /// else, so a reboot can never resurrect a half-committed composition.
     txn_doomed: bool,
+    /// Publish [`structural_hash`](crate::txn::structural_hash) into
+    /// [`NodeStatus::composition_hash`] on every status refresh. Off by
+    /// default: only the model checker needs a per-step composition digest.
+    publish_composition: bool,
+    /// **Fault-injection hook for the model checker** — when set, the
+    /// doomed-transaction path after a crash reports the transaction rolled
+    /// back but skips the actual unwind, deliberately breaking both the
+    /// counter-conservation and rollback-exactness invariants. Exists so
+    /// `mcheck` can prove it would catch the bug; never set in production.
+    skip_doomed_rollback: bool,
 }
 
 impl ManetNode {
@@ -1135,7 +1151,21 @@ impl ManetNode {
             prepared: None,
             committed: None,
             txn_doomed: false,
+            publish_composition: false,
+            skip_doomed_rollback: false,
         }
+    }
+
+    /// Publish the composition's structural hash with every status refresh
+    /// (see [`NodeStatus::composition_hash`]).
+    pub fn set_publish_composition(&mut self, on: bool) {
+        self.publish_composition = on;
+    }
+
+    /// Arms the seeded doomed-rollback mutation (see the field doc on
+    /// `skip_doomed_rollback`). Test/model-checker use only.
+    pub fn set_skip_doomed_rollback(&mut self, on: bool) {
+        self.skip_doomed_rollback = on;
     }
 
     /// The deployment (pre-installation configuration).
@@ -1177,13 +1207,26 @@ impl ManetNode {
                 let id = txn.id;
                 os.trace_txn_abort(id, "crashed");
                 os.bump("txn.aborted");
-                let clean = crate::txn::rollback(&mut self.deployment, txn, os);
-                let detail = if clean {
-                    "crashed while prepared".to_string()
+                if self.skip_doomed_rollback {
+                    // Seeded mutation: claim the rollback happened without
+                    // unwinding (and without bumping `txn.rolled_back`).
+                    // The half-applied prepare survives the reboot — the
+                    // exact bug the invariants exist to catch.
+                    drop(txn);
+                    self.set_txn_report(
+                        id,
+                        TxnPhase::RolledBack,
+                        "crashed while prepared".to_string(),
+                    );
                 } else {
-                    "crashed while prepared; rollback mismatch".to_string()
-                };
-                self.set_txn_report(id, TxnPhase::RolledBack, detail);
+                    let clean = crate::txn::rollback(&mut self.deployment, txn, os);
+                    let detail = if clean {
+                        "crashed while prepared".to_string()
+                    } else {
+                        "crashed while prepared; rollback mismatch".to_string()
+                    };
+                    self.set_txn_report(id, TxnPhase::RolledBack, detail);
+                }
             }
         }
         let ctls: Vec<TxnCtl> = std::mem::take(&mut *self.txns.lock());
@@ -1322,11 +1365,15 @@ impl ManetNode {
     }
 
     fn publish_status(&self) {
+        let hash = self
+            .publish_composition
+            .then(|| crate::txn::structural_hash(&self.deployment));
         let mut status = self.status.lock();
         status.protocols = self.deployment.protocol_names();
         status.stats = self.deployment.stats();
         status.reconfigs_applied = status.stats.reconfigs_applied;
         status.alive = true;
+        status.composition_hash = hash;
     }
 }
 

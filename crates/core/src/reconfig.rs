@@ -202,6 +202,17 @@ pub struct FleetTxnReport {
     /// own doomed-transaction rollback squares them with the fleet when
     /// they reboot).
     pub unresolved: Vec<NodeId>,
+    /// Participants that had not reached `Prepared` when the prepare
+    /// deadline passed (empty unless the transaction aborted on the
+    /// deadline). Names the laggards so an operator — or a model-checker
+    /// counterexample — can see *which* nodes stalled, not just how many.
+    pub unprepared: Vec<NodeId>,
+}
+
+/// Renders `[3, 7]`-style id lists for report reasons and `Display`.
+fn id_list(ids: &[NodeId]) -> String {
+    let inner: Vec<String> = ids.iter().map(|n| n.0.to_string()).collect();
+    format!("[{}]", inner.join(", "))
 }
 
 impl fmt::Display for FleetTxnReport {
@@ -212,10 +223,13 @@ impl fmt::Display for FleetTxnReport {
         }
         write!(f, ": {} participants", self.participants.len())?;
         if !self.skipped.is_empty() {
-            write!(f, ", {} skipped", self.skipped.len())?;
+            write!(f, ", skipped {}", id_list(&self.skipped))?;
         }
         if !self.unresolved.is_empty() {
-            write!(f, ", {} unresolved", self.unresolved.len())?;
+            write!(f, ", unresolved {}", id_list(&self.unresolved))?;
+        }
+        if !self.unprepared.is_empty() {
+            write!(f, ", unprepared {}", id_list(&self.unprepared))?;
         }
         Ok(())
     }
@@ -440,11 +454,12 @@ impl FleetCoordinator {
             pre_ratio: None,
             window_ratio: None,
             unresolved: Vec::new(),
+            unprepared: Vec::new(),
         };
         if !opts.skip_dead && !report.skipped.is_empty() {
             report.reason = Some(format!(
-                "{} node(s) down and skip_dead is off",
-                report.skipped.len()
+                "node(s) {} down and skip_dead is off",
+                id_list(&report.skipped)
             ));
             return report;
         }
@@ -503,16 +518,21 @@ impl FleetCoordinator {
                 break;
             }
             if world.now() > deadline {
-                abort_reason = Some(format!(
-                    "prepare deadline passed with {} node(s) unprepared",
-                    participants
-                        .iter()
-                        .filter(|&&i| !matches!(
+                let laggards: Vec<NodeId> = participants
+                    .iter()
+                    .filter(|&&i| {
+                        !matches!(
                             self.handles[i].status().txn,
                             Some(ref r) if r.id == txn && r.phase == TxnPhase::Prepared
-                        ))
-                        .count()
+                        )
+                    })
+                    .map(|&i| self.ids[i])
+                    .collect();
+                abort_reason = Some(format!(
+                    "prepare deadline passed with node(s) {} unprepared",
+                    id_list(&laggards)
                 ));
+                report.unprepared = laggards;
                 break;
             }
         }

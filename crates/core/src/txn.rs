@@ -147,6 +147,55 @@ pub fn fingerprint(dep: &Deployment) -> CompositionFingerprint {
     }
 }
 
+/// A 64-bit digest of the deployment's *structure*: the component
+/// meta-model, protocol names/tuples/plug-ins/reactivity and the System CF
+/// configuration — deliberately **excluding** exported protocol state
+/// bytes. Routing soft state (neighbour tables, sequence numbers) churns
+/// with every received frame, so a state-inclusive hash would never be
+/// stable across two observations of the same composition; the structural
+/// hash only moves when a reconfiguration op changes what is composed.
+///
+/// This is the observable the `mcheck` invariants compare: rollback
+/// exactness in the structural sense is `hash == pre-transaction hash`,
+/// while full-fidelity (state-inclusive) exactness is verified at unwind
+/// time by the engine itself and surfaced as `txn.rollback_mismatch`.
+///
+/// The hash is deterministic across processes (`DefaultHasher` with its
+/// fixed keys over a canonical rendering), so it can sit in persisted
+/// model-checker fingerprints.
+#[must_use]
+pub fn structural_hash(dep: &Deployment) -> u64 {
+    use std::hash::{Hash, Hasher};
+    let mut h = std::collections::hash_map::DefaultHasher::new();
+    let arch = dep.meta().architecture();
+    let mut components: Vec<(String, Vec<String>, Vec<String>)> = arch
+        .components
+        .iter()
+        .map(|c| {
+            let mut provided: Vec<String> =
+                c.provided.iter().map(|i| i.as_str().to_string()).collect();
+            provided.sort();
+            let mut required: Vec<String> =
+                c.required.iter().map(|r| r.as_str().to_string()).collect();
+            required.sort();
+            (c.name.clone(), provided, required)
+        })
+        .collect();
+    components.sort();
+    components.hash(&mut h);
+    for name in dep.protocol_names() {
+        let Some(cf) = dep.protocol(&name) else {
+            continue;
+        };
+        cf.name().hash(&mut h);
+        format!("{:?}", cf.tuple()).hash(&mut h);
+        cf.plugin_names().hash(&mut h);
+        cf.is_reactive().hash(&mut h);
+    }
+    format!("{:?}", dep.system().config()).hash(&mut h);
+    h.finish()
+}
+
 /// One reversible step of an applied transaction. Undo is *physical*:
 /// removed CFs ride along in the log and are reinserted on rollback, which
 /// is the only way to restore type-erased protocol state exactly.
@@ -514,4 +563,154 @@ fn unwind(
         os.bump("txn.rollback_mismatch");
     }
     clean
+}
+
+pub mod invariants {
+    //! Reusable transaction-counter invariants.
+    //!
+    //! The conservation law `prepared == committed + rolled_back` (+1 while
+    //! a transaction is open) was previously asserted ad hoc inside the
+    //! rollback property tests and the health-gate e2e; this module is the
+    //! single home both those tests and the `mcheck` bounded model checker
+    //! consume, so the law is stated — and violated — in exactly one place.
+    //!
+    //! Counter semantics (see the engine functions in [`super`]):
+    //! `txn.prepared` counts successful [`prepare`](super::prepare)s;
+    //! `txn.committed` counts [`commit`](super::commit)s; `txn.rolled_back`
+    //! counts [`rollback`](super::rollback)s of *prepared* transactions
+    //! (aborts during prepare unwind without bumping it, and
+    //! [`revert`](super::revert)s of committed transactions bump
+    //! `txn.reverted` instead — a reverted transaction was still
+    //! committed, so it stays on the committed side of the ledger).
+
+    use std::fmt;
+
+    /// The `txn.*` counters the conservation law ranges over.
+    #[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+    pub struct TxnCounters {
+        /// `txn.prepared`.
+        pub prepared: u64,
+        /// `txn.committed`.
+        pub committed: u64,
+        /// `txn.rolled_back`.
+        pub rolled_back: u64,
+    }
+
+    /// The conservation law failed: the ledger of prepared transactions
+    /// does not balance against their resolutions.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub struct ConservationViolation {
+        /// The counters that failed to balance.
+        pub counters: TxnCounters,
+        /// How many transactions were legitimately open (prepared,
+        /// awaiting commit or abort) at observation time.
+        pub open: u64,
+    }
+
+    impl fmt::Display for ConservationViolation {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            write!(
+                f,
+                "txn counter conservation violated: prepared {} != committed {} + rolled_back {} + open {}",
+                self.counters.prepared,
+                self.counters.committed,
+                self.counters.rolled_back,
+                self.open
+            )
+        }
+    }
+
+    impl std::error::Error for ConservationViolation {}
+
+    impl TxnCounters {
+        /// Reads the three counters through a lookup function — pass a
+        /// closure over `NodeOs::counter` for one node, or over
+        /// `WorldStats::agent_counter` for a whole fleet (the counters are
+        /// additive, so the law holds fleet-wide iff every open
+        /// transaction is included in `open`).
+        pub fn from_lookup(mut counter: impl FnMut(&str) -> u64) -> Self {
+            TxnCounters {
+                prepared: counter("txn.prepared"),
+                committed: counter("txn.committed"),
+                rolled_back: counter("txn.rolled_back"),
+            }
+        }
+
+        /// Checks `prepared == committed + rolled_back + open`, where
+        /// `open` is the number of transactions currently prepared and
+        /// awaiting their verdict.
+        ///
+        /// # Errors
+        ///
+        /// Returns the unbalanced ledger when the law does not hold.
+        pub fn conservation(self, open: u64) -> Result<(), ConservationViolation> {
+            if self.prepared == self.committed + self.rolled_back + open {
+                Ok(())
+            } else {
+                Err(ConservationViolation {
+                    counters: self,
+                    open,
+                })
+            }
+        }
+    }
+
+    /// Fleet-level convenience over [`TxnCounters::conservation`]: checks
+    /// the law against a world's merged agent counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns the unbalanced ledger when the law does not hold.
+    pub fn check_fleet_conservation(
+        stats: &netsim::WorldStats,
+        open: u64,
+    ) -> Result<(), ConservationViolation> {
+        TxnCounters::from_lookup(|name| stats.agent_counter(name)).conservation(open)
+    }
+
+    /// Panicking wrapper for tests: asserts the fleet-wide law.
+    ///
+    /// # Panics
+    ///
+    /// Panics with the unbalanced ledger when the law does not hold.
+    pub fn assert_fleet_conservation(stats: &netsim::WorldStats, open: u64) {
+        if let Err(v) = check_fleet_conservation(stats, open) {
+            panic!("{v}");
+        }
+    }
+
+    #[cfg(test)]
+    mod tests {
+        use super::*;
+
+        #[test]
+        fn balanced_ledgers_pass() {
+            let c = TxnCounters {
+                prepared: 5,
+                committed: 3,
+                rolled_back: 2,
+            };
+            assert!(c.conservation(0).is_ok());
+            let open = TxnCounters {
+                prepared: 6,
+                committed: 3,
+                rolled_back: 2,
+            };
+            assert!(open.conservation(1).is_ok());
+        }
+
+        #[test]
+        fn unbalanced_ledgers_report_the_numbers() {
+            let c = TxnCounters {
+                prepared: 4,
+                committed: 3,
+                rolled_back: 0,
+            };
+            let v = c.conservation(0).expect_err("4 != 3");
+            assert_eq!(v.counters, c);
+            let msg = v.to_string();
+            assert!(msg.contains("prepared 4"), "{msg}");
+            assert!(msg.contains("rolled_back 0"), "{msg}");
+        }
+    }
 }

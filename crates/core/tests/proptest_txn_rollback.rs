@@ -282,4 +282,7 @@ fn crash_between_prepare_and_commit_rolls_back_on_reboot() {
     let stats = world.stats();
     assert_eq!(stats.agent_counter("txn.rolled_back"), 1);
     assert_eq!(stats.agent_counter("txn.committed"), 0);
+    // The ledger the model checker audits at every state holds at the
+    // end of the fault run too: no transaction is open any more.
+    manetkit::assert_fleet_conservation(&stats, 0);
 }

@@ -1,0 +1,348 @@
+//! The bounded state-graph explorer.
+//!
+//! The checker is **replay-based** (stateless-model-checking style): a
+//! controlled [`World`](netsim::World) cannot be cloned, so an explored
+//! state is represented by the schedule prefix that leads to it, and
+//! visiting a state means replaying its prefix through a fresh model built
+//! by the factory. Determinism of the controlled world makes replay exact:
+//! same prefix, same state, same pending-event ids.
+//!
+//! The frontier holds schedule prefixes; popping one replays it, hashes
+//! the resulting state into the dedup set, runs every [`Invariant`], and —
+//! unless the state is terminal, at the depth bound, or pruned — pushes
+//! one extended prefix per enabled [`Choice`]. A [`Vec`]-backed pop from
+//! the tail gives DFS, a pop from the head gives BFS; BFS is the default
+//! because with hash dedup it visits every state at its *shallowest*
+//! depth, so no state is ever dropped for depth reasons that a shorter
+//! path could have reached.
+
+use std::collections::{HashSet, VecDeque};
+
+use crate::invariant::{Invariant, Observation};
+use crate::schedule::{Choice, Schedule};
+
+/// A system the explorer can drive: deterministic, rebuildable from
+/// nothing, with enumerable choice points.
+pub trait Model {
+    /// Scenario name, recorded in schedules.
+    fn name(&self) -> &str;
+
+    /// The choices enabled at the current state, in a canonical order
+    /// (the order is part of the exploration determinism).
+    fn enabled(&self) -> Vec<Choice>;
+
+    /// Applies one choice. Returns `false` if the choice is not enabled
+    /// (only reachable by replaying a foreign or stale schedule).
+    fn apply(&mut self, choice: Choice) -> bool;
+
+    /// A collision-resistant digest of the current state under the
+    /// checker's abstraction, used for dedup. Must not incorporate
+    /// absolute virtual time (states differing only by elapsed idle time
+    /// must collide).
+    fn fingerprint(&self) -> u64;
+
+    /// The transaction-level observation invariants are checked against.
+    fn observe(&self) -> Observation;
+
+    /// A trace-crate timeline of everything that happened so far
+    /// (`None` when the model was built without the flight recorder).
+    fn timeline(&self) -> Option<String> {
+        None
+    }
+}
+
+/// Frontier discipline.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum Strategy {
+    /// Depth-first: low memory, finds deep violations fast.
+    Dfs,
+    /// Breadth-first: shortest counterexamples, depth-optimal dedup.
+    #[default]
+    Bfs,
+}
+
+/// One invariant violation, with the schedule that reproduces it.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    /// Name of the violated invariant.
+    pub invariant: &'static str,
+    /// Human-readable description.
+    pub detail: String,
+    /// Depth (schedule length) at which it was found.
+    pub depth: usize,
+    /// The replayable schedule reaching the violating state.
+    pub schedule: Schedule,
+}
+
+/// Exploration statistics and outcome.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreReport {
+    /// States visited (schedule prefixes replayed).
+    pub states_explored: u64,
+    /// States that survived dedup and were invariant-checked.
+    pub states_unique: u64,
+    /// States whose fingerprint had already been seen.
+    pub dedup_hits: u64,
+    /// Unique states that were terminal (transaction fully resolved).
+    pub terminal_states: u64,
+    /// Unique states cut off by the depth bound.
+    pub bound_hits: u64,
+    /// Unique states cut off by the pruning hook.
+    pub pruned: u64,
+    /// Deepest unique state reached.
+    pub max_depth: usize,
+    /// Whether the state cap stopped exploration before the frontier
+    /// drained.
+    pub truncated: bool,
+    /// Violations found (at most one unless `keep_going` was set).
+    pub violations: Vec<Violation>,
+}
+
+impl ExploreReport {
+    /// Whether every explored path ended in a terminal state — i.e. the
+    /// bounded exploration was actually exhaustive for this scenario and
+    /// the transaction resolved on every interleaving (the liveness-ish
+    /// complement to the safety invariants).
+    #[must_use]
+    pub fn exhausted(&self) -> bool {
+        !self.truncated && self.bound_hits == 0 && self.pruned == 0
+    }
+}
+
+/// A counterexample in its two exported forms.
+#[derive(Debug, Clone)]
+pub struct Counterexample {
+    /// Byte-stable schedule file replaying the violating interleaving
+    /// through the normal `World` (see [`Schedule::to_jsonl`]).
+    pub schedule_jsonl: String,
+    /// Byte-stable trace-crate timeline of the violating run (empty when
+    /// the model has no flight recorder).
+    pub timeline_jsonl: String,
+}
+
+/// A pruning hook: observation + schedule prefix → skip this subtree?
+type PruneHook = Box<dyn Fn(&Observation, &[Choice]) -> bool>;
+
+/// The bounded model checker.
+pub struct Explorer<M: Model> {
+    factory: Box<dyn Fn() -> M>,
+    invariants: Vec<Box<dyn Invariant>>,
+    strategy: Strategy,
+    depth_bound: usize,
+    max_states: u64,
+    stop_at_first: bool,
+    prune: Option<PruneHook>,
+}
+
+impl<M: Model> Explorer<M> {
+    /// An explorer over fresh models built by `factory`: BFS, depth bound
+    /// 20, no state cap, stop at the first violation, no pruning, no
+    /// invariants (add them with [`Explorer::invariant`]).
+    pub fn new(factory: impl Fn() -> M + 'static) -> Self {
+        Explorer {
+            factory: Box::new(factory),
+            invariants: Vec::new(),
+            strategy: Strategy::default(),
+            depth_bound: 20,
+            max_states: u64::MAX,
+            stop_at_first: true,
+            prune: None,
+        }
+    }
+
+    /// Adds an invariant to check at every unique state.
+    #[must_use]
+    pub fn invariant(mut self, inv: impl Invariant + 'static) -> Self {
+        self.invariants.push(Box::new(inv));
+        self
+    }
+
+    /// Adds a whole invariant suite (e.g.
+    /// [`default_suite`](crate::invariant::default_suite)).
+    #[must_use]
+    pub fn invariants(mut self, invs: Vec<Box<dyn Invariant>>) -> Self {
+        self.invariants.extend(invs);
+        self
+    }
+
+    /// Sets the frontier discipline.
+    #[must_use]
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = strategy;
+        self
+    }
+
+    /// Sets the schedule-length bound.
+    #[must_use]
+    pub fn depth_bound(mut self, depth: usize) -> Self {
+        self.depth_bound = depth;
+        self
+    }
+
+    /// Caps the number of states visited (smoke-test budget).
+    #[must_use]
+    pub fn max_states(mut self, max: u64) -> Self {
+        self.max_states = max;
+        self
+    }
+
+    /// Collect every violation instead of stopping at the first.
+    #[must_use]
+    pub fn keep_going(mut self) -> Self {
+        self.stop_at_first = false;
+        self
+    }
+
+    /// Installs a pruning hook: called at every unique non-terminal state
+    /// with its observation and schedule prefix; returning `true` skips
+    /// expanding the state's successors (the state itself is still
+    /// counted and invariant-checked).
+    #[must_use]
+    pub fn prune(mut self, hook: impl Fn(&Observation, &[Choice]) -> bool + 'static) -> Self {
+        self.prune = Some(Box::new(hook));
+        self
+    }
+
+    /// Rebuilds the state a schedule leads to by replaying it through a
+    /// fresh model.
+    ///
+    /// # Errors
+    ///
+    /// Returns the offending step index when a choice is not enabled —
+    /// the schedule belongs to a different scenario or code version.
+    pub fn replay(&self, schedule: &Schedule) -> Result<M, String> {
+        let mut model = (self.factory)();
+        if schedule.scenario != model.name() {
+            return Err(format!(
+                "schedule is for scenario {:?}, model is {:?}",
+                schedule.scenario,
+                model.name()
+            ));
+        }
+        for (i, &c) in schedule.choices.iter().enumerate() {
+            if !model.apply(c) {
+                return Err(format!("step {i}: choice {c} not applicable"));
+            }
+        }
+        Ok(model)
+    }
+
+    /// Replays a violating schedule and packages both counterexample
+    /// artifacts. Build the explorer with a *traced* factory to get a
+    /// non-empty timeline.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`Explorer::replay`] errors.
+    pub fn counterexample(&self, schedule: &Schedule) -> Result<Counterexample, String> {
+        let model = self.replay(schedule)?;
+        Ok(Counterexample {
+            schedule_jsonl: schedule.to_jsonl(),
+            timeline_jsonl: model.timeline().unwrap_or_default(),
+        })
+    }
+
+    /// Explores the bounded state graph, checking every invariant at every
+    /// unique state.
+    #[must_use]
+    pub fn run(&self) -> ExploreReport {
+        let mut report = ExploreReport::default();
+        self.walk(|_, _| false, &mut report);
+        report
+    }
+
+    /// Directed search: explores until `goal` returns `true` for some
+    /// unique state, returning the schedule that reaches it. Use BFS for
+    /// a shortest such schedule. Invariants are still checked along the
+    /// way (their violations land in the discarded report; use
+    /// [`Explorer::run`] to audit them).
+    #[must_use]
+    pub fn find(&self, goal: impl Fn(&Observation) -> bool) -> Option<Schedule> {
+        let mut report = ExploreReport::default();
+        self.walk(|obs, _| goal(obs), &mut report)
+            .map(|(name, choices)| Schedule {
+                scenario: name,
+                choices,
+            })
+    }
+
+    /// The shared exploration loop. `stop` is consulted at every unique
+    /// state; returning `true` ends the walk with that state's prefix.
+    fn walk(
+        &self,
+        stop: impl Fn(&Observation, &[Choice]) -> bool,
+        report: &mut ExploreReport,
+    ) -> Option<(String, Vec<Choice>)> {
+        let mut frontier: VecDeque<Vec<Choice>> = VecDeque::new();
+        frontier.push_back(Vec::new());
+        let mut seen: HashSet<u64> = HashSet::new();
+        while let Some(prefix) = match self.strategy {
+            Strategy::Dfs => frontier.pop_back(),
+            Strategy::Bfs => frontier.pop_front(),
+        } {
+            if report.states_explored >= self.max_states {
+                report.truncated = true;
+                break;
+            }
+            report.states_explored += 1;
+            let mut model = (self.factory)();
+            let mut replay_ok = true;
+            for &c in &prefix {
+                if !model.apply(c) {
+                    // Enabled sets are computed one step before the replay,
+                    // so this indicates a nondeterministic model — surface
+                    // it loudly rather than exploring garbage.
+                    replay_ok = false;
+                    break;
+                }
+            }
+            assert!(replay_ok, "replay diverged: model is not deterministic");
+            if !seen.insert(model.fingerprint()) {
+                report.dedup_hits += 1;
+                continue;
+            }
+            report.states_unique += 1;
+            report.max_depth = report.max_depth.max(prefix.len());
+            let obs = model.observe();
+            for inv in &self.invariants {
+                if let Err(detail) = inv.check(&obs) {
+                    report.violations.push(Violation {
+                        invariant: inv.name(),
+                        detail,
+                        depth: prefix.len(),
+                        schedule: Schedule {
+                            scenario: model.name().to_string(),
+                            choices: prefix.clone(),
+                        },
+                    });
+                    if self.stop_at_first {
+                        return None;
+                    }
+                }
+            }
+            if stop(&obs, &prefix) {
+                return Some((model.name().to_string(), prefix));
+            }
+            if obs.terminal {
+                report.terminal_states += 1;
+                continue;
+            }
+            if prefix.len() >= self.depth_bound {
+                report.bound_hits += 1;
+                continue;
+            }
+            if let Some(hook) = &self.prune {
+                if hook(&obs, &prefix) {
+                    report.pruned += 1;
+                    continue;
+                }
+            }
+            for c in model.enabled() {
+                let mut child = prefix.clone();
+                child.push(c);
+                frontier.push_back(child);
+            }
+        }
+        None
+    }
+}

@@ -1,0 +1,58 @@
+//! `mcheck` — a bounded model checker for transactional reconfiguration.
+//!
+//! The transactional machinery (prepare/commit/rollback, doomed-transaction
+//! recovery, fleet 2PC) is exercised elsewhere by property tests and chaos
+//! campaigns, but both sample the interleaving space. This crate walks it
+//! **exhaustively** up to a bound: the deterministic `netsim` world is put
+//! in controlled-delivery mode, where nothing is scheduled behind the
+//! checker's back, and every nondeterministic decision — which pending
+//! message to deliver next, whether to drop it instead, when a node
+//! crashes or reboots, which timer fires — becomes an explicit
+//! [`Choice`]. The [`Explorer`] then drives a fleet-wide 2PC protocol
+//! switch through every schedulable interleaving within the crash/drop
+//! budgets, checking a reusable [`Invariant`] suite at every state:
+//! rollback exactness, no split-brain composition, and the
+//! `prepared == committed + rolled_back` ledger shared with the engine's
+//! own tests via `manetkit::txn::invariants`.
+//!
+//! Because the world is deterministic and cannot be cloned, the checker is
+//! replay-based: a state *is* the schedule prefix that reaches it, and
+//! visiting it means replaying the prefix through a fresh
+//! [`TwoPhaseSwitch`] (CHESS-style stateless search with fingerprint
+//! dedup). On a violation the schedule ships as the counterexample — a
+//! byte-stable JSONL file that re-executes the exact interleaving through
+//! the normal `World`, plus a trace-crate timeline of the violating run
+//! when the flight recorder is on.
+//!
+//! ```
+//! use mcheck::{default_suite, Explorer, ScenarioConfig, TwoPhaseSwitch};
+//!
+//! let cfg = ScenarioConfig {
+//!     max_crashes: 1,
+//!     max_drops: 1,
+//!     ..ScenarioConfig::default()
+//! };
+//! let report = Explorer::new(move || TwoPhaseSwitch::new(cfg.clone()))
+//!     .invariants(default_suite())
+//!     .depth_bound(8)
+//!     .max_states(2_000)
+//!     .run();
+//! assert!(report.violations.is_empty());
+//! assert!(report.states_unique > 100);
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+mod explorer;
+mod invariant;
+mod scenario;
+mod schedule;
+
+pub use explorer::{Counterexample, ExploreReport, Explorer, Model, Strategy, Violation};
+pub use invariant::{
+    default_suite, CoordPhase, CounterConservation, Invariant, NoSplitBrain, NodeObs, Observation,
+    RollbackExactness, StuckResolution,
+};
+pub use scenario::{olsr_to_dymo, ScenarioConfig, TwoPhaseSwitch};
+pub use schedule::{Choice, Schedule};

@@ -1,0 +1,69 @@
+//! Golden-file pin of the counterexample export format.
+//!
+//! The mutation hunt (doomed-transaction rollback disabled via
+//! `ScenarioConfig::skip_doomed_rollback`) is fully deterministic: BFS
+//! order, first violation, traced replay. Its two artifacts — the
+//! replayable schedule file and the trace-crate timeline — must stay
+//! byte-identical to the checked-in goldens, so any accidental format
+//! drift (key order, whitespace, record selection) fails loudly instead
+//! of silently breaking downstream consumers of exported
+//! counterexamples.
+//!
+//! To regenerate after an *intentional* format change:
+//! `cargo run --release --example mcheck_2pc -- --smoke` and copy
+//! `BENCH_mcheck_counterexample.jsonl` / `BENCH_mcheck_timeline.jsonl`
+//! over the files in `tests/golden/`.
+
+use mcheck::{default_suite, Explorer, ScenarioConfig, Strategy, TwoPhaseSwitch};
+
+const GOLDEN_SCHEDULE: &str = include_str!("golden/mutation_counterexample_schedule.jsonl");
+#[cfg(feature = "trace")]
+const GOLDEN_TIMELINE: &str = include_str!("golden/mutation_counterexample_timeline.jsonl");
+
+/// Runs the seeded-mutation hunt exactly like the E17 experiment does and
+/// returns the exported counterexample.
+fn hunt() -> mcheck::Counterexample {
+    let mutated = ScenarioConfig {
+        skip_doomed_rollback: true,
+        ..ScenarioConfig::default()
+    };
+    let report = Explorer::new({
+        let mutated = mutated.clone();
+        move || TwoPhaseSwitch::new(mutated.clone())
+    })
+    .invariants(default_suite())
+    .strategy(Strategy::Bfs)
+    .depth_bound(6)
+    .max_states(10_000)
+    .run();
+    let violation = report
+        .violations
+        .first()
+        .expect("the disabled doomed rollback is always caught");
+    let traced = ScenarioConfig {
+        trace: true,
+        ..mutated
+    };
+    Explorer::<TwoPhaseSwitch>::new(move || TwoPhaseSwitch::new(traced.clone()))
+        .counterexample(&violation.schedule)
+        .expect("violating schedule replays")
+}
+
+#[test]
+fn counterexample_schedule_matches_golden_bytes() {
+    let cx = hunt();
+    assert_eq!(
+        cx.schedule_jsonl, GOLDEN_SCHEDULE,
+        "schedule export format drifted from the golden file"
+    );
+}
+
+#[cfg(feature = "trace")]
+#[test]
+fn counterexample_timeline_matches_golden_bytes() {
+    let cx = hunt();
+    assert_eq!(
+        cx.timeline_jsonl, GOLDEN_TIMELINE,
+        "timeline export format drifted from the golden file"
+    );
+}

@@ -64,7 +64,7 @@ pub use route::{KernelRouteTable, RouteEntry};
 pub use stats::{StatsWindow, WorldStats};
 pub use time::{SimDuration, SimTime};
 pub use topology::{GilbertElliott, LinkModel, LinkPhase, LinkState, Topology};
-pub use world::{RebootFactory, World, WorldBuilder};
+pub use world::{PendingClass, PendingEvent, RebootFactory, World, WorldBuilder};
 
 /// The flight-recorder record/diff/timeline types (re-export of the
 /// `manetkit-trace` crate), available with the `trace` feature.

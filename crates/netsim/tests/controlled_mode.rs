@@ -1,0 +1,164 @@
+//! Controlled-delivery mode: the seam the `mcheck` bounded model checker
+//! drives. The world stops scheduling for itself; every event is parked,
+//! visible, and individually deliverable or droppable.
+
+use netsim::{NodeId, NodeOs, PendingClass, RoutingAgent, SimDuration, SimTime, Topology, World};
+use packetbb::Address;
+
+/// Minimal agent: broadcasts one hello on start, re-arms a periodic timer,
+/// counts received frames.
+struct Chatty {
+    period: SimDuration,
+}
+
+impl RoutingAgent for Chatty {
+    fn name(&self) -> &str {
+        "chatty"
+    }
+    fn start(&mut self, os: &mut NodeOs) {
+        os.broadcast_control(b"hello".to_vec());
+        os.set_timer(self.period, 1);
+    }
+    fn on_timer(&mut self, os: &mut NodeOs, _token: u64) {
+        os.bump("chatty.timer");
+        os.broadcast_control(b"hello".to_vec());
+        os.set_timer(self.period, 1);
+    }
+    fn on_frame(&mut self, os: &mut NodeOs, _from: Address, _bytes: &[u8]) {
+        os.bump("chatty.rx");
+    }
+    fn on_filter_event(&mut self, _os: &mut NodeOs, _event: netsim::FilterEvent) {}
+}
+
+fn controlled_pair() -> World {
+    let mut world = World::builder().topology(Topology::full(2)).seed(1).build();
+    world.set_controlled(true);
+    for i in 0..2 {
+        world.install_agent(
+            NodeId(i),
+            Box::new(Chatty {
+                period: SimDuration::from_secs(1),
+            }),
+        );
+    }
+    world
+}
+
+#[test]
+fn schedule_diverts_into_pending_set() {
+    let mut world = controlled_pair();
+    // Two StartAgent events are parked, nothing has run.
+    let pending = world.pending_controlled();
+    assert_eq!(pending.len(), 2);
+    assert!(pending.iter().all(|e| e.class == PendingClass::Infra));
+    assert_eq!(world.stats().control_frames, 0);
+
+    // Draining infra starts both agents; their hellos and timers become
+    // pending choices.
+    let fired = world.run_controlled_infra();
+    assert_eq!(fired, 2);
+    let pending = world.pending_controlled();
+    let frames = pending
+        .iter()
+        .filter(|e| e.class == PendingClass::Control)
+        .count();
+    let timers = pending
+        .iter()
+        .filter(|e| e.class == PendingClass::Timer)
+        .count();
+    assert_eq!(frames, 2, "one hello in flight each way");
+    assert_eq!(timers, 2, "one armed timer per node");
+    assert!(pending.iter().all(|e| e.live));
+}
+
+#[test]
+fn deliver_and_drop_account_like_the_radio() {
+    let mut world = controlled_pair();
+    world.run_controlled_infra();
+    let frames: Vec<_> = world
+        .pending_controlled()
+        .into_iter()
+        .filter(|e| e.class == PendingClass::Control)
+        .collect();
+    assert!(world.deliver_controlled(frames[0].id));
+    assert!(world.drop_controlled(frames[1].id));
+    assert!(!world.deliver_controlled(frames[1].id), "id consumed");
+    let stats = world.stats();
+    assert_eq!(stats.control_received, 1);
+    assert_eq!(stats.control_lost, 1);
+    assert_eq!(stats.agent_counter("chatty.rx"), 1);
+    // Timers are not droppable.
+    let timer = world
+        .pending_controlled()
+        .into_iter()
+        .find(|e| e.class == PendingClass::Timer)
+        .expect("timers pending");
+    assert!(!world.drop_controlled(timer.id));
+    assert!(world.deliver_controlled(timer.id));
+    assert_eq!(world.now(), timer.at, "clock clamped to the timer deadline");
+}
+
+#[test]
+fn same_choice_sequence_allocates_same_ids() {
+    let run = |choices: usize| -> (Vec<u64>, u64) {
+        let mut world = controlled_pair();
+        world.run_controlled_infra();
+        let mut ids = Vec::new();
+        for _ in 0..choices {
+            let next = world.pending_controlled().first().copied().unwrap();
+            ids.push(next.id);
+            world.deliver_controlled(next.id);
+            world.run_controlled_infra();
+        }
+        (ids, world.stats().control_received)
+    };
+    assert_eq!(run(8), run(8), "replay is id-for-id deterministic");
+}
+
+#[test]
+fn crash_marks_pending_events_dead_and_reboot_restarts() {
+    let mut world = controlled_pair();
+    world.run_controlled_infra();
+    world.force_crash(NodeId(1));
+    assert!(!world.node_up(NodeId(1)));
+    for e in world.pending_controlled() {
+        if e.node == NodeId(1) {
+            assert!(!e.live, "{e:?} should be dead after the crash");
+        }
+    }
+    // Delivering a dead arrival accounts it as lost at the crashed node.
+    let dead = world
+        .pending_controlled()
+        .into_iter()
+        .find(|e| e.node == NodeId(1) && e.class == PendingClass::Control)
+        .expect("hello toward node 1 pending");
+    let lost_before = world.stats().control_lost;
+    world.deliver_controlled(dead.id);
+    assert_eq!(world.stats().control_lost, lost_before + 1);
+
+    world.force_reboot(NodeId(1));
+    assert!(world.node_up(NodeId(1)));
+    // The reboot parks a StartAgent; draining it restarts the agent, which
+    // broadcasts again.
+    world.run_controlled_infra();
+    assert!(world
+        .pending_controlled()
+        .iter()
+        .any(|e| e.class == PendingClass::Control && e.node == NodeId(0)));
+}
+
+#[test]
+fn switching_off_reinjects_into_the_kernel() {
+    let mut world = controlled_pair();
+    world.run_controlled_infra();
+    let parked = world.pending_controlled().len();
+    assert!(parked > 0);
+    world.set_controlled(false);
+    assert!(!world.is_controlled());
+    assert!(world.pending_controlled().is_empty());
+    // The re-injected events fire under normal clockwork.
+    world.run_until(SimTime::ZERO + SimDuration::from_secs(5));
+    let stats = world.stats();
+    assert!(stats.control_received >= 2);
+    assert!(stats.agent_counter("chatty.timer") >= 2);
+}

@@ -16,6 +16,7 @@ struct Counters {
     activities: AtomicU64,
     reconfigs: AtomicU64,
     timeouts: AtomicU64,
+    probes: AtomicU64,
 }
 
 /// Quiescence was not reached within the deadline passed to
@@ -122,6 +123,23 @@ impl QuiescenceLock {
         &self,
         deadline: std::time::Duration,
     ) -> Result<ReconfigGuard<'_>, QuiesceTimeout> {
+        if deadline.is_zero() {
+            // Zero deadline means "quiescent right now or not at all": a
+            // pure non-blocking probe with no wall-clock dependence, which
+            // is what deterministic replay (the `mcheck` model checker)
+            // needs — a timed wait could succeed or fail depending on host
+            // scheduling, a try-acquire cannot.
+            return match self.lock.try_write() {
+                Some(g) => {
+                    self.counters.reconfigs.fetch_add(1, Ordering::Relaxed);
+                    Ok(ReconfigGuard(g))
+                }
+                None => {
+                    self.counters.timeouts.fetch_add(1, Ordering::Relaxed);
+                    Err(QuiesceTimeout { waited: deadline })
+                }
+            };
+        }
         match self.lock.try_write_for(deadline) {
             Some(g) => {
                 self.counters.reconfigs.fetch_add(1, Ordering::Relaxed);
@@ -132,6 +150,26 @@ impl QuiescenceLock {
                 Err(QuiesceTimeout { waited: deadline })
             }
         }
+    }
+
+    /// Non-blocking, side-effect-free quiescence check: `true` when no
+    /// activity (and no reconfiguration) currently holds the lock. Unlike
+    /// [`try_reconfigure`](Self::try_reconfigure) this does not enter a
+    /// section or perturb the entry counters — it is an observability
+    /// probe, counted separately in [`idle_probes`](Self::idle_probes).
+    /// The `mcheck` model checker asserts it at every explored state: the
+    /// simulated fleet is single-threaded, so a lock found held at a
+    /// choice point means a guard leaked.
+    #[must_use]
+    pub fn probe_idle(&self) -> bool {
+        self.counters.probes.fetch_add(1, Ordering::Relaxed);
+        self.lock.try_write().is_some()
+    }
+
+    /// Total [`probe_idle`](Self::probe_idle) calls (observability).
+    #[must_use]
+    pub fn idle_probes(&self) -> u64 {
+        self.counters.probes.load(Ordering::Relaxed)
     }
 
     /// Total activity sections entered (observability).
@@ -261,6 +299,42 @@ mod tests {
             .unwrap()
             .expect("deadline far away: acquisition succeeds once drained");
         assert_eq!(q.quiesce_timeouts(), 0);
+    }
+
+    #[test]
+    fn zero_deadline_is_a_deterministic_probe() {
+        let q = QuiescenceLock::new();
+        // Quiescent: the zero-deadline acquisition succeeds immediately.
+        let g = q
+            .reconfigure_within(Duration::ZERO)
+            .expect("idle lock admits a zero-deadline reconfiguration");
+        drop(g);
+        assert_eq!(q.reconfigs_entered(), 1);
+        // Busy: it fails immediately (no wall-clock wait to get lucky in).
+        let a = q.activity();
+        let err = q
+            .reconfigure_within(Duration::ZERO)
+            .map(|_| ())
+            .expect_err("held lock defeats the zero-deadline probe");
+        assert_eq!(err.waited, Duration::ZERO);
+        assert_eq!(q.quiesce_timeouts(), 1);
+        drop(a);
+    }
+
+    #[test]
+    fn probe_idle_observes_without_entering() {
+        let q = QuiescenceLock::new();
+        assert!(q.probe_idle());
+        let a = q.activity();
+        assert!(!q.probe_idle());
+        drop(a);
+        assert!(q.probe_idle());
+        assert_eq!(q.idle_probes(), 3);
+        assert_eq!(
+            q.reconfigs_entered(),
+            0,
+            "probes never count as reconfiguration entries"
+        );
     }
 
     #[test]

@@ -81,6 +81,17 @@ impl Trace {
         self.records.is_empty()
     }
 
+    /// A new trace holding only the records matching `pred`, order kept.
+    /// The model checker uses this to cut a counterexample timeline down
+    /// to the reconfiguration records
+    /// (`trace.filter(|r| r.kind.is_reconfig())`).
+    #[must_use]
+    pub fn filter(&self, pred: impl Fn(&TraceRecord) -> bool) -> Trace {
+        Trace {
+            records: self.records.iter().copied().filter(pred).collect(),
+        }
+    }
+
     /// Byte-stable JSONL serialization: one record per line, fixed key
     /// order, no whitespace, tag names inline (so the bytes are stable
     /// across processes — intern ids never leak into the format).
@@ -166,6 +177,20 @@ mod tests {
         let back = Trace::from_jsonl(&jsonl).expect("parses");
         assert_eq!(back, t);
         assert_eq!(back.to_jsonl(), jsonl, "serialization is byte-stable");
+    }
+
+    #[test]
+    fn filter_keeps_order_and_bytes() {
+        let t = Trace::from_nodes(vec![vec![
+            rec(1, 0, TraceKind::FrameTx),
+            rec(2, 0, TraceKind::QuiesceBegin),
+            rec(3, 0, TraceKind::FrameRx),
+        ]]);
+        let reconfig = t.filter(|r| r.kind.is_reconfig());
+        assert_eq!(reconfig.len(), 1);
+        assert_eq!(reconfig.records()[0].kind, TraceKind::QuiesceBegin);
+        let roundtrip = Trace::from_jsonl(&reconfig.to_jsonl()).expect("parses");
+        assert_eq!(roundtrip, reconfig);
     }
 
     #[test]

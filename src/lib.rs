@@ -32,6 +32,7 @@ pub use manetkit_aodv;
 pub use manetkit_baseline;
 pub use manetkit_dymo;
 pub use manetkit_olsr;
+pub use mcheck;
 pub use netsim;
 pub use opencom;
 pub use packetbb;

@@ -99,6 +99,9 @@ fn health_gated_switch_auto_reverts_and_recovers() {
     assert_eq!(stats.agent_counter("txn.committed"), 5);
     assert_eq!(stats.agent_counter("txn.reverted"), 5);
     assert_eq!(stats.agent_counter("txn.aborted"), 0);
+    // The same conservation law `mcheck` audits at every explored state:
+    // everything prepared was accounted for, nothing is still open.
+    manetkit_repro::manetkit::assert_fleet_conservation(&stats, 0);
 
     // The partition heals at 100 s; give the restored OLSR fleet time to
     // re-converge, then demand the delivery ratio recover to within 5% of
