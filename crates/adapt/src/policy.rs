@@ -1,0 +1,622 @@
+//! The *decide* stage of the monitor→decide→act loop: a declarative rule
+//! set over windowed telemetry, with hysteresis bands, a cooldown, and a
+//! penalty box fed by reverted switches.
+//!
+//! Flapping is prevented by three independent mechanisms:
+//!
+//! * **hysteresis bands** — a rule *arms* when its metric crosses the
+//!   `trigger` threshold and only *disarms* once the metric crosses the
+//!   separate `clear` threshold, so noise inside the dead band between
+//!   them cannot re-fire the rule;
+//! * **cooldown** — after any attempted switch (whatever its verdict) the
+//!   policy holds for a fixed period, bounding the switch rate to at most
+//!   one per cooldown window;
+//! * **goal-directed targets** — a rule names a *goal*
+//!   ([`Target::Reactive`] / [`Target::Proactive`]) rather than a raw
+//!   stack where possible; a goal the current stack already satisfies
+//!   resolves to no switch at all, so a persistently-bad metric cannot
+//!   chain e.g. DYMO→AODV after an OLSR→DYMO switch already answered it.
+//!
+//! The safety-net feedback: a switch the
+//! [`HealthGate`](manetkit::HealthGate) *reverted* puts the target stack
+//! in the penalty box for a number of decision ticks, steering subsequent
+//! resolutions to an alternative (DYMO's fallback is AODV) or holding.
+
+use std::fmt;
+
+use manetkit::TxnVerdict;
+use netsim::{SimDuration, SimTime, WorldStats};
+
+use crate::stacks::{Stack, STACKS};
+
+/// A telemetry axis a rule can watch, sampled from one windowed
+/// [`WorldStats`] delta.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Metric {
+    /// `data_delivered / data_sent` over the window (1.0 when idle).
+    DeliveryRatio,
+    /// Control frames per data packet sent over the window.
+    ControlOverhead,
+    /// Dropped data packets (TTL + link + buffer + crash) per data packet
+    /// sent over the window.
+    DropRate,
+    /// Partition starts observed in the window.
+    PartitionEvents,
+    /// Faults injected in the window (crashes, battery, partitions …).
+    FaultEvents,
+}
+
+impl Metric {
+    /// Samples the metric from a windowed stats delta.
+    #[must_use]
+    pub fn sample(self, window: &WorldStats) -> f64 {
+        let sent = window.data_sent.max(1) as f64;
+        match self {
+            Metric::DeliveryRatio => window.delivery_ratio(),
+            Metric::ControlOverhead => window.control_frames as f64 / sent,
+            Metric::DropRate => {
+                (window.data_dropped_ttl
+                    + window.data_dropped_link
+                    + window.data_dropped_buffer
+                    + window.data_dropped_crash) as f64
+                    / sent
+            }
+            Metric::PartitionEvents => window.partitions_started as f64,
+            Metric::FaultEvents => window.faults_injected as f64,
+        }
+    }
+}
+
+/// Which side of the trigger threshold is unhealthy.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Sense {
+    /// The rule arms when the metric falls below `trigger` and disarms
+    /// once it rises to `clear` or above (`clear >= trigger`).
+    Below,
+    /// The rule arms when the metric rises above `trigger` and disarms
+    /// once it falls to `clear` or below (`clear <= trigger`).
+    Above,
+}
+
+/// What an armed rule asks for.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Target {
+    /// A specific stack.
+    Stack(Stack),
+    /// Any reactive stack (resolution order: DYMO, then AODV if DYMO is
+    /// in the penalty box). Already satisfied when the current stack is
+    /// reactive.
+    Reactive,
+    /// The proactive stack (OLSR). Already satisfied when the current
+    /// stack is proactive.
+    Proactive,
+}
+
+/// One declarative policy rule: *when `metric` goes `sense` of `trigger`
+/// (and stays past `clear`), steer the fleet toward `target`*.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Rule {
+    /// Stable rule name (appears in switch logs and counters).
+    pub name: &'static str,
+    /// Telemetry axis to watch.
+    pub metric: Metric,
+    /// Unhealthy side of the trigger threshold.
+    pub sense: Sense,
+    /// Arming threshold.
+    pub trigger: f64,
+    /// Disarming threshold; the band between `trigger` and `clear` is the
+    /// hysteresis dead band.
+    pub clear: f64,
+    /// Where to steer when armed.
+    pub target: Target,
+    /// Minimum `data_sent` in the window for the rule to be evaluated at
+    /// all — ratio metrics over near-empty windows are noise.
+    pub min_sent: u64,
+}
+
+/// What the policy decided for one telemetry window.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Decision {
+    /// No switch this window.
+    Hold(HoldReason),
+    /// Drive a fleet switch.
+    Switch {
+        /// The rule that fired.
+        rule: &'static str,
+        /// Current stack.
+        from: Stack,
+        /// Resolved target stack.
+        to: Stack,
+    },
+}
+
+/// Why the policy held.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum HoldReason {
+    /// No rule is armed.
+    Stable,
+    /// An armed rule's goal is already satisfied by the current stack.
+    Satisfied,
+    /// Every resolution is blocked by the penalty box.
+    Penalized,
+    /// A switch is wanted but the cooldown window is still open.
+    Cooldown,
+}
+
+impl fmt::Display for HoldReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(match self {
+            HoldReason::Stable => "stable",
+            HoldReason::Satisfied => "satisfied",
+            HoldReason::Penalized => "penalized",
+            HoldReason::Cooldown => "cooldown",
+        })
+    }
+}
+
+/// The policy state machine: rules plus armed bits, cooldown clock,
+/// penalty box and the stack it believes the fleet runs.
+///
+/// Deliberately free of `HashMap`s and wall clocks: every decision is a
+/// pure function of the rule set, the windowed stats and the virtual
+/// time, so campaign cells that embed a policy stay byte-deterministic.
+#[derive(Debug, Clone)]
+pub struct Policy {
+    rules: Vec<Rule>,
+    armed: Vec<bool>,
+    current: Stack,
+    cooldown: SimDuration,
+    cooldown_until: Option<SimTime>,
+    /// Remaining penalty ticks per stack, [`Stack::ALL`]-ordered.
+    penalties: [u32; STACKS],
+    penalty_ticks: u32,
+}
+
+impl Policy {
+    /// A policy over the given rules, starting from `current`.
+    ///
+    /// `cooldown` is the minimum virtual time between switch attempts;
+    /// `penalty_ticks` is how many decision ticks a reverted target stays
+    /// in the penalty box.
+    #[must_use]
+    pub fn new(
+        current: Stack,
+        rules: Vec<Rule>,
+        cooldown: SimDuration,
+        penalty_ticks: u32,
+    ) -> Self {
+        let armed = vec![false; rules.len()];
+        Policy {
+            rules,
+            armed,
+            current,
+            cooldown,
+            cooldown_until: None,
+            penalties: [0; STACKS],
+            penalty_ticks,
+        }
+    }
+
+    /// The shipped rule set:
+    ///
+    /// 1. `partition-fallback` — any partition start in the window steers
+    ///    reactive: on-demand discovery re-finds routes right after a
+    ///    heal, while proactive tables go stale for a full refresh cycle.
+    /// 2. `delivery-floor` — delivery ratio under 0.75 (clearing at 0.90)
+    ///    steers reactive, once the window carries at least 5 packets.
+    #[must_use]
+    pub fn default_rules() -> Vec<Rule> {
+        vec![
+            Rule {
+                name: "partition-fallback",
+                metric: Metric::PartitionEvents,
+                sense: Sense::Above,
+                trigger: 0.5,
+                clear: 0.5,
+                target: Target::Reactive,
+                min_sent: 0,
+            },
+            Rule {
+                name: "delivery-floor",
+                metric: Metric::DeliveryRatio,
+                sense: Sense::Below,
+                trigger: 0.75,
+                clear: 0.90,
+                target: Target::Reactive,
+                min_sent: 5,
+            },
+        ]
+    }
+
+    /// The stack the policy believes the fleet currently runs.
+    #[must_use]
+    pub fn current(&self) -> Stack {
+        self.current
+    }
+
+    /// Remaining penalty ticks for a stack (0: not in the penalty box).
+    #[must_use]
+    pub fn penalty(&self, stack: Stack) -> u32 {
+        self.penalties[stack.index()]
+    }
+
+    /// Resolves a rule target to a concrete switch destination, honouring
+    /// goal satisfaction and the penalty box. `None`: no switch needed or
+    /// possible.
+    fn resolve(&self, target: Target) -> Option<Stack> {
+        let candidate = match target {
+            Target::Stack(s) => (s != self.current).then_some(s),
+            Target::Reactive => {
+                if self.current.is_reactive() {
+                    None
+                } else if self.penalties[Stack::Dymo.index()] == 0 {
+                    Some(Stack::Dymo)
+                } else {
+                    Some(Stack::Aodv)
+                }
+            }
+            Target::Proactive => (self.current.is_reactive()).then_some(Stack::Olsr),
+        };
+        candidate.filter(|s| self.penalties[s.index()] == 0)
+    }
+
+    /// One decision tick: updates hysteresis arming from the windowed
+    /// stats, decays the penalty box, and returns what to do. The first
+    /// armed rule (declaration order) with a resolvable target wins; the
+    /// cooldown gate is applied last so a blocked switch re-surfaces on a
+    /// later tick while its condition persists.
+    pub fn decide(&mut self, now: SimTime, window: &WorldStats) -> Decision {
+        for p in &mut self.penalties {
+            *p = p.saturating_sub(1);
+        }
+        let mut any_armed = false;
+        let mut any_satisfied = false;
+        let mut any_penalized = false;
+        let mut wanted: Option<(usize, Stack)> = None;
+        for i in 0..self.rules.len() {
+            let rule = self.rules[i];
+            if window.data_sent < rule.min_sent {
+                continue;
+            }
+            let value = rule.metric.sample(window);
+            let breached = match rule.sense {
+                Sense::Below => value < rule.trigger,
+                Sense::Above => value > rule.trigger,
+            };
+            let cleared = match rule.sense {
+                Sense::Below => value >= rule.clear,
+                Sense::Above => value <= rule.clear,
+            };
+            if breached {
+                self.armed[i] = true;
+            } else if cleared {
+                self.armed[i] = false;
+            }
+            if !self.armed[i] {
+                continue;
+            }
+            any_armed = true;
+            match self.resolve(rule.target) {
+                Some(to) => {
+                    if wanted.is_none() {
+                        wanted = Some((i, to));
+                    }
+                }
+                None => {
+                    // Distinguish "goal met" from "everything penalized"
+                    // for the hold reason.
+                    let satisfied = match rule.target {
+                        Target::Stack(s) => s == self.current,
+                        Target::Reactive => self.current.is_reactive(),
+                        Target::Proactive => !self.current.is_reactive(),
+                    };
+                    if satisfied {
+                        any_satisfied = true;
+                    } else {
+                        any_penalized = true;
+                    }
+                }
+            }
+        }
+        let Some((rule_idx, to)) = wanted else {
+            return Decision::Hold(if any_satisfied {
+                HoldReason::Satisfied
+            } else if any_penalized {
+                HoldReason::Penalized
+            } else {
+                debug_assert!(!any_armed || any_satisfied || any_penalized);
+                HoldReason::Stable
+            });
+        };
+        if let Some(until) = self.cooldown_until {
+            if now < until {
+                return Decision::Hold(HoldReason::Cooldown);
+            }
+        }
+        Decision::Switch {
+            rule: self.rules[rule_idx].name,
+            from: self.current,
+            to,
+        }
+    }
+
+    /// Feeds back the outcome of an attempted switch. Every attempt opens
+    /// the cooldown window; a committed (or best-effort enqueued) switch
+    /// updates the believed stack; a health-gate revert leaves the fleet
+    /// on `from` and puts the target in the penalty box.
+    pub fn on_verdict(&mut self, now: SimTime, to: Stack, verdict: TxnVerdict) {
+        self.cooldown_until = Some(now + self.cooldown);
+        match verdict {
+            TxnVerdict::Committed | TxnVerdict::Enqueued => self.current = to,
+            TxnVerdict::Reverted => self.penalties[to.index()] = self.penalty_ticks,
+            TxnVerdict::Aborted => {}
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn secs(n: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_secs(n)
+    }
+
+    fn window(sent: u64, delivered: u64) -> WorldStats {
+        WorldStats {
+            data_sent: sent,
+            data_delivered: delivered,
+            ..WorldStats::default()
+        }
+    }
+
+    fn test_policy(cooldown_s: u64) -> Policy {
+        Policy::new(
+            Stack::Olsr,
+            Policy::default_rules(),
+            SimDuration::from_secs(cooldown_s),
+            3,
+        )
+    }
+
+    #[test]
+    fn healthy_telemetry_holds_stable() {
+        let mut p = test_policy(20);
+        for t in 0..10 {
+            assert_eq!(
+                p.decide(secs(t * 5), &window(20, 20)),
+                Decision::Hold(HoldReason::Stable)
+            );
+        }
+        assert_eq!(p.current(), Stack::Olsr);
+    }
+
+    #[test]
+    fn delivery_floor_fires_once_and_is_then_satisfied() {
+        let mut p = test_policy(20);
+        let d = p.decide(secs(0), &window(20, 10));
+        assert_eq!(
+            d,
+            Decision::Switch {
+                rule: "delivery-floor",
+                from: Stack::Olsr,
+                to: Stack::Dymo,
+            }
+        );
+        p.on_verdict(secs(0), Stack::Dymo, TxnVerdict::Committed);
+        // Condition persists, but the reactive goal is now satisfied:
+        // no DYMO→AODV chain, however long the badness lasts.
+        for t in 1..20 {
+            assert_eq!(
+                p.decide(secs(t * 5), &window(20, 10)),
+                Decision::Hold(HoldReason::Satisfied)
+            );
+        }
+        assert_eq!(p.current(), Stack::Dymo);
+    }
+
+    #[test]
+    fn min_sent_gates_out_empty_windows() {
+        let mut p = test_policy(20);
+        // 2 of 3 delivered is a 0.67 ratio — below trigger — but the
+        // window is too thin to act on.
+        assert_eq!(
+            p.decide(secs(0), &window(3, 2)),
+            Decision::Hold(HoldReason::Stable)
+        );
+    }
+
+    #[test]
+    fn hysteresis_dead_band_does_not_rearm() {
+        let mut p = Policy::new(
+            Stack::Olsr,
+            Policy::default_rules(),
+            SimDuration::from_secs(0), // isolate the band logic from cooldown
+            3,
+        );
+        // Breach: arms and fires.
+        assert!(matches!(
+            p.decide(secs(0), &window(20, 10)),
+            Decision::Switch { .. }
+        ));
+        p.on_verdict(secs(0), Stack::Dymo, TxnVerdict::Committed);
+        // Dead band (0.80 is between clear 0.90 and trigger 0.75): the
+        // rule stays armed but its goal is satisfied.
+        assert_eq!(
+            p.decide(secs(5), &window(20, 16)),
+            Decision::Hold(HoldReason::Satisfied)
+        );
+        // Above clear: disarms; healthy telemetry now reads stable.
+        assert_eq!(
+            p.decide(secs(10), &window(20, 19)),
+            Decision::Hold(HoldReason::Stable)
+        );
+    }
+
+    #[test]
+    fn cooldown_bounds_switch_rate_under_oscillating_telemetry() {
+        // Two opposing rules so naive thresholding would flip every tick.
+        let rules = vec![
+            Rule {
+                name: "to-reactive",
+                metric: Metric::DeliveryRatio,
+                sense: Sense::Below,
+                trigger: 0.75,
+                clear: 0.90,
+                target: Target::Reactive,
+                min_sent: 0,
+            },
+            Rule {
+                name: "to-proactive",
+                metric: Metric::ControlOverhead,
+                sense: Sense::Above,
+                trigger: 3.0,
+                clear: 1.0,
+                target: Target::Proactive,
+                min_sent: 0,
+            },
+        ];
+        let cooldown = SimDuration::from_secs(20);
+        let mut p = Policy::new(Stack::Olsr, rules, cooldown, 3);
+        let tick = SimDuration::from_secs(5);
+
+        let mut switches: Vec<SimTime> = Vec::new();
+        let mut now = SimTime::ZERO;
+        for i in 0..40 {
+            // Alternate between "bad delivery, low overhead" and "good
+            // delivery, pathological overhead" — each side breaches one
+            // rule and clears the other.
+            let w = if i % 2 == 0 {
+                window(20, 10)
+            } else {
+                let mut w = window(20, 20);
+                w.control_frames = 100;
+                w
+            };
+            if let Decision::Switch { to, .. } = p.decide(now, &w) {
+                switches.push(now);
+                p.on_verdict(now, to, TxnVerdict::Committed);
+            }
+            now += tick;
+        }
+        assert!(!switches.is_empty(), "the policy does react");
+        for pair in switches.windows(2) {
+            assert!(
+                pair[1] >= pair[0] + cooldown,
+                "two switches inside one cooldown window: {switches:?}"
+            );
+        }
+        // 40 ticks x 5 s = 200 s of telemetry, 20 s cooldown: at most
+        // 10 + 1 switches even under permanently oscillating input.
+        assert!(switches.len() <= 11, "flapping: {switches:?}");
+    }
+
+    #[test]
+    fn blocked_switch_resurfaces_after_cooldown_expires() {
+        let mut p = test_policy(20);
+        // A committed switch at t=0 opens the cooldown...
+        assert!(matches!(
+            p.decide(secs(0), &window(20, 10)),
+            Decision::Switch { .. }
+        ));
+        p.on_verdict(secs(0), Stack::Dymo, TxnVerdict::Committed);
+        // ...then imagine an operator forced the fleet back (simulated by
+        // resetting belief): a persisting condition is held during
+        // cooldown but fires right after it expires.
+        p.current = Stack::Olsr;
+        assert_eq!(
+            p.decide(secs(10), &window(20, 10)),
+            Decision::Hold(HoldReason::Cooldown)
+        );
+        assert!(matches!(
+            p.decide(secs(25), &window(20, 10)),
+            Decision::Switch {
+                to: Stack::Dymo,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn reverted_switch_penalizes_target_and_falls_back() {
+        let mut p = Policy::new(
+            Stack::Olsr,
+            Policy::default_rules(),
+            SimDuration::from_secs(0),
+            100,
+        );
+        assert!(matches!(
+            p.decide(secs(0), &window(20, 10)),
+            Decision::Switch {
+                to: Stack::Dymo,
+                ..
+            }
+        ));
+        p.on_verdict(secs(0), Stack::Dymo, TxnVerdict::Reverted);
+        assert_eq!(p.current(), Stack::Olsr, "a revert keeps the old stack");
+        assert!(p.penalty(Stack::Dymo) > 0);
+        // The reactive goal now resolves to the fallback reactive stack.
+        assert!(matches!(
+            p.decide(secs(5), &window(20, 10)),
+            Decision::Switch {
+                to: Stack::Aodv,
+                ..
+            }
+        ));
+        p.on_verdict(secs(5), Stack::Aodv, TxnVerdict::Reverted);
+        // Both reactive stacks penalized: the policy holds rather than
+        // ping-ponging into known-bad compositions.
+        assert_eq!(
+            p.decide(secs(10), &window(20, 10)),
+            Decision::Hold(HoldReason::Penalized)
+        );
+    }
+
+    #[test]
+    fn penalties_decay_over_ticks() {
+        let mut p = Policy::new(
+            Stack::Olsr,
+            Policy::default_rules(),
+            SimDuration::from_secs(0),
+            2,
+        );
+        assert!(matches!(
+            p.decide(secs(0), &window(20, 10)),
+            Decision::Switch { .. }
+        ));
+        p.on_verdict(secs(0), Stack::Dymo, TxnVerdict::Reverted);
+        assert_eq!(p.penalty(Stack::Dymo), 2);
+        // Healthy windows tick the penalty down (the rule disarms too).
+        let _ = p.decide(secs(5), &window(20, 20));
+        let _ = p.decide(secs(10), &window(20, 20));
+        assert_eq!(p.penalty(Stack::Dymo), 0);
+        // Next breach goes to DYMO again.
+        assert!(matches!(
+            p.decide(secs(15), &window(20, 10)),
+            Decision::Switch {
+                to: Stack::Dymo,
+                ..
+            }
+        ));
+    }
+
+    #[test]
+    fn partition_rule_steers_reactive_regardless_of_traffic() {
+        let mut p = test_policy(20);
+        let mut w = window(0, 0);
+        w.partitions_started = 1;
+        w.faults_injected = 1;
+        assert_eq!(
+            p.decide(secs(0), &w),
+            Decision::Switch {
+                rule: "partition-fallback",
+                from: Stack::Olsr,
+                to: Stack::Dymo,
+            }
+        );
+    }
+}

@@ -1,0 +1,221 @@
+//! The three MANETKit routing stacks as switch targets, with pairwise
+//! atomic switch recipes.
+//!
+//! A *stack* is the composition a node runs between switches: the paper's
+//! OLSR (proactive: MPR selection + link-state flooding), DYMO and AODV
+//! (reactive: on-demand route discovery over the shared Neighbour
+//! Detection CF). [`Stack::recipe_to`] produces the operation batch that
+//! takes a node from one stack to another in a single quiescent-point
+//! reconfiguration — the unit the policy engine hands to
+//! [`FleetCoordinator::execute`](manetkit::FleetCoordinator::execute) as a
+//! fleet-wide transaction.
+
+use std::fmt;
+
+use manetkit::neighbour::{hello_registration, neighbour_detection_cf};
+use manetkit::{ManetNode, NodeHandle, ReconfigOp};
+
+/// A complete routing composition the fleet can run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Stack {
+    /// Proactive: MPR selection + OLSR link-state routing.
+    Olsr,
+    /// Reactive: DYMO on-demand routing over Neighbour Detection.
+    Dymo,
+    /// Reactive: AODV on-demand routing over Neighbour Detection.
+    Aodv,
+}
+
+/// Number of known stacks (sizes the policy's penalty table).
+pub const STACKS: usize = 3;
+
+impl Stack {
+    /// Every known stack, in penalty-table order.
+    pub const ALL: [Stack; STACKS] = [Stack::Olsr, Stack::Dymo, Stack::Aodv];
+
+    /// Stable short name (used in counters, logs and reports).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Stack::Olsr => "olsr",
+            Stack::Dymo => "dymo",
+            Stack::Aodv => "aodv",
+        }
+    }
+
+    /// Index into [`Stack::ALL`]-ordered tables.
+    #[must_use]
+    pub fn index(self) -> usize {
+        match self {
+            Stack::Olsr => 0,
+            Stack::Dymo => 1,
+            Stack::Aodv => 2,
+        }
+    }
+
+    /// Whether the stack discovers routes on demand (DYMO, AODV) rather
+    /// than proactively (OLSR).
+    #[must_use]
+    pub fn is_reactive(self) -> bool {
+        !matches!(self, Stack::Olsr)
+    }
+
+    /// The protocol names a node running this stack reports, in
+    /// deployment order — for post-switch verification against
+    /// [`FleetCoordinator::stacks`](manetkit::FleetCoordinator::stacks).
+    #[must_use]
+    pub fn protocols(self) -> Vec<String> {
+        match self {
+            Stack::Olsr => vec!["mpr".to_string(), "olsr".to_string()],
+            Stack::Dymo => vec!["neighbour-detection".to_string(), "dymo".to_string()],
+            Stack::Aodv => vec!["neighbour-detection".to_string(), "aodv".to_string()],
+        }
+    }
+
+    /// Builds a ready-to-install node running this stack, plus its control
+    /// handle.
+    #[must_use]
+    pub fn node(self) -> (ManetNode, NodeHandle) {
+        match self {
+            Stack::Olsr => manetkit_olsr::node(Default::default()),
+            Stack::Dymo => manetkit_dymo::node(Default::default()),
+            Stack::Aodv => manetkit_aodv::node(Default::default()),
+        }
+    }
+
+    /// The atomic switch recipe from this stack to `target`: remove the
+    /// source-only protocols, register the target's message types (message
+    /// registration is idempotent, so re-registering shared types is
+    /// safe), and add the target-only protocols. Switching between the two
+    /// reactive stacks keeps the shared Neighbour Detection CF — and its
+    /// neighbour state — in place.
+    ///
+    /// Switching a stack to itself yields an empty batch.
+    #[must_use]
+    pub fn recipe_to(self, target: Stack) -> Vec<ReconfigOp> {
+        if self == target {
+            return Vec::new();
+        }
+        let mut ops = Vec::new();
+        // Tear down: routing protocol first, then its substrate (unless
+        // the target reuses it).
+        match self {
+            Stack::Olsr => {
+                ops.push(ReconfigOp::RemoveProtocol {
+                    name: "olsr".into(),
+                });
+                ops.push(ReconfigOp::RemoveProtocol { name: "mpr".into() });
+            }
+            Stack::Dymo => {
+                ops.push(ReconfigOp::RemoveProtocol {
+                    name: "dymo".into(),
+                });
+                if !target.is_reactive() {
+                    ops.push(ReconfigOp::RemoveProtocol {
+                        name: "neighbour-detection".into(),
+                    });
+                }
+            }
+            Stack::Aodv => {
+                ops.push(ReconfigOp::RemoveProtocol {
+                    name: "aodv".into(),
+                });
+                if !target.is_reactive() {
+                    ops.push(ReconfigOp::RemoveProtocol {
+                        name: "neighbour-detection".into(),
+                    });
+                }
+            }
+        }
+        // Bring up the target.
+        let keeps_neighbour_detection = self.is_reactive() && target.is_reactive();
+        match target {
+            Stack::Olsr => {
+                ops.push(ReconfigOp::MutateSystem {
+                    op: Box::new(manetkit_olsr::register_messages),
+                });
+                ops.push(ReconfigOp::AddProtocol(manetkit_olsr::mpr_cf(
+                    Default::default(),
+                )));
+                ops.push(ReconfigOp::AddProtocol(manetkit_olsr::olsr_cf(
+                    Default::default(),
+                )));
+            }
+            Stack::Dymo => {
+                ops.push(ReconfigOp::MutateSystem {
+                    op: Box::new(|sys| {
+                        manetkit_dymo::register_messages(sys);
+                        sys.register_message(hello_registration());
+                    }),
+                });
+                if !keeps_neighbour_detection {
+                    ops.push(ReconfigOp::AddProtocol(neighbour_detection_cf(
+                        Default::default(),
+                    )));
+                }
+                ops.push(ReconfigOp::AddProtocol(manetkit_dymo::dymo_cf(
+                    Default::default(),
+                )));
+            }
+            Stack::Aodv => {
+                ops.push(ReconfigOp::MutateSystem {
+                    op: Box::new(|sys| {
+                        manetkit_aodv::register_messages(sys);
+                        sys.register_message(hello_registration());
+                    }),
+                });
+                if !keeps_neighbour_detection {
+                    ops.push(ReconfigOp::AddProtocol(neighbour_detection_cf(
+                        Default::default(),
+                    )));
+                }
+                ops.push(ReconfigOp::AddProtocol(manetkit_aodv::aodv_cf(
+                    Default::default(),
+                )));
+            }
+        }
+        ops
+    }
+}
+
+impl fmt::Display for Stack {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn self_switch_is_empty_and_pairs_are_nonempty() {
+        for from in Stack::ALL {
+            for to in Stack::ALL {
+                let ops = from.recipe_to(to);
+                if from == to {
+                    assert!(ops.is_empty());
+                } else {
+                    assert!(ops.len() >= 3, "{from}->{to} has teardown+bringup");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn reactive_switch_keeps_neighbour_detection() {
+        let ops = Stack::Dymo.recipe_to(Stack::Aodv);
+        for op in &ops {
+            if let ReconfigOp::RemoveProtocol { name } = op {
+                assert_ne!(name, "neighbour-detection");
+            }
+        }
+    }
+
+    #[test]
+    fn indices_match_all_order() {
+        for (i, s) in Stack::ALL.iter().enumerate() {
+            assert_eq!(s.index(), i);
+        }
+    }
+}

@@ -1,0 +1,113 @@
+//! Property-based no-flapping guarantees: for *arbitrary* telemetry
+//! sequences — including adversarial oscillation exactly at the threshold
+//! boundary — the policy never issues two switches inside one cooldown
+//! window, never switches to the stack it already runs, and never
+//! switches into a penalized stack.
+
+use adapt::{Decision, Policy, Stack};
+use manetkit::TxnVerdict;
+use netsim::{SimDuration, SimTime, WorldStats};
+use proptest::prelude::*;
+
+fn window(sent: u64, delivered: u64, control: u64, partitions: u64) -> WorldStats {
+    WorldStats {
+        data_sent: sent,
+        data_delivered: delivered.min(sent),
+        control_frames: control,
+        partitions_started: partitions,
+        faults_injected: partitions,
+        ..WorldStats::default()
+    }
+}
+
+/// One tick of synthetic telemetry.
+#[derive(Debug, Clone)]
+struct Tick {
+    sent: u64,
+    delivered_pct: u8,
+    control: u64,
+    partition: bool,
+}
+
+fn arb_ticks() -> impl Strategy<Value = Vec<Tick>> {
+    proptest::collection::vec(
+        (
+            0u64..40,
+            // Bias toward the delivery-floor boundary (trigger 0.75,
+            // clear 0.90) so runs oscillate across the hysteresis band.
+            prop_oneof![70u8..80, 85u8..95, 0u8..101],
+            0u64..200,
+            any::<bool>(),
+        )
+            .prop_map(|(sent, delivered_pct, control, partition)| Tick {
+                sent,
+                delivered_pct,
+                control,
+                partition,
+            }),
+        1..120,
+    )
+}
+
+proptest! {
+    #[test]
+    fn no_flapping_under_arbitrary_telemetry(ticks in arb_ticks(), commit in any::<bool>()) {
+        let cooldown = SimDuration::from_secs(20);
+        let epoch = SimDuration::from_secs(5);
+        let mut policy = Policy::new(Stack::Olsr, Policy::default_rules(), cooldown, 4);
+        let mut now = SimTime::ZERO;
+        let mut last_switch: Option<SimTime> = None;
+        for tick in &ticks {
+            let delivered = tick.sent * u64::from(tick.delivered_pct) / 100;
+            let w = window(tick.sent, delivered, tick.control, u64::from(tick.partition));
+            let before = policy.current();
+            if let Decision::Switch { from, to, .. } = policy.decide(now, &w) {
+                prop_assert_eq!(from, before, "switch starts from the believed stack");
+                prop_assert_ne!(to, before, "never switch to the current stack");
+                prop_assert_eq!(policy.penalty(to), 0, "never switch into the penalty box");
+                if let Some(prev) = last_switch {
+                    prop_assert!(
+                        now >= prev + cooldown,
+                        "two switches inside one cooldown window: {:?} then {:?}",
+                        prev,
+                        now
+                    );
+                }
+                last_switch = Some(now);
+                // Whatever the fleet answers, the cooldown must open.
+                let verdict = if commit { TxnVerdict::Committed } else { TxnVerdict::Reverted };
+                policy.on_verdict(now, to, verdict);
+            }
+            now += epoch;
+        }
+    }
+
+    #[test]
+    fn boundary_oscillation_switches_at_most_once(reps in 1usize..60) {
+        // Delivery alternates one packet around the 0.75 trigger: 14/20
+        // (0.70, breach) and 16/20 (0.80, inside the dead band — neither
+        // breach nor clear). A threshold-only policy would fire on every
+        // bad window; hysteresis + goal satisfaction allow exactly one
+        // switch, ever.
+        let mut policy = Policy::new(
+            Stack::Olsr,
+            Policy::default_rules(),
+            SimDuration::from_secs(20),
+            4,
+        );
+        let mut now = SimTime::ZERO;
+        let mut switches = 0;
+        for i in 0..reps * 2 {
+            let delivered = if i % 2 == 0 { 14 } else { 16 };
+            if let Decision::Switch { to, .. } = policy.decide(now, &window(20, delivered, 0, 0)) {
+                switches += 1;
+                policy.on_verdict(now, to, TxnVerdict::Committed);
+            }
+            now += SimDuration::from_secs(5);
+        }
+        prop_assert!(switches <= 1, "flapped {switches} times");
+        if switches == 1 {
+            prop_assert!(policy.current().is_reactive());
+        }
+    }
+}

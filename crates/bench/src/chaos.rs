@@ -6,7 +6,7 @@
 //! Every campaign runs the paper's 5-node line with constant-bit-rate
 //! traffic from node 0 to node 4 — declared once as a [`ScenarioSpec`] —
 //! and slices the run into windows with a [`netsim::StatsWindow`] cursor
-//! from [`World::stats_window`]:
+//! from [`netsim::World::stats_window`]:
 //!
 //! ```text
 //! 0s ── warm-up ── 30s ── pre ── 60s ── fault ── 90s ── gap ── 120s ── post ── 150s
@@ -20,7 +20,7 @@
 
 use std::fmt;
 
-use campaign::{Protocol, ScenarioSpec, TopologySpec};
+use campaign::{Protocol, ScenarioSpec, TopologySpec, TrafficSpec};
 use netsim::fault::FaultPlan;
 use netsim::{GilbertElliott, LinkModel, NodeId, SimDuration, SimTime, WorldStats};
 
@@ -113,7 +113,11 @@ pub fn chaos_scenario(link: LinkModel) -> ScenarioSpec {
     ScenarioSpec::builder()
         .topology(TopologySpec::Line(NODES))
         .link_model(link)
-        .cbr(NodeId(0), NodeId(NODES - 1), SimDuration::from_millis(250))
+        .traffic(TrafficSpec::cbr(
+            NodeId(0),
+            NodeId(NODES - 1),
+            SimDuration::from_millis(250),
+        ))
         .warmup(SimDuration::from_secs(WARMUP_S))
         .duration(SimDuration::from_secs(POST_END_S - WARMUP_S))
         .build()

@@ -4,8 +4,8 @@
 //! transaction outcome mix — the abort-rate-under-chaos experiment.
 //!
 //! Every round attempts one atomic switch through
-//! [`FleetCoordinator::commit_two_phase`]. Chaos produces all three
-//! distributed outcomes:
+//! [`FleetCoordinator::execute`] with [`Strategy::TwoPhase`]. Chaos
+//! produces all three distributed outcomes:
 //!
 //! * a node that is **down at round start** is skipped and reconciled
 //!   best-effort afterwards (its queued ops apply at reboot);
@@ -25,7 +25,7 @@
 use std::fmt;
 
 use manetkit::neighbour::{hello_registration, neighbour_detection_cf};
-use manetkit::{FleetCoordinator, ReconfigOp, TxnOptions, TxnVerdict};
+use manetkit::{FleetCoordinator, ReconfigOp, ReconfigRequest, Strategy, TxnOptions, TxnVerdict};
 use netsim::fault::FaultPlan;
 use netsim::{NodeId, SimDuration, SimTime, Topology, World, WorldStats};
 
@@ -255,7 +255,12 @@ pub fn run_campaign(seed: u64) -> TxnChaosReport {
     for r in 0..u64::from(ROUNDS) {
         world.run_until(secs(WARMUP_S + r * ROUND_GAP_S));
         let from = current;
-        let fleet_report = fleet.commit_two_phase(&mut world, || from.switch_recipe(), &opts);
+        let fleet_report = fleet.execute(
+            &mut world,
+            ReconfigRequest::new()
+                .recipe(|| from.switch_recipe())
+                .strategy(Strategy::TwoPhase(opts.clone())),
+        );
         let outcome = RoundOutcome {
             txn: fleet_report.txn,
             verdict: fleet_report.verdict.to_string(),
@@ -280,7 +285,7 @@ pub fn run_campaign(seed: u64) -> TxnChaosReport {
                 }
             }
             TxnVerdict::Aborted => report.aborted += 1,
-            TxnVerdict::Reverted => report.reverted += 1,
+            _ => report.reverted += 1,
         }
         report.outcomes.push(outcome);
     }

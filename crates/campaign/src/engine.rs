@@ -18,7 +18,7 @@ use std::time::Instant;
 use netsim::SimDuration;
 
 use crate::report::{CampaignReport, CellResult, DeterminismCheck};
-use crate::spec::{CampaignSpec, Cell};
+use crate::spec::{CampaignSpec, Cell, Protocol};
 
 /// How a campaign is executed.
 #[derive(Debug, Clone)]
@@ -99,7 +99,11 @@ fn execute_cell(
     #[cfg(not(feature = "trace"))]
     let _ = trace_capacity;
     let mut world = builder.build();
-    if !cell.protocol.is_agentless() {
+    let adaptive = cell.protocol == Protocol::Adaptive;
+    let mut fleet = None;
+    if adaptive {
+        fleet = Some(adapt::install_fleet(&mut world, adapt::Stack::Olsr));
+    } else if !cell.protocol.is_agentless() {
         let factory = cell.protocol.factory();
         let nodes: Vec<_> = world.node_ids().collect();
         for node in nodes {
@@ -108,17 +112,29 @@ fn execute_cell(
     }
     scenario.install_mobility(&mut world);
     scenario.install_traffic(&mut world);
+    if let Some(traffic) = spec.traffic_spec(cell) {
+        traffic.install(&mut world, scenario.warmup(), scenario.end());
+    }
 
     let mut window = world.stats_window();
     world.run_for(scenario.warmup());
     window.skip(&world); // warm-up is not measured
-    world.run_until(scenario.end() + SimDuration::from_secs(1));
+    let end = scenario.end() + SimDuration::from_secs(1);
+    if let Some(fleet) = fleet {
+        // The closed loop starts after warm-up, so its telemetry windows
+        // never see the convergence transient as a fault signal.
+        let mut engine = adapt::AdaptiveEngine::new(&world, fleet, adapt::AdaptConfig::default());
+        engine.run_until(&mut world, end);
+    } else {
+        world.run_until(end);
+    }
     let stats = window.advance(&world).canonical();
 
     let result = CellResult {
         index: cell.index,
         protocol: cell.protocol.name(),
         scenario: scenario_label.clone(),
+        traffic: spec.traffic_label(cell),
         fault: fault.label(),
         seed: cell.seed,
         stats,
@@ -231,13 +247,17 @@ pub fn run(spec: &CampaignSpec, config: &RunConfig) -> CampaignReport {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use crate::spec::{FaultSpec, Protocol, ScenarioSpec, TopologySpec};
+    use crate::spec::{FaultSpec, Protocol, ScenarioSpec, TopologySpec, TrafficSpec};
     use netsim::{NodeId, SimDuration};
 
     fn tiny_spec(name: &str) -> CampaignSpec {
         let scenario = ScenarioSpec::builder()
             .topology(TopologySpec::Line(3))
-            .cbr(NodeId(0), NodeId(2), SimDuration::from_millis(500))
+            .traffic(TrafficSpec::cbr(
+                NodeId(0),
+                NodeId(2),
+                SimDuration::from_millis(500),
+            ))
             .warmup(SimDuration::from_secs(5))
             .duration(SimDuration::from_secs(10))
             .build();
@@ -300,7 +320,12 @@ mod tests {
                 duration: SimDuration::from_secs(15),
                 seed: 3,
             })
-            .random_flows(8, SimDuration::from_millis(500), 32, 17)
+            .traffic(TrafficSpec::random_flows(
+                8,
+                SimDuration::from_millis(500),
+                32,
+                17,
+            ))
             .warmup(SimDuration::from_secs(5))
             .duration(SimDuration::from_secs(10))
             .build();
@@ -323,6 +348,60 @@ mod tests {
             "geo forwarding must deliver some packets on a dense walk"
         );
         assert_eq!(report.merged.control_frames, 0, "agentless: no control");
+    }
+
+    #[test]
+    fn adaptive_cells_run_the_closed_loop_and_traffic_axis_multiplies_the_grid() {
+        let scenario = ScenarioSpec::builder()
+            .topology(TopologySpec::Line(3))
+            .warmup(SimDuration::from_secs(10))
+            .duration(SimDuration::from_secs(20))
+            .build();
+        let spec = CampaignSpec::new("adaptive-test")
+            .scenario("line3", scenario)
+            .traffic(
+                "cbr-2hop",
+                TrafficSpec::cbr(NodeId(0), NodeId(2), SimDuration::from_millis(500)),
+            )
+            .traffic(
+                "cbr-1hop",
+                TrafficSpec::cbr(NodeId(0), NodeId(1), SimDuration::from_millis(500)),
+            )
+            .protocols([Protocol::MkitOlsr, Protocol::Adaptive])
+            .seeds([1]);
+        assert_eq!(
+            spec.cells().len(),
+            4,
+            "1 scenario x 2 traffics x 2 protocols"
+        );
+        let report = run(
+            &spec,
+            &RunConfig {
+                threads: 2,
+                check_determinism: true,
+            },
+        );
+        let check = report.determinism.expect("check ran");
+        assert!(check.passed(), "mismatches: {:?}", check.mismatched);
+        for cell in &report.cells {
+            assert!(
+                cell.stats.delivery_ratio() > 0.9,
+                "{}: healthy line must deliver ({:.3})",
+                cell.label(),
+                cell.stats.delivery_ratio()
+            );
+            if cell.protocol == "adaptive" {
+                assert!(cell.stats.agent_counter("adapt.ticks") > 0);
+                assert_eq!(
+                    cell.stats.agent_counter("adapt.switches"),
+                    0,
+                    "{}: a healthy world never switches",
+                    cell.label()
+                );
+            }
+        }
+        let labels: Vec<_> = report.cells.iter().map(|c| c.traffic.clone()).collect();
+        assert_eq!(labels, ["cbr-2hop", "cbr-2hop", "cbr-1hop", "cbr-1hop"]);
     }
 
     #[test]

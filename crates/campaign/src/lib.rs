@@ -1,14 +1,17 @@
 //! Parallel experiment-campaign engine for the MANETKit reproduction.
 //!
 //! The paper's evaluation (§5–§6) is a grid of experiment cells —
-//! protocol × topology × fault × seed — that the original authors executed
-//! one at a time on a 5-node testbed. Here each cell is a self-contained
-//! deterministic [`netsim::World`], which makes a campaign embarrassingly
-//! parallel: this crate provides
+//! protocol × topology × traffic × fault × seed — that the original
+//! authors executed one at a time on a 5-node testbed. Here each cell is a
+//! self-contained deterministic [`netsim::World`], which makes a campaign
+//! embarrassingly parallel: this crate provides
 //!
-//! * [`spec`] — the declarative vocabulary: [`Protocol`], [`TopologySpec`],
-//!   [`ScenarioSpec`] (builder-style; the scenario vocabulary shared with
-//!   the `bench` crate), [`FaultSpec`] and the [`CampaignSpec`] grid.
+//! * [`spec`] — the declarative vocabulary: [`Protocol`] (including the
+//!   closed-loop [`Protocol::Adaptive`] treatment arm driven by the
+//!   `adapt` crate), [`TopologySpec`], [`ScenarioSpec`] (builder-style;
+//!   the scenario vocabulary shared with the `bench` crate),
+//!   [`TrafficSpec`] (also a first-class grid axis), [`FaultSpec`] and
+//!   the [`CampaignSpec`] grid.
 //! * [`engine`] — scoped work-stealing execution over OS threads
 //!   ([`engine::run`]): workers claim cells off an atomic cursor, results
 //!   land in deterministic cell order, and `check_determinism` re-runs
@@ -22,12 +25,14 @@
 //! # Example
 //!
 //! ```
-//! use campaign::{engine, CampaignSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec};
+//! use campaign::{
+//!     engine, CampaignSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec, TrafficSpec,
+//! };
 //! use netsim::{NodeId, SimDuration};
 //!
 //! let scenario = ScenarioSpec::builder()
 //!     .topology(TopologySpec::Line(3))
-//!     .cbr(NodeId(0), NodeId(2), SimDuration::from_millis(500))
+//!     .traffic(TrafficSpec::cbr(NodeId(0), NodeId(2), SimDuration::from_millis(500)))
 //!     .warmup(SimDuration::from_secs(5))
 //!     .duration(SimDuration::from_secs(10))
 //!     .build();

@@ -18,6 +18,9 @@ pub struct CellResult {
     pub protocol: &'static str,
     /// Scenario label.
     pub scenario: String,
+    /// Traffic-axis label (`"scenario"` when the campaign has no traffic
+    /// axis and the cell carries only its scenario's built-in traffic).
+    pub traffic: String,
     /// Fault-axis label.
     pub fault: String,
     /// World seed.
@@ -39,21 +42,22 @@ impl CellResult {
     #[must_use]
     pub fn fingerprint(&self) -> String {
         format!(
-            "{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}",
             self.protocol,
             self.scenario,
+            self.traffic,
             self.fault,
             self.seed,
             stats_fingerprint(&self.stats)
         )
     }
 
-    /// Short `protocol/scenario/fault/seed` coordinate label.
+    /// Short `protocol/scenario/traffic/fault/seed` coordinate label.
     #[must_use]
     pub fn label(&self) -> String {
         format!(
-            "{}/{}/{}/s{}",
-            self.protocol, self.scenario, self.fault, self.seed
+            "{}/{}/{}/{}/s{}",
+            self.protocol, self.scenario, self.traffic, self.fault, self.seed
         )
     }
 
@@ -61,10 +65,11 @@ impl CellResult {
     #[must_use]
     pub fn deterministic_json(&self) -> String {
         format!(
-            "{{\"index\":{},\"protocol\":{},\"scenario\":{},\"fault\":{},\"seed\":{},\"stats\":{}}}",
+            "{{\"index\":{},\"protocol\":{},\"scenario\":{},\"traffic\":{},\"fault\":{},\"seed\":{},\"stats\":{}}}",
             self.index,
             json_string(self.protocol),
             json_string(&self.scenario),
+            json_string(&self.traffic),
             json_string(&self.fault),
             self.seed,
             stats_json(&self.stats),
@@ -311,6 +316,7 @@ mod tests {
             index: 0,
             protocol: "mkit-olsr",
             scenario: "line5".into(),
+            traffic: "scenario".into(),
             fault: "none".into(),
             seed: 7,
             stats: WorldStats {

@@ -37,6 +37,16 @@ pub enum Protocol {
     /// [`ALL`](Self::ALL) because it is not a routing protocol under
     /// comparison.
     Geo,
+    /// The closed-loop adaptive stack: nodes boot MANETKit OLSR and the
+    /// `adapt` policy engine drives transactional OLSR↔DYMO↔AODV
+    /// switches off windowed telemetry during the measured span. Not in
+    /// [`ALL`](Self::ALL)/[`MANETKIT`](Self::MANETKIT) — it is the
+    /// *treatment* arm pitted against those static baselines. Cells of
+    /// this protocol are driven by the engine directly (the
+    /// [`factory`](Self::factory) contract cannot carry the fleet
+    /// handles the coordinator needs), so [`factory`](Self::factory)
+    /// panics for it.
+    Adaptive,
 }
 
 impl Protocol {
@@ -63,6 +73,7 @@ impl Protocol {
             Protocol::Olsrd => "olsrd",
             Protocol::Dymoum => "dymoum",
             Protocol::Geo => "geo",
+            Protocol::Adaptive => "adaptive",
         }
     }
 
@@ -75,6 +86,13 @@ impl Protocol {
     }
 
     /// A thread-safe factory building one node's agent for this stack.
+    ///
+    /// # Panics
+    ///
+    /// Panics for [`Protocol::Adaptive`]: adaptive cells are installed by
+    /// the engine through `adapt::install_fleet` (the coordinator needs
+    /// every node's control handle, which a bare agent factory cannot
+    /// return).
     #[must_use]
     pub fn factory(self) -> AgentFactory {
         match self {
@@ -93,6 +111,9 @@ impl Protocol {
             Protocol::Olsrd => Box::new(|| Box::new(Olsrd::new(OlsrdConfig::default()))),
             Protocol::Dymoum => Box::new(|| Box::new(Dymoum::new())),
             Protocol::Geo => Box::new(|| Box::new(NullAgent)),
+            Protocol::Adaptive => {
+                panic!("adaptive cells are installed by the campaign engine, not a factory")
+            }
         }
     }
 }
@@ -221,6 +242,126 @@ pub enum TrafficSpec {
         /// Pair-selection seed.
         seed: u64,
     },
+}
+
+impl TrafficSpec {
+    /// A CBR flow with the default 64-byte payload.
+    #[must_use]
+    pub fn cbr(src: NodeId, dst: NodeId, interval: SimDuration) -> Self {
+        TrafficSpec::Cbr {
+            src,
+            dst,
+            interval,
+            payload: 64,
+        }
+    }
+
+    /// `flows` seeded random-pair CBR flows with the given payload.
+    #[must_use]
+    pub fn random_flows(flows: usize, interval: SimDuration, payload: usize, seed: u64) -> Self {
+        TrafficSpec::RandomFlows {
+            flows,
+            interval,
+            payload,
+            seed,
+        }
+    }
+
+    /// Stable label for reports (also the traffic-axis cell coordinate).
+    #[must_use]
+    pub fn label(&self) -> String {
+        match *self {
+            TrafficSpec::Cbr {
+                src, dst, interval, ..
+            } => {
+                format!("cbr{}-{}-{}ms", src.0, dst.0, interval.as_micros() / 1_000)
+            }
+            TrafficSpec::RandomFlows {
+                flows,
+                interval,
+                seed,
+                ..
+            } => format!("flows{flows}-{}ms-s{seed}", interval.as_micros() / 1_000),
+        }
+    }
+
+    /// Schedules this traffic pattern into a freshly built world, for a
+    /// measured span of `[warmup, end)`: every flow's first send is
+    /// offset half an interval past warm-up (plus a per-flow phase
+    /// stagger for random flows) so each send falls unambiguously inside
+    /// one measurement window.
+    pub fn install(&self, world: &mut World, warmup: SimDuration, end: SimTime) {
+        match *self {
+            TrafficSpec::Cbr {
+                src,
+                dst,
+                interval,
+                payload,
+            } => {
+                schedule_cbr(
+                    world,
+                    src,
+                    dst,
+                    interval,
+                    payload,
+                    warmup,
+                    SimDuration::ZERO,
+                    end,
+                );
+            }
+            TrafficSpec::RandomFlows {
+                flows,
+                interval,
+                payload,
+                seed,
+            } => {
+                let n = world.node_count();
+                assert!(n >= 2, "random flows need at least two nodes");
+                let mut rng = StdRng::seed_from_u64(seed);
+                for f in 0..flows {
+                    let src = NodeId(rng.gen_range(0..n));
+                    let dst = loop {
+                        let d = NodeId(rng.gen_range(0..n));
+                        if d != src {
+                            break d;
+                        }
+                    };
+                    // Stagger flow phases across one interval so a
+                    // thousand flows don't all fire on the same tick.
+                    let phase = SimDuration::from_micros(
+                        interval.as_micros() * (f as u64) / (flows as u64).max(1),
+                    );
+                    schedule_cbr(world, src, dst, interval, payload, warmup, phase, end);
+                }
+            }
+        }
+    }
+}
+
+/// Schedules one CBR flow: first send half an interval past warm-up (plus
+/// `phase`), then every `interval` until `end`.
+#[allow(clippy::too_many_arguments)]
+fn schedule_cbr(
+    world: &mut World,
+    src: NodeId,
+    dst: NodeId,
+    interval: SimDuration,
+    payload: usize,
+    warmup: SimDuration,
+    phase: SimDuration,
+    end: SimTime,
+) {
+    let dst_addr = world.addr(dst);
+    let mut at =
+        SimTime::ZERO + warmup + SimDuration::from_micros(interval.as_micros() / 2) + phase;
+    let mut k = 0u32;
+    while at < end {
+        let mut bytes = vec![0u8; payload.max(4)];
+        bytes[..4].copy_from_slice(&k.to_be_bytes());
+        world.send_datagram_at(at, src, dst_addr, bytes);
+        at += interval;
+        k += 1;
+    }
 }
 
 /// A fault axis of the grid: how (and whether) a cell's run is disturbed.
@@ -372,71 +513,17 @@ impl ScenarioSpec {
         }
     }
 
-    /// Schedules the scenario's traffic into a freshly built world.
-    pub fn install_traffic(&self, world: &mut World) {
-        for t in &self.traffic {
-            match *t {
-                TrafficSpec::Cbr {
-                    src,
-                    dst,
-                    interval,
-                    payload,
-                } => {
-                    self.schedule_cbr(world, src, dst, interval, payload, SimDuration::ZERO);
-                }
-                TrafficSpec::RandomFlows {
-                    flows,
-                    interval,
-                    payload,
-                    seed,
-                } => {
-                    let n = world.node_count();
-                    assert!(n >= 2, "random flows need at least two nodes");
-                    let mut rng = StdRng::seed_from_u64(seed);
-                    for f in 0..flows {
-                        let src = NodeId(rng.gen_range(0..n));
-                        let dst = loop {
-                            let d = NodeId(rng.gen_range(0..n));
-                            if d != src {
-                                break d;
-                            }
-                        };
-                        // Stagger flow phases across one interval so a
-                        // thousand flows don't all fire on the same tick.
-                        let phase = SimDuration::from_micros(
-                            interval.as_micros() * (f as u64) / (flows as u64).max(1),
-                        );
-                        self.schedule_cbr(world, src, dst, interval, payload, phase);
-                    }
-                }
-            }
-        }
+    /// The scenario's built-in traffic patterns.
+    #[must_use]
+    pub fn traffic(&self) -> &[TrafficSpec] {
+        &self.traffic
     }
 
-    /// Schedules one CBR flow: first send half an interval past warm-up
-    /// (plus `phase`), then every `interval` until the measured span ends.
-    fn schedule_cbr(
-        &self,
-        world: &mut World,
-        src: NodeId,
-        dst: NodeId,
-        interval: SimDuration,
-        payload: usize,
-        phase: SimDuration,
-    ) {
-        let dst_addr = world.addr(dst);
-        let mut at = SimTime::ZERO
-            + self.warmup
-            + SimDuration::from_micros(interval.as_micros() / 2)
-            + phase;
-        let end = self.end();
-        let mut k = 0u32;
-        while at < end {
-            let mut bytes = vec![0u8; payload.max(4)];
-            bytes[..4].copy_from_slice(&k.to_be_bytes());
-            world.send_datagram_at(at, src, dst_addr, bytes);
-            at += interval;
-            k += 1;
+    /// Schedules the scenario's built-in traffic into a freshly built
+    /// world (axis traffic from a [`CampaignSpec`] grid installs on top).
+    pub fn install_traffic(&self, world: &mut World) {
+        for t in &self.traffic {
+            t.install(world, self.warmup, self.end());
         }
     }
 }
@@ -462,48 +549,59 @@ impl ScenarioBuilder {
         self
     }
 
+    /// Adds a traffic pattern — the one entry point for all traffic
+    /// shapes (build the value with [`TrafficSpec::cbr`],
+    /// [`TrafficSpec::random_flows`] or the enum literals).
+    #[must_use]
+    pub fn traffic(mut self, traffic: TrafficSpec) -> Self {
+        self.spec.traffic.push(traffic);
+        self
+    }
+
     /// Adds a CBR flow `src` → `dst` with the given inter-packet gap and a
     /// 64-byte payload.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use traffic(TrafficSpec::cbr(src, dst, interval))"
+    )]
     #[must_use]
     pub fn cbr(self, src: NodeId, dst: NodeId, interval: SimDuration) -> Self {
-        self.cbr_sized(src, dst, interval, 64)
+        self.traffic(TrafficSpec::cbr(src, dst, interval))
     }
 
     /// Adds a CBR flow with an explicit payload size.
+    #[deprecated(since = "0.2.0", note = "use traffic(TrafficSpec::Cbr { .. })")]
     #[must_use]
     pub fn cbr_sized(
-        mut self,
+        self,
         src: NodeId,
         dst: NodeId,
         interval: SimDuration,
         payload: usize,
     ) -> Self {
-        self.spec.traffic.push(TrafficSpec::Cbr {
+        self.traffic(TrafficSpec::Cbr {
             src,
             dst,
             interval,
             payload,
-        });
-        self
+        })
     }
 
     /// Adds `flows` CBR flows between seeded random distinct node pairs
     /// (see [`TrafficSpec::RandomFlows`]).
+    #[deprecated(
+        since = "0.2.0",
+        note = "use traffic(TrafficSpec::random_flows(flows, interval, payload, seed))"
+    )]
     #[must_use]
     pub fn random_flows(
-        mut self,
+        self,
         flows: usize,
         interval: SimDuration,
         payload: usize,
         seed: u64,
     ) -> Self {
-        self.spec.traffic.push(TrafficSpec::RandomFlows {
-            flows,
-            interval,
-            payload,
-            seed,
-        });
-        self
+        self.traffic(TrafficSpec::random_flows(flows, interval, payload, seed))
     }
 
     /// Attaches random-waypoint mobility and sets the topology to the
@@ -552,6 +650,9 @@ pub struct Cell {
     pub protocol: Protocol,
     /// Index into [`CampaignSpec::scenarios`].
     pub scenario: usize,
+    /// Index into [`CampaignSpec::traffics`] (0 when the traffic axis is
+    /// empty: the cell runs the scenario's built-in traffic only).
+    pub traffic: usize,
     /// Index into [`CampaignSpec::faults`].
     pub fault: usize,
     /// World seed (also stamps the fault plan).
@@ -559,7 +660,11 @@ pub struct Cell {
 }
 
 /// A declarative grid of experiment cells:
-/// scenarios × protocols × faults × seeds, in that nesting order.
+/// scenarios × traffics × protocols × faults × seeds, in that nesting
+/// order. An empty traffic axis means every cell runs its scenario's
+/// built-in traffic; a populated one installs each labelled
+/// [`TrafficSpec`] *on top* of the scenario's built-in traffic, making
+/// traffic shape a first-class grid coordinate.
 ///
 /// The grid is *data*; execution lives in [`crate::engine`]. Cell order is
 /// deterministic and independent of how many threads later execute it.
@@ -569,6 +674,8 @@ pub struct CampaignSpec {
     pub name: String,
     /// Labelled scenarios (outermost axis).
     pub scenarios: Vec<(String, ScenarioSpec)>,
+    /// Labelled traffic patterns (empty: scenario traffic only).
+    pub traffics: Vec<(String, TrafficSpec)>,
     /// Protocol stacks.
     pub protocols: Vec<Protocol>,
     /// Fault axes.
@@ -584,6 +691,7 @@ impl CampaignSpec {
         CampaignSpec {
             name: name.into(),
             scenarios: Vec::new(),
+            traffics: Vec::new(),
             protocols: Vec::new(),
             faults: Vec::new(),
             seeds: Vec::new(),
@@ -594,6 +702,13 @@ impl CampaignSpec {
     #[must_use]
     pub fn scenario(mut self, label: impl Into<String>, spec: ScenarioSpec) -> Self {
         self.scenarios.push((label.into(), spec));
+        self
+    }
+
+    /// Adds a labelled traffic pattern to the traffic axis.
+    #[must_use]
+    pub fn traffic(mut self, label: impl Into<String>, spec: TrafficSpec) -> Self {
+        self.traffics.push((label.into(), spec));
         self
     }
 
@@ -619,23 +734,28 @@ impl CampaignSpec {
     }
 
     /// Enumerates the grid in its deterministic order:
-    /// scenario → protocol → fault → seed. An empty fault axis behaves as
-    /// a single [`FaultSpec::None`].
+    /// scenario → traffic → protocol → fault → seed. An empty fault axis
+    /// behaves as a single [`FaultSpec::None`]; an empty traffic axis as
+    /// a single scenario-traffic-only coordinate.
     #[must_use]
     pub fn cells(&self) -> Vec<Cell> {
+        let traffic_count = self.traffics.len().max(1);
         let fault_count = self.faults.len().max(1);
         let mut cells = Vec::new();
         for scenario in 0..self.scenarios.len() {
-            for &protocol in &self.protocols {
-                for fault in 0..fault_count {
-                    for &seed in &self.seeds {
-                        cells.push(Cell {
-                            index: cells.len(),
-                            protocol,
-                            scenario,
-                            fault,
-                            seed,
-                        });
+            for traffic in 0..traffic_count {
+                for &protocol in &self.protocols {
+                    for fault in 0..fault_count {
+                        for &seed in &self.seeds {
+                            cells.push(Cell {
+                                index: cells.len(),
+                                protocol,
+                                scenario,
+                                traffic,
+                                fault,
+                                seed,
+                            });
+                        }
                     }
                 }
             }
@@ -650,6 +770,22 @@ impl CampaignSpec {
             .get(cell.fault)
             .cloned()
             .unwrap_or(FaultSpec::None)
+    }
+
+    /// The axis traffic a cell installs on top of its scenario's built-in
+    /// traffic; `None` when the traffic axis is empty.
+    #[must_use]
+    pub fn traffic_spec(&self, cell: &Cell) -> Option<&TrafficSpec> {
+        self.traffics.get(cell.traffic).map(|(_, t)| t)
+    }
+
+    /// The cell's traffic-axis label (`"scenario"` when the axis is empty
+    /// — the cell carries only its scenario's built-in traffic).
+    #[must_use]
+    pub fn traffic_label(&self, cell: &Cell) -> String {
+        self.traffics
+            .get(cell.traffic)
+            .map_or_else(|| "scenario".to_string(), |(label, _)| label.clone())
     }
 }
 
@@ -688,6 +824,42 @@ mod tests {
     }
 
     #[test]
+    fn traffic_axis_multiplies_the_grid_between_scenario_and_protocol() {
+        let spec = CampaignSpec::new("t")
+            .scenario("a", ScenarioSpec::builder().build())
+            .traffic(
+                "slow",
+                TrafficSpec::cbr(NodeId(0), NodeId(4), SimDuration::from_secs(1)),
+            )
+            .traffic(
+                "fast",
+                TrafficSpec::cbr(NodeId(0), NodeId(4), SimDuration::from_millis(100)),
+            )
+            .protocols([Protocol::MkitOlsr, Protocol::Adaptive])
+            .seeds([1]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4);
+        assert_eq!(cells[0].traffic, 0);
+        assert_eq!(cells[1].traffic, 0);
+        assert_eq!(cells[2].traffic, 1);
+        assert_eq!(spec.traffic_label(&cells[0]), "slow");
+        assert_eq!(spec.traffic_label(&cells[2]), "fast");
+        assert!(spec.traffic_spec(&cells[3]).is_some());
+    }
+
+    #[test]
+    fn empty_traffic_axis_is_one_scenario_labelled_pass() {
+        let spec = CampaignSpec::new("t")
+            .scenario("a", ScenarioSpec::builder().build())
+            .protocols([Protocol::MkitOlsr])
+            .seeds([1]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(spec.traffic_label(&cells[0]), "scenario");
+        assert!(spec.traffic_spec(&cells[0]).is_none());
+    }
+
+    #[test]
     fn factories_are_shareable_across_threads() {
         fn assert_sync<T: Sync + Send>(_: &T) {}
         for p in Protocol::ALL {
@@ -702,7 +874,11 @@ mod tests {
     fn scenario_traffic_lands_inside_the_measured_span() {
         let spec = ScenarioSpec::builder()
             .topology(TopologySpec::Full(2))
-            .cbr(NodeId(0), NodeId(1), SimDuration::from_millis(250))
+            .traffic(TrafficSpec::cbr(
+                NodeId(0),
+                NodeId(1),
+                SimDuration::from_millis(250),
+            ))
             .warmup(SimDuration::from_secs(1))
             .duration(SimDuration::from_secs(2))
             .build();

@@ -3,7 +3,9 @@
 //! byte-identical deterministic report section on 1 and on 4 threads,
 //! passes `--check-determinism`, and merges shard statistics exactly.
 
-use campaign::{engine, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec};
+use campaign::{
+    engine, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec, TrafficSpec,
+};
 use netsim::{NodeId, SimDuration, SimTime, WorldStats};
 
 /// The example's E13 smoke grid, time-compressed so the test stays fast
@@ -11,7 +13,11 @@ use netsim::{NodeId, SimDuration, SimTime, WorldStats};
 fn smoke_grid_spec() -> CampaignSpec {
     let scenario = ScenarioSpec::builder()
         .topology(TopologySpec::Line(5))
-        .cbr(NodeId(0), NodeId(4), SimDuration::from_millis(250))
+        .traffic(TrafficSpec::cbr(
+            NodeId(0),
+            NodeId(4),
+            SimDuration::from_millis(250),
+        ))
         .warmup(SimDuration::from_secs(10))
         .duration(SimDuration::from_secs(20))
         .build();

@@ -6,7 +6,7 @@
 
 use campaign::{
     engine, run_cell_traced, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec,
-    TopologySpec, TRACE_RING_CAPACITY,
+    TopologySpec, TrafficSpec, TRACE_RING_CAPACITY,
 };
 use netsim::trace::first_divergence;
 use netsim::{NodeId, SimDuration};
@@ -14,7 +14,11 @@ use netsim::{NodeId, SimDuration};
 fn spec(name: &str, seeds: impl IntoIterator<Item = u64>) -> CampaignSpec {
     let scenario = ScenarioSpec::builder()
         .topology(TopologySpec::Line(3))
-        .cbr(NodeId(0), NodeId(2), SimDuration::from_millis(500))
+        .traffic(TrafficSpec::cbr(
+            NodeId(0),
+            NodeId(2),
+            SimDuration::from_millis(500),
+        ))
         .warmup(SimDuration::from_secs(5))
         .duration(SimDuration::from_secs(10))
         .build();

@@ -6,14 +6,20 @@
 //! counter here means a campaign workload started mutating compositions
 //! behind the experiment's back.
 
-use campaign::{engine, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec};
+use campaign::{
+    engine, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec, TrafficSpec,
+};
 use netsim::{NodeId, SimDuration};
 
 #[test]
 fn every_campaign_cell_conserves_the_txn_ledger() {
     let scenario = ScenarioSpec::builder()
         .topology(TopologySpec::Line(4))
-        .cbr(NodeId(0), NodeId(3), SimDuration::from_millis(500))
+        .traffic(TrafficSpec::cbr(
+            NodeId(0),
+            NodeId(3),
+            SimDuration::from_millis(500),
+        ))
         .warmup(SimDuration::from_secs(5))
         .duration(SimDuration::from_secs(10))
         .build();

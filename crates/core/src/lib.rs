@@ -74,7 +74,8 @@ pub use protocol::{
     EventHandler, EventSource, Forwarder, ManetProtocolCf, ProtoCtx, StateCodec, StateSlot,
 };
 pub use reconfig::{
-    FleetCoordinator, FleetStatus, FleetTxnReport, HealthGate, TxnOptions, TxnVerdict,
+    FleetCoordinator, FleetStatus, FleetTxnReport, HealthGate, ReconfigRequest, Strategy,
+    TxnOptions, TxnVerdict,
 };
 pub use registry::EventTuple;
 pub use smallvec::SmallVec;
@@ -93,5 +94,6 @@ pub mod prelude {
     pub use crate::protocol::{
         EventHandler, EventSource, Forwarder, ManetProtocolCf, ProtoCtx, StateSlot,
     };
+    pub use crate::reconfig::{FleetCoordinator, ReconfigRequest, Strategy};
     pub use crate::registry::EventTuple;
 }

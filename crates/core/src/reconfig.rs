@@ -6,22 +6,32 @@
 //! (see [`NodeHandle`]); the [`FleetCoordinator`] broadcasts an operation
 //! *recipe* to every handle and reports when all nodes have applied it
 //! (or which ones failed) — the per-node half of a closed control loop
-//! whose decision making the paper delegates to higher-level software.
+//! whose decision making lives in the `manetkit-adapt` policy engine.
 //!
-//! Two coordination disciplines are provided:
+//! All coordination disciplines are driven through **one** entry point:
+//! build a [`ReconfigRequest`] (what to apply, under which [`Strategy`],
+//! with an optional [`HealthGate`]) and hand it to
+//! [`FleetCoordinator::execute`], which always returns a
+//! [`FleetTxnReport`]:
 //!
-//! * **Best-effort** ([`apply_all`](FleetCoordinator::apply_all) and
-//!   friends): ops enqueue everywhere and apply independently; crashed
-//!   nodes pick theirs up after reboot.
-//! * **Transactional** ([`commit_two_phase`]
-//!   (FleetCoordinator::commit_two_phase)): a two-phase commit over the
-//!   per-node transaction engine ([`crate::txn`]) — every alive node
-//!   *prepares* the batch (checkpoint + apply + hold the undo log open),
-//!   and the coordinator commits only when **all** of them prepared in
-//!   time; otherwise the prepared subset rolls back and no node is left
-//!   running the new composition. An optional [`HealthGate`] then watches
-//!   the committed composition for a provisional window and *reverts* the
+//! * [`Strategy::BestEffort`]: ops enqueue everywhere and apply
+//!   independently at each node's quiescent point; crashed nodes pick
+//!   theirs up after reboot.
+//! * [`Strategy::Retry`]: like best-effort, but dead nodes are tracked
+//!   against the coordinator's retry budget and dropped once it is
+//!   exhausted (the permanently-dead give-up path).
+//! * [`Strategy::TwoPhase`]: a two-phase commit over the per-node
+//!   transaction engine ([`crate::txn`]) — every alive node *prepares*
+//!   the batch (checkpoint + apply + hold the undo log open), and the
+//!   coordinator commits only when **all** of them prepared in time;
+//!   otherwise the prepared subset rolls back and no node is left running
+//!   the new composition. An optional [`HealthGate`] then watches the
+//!   committed composition for a provisional window and *reverts* the
 //!   whole fleet if the delivery ratio regresses.
+//!
+//! The pre-0.2 entry points (`apply_all`, `apply_each`,
+//! `apply_all_with_retry`, `commit_two_phase`) remain as thin
+//! `#[deprecated]` shims over the same internals for one release.
 
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -37,9 +47,9 @@ use crate::node::{NodeHandle, ReconfigOp, TxnCtl, TxnPhase};
 pub struct FleetCoordinator {
     handles: Vec<NodeHandle>,
     ids: Vec<NodeId>,
-    /// How many consecutive times [`apply_all_with_retry`]
-    /// (Self::apply_all_with_retry) may find a node dead before its pending
-    /// ops are dropped automatically (`None`: never give up).
+    /// How many consecutive times a [`Strategy::Retry`] execution may find
+    /// a node dead before its pending ops are dropped automatically
+    /// (`None`: never give up).
     retry_budget: Option<u32>,
     /// Consecutive dead-at-enqueue counts, indexed like `handles`. Shared
     /// so cloned coordinators agree on the budget accounting.
@@ -93,8 +103,9 @@ impl fmt::Display for FleetStatus {
     }
 }
 
-/// How a fleet transaction ended.
+/// How a fleet reconfiguration ended.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum TxnVerdict {
     /// Every participant prepared and committed; the health window (if
     /// any) passed.
@@ -105,6 +116,11 @@ pub enum TxnVerdict {
     /// The fleet committed but the health gate tripped; every participant
     /// reverted to its checkpoint.
     Reverted,
+    /// Non-transactional execution ([`Strategy::BestEffort`] /
+    /// [`Strategy::Retry`]): the batches were enqueued and apply
+    /// independently at each node's quiescent point — watch
+    /// [`FleetCoordinator::status`] for convergence.
+    Enqueued,
 }
 
 impl fmt::Display for TxnVerdict {
@@ -113,6 +129,7 @@ impl fmt::Display for TxnVerdict {
             TxnVerdict::Committed => "committed",
             TxnVerdict::Aborted => "aborted",
             TxnVerdict::Reverted => "reverted",
+            TxnVerdict::Enqueued => "enqueued",
         })
     }
 }
@@ -121,6 +138,17 @@ impl fmt::Display for TxnVerdict {
 /// composition runs provisionally for `window`; if the fleet delivery
 /// ratio drops more than `max_drop` below the baseline, the coordinator
 /// reverts the whole transaction.
+///
+/// Built with named constructors — no bare positional floats:
+///
+/// ```
+/// use manetkit::HealthGate;
+/// use netsim::SimDuration;
+///
+/// let gate = HealthGate::over_window(SimDuration::from_secs(5)).max_drop(0.3);
+/// assert_eq!(gate.window, SimDuration::from_secs(5));
+/// assert!(gate.baseline.is_none(), "baseline is measured by default");
+/// ```
 #[derive(Debug, Clone, PartialEq)]
 pub struct HealthGate {
     /// Length of the provisional observation window.
@@ -133,8 +161,49 @@ pub struct HealthGate {
     pub baseline: Option<f64>,
 }
 
+impl Default for HealthGate {
+    /// A 10-second provisional window tolerating a 0.2 delivery-ratio
+    /// drop against a measured baseline.
+    fn default() -> Self {
+        HealthGate {
+            window: SimDuration::from_secs(10),
+            max_drop: 0.2,
+            baseline: None,
+        }
+    }
+}
+
 impl HealthGate {
+    /// A gate observing the given provisional window (defaults otherwise:
+    /// 0.2 tolerated drop, measured baseline).
+    #[must_use]
+    pub fn over_window(window: SimDuration) -> Self {
+        HealthGate {
+            window,
+            ..HealthGate::default()
+        }
+    }
+
+    /// Sets the maximum tolerated delivery-ratio drop (absolute).
+    #[must_use]
+    pub fn max_drop(mut self, max_drop: f64) -> Self {
+        self.max_drop = max_drop;
+        self
+    }
+
+    /// Compares against a known baseline instead of measuring a
+    /// pre-window of the gate's length.
+    #[must_use]
+    pub fn against_baseline(mut self, ratio: f64) -> Self {
+        self.baseline = Some(ratio);
+        self
+    }
+
     /// A gate with a measured baseline.
+    #[deprecated(
+        since = "0.2.0",
+        note = "use HealthGate::over_window(window).max_drop(max_drop)"
+    )]
     #[must_use]
     pub fn new(window: SimDuration, max_drop: f64) -> Self {
         HealthGate {
@@ -145,7 +214,7 @@ impl HealthGate {
     }
 }
 
-/// Knobs for [`FleetCoordinator::commit_two_phase`].
+/// Knobs for [`Strategy::TwoPhase`] executions.
 #[derive(Debug, Clone, PartialEq)]
 pub struct TxnOptions {
     /// Virtual-time budget for every participant to reach a quiescent
@@ -179,18 +248,26 @@ impl Default for TxnOptions {
     }
 }
 
-/// Outcome of one [`commit_two_phase`](FleetCoordinator::commit_two_phase)
-/// run.
+/// Outcome of one [`FleetCoordinator::execute`] run (and of the
+/// deprecated `commit_two_phase` shim).
+#[must_use = "the report says whether the fleet actually changed — check the verdict"]
 #[derive(Debug, Clone, PartialEq)]
 pub struct FleetTxnReport {
-    /// Transaction id (matches the per-node trace records).
+    /// Transaction id (matches the per-node trace records); `0` for
+    /// non-transactional ([`TxnVerdict::Enqueued`]) executions.
     pub txn: u64,
     /// How it ended.
     pub verdict: TxnVerdict,
     /// Nodes that took part.
     pub participants: Vec<NodeId>,
-    /// Nodes skipped because they were down at the start.
+    /// Nodes excluded from the run: down at the start of a transaction,
+    /// or dropped by an exhausted [`Strategy::Retry`] budget.
     pub skipped: Vec<NodeId>,
+    /// Nodes that were down at enqueue time of a best-effort/retry
+    /// execution; their batches apply at the first post-reboot quiescent
+    /// point. Always empty for transactional runs (a transaction skips
+    /// dead nodes instead).
+    pub deferred: Vec<NodeId>,
     /// Why the transaction aborted or reverted (`None` on commit).
     pub reason: Option<String>,
     /// Baseline delivery ratio the health gate compared against.
@@ -225,6 +302,9 @@ impl fmt::Display for FleetTxnReport {
         if !self.skipped.is_empty() {
             write!(f, ", skipped {}", id_list(&self.skipped))?;
         }
+        if !self.deferred.is_empty() {
+            write!(f, ", deferred {}", id_list(&self.deferred))?;
+        }
         if !self.unresolved.is_empty() {
             write!(f, ", unresolved {}", id_list(&self.unresolved))?;
         }
@@ -232,6 +312,121 @@ impl fmt::Display for FleetTxnReport {
             write!(f, ", unprepared {}", id_list(&self.unprepared))?;
         }
         Ok(())
+    }
+}
+
+/// The operation batches a [`ReconfigRequest`] applies: one recipe invoked
+/// per node (ops own protocol state, so `ReconfigOp` is not `Clone`), or a
+/// node-indexed recipe for staged rollouts.
+enum Recipe<'a> {
+    /// The same batch everywhere (`recipe()` invoked once per node).
+    Uniform(Box<dyn Fn() -> Vec<ReconfigOp> + 'a>),
+    /// Node-specific batches: `recipe(i)` for handle index `i`.
+    PerNode(Box<dyn Fn(usize) -> Vec<ReconfigOp> + 'a>),
+}
+
+impl Recipe<'_> {
+    fn for_node(&self, i: usize) -> Vec<ReconfigOp> {
+        match self {
+            Recipe::Uniform(f) => f(),
+            Recipe::PerNode(f) => f(i),
+        }
+    }
+}
+
+/// The coordination discipline a [`ReconfigRequest`] executes under.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum Strategy {
+    /// Enqueue on every handle unconditionally; each node applies at its
+    /// own quiescent point (down nodes at their first post-reboot one).
+    BestEffort,
+    /// Like best-effort, but nodes found dead are counted against the
+    /// coordinator's retry budget ([`FleetCoordinator::set_retry_budget`])
+    /// and abandoned — pending ops dropped, nothing new enqueued — once it
+    /// is exhausted.
+    Retry,
+    /// Fleet-wide two-phase commit: all-or-nothing, with optional
+    /// health-gated provisional commit via [`TxnOptions::health`].
+    TwoPhase(TxnOptions),
+}
+
+/// A fleet reconfiguration, declaratively: *what* to apply (the recipe),
+/// *how* to coordinate it (the [`Strategy`]) and — for transactional
+/// strategies — the [`HealthGate`] safety net. Executed by
+/// [`FleetCoordinator::execute`].
+///
+/// ```no_run
+/// use manetkit::{FleetCoordinator, HealthGate, ReconfigRequest, Strategy};
+/// # let fleet = FleetCoordinator::default();
+/// # let mut world = netsim::World::builder().nodes(1).seed(1).build();
+/// let report = fleet.execute(
+///     &mut world,
+///     ReconfigRequest::new()
+///         .recipe(Vec::new) // a real recipe returns the op batch
+///         .strategy(Strategy::TwoPhase(Default::default()))
+///         .health_gate(HealthGate::default()),
+/// );
+/// assert!(report.participants.is_empty());
+/// ```
+#[must_use = "a request does nothing until FleetCoordinator::execute runs it"]
+#[derive(Default)]
+pub struct ReconfigRequest<'a> {
+    recipe: Option<Recipe<'a>>,
+    strategy: Option<Strategy>,
+}
+
+impl<'a> ReconfigRequest<'a> {
+    /// An empty request: no ops, [`Strategy::BestEffort`].
+    pub fn new() -> Self {
+        ReconfigRequest::default()
+    }
+
+    /// Sets the fleet-wide recipe; it is invoked once per node because
+    /// [`ReconfigOp`]s own protocol state and cannot be cloned.
+    pub fn recipe(mut self, recipe: impl Fn() -> Vec<ReconfigOp> + 'a) -> Self {
+        self.recipe = Some(Recipe::Uniform(Box::new(recipe)));
+        self
+    }
+
+    /// Sets a node-indexed recipe (`recipe(i)` for handle index `i`) for
+    /// staged or heterogeneous rollouts.
+    pub fn recipe_per_node(mut self, recipe: impl Fn(usize) -> Vec<ReconfigOp> + 'a) -> Self {
+        self.recipe = Some(Recipe::PerNode(Box::new(recipe)));
+        self
+    }
+
+    /// Sets the coordination strategy (default: [`Strategy::BestEffort`]).
+    pub fn strategy(mut self, strategy: Strategy) -> Self {
+        self.strategy = Some(strategy);
+        self
+    }
+
+    /// Attaches a health gate. A transactional strategy keeps its other
+    /// options; a non-transactional (or unset) strategy is upgraded to
+    /// [`Strategy::TwoPhase`] with defaults, since only a transaction can
+    /// revert. Call after [`strategy`](Self::strategy) when combining.
+    pub fn health_gate(mut self, gate: HealthGate) -> Self {
+        self.strategy = Some(match self.strategy.take() {
+            Some(Strategy::TwoPhase(mut opts)) => {
+                opts.health = Some(gate);
+                Strategy::TwoPhase(opts)
+            }
+            _ => Strategy::TwoPhase(TxnOptions {
+                health: Some(gate),
+                ..TxnOptions::default()
+            }),
+        });
+        self
+    }
+}
+
+impl fmt::Debug for ReconfigRequest<'_> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ReconfigRequest")
+            .field("has_recipe", &self.recipe.is_some())
+            .field("strategy", &self.strategy)
+            .finish()
     }
 }
 
@@ -287,71 +482,76 @@ impl FleetCoordinator {
             .map(|i| &self.handles[i])
     }
 
-    /// Caps how many consecutive [`apply_all_with_retry`]
-    /// (Self::apply_all_with_retry) calls may find a node dead before the
-    /// coordinator automatically drops that node's pending ops (the
-    /// permanently-dead give-up path). `None` (the default) defers forever.
+    /// Caps how many consecutive [`Strategy::Retry`] executions may find a
+    /// node dead before the coordinator automatically drops that node's
+    /// pending ops (the permanently-dead give-up path). `None` (the
+    /// default) defers forever.
     pub fn set_retry_budget(&mut self, budget: Option<u32>) {
         self.retry_budget = budget;
     }
 
-    /// Enqueues the operations produced by `recipe` on every node.
-    /// (`ReconfigOp` is not `Clone` — protocol CFs own state — so the
-    /// recipe is invoked once per node.)
-    pub fn apply_all(&self, recipe: impl Fn() -> Vec<ReconfigOp>) {
-        for handle in &self.handles {
-            for op in recipe() {
-                handle.apply(op);
-            }
+    /// Executes a [`ReconfigRequest`] across the fleet — the single entry
+    /// point for every coordination discipline.
+    ///
+    /// Best-effort and retry strategies enqueue and return immediately
+    /// (verdict [`TxnVerdict::Enqueued`], with down nodes named in
+    /// [`FleetTxnReport::deferred`]); the transactional strategy advances
+    /// the world (`run_for`) while the coordinator polls for prepare and
+    /// resolve acknowledgements, so call it where simulation time is
+    /// allowed to progress.
+    pub fn execute(&self, world: &mut World, req: ReconfigRequest<'_>) -> FleetTxnReport {
+        let recipe = req
+            .recipe
+            .unwrap_or_else(|| Recipe::Uniform(Box::new(Vec::new)));
+        match req.strategy.unwrap_or(Strategy::BestEffort) {
+            Strategy::BestEffort => self.enqueue(&recipe, false),
+            Strategy::Retry => self.enqueue(&recipe, true),
+            Strategy::TwoPhase(opts) => self.two_phase(world, &recipe, &opts),
         }
+    }
+
+    /// Enqueues the operations produced by `recipe` on every node.
+    #[deprecated(
+        since = "0.2.0",
+        note = "execute(world, ReconfigRequest::new().recipe(..)) — one entry point for all strategies"
+    )]
+    pub fn apply_all(&self, recipe: impl Fn() -> Vec<ReconfigOp>) {
+        let _ = self.enqueue(&Recipe::Uniform(Box::new(recipe)), false);
     }
 
     /// Enqueues node-specific operations: `recipe(i)` for node `i`.
+    #[deprecated(
+        since = "0.2.0",
+        note = "execute(world, ReconfigRequest::new().recipe_per_node(..))"
+    )]
     pub fn apply_each(&self, recipe: impl Fn(usize) -> Vec<ReconfigOp>) {
-        for (i, handle) in self.handles.iter().enumerate() {
-            for op in recipe(i) {
-                handle.apply(op);
-            }
-        }
+        let _ = self.enqueue(&Recipe::PerNode(Box::new(recipe)), false);
     }
 
     /// Enqueues the operations produced by `recipe` on every node, with
-    /// crash-aware reporting: the recipe lands on every handle (so nodes
-    /// that are down pick it up at their first post-reboot quiescent
-    /// point), and the returned list names the nodes that were down at
-    /// enqueue time — deferred, distinct from a real apply failure.
-    ///
-    /// There is no coordinator-side retry loop to run: the per-node ops
-    /// queue *is* the retry mechanism. Use [`status`](Self::status) to
-    /// watch deferral drain, [`give_up_deferred`](Self::give_up_deferred)
-    /// to abandon nodes manually, or [`set_retry_budget`]
-    /// (Self::set_retry_budget) to have nodes found dead too many times in
-    /// a row abandoned automatically (their pending ops are dropped and no
-    /// new ones enqueue until they come back).
+    /// crash-aware reporting; returns the nodes that were down at enqueue
+    /// time.
+    #[deprecated(
+        since = "0.2.0",
+        note = "execute(world, ReconfigRequest::new().recipe(..).strategy(Strategy::Retry)).deferred"
+    )]
     pub fn apply_all_with_retry(&self, recipe: impl Fn() -> Vec<ReconfigOp>) -> Vec<NodeId> {
-        let mut deferred = Vec::new();
-        let mut attempts = self.attempts.lock();
-        if attempts.len() < self.handles.len() {
-            attempts.resize(self.handles.len(), 0);
-        }
-        for (i, handle) in self.handles.iter().enumerate() {
-            if handle.is_alive() {
-                attempts[i] = 0;
-            } else {
-                attempts[i] += 1;
-                if self.retry_budget.is_some_and(|budget| attempts[i] > budget) {
-                    // Budget exhausted: the node is treated as permanently
-                    // dead. Drop whatever it still holds and skip it.
-                    handle.clear_pending();
-                    continue;
-                }
-                deferred.push(self.ids[i]);
-            }
-            for op in recipe() {
-                handle.apply(op);
-            }
-        }
-        deferred
+        self.enqueue(&Recipe::Uniform(Box::new(recipe)), true)
+            .deferred
+    }
+
+    /// Applies `recipe` across the fleet as one distributed transaction.
+    #[deprecated(
+        since = "0.2.0",
+        note = "execute(world, ReconfigRequest::new().recipe(..).strategy(Strategy::TwoPhase(opts)))"
+    )]
+    pub fn commit_two_phase(
+        &self,
+        world: &mut World,
+        recipe: impl Fn() -> Vec<ReconfigOp>,
+        opts: &TxnOptions,
+    ) -> FleetTxnReport {
+        self.two_phase(world, &Recipe::Uniform(Box::new(recipe)), opts)
     }
 
     /// Drops the pending operations of every node that is currently down,
@@ -405,11 +605,67 @@ impl FleetCoordinator {
             .all(|s| s.iter().map(String::as_str).eq(stack.iter().copied()))
     }
 
-    // ---- two-phase commit --------------------------------------------------
+    // ---- strategy internals ------------------------------------------------
 
-    /// Applies `recipe` across the fleet as one distributed transaction.
+    /// Best-effort / retry enqueue shared by [`execute`](Self::execute)
+    /// and the deprecated shims. With `retry_aware`, dead nodes are
+    /// counted against the retry budget and abandoned (pending dropped,
+    /// nothing enqueued, reported in `skipped`) once it is exhausted.
+    fn enqueue(&self, recipe: &Recipe<'_>, retry_aware: bool) -> FleetTxnReport {
+        let mut deferred = Vec::new();
+        let mut abandoned = Vec::new();
+        {
+            let mut attempts = self.attempts.lock();
+            if attempts.len() < self.handles.len() {
+                attempts.resize(self.handles.len(), 0);
+            }
+            for (i, handle) in self.handles.iter().enumerate() {
+                if handle.is_alive() {
+                    if retry_aware {
+                        attempts[i] = 0;
+                    }
+                } else {
+                    if retry_aware {
+                        attempts[i] += 1;
+                        if self.retry_budget.is_some_and(|budget| attempts[i] > budget) {
+                            // Budget exhausted: the node is treated as
+                            // permanently dead. Drop whatever it still
+                            // holds and skip it.
+                            handle.clear_pending();
+                            abandoned.push(self.ids[i]);
+                            continue;
+                        }
+                    }
+                    deferred.push(self.ids[i]);
+                }
+                for op in recipe.for_node(i) {
+                    handle.apply(op);
+                }
+            }
+        }
+        let participants = self
+            .ids
+            .iter()
+            .copied()
+            .filter(|id| !abandoned.contains(id))
+            .collect();
+        FleetTxnReport {
+            txn: 0,
+            verdict: TxnVerdict::Enqueued,
+            participants,
+            skipped: abandoned,
+            deferred,
+            reason: None,
+            pre_ratio: None,
+            window_ratio: None,
+            unresolved: Vec::new(),
+            unprepared: Vec::new(),
+        }
+    }
+
+    /// The two-phase commit engine behind [`Strategy::TwoPhase`].
     ///
-    /// Phase 1 (*prepare*): every alive node gets the batch with a virtual
+    /// Phase 1 (*prepare*): every alive node gets its batch with a virtual
     /// prepare deadline; each checkpoints, applies, and holds its undo log
     /// open at its own quiescent point. Phase 2: if — and only if — every
     /// participant reported `Prepared` before the deadline, the coordinator
@@ -423,15 +679,14 @@ impl FleetCoordinator {
     /// broadcasts *revert* and the fleet returns to the checkpoint
     /// compositions ([`TxnVerdict::Reverted`]).
     ///
-    /// The world is advanced (`run_for`) while the coordinator waits, so
-    /// call this where simulation time is allowed to progress. A
+    /// The world is advanced (`run_for`) while the coordinator waits. A
     /// participant that crashes mid-transaction dooms its own prepared
     /// transaction (rolled back at its first post-reboot quiescent point)
     /// and shows up in [`FleetTxnReport::unresolved`].
-    pub fn commit_two_phase(
+    fn two_phase(
         &self,
         world: &mut World,
-        recipe: impl Fn() -> Vec<ReconfigOp>,
+        recipe: &Recipe<'_>,
         opts: &TxnOptions,
     ) -> FleetTxnReport {
         let txn = self.next_txn.fetch_add(1, Ordering::Relaxed) + 1;
@@ -450,6 +705,7 @@ impl FleetCoordinator {
             verdict: TxnVerdict::Aborted,
             participants: participant_ids,
             skipped,
+            deferred: Vec::new(),
             reason: None,
             pre_ratio: None,
             window_ratio: None,
@@ -488,7 +744,7 @@ impl FleetCoordinator {
         for &i in &participants {
             self.handles[i].txn_ctl(TxnCtl::Prepare {
                 id: txn,
-                ops: recipe(),
+                ops: recipe.for_node(i),
                 requested: Some(started),
                 deadline: Some(deadline),
                 quiesce_within: opts.quiesce_within,
@@ -670,8 +926,12 @@ mod tests {
         (world, fleet)
     }
 
+    fn register_hello() -> Vec<ReconfigOp> {
+        vec![ReconfigOp::RegisterMessage(hello_registration())]
+    }
+
     #[test]
-    fn apply_all_with_retry_defers_on_crashed_node_and_applies_on_reboot() {
+    fn retry_strategy_defers_on_crashed_node_and_applies_on_reboot() {
         let plan = FaultPlan::builder(0)
             .crash_for(ms(500), NodeId(1), SimDuration::from_millis(1_500))
             .build();
@@ -679,12 +939,23 @@ mod tests {
         world.run_until(ms(1_000));
         assert!(!world.node_up(NodeId(1)));
 
-        let deferred =
-            fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
+        let report = fleet.execute(
+            &mut world,
+            ReconfigRequest::new()
+                .recipe(register_hello)
+                .strategy(Strategy::Retry),
+        );
+        assert_eq!(report.verdict, TxnVerdict::Enqueued);
+        assert_eq!(report.txn, 0, "no transaction id for an enqueue");
         assert_eq!(
-            deferred,
+            report.deferred,
             vec![NodeId(1)],
             "the crashed node is reported deferred"
+        );
+        assert_eq!(report.participants, vec![NodeId(0), NodeId(1)]);
+        assert!(
+            report.to_string().contains("deferred [1]"),
+            "Display names the deferral: {report}"
         );
 
         let status = fleet.status();
@@ -711,15 +982,52 @@ mod tests {
     }
 
     #[test]
+    fn best_effort_enqueues_everywhere_even_on_dead_nodes() {
+        let plan = FaultPlan::builder(0).crash(ms(500), NodeId(1)).build();
+        let (mut world, fleet) = fleet_world(plan);
+        world.run_until(ms(1_000));
+
+        let report = fleet.execute(&mut world, ReconfigRequest::new().recipe(register_hello));
+        assert_eq!(report.verdict, TxnVerdict::Enqueued);
+        assert_eq!(report.deferred, vec![NodeId(1)]);
+        assert!(report.skipped.is_empty(), "best-effort never abandons");
+        // The dead node holds its batch for a reboot that never comes.
+        assert_eq!(fleet.handle_of(NodeId(1)).unwrap().pending_ops(), 1);
+    }
+
+    #[test]
+    fn per_node_recipes_stage_different_batches() {
+        let (mut world, fleet) = fleet_world(FaultPlan::builder(0).build());
+        world.run_until(ms(500));
+        let report = fleet.execute(
+            &mut world,
+            ReconfigRequest::new().recipe_per_node(|i| {
+                if i == 0 {
+                    vec![ReconfigOp::RegisterMessage(hello_registration())]
+                } else {
+                    Vec::new()
+                }
+            }),
+        );
+        assert_eq!(report.verdict, TxnVerdict::Enqueued);
+        assert_eq!(fleet.handle_of(NodeId(0)).unwrap().pending_ops(), 1);
+        assert_eq!(fleet.handle_of(NodeId(1)).unwrap().pending_ops(), 0);
+    }
+
+    #[test]
     fn give_up_deferred_drops_pending_ops_of_dead_nodes() {
         // Crash with no reboot scheduled: the node never comes back.
         let plan = FaultPlan::builder(0).crash(ms(500), NodeId(1)).build();
         let (mut world, fleet) = fleet_world(plan);
         world.run_until(ms(1_000));
 
-        let deferred =
-            fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
-        assert_eq!(deferred, vec![NodeId(1)]);
+        let report = fleet.execute(
+            &mut world,
+            ReconfigRequest::new()
+                .recipe(register_hello)
+                .strategy(Strategy::Retry),
+        );
+        assert_eq!(report.deferred, vec![NodeId(1)]);
 
         // Node 0 applies at its next quiescent point; node 1 never will.
         world.run_until(ms(2_500));
@@ -737,16 +1045,29 @@ mod tests {
         world.run_until(ms(1_000));
 
         // First encounter: within budget, the op is deferred normally.
-        let deferred =
-            fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
-        assert_eq!(deferred, vec![NodeId(1)]);
+        let report = fleet.execute(
+            &mut world,
+            ReconfigRequest::new()
+                .recipe(register_hello)
+                .strategy(Strategy::Retry),
+        );
+        assert_eq!(report.deferred, vec![NodeId(1)]);
         assert_eq!(fleet.status().deferred, vec![NodeId(1)]);
 
         // Second encounter: budget exceeded — pending ops are dropped and
         // nothing new enqueues on the dead node.
-        let deferred =
-            fleet.apply_all_with_retry(|| vec![ReconfigOp::RegisterMessage(hello_registration())]);
-        assert!(deferred.is_empty(), "given-up node no longer deferred");
+        let report = fleet.execute(
+            &mut world,
+            ReconfigRequest::new()
+                .recipe(register_hello)
+                .strategy(Strategy::Retry),
+        );
+        assert!(
+            report.deferred.is_empty(),
+            "given-up node no longer deferred"
+        );
+        assert_eq!(report.skipped, vec![NodeId(1)], "abandonment is reported");
+        assert_eq!(report.participants, vec![NodeId(0)]);
 
         world.run_until(ms(2_500));
         let status = fleet.status();
@@ -766,13 +1087,15 @@ mod tests {
         let (mut world, fleet) = fleet_world(FaultPlan::builder(0).build());
         world.run_until(ms(1_000));
 
-        let report = fleet.commit_two_phase(
+        let report = fleet.execute(
             &mut world,
-            || vec![ReconfigOp::RegisterMessage(hello_registration())],
-            &TxnOptions::default(),
+            ReconfigRequest::new()
+                .recipe(register_hello)
+                .strategy(Strategy::TwoPhase(TxnOptions::default())),
         );
         assert_eq!(report.verdict, TxnVerdict::Committed, "{report}");
         assert!(report.unresolved.is_empty(), "{report}");
+        assert!(report.deferred.is_empty(), "transactions never defer");
         assert_eq!(report.participants, vec![NodeId(0), NodeId(1)]);
         let stats = world.stats();
         assert_eq!(stats.agent_counter("txn.prepared"), 2);
@@ -794,22 +1117,21 @@ mod tests {
         // that does not exist); node 0's batch is fine. 2PC must roll node
         // 0's prepared batch back, leaving both compositions untouched.
         let stacks_before = fleet.stacks();
-        let counter = std::sync::atomic::AtomicUsize::new(0);
-        let report = fleet.commit_two_phase(
+        let report = fleet.execute(
             &mut world,
-            || {
-                let i = counter.fetch_add(1, Ordering::Relaxed);
-                if i.is_multiple_of(2) {
-                    vec![ReconfigOp::RemoveProtocol {
-                        name: "neighbour-detection".into(),
-                    }]
-                } else {
-                    vec![ReconfigOp::RemoveProtocol {
-                        name: "no-such-protocol".into(),
-                    }]
-                }
-            },
-            &TxnOptions::default(),
+            ReconfigRequest::new()
+                .recipe_per_node(|i| {
+                    if i == 0 {
+                        vec![ReconfigOp::RemoveProtocol {
+                            name: "neighbour-detection".into(),
+                        }]
+                    } else {
+                        vec![ReconfigOp::RemoveProtocol {
+                            name: "no-such-protocol".into(),
+                        }]
+                    }
+                })
+                .strategy(Strategy::TwoPhase(TxnOptions::default())),
         );
         assert_eq!(report.verdict, TxnVerdict::Aborted, "{report}");
         assert!(report.reason.is_some());
@@ -818,5 +1140,47 @@ mod tests {
         let stats = world.stats();
         assert!(stats.agent_counter("txn.aborted") >= 1);
         assert!(stats.agent_counter("txn.rolled_back") >= 1);
+    }
+
+    #[test]
+    fn health_gate_builder_and_request_upgrade() {
+        let gate = HealthGate::over_window(SimDuration::from_secs(3))
+            .max_drop(0.4)
+            .against_baseline(0.9);
+        assert_eq!(gate.window, SimDuration::from_secs(3));
+        assert!((gate.max_drop - 0.4).abs() < f64::EPSILON);
+        assert_eq!(gate.baseline, Some(0.9));
+        assert_eq!(
+            HealthGate::default(),
+            HealthGate {
+                window: SimDuration::from_secs(10),
+                max_drop: 0.2,
+                baseline: None,
+            }
+        );
+
+        // A health gate on a non-transactional request upgrades it to
+        // two-phase — only a transaction can revert.
+        let req = ReconfigRequest::new().health_gate(gate.clone());
+        match req.strategy {
+            Some(Strategy::TwoPhase(opts)) => assert_eq!(opts.health, Some(gate.clone())),
+            other => panic!("expected TwoPhase upgrade, got {other:?}"),
+        }
+
+        // On an existing two-phase strategy the other options survive.
+        let opts = TxnOptions {
+            prepare_timeout: SimDuration::from_secs(9),
+            ..TxnOptions::default()
+        };
+        let req = ReconfigRequest::new()
+            .strategy(Strategy::TwoPhase(opts))
+            .health_gate(gate.clone());
+        match req.strategy {
+            Some(Strategy::TwoPhase(opts)) => {
+                assert_eq!(opts.prepare_timeout, SimDuration::from_secs(9));
+                assert_eq!(opts.health, Some(gate));
+            }
+            other => panic!("expected TwoPhase, got {other:?}"),
+        }
     }
 }

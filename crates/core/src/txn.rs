@@ -21,8 +21,8 @@
 //!    pre-transaction composition.
 //!
 //! A prepared transaction can be held open (two-phase commit across a
-//! fleet: see [`FleetCoordinator::commit_two_phase`]
-//! (crate::reconfig::FleetCoordinator::commit_two_phase)) and either
+//! fleet: see [`crate::reconfig::FleetCoordinator::execute`] with the
+//! `TwoPhase` strategy) and either
 //! committed or rolled back later; after commit the undo log is retained so
 //! a health-gated coordinator can still *revert* a composition that turns
 //! out to regress delivery.

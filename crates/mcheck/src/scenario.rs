@@ -4,8 +4,9 @@
 //!
 //! # The coordinator abstraction
 //!
-//! The real [`FleetCoordinator::commit_two_phase`]
-//! (manetkit::FleetCoordinator::commit_two_phase) advances the world
+//! The real two-phase strategy ([`FleetCoordinator::execute`]
+//! (manetkit::FleetCoordinator::execute) with `Strategy::TwoPhase`)
+//! advances the world
 //! itself (`run_for` + polling), which the controlled world forbids — the
 //! checker owns the clock. The scenario therefore models the coordinator
 //! as a *reaction function* with the same phase structure: after every

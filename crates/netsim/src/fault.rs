@@ -7,8 +7,9 @@
 //! plus seeded stochastic processes (node churn, frame-level chaos), and a
 //! `FaultInjector` inside the [`World`](crate::World) event loop enacts
 //! them. Everything is derived from the plan seed, so a campaign replays
-//! byte-identically: same plan, same seed, same [`WorldStats`]
-//! (`crate::WorldStats`) — the determinism contract that makes chaos runs
+//! byte-identically: same plan, same seed, same
+//! [`WorldStats`](crate::WorldStats) — the determinism contract that makes
+//! chaos runs
 //! debuggable.
 //!
 //! Semantics at a glance:

@@ -62,7 +62,7 @@ struct Entry {
 /// A discrete-event queue with a virtual clock.
 ///
 /// Events are any `E`; the queue imposes no trait bounds beyond what the
-/// containers need. See the [module docs](self) for the layout.
+/// containers need. See the crate docs for the layout.
 #[derive(Debug, Clone)]
 pub struct EventQueue<E> {
     now: u64,

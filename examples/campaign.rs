@@ -17,14 +17,18 @@
 //! thread count; wall-clock lives in the separate `timing` section.
 
 use manetkit_repro::campaign::{
-    self, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec,
+    self, CampaignSpec, FaultSpec, Protocol, RunConfig, ScenarioSpec, TopologySpec, TrafficSpec,
 };
 use manetkit_repro::netsim::{NodeId, SimDuration, SimTime};
 
 fn line5_scenario() -> ScenarioSpec {
     ScenarioSpec::builder()
         .topology(TopologySpec::Line(5))
-        .cbr(NodeId(0), NodeId(4), SimDuration::from_millis(250))
+        .traffic(TrafficSpec::cbr(
+            NodeId(0),
+            NodeId(4),
+            SimDuration::from_millis(250),
+        ))
         .warmup(SimDuration::from_secs(30))
         .duration(SimDuration::from_secs(60))
         .build()
@@ -33,7 +37,11 @@ fn line5_scenario() -> ScenarioSpec {
 fn grid9_scenario() -> ScenarioSpec {
     ScenarioSpec::builder()
         .topology(TopologySpec::Grid(3, 3))
-        .cbr(NodeId(0), NodeId(8), SimDuration::from_millis(250))
+        .traffic(TrafficSpec::cbr(
+            NodeId(0),
+            NodeId(8),
+            SimDuration::from_millis(250),
+        ))
         .warmup(SimDuration::from_secs(30))
         .duration(SimDuration::from_secs(60))
         .build()

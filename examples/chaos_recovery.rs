@@ -3,15 +3,15 @@
 //! the whole fleet to reactive DYMO mid-outage through the
 //! [`FleetCoordinator`], and delivery recovers once the network heals.
 //!
-//! The crashed node cannot apply the switch while down —
-//! `apply_all_with_retry` reports it *deferred*, and the queued operations
-//! apply automatically at its first post-reboot quiescent point.
+//! The crashed node cannot apply the switch while down — the `Retry`
+//! strategy reports it *deferred*, and the queued operations apply
+//! automatically at its first post-reboot quiescent point.
 //!
 //! ```text
 //! cargo run --example chaos_recovery
 //! ```
 
-use manetkit_repro::manetkit::{FleetCoordinator, ReconfigOp};
+use manetkit_repro::manetkit::{FleetCoordinator, ReconfigOp, ReconfigRequest, Strategy};
 use manetkit_repro::netsim::fault::FaultPlan;
 use manetkit_repro::prelude::*;
 
@@ -91,7 +91,14 @@ fn main() {
     world.run_until(secs(50));
     assert_eq!(world.active_partitions(), vec!["ridge"]);
     assert!(!world.node_up(NodeId(NODES - 1)));
-    let deferred = fleet.apply_all_with_retry(dymo_switch);
+    let deferred = fleet
+        .execute(
+            &mut world,
+            ReconfigRequest::new()
+                .recipe(dymo_switch)
+                .strategy(Strategy::Retry),
+        )
+        .deferred;
     println!(
         "phase 2 (partition + crash): switching fleet to DYMO — deferred on {deferred:?}, \
          status: {}",

@@ -16,7 +16,9 @@
 //!
 //! `--smoke` scales the same shape down (500 nodes, 60 flows) for CI.
 
-use manetkit_repro::campaign::{self, CampaignSpec, Protocol, RunConfig, ScenarioSpec};
+use manetkit_repro::campaign::{
+    self, CampaignSpec, Protocol, RunConfig, ScenarioSpec, TrafficSpec,
+};
 use manetkit_repro::netsim::mobility::RandomWaypoint;
 use manetkit_repro::netsim::SimDuration;
 
@@ -56,7 +58,12 @@ fn city_spec(scale: &Scale) -> CampaignSpec {
             duration: SimDuration::from_secs(12),
             seed: 42,
         })
-        .random_flows(scale.flows, SimDuration::from_millis(500), 32, 7)
+        .traffic(TrafficSpec::random_flows(
+            scale.flows,
+            SimDuration::from_millis(500),
+            32,
+            7,
+        ))
         .warmup(SimDuration::from_secs(2))
         .duration(SimDuration::from_secs(10))
         .build();

@@ -18,7 +18,9 @@
 //! cargo run --release --example txn_chaos
 //! ```
 
-use manetkit_repro::manetkit::{FleetCoordinator, ReconfigOp, TxnOptions, TxnVerdict};
+use manetkit_repro::manetkit::{
+    FleetCoordinator, ReconfigOp, ReconfigRequest, Strategy, TxnOptions, TxnVerdict,
+};
 use manetkit_repro::netsim::fault::FaultPlan;
 use manetkit_repro::prelude::*;
 
@@ -139,7 +141,12 @@ fn main() {
     for r in 0..ROUNDS {
         world.run_until(secs(round(r)));
         let from = current;
-        let report = fleet.commit_two_phase(&mut world, || from.switch_recipe(), &opts);
+        let report = fleet.execute(
+            &mut world,
+            ReconfigRequest::new()
+                .recipe(|| from.switch_recipe())
+                .strategy(Strategy::TwoPhase(opts.clone())),
+        );
         println!("round {r} @ {:3}s: {report}", round(r),);
         match report.verdict {
             TxnVerdict::Committed => {
@@ -158,7 +165,7 @@ fn main() {
                 }
             }
             TxnVerdict::Aborted => aborted += 1,
-            TxnVerdict::Reverted => unreachable!("no health gate in this campaign"),
+            other => unreachable!("no health gate in this campaign: {other}"),
         }
         outcomes.push((report.txn, report.verdict.to_string()));
     }

@@ -1,8 +1,9 @@
 //! Offline stand-in for the `proptest` crate.
 //!
 //! Reimplements the subset of the proptest API this workspace's property
-//! tests use: the [`Strategy`] trait with `prop_map` / `prop_flat_map` /
-//! `boxed`, [`Just`], integer-range and tuple strategies, `any::<T>()`,
+//! tests use: the [`Strategy`](strategy::Strategy) trait with `prop_map` /
+//! `prop_flat_map` / `boxed`, [`Just`](strategy::Just), integer-range and
+//! tuple strategies, `any::<T>()`,
 //! `collection::vec`, `option::of`, weighted `prop_oneof!`, and the
 //! `proptest!` test macro driven by a deterministic RNG.
 //!
@@ -99,7 +100,7 @@ pub mod test_runner {
     }
 }
 
-/// The [`Strategy`] trait and combinators.
+/// The [`Strategy`](strategy::Strategy) trait and combinators.
 pub mod strategy {
     use crate::test_runner::TestRng;
     use std::marker::PhantomData;

@@ -26,6 +26,7 @@
 //! assert!(world.stats().delivered() >= 1);
 //! ```
 
+pub use adapt;
 pub use campaign;
 pub use manetkit;
 pub use manetkit_aodv;

@@ -1,7 +1,7 @@
 //! Coordinated fleet reconfiguration (§7 roadmap) and the gossip flooding
 //! variant, exercised end to end.
 
-use manetkit_repro::manetkit::{FleetCoordinator, ReconfigOp};
+use manetkit_repro::manetkit::{FleetCoordinator, ReconfigOp, ReconfigRequest};
 use manetkit_repro::manetkit_dymo::variants::gossip;
 use manetkit_repro::prelude::*;
 
@@ -25,7 +25,11 @@ fn fleet_coordinator_converges_a_network_wide_change() {
     assert!(fleet.all_run(&["neighbour-detection", "dymo"]));
 
     // Network-wide: switch everyone to multipath DYMO.
-    fleet.apply_all(manetkit_repro::manetkit_dymo::variants::multipath::enable_ops);
+    let _ = fleet.execute(
+        &mut world,
+        ReconfigRequest::new()
+            .recipe(manetkit_repro::manetkit_dymo::variants::multipath::enable_ops),
+    );
     let before = fleet.status();
     assert!(before.pending > 0, "ops await quiescent points");
     world.run_for(SimDuration::from_secs(2));
@@ -33,7 +37,12 @@ fn fleet_coordinator_converges_a_network_wide_change() {
     assert!(after.converged(), "{after:?}");
 
     // And back again, node-by-node recipes (e.g. staged rollout).
-    fleet.apply_each(|_i| manetkit_repro::manetkit_dymo::variants::multipath::disable_ops());
+    let _ = fleet.execute(
+        &mut world,
+        ReconfigRequest::new().recipe_per_node(|_i| {
+            manetkit_repro::manetkit_dymo::variants::multipath::disable_ops()
+        }),
+    );
     world.run_for(SimDuration::from_secs(2));
     assert!(fleet.status().converged());
 
@@ -49,11 +58,14 @@ fn fleet_status_reports_failures_per_node() {
     let (mut world, fleet) = dymo_fleet(Topology::line(3), 71);
     world.run_for(SimDuration::from_secs(1));
     // A bad recipe: remove a protocol that does not exist.
-    fleet.apply_all(|| {
-        vec![ReconfigOp::RemoveProtocol {
-            name: "ghost".into(),
-        }]
-    });
+    let _ = fleet.execute(
+        &mut world,
+        ReconfigRequest::new().recipe(|| {
+            vec![ReconfigOp::RemoveProtocol {
+                name: "ghost".into(),
+            }]
+        }),
+    );
     world.run_for(SimDuration::from_secs(1));
     let status = fleet.status();
     assert!(!status.converged());
@@ -68,7 +80,10 @@ fn gossip_flooding_cuts_relays_and_keeps_delivering_in_dense_networks() {
     let run = |p: Option<f64>| {
         let (mut world, fleet) = dymo_fleet(topo.clone(), 23);
         if let Some(p) = p {
-            fleet.apply_all(|| gossip::enable_ops(p));
+            let _ = fleet.execute(
+                &mut world,
+                ReconfigRequest::new().recipe(|| gossip::enable_ops(p)),
+            );
         }
         world.run_for(SimDuration::from_secs(5));
         assert!(fleet.status().converged(), "{:?}", fleet.status());

@@ -5,7 +5,9 @@
 //! 5% of the pre-switch baseline. With the flight recorder on, the full
 //! prepare → commit → revert timeline is asserted from the trace JSONL.
 
-use manetkit_repro::manetkit::{FleetCoordinator, HealthGate, ReconfigOp, TxnOptions, TxnVerdict};
+use manetkit_repro::manetkit::{
+    FleetCoordinator, HealthGate, ReconfigOp, ReconfigRequest, Strategy, TxnOptions, TxnVerdict,
+};
 use manetkit_repro::netsim::fault::FaultPlan;
 use manetkit_repro::prelude::*;
 
@@ -77,11 +79,13 @@ fn health_gated_switch_auto_reverts_and_recovers() {
 
     // Health-gated 2PC: 10 s measured baseline, 10 s provisional window,
     // revert on a delivery-ratio drop of more than 0.25.
-    let opts = TxnOptions {
-        health: Some(HealthGate::new(SimDuration::from_secs(10), 0.25)),
-        ..TxnOptions::default()
-    };
-    let report = fleet.commit_two_phase(&mut world, olsr_to_dymo, &opts);
+    let report = fleet.execute(
+        &mut world,
+        ReconfigRequest::new()
+            .recipe(olsr_to_dymo)
+            .strategy(Strategy::TwoPhase(TxnOptions::default()))
+            .health_gate(HealthGate::over_window(SimDuration::from_secs(10)).max_drop(0.25)),
+    );
     assert_eq!(report.verdict, TxnVerdict::Reverted, "{report}");
     assert!(report.unresolved.is_empty(), "{report}");
     let pre = report.pre_ratio.expect("gate measured a baseline");
