@@ -45,6 +45,10 @@ pub enum Metric {
     PartitionEvents,
     /// Faults injected in the window (crashes, battery, partitions …).
     FaultEvents,
+    /// Fraction of the window's virtual time the radio channel spent
+    /// serializing frames (`phy_airtime_us / sim_elapsed_us`). Zero under
+    /// the ideal channel model, which reports no airtime.
+    ChannelUtilization,
 }
 
 impl Metric {
@@ -64,6 +68,7 @@ impl Metric {
             }
             Metric::PartitionEvents => window.partitions_started as f64,
             Metric::FaultEvents => window.faults_injected as f64,
+            Metric::ChannelUtilization => window.phy_utilization(),
         }
     }
 }
@@ -417,6 +422,27 @@ mod tests {
             );
         }
         assert_eq!(p.current(), Stack::Dymo);
+    }
+
+    #[test]
+    fn channel_utilization_samples_airtime_fraction() {
+        let mut w = window(10, 10);
+        assert_eq!(Metric::ChannelUtilization.sample(&w), 0.0, "idle window");
+        w.phy_airtime_us = 750_000;
+        w.sim_elapsed_us = 1_000_000;
+        assert!((Metric::ChannelUtilization.sample(&w) - 0.75).abs() < 1e-12);
+        // A rule watching the busy channel arms and steers the fleet.
+        let rules = vec![Rule {
+            name: "congested-to-proactive",
+            metric: Metric::ChannelUtilization,
+            sense: Sense::Above,
+            trigger: 0.6,
+            clear: 0.3,
+            target: Target::Reactive,
+            min_sent: 0,
+        }];
+        let mut p = Policy::new(Stack::Olsr, rules, SimDuration::from_secs(1), 3);
+        assert!(matches!(p.decide(secs(0), &w), Decision::Switch { .. }));
     }
 
     #[test]

@@ -85,7 +85,8 @@ fn execute_cell(
     let started = Instant::now();
     let (scenario_label, scenario) = &spec.scenarios[cell.scenario];
     let fault = spec.fault_spec(cell);
-    let mut builder = scenario.world_builder().seed(cell.seed);
+    let phy = spec.phy_spec(cell);
+    let mut builder = scenario.world_builder().seed(cell.seed).phy(phy.model);
     if cell.protocol.is_agentless() {
         builder = builder.geo_routing(true);
     }
@@ -135,6 +136,7 @@ fn execute_cell(
         protocol: cell.protocol.name(),
         scenario: scenario_label.clone(),
         traffic: spec.traffic_label(cell),
+        phy: phy.label(),
         fault: fault.label(),
         seed: cell.seed,
         stats,
@@ -318,6 +320,7 @@ mod tests {
                 speed: 0.05,
                 step: SimDuration::from_secs(1),
                 duration: SimDuration::from_secs(15),
+                pause: SimDuration::ZERO,
                 seed: 3,
             })
             .traffic(TrafficSpec::random_flows(

@@ -57,6 +57,6 @@ pub use engine::{available_threads, run_cell, RunConfig};
 pub use engine::{run_cell_traced, TRACE_RING_CAPACITY};
 pub use report::{CampaignReport, CellResult, DeterminismCheck};
 pub use spec::{
-    AgentFactory, CampaignSpec, Cell, FaultSpec, Protocol, ScenarioBuilder, ScenarioSpec,
+    AgentFactory, CampaignSpec, Cell, FaultSpec, PhySpec, Protocol, ScenarioBuilder, ScenarioSpec,
     TopologySpec, TrafficSpec,
 };

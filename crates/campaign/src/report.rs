@@ -21,6 +21,8 @@ pub struct CellResult {
     /// Traffic-axis label (`"scenario"` when the campaign has no traffic
     /// axis and the cell carries only its scenario's built-in traffic).
     pub traffic: String,
+    /// Phy-axis label (`"ideal"` when the campaign has no phy axis).
+    pub phy: String,
     /// Fault-axis label.
     pub fault: String,
     /// World seed.
@@ -42,30 +44,46 @@ impl CellResult {
     #[must_use]
     pub fn fingerprint(&self) -> String {
         format!(
-            "{}|{}|{}|{}|{}|{}",
+            "{}|{}|{}|{}|{}|{}|{}",
             self.protocol,
             self.scenario,
             self.traffic,
+            self.phy,
             self.fault,
             self.seed,
             stats_fingerprint(&self.stats)
         )
     }
 
-    /// Short `protocol/scenario/traffic/fault/seed` coordinate label.
+    /// Short `protocol/scenario/traffic/fault/seed` coordinate label,
+    /// with the phy coordinate spliced in only on a non-ideal channel —
+    /// labels from pre-phy campaigns are unchanged.
     #[must_use]
     pub fn label(&self) -> String {
+        let phy = if self.phy == "ideal" {
+            String::new()
+        } else {
+            format!("/{}", self.phy)
+        };
         format!(
-            "{}/{}/{}/{}/s{}",
+            "{}/{}/{}{phy}/{}/s{}",
             self.protocol, self.scenario, self.traffic, self.fault, self.seed
         )
     }
 
-    /// The cell's deterministic JSON object (no timing fields).
+    /// The cell's deterministic JSON object (no timing fields). The
+    /// `"phy"` key appears only on a non-ideal channel, keeping reports
+    /// from campaigns without a phy axis byte-identical to before the
+    /// axis existed.
     #[must_use]
     pub fn deterministic_json(&self) -> String {
+        let phy = if self.phy == "ideal" {
+            String::new()
+        } else {
+            format!(",\"phy\":{}", json_string(&self.phy))
+        };
         format!(
-            "{{\"index\":{},\"protocol\":{},\"scenario\":{},\"traffic\":{},\"fault\":{},\"seed\":{},\"stats\":{}}}",
+            "{{\"index\":{},\"protocol\":{},\"scenario\":{},\"traffic\":{}{phy},\"fault\":{},\"seed\":{},\"stats\":{}}}",
             self.index,
             json_string(self.protocol),
             json_string(&self.scenario),
@@ -203,9 +221,25 @@ impl CampaignReport {
 /// Renders the deterministic summary of a [`WorldStats`]: delivery,
 /// overhead, exact latency percentiles and fault counters. Latency
 /// percentiles come from the snapshot's full per-delivery series, so a
-/// merged snapshot reports exact grid-wide quantiles.
+/// merged snapshot reports exact grid-wide quantiles. Phy counters are
+/// appended only when the channel model actually transmitted or dropped
+/// something, so ideal-channel reports keep their historical bytes.
 #[must_use]
 pub fn stats_json(s: &WorldStats) -> String {
+    let phy = if s.phy_frames_tx > 0 || s.phy_queue_drops > 0 {
+        format!(
+            ",\"phy_frames_tx\":{},\"phy_queue_drops\":{},\"phy_airtime_us\":{},\
+\"phy_queue_wait_p50_us\":{},\"phy_queue_wait_p95_us\":{},\"phy_utilization\":{:.6}",
+            s.phy_frames_tx,
+            s.phy_queue_drops,
+            s.phy_airtime_us,
+            s.p50_phy_queue_wait().as_micros(),
+            s.p95_phy_queue_wait().as_micros(),
+            s.phy_utilization(),
+        )
+    } else {
+        String::new()
+    };
     format!(
         "{{\"data_sent\":{},\"data_delivered\":{},\"delivery_ratio\":{:.6},\
 \"data_hops\":{},\"data_dropped_ttl\":{},\"data_dropped_link\":{},\
@@ -213,7 +247,7 @@ pub fn stats_json(s: &WorldStats) -> String {
 \"control_received\":{},\"control_lost\":{},\"latency_mean_us\":{},\
 \"latency_p50_us\":{},\"latency_p95_us\":{},\"faults_injected\":{},\
 \"node_crashes\":{},\"node_reboots\":{},\"partitions_started\":{},\
-\"partitions_healed\":{},\"link_flaps\":{}}}",
+\"partitions_healed\":{},\"link_flaps\":{}{phy}}}",
         s.data_sent,
         s.data_delivered,
         s.delivery_ratio(),
@@ -283,6 +317,13 @@ fn stats_fingerprint(s: &WorldStats) -> String {
                 s.partitions_healed,
                 s.link_flaps,
             ),
+            (
+                s.phy_queue_drops,
+                s.phy_frames_tx,
+                s.phy_airtime_us,
+                &s.phy_queue_wait_us,
+                s.sim_elapsed_us,
+            ),
             counters,
         )
     )
@@ -317,6 +358,7 @@ mod tests {
             protocol: "mkit-olsr",
             scenario: "line5".into(),
             traffic: "scenario".into(),
+            phy: "ideal".into(),
             fault: "none".into(),
             seed: 7,
             stats: WorldStats {
@@ -352,6 +394,35 @@ mod tests {
         assert!(json.contains("\"delivery_ratio\":0.900000"));
         assert!(json.contains("\"latency_p50_us\":9"));
         assert!(!json.contains("dispatch"), "timing never leaks: {json}");
+    }
+
+    #[test]
+    fn phy_fields_appear_only_off_the_ideal_channel() {
+        // Ideal cell: no "phy" key, no phy counters — the report bytes
+        // predate the phy axis.
+        let ideal = cell(3);
+        let json = ideal.deterministic_json();
+        assert!(!json.contains("\"phy"), "ideal cell leaks phy keys: {json}");
+        assert_eq!(ideal.label(), "mkit-olsr/line5/scenario/none/s7");
+
+        // Contended cell: the phy coordinate and counters surface.
+        let mut contended = cell(3);
+        contended.phy = "air256k".into();
+        contended.stats.phy_frames_tx = 12;
+        contended.stats.phy_queue_drops = 2;
+        contended.stats.phy_airtime_us = 500_000;
+        contended.stats.phy_queue_wait_us = vec![10, 20, 400];
+        contended.stats.sim_elapsed_us = 1_000_000;
+        let json = contended.deterministic_json();
+        assert!(json.contains("\"phy\":\"air256k\""));
+        assert!(json.contains("\"phy_frames_tx\":12"));
+        assert!(json.contains("\"phy_queue_drops\":2"));
+        assert!(json.contains("\"phy_utilization\":0.500000"));
+        assert_eq!(
+            contended.label(),
+            "mkit-olsr/line5/scenario/air256k/none/s7"
+        );
+        assert_ne!(ideal.fingerprint(), contended.fingerprint());
     }
 
     #[test]

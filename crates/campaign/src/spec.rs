@@ -5,7 +5,8 @@ use manetkit_baseline::{Dymoum, Olsrd, OlsrdConfig};
 use netsim::fault::{FaultPlan, FrameChaos};
 use netsim::mobility::{random_waypoint_field, RandomWaypoint};
 use netsim::{
-    LinkModel, NodeId, NodeOs, RoutingAgent, SimDuration, SimTime, Topology, World, WorldBuilder,
+    Channel, LinkModel, NodeId, NodeOs, PhyModel, RoutingAgent, SimDuration, SimTime, Topology,
+    World, WorldBuilder,
 };
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
@@ -429,6 +430,63 @@ impl FaultSpec {
     }
 }
 
+/// The channel-model axis of the grid: which [`PhyModel`] every node's
+/// radio uses in a cell. An empty axis behaves as a single ideal channel,
+/// so campaigns predating the axis (and their committed artifacts) are
+/// untouched.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct PhySpec {
+    /// The channel model the cell's world installs.
+    pub model: PhyModel,
+}
+
+impl PhySpec {
+    /// The ideal channel: zero serialization delay, infinite capacity
+    /// (the historical behaviour).
+    #[must_use]
+    pub fn ideal() -> Self {
+        PhySpec {
+            model: PhyModel::Ideal,
+        }
+    }
+
+    /// A per-link constant-bandwidth channel (serialization delay and
+    /// bounded transmit queues, no airtime sharing).
+    #[must_use]
+    pub fn constant_bandwidth(bits_per_sec: u64, queue_frames: usize) -> Self {
+        PhySpec {
+            model: PhyModel::ConstantBandwidth(Channel {
+                bits_per_sec,
+                queue_frames,
+            }),
+        }
+    }
+
+    /// A shared-airtime channel: concurrent transmitters in a spatial
+    /// neighbourhood split the capacity max-min fairly.
+    #[must_use]
+    pub fn shared_airtime(bits_per_sec: u64, queue_frames: usize) -> Self {
+        PhySpec {
+            model: PhyModel::SharedAirtime(Channel {
+                bits_per_sec,
+                queue_frames,
+            }),
+        }
+    }
+
+    /// Stable label for reports (`"ideal"`, `"cbr256k"`, `"air256k"` …).
+    #[must_use]
+    pub fn label(&self) -> String {
+        self.model.label()
+    }
+}
+
+impl Default for PhySpec {
+    fn default() -> Self {
+        PhySpec::ideal()
+    }
+}
+
 /// A complete experiment scenario: topology, link model, traffic and the
 /// warm-up/measurement timeline. Built with [`ScenarioSpec::builder`] — the
 /// one scenario vocabulary shared by campaign cells and the E-series
@@ -653,6 +711,9 @@ pub struct Cell {
     /// Index into [`CampaignSpec::traffics`] (0 when the traffic axis is
     /// empty: the cell runs the scenario's built-in traffic only).
     pub traffic: usize,
+    /// Index into [`CampaignSpec::phys`] (0 when the phy axis is empty:
+    /// the cell runs on the ideal channel).
+    pub phy: usize,
     /// Index into [`CampaignSpec::faults`].
     pub fault: usize,
     /// World seed (also stamps the fault plan).
@@ -660,11 +721,12 @@ pub struct Cell {
 }
 
 /// A declarative grid of experiment cells:
-/// scenarios × traffics × protocols × faults × seeds, in that nesting
-/// order. An empty traffic axis means every cell runs its scenario's
-/// built-in traffic; a populated one installs each labelled
+/// scenarios × traffics × phys × protocols × faults × seeds, in that
+/// nesting order. An empty traffic axis means every cell runs its
+/// scenario's built-in traffic; a populated one installs each labelled
 /// [`TrafficSpec`] *on top* of the scenario's built-in traffic, making
-/// traffic shape a first-class grid coordinate.
+/// traffic shape a first-class grid coordinate. An empty phy axis means
+/// every cell runs on the ideal channel.
 ///
 /// The grid is *data*; execution lives in [`crate::engine`]. Cell order is
 /// deterministic and independent of how many threads later execute it.
@@ -676,6 +738,8 @@ pub struct CampaignSpec {
     pub scenarios: Vec<(String, ScenarioSpec)>,
     /// Labelled traffic patterns (empty: scenario traffic only).
     pub traffics: Vec<(String, TrafficSpec)>,
+    /// Channel models (empty: ideal channel only).
+    pub phys: Vec<PhySpec>,
     /// Protocol stacks.
     pub protocols: Vec<Protocol>,
     /// Fault axes.
@@ -692,6 +756,7 @@ impl CampaignSpec {
             name: name.into(),
             scenarios: Vec::new(),
             traffics: Vec::new(),
+            phys: Vec::new(),
             protocols: Vec::new(),
             faults: Vec::new(),
             seeds: Vec::new(),
@@ -709,6 +774,13 @@ impl CampaignSpec {
     #[must_use]
     pub fn traffic(mut self, label: impl Into<String>, spec: TrafficSpec) -> Self {
         self.traffics.push((label.into(), spec));
+        self
+    }
+
+    /// Adds a channel model to the phy axis.
+    #[must_use]
+    pub fn phy(mut self, phy: PhySpec) -> Self {
+        self.phys.push(phy);
         self
     }
 
@@ -734,27 +806,32 @@ impl CampaignSpec {
     }
 
     /// Enumerates the grid in its deterministic order:
-    /// scenario → traffic → protocol → fault → seed. An empty fault axis
-    /// behaves as a single [`FaultSpec::None`]; an empty traffic axis as
-    /// a single scenario-traffic-only coordinate.
+    /// scenario → traffic → phy → protocol → fault → seed. An empty fault
+    /// axis behaves as a single [`FaultSpec::None`]; an empty traffic axis
+    /// as a single scenario-traffic-only coordinate; an empty phy axis as
+    /// a single ideal channel.
     #[must_use]
     pub fn cells(&self) -> Vec<Cell> {
         let traffic_count = self.traffics.len().max(1);
+        let phy_count = self.phys.len().max(1);
         let fault_count = self.faults.len().max(1);
         let mut cells = Vec::new();
         for scenario in 0..self.scenarios.len() {
             for traffic in 0..traffic_count {
-                for &protocol in &self.protocols {
-                    for fault in 0..fault_count {
-                        for &seed in &self.seeds {
-                            cells.push(Cell {
-                                index: cells.len(),
-                                protocol,
-                                scenario,
-                                traffic,
-                                fault,
-                                seed,
-                            });
+                for phy in 0..phy_count {
+                    for &protocol in &self.protocols {
+                        for fault in 0..fault_count {
+                            for &seed in &self.seeds {
+                                cells.push(Cell {
+                                    index: cells.len(),
+                                    protocol,
+                                    scenario,
+                                    traffic,
+                                    phy,
+                                    fault,
+                                    seed,
+                                });
+                            }
                         }
                     }
                 }
@@ -786,6 +863,13 @@ impl CampaignSpec {
         self.traffics
             .get(cell.traffic)
             .map_or_else(|| "scenario".to_string(), |(label, _)| label.clone())
+    }
+
+    /// The channel model for a cell (the implicit ideal channel when no
+    /// phy axis is set).
+    #[must_use]
+    pub fn phy_spec(&self, cell: &Cell) -> PhySpec {
+        self.phys.get(cell.phy).copied().unwrap_or_default()
     }
 }
 
@@ -845,6 +929,35 @@ mod tests {
         assert_eq!(spec.traffic_label(&cells[0]), "slow");
         assert_eq!(spec.traffic_label(&cells[2]), "fast");
         assert!(spec.traffic_spec(&cells[3]).is_some());
+    }
+
+    #[test]
+    fn phy_axis_multiplies_the_grid_between_traffic_and_protocol() {
+        let spec = CampaignSpec::new("t")
+            .scenario("a", ScenarioSpec::builder().build())
+            .phy(PhySpec::ideal())
+            .phy(PhySpec::shared_airtime(256_000, 16))
+            .protocols([Protocol::MkitOlsr])
+            .seeds([1, 2]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 4, "1 scenario x 2 phys x 1 protocol x 2 seeds");
+        assert_eq!(cells[0].phy, 0);
+        assert_eq!(cells[1].phy, 0);
+        assert_eq!(cells[2].phy, 1);
+        assert_eq!(spec.phy_spec(&cells[0]).label(), "ideal");
+        assert_eq!(spec.phy_spec(&cells[2]).label(), "air256k");
+    }
+
+    #[test]
+    fn empty_phy_axis_means_ideal_channel() {
+        let spec = CampaignSpec::new("t")
+            .scenario("a", ScenarioSpec::builder().build())
+            .protocols([Protocol::MkitOlsr])
+            .seeds([1]);
+        let cells = spec.cells();
+        assert_eq!(cells.len(), 1);
+        assert_eq!(spec.phy_spec(&cells[0]), PhySpec::ideal());
+        assert!(spec.phy_spec(&cells[0]).model.is_ideal());
     }
 
     #[test]

@@ -66,6 +66,13 @@ pub use time::{SimDuration, SimTime};
 pub use topology::{GilbertElliott, LinkModel, LinkPhase, LinkState, Topology};
 pub use world::{PendingClass, PendingEvent, RebootFactory, World, WorldBuilder};
 
+/// The physical-layer channel model (re-export of the `manetkit-phy`
+/// crate): [`PhyModel`] selects ideal delivery,
+/// constant-bandwidth serialization, or shared-airtime contention; install
+/// one with [`WorldBuilder::phy`].
+pub use phy;
+pub use phy::{Channel, PhyModel};
+
 /// The flight-recorder record/diff/timeline types (re-export of the
 /// `manetkit-trace` crate), available with the `trace` feature.
 #[cfg(feature = "trace")]
@@ -75,6 +82,6 @@ pub use mktrace as trace;
 pub mod prelude {
     pub use crate::{
         ContextSample, DataPacket, FaultPlan, FilterEvent, FrameChaos, KernelRouteTable, NodeId,
-        NodeOs, RoutingAgent, SimDuration, SimTime, Topology, World,
+        NodeOs, PhyModel, RoutingAgent, SimDuration, SimTime, Topology, World,
     };
 }

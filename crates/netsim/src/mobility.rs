@@ -27,6 +27,11 @@ pub struct RandomWaypoint {
     pub step: SimDuration,
     /// Total schedule duration.
     pub duration: SimDuration,
+    /// How long a node rests at each waypoint before moving toward the
+    /// next (classic random-waypoint pause time; rounded up to whole
+    /// sampling steps). Zero — the default — reproduces the historical
+    /// pause-free walk exactly.
+    pub pause: SimDuration,
     /// RNG seed (same seed, same movement).
     pub seed: u64,
 }
@@ -39,9 +44,16 @@ impl Default for RandomWaypoint {
             speed: 0.02,
             step: SimDuration::from_secs(1),
             duration: SimDuration::from_secs(120),
+            pause: SimDuration::ZERO,
             seed: 0,
         }
     }
+}
+
+/// Number of whole sampling steps a waypoint pause covers (rounded up so
+/// any positive pause rests for at least one step).
+fn pause_steps(params: &RandomWaypoint) -> u64 {
+    params.pause.as_micros().div_ceil(params.step.as_micros())
 }
 
 /// One scheduled link change.
@@ -146,10 +158,18 @@ pub fn random_waypoint_field(params: RandomWaypoint) -> MoveSchedule {
     let mut moves = Vec::new();
     let step_secs = params.step.as_secs_f64();
     let move_per_step = params.speed * step_secs;
+    let rest = pause_steps(&params);
+    let mut hold = vec![0u64; n];
     let mut t = SimTime::ZERO;
     while t.since(SimTime::ZERO) < params.duration {
         t += params.step;
         for i in 0..n {
+            // A resting node neither moves nor draws from the RNG, so a
+            // zero pause reproduces the pause-free walk byte for byte.
+            if hold[i] > 0 {
+                hold[i] -= 1;
+                continue;
+            }
             let (wx, wy) = waypoint[i];
             let (x, y) = pos[i];
             let (dx, dy) = (wx - x, wy - y);
@@ -157,6 +177,7 @@ pub fn random_waypoint_field(params: RandomWaypoint) -> MoveSchedule {
             if dist <= move_per_step {
                 pos[i] = (wx, wy);
                 waypoint[i] = (rng.gen(), rng.gen());
+                hold[i] = rest;
             } else {
                 pos[i] = (x + dx / dist * move_per_step, y + dy / dist * move_per_step);
             }
@@ -207,11 +228,18 @@ pub fn random_waypoint(params: RandomWaypoint) -> MobilityTrace {
     let mut changes = Vec::new();
     let step_secs = params.step.as_secs_f64();
     let move_per_step = params.speed * step_secs;
+    let rest = pause_steps(&params);
+    let mut hold = vec![0u64; n];
     let mut t = SimTime::ZERO;
     while t.since(SimTime::ZERO) < params.duration {
         t += params.step;
-        // Move every node toward its waypoint; pick a new one on arrival.
+        // Move every node toward its waypoint; pick a new one on arrival
+        // and rest there for the configured pause.
         for i in 0..n {
+            if hold[i] > 0 {
+                hold[i] -= 1;
+                continue;
+            }
             let (wx, wy) = waypoint[i];
             let (x, y) = pos[i];
             let (dx, dy) = (wx - x, wy - y);
@@ -219,6 +247,7 @@ pub fn random_waypoint(params: RandomWaypoint) -> MobilityTrace {
             if dist <= move_per_step {
                 pos[i] = (wx, wy);
                 waypoint[i] = (rng.gen(), rng.gen());
+                hold[i] = rest;
             } else {
                 pos[i] = (x + dx / dist * move_per_step, y + dy / dist * move_per_step);
             }
@@ -350,6 +379,82 @@ mod tests {
             ..RandomWaypoint::default()
         };
         assert!(random_waypoint_field(p).is_empty());
+    }
+
+    #[test]
+    fn pause_time_rests_nodes_and_reduces_movement() {
+        let base = RandomWaypoint {
+            nodes: 12,
+            radius: 0.3,
+            speed: 0.2, // fast: nodes reach waypoints often, so pauses bite
+            duration: SimDuration::from_secs(60),
+            seed: 7,
+            ..RandomWaypoint::default()
+        };
+        let paused = RandomWaypoint {
+            pause: SimDuration::from_secs(5),
+            ..base
+        };
+        let restless = random_waypoint_field(base);
+        let resting = random_waypoint_field(paused);
+        assert!(
+            resting.len() < restless.len(),
+            "pausing nodes must emit fewer moves ({} vs {})",
+            resting.len(),
+            restless.len()
+        );
+        assert!(
+            !resting.is_empty(),
+            "paused nodes still travel between rests"
+        );
+    }
+
+    #[test]
+    fn zero_pause_is_byte_identical_to_historical_walk() {
+        let p = RandomWaypoint {
+            nodes: 9,
+            speed: 0.07,
+            duration: SimDuration::from_secs(45),
+            seed: 11,
+            ..RandomWaypoint::default()
+        };
+        let explicit = RandomWaypoint {
+            pause: SimDuration::ZERO,
+            ..p
+        };
+        assert_eq!(random_waypoint(p), random_waypoint(explicit));
+        assert_eq!(random_waypoint_field(p), random_waypoint_field(explicit));
+    }
+
+    #[test]
+    fn pause_preserves_incremental_spatial_moves() {
+        // The pairwise trace and the spatial move schedule must describe
+        // the same paused movement: after replaying both into worlds, the
+        // incrementally-maintained grid index agrees with the dense matrix.
+        let p = RandomWaypoint {
+            nodes: 16,
+            radius: 0.35,
+            speed: 0.15,
+            duration: SimDuration::from_secs(40),
+            pause: SimDuration::from_secs(3),
+            seed: 21,
+            ..RandomWaypoint::default()
+        };
+        let trace = random_waypoint(p);
+        let field = random_waypoint_field(p);
+        let mut dense = World::builder().topology(trace.initial.clone()).build();
+        trace.schedule_into(&mut dense);
+        let mut spatial = World::builder().topology(field.initial.clone()).build();
+        field.schedule_into(&mut spatial);
+        dense.run_for(p.duration);
+        spatial.run_for(p.duration);
+        for i in 0..p.nodes {
+            assert_eq!(
+                dense.topology().neighbours(NodeId(i)),
+                spatial.topology().neighbours(NodeId(i)),
+                "node {i} neighbour sets diverged under pause"
+            );
+        }
     }
 
     #[test]

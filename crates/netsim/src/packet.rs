@@ -39,15 +39,30 @@ pub enum Frame {
 }
 
 impl Frame {
+    /// MAC-layer framing overhead added to every transmission.
+    const MAC_HEADER: usize = 24;
+
     /// Approximate on-air size in bytes (payload plus a small MAC header).
     #[must_use]
     pub fn wire_len(&self) -> usize {
-        const MAC_HEADER: usize = 24;
-        MAC_HEADER
-            + match self {
-                Frame::Control(b) => b.len(),
-                Frame::Data(p) => p.wire_len(),
-            }
+        match self {
+            Frame::Control(b) => Frame::control_wire_len(b.len()),
+            Frame::Data(p) => Frame::data_wire_len(p),
+        }
+    }
+
+    /// On-air size of a control frame carrying `payload_len` PacketBB
+    /// bytes, without constructing the frame.
+    #[must_use]
+    pub fn control_wire_len(payload_len: usize) -> usize {
+        Frame::MAC_HEADER + payload_len
+    }
+
+    /// On-air size of a data frame carrying `packet`, without constructing
+    /// the frame.
+    #[must_use]
+    pub fn data_wire_len(packet: &DataPacket) -> usize {
+        Frame::MAC_HEADER + packet.wire_len()
     }
 }
 

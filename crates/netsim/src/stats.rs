@@ -68,6 +68,23 @@ pub struct WorldStats {
     pub partitions_healed: u64,
     /// Gilbert–Elliott links flipping into their bursty `Bad` phase.
     pub link_flaps: u64,
+    /// Frames tail-dropped by a full phy transmit queue (non-ideal phy
+    /// models only; the drop is decided at enqueue, before any loss-model
+    /// randomness is consumed).
+    pub phy_queue_drops: u64,
+    /// Frames fully serialized onto the air by the phy layer.
+    pub phy_frames_tx: u64,
+    /// Microseconds of channel airtime occupied by completed transmissions
+    /// (the utilization numerator; see [`phy_utilization`](Self::phy_utilization)).
+    pub phy_airtime_us: u64,
+    /// Every phy queueing delay (enqueue to transmit start) in
+    /// microseconds, in transmit-completion order. Feeds the exact p50/p95
+    /// quantiles, like [`delivery_latencies_us`](Self::delivery_latencies_us).
+    pub phy_queue_wait_us: Vec<u64>,
+    /// Simulated microseconds elapsed when the snapshot was taken (stamped
+    /// by [`World::stats`](crate::World::stats)). Deltas window it to the
+    /// span of the window; merges sum the spans of the merged shards.
+    pub sim_elapsed_us: u64,
     /// Per-node named counters bumped by agents, merged at read time.
     pub agent_counters: HashMap<String, u64>,
 }
@@ -124,6 +141,49 @@ impl WorldStats {
         self.delivery_latency_quantile(0.95)
     }
 
+    /// Exact phy queueing-delay quantile (nearest-rank) for `q` in `[0, 1]`.
+    /// Returns zero when no frame crossed a phy queue (e.g. ideal phy).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `q` is not a probability.
+    #[must_use]
+    pub fn phy_queue_wait_quantile(&self, q: f64) -> SimDuration {
+        assert!((0.0..=1.0).contains(&q), "quantile must be in [0, 1]");
+        if self.phy_queue_wait_us.is_empty() {
+            return SimDuration::ZERO;
+        }
+        let mut sorted = self.phy_queue_wait_us.clone();
+        sorted.sort_unstable();
+        let idx = ((sorted.len() - 1) as f64 * q).round() as usize;
+        SimDuration::from_micros(sorted[idx])
+    }
+
+    /// Median phy queueing delay.
+    #[must_use]
+    pub fn p50_phy_queue_wait(&self) -> SimDuration {
+        self.phy_queue_wait_quantile(0.50)
+    }
+
+    /// 95th-percentile phy queueing delay.
+    #[must_use]
+    pub fn p95_phy_queue_wait(&self) -> SimDuration {
+        self.phy_queue_wait_quantile(0.95)
+    }
+
+    /// Mean concurrent airtime occupancy over the snapshot's span:
+    /// `phy_airtime_us / sim_elapsed_us`. On a single contention domain
+    /// this is channel utilization in `[0, 1]`; across many spatial domains
+    /// it is the average number of simultaneously busy transmitters. Zero
+    /// when no time elapsed or the phy layer is ideal.
+    #[must_use]
+    pub fn phy_utilization(&self) -> f64 {
+        if self.sim_elapsed_us == 0 {
+            return 0.0;
+        }
+        self.phy_airtime_us as f64 / self.sim_elapsed_us as f64
+    }
+
     /// The window of activity between an earlier snapshot and this one:
     /// every counter becomes the delta, and the latency series keeps only
     /// the deliveries that happened after `base` was taken.
@@ -141,6 +201,10 @@ impl WorldStats {
             .delivery_latencies_us
             .len()
             .min(self.delivery_latencies_us.len());
+        let wait_from = base
+            .phy_queue_wait_us
+            .len()
+            .min(self.phy_queue_wait_us.len());
         WorldStats {
             data_sent: self.data_sent.saturating_sub(base.data_sent),
             data_delivered: self.data_delivered.saturating_sub(base.data_delivered),
@@ -180,6 +244,11 @@ impl WorldStats {
                 .partitions_healed
                 .saturating_sub(base.partitions_healed),
             link_flaps: self.link_flaps.saturating_sub(base.link_flaps),
+            phy_queue_drops: self.phy_queue_drops.saturating_sub(base.phy_queue_drops),
+            phy_frames_tx: self.phy_frames_tx.saturating_sub(base.phy_frames_tx),
+            phy_airtime_us: self.phy_airtime_us.saturating_sub(base.phy_airtime_us),
+            phy_queue_wait_us: self.phy_queue_wait_us[wait_from..].to_vec(),
+            sim_elapsed_us: self.sim_elapsed_us.saturating_sub(base.sim_elapsed_us),
             agent_counters,
         }
     }
@@ -223,6 +292,13 @@ impl WorldStats {
         self.partitions_started += other.partitions_started;
         self.partitions_healed += other.partitions_healed;
         self.link_flaps += other.link_flaps;
+        self.phy_queue_drops += other.phy_queue_drops;
+        self.phy_frames_tx += other.phy_frames_tx;
+        self.phy_airtime_us += other.phy_airtime_us;
+        self.phy_queue_wait_us
+            .extend_from_slice(&other.phy_queue_wait_us);
+        self.phy_queue_wait_us.sort_unstable();
+        self.sim_elapsed_us += other.sim_elapsed_us;
         for (name, v) in &other.agent_counters {
             *self.agent_counters.entry(name.clone()).or_insert(0) += v;
         }
@@ -235,11 +311,13 @@ impl WorldStats {
         self
     }
 
-    /// The canonical form used for merge comparisons: the latency series
-    /// sorted (deliveries carry no order information across shards).
+    /// The canonical form used for merge comparisons: the per-event series
+    /// sorted (deliveries and phy queue waits carry no order information
+    /// across shards).
     #[must_use]
     pub fn canonical(mut self) -> WorldStats {
         self.delivery_latencies_us.sort_unstable();
+        self.phy_queue_wait_us.sort_unstable();
         self
     }
 
@@ -317,6 +395,11 @@ impl WorldStats {
         cmp!(partitions_started);
         cmp!(partitions_healed);
         cmp!(link_flaps);
+        cmp!(phy_queue_drops);
+        cmp!(phy_frames_tx);
+        cmp!(phy_airtime_us);
+        cmp!(phy_queue_wait_us);
+        cmp!(sim_elapsed_us);
         if self.agent_counters != other.agent_counters {
             let mut names: Vec<&String> = self
                 .agent_counters

@@ -452,6 +452,21 @@ impl Topology {
         }
     }
 
+    /// The spatial grid cell a node currently occupies — the phy layer's
+    /// contention domain (cell width ≈ the radio radius, so transmitters
+    /// sharing a cell are in mutual radio range). `None` on dense
+    /// topologies, which form a single contention domain.
+    #[must_use]
+    pub fn contention_cell(&self, a: NodeId) -> Option<u32> {
+        match &self.backend {
+            Backend::Dense { .. } => None,
+            Backend::Spatial(field) => {
+                let (x, y) = *field.positions.get(a.0)?;
+                Some(field.cell_of(x, y))
+            }
+        }
+    }
+
     /// Moves a node of a spatial topology, updating the index
     /// incrementally (O(1), not an all-pairs re-evaluation).
     ///

@@ -10,6 +10,7 @@ use std::collections::HashMap;
 use simkern::EventQueue;
 
 use packetbb::Address;
+use phy::{Enqueue as PhyEnqueue, Phy, PhyModel, Resched as PhyResched, TxId};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 
@@ -64,7 +65,51 @@ enum EventKind {
     ContextTick {
         node: NodeId,
     },
+    /// A phy-layer transmission finishes serializing onto the air. Stale
+    /// when `seq` no longer matches the engine's (the completion deadline
+    /// moved after a fair-share rate reallocation, or a crash flushed the
+    /// transmitter): stale events are ignored on arrival.
+    PhyComplete {
+        tx: TxId,
+        seq: u64,
+    },
     Fault(FaultKind),
+}
+
+/// What a phy-layer transmission will deliver when it finishes serializing.
+/// Radio conditions (reachability, Gilbert–Elliott loss, frame chaos) are
+/// sampled at completion time — drop-at-dequeue, never at enqueue — so
+/// fault plans replay identically however contention stretches the queue.
+#[derive(Debug)]
+enum PhyJob {
+    /// A broadcast control frame: one serialization occupies the sender's
+    /// airtime once; per-neighbour fates are decided at completion.
+    Broadcast { bytes: Vec<u8> },
+    /// A unicast control frame to a resolved neighbour.
+    Unicast { nb: NodeId, bytes: Vec<u8> },
+    /// A data packet being forwarded one hop (TTL already decremented at
+    /// route time).
+    Data { nb: NodeId, packet: DataPacket },
+}
+
+impl PhyJob {
+    fn wire_len(&self) -> usize {
+        match self {
+            PhyJob::Broadcast { bytes } | PhyJob::Unicast { bytes, .. } => {
+                Frame::control_wire_len(bytes.len())
+            }
+            PhyJob::Data { packet, .. } => Frame::data_wire_len(packet),
+        }
+    }
+
+    /// The receiver whose neighbourhood the transmission also occupies
+    /// (`None` for broadcasts, which contend in the sender's cell only).
+    fn peer(&self) -> Option<NodeId> {
+        match self {
+            PhyJob::Broadcast { .. } => None,
+            PhyJob::Unicast { nb, .. } | PhyJob::Data { nb, .. } => Some(*nb),
+        }
+    }
 }
 
 /// Builds a fresh agent for a rebooting node (true cold boot).
@@ -149,6 +194,7 @@ pub struct WorldBuilder {
     nf_capacity: usize,
     geo_routing: bool,
     fault_plan: Option<FaultPlan>,
+    phy: PhyModel,
     #[cfg(feature = "trace")]
     trace_capacity: Option<usize>,
 }
@@ -167,6 +213,7 @@ impl Default for WorldBuilder {
             nf_capacity: 64,
             geo_routing: false,
             fault_plan: None,
+            phy: PhyModel::Ideal,
             #[cfg(feature = "trace")]
             trace_capacity: None,
         }
@@ -258,6 +305,22 @@ impl WorldBuilder {
         self
     }
 
+    /// Selects the physical-layer channel model (default
+    /// [`PhyModel::Ideal`], which preserves the historical flat-delay
+    /// delivery path bit for bit). Under `ConstantBandwidth` and
+    /// `SharedAirtime` every transmission pays a size-proportional
+    /// serialization delay, waits in a bounded per-node FIFO transmit
+    /// queue, and — for shared airtime — splits channel capacity max-min
+    /// fairly with concurrent transmitters in its contention domain.
+    /// Chance loss and frame chaos are sampled when a transmission
+    /// completes (drop-at-dequeue), so fault plans stay replayable under
+    /// contention.
+    #[must_use]
+    pub fn phy(mut self, model: PhyModel) -> Self {
+        self.phy = model;
+        self
+    }
+
     /// Attaches the flight recorder: every node gets a fixed-capacity ring
     /// of [`trace::TraceRecord`](mktrace::TraceRecord)s fed from the frame
     /// plane, the data plane and the reconfiguration hooks. When the ring
@@ -327,6 +390,7 @@ impl WorldBuilder {
             ge_phases: HashMap::new(),
             window: StatsWindow::default(),
             controlled: None,
+            phy: Phy::new(&self.phy, self.nodes),
         };
         if let Some(plan) = self.fault_plan {
             for entry in plan.entries() {
@@ -374,6 +438,9 @@ pub struct World {
     /// Controlled-delivery mode: when set, scheduled events divert here and
     /// an external scheduler (the `mcheck` model checker) picks the order.
     controlled: Option<ControlledQueue>,
+    /// The channel engine for non-ideal phy models; `None` under
+    /// [`PhyModel::Ideal`], whose delivery path is untouched.
+    phy: Option<Phy<PhyJob>>,
 }
 
 /// In-flight bookkeeping for one application datagram: when it left, how
@@ -622,10 +689,13 @@ impl World {
         self.sent_at.len()
     }
 
-    /// Statistics with per-node agent counters merged in.
+    /// Statistics with per-node agent counters merged in and the snapshot
+    /// stamped with the current simulated time (the denominator for
+    /// windowed rates such as [`WorldStats::phy_utilization`]).
     #[must_use]
     pub fn stats(&self) -> WorldStats {
         let mut s = self.stats.clone();
+        s.sim_elapsed_us = self.now.as_micros();
         for slot in &self.nodes {
             for (name, v) in slot.os.counters() {
                 *s.agent_counters.entry((*name).to_string()).or_insert(0) += v;
@@ -799,6 +869,9 @@ impl World {
             | EventKind::NodeMove { node, .. }
             | EventKind::ContextTick { node } => (PendingClass::Infra, *node, None, 0, true),
             EventKind::LinkChange { a, .. } => (PendingClass::Infra, *a, None, 0, true),
+            // Serialization deadlines are simulator infrastructure: dropping
+            // or reordering them would desynchronize the engine's clock.
+            EventKind::PhyComplete { tx, .. } => (PendingClass::Infra, NodeId(0), None, *tx, true),
             EventKind::Fault(kind) => {
                 let node = match kind {
                     FaultKind::Crash(n) | FaultKind::BatteryExhaust(n) | FaultKind::Reboot(n) => *n,
@@ -1038,9 +1111,30 @@ impl World {
     }
 
     fn send_control(&mut self, node: NodeId, dst: Option<Address>, bytes: Vec<u8>) {
-        let frame_len = Frame::Control(bytes.clone()).wire_len();
+        let frame_len = Frame::control_wire_len(bytes.len());
         self.stats.control_frames += 1;
         self.stats.control_bytes += frame_len as u64;
+        if self.phy.is_some() {
+            // Channel-model path: the frame queues at the sender's radio;
+            // battery drain and per-neighbour radio outcomes happen at
+            // transmit time, not here.
+            match dst {
+                None => {
+                    tr!(self, node, FrameTx, "frame.control", frame_len, u64::MAX);
+                    self.phy_enqueue(node, PhyJob::Broadcast { bytes });
+                }
+                Some(addr) => {
+                    let Some(nb) = self.node_of(addr) else {
+                        self.stats.control_lost += 1;
+                        tr!(self, node, FrameDrop, "no_such_addr", u64::MAX, frame_len);
+                        return;
+                    };
+                    tr!(self, node, FrameTx, "frame.control", frame_len, nb.0);
+                    self.phy_enqueue(node, PhyJob::Unicast { nb, bytes });
+                }
+            }
+            return;
+        }
         self.nodes[node.0].os.battery.drain_tx(frame_len);
         match dst {
             None => {
@@ -1100,6 +1194,255 @@ impl World {
                 );
             }
         }
+    }
+
+    // ---- phy channel model -------------------------------------------------
+
+    /// Schedules completion deadlines issued by the phy engine. Every rate
+    /// reallocation bumps the affected transmission's sequence number and
+    /// reissues its deadline; superseded deadlines arrive stale and are
+    /// ignored (simkern has no event cancellation).
+    fn schedule_phy(&mut self, rescheds: Vec<PhyResched>) {
+        for r in rescheds {
+            self.schedule(
+                r.at,
+                EventKind::PhyComplete {
+                    tx: r.tx,
+                    seq: r.seq,
+                },
+            );
+        }
+    }
+
+    /// Contention domains for a transmission from `a` (optionally towards
+    /// `peer`): the spatial-grid cells occupied by sender and receiver, or
+    /// one world-wide domain on dense topologies. Broadcasts contend in the
+    /// sender's cell only.
+    fn contention_domains(&self, a: NodeId, peer: Option<NodeId>) -> (u32, u32) {
+        let da = self.topo.contention_cell(a).unwrap_or(0);
+        let db = peer
+            .and_then(|b| self.topo.contention_cell(b))
+            .unwrap_or(da);
+        (da, db)
+    }
+
+    /// Hands a frame to the channel model. Tail drop is decided here by a
+    /// pure queue-depth check that consumes no randomness, so enabling
+    /// contention never perturbs the fault plan's RNG stream.
+    fn phy_enqueue(&mut self, node: NodeId, job: PhyJob) {
+        let wire = job.wire_len();
+        let domains = self.contention_domains(node, job.peer());
+        let phy = self
+            .phy
+            .as_mut()
+            .expect("phy_enqueue without channel model");
+        let (outcome, rescheds) = phy.enqueue(self.now, node.0, domains, wire, job);
+        self.schedule_phy(rescheds);
+        match outcome {
+            PhyEnqueue::Dropped(job) => {
+                self.stats.phy_queue_drops += 1;
+                match job {
+                    PhyJob::Data { packet, .. } => {
+                        self.stats.data_dropped_buffer += 1;
+                        tr!(self, node, PhyDrop, "phy_queue", packet.id, wire);
+                        self.settle_send(packet.id);
+                    }
+                    PhyJob::Broadcast { .. } | PhyJob::Unicast { .. } => {
+                        self.stats.control_lost += 1;
+                        tr!(self, node, PhyDrop, "phy_queue", u64::MAX, wire);
+                    }
+                }
+            }
+            PhyEnqueue::Queued { depth: _depth } => {
+                tr!(self, node, PhyQueue, "phy", _depth, wire);
+            }
+            PhyEnqueue::Started(tx) => self.phy_tx_start(node, tx),
+        }
+    }
+
+    /// A transmission starts occupying the air: battery drain and per-hop
+    /// data accounting happen now, mirroring the ideal path's at-send
+    /// semantics (a queued frame that never transmits costs nothing).
+    fn phy_tx_start(&mut self, node: NodeId, tx: TxId) {
+        let Some(job) = self.phy.as_ref().and_then(|p| p.payload(tx)) else {
+            return;
+        };
+        let wire = job.wire_len();
+        let data_hop = match job {
+            PhyJob::Data { nb, packet } => Some((*nb, packet.ttl)),
+            PhyJob::Broadcast { .. } | PhyJob::Unicast { .. } => None,
+        };
+        self.nodes[node.0].os.battery.drain_tx(wire);
+        if let Some((_nb, _ttl)) = data_hop {
+            self.stats.data_hops += 1;
+            tr!(self, node, DataHop, "data", _nb.0, _ttl);
+        }
+        tr!(self, node, PhyTx, "phy", tx, wire);
+    }
+
+    /// A serialization deadline fires. If it is current (the sequence
+    /// matches), the frame leaves the sender's radio and its radio fate —
+    /// reachability, Gilbert–Elliott loss, frame chaos, propagation delay —
+    /// is decided now, with exactly the draws the ideal path would make.
+    fn phy_complete(&mut self, tx: TxId, seq: u64) {
+        let Some((done, rescheds)) = self
+            .phy
+            .as_mut()
+            .and_then(|p| p.complete(self.now, tx, seq))
+        else {
+            return; // stale deadline superseded by a reallocation or crash
+        };
+        self.schedule_phy(rescheds);
+        self.stats.phy_frames_tx += 1;
+        self.stats.phy_airtime_us += done.airtime.as_micros();
+        self.stats.phy_queue_wait_us.push(done.queued.as_micros());
+        let node = NodeId(done.node);
+        if let Some(next) = done.started {
+            self.phy_tx_start(node, next);
+        }
+        match done.payload {
+            PhyJob::Broadcast { bytes } => self.radio_broadcast(node, bytes),
+            PhyJob::Unicast { nb, bytes } => self.radio_unicast(node, nb, bytes),
+            PhyJob::Data { nb, packet } => self.radio_data(node, nb, packet),
+        }
+    }
+
+    /// Radio fate of a completed broadcast: one serialization occupied the
+    /// air; each in-range neighbour now gets its own reachability, loss and
+    /// propagation draws, exactly as the ideal path orders them.
+    fn radio_broadcast(&mut self, node: NodeId, bytes: Vec<u8>) {
+        let _frame_len = Frame::control_wire_len(bytes.len());
+        for nb in self.topo.neighbours(node) {
+            if !self.reachable(node, nb) {
+                self.stats.control_lost += 1;
+                tr!(self, node, FrameDrop, "unreachable", nb.0, _frame_len);
+                continue;
+            }
+            if self.sample_link_loss(node, nb) {
+                self.stats.control_lost += 1;
+                tr!(self, node, FrameDrop, "loss", nb.0, _frame_len);
+                continue;
+            }
+            let delay = self.link_model.sample_delay(&mut self.rng);
+            self.schedule(
+                self.now + delay,
+                EventKind::Arrival {
+                    node: nb,
+                    from: node,
+                    frame: Frame::Control(bytes.clone()),
+                },
+            );
+        }
+    }
+
+    /// Radio fate of a completed unicast control frame.
+    fn radio_unicast(&mut self, node: NodeId, nb: NodeId, bytes: Vec<u8>) {
+        let _frame_len = Frame::control_wire_len(bytes.len());
+        if !self.reachable(node, nb) {
+            self.stats.control_lost += 1;
+            tr!(self, node, FrameDrop, "unreachable", nb.0, _frame_len);
+            if self.link_feedback {
+                let neighbour = self.nodes[nb.0].os.addr();
+                self.with_agent(node, |agent, os| {
+                    agent.on_filter_event(os, FilterEvent::TxFailed { neighbour });
+                });
+            }
+            return;
+        }
+        if self.sample_link_loss(node, nb) {
+            self.stats.control_lost += 1;
+            tr!(self, node, FrameDrop, "loss", nb.0, _frame_len);
+            return;
+        }
+        let delay = self.link_model.sample_delay(&mut self.rng);
+        self.schedule(
+            self.now + delay,
+            EventKind::Arrival {
+                node: nb,
+                from: node,
+                frame: Frame::Control(bytes),
+            },
+        );
+    }
+
+    /// Radio fate of a completed data transmission: the tail of the ideal
+    /// [`World::forward`] path (link check, chaos, propagation), minus the
+    /// enqueue-time decisions (TTL, battery, hop count, RouteUsed) already
+    /// taken.
+    fn radio_data(&mut self, node: NodeId, nb: NodeId, packet: DataPacket) {
+        let next_hop = self.nodes[nb.0].os.addr();
+        let local_addr = self.nodes[node.0].os.addr();
+        let link_ok = self.reachable(node, nb) && !self.sample_link_loss(node, nb);
+        if !link_ok {
+            self.stats.data_dropped_link += 1;
+            tr!(self, node, DataDrop, "link", packet.id, packet.ttl);
+            self.settle_send(packet.id);
+            let dst = packet.dst;
+            let src = packet.src;
+            if self.link_feedback {
+                self.with_agent(node, |agent, os| {
+                    agent.on_filter_event(
+                        os,
+                        FilterEvent::TxFailed {
+                            neighbour: next_hop,
+                        },
+                    );
+                });
+            }
+            if src != local_addr {
+                self.with_agent(node, |agent, os| {
+                    agent.on_filter_event(os, FilterEvent::ForwardFailure { dst, src, next_hop });
+                });
+            }
+            return;
+        }
+        let chaos = self.fault.chaos;
+        if chaos.is_active() {
+            if chaos.corrupt > 0.0 && self.fault.rng.gen_bool(chaos.corrupt) {
+                self.stats.data_corrupted += 1;
+                tr!(self, node, DataDrop, "corrupt", packet.id, packet.ttl);
+                self.settle_send(packet.id);
+                return;
+            }
+            let copies = if chaos.duplicate > 0.0 && self.fault.rng.gen_bool(chaos.duplicate) {
+                self.stats.data_duplicated += 1;
+                if let Some(rec) = self.sent_at.get_mut(&packet.id) {
+                    rec.copies += 1;
+                }
+                2
+            } else {
+                1
+            };
+            for _ in 0..copies {
+                let mut delay = self.link_model.sample_delay(&mut self.rng);
+                if chaos.reorder > 0.0 && self.fault.rng.gen_bool(chaos.reorder) {
+                    self.stats.data_reordered += 1;
+                    let extra = self
+                        .fault
+                        .rng
+                        .gen_range(0..=chaos.reorder_spread.as_micros());
+                    delay = delay + SimDuration::from_micros(extra);
+                }
+                self.schedule(
+                    self.now + delay,
+                    EventKind::Arrival {
+                        node: nb,
+                        from: node,
+                        frame: Frame::Data(packet.clone()),
+                    },
+                );
+            }
+            return;
+        }
+        let delay = self.link_model.sample_delay(&mut self.rng);
+        self.schedule(
+            self.now + delay,
+            EventKind::Arrival {
+                node: nb,
+                from: node,
+                frame: Frame::Data(packet),
+            },
+        );
     }
 
     fn dispatch(&mut self, kind: EventKind) {
@@ -1216,6 +1559,7 @@ impl World {
                     self.schedule(self.now + interval, EventKind::ContextTick { node });
                 }
             }
+            EventKind::PhyComplete { tx, seq } => self.phy_complete(tx, seq),
             EventKind::Fault(kind) => self.apply_fault(kind),
         }
     }
@@ -1276,6 +1620,26 @@ impl World {
         );
         for id in dropped {
             self.settle_send(id);
+        }
+        // The radio dies with the node: flush its transmit queue and abort
+        // any in-flight serialization (surviving transmitters may speed up,
+        // hence the rescheduled deadlines). The aborted transmission's old
+        // completion event arrives stale and is ignored.
+        if let Some(phy) = self.phy.as_mut() {
+            let (waiting, aborted, rescheds) = phy.flush_node(now, node.0);
+            self.schedule_phy(rescheds);
+            for job in waiting.into_iter().chain(aborted) {
+                match job {
+                    PhyJob::Data { packet, .. } => {
+                        self.stats.data_dropped_crash += 1;
+                        tr!(self, node, DataDrop, "crash", packet.id, packet.ttl);
+                        self.settle_send(packet.id);
+                    }
+                    PhyJob::Broadcast { .. } | PhyJob::Unicast { .. } => {
+                        self.stats.control_lost += 1;
+                    }
+                }
+            }
         }
     }
 
@@ -1459,6 +1823,30 @@ impl World {
             self.settle_send(packet.id);
             return;
         };
+        if self.phy.is_some() {
+            // Channel-model path: routing decisions (TTL, RouteUsed
+            // feedback) happen at enqueue; link loss and chaos are sampled
+            // only when the frame actually transmits (drop-at-dequeue), so
+            // fault plans replay identically however the queue stretches.
+            let Some(next_packet) = packet.next_hop_copy() else {
+                self.stats.data_dropped_ttl += 1;
+                tr!(self, node, DataDrop, "ttl", packet.id, packet.ttl);
+                self.settle_send(packet.id);
+                return;
+            };
+            let dst = next_packet.dst;
+            self.with_agent(node, |agent, os| {
+                agent.on_filter_event(os, FilterEvent::RouteUsed { dst, next_hop });
+            });
+            self.phy_enqueue(
+                node,
+                PhyJob::Data {
+                    nb,
+                    packet: next_packet,
+                },
+            );
+            return;
+        }
         let local_addr = self.nodes[node.0].os.addr();
         let link_ok = self.reachable(node, nb) && !self.sample_link_loss(node, nb);
         if !link_ok {

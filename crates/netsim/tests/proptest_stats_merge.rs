@@ -25,8 +25,10 @@ fn arb_stats() -> impl Strategy<Value = WorldStats> {
         (0u64..10_000, 0u64..500_000, 0u64..50, 0u64..50),
         vec(1u64..100_000, 0..32),
         vec((0usize..3, 1u64..50), 0..6),
+        (0u64..100, 0u64..1_000, 0u64..1_000_000, 0u64..10_000_000),
+        vec(0u64..50_000, 0..16),
     )
-        .prop_map(|(data, control, latencies, counters)| {
+        .prop_map(|(data, control, latencies, counters, phy, phy_waits)| {
             let mut s = WorldStats {
                 data_sent: data.0,
                 data_delivered: data.1,
@@ -38,6 +40,11 @@ fn arb_stats() -> impl Strategy<Value = WorldStats> {
                 link_flaps: control.3,
                 delivery_latency_total: SimDuration::from_micros(latencies.iter().copied().sum()),
                 delivery_latencies_us: latencies,
+                phy_queue_drops: phy.0,
+                phy_frames_tx: phy.1,
+                phy_airtime_us: phy.2,
+                sim_elapsed_us: phy.3,
+                phy_queue_wait_us: phy_waits,
                 ..WorldStats::default()
             };
             const KEYS: [&str; 3] = ["olsr.hello", "dymo.rreq", "relay.fwd"];

@@ -1,0 +1,559 @@
+//! The shared-rate transmission engine.
+//!
+//! A [`Phy`] tracks, per node, one in-flight transmission plus a bounded FIFO
+//! of waiting frames, and across nodes the set of active transmissions grouped
+//! into contention domains. It is a pure state machine over
+//! [`SimTime`]/[`SimDuration`]: the caller owns the event loop and feeds
+//! `enqueue`/`complete` calls in timestamp order; the engine answers with
+//! completion deadlines ([`Enqueue::Started`] + [`Resched`]) for the caller to
+//! schedule.
+//!
+//! Rate allocation is max-min fair via progressive filling: repeatedly find
+//! the bottleneck domain (smallest per-transmitter headroom), freeze its
+//! transmitters at that share, and continue until every transmission has a
+//! rate. A transmission that spans two domains (sender and receiver cell)
+//! counts against both, so the invariant *sum of allocated rates within any
+//! domain never exceeds the domain capacity* holds at every reallocation
+//! point — the airtime-conservation property the proptests pin down.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use simkern::{SimDuration, SimTime};
+
+use crate::{Channel, PhyModel};
+
+/// Identifier of an in-flight transmission, unique per [`Phy`] lifetime.
+pub type TxId = u64;
+
+/// A deadline (re)issued for an in-flight transmission.
+///
+/// The caller schedules a completion event at `at` carrying `(tx, seq)`; an
+/// event whose `seq` no longer matches the engine's is stale and must be
+/// ignored (the rate changed and a newer deadline exists).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Resched {
+    /// Transmission the deadline belongs to.
+    pub tx: TxId,
+    /// Sequence number that must match at completion time.
+    pub seq: u64,
+    /// When the transmission now finishes.
+    pub at: SimTime,
+}
+
+/// Outcome of offering a frame to a node's transmitter.
+#[derive(Debug)]
+pub enum Enqueue<T> {
+    /// The transmit queue was full; the frame never reached the air. The
+    /// payload is handed back so the caller can account for the drop.
+    Dropped(T),
+    /// The transmitter was busy; the frame waits in FIFO order.
+    Queued {
+        /// Queue depth after insertion (frames waiting, in-flight excluded).
+        depth: usize,
+    },
+    /// The transmitter was idle; the frame is on the air. Its completion
+    /// deadline is in the accompanying [`Resched`] batch.
+    Started(TxId),
+}
+
+/// A finished transmission, handed back to the caller for delivery.
+#[derive(Debug)]
+pub struct Completion<T> {
+    /// The transmitting node.
+    pub node: usize,
+    /// The frame that just left the air.
+    pub payload: T,
+    /// On-air size in bytes.
+    pub wire_bytes: usize,
+    /// Time the frame spent waiting in the transmit queue.
+    pub queued: SimDuration,
+    /// Time the frame spent being serialized on the air.
+    pub airtime: SimDuration,
+    /// The next queued frame, now on the air (its deadline is in the
+    /// accompanying [`Resched`] batch). Inspect it with [`Phy::payload`].
+    pub started: Option<TxId>,
+}
+
+struct Waiting<T> {
+    payload: T,
+    wire_bytes: usize,
+    domains: (u32, u32),
+    enqueued_at: SimTime,
+}
+
+struct Active<T> {
+    node: usize,
+    payload: T,
+    wire_bytes: usize,
+    domains: (u32, u32),
+    enqueued_at: SimTime,
+    started_at: SimTime,
+    updated_at: SimTime,
+    remaining_bits: f64,
+    rate_bps: f64,
+    seq: u64,
+    deadline: SimTime,
+}
+
+/// Deterministic shared-rate transmission engine. See the crate docs.
+pub struct Phy<T> {
+    shared: bool,
+    capacity_bps: f64,
+    queue_cap: usize,
+    queues: Vec<VecDeque<Waiting<T>>>,
+    head: Vec<Option<TxId>>,
+    active: BTreeMap<TxId, Active<T>>,
+    next_tx: TxId,
+}
+
+impl<T> Phy<T> {
+    /// Builds an engine for `model`, or `None` for [`PhyModel::Ideal`].
+    #[must_use]
+    pub fn new(model: &PhyModel, nodes: usize) -> Option<Self> {
+        match model {
+            PhyModel::Ideal => None,
+            PhyModel::ConstantBandwidth(c) => Some(Self::with_channel(false, *c, nodes)),
+            PhyModel::SharedAirtime(c) => Some(Self::with_channel(true, *c, nodes)),
+        }
+    }
+
+    fn with_channel(shared: bool, channel: Channel, nodes: usize) -> Self {
+        Phy {
+            shared,
+            capacity_bps: (channel.bits_per_sec.max(1)) as f64,
+            queue_cap: channel.queue_frames,
+            queues: (0..nodes).map(|_| VecDeque::new()).collect(),
+            head: vec![None; nodes],
+            active: BTreeMap::new(),
+            next_tx: 0,
+        }
+    }
+
+    fn ensure_node(&mut self, node: usize) {
+        if node >= self.queues.len() {
+            self.queues.resize_with(node + 1, VecDeque::new);
+            self.head.resize(node + 1, None);
+        }
+    }
+
+    /// Channel capacity in bits per second.
+    #[must_use]
+    pub fn capacity_bps(&self) -> f64 {
+        self.capacity_bps
+    }
+
+    /// Frames waiting in `node`'s transmit queue (in-flight excluded).
+    #[must_use]
+    pub fn queue_depth(&self, node: usize) -> usize {
+        self.queues.get(node).map_or(0, VecDeque::len)
+    }
+
+    /// Number of transmissions currently on the air.
+    #[must_use]
+    pub fn active_count(&self) -> usize {
+        self.active.len()
+    }
+
+    /// The payload of an in-flight transmission, if it is still active.
+    #[must_use]
+    pub fn payload(&self, tx: TxId) -> Option<&T> {
+        self.active.get(&tx).map(|a| &a.payload)
+    }
+
+    /// Per-domain sums of currently allocated rates, ascending by domain id.
+    ///
+    /// Exposed for the airtime-conservation property tests: for every domain
+    /// the sum must never exceed [`Phy::capacity_bps`].
+    #[must_use]
+    pub fn domain_allocations(&self) -> Vec<(u32, f64)> {
+        let mut sums: BTreeMap<u32, f64> = BTreeMap::new();
+        for a in self.active.values() {
+            for d in domain_list(a.domains) {
+                *sums.entry(d).or_insert(0.0) += a.rate_bps;
+            }
+        }
+        sums.into_iter().collect()
+    }
+
+    /// Offers a frame to `node`'s transmitter at time `now`.
+    ///
+    /// `domains` are the contention cells the transmission occupies (sender
+    /// and receiver neighbourhood; pass the same value twice for broadcasts
+    /// or single-domain channels). Returns the enqueue outcome plus any
+    /// deadlines that moved because rates were reallocated.
+    pub fn enqueue(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        domains: (u32, u32),
+        wire_bytes: usize,
+        payload: T,
+    ) -> (Enqueue<T>, Vec<Resched>) {
+        self.ensure_node(node);
+        if self.head[node].is_some() {
+            if self.queues[node].len() >= self.queue_cap {
+                return (Enqueue::Dropped(payload), Vec::new());
+            }
+            self.queues[node].push_back(Waiting {
+                payload,
+                wire_bytes,
+                domains,
+                enqueued_at: now,
+            });
+            return (
+                Enqueue::Queued {
+                    depth: self.queues[node].len(),
+                },
+                Vec::new(),
+            );
+        }
+        self.settle(now);
+        let tx = self.start(now, node, domains, wire_bytes, payload, now);
+        let rescheds = self.reallocate(now);
+        (Enqueue::Started(tx), rescheds)
+    }
+
+    /// Handles a completion event for `(tx, seq)` at time `now`.
+    ///
+    /// Returns `None` when the event is stale (the deadline moved after it
+    /// was scheduled, or the transmission was flushed by a crash).
+    pub fn complete(
+        &mut self,
+        now: SimTime,
+        tx: TxId,
+        seq: u64,
+    ) -> Option<(Completion<T>, Vec<Resched>)> {
+        match self.active.get(&tx) {
+            Some(a) if a.seq == seq => {}
+            _ => return None,
+        }
+        self.settle(now);
+        let done = self.active.remove(&tx).expect("checked above");
+        self.head[done.node] = None;
+        let started = self.queues[done.node].pop_front().map(|w| {
+            self.start(
+                now,
+                done.node,
+                w.domains,
+                w.wire_bytes,
+                w.payload,
+                w.enqueued_at,
+            )
+        });
+        let rescheds = self.reallocate(now);
+        Some((
+            Completion {
+                node: done.node,
+                payload: done.payload,
+                wire_bytes: done.wire_bytes,
+                queued: done.started_at.since(done.enqueued_at),
+                airtime: now.since(done.started_at),
+                started,
+            },
+            rescheds,
+        ))
+    }
+
+    /// Drops everything a crashed node had queued or on the air.
+    ///
+    /// Returns the waiting payloads, the aborted in-flight payload (if any),
+    /// and deadlines that moved because the abort freed airtime.
+    pub fn flush_node(&mut self, now: SimTime, node: usize) -> (Vec<T>, Option<T>, Vec<Resched>) {
+        self.ensure_node(node);
+        let waiting: Vec<T> = self.queues[node].drain(..).map(|w| w.payload).collect();
+        let aborted = match self.head[node].take() {
+            Some(tx) => {
+                self.settle(now);
+                self.active.remove(&tx).map(|a| a.payload)
+            }
+            None => None,
+        };
+        let rescheds = if aborted.is_some() {
+            self.reallocate(now)
+        } else {
+            Vec::new()
+        };
+        (waiting, aborted, rescheds)
+    }
+
+    fn start(
+        &mut self,
+        now: SimTime,
+        node: usize,
+        domains: (u32, u32),
+        wire_bytes: usize,
+        payload: T,
+        enqueued_at: SimTime,
+    ) -> TxId {
+        let tx = self.next_tx;
+        self.next_tx += 1;
+        self.head[node] = Some(tx);
+        self.active.insert(
+            tx,
+            Active {
+                node,
+                payload,
+                wire_bytes,
+                domains,
+                enqueued_at,
+                started_at: now,
+                updated_at: now,
+                remaining_bits: (wire_bytes.max(1) * 8) as f64,
+                rate_bps: 0.0,
+                seq: 0,
+                // reallocate() issues the real deadline.
+                deadline: SimTime::MAX,
+            },
+        );
+        tx
+    }
+
+    /// Advances every in-flight transmission's residual work to `now`.
+    fn settle(&mut self, now: SimTime) {
+        for a in self.active.values_mut() {
+            let dt = now.since(a.updated_at).as_secs_f64();
+            if dt > 0.0 {
+                a.remaining_bits = (a.remaining_bits - a.rate_bps * dt).max(0.0);
+            }
+            a.updated_at = now;
+        }
+    }
+
+    /// Recomputes fair-share rates and reissues moved deadlines.
+    fn reallocate(&mut self, now: SimTime) -> Vec<Resched> {
+        let rates = if self.shared {
+            self.maxmin_rates()
+        } else {
+            self.active
+                .keys()
+                .map(|&tx| (tx, self.capacity_bps))
+                .collect()
+        };
+        let mut out = Vec::new();
+        for (tx, a) in &mut self.active {
+            let rate = rates.get(tx).copied().unwrap_or(self.capacity_bps).max(1.0);
+            a.rate_bps = rate;
+            let finish_us = (a.remaining_bits / rate * 1e6).ceil() as u64;
+            let at = now + SimDuration::from_micros(finish_us);
+            if at != a.deadline {
+                a.seq += 1;
+                a.deadline = at;
+                out.push(Resched {
+                    tx: *tx,
+                    seq: a.seq,
+                    at,
+                });
+            }
+        }
+        out
+    }
+
+    /// Max-min fair shares by progressive filling over contention domains.
+    fn maxmin_rates(&self) -> BTreeMap<TxId, f64> {
+        let mut members: BTreeMap<u32, Vec<TxId>> = BTreeMap::new();
+        for (&tx, a) in &self.active {
+            for d in domain_list(a.domains) {
+                members.entry(d).or_default().push(tx);
+            }
+        }
+        let mut rates: BTreeMap<TxId, f64> = BTreeMap::new();
+        let mut frozen_sum: BTreeMap<u32, f64> = members.keys().map(|&d| (d, 0.0)).collect();
+        let mut unfrozen: BTreeSet<TxId> = self.active.keys().copied().collect();
+        while !unfrozen.is_empty() {
+            // Bottleneck domain: smallest headroom per unfrozen transmitter,
+            // ties broken towards the lowest domain id (ascending iteration).
+            let mut best: Option<(f64, u32)> = None;
+            for (&d, m) in &members {
+                let k = m.iter().filter(|t| unfrozen.contains(t)).count();
+                if k == 0 {
+                    continue;
+                }
+                let head = (self.capacity_bps - frozen_sum[&d]).max(0.0) / k as f64;
+                if best.is_none_or(|(h, _)| head < h) {
+                    best = Some((head, d));
+                }
+            }
+            let Some((share, d)) = best else { break };
+            let frozen: Vec<TxId> = members[&d]
+                .iter()
+                .copied()
+                .filter(|t| unfrozen.remove(t))
+                .collect();
+            for tx in frozen {
+                rates.insert(tx, share);
+                for dom in domain_list(self.active[&tx].domains) {
+                    *frozen_sum.get_mut(&dom).expect("domain registered") += share;
+                }
+            }
+        }
+        rates
+    }
+}
+
+/// The distinct domains of a transmission (one or two).
+fn domain_list(domains: (u32, u32)) -> impl Iterator<Item = u32> {
+    let (a, b) = domains;
+    std::iter::once(a).chain((b != a).then_some(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn phy(shared: bool, bps: u64, queue: usize) -> Phy<u32> {
+        let channel = Channel {
+            bits_per_sec: bps,
+            queue_frames: queue,
+        };
+        let model = if shared {
+            PhyModel::SharedAirtime(channel)
+        } else {
+            PhyModel::ConstantBandwidth(channel)
+        };
+        Phy::new(&model, 4).expect("non-ideal")
+    }
+
+    fn started(e: &Enqueue<u32>) -> TxId {
+        match e {
+            Enqueue::Started(tx) => *tx,
+            other => panic!("expected Started, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn ideal_has_no_engine() {
+        assert!(Phy::<u32>::new(&PhyModel::Ideal, 4).is_none());
+    }
+
+    #[test]
+    fn serialization_delay_is_size_proportional() {
+        // 1 Mb/s: a 125-byte frame (1000 bits) takes exactly 1 ms.
+        let mut p = phy(false, 1_000_000, 8);
+        let t0 = SimTime::ZERO;
+        let (e, r) = p.enqueue(t0, 0, (0, 0), 125, 7);
+        let tx = started(&e);
+        assert_eq!(r.len(), 1);
+        assert_eq!(r[0].tx, tx);
+        assert_eq!(r[0].at, SimTime::from_micros(1000));
+        let (done, _) = p.complete(r[0].at, tx, r[0].seq).expect("fresh");
+        assert_eq!(done.payload, 7);
+        assert_eq!(done.airtime, SimDuration::from_micros(1000));
+        assert_eq!(done.queued, SimDuration::ZERO);
+    }
+
+    #[test]
+    fn fifo_queue_and_tail_drop() {
+        let mut p = phy(false, 1_000_000, 2);
+        let t0 = SimTime::ZERO;
+        let (e0, r0) = p.enqueue(t0, 0, (0, 0), 125, 0);
+        let tx0 = started(&e0);
+        assert!(matches!(
+            p.enqueue(t0, 0, (0, 0), 125, 1).0,
+            Enqueue::Queued { depth: 1 }
+        ));
+        assert!(matches!(
+            p.enqueue(t0, 0, (0, 0), 125, 2).0,
+            Enqueue::Queued { depth: 2 }
+        ));
+        // Queue full: the newest frame is the one dropped.
+        match p.enqueue(t0, 0, (0, 0), 125, 3).0 {
+            Enqueue::Dropped(payload) => assert_eq!(payload, 3),
+            other => panic!("expected Dropped, got {other:?}"),
+        }
+        // Drain: completions come back in enqueue order.
+        let (done0, r1) = p.complete(r0[0].at, tx0, r0[0].seq).expect("fresh");
+        assert_eq!(done0.payload, 0);
+        let tx1 = done0.started.expect("next frame starts");
+        assert_eq!(*p.payload(tx1).expect("active"), 1);
+        assert_eq!(done0.started.map(|_| r1.len()), Some(1));
+        let (done1, r2) = p.complete(r1[0].at, tx1, r1[0].seq).expect("fresh");
+        assert_eq!(done1.payload, 1);
+        assert_eq!(done1.queued, SimDuration::from_micros(1000));
+        let tx2 = done1.started.expect("last frame starts");
+        let (done2, _) = p.complete(r2[0].at, tx2, r2[0].seq).expect("fresh");
+        assert_eq!(done2.payload, 2);
+        assert_eq!(done2.started, None);
+        assert_eq!(p.active_count(), 0);
+    }
+
+    #[test]
+    fn shared_airtime_splits_rate_in_domain() {
+        // Two 1000-bit frames start together in one domain at 1 Mb/s: each
+        // gets 500 kb/s and finishes at 2 ms instead of 1 ms.
+        let mut p = phy(true, 1_000_000, 8);
+        let t0 = SimTime::ZERO;
+        let (e0, _) = p.enqueue(t0, 0, (5, 5), 125, 0);
+        let tx0 = started(&e0);
+        let (e1, r1) = p.enqueue(t0, 1, (5, 5), 125, 1);
+        let tx1 = started(&e1);
+        // Both deadlines move to the 2 ms mark.
+        let at: Vec<SimTime> = r1.iter().map(|r| r.at).collect();
+        assert_eq!(at, vec![SimTime::from_micros(2000); 2]);
+        let seq0 = r1.iter().find(|r| r.tx == tx0).expect("tx0 moved").seq;
+        let seq1 = r1.iter().find(|r| r.tx == tx1).expect("tx1 moved").seq;
+        // The original 1 ms deadline for tx0 is stale now.
+        assert!(p
+            .complete(SimTime::from_micros(1000), tx0, seq0 - 1)
+            .is_none());
+        let (d0, r2) = p
+            .complete(SimTime::from_micros(2000), tx0, seq0)
+            .expect("fresh");
+        assert_eq!(d0.airtime, SimDuration::from_micros(2000));
+        // tx1 is alone again, but its residual work finishes at the same
+        // instant — the deadline does not move, so no reschedule is issued.
+        assert!(r2.is_empty());
+        let (d1, _) = p
+            .complete(SimTime::from_micros(2000), tx1, seq1)
+            .expect("fresh");
+        assert_eq!(d1.airtime, SimDuration::from_micros(2000));
+    }
+
+    #[test]
+    fn independent_domains_do_not_contend() {
+        let mut p = phy(true, 1_000_000, 8);
+        let t0 = SimTime::ZERO;
+        let (e0, r0) = p.enqueue(t0, 0, (1, 1), 125, 0);
+        let (_, r1) = p.enqueue(t0, 1, (2, 2), 125, 1);
+        // Starting in a different domain does not move tx0's deadline.
+        assert!(r1.iter().all(|r| r.tx != started(&e0)));
+        assert_eq!(r0[0].at, SimTime::from_micros(1000));
+        assert_eq!(r1[0].at, SimTime::from_micros(1000));
+    }
+
+    #[test]
+    fn two_domain_transmission_counts_in_both() {
+        // tx A spans domains (1,2); tx B is in (1,1); tx C in (2,2).
+        // A shares with both: the bottleneck share is C/2 everywhere.
+        let mut p = phy(true, 1_000_000, 8);
+        let t0 = SimTime::ZERO;
+        p.enqueue(t0, 0, (1, 2), 125, 0);
+        p.enqueue(t0, 1, (1, 1), 125, 1);
+        p.enqueue(t0, 2, (2, 2), 125, 2);
+        for (_, sum) in p.domain_allocations() {
+            assert!(
+                sum <= p.capacity_bps() * (1.0 + 1e-9),
+                "domain oversubscribed"
+            );
+        }
+    }
+
+    #[test]
+    fn flush_node_aborts_and_frees_airtime() {
+        let mut p = phy(true, 1_000_000, 8);
+        let t0 = SimTime::ZERO;
+        let (e0, _) = p.enqueue(t0, 0, (5, 5), 125, 0);
+        let tx0 = started(&e0);
+        let (e1, _r1) = p.enqueue(t0, 1, (5, 5), 125, 1);
+        let tx1 = started(&e1);
+        p.enqueue(t0, 0, (5, 5), 125, 2);
+        let mid = SimTime::from_micros(1000);
+        let (waiting, aborted, rescheds) = p.flush_node(mid, 0);
+        assert_eq!(waiting, vec![2]);
+        assert_eq!(aborted, Some(0));
+        assert!(p.complete(SimTime::MAX, tx0, 99).is_none(), "tx0 gone");
+        // tx1 sped back up to full rate; its deadline moved earlier.
+        let r = rescheds.iter().find(|r| r.tx == tx1).expect("tx1 moved");
+        // Half the bits drained at half rate by 1 ms; the rest at full rate.
+        assert_eq!(r.at, SimTime::from_micros(1500));
+    }
+}

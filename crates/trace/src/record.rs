@@ -70,6 +70,15 @@ pub enum TraceKind {
     /// Node moved to a new position in a spatial topology (`a`/`b` = x/y
     /// scaled by 1e6 — fixed-point keeps the record integer-only).
     NodeMove,
+    /// Frame entered a phy transmit queue behind an active transmission
+    /// (`a` = queue depth after enqueue, `b` = wire bytes).
+    PhyQueue,
+    /// Phy transmission started occupying the air (`a` = transmission id,
+    /// `b` = wire bytes).
+    PhyTx,
+    /// Frame tail-dropped by a full phy transmit queue (`a` = packet id or
+    /// `u64::MAX` for control frames, `b` = wire bytes).
+    PhyDrop,
 }
 
 impl TraceKind {
@@ -100,6 +109,9 @@ impl TraceKind {
             TraceKind::NodeReboot => "node_reboot",
             TraceKind::LinkChange => "link_change",
             TraceKind::NodeMove => "node_move",
+            TraceKind::PhyQueue => "phy_queue",
+            TraceKind::PhyTx => "phy_tx",
+            TraceKind::PhyDrop => "phy_drop",
         }
     }
 
@@ -130,6 +142,9 @@ impl TraceKind {
             "node_reboot" => TraceKind::NodeReboot,
             "link_change" => TraceKind::LinkChange,
             "node_move" => TraceKind::NodeMove,
+            "phy_queue" => TraceKind::PhyQueue,
+            "phy_tx" => TraceKind::PhyTx,
+            "phy_drop" => TraceKind::PhyDrop,
             _ => return None,
         })
     }
@@ -350,6 +365,9 @@ mod tests {
             TraceKind::NodeReboot,
             TraceKind::LinkChange,
             TraceKind::NodeMove,
+            TraceKind::PhyQueue,
+            TraceKind::PhyTx,
+            TraceKind::PhyDrop,
         ] {
             assert_eq!(TraceKind::parse(kind.as_str()), Some(kind));
         }

@@ -56,6 +56,7 @@ fn city_spec(scale: &Scale) -> CampaignSpec {
             speed: 0.005,
             step: SimDuration::from_secs(1),
             duration: SimDuration::from_secs(12),
+            pause: SimDuration::ZERO,
             seed: 42,
         })
         .traffic(TrafficSpec::random_flows(

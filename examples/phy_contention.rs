@@ -1,0 +1,203 @@
+//! E19 — phy_contention: ideal vs. contended channels across traffic
+//! load, through the campaign engine's phy axis.
+//!
+//! A random-waypoint city (with pause time) carries seeded CBR flows over
+//! greedy geographic forwarding, gridded across two traffic loads and
+//! three channel models: `Ideal` (infinite capacity — the historical
+//! behaviour), `ConstantBandwidth` (serialization delay and a bounded
+//! transmit queue, no sharing) and `SharedAirtime` (concurrent
+//! transmitters in a spatial neighbourhood split the channel max-min
+//! fairly). The run asserts that the shared channel measurably diverges
+//! from the ideal one — lower delivery, higher tail latency, non-zero
+//! queue drops — and that the divergence grows with load. The
+//! determinism check re-runs every cell and byte-compares the reports.
+//!
+//! ```text
+//! cargo run --release --example phy_contention -- [--smoke] [--threads N]
+//!     [--no-check-determinism] [--out BENCH_phy.json]
+//! ```
+//!
+//! `--smoke` scales the same shape down for CI.
+
+use manetkit_repro::campaign::{
+    self, CampaignSpec, PhySpec, Protocol, RunConfig, ScenarioSpec, TrafficSpec,
+};
+use manetkit_repro::netsim::mobility::RandomWaypoint;
+use manetkit_repro::netsim::{SimDuration, WorldStats};
+
+struct Scale {
+    name: &'static str,
+    nodes: usize,
+    radius: f64,
+    light_flows: usize,
+    heavy_flows: usize,
+}
+
+const FULL: Scale = Scale {
+    name: "e19-phy-contention",
+    nodes: 800,
+    radius: 0.08,
+    light_flows: 60,
+    heavy_flows: 360,
+};
+
+/// Same shape, CI-sized. The radius keeps the expected neighbour count
+/// (~n·π·r²) close to the full run's, so per-cell contention is similar.
+const SMOKE: Scale = Scale {
+    name: "e19-phy-contention-smoke",
+    nodes: 200,
+    radius: 0.16,
+    light_flows: 15,
+    heavy_flows: 90,
+};
+
+/// Channel capacity per contention domain. 128-byte data frames (24 MAC +
+/// 20 IP + 84 payload) serialize in 8 ms, so a saturated neighbourhood
+/// clears at most ~125 frames/s.
+const BITS_PER_SEC: u64 = 128_000;
+const QUEUE_FRAMES: usize = 16;
+const PAYLOAD: usize = 84;
+
+fn spec(scale: &Scale) -> CampaignSpec {
+    let scenario = ScenarioSpec::builder()
+        .mobility(RandomWaypoint {
+            nodes: scale.nodes,
+            radius: scale.radius,
+            speed: 0.005,
+            step: SimDuration::from_secs(1),
+            duration: SimDuration::from_secs(12),
+            pause: SimDuration::from_secs(2),
+            seed: 42,
+        })
+        .warmup(SimDuration::from_secs(2))
+        .duration(SimDuration::from_secs(10))
+        .build();
+    let flows = |n| TrafficSpec::random_flows(n, SimDuration::from_millis(250), PAYLOAD, 7);
+    CampaignSpec::new(scale.name)
+        .scenario("rwp-city", scenario)
+        .traffic("light", flows(scale.light_flows))
+        .traffic("heavy", flows(scale.heavy_flows))
+        .phy(PhySpec::ideal())
+        .phy(PhySpec::constant_bandwidth(BITS_PER_SEC, QUEUE_FRAMES))
+        .phy(PhySpec::shared_airtime(BITS_PER_SEC, QUEUE_FRAMES))
+        .protocols([Protocol::Geo])
+        .seeds([1])
+}
+
+fn main() {
+    let mut threads = campaign::available_threads();
+    let mut check_determinism = true;
+    let mut smoke = false;
+    let mut out = String::from("BENCH_phy.json");
+
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--threads" => {
+                threads = args
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .expect("--threads needs a positive integer");
+            }
+            "--smoke" => smoke = true,
+            "--no-check-determinism" => check_determinism = false,
+            "--out" => out = args.next().expect("--out needs a path"),
+            other => panic!("unknown argument {other:?} (see the module docs)"),
+        }
+    }
+
+    let scale = if smoke { &SMOKE } else { &FULL };
+    let spec = spec(scale);
+    println!(
+        "{}: {} nodes, loads {}/{} flows, channel {} bit/s x{} queue, determinism check {}",
+        scale.name,
+        scale.nodes,
+        scale.light_flows,
+        scale.heavy_flows,
+        BITS_PER_SEC,
+        QUEUE_FRAMES,
+        if check_determinism { "on" } else { "off" },
+    );
+
+    let report = campaign::engine::run(
+        &spec,
+        &RunConfig {
+            threads,
+            check_determinism,
+        },
+    );
+
+    let cell = |traffic: &str, phy: &str| -> &WorldStats {
+        &report
+            .cells
+            .iter()
+            .find(|c| c.traffic == traffic && c.phy == phy)
+            .unwrap_or_else(|| panic!("missing cell {traffic}/{phy}"))
+            .stats
+    };
+
+    println!("load  | channel | delivery | p95 ms | queue drops | airtime util");
+    for traffic in ["light", "heavy"] {
+        for phy in ["ideal", "cbr128k", "air128k"] {
+            let s = cell(traffic, phy);
+            println!(
+                "{traffic:<5} | {phy:<7} | {:6.1} % | {:6.2} | {:11} | {:.3}",
+                100.0 * s.delivery_ratio(),
+                s.p95_delivery_latency().as_micros() as f64 / 1000.0,
+                s.phy_queue_drops,
+                s.phy_utilization(),
+            );
+        }
+    }
+    println!("wall {:.1} ms", report.wall_micros as f64 / 1000.0);
+
+    if let Some(check) = &report.determinism {
+        assert!(
+            check.passed(),
+            "determinism check FAILED for cells: {:?}",
+            check.mismatched
+        );
+        println!("determinism check: the grid re-ran byte-identical");
+    }
+
+    // The ideal channel never touches the phy layer.
+    for traffic in ["light", "heavy"] {
+        let s = cell(traffic, "ideal");
+        assert_eq!(s.phy_frames_tx, 0, "ideal cells must report no phy");
+        assert_eq!(s.phy_queue_drops, 0, "ideal cells must report no drops");
+    }
+
+    // Under heavy load the shared channel visibly diverges from ideal:
+    // saturated neighbourhoods shed frames and stretch the tail.
+    let ideal = cell("heavy", "ideal");
+    let shared = cell("heavy", "air128k");
+    assert!(
+        shared.delivery_ratio() < ideal.delivery_ratio(),
+        "contention must cost delivery at heavy load ({:.3} vs {:.3})",
+        shared.delivery_ratio(),
+        ideal.delivery_ratio(),
+    );
+    assert!(
+        shared.p95_delivery_latency() > ideal.p95_delivery_latency(),
+        "contention must stretch the latency tail at heavy load",
+    );
+    assert!(
+        shared.phy_queue_drops > 0,
+        "a saturated shared channel must tail-drop",
+    );
+
+    // Divergence grows with load: the heavy-load delivery deficit exceeds
+    // the light-load one.
+    let deficit = |traffic: &str| {
+        cell(traffic, "ideal").delivery_ratio() - cell(traffic, "air128k").delivery_ratio()
+    };
+    assert!(
+        deficit("heavy") > deficit("light"),
+        "delivery deficit must rise with load ({:.3} light vs {:.3} heavy)",
+        deficit("light"),
+        deficit("heavy"),
+    );
+
+    std::fs::write(&out, report.to_json()).expect("write report");
+    println!("report written to {out}");
+}

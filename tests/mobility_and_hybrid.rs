@@ -14,6 +14,7 @@ fn dymo_survives_random_waypoint_mobility() {
         speed: 0.01,
         step: SimDuration::from_secs(1),
         duration: SimDuration::from_secs(90),
+        pause: SimDuration::ZERO,
         seed: 33,
     });
     assert!(trace.initial.is_connected(), "pick a connected start");
